@@ -1,0 +1,48 @@
+//! Runtime cost of the ablation configurations (quality numbers come
+//! from `cargo run -p noc-bench --bin ablation`): how much scheduling
+//! time each design ingredient buys or costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+fn bench_configs(c: &mut Criterion) {
+    let platform = platforms::mesh_4x4();
+    let mut cfg = TgffConfig::category_ii(1);
+    // Keep bench wall-time reasonable: the no-budgeting variant pays a
+    // heavy (and unfixable) repair bill that grows steeply with task
+    // count; 100 tasks keeps the qualitative runtime ordering visible.
+    cfg.task_count = 100;
+    cfg.width = 10;
+    let graph = TgffGenerator::new(cfg).generate(&platform).expect("valid");
+
+    let variants: Vec<(&str, EasConfig)> = vec![
+        ("paper", EasConfig::default()),
+        ("no-repair", EasConfig::base()),
+        ("no-budgeting", EasConfig { budgeting: false, ..EasConfig::default() }),
+        (
+            "fixed-delay-comm",
+            EasConfig { comm_model: CommModel::FixedDelay, ..EasConfig::default() },
+        ),
+        (
+            "uniform-weights",
+            EasConfig { weight_function: WeightFunction::Uniform, ..EasConfig::default() },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("eas_config_runtime");
+    group.sample_size(10);
+    for (name, config) in variants {
+        let scheduler = EasScheduler::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scheduler, |b, s| {
+            b.iter(|| black_box(s.schedule(&graph, &platform).expect("schedules")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Throughput of the Fig. 3 communication scheduler machinery: trial
+//! `F(i,k)` evaluations with checkpoint/rollback, the inner loop of the
+//! EAS level scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::placer::Placer;
+use noc_eas::prelude::CommModel;
+use noc_platform::tile::PeId;
+
+fn bench_trials(c: &mut Criterion) {
+    let platform = platforms::mesh_4x4();
+    let graph = TgffGenerator::new(TgffConfig::category_i(7))
+        .generate(&platform)
+        .expect("valid");
+
+    // Pre-place roughly half the graph so trials see realistic table
+    // occupancy, then measure trial cost for one ready task on all PEs.
+    let mut placer = Placer::new(&graph, &platform).expect("matching platform");
+    let budgeted = graph.task_count() / 2;
+    let mut placed = 0;
+    while placed < budgeted {
+        let t = placer.ready_tasks()[0];
+        placer.commit(t, PeId::new((placed % 16) as u32));
+        placed += 1;
+    }
+    let ready = placer.ready_tasks()[0];
+
+    c.bench_function("trial_f_ik_all_16_pes", |b| {
+        b.iter(|| {
+            for k in 0..16u32 {
+                black_box(placer.trial(ready, PeId::new(k), CommModel::Contention));
+            }
+        });
+    });
+
+    c.bench_function("trial_f_ik_fixed_delay", |b| {
+        b.iter(|| {
+            for k in 0..16u32 {
+                black_box(placer.trial(ready, PeId::new(k), CommModel::FixedDelay));
+            }
+        });
+    });
+}
+
+fn bench_table_ops(c: &mut Criterion) {
+    use noc_platform::units::Time;
+    use noc_schedule::table::ScheduleTable;
+
+    // A table with many busy slots, as at the end of a 500-task run.
+    let mut table = ScheduleTable::new();
+    for i in 0..2_000u64 {
+        table.occupy(Time::new(i * 20), Time::new(10));
+    }
+    c.bench_function("schedule_table_find_earliest_2000_slots", |b| {
+        b.iter(|| black_box(table.find_earliest(Time::new(3), Time::new(11))));
+    });
+}
+
+criterion_group!(benches, bench_trials, bench_table_ops);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Wormhole simulator throughput: raw message streaming and full
+//! schedule execution of the multimedia applications.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+use noc_sim::prelude::*;
+
+fn bench_network_streaming(c: &mut Criterion) {
+    let platform = platforms::mesh_4x4();
+    c.bench_function("network_100_random_messages", |b| {
+        b.iter(|| {
+            let mut sim = NetworkSim::new(&platform, SimConfig::default());
+            for i in 0..100u32 {
+                let src = TileId::new(i % 16);
+                let dst = TileId::new((i * 7 + 3) % 16);
+                sim.inject_on(
+                    &platform,
+                    Message::new(src, dst, Volume::from_bits(1024), Time::new(u64::from(i) * 5)),
+                );
+            }
+            black_box(sim.run_until_idle())
+        });
+    });
+}
+
+fn bench_schedule_execution(c: &mut Criterion) {
+    let platform = platforms::mesh_3x3();
+    let graph = MultimediaApp::AvIntegrated
+        .build(Clip::Foreman, &platform)
+        .expect("valid");
+    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    c.bench_function("execute_av_integrated_schedule", |b| {
+        let exec = ScheduleExecutor::new(&graph, &platform, SimConfig::default());
+        b.iter(|| black_box(exec.execute(&outcome.schedule).expect("executes")));
+    });
+}
+
+criterion_group!(benches, bench_network_streaming, bench_schedule_execution);
+criterion_main!(benches);

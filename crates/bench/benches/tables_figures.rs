@@ -1,0 +1,61 @@
+//! End-to-end regeneration cost of each paper artifact, at reduced scale
+//! where the full version is minutes-long. The *results* are produced by
+//! the `noc-bench` binaries; this bench tracks how long regeneration
+//! takes so regressions in the experiment pipeline are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use noc_bench::experiments::{multimedia_table, tradeoff_sweep};
+use noc_bench::platforms;
+use noc_bench::runner::run_schedulers;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+fn bench_random_benchmark_unit(c: &mut Criterion) {
+    // One benchmark of the Fig. 5 family (the figure runs ten of these).
+    let platform = platforms::mesh_4x4();
+    let graph = TgffGenerator::new(TgffConfig::category_i(0))
+        .generate(&platform)
+        .expect("valid");
+    let mut group = c.benchmark_group("fig5_one_benchmark");
+    group.sample_size(10);
+    group.bench_function("eas_base_eas_edf", |b| {
+        let base = EasScheduler::base();
+        let full = EasScheduler::full();
+        let edf = EdfScheduler::new();
+        b.iter(|| {
+            black_box(
+                run_schedulers(&graph, &platform, &[&base, &full, &edf]).expect("schedules"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_av_encoder", |b| {
+        b.iter(|| black_box(multimedia_table(MultimediaApp::AvEncoder)));
+    });
+    group.bench_function("table2_av_decoder", |b| {
+        b.iter(|| black_box(multimedia_table(MultimediaApp::AvDecoder)));
+    });
+    group.bench_function("table3_av_integrated", |b| {
+        b.iter(|| black_box(multimedia_table(MultimediaApp::AvIntegrated)));
+    });
+    group.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("two_ratio_points", |b| {
+        b.iter(|| black_box(tradeoff_sweep(Clip::Foreman, &[1.0, 1.3])));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_benchmark_unit, bench_tables, bench_fig7_point);
+criterion_main!(benches);

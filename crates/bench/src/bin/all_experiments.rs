@@ -1,0 +1,72 @@
+//! Runs every paper experiment back to back (Figs. 5–7, Tables 1–3, the
+//! ablation) and writes all JSON artifacts — the one-shot reproduction
+//! entry point referenced by `EXPERIMENTS.md`.
+
+use noc_bench::experiments::{
+    ablation_study, multimedia_table, random_category, tradeoff_sweep, write_json_artifact,
+    Category,
+};
+use noc_bench::report::{render_rows, render_series};
+use noc_ctg::prelude::{Clip, MultimediaApp};
+
+fn main() {
+    println!("#### Fig. 5: category-I random benchmarks ####\n");
+    let fig5 = random_category(Category::I, 10);
+    println!("{}", render_rows(&fig5.rows));
+    println!(
+        "EDF overhead vs EAS: {:.0}% (paper: 55%); EAS-base misses on {:?} (paper: [0])\n",
+        fig5.avg_edf_overhead_percent, fig5.base_miss_benchmarks
+    );
+    write_json_artifact("fig5_category1", &fig5);
+
+    println!("#### Fig. 6: category-II random benchmarks ####\n");
+    let fig6 = random_category(Category::II, 10);
+    println!("{}", render_rows(&fig6.rows));
+    println!(
+        "EDF overhead vs EAS: {:.0}% (paper: 39%); EAS-base misses on {:?} (paper: [0, 5, 6])\n",
+        fig6.avg_edf_overhead_percent, fig6.base_miss_benchmarks
+    );
+    write_json_artifact("fig6_category2", &fig6);
+
+    for (name, app) in [
+        ("Table 1: A/V encoder", MultimediaApp::AvEncoder),
+        ("Table 2: A/V decoder", MultimediaApp::AvDecoder),
+        ("Table 3: integrated A/V system", MultimediaApp::AvIntegrated),
+    ] {
+        println!("#### {name} ####\n");
+        let table = multimedia_table(app);
+        println!("{}", table.render());
+        write_json_artifact(
+            match app {
+                MultimediaApp::AvEncoder => "table1_av_encoder",
+                MultimediaApp::AvDecoder => "table2_av_decoder",
+                MultimediaApp::AvIntegrated => "table3_av_integrated",
+            },
+            &table,
+        );
+    }
+
+    println!("#### Fig. 7: energy vs performance ratio ####\n");
+    let ratios: Vec<f64> = (0..=6).map(|i| 1.0 + 0.1 * f64::from(i)).collect();
+    let fig7 = tradeoff_sweep(Clip::Foreman, &ratios);
+    println!(
+        "{}",
+        render_series(
+            "ratio",
+            &fig7.ratios,
+            &[("eas(nJ)", fig7.eas_energy_nj.clone()), ("edf(nJ)", fig7.edf_energy_nj.clone())],
+        )
+    );
+    write_json_artifact("fig7_tradeoff", &fig7);
+
+    println!("#### Ablation study ####\n");
+    let ablation = ablation_study(10);
+    for r in &ablation {
+        println!(
+            "{:<22} {:>12.1} nJ  {:>2} miss-benches  {:>3} misses  {:.3}s",
+            r.config, r.mean_energy_nj, r.miss_benchmarks, r.total_misses, r.mean_runtime_s
+        );
+    }
+    write_json_artifact("ablation", &ablation);
+    println!("\nAll artifacts under target/experiments/.");
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Fig. 7**: energy consumption of EAS and EDF schedules of
+//! the integrated A/V system as the required performance (encoding /
+//! decoding rate) scales from the 40/67 frames-per-second baseline up to
+//! 1.6x — the paper's "unified performance ratio".
+
+use noc_bench::experiments::{tradeoff_sweep, write_json_artifact};
+use noc_bench::report::render_series;
+use noc_ctg::prelude::Clip;
+
+fn main() {
+    println!("== Fig. 7: energy vs unified performance ratio (integrated MSB, foreman) ==\n");
+    let ratios: Vec<f64> = (0..=6).map(|i| 1.0 + 0.1 * f64::from(i)).collect();
+    let result = tradeoff_sweep(Clip::Foreman, &ratios);
+    println!(
+        "{}",
+        render_series(
+            "ratio",
+            &result.ratios,
+            &[
+                ("eas(nJ)", result.eas_energy_nj.clone()),
+                ("edf(nJ)", result.edf_energy_nj.clone()),
+            ],
+        )
+    );
+    for (i, &r) in result.ratios.iter().enumerate() {
+        if result.eas_misses[i] > 0 || result.edf_misses[i] > 0 {
+            println!(
+                "ratio {r:.1}: deadline misses (eas {}, edf {}) — constraint no longer schedulable",
+                result.eas_misses[i], result.edf_misses[i]
+            );
+        }
+    }
+    println!(
+        "\nEAS energy grows as the constraints tighten ({}% from ratio 1.0 to {:.1}) — \
+         the scheduler loses the freedom to pick lean PEs (paper Fig. 7 shape).",
+        ((result.eas_energy_nj.last().unwrap() / result.eas_energy_nj[0] - 1.0) * 100.0).round(),
+        result.ratios.last().unwrap()
+    );
+    if let Some(path) = write_json_artifact("fig7_tradeoff", &result) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

@@ -1,0 +1,33 @@
+//! Extension study (paper future work): pipelined multi-frame
+//! scheduling of the A/V encoder, with frame `k`'s reconstructed
+//! reference feeding frame `k+1`'s motion estimation. Shows how the
+//! initiation interval and per-frame energy behave as more frames are
+//! co-scheduled.
+
+use noc_bench::experiments::{pipeline_extension, write_json_artifact};
+use noc_ctg::prelude::Clip;
+
+fn main() {
+    println!("== Extension: pipelined A/V encoder (2x2 NoC, foreman) ==\n");
+    let rows = pipeline_extension(Clip::Foreman, 4);
+    println!(
+        "{:<7} {:>6} {:>12} {:>14} {:>10} {:>14} {:>7}",
+        "frames", "tasks", "energy(nJ)", "energy/frame", "makespan", "ticks/frame", "misses"
+    );
+    for r in &rows {
+        println!(
+            "{:<7} {:>6} {:>12.1} {:>14.1} {:>10} {:>14.1} {:>7}",
+            r.frames, r.tasks, r.energy_nj, r.energy_per_frame_nj, r.makespan,
+            r.interval_per_frame, r.misses
+        );
+    }
+    println!(
+        "\nReading guide: all staggered per-frame deadlines hold while the initiation\n\
+         interval stays near the single-frame makespan despite the added cross-frame\n\
+         reference-frame traffic; per-frame energy stays flat because Eq. 3 energy is\n\
+         placement-determined, not schedule-determined."
+    );
+    if let Some(path) = write_json_artifact("pipeline_extension", &rows) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

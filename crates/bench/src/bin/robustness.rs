@@ -1,0 +1,39 @@
+//! Extension study: schedule robustness under execution-time jitter.
+//! Each scheduler's integrated-A/V schedule is replayed on the wormhole
+//! simulator with task runtimes perturbed by ±jitter; we count the
+//! Monte-Carlo trials whose realized execution misses a deadline.
+
+use noc_bench::experiments::{robustness_study_at_ratio, write_json_artifact};
+
+fn main() {
+    let jitters = [0.0, 0.02, 0.05, 0.10, 0.15];
+    let trials = 50;
+    let ratio = 1.5; // stressed operating point from the Fig. 7 sweep
+    println!(
+        "== Extension: runtime-jitter robustness (A/V integrated, 3x3, ratio {ratio}, {trials} trials) ==\n"
+    );
+    let rows = robustness_study_at_ratio(&jitters, trials, ratio);
+    println!(
+        "{:<9} {:>8} {:>12} {:>16}",
+        "sched", "jitter", "miss trials", "mean makespan"
+    );
+    for r in &rows {
+        println!(
+            "{:<9} {:>7.0}% {:>9}/{:<3} {:>16.0}",
+            r.scheduler,
+            r.jitter * 100.0,
+            r.miss_trials,
+            r.trials,
+            r.mean_makespan
+        );
+    }
+    println!(
+        "\nReading guide: EAS packs lean PEs close to their budgets, so its miss\n\
+         onset under jitter marks how much slack the budgeting left in the\n\
+         artifact; EDF's speed-first schedules carry more slack and resist\n\
+         longer. A deployment would re-profile or pad deadlines accordingly."
+    );
+    if let Some(path) = write_json_artifact("robustness", &rows) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

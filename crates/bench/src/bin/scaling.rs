@@ -1,0 +1,68 @@
+//! Extension study: scheduler scalability with platform size. The
+//! workload grows proportionally to the tile count (~30 tasks per PE,
+//! the paper's 500-tasks-on-16-PEs density), so per-PE pressure stays
+//! constant while the scheduling problem grows.
+
+use std::time::Instant;
+
+use noc_bench::platforms;
+use noc_bench::runner::ResultRow;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+fn main() {
+    println!("== Extension: scaling with mesh size (≈30 tasks per PE) ==\n");
+    println!(
+        "{:<7} {:>6} {:>6} {:>14} {:>14} {:>9} {:>10} {:>10}",
+        "mesh", "tasks", "arcs", "eas(nJ)", "edf(nJ)", "edf/eas", "eas t(s)", "edf t(s)"
+    );
+    let mut rows: Vec<ResultRow> = Vec::new();
+    for n in [2u16, 3, 4, 5, 6] {
+        let platform = platforms::mesh(n, n);
+        let tiles = platform.tile_count();
+        let mut cfg = TgffConfig::category_i(42);
+        cfg.task_count = 30 * tiles;
+        cfg.width = (cfg.task_count / 20).max(4);
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+
+        let t0 = Instant::now();
+        let eas = EasScheduler::full().schedule(&graph, &platform).expect("eas");
+        let t1 = Instant::now();
+        let edf = EdfScheduler::new().schedule(&graph, &platform).expect("edf");
+        let t2 = Instant::now();
+
+        println!(
+            "{:<7} {:>6} {:>6} {:>14.1} {:>14.1} {:>9.2} {:>10.3} {:>10.3}",
+            format!("{n}x{n}"),
+            graph.task_count(),
+            graph.edge_count(),
+            eas.stats.energy.total().as_nj(),
+            edf.stats.energy.total().as_nj(),
+            edf.stats.energy.total().as_nj() / eas.stats.energy.total().as_nj(),
+            (t1 - t0).as_secs_f64(),
+            (t2 - t1).as_secs_f64(),
+        );
+        rows.push(ResultRow::from_outcome(
+            graph.name(),
+            &format!("eas@{n}x{n}"),
+            &eas,
+            (t1 - t0).as_secs_f64(),
+        ));
+        rows.push(ResultRow::from_outcome(
+            graph.name(),
+            &format!("edf@{n}x{n}"),
+            &edf,
+            (t2 - t1).as_secs_f64(),
+        ));
+    }
+    println!(
+        "\nReading guide: the energy advantage persists across platform sizes. EAS\n\
+         runtime grows with tasks x PEs x ready-width (the trial F(i,k) loop) and\n\
+         stays interactive past the paper's 4x4 scale — until a benchmark needs\n\
+         search-and-repair, whose full-reschedule moves dominate (visible as a\n\
+         runtime jump wherever EAS-base would miss a deadline)."
+    );
+    if let Some(path) = noc_bench::experiments::write_json_artifact("scaling", &rows) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! Reproduces **Table 1**: EAS vs EDF on the MP3/H.263 A/V encoder
+//! application (24 tasks) scheduled on a heterogeneous 2x2 NoC, for the
+//! clips akiyo / foreman / toybox.
+
+use noc_bench::experiments::{multimedia_table, write_json_artifact};
+use noc_ctg::prelude::MultimediaApp;
+
+fn main() {
+    println!("== Table 1: A/V encoder (24 tasks, 2x2 NoC) ==\n");
+    let table = multimedia_table(MultimediaApp::AvEncoder);
+    println!("{}", table.render());
+    if let Some(path) = write_json_artifact("table1_av_encoder", &table) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

@@ -1,0 +1,15 @@
+//! Reproduces **Table 2**: EAS vs EDF on the MP3/H.263 A/V decoder
+//! application (16 tasks) scheduled on a heterogeneous 2x2 NoC, for the
+//! clips akiyo / foreman / toybox.
+
+use noc_bench::experiments::{multimedia_table, write_json_artifact};
+use noc_ctg::prelude::MultimediaApp;
+
+fn main() {
+    println!("== Table 2: A/V decoder (16 tasks, 2x2 NoC) ==\n");
+    let table = multimedia_table(MultimediaApp::AvDecoder);
+    println!("{}", table.render());
+    if let Some(path) = write_json_artifact("table2_av_decoder", &table) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

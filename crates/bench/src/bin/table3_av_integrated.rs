@@ -1,0 +1,28 @@
+//! Reproduces **Table 3**: EAS vs EDF on the integrated A/V
+//! encoder + decoder system (40 tasks) scheduled on a heterogeneous 3x3
+//! NoC, for the clips akiyo / foreman / toybox. Also prints the
+//! computation/communication split and hops-per-packet reduction the
+//! paper quotes for `foreman` (2.55 -> 1.68).
+
+use noc_bench::experiments::{multimedia_table, write_json_artifact};
+use noc_ctg::prelude::MultimediaApp;
+
+fn main() {
+    println!("== Table 3: integrated A/V encoder + decoder (40 tasks, 3x3 NoC) ==\n");
+    let table = multimedia_table(MultimediaApp::AvIntegrated);
+    println!("{}", table.render());
+    let foreman = &table.clips[1];
+    println!(
+        "foreman: EAS reduced computation energy to {:.1} nJ (EDF {:.1} nJ) and \
+         communication energy to {:.1} nJ (EDF {:.1} nJ), average hops {:.2} vs {:.2}.",
+        foreman.eas_computation_nj,
+        foreman.edf_computation_nj,
+        foreman.eas_communication_nj,
+        foreman.edf_communication_nj,
+        foreman.eas_avg_hops,
+        foreman.edf_avg_hops,
+    );
+    if let Some(path) = write_json_artifact("table3_av_integrated", &table) {
+        println!("JSON artifact: {}", path.display());
+    }
+}

@@ -1,0 +1,29 @@
+//! # noc-bench
+//!
+//! Experiment harness reproducing **every table and figure** of
+//! Hu & Marculescu (DATE 2004) plus the ablation studies called out in
+//! `DESIGN.md`:
+//!
+//! | Paper artifact | Binary | Library entry point |
+//! |---|---|---|
+//! | Fig. 5 (category-I random benchmarks) | `fig5_category1` | [`experiments::random_category`] |
+//! | Fig. 6 (category-II random benchmarks) | `fig6_category2` | [`experiments::random_category`] |
+//! | Table 1 (A/V encoder) | `table1_av_encoder` | [`experiments::multimedia_table`] |
+//! | Table 2 (A/V decoder) | `table2_av_decoder` | [`experiments::multimedia_table`] |
+//! | Table 3 (integrated A/V enc+dec) | `table3_av_integrated` | [`experiments::multimedia_table`] |
+//! | Fig. 7 (energy vs performance ratio) | `fig7_tradeoff` | [`experiments::tradeoff_sweep`] |
+//! | §6.1 runtime remarks | `cargo bench -p noc-bench` | — |
+//! | Ablations (weights, budgets, comm model) | `ablation` | [`experiments::ablation_study`] |
+//!
+//! Every experiment returns plain serializable rows so binaries print
+//! both a human table and (with `--json`) machine-readable output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod platforms;
+pub mod report;
+pub mod runner;
+
+pub use runner::{run_schedulers, ResultRow};

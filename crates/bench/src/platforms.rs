@@ -1,0 +1,58 @@
+//! The standard platforms of the paper's evaluation.
+
+use noc_platform::prelude::*;
+
+/// The 4x4 heterogeneous mesh used for the random benchmarks (Sec. 6.1).
+///
+/// # Panics
+///
+/// Panics only on internal misconfiguration (the builder inputs are
+/// constants).
+#[must_use]
+pub fn mesh_4x4() -> Platform {
+    mesh(4, 4)
+}
+
+/// The 2x2 heterogeneous mesh of the A/V encoder and decoder experiments
+/// (Tables 1–2).
+#[must_use]
+pub fn mesh_2x2() -> Platform {
+    mesh(2, 2)
+}
+
+/// The 3x3 heterogeneous mesh of the integrated experiment (Table 3).
+#[must_use]
+pub fn mesh_3x3() -> Platform {
+    mesh(3, 3)
+}
+
+/// An arbitrary `cols x rows` heterogeneous mesh with the DATE'04 PE mix
+/// and XY routing.
+#[must_use]
+pub fn mesh(cols: u16, rows: u16) -> Platform {
+    Platform::builder()
+        .topology(TopologySpec::mesh(cols, rows))
+        .routing(RoutingSpec::Xy)
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()
+        .expect("constant mesh configuration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_platforms_have_paper_sizes() {
+        assert_eq!(mesh_4x4().tile_count(), 16);
+        assert_eq!(mesh_2x2().tile_count(), 4);
+        assert_eq!(mesh_3x3().tile_count(), 9);
+    }
+
+    #[test]
+    fn platforms_are_heterogeneous() {
+        let p = mesh_2x2();
+        let first = &p.pe_classes()[0];
+        assert!(p.pe_classes().iter().any(|c| c != first));
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text table and series rendering for experiment outputs.
+
+use crate::runner::ResultRow;
+
+/// Renders rows as a fixed-width text table, one line per row.
+#[must_use]
+pub fn render_rows(rows: &[ResultRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<9} {:>12} {:>12} {:>12} {:>6} {:>10} {:>6} {:>9}\n",
+        "benchmark", "sched", "energy(nJ)", "comp(nJ)", "comm(nJ)", "miss", "makespan", "hops",
+        "time(s)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:<9} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>10} {:>6.2} {:>9.3}\n",
+            r.benchmark,
+            r.scheduler,
+            r.energy_nj,
+            r.computation_nj,
+            r.communication_nj,
+            r.deadline_misses,
+            r.makespan,
+            r.avg_hops,
+            r.runtime_s
+        ));
+    }
+    out
+}
+
+/// Renders an x/y series (one line per point) for figure-style outputs,
+/// with one column per named series.
+#[must_use]
+pub fn render_series(x_label: &str, xs: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{x_label:<12}"));
+    for (name, _) in series {
+        out.push_str(&format!(" {name:>14}"));
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x:<12.3}"));
+        for (_, ys) in series {
+            out.push_str(&format!(" {:>14.1}", ys[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact ASCII bar chart of one value per benchmark for up to a few
+/// series — the textual analogue of the paper's Fig. 5/6 bar groups.
+#[must_use]
+pub fn render_bars(labels: &[String], series: &[(&str, Vec<f64>)], width: usize) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for (i, label) in labels.iter().enumerate() {
+        out.push_str(&format!("{label}\n"));
+        for (name, v) in series {
+            let filled = ((v[i] / max) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:<9} |{}{}| {:.0}\n",
+                name,
+                "#".repeat(filled),
+                " ".repeat(width.saturating_sub(filled)),
+                v[i]
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ResultRow {
+        ResultRow {
+            benchmark: "b0".into(),
+            scheduler: "eas".into(),
+            energy_nj: 123.4,
+            computation_nj: 100.0,
+            communication_nj: 23.4,
+            deadline_misses: 0,
+            tardiness: 0,
+            makespan: 999,
+            avg_hops: 1.5,
+            runtime_s: 0.01,
+        }
+    }
+
+    #[test]
+    fn table_contains_header_and_values() {
+        let text = render_rows(&[row()]);
+        assert!(text.contains("energy(nJ)"));
+        assert!(text.contains("123.4"));
+        assert!(text.contains("eas"));
+    }
+
+    #[test]
+    fn series_aligns_columns() {
+        let text = render_series("ratio", &[1.0, 1.2], &[("eas", vec![1.0, 2.0]), ("edf", vec![3.0, 4.0])]);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with("ratio"));
+        assert!(text.contains("edf"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let text = render_bars(
+            &["b0".into()],
+            &[("eas", vec![50.0]), ("edf", vec![100.0])],
+            10,
+        );
+        let eas_line = text.lines().find(|l| l.contains("eas")).unwrap();
+        let edf_line = text.lines().find(|l| l.contains("edf")).unwrap();
+        assert_eq!(edf_line.matches('#').count(), 10);
+        assert_eq!(eas_line.matches('#').count(), 5);
+    }
+}

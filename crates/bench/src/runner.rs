@@ -1,0 +1,118 @@
+//! Running scheduler line-ups over benchmarks and collecting rows.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use noc_ctg::TaskGraph;
+use noc_eas::{ScheduleOutcome, Scheduler, SchedulerError};
+use noc_platform::Platform;
+
+/// One (benchmark, scheduler) measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultRow {
+    /// Benchmark name (graph name).
+    pub benchmark: String,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Total Eq. 3 energy in nJ.
+    pub energy_nj: f64,
+    /// Computation part of the energy, nJ.
+    pub computation_nj: f64,
+    /// Communication part of the energy, nJ.
+    pub communication_nj: f64,
+    /// Deadline misses in the produced schedule.
+    pub deadline_misses: usize,
+    /// Sum of tardiness over missed deadlines, ticks.
+    pub tardiness: u64,
+    /// Schedule makespan, ticks.
+    pub makespan: u64,
+    /// Average routers per data packet.
+    pub avg_hops: f64,
+    /// Wall-clock scheduling time, seconds.
+    pub runtime_s: f64,
+}
+
+impl ResultRow {
+    /// Builds a row from a scheduling outcome.
+    #[must_use]
+    pub fn from_outcome(
+        benchmark: &str,
+        scheduler: &str,
+        outcome: &ScheduleOutcome,
+        runtime_s: f64,
+    ) -> Self {
+        ResultRow {
+            benchmark: benchmark.to_owned(),
+            scheduler: scheduler.to_owned(),
+            energy_nj: outcome.stats.energy.total().as_nj(),
+            computation_nj: outcome.stats.energy.computation.as_nj(),
+            communication_nj: outcome.stats.energy.communication.as_nj(),
+            deadline_misses: outcome.report.deadline_misses.len(),
+            tardiness: outcome.report.total_tardiness().ticks(),
+            makespan: outcome.report.makespan.ticks(),
+            avg_hops: outcome.stats.avg_hops_per_packet,
+            runtime_s,
+        }
+    }
+}
+
+/// Runs each scheduler on `graph`, timed, returning one row per
+/// scheduler.
+///
+/// # Errors
+///
+/// Propagates the first [`SchedulerError`]; on correct inputs the
+/// schedulers only fail on graph/platform mismatches.
+pub fn run_schedulers(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedulers: &[&dyn Scheduler],
+) -> Result<Vec<ResultRow>, SchedulerError> {
+    let mut rows = Vec::with_capacity(schedulers.len());
+    for s in schedulers {
+        let t0 = Instant::now();
+        let outcome = s.schedule(graph, platform)?;
+        let dt = t0.elapsed().as_secs_f64();
+        rows.push(ResultRow::from_outcome(graph.name(), s.name(), &outcome, dt));
+    }
+    Ok(rows)
+}
+
+/// Percentage by which `base` exceeds `better`:
+/// `100 * (base - better) / base` — the paper's "energy savings (%)".
+#[must_use]
+pub fn savings_percent(better: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (base - better) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::mesh_2x2;
+    use noc_ctg::prelude::*;
+    use noc_eas::prelude::*;
+
+    #[test]
+    fn rows_cover_all_schedulers() {
+        let p = mesh_2x2();
+        let g = MultimediaApp::AvEncoder.build(Clip::Akiyo, &p).unwrap();
+        let eas = EasScheduler::full();
+        let edf = EdfScheduler::new();
+        let rows = run_schedulers(&g, &p, &[&eas, &edf]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].scheduler, "eas");
+        assert_eq!(rows[1].scheduler, "edf");
+        assert!(rows.iter().all(|r| r.energy_nj > 0.0 && r.runtime_s >= 0.0));
+    }
+
+    #[test]
+    fn savings_formula_matches_paper_convention() {
+        // EAS 60, EDF 100 => 40% savings.
+        assert!((savings_percent(60.0, 100.0) - 40.0).abs() < 1e-12);
+        assert_eq!(savings_percent(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! A small dependency-free argument parser: `--key value` options and
+//! `--flag` booleans after a subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: the subcommand and its options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first free-standing argument).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing subcommands, options without values and unknown
+    /// positional arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut iter = argv.into_iter().peekable();
+        let command = iter.next().ok_or("missing subcommand; try `noceas help`")?;
+        if command.starts_with('-') {
+            return Err(format!("expected a subcommand before `{command}`"));
+        }
+        let mut args = Args { command, ..Args::default() };
+        while let Some(token) = iter.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{token}`"));
+            };
+            match iter.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    args.options.insert(key.to_owned(), value);
+                }
+                _ => args.flags.push(key.to_owned()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` or a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// The value of `--key`, or an error naming the option.
+    ///
+    /// # Errors
+    ///
+    /// When the option is absent.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// When present but unparsable.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("option --{key} has invalid value `{v}`")),
+        }
+    }
+
+    /// `true` if `--key` appeared without a value.
+    #[must_use]
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["schedule", "--graph", "g.json", "--gantt", "--seed", "7"]).unwrap();
+        assert_eq!(a.command, "schedule");
+        assert_eq!(a.get("graph"), Some("g.json"));
+        assert_eq!(a.get_num::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.has_flag("gantt"));
+        assert!(!a.has_flag("csv"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_rejected() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--graph", "x"]).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(parse(&["schedule", "stray"]).is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = parse(&["run", "--x", "1"]).unwrap();
+        assert_eq!(a.require("x").unwrap(), "1");
+        assert!(a.require("y").is_err());
+        assert_eq!(a.get_or("z", "fallback"), "fallback");
+        assert!(a.get_num::<u32>("x", 9).unwrap() == 1);
+        let bad = parse(&["run", "--x", "NaNsense"]).unwrap();
+        assert!(bad.get_num::<u32>("x", 0).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_parses() {
+        let a = parse(&["validate", "--strict"]).unwrap();
+        assert!(a.has_flag("strict"));
+    }
+}

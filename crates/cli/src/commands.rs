@@ -1,0 +1,406 @@
+//! The CLI subcommands, written against the library crates so every
+//! command is unit-testable without spawning processes.
+
+use std::fs;
+
+use noc_ctg::prelude::*;
+use noc_schedule::prelude::*;
+use noc_sim::prelude::*;
+
+use crate::args::Args;
+use crate::spec::{parse_platform, parse_scheduler};
+
+/// Usage text for `noceas help`.
+pub const USAGE: &str = "\
+noceas — energy-aware communication and task scheduling for NoCs (DATE'04 EAS)
+
+USAGE:
+  noceas generate --platform mesh:4x4 --out graph.json
+                  [--seed N] [--tasks N] [--laxity F]
+      Generate a TGFF-style random task graph for a platform.
+
+  noceas benchmark --app av-encoder|av-decoder|av-integrated
+                   [--clip akiyo|foreman|toybox] --out graph.json
+  noceas benchmark --app ofdm-transceiver|packet-pipeline
+                   [--load light|nominal|heavy] --out graph.json
+      Emit one of the built-in benchmark graphs.
+
+  noceas schedule --graph graph.json --platform mesh:4x4
+                  [--scheduler eas|eas-base|edf|dls|anneal]
+                  [--out schedule.json] [--vcd waves.vcd]
+                  [--gantt] [--links] [--csv]
+      Schedule a task graph and report energy / deadline statistics.
+
+  noceas validate --graph graph.json --schedule schedule.json --platform mesh:4x4
+      Re-check a schedule against all Def. 3/4, dependency and deadline
+      constraints.
+
+  noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
+                  [--buffers N] [--hop-latency N]
+      Replay a schedule on the flit-level wormhole simulator.
+
+  noceas dot --graph graph.json
+      Print the task graph in Graphviz DOT syntax.
+
+  noceas info --graph graph.json [--bandwidth BITS_PER_TICK]
+      Print shape/load statistics of a task graph (depth, width, CCR).
+
+  noceas import --tgff file.tgff --platform mesh:4x4 --out graph.json
+      Import a TGFF-format task graph (see noc_ctg::tgff_parse for the
+      accepted subset), deriving per-PE costs from its @PE tables.
+
+  noceas help
+      Show this text.
+";
+
+/// Runs one parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Every user-facing failure (bad spec, missing file, invalid schedule)
+/// is returned as a message; the binary maps it to exit code 1.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "benchmark" => benchmark(args),
+        "schedule" => schedule(args),
+        "validate" => validate_cmd(args),
+        "simulate" => simulate(args),
+        "dot" => dot(args),
+        "info" => info(args),
+        "import" => import(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown subcommand `{other}`; try `noceas help`")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<TaskGraph, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_schedule(path: &str) -> Result<Schedule, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    let platform = parse_platform(args.require("platform")?)?;
+    let mut cfg = TgffConfig::category_i(args.get_num("seed", 0u64)?);
+    cfg.task_count = args.get_num("tasks", 100usize)?;
+    cfg.width = (cfg.task_count / 20).max(2);
+    cfg.deadline_laxity = args.get_num("laxity", cfg.deadline_laxity)?;
+    let graph = TgffGenerator::new(cfg).generate(&platform).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    save_json(out, &graph)?;
+    Ok(format!(
+        "wrote {} ({} tasks, {} arcs, {} PEs)\n",
+        out,
+        graph.task_count(),
+        graph.edge_count(),
+        graph.pe_count()
+    ))
+}
+
+fn benchmark(args: &Args) -> Result<String, String> {
+    // Extension apps take a --load profile instead of a --clip.
+    if let Some(app) = match args.require("app")? {
+        "ofdm-transceiver" => Some(noc_ctg::apps::ExtensionApp::OfdmTransceiver),
+        "packet-pipeline" => Some(noc_ctg::apps::ExtensionApp::PacketPipeline),
+        _ => None,
+    } {
+        let load = match args.get_or("load", "nominal") {
+            "light" => noc_ctg::apps::Load::Light,
+            "nominal" => noc_ctg::apps::Load::Nominal,
+            "heavy" => noc_ctg::apps::Load::Heavy,
+            other => return Err(format!("unknown load `{other}`")),
+        };
+        let (cols, rows) = app.recommended_mesh();
+        let platform = parse_platform(&format!("mesh:{cols}x{rows}"))?;
+        let graph = app.build(load, &platform).map_err(|e| e.to_string())?;
+        let out = args.require("out")?;
+        save_json(out, &graph)?;
+        return Ok(format!("wrote {} ({} on {cols}x{rows}, load {load})\n", out, app.name()));
+    }
+    let app = match args.require("app")? {
+        "av-encoder" => MultimediaApp::AvEncoder,
+        "av-decoder" => MultimediaApp::AvDecoder,
+        "av-integrated" => MultimediaApp::AvIntegrated,
+        other => return Err(format!("unknown app `{other}`")),
+    };
+    let clip = match args.get_or("clip", "foreman") {
+        "akiyo" => Clip::Akiyo,
+        "foreman" => Clip::Foreman,
+        "toybox" => Clip::Toybox,
+        other => return Err(format!("unknown clip `{other}`")),
+    };
+    let (cols, rows) = app.recommended_mesh();
+    let platform = parse_platform(&format!("mesh:{cols}x{rows}"))?;
+    let ratio = args.get_num("ratio", 1.0f64)?;
+    let graph = app
+        .build_with_performance_ratio(clip, &platform, ratio)
+        .map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    save_json(out, &graph)?;
+    Ok(format!(
+        "wrote {} ({} on {cols}x{rows}, clip {clip}, ratio {ratio})\n",
+        out,
+        app.name()
+    ))
+}
+
+fn schedule(args: &Args) -> Result<String, String> {
+    let platform = parse_platform(args.require("platform")?)?;
+    let graph = load_graph(args.require("graph")?)?;
+    let scheduler = parse_scheduler(args.get_or("scheduler", "eas"))?;
+    let outcome = scheduler.schedule(&graph, &platform).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{}: {} | deadlines {} ({} misses)\n",
+        scheduler.name(),
+        outcome.stats,
+        if outcome.report.meets_deadlines() { "met" } else { "MISSED" },
+        outcome.report.deadline_misses.len(),
+    ));
+    if args.has_flag("gantt") {
+        out.push('\n');
+        out.push_str(&render_gantt(&outcome.schedule, &graph, &platform, 100));
+    }
+    if args.has_flag("links") {
+        out.push('\n');
+        out.push_str(&render_link_occupancy(&outcome.schedule, &graph, &platform, 10));
+    }
+    if args.has_flag("csv") {
+        out.push('\n');
+        out.push_str(&tasks_to_csv(&outcome.schedule, &graph));
+        out.push('\n');
+        out.push_str(&comms_to_csv(&outcome.schedule, &graph));
+    }
+    if let Some(path) = args.get("vcd") {
+        fs::write(path, noc_schedule::vcd::to_vcd(&outcome.schedule, &graph, &platform))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(path) = args.get("out") {
+        save_json(path, &outcome.schedule)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+fn validate_cmd(args: &Args) -> Result<String, String> {
+    let platform = parse_platform(args.require("platform")?)?;
+    let graph = load_graph(args.require("graph")?)?;
+    let schedule = load_schedule(args.require("schedule")?)?;
+    let report = validate(&schedule, &graph, &platform).map_err(|e| e.to_string())?;
+    Ok(format!("schedule is structurally valid: {report}\n"))
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    let platform = parse_platform(args.require("platform")?)?;
+    let graph = load_graph(args.require("graph")?)?;
+    let schedule = load_schedule(args.require("schedule")?)?;
+    let config = SimConfig::new(
+        platform.link_bandwidth().round() as u64,
+        args.get_num("buffers", 2u64)?,
+    )
+    .with_hop_latency(args.get_num("hop-latency", 0u64)?);
+    let trace = ScheduleExecutor::new(&graph, &platform, config)
+        .execute(&schedule)
+        .map_err(|e| e.to_string())?;
+    let worst = trace
+        .slippage_vs(&schedule)
+        .into_iter()
+        .max()
+        .unwrap_or(noc_platform::units::Time::ZERO);
+    Ok(format!(
+        "dynamic makespan {} (static {}), worst slip {} ticks, dynamic misses {}\n",
+        trace.makespan,
+        schedule.makespan(),
+        worst,
+        trace.deadline_misses.len()
+    ))
+}
+
+fn dot(args: &Args) -> Result<String, String> {
+    let graph = load_graph(args.require("graph")?)?;
+    Ok(noc_ctg::dot::to_dot(&graph))
+}
+
+fn import(args: &Args) -> Result<String, String> {
+    let platform = parse_platform(args.require("platform")?)?;
+    let path = args.require("tgff")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = noc_ctg::tgff_parse::TgffFile::parse(&text).map_err(|e| e.to_string())?;
+    let graph = file.into_task_graph(&platform).map_err(|e| e.to_string())?;
+    let out = args.require("out")?;
+    save_json(out, &graph)?;
+    Ok(format!(
+        "imported {path}: {} tasks, {} arcs -> {out}\n",
+        graph.task_count(),
+        graph.edge_count()
+    ))
+}
+
+fn info(args: &Args) -> Result<String, String> {
+    let graph = load_graph(args.require("graph")?)?;
+    let bandwidth = args.get_num("bandwidth", 32.0f64)?;
+    if bandwidth <= 0.0 {
+        return Err("bandwidth must be positive".into());
+    }
+    let stats = noc_ctg::stats::GraphStats::compute(&graph, bandwidth);
+    Ok(format!("{}\n{stats}\n", graph.name()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned())).expect("parses")
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("noceas-cli-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_schedule_validate_simulate_round_trip() {
+        let graph_path = tmp("g.json");
+        let sched_path = tmp("s.json");
+        let out = run(&args(&[
+            "generate", "--platform", "mesh:2x2", "--tasks", "12", "--seed", "5", "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        assert!(out.contains("12 tasks"));
+
+        let out = run(&args(&[
+            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2", "--out", &sched_path,
+            "--gantt",
+        ]))
+        .expect("schedule");
+        assert!(out.contains("eas:"));
+        assert!(out.contains("PE0"));
+
+        let out = run(&args(&[
+            "validate", "--graph", &graph_path, "--schedule", &sched_path, "--platform",
+            "mesh:2x2",
+        ]))
+        .expect("validate");
+        assert!(out.contains("structurally valid"));
+
+        let out = run(&args(&[
+            "simulate", "--graph", &graph_path, "--schedule", &sched_path, "--platform",
+            "mesh:2x2",
+        ]))
+        .expect("simulate");
+        assert!(out.contains("dynamic makespan"));
+    }
+
+    #[test]
+    fn benchmark_and_dot() {
+        let graph_path = tmp("enc.json");
+        let out = run(&args(&[
+            "benchmark", "--app", "av-encoder", "--clip", "akiyo", "--out", &graph_path,
+        ]))
+        .expect("benchmark");
+        assert!(out.contains("av-encoder"));
+        let dot = run(&args(&["dot", "--graph", &graph_path])).expect("dot");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("motion_est"));
+    }
+
+    #[test]
+    fn schedule_with_edf_and_csv() {
+        let graph_path = tmp("g2.json");
+        run(&args(&[
+            "generate", "--platform", "mesh:2x2", "--tasks", "8", "--out", &graph_path,
+        ]))
+        .expect("generate");
+        let out = run(&args(&[
+            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2", "--scheduler", "edf",
+            "--csv",
+        ]))
+        .expect("schedule");
+        assert!(out.contains("edf:"));
+        assert!(out.contains("task,name,pe,start,finish,deadline"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&args(&["explode"])).unwrap_err().contains("unknown subcommand"));
+        assert!(run(&args(&["schedule"])).unwrap_err().contains("missing required option"));
+        assert!(run(&args(&["generate", "--platform", "blob:1x1", "--out", "x"]))
+            .unwrap_err()
+            .contains("unknown topology"));
+        let missing = run(&args(&[
+            "schedule", "--graph", "/nonexistent.json", "--platform", "mesh:2x2",
+        ]))
+        .unwrap_err();
+        assert!(missing.contains("cannot read"));
+    }
+
+    #[test]
+    fn help_text_lists_every_subcommand() {
+        let help = run(&args(&["help"])).expect("help");
+        for cmd in ["generate", "benchmark", "schedule", "validate", "simulate", "dot", "info"] {
+            assert!(help.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn info_reports_graph_statistics() {
+        let graph_path = tmp("info.json");
+        run(&args(&[
+            "generate", "--platform", "mesh:2x2", "--tasks", "10", "--out", &graph_path,
+        ]))
+        .expect("generate");
+        let out = run(&args(&["info", "--graph", &graph_path])).expect("info");
+        assert!(out.contains("CCR"));
+        assert!(out.contains("tasks"));
+        assert!(run(&args(&["info", "--graph", &graph_path, "--bandwidth", "-3"])).is_err());
+    }
+
+    #[test]
+    fn import_tgff_round_trip() {
+        let tgff_path = tmp("w.tgff");
+        fs::write(
+            &tgff_path,
+            "@TASK_GRAPH 0 {\nTASK a TYPE 0\nTASK b TYPE 0\nARC x FROM a TO b TYPE 0\n}\n\
+             @COMMUN_QUANT 0 {\n0 512\n}\n@PE 0 {\n0 100 1.0\n}\n",
+        )
+        .expect("write tgff");
+        let graph_path = tmp("imported.json");
+        let out = run(&args(&[
+            "import", "--tgff", &tgff_path, "--platform", "mesh:2x2", "--out", &graph_path,
+        ]))
+        .expect("import");
+        assert!(out.contains("2 tasks"));
+        let sched = run(&args(&[
+            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2",
+        ]))
+        .expect("schedule imported");
+        assert!(sched.contains("eas:"));
+    }
+
+    #[test]
+    fn extension_app_benchmarks_emit() {
+        let graph_path = tmp("ofdm.json");
+        let out = run(&args(&[
+            "benchmark", "--app", "ofdm-transceiver", "--load", "heavy", "--out", &graph_path,
+        ]))
+        .expect("benchmark");
+        assert!(out.contains("ofdm-transceiver"));
+        let info = run(&args(&["info", "--graph", &graph_path])).expect("info");
+        assert!(info.contains("tasks            22"));
+    }
+}

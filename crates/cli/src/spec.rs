@@ -1,0 +1,114 @@
+//! Textual platform and scheduler specifications used on the command
+//! line, e.g. `mesh:4x4`, `torus:3x3:yx`, `honeycomb:4x4`, `eas`,
+//! `eas-base`, `edf`, `dls`.
+
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+
+/// Parses a platform spec of the form
+/// `<topology>:<cols>x<rows>[:<routing>]` with topology one of `mesh`,
+/// `torus`, `honeycomb` and routing one of `xy`, `yx`, `bfs`
+/// (shortest-path). Routing defaults to `xy` for grids and `bfs` for
+/// honeycombs.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed specs or invalid
+/// combinations.
+pub fn parse_platform(spec: &str) -> Result<Platform, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!(
+            "platform spec `{spec}` must look like mesh:4x4 or torus:3x3:yx"
+        ));
+    }
+    let dims: Vec<&str> = parts[1].split('x').collect();
+    if dims.len() != 2 {
+        return Err(format!("dimensions `{}` must look like 4x4", parts[1]));
+    }
+    let cols: u16 = dims[0].parse().map_err(|_| format!("bad column count `{}`", dims[0]))?;
+    let rows: u16 = dims[1].parse().map_err(|_| format!("bad row count `{}`", dims[1]))?;
+    let topology = match parts[0] {
+        "mesh" => TopologySpec::mesh(cols, rows),
+        "torus" => TopologySpec::torus(cols, rows),
+        "honeycomb" => TopologySpec::honeycomb(cols, rows),
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    let default_routing =
+        if parts[0] == "honeycomb" { RoutingSpec::ShortestPath } else { RoutingSpec::Xy };
+    let routing = match parts.get(2) {
+        None => default_routing,
+        Some(&"xy") => RoutingSpec::Xy,
+        Some(&"yx") => RoutingSpec::Yx,
+        Some(&"bfs") => RoutingSpec::ShortestPath,
+        Some(other) => return Err(format!("unknown routing `{other}` (use xy, yx or bfs)")),
+    };
+    Platform::builder()
+        .topology(topology)
+        .routing(routing)
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Parses a scheduler name into a boxed [`Scheduler`].
+///
+/// # Errors
+///
+/// Returns a message listing the valid names on unknown input.
+pub fn parse_scheduler(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    match name {
+        "eas" => Ok(Box::new(EasScheduler::full())),
+        "eas-base" => Ok(Box::new(EasScheduler::base())),
+        "edf" => Ok(Box::new(EdfScheduler::new())),
+        "dls" => Ok(Box::new(DlsScheduler::new())),
+        "anneal" => Ok(Box::new(AnnealScheduler::default())),
+        "map-then-schedule" => Ok(Box::new(MapThenScheduleScheduler::new())),
+        other => Err(format!(
+            "unknown scheduler `{other}` (use eas, eas-base, edf, dls, anneal or map-then-schedule)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mesh_default_xy() {
+        let p = parse_platform("mesh:4x4").expect("parses");
+        assert_eq!(p.tile_count(), 16);
+        assert_eq!(p.routing_name(), "xy");
+    }
+
+    #[test]
+    fn parses_torus_with_routing() {
+        let p = parse_platform("torus:3x3:yx").expect("parses");
+        assert_eq!(p.tile_count(), 9);
+        assert_eq!(p.routing_name(), "yx");
+    }
+
+    #[test]
+    fn honeycomb_defaults_to_bfs() {
+        let p = parse_platform("honeycomb:4x4").expect("parses");
+        assert_eq!(p.routing_name(), "shortest-path");
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_platform("mesh").is_err());
+        assert!(parse_platform("mesh:4").is_err());
+        assert!(parse_platform("mesh:ax4").is_err());
+        assert!(parse_platform("ring:4x4").is_err());
+        assert!(parse_platform("mesh:4x4:zigzag").is_err());
+        assert!(parse_platform("honeycomb:4x4:xy").is_err(), "xy cannot route honeycombs");
+    }
+
+    #[test]
+    fn parses_all_schedulers() {
+        for name in ["eas", "eas-base", "edf", "dls", "anneal", "map-then-schedule"] {
+            assert_eq!(parse_scheduler(name).expect("parses").name(), name);
+        }
+        assert!(parse_scheduler("magic").is_err());
+    }
+}

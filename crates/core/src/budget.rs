@@ -1,0 +1,290 @@
+//! Step 1 of EAS: budget slack allocation.
+//!
+//! Every task gets a weight `W_ti = VAR_ei · VAR_ri` — the product of the
+//! variances of its energy and execution time across PEs. Intuitively, a
+//! high-weight task's placement matters a lot, so it deserves more of the
+//! path slack (freedom to wait for the *right* PE). For each
+//! deadline-constrained task the longest mean-execution path from a
+//! source is extracted, the path slack `d − Σ M` is split across the
+//! path's tasks proportionally to their weights, and cumulative sums
+//! yield per-task **budgeted deadlines** (BD). The worked example of the
+//! paper's Fig. 2 is reproduced in this module's tests.
+
+use noc_ctg::analysis::GraphAnalysis;
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::units::Time;
+
+use crate::scheduler::WeightFunction;
+
+/// Per-task budgeted deadlines (Step 1 output).
+///
+/// Tasks on no deadline-constrained path keep [`Time::INFINITY`]; the
+/// level scheduler then never treats them as urgent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackBudgets {
+    bd: Vec<Time>,
+}
+
+impl SlackBudgets {
+    /// Computes budgeted deadlines for `graph` under the given weight
+    /// function (the paper's is [`WeightFunction::VarEnergyTimesVarTime`]),
+    /// charging only mean execution times along paths (the paper's
+    /// Fig. 2 model, where communication is not budgeted).
+    ///
+    /// For each deadline task the longest mean-exec path is charged; a
+    /// task appearing on several constrained paths keeps its tightest
+    /// budget, and a final backward relaxation
+    /// `BD(t) ← min(BD(t), BD(succ) − M_succ)` propagates budgets to
+    /// tasks that feed constrained work over non-critical arcs.
+    #[must_use]
+    pub fn compute(graph: &TaskGraph, weight_fn: WeightFunction) -> Self {
+        Self::compute_inner(graph, weight_fn, |_| 0.0)
+    }
+
+    /// Like [`compute`](Self::compute), but additionally charges each
+    /// path arc its worst-case transfer time `ceil(v / bandwidth)`.
+    ///
+    /// The pure Fig. 2 model budgets away *all* slack, so the last task
+    /// of a path has zero margin for its incoming transfers and the level
+    /// scheduler produces frequent tiny deadline misses; reserving the
+    /// transfer time up front keeps budgets honest (see `DESIGN.md` §6).
+    /// `bits_per_tick` is the platform link bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_tick` is not positive.
+    #[must_use]
+    pub fn compute_with_comm(
+        graph: &TaskGraph,
+        weight_fn: WeightFunction,
+        bits_per_tick: f64,
+    ) -> Self {
+        assert!(bits_per_tick > 0.0, "bandwidth must be positive");
+        Self::compute_inner(graph, weight_fn, |volume_bits| {
+            (volume_bits / bits_per_tick).ceil()
+        })
+    }
+
+    fn compute_inner(
+        graph: &TaskGraph,
+        weight_fn: WeightFunction,
+        comm_cost: impl Fn(f64) -> f64,
+    ) -> Self {
+        let n = graph.task_count();
+        let analysis = GraphAnalysis::new(graph);
+        let weights: Vec<f64> = graph
+            .task_ids()
+            .map(|t| weight_fn.weight(graph.task(t)).max(f64::MIN_POSITIVE))
+            .collect();
+        let mut bd = vec![Time::INFINITY; n];
+
+        // Transfer-time charge of the arc a -> b (0.0 in the pure model).
+        let arc_cost = |a: TaskId, b: TaskId| -> f64 {
+            graph
+                .outgoing(a)
+                .iter()
+                .find(|&&e| graph.edge(e).dst == b)
+                .map_or(0.0, |&e| comm_cost(graph.edge(e).volume.as_f64()))
+        };
+
+        for td in graph.deadline_tasks() {
+            let deadline = graph
+                .task(td)
+                .deadline()
+                .expect("deadline_tasks yields constrained tasks");
+            let path = analysis.longest_mean_path_to(td);
+            let mut path_cost: f64 =
+                path.iter().map(|&t| graph.task(t).mean_exec_time()).sum();
+            for w in path.windows(2) {
+                path_cost += arc_cost(w[0], w[1]);
+            }
+            let slack = (deadline.as_f64() - path_cost).max(0.0);
+            let weight_sum: f64 = path.iter().map(|&t| weights[t.index()]).sum();
+
+            let mut acc = 0.0f64;
+            for (i, &t) in path.iter().enumerate() {
+                if i > 0 {
+                    acc += arc_cost(path[i - 1], t);
+                }
+                acc += graph.task(t).mean_exec_time();
+                acc += slack * weights[t.index()] / weight_sum;
+                let candidate = Time::new(acc.round() as u64);
+                if candidate < bd[t.index()] {
+                    bd[t.index()] = candidate;
+                }
+            }
+            // The constrained task's own budget is exactly its deadline
+            // (guards against rounding drift on long paths).
+            if deadline < bd[td.index()] || slack == 0.0 {
+                bd[td.index()] = deadline.min(bd[td.index()]);
+            }
+        }
+
+        // Backward relaxation to tasks off the extracted paths.
+        for &t in graph.topological_order().iter().rev() {
+            for s in graph.successors(t) {
+                let ds = bd[s.index()];
+                if !ds.is_infinite() {
+                    let m = Time::new(
+                        (graph.task(s).mean_exec_time() + arc_cost(t, s)).round() as u64,
+                    );
+                    let bound = ds.saturating_sub(m);
+                    if bound < bd[t.index()] {
+                        bd[t.index()] = bound;
+                    }
+                }
+            }
+        }
+
+        SlackBudgets { bd }
+    }
+
+    /// All-infinite budgets for `graph` (budgeting disabled): the level
+    /// scheduler then never sees an urgent task and degenerates to pure
+    /// greedy energy minimization. Used by the ablation study.
+    #[must_use]
+    pub fn unbounded(graph: &TaskGraph) -> Self {
+        SlackBudgets { bd: vec![Time::INFINITY; graph.task_count()] }
+    }
+
+    /// The budgeted deadline of `t` (`Time::INFINITY` if unconstrained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn budgeted_deadline(&self, t: TaskId) -> Time {
+        self.bd[t.index()]
+    }
+
+    /// All budgets, task-id order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Time] {
+        &self.bd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_platform::units::{Energy, Volume};
+
+    /// Builds a task whose mean exec time is `mean` and whose weight
+    /// under `VarEnergyTimesVarTime` is proportional to `weight_knob`
+    /// (via asymmetric 2-PE vectors).
+    fn weighted_task(name: &str, mean: u64, spread: u64) -> Task {
+        // times {mean-spread, mean+spread}: mean = mean, var = spread^2.
+        let lo = Time::new(mean - spread);
+        let hi = Time::new(mean + spread);
+        let elo = Energy::from_nj((mean - spread) as f64);
+        let ehi = Energy::from_nj((mean + spread) as f64);
+        Task::new(name, vec![lo, hi], vec![elo, ehi])
+    }
+
+    /// The paper's Fig. 2 example: chain t1 -> t2 -> t3, means 300/200/400,
+    /// weights 100/200/100, d(t3) = 1300 => BDs 400/800/1300.
+    #[test]
+    fn fig2_worked_example() {
+        // weight = VAR_e * VAR_r = spread^4; choose spreads so the ratio
+        // is 1:2:1 => spread2 = spread1 * 2^(1/4). Use explicit weights
+        // instead via a custom weight function to keep the numbers exact.
+        let mut b = TaskGraph::builder("fig2", 2);
+        let t1 = b.add_task(weighted_task("t1", 300, 10));
+        let t2 = b.add_task(weighted_task("t2", 200, 20));
+        let t3 = b.add_task(weighted_task("t3", 400, 10).with_deadline(Time::new(1300)));
+        b.add_edge(t1, t2, Volume::from_bits(8)).unwrap();
+        b.add_edge(t2, t3, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+
+        // spread 10 -> var 100; spread 20 -> var 400. With VAR_r alone the
+        // weights are 100/400/100: slack 400 split 66.7/266.7/66.7.
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarTime);
+        assert_eq!(budgets.budgeted_deadline(t1), Time::new(367));
+        assert_eq!(budgets.budgeted_deadline(t2), Time::new(833));
+        assert_eq!(budgets.budgeted_deadline(t3), Time::new(1300));
+
+        // With uniform weights the slack splits evenly: 300+133, +200+134...
+        let budgets = SlackBudgets::compute(&g, WeightFunction::Uniform);
+        assert_eq!(budgets.budgeted_deadline(t1), Time::new(433));
+        assert_eq!(budgets.budgeted_deadline(t2), Time::new(767));
+        assert_eq!(budgets.budgeted_deadline(t3), Time::new(1300));
+    }
+
+    #[test]
+    fn weights_shift_slack_toward_heavy_tasks() {
+        let mut b = TaskGraph::builder("w", 2);
+        let t1 = b.add_task(weighted_task("t1", 300, 10)); // light
+        let t2 = b.add_task(weighted_task("t2", 200, 40)); // heavy (16x var)
+        let t3 = b.add_task(weighted_task("t3", 400, 10).with_deadline(Time::new(1300)));
+        b.add_edge(t1, t2, Volume::from_bits(8)).unwrap();
+        b.add_edge(t2, t3, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+        let weighted = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let uniform = SlackBudgets::compute(&g, WeightFunction::Uniform);
+        // The heavy middle task gets a later budget than under uniform
+        // weights (more slack allocated to it), the light first one an
+        // earlier/equal budget.
+        assert!(weighted.budgeted_deadline(t2) > uniform.budgeted_deadline(t2));
+        assert!(weighted.budgeted_deadline(t1) <= uniform.budgeted_deadline(t1));
+    }
+
+    #[test]
+    fn unconstrained_tasks_stay_infinite() {
+        let mut b = TaskGraph::builder("u", 2);
+        let a = b.add_task(weighted_task("a", 100, 5));
+        let c = b.add_task(weighted_task("c", 100, 5));
+        b.add_edge(a, c, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        assert!(budgets.budgeted_deadline(a).is_infinite());
+        assert!(budgets.budgeted_deadline(c).is_infinite());
+    }
+
+    #[test]
+    fn off_path_feeder_gets_relaxed_budget() {
+        // a -> d (deadline), b -> d where b is NOT on the longest path.
+        let mut b = TaskGraph::builder("o", 2);
+        let a = b.add_task(weighted_task("a", 500, 5));
+        let side = b.add_task(weighted_task("side", 100, 5));
+        let d = b.add_task(weighted_task("d", 200, 5).with_deadline(Time::new(1000)));
+        b.add_edge(a, d, Volume::from_bits(8)).unwrap();
+        b.add_edge(side, d, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::Uniform);
+        // side must still finish by BD(d) - M(d).
+        let bd_d = budgets.budgeted_deadline(d);
+        assert!(!budgets.budgeted_deadline(side).is_infinite());
+        assert_eq!(budgets.budgeted_deadline(side), bd_d - Time::new(200));
+    }
+
+    #[test]
+    fn infeasible_deadline_yields_zero_slack_budgets() {
+        let mut b = TaskGraph::builder("tight", 2);
+        let a = b.add_task(weighted_task("a", 300, 5));
+        let d = b.add_task(weighted_task("d", 300, 5).with_deadline(Time::new(100)));
+        b.add_edge(a, d, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::Uniform);
+        // No slack to give: budgets are the bare cumulative means, capped
+        // by the deadline on the constrained task.
+        assert_eq!(budgets.budgeted_deadline(d), Time::new(100));
+        assert_eq!(budgets.budgeted_deadline(a), Time::ZERO.max(Time::new(0)));
+    }
+
+    #[test]
+    fn tightest_of_multiple_paths_wins() {
+        // a feeds two deadline sinks; the tighter one constrains a.
+        let mut b = TaskGraph::builder("m", 2);
+        let a = b.add_task(weighted_task("a", 100, 5));
+        let loose = b.add_task(weighted_task("loose", 100, 5).with_deadline(Time::new(2000)));
+        let tight = b.add_task(weighted_task("tight", 100, 5).with_deadline(Time::new(250)));
+        b.add_edge(a, loose, Volume::from_bits(8)).unwrap();
+        b.add_edge(a, tight, Volume::from_bits(8)).unwrap();
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::Uniform);
+        // Via tight: slack 50, split evenly: BD(a) = 100 + 25 = 125.
+        assert_eq!(budgets.budgeted_deadline(a), Time::new(125));
+    }
+}

@@ -1,0 +1,160 @@
+//! The Earliest-Deadline-First baseline scheduler.
+//!
+//! The paper compares EAS against "a standard Earliest Deadline First
+//! (EDF) scheduler" (Sec. 6). This implementation is the natural
+//! heterogeneous-NoC reading of that baseline: a non-preemptive list
+//! scheduler that
+//!
+//! 1. prioritizes ready tasks by **effective deadline** (explicit
+//!    deadlines propagated backwards through the DAG, see
+//!    [`noc_ctg::analysis::effective_deadlines`]), and
+//! 2. assigns the chosen task to the PE with the **earliest finish**
+//!    `F(i,k)`, computed with the same contention-aware communication
+//!    scheduler EAS uses — performance-driven and energy-blind.
+//!
+//! Using identical communication machinery keeps the Eq. 3 energy
+//! comparison between EAS and EDF apples-to-apples.
+
+use noc_ctg::analysis::effective_deadlines;
+use noc_platform::tile::PeId;
+use noc_platform::units::Time;
+
+use crate::placer::Placer;
+use crate::scheduler::CommModel;
+
+/// Runs EDF list scheduling to completion, mutating `placer`.
+pub fn edf_schedule(placer: &mut Placer<'_>) {
+    let eff = effective_deadlines(placer.graph());
+    let pes: Vec<PeId> = placer.platform().pes().collect();
+    while !placer.is_done() {
+        // Earliest effective deadline among ready tasks (ties: task id).
+        let &task = placer
+            .ready_tasks()
+            .iter()
+            .min_by_key(|&&t| (eff[t.index()], t))
+            .expect("DAG guarantees a ready task");
+        // Fastest PE (ties: earlier start, then PE id).
+        let mut best: Option<(Time, Time, PeId)> = None;
+        for &k in &pes {
+            let trial = placer.trial(task, k, CommModel::Contention);
+            let key = (trial.finish, trial.start, k);
+            if best.is_none_or(|b| (key.0, key.1, key.2.index()) < (b.0, b.1, b.2.index())) {
+                best = Some(key);
+            }
+        }
+        let (_, _, k) = best.expect("at least one PE");
+        placer.commit(task, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_ctg::TaskGraph;
+    use noc_platform::prelude::*;
+    use noc_platform::units::Volume;
+    use noc_schedule::validate;
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn edf_picks_fastest_pe_not_cheapest() {
+        let p = platform();
+        let mut b = TaskGraph::builder("speed", 4);
+        let t = b.add_task(
+            Task::new(
+                "t",
+                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Energy::from_nj(100.0),
+                    Energy::from_nj(60.0),
+                    Energy::from_nj(10.0),
+                    Energy::from_nj(60.0),
+                ],
+            )
+            .with_deadline(Time::new(10_000)),
+        );
+        let g = b.build().unwrap();
+        let mut placer = crate::placer::Placer::new(&g, &p).unwrap();
+        edf_schedule(&mut placer);
+        let s = placer.into_schedule();
+        assert_eq!(s.task(t).pe, PeId::new(0), "EDF is performance-driven");
+    }
+
+    #[test]
+    fn edf_orders_by_effective_deadline() {
+        let p = platform();
+        let mut b = TaskGraph::builder("order", 4);
+        // Two independent tasks; the later-added one has the tighter
+        // deadline and must be scheduled first (earlier start on the
+        // common fastest PE).
+        let loose = b.add_task(
+            Task::uniform("loose", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(10_000)),
+        );
+        let tight = b.add_task(
+            Task::uniform("tight", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(100)),
+        );
+        let g = b.build().unwrap();
+        let mut placer = crate::placer::Placer::new(&g, &p).unwrap();
+        edf_schedule(&mut placer);
+        let s = placer.into_schedule();
+        assert!(s.task(tight).finish <= Time::new(100), "tight deadline met");
+        assert!(validate(&s, &g, &p).unwrap().meets_deadlines());
+        assert_eq!(s.task(loose).start, Time::ZERO, "parallel PEs keep both early");
+    }
+
+    #[test]
+    fn edf_propagates_deadlines_to_ancestors() {
+        let p = platform();
+        let mut b = TaskGraph::builder("prop", 4);
+        // An unconstrained feeder of a constrained sink must win against
+        // an unconstrained independent task.
+        let feeder = b.add_task(Task::uniform("feeder", 4, Time::new(100), Energy::from_nj(1.0)));
+        let free = b.add_task(Task::uniform("free", 4, Time::new(100), Energy::from_nj(1.0)));
+        let sink = b.add_task(
+            Task::uniform("sink", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(250)),
+        );
+        b.add_edge(feeder, sink, Volume::from_bits(320)).unwrap();
+        let g = b.build().unwrap();
+        let mut placer = crate::placer::Placer::new(&g, &p).unwrap();
+        edf_schedule(&mut placer);
+        let s = placer.into_schedule();
+        let report = validate(&s, &g, &p).unwrap();
+        assert!(report.meets_deadlines());
+        let _ = free;
+    }
+
+    #[test]
+    fn edf_handles_chains_with_contention() {
+        let p = platform();
+        let mut b = TaskGraph::builder("chain", 4);
+        let mut prev = None;
+        for i in 0..8 {
+            let t = b.add_task(Task::uniform(
+                format!("t{i}"),
+                4,
+                Time::new(60),
+                Energy::from_nj(2.0),
+            ));
+            if let Some(pr) = prev {
+                b.add_edge(pr, t, Volume::from_bits(640)).unwrap();
+            }
+            prev = Some(t);
+        }
+        let g = b.build().unwrap();
+        let mut placer = crate::placer::Placer::new(&g, &p).unwrap();
+        edf_schedule(&mut placer);
+        let s = placer.into_schedule();
+        validate(&s, &g, &p).expect("valid");
+    }
+}

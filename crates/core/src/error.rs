@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use noc_schedule::ScheduleError;
+
+/// Errors produced by the schedulers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedulerError {
+    /// The task graph's cost vectors target a different PE count than
+    /// the platform provides.
+    PeCountMismatch {
+        /// PE count the graph's cost vectors cover.
+        graph: usize,
+        /// PE count of the platform.
+        platform: usize,
+    },
+    /// Re-timing a (assignment, per-PE order) pair deadlocked: the order
+    /// contradicts the dependency graph across PEs. Indicates an internal
+    /// inconsistency when surfaced from a scheduler.
+    RetimeDeadlock,
+    /// The produced schedule failed its own validation — an internal
+    /// scheduler bug surfaced as an error rather than a panic so batch
+    /// experiment runs can continue.
+    InvalidSchedule(ScheduleError),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::PeCountMismatch { graph, platform } => write!(
+                f,
+                "task graph targets {graph} PEs but the platform has {platform}"
+            ),
+            SchedulerError::RetimeDeadlock => {
+                write!(f, "per-PE execution order contradicts the dependency graph")
+            }
+            SchedulerError::InvalidSchedule(e) => {
+                write!(f, "scheduler produced an invalid schedule: {e}")
+            }
+        }
+    }
+}
+
+impl Error for SchedulerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedulerError::InvalidSchedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScheduleError> for SchedulerError {
+    fn from(e: ScheduleError) -> Self {
+        SchedulerError::InvalidSchedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedulerError::PeCountMismatch { graph: 4, platform: 16 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.source().is_none());
+        let e = SchedulerError::from(ScheduleError::UnplacedTask(noc_ctg::task::TaskId::new(0)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SchedulerError>();
+    }
+}

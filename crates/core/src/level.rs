@@ -1,0 +1,281 @@
+//! Step 2 of EAS: level-based scheduling.
+//!
+//! Repeatedly, for every ready task `t_i` and every PE `p_k`, the
+//! earliest finish `F(i,k)` is computed by trial-scheduling the task's
+//! receiving transactions and the task itself (Eq. 4, tables restored
+//! afterwards). Then:
+//!
+//! * if some task already busts its budgeted deadline
+//!   (`min_F(i) >= BD_i`), the most-over-budget task is scheduled
+//!   immediately on its fastest PE (urgency rule, Step 2.3);
+//! * otherwise every task could still meet its budget somewhere; each
+//!   task's budget-feasible PE list `L_i` is ranked by energy (execution
+//!   plus incoming communication) and the task with the largest energy
+//!   regret `δE = E2 − E1` — the one that would lose the most by not
+//!   getting its favourite PE — is scheduled on its cheapest feasible PE
+//!   (Step 2.4).
+
+use noc_ctg::task::TaskId;
+use noc_platform::tile::PeId;
+use noc_platform::units::{Energy, Time};
+
+use crate::budget::SlackBudgets;
+use crate::placer::Placer;
+use crate::scheduler::CommModel;
+
+/// Runs level-based scheduling to completion, mutating `placer` until
+/// every task is placed.
+pub fn level_schedule(placer: &mut Placer<'_>, budgets: &SlackBudgets, model: CommModel) {
+    let pes: Vec<PeId> = placer.platform().pes().collect();
+    while !placer.is_done() {
+        let ready: Vec<TaskId> = placer.ready_tasks().to_vec();
+        debug_assert!(!ready.is_empty(), "DAG guarantees progress");
+
+        // F(i,k) for the whole ready level.
+        let mut finishes: Vec<Vec<Time>> = Vec::with_capacity(ready.len());
+        for &t in &ready {
+            let row: Vec<Time> =
+                pes.iter().map(|&k| placer.trial(t, k, model).finish).collect();
+            finishes.push(row);
+        }
+
+        // Urgency rule: schedule the most-over-budget task ASAP.
+        let mut urgent: Option<(usize, Time)> = None; // (ready idx, excess)
+        for (i, &t) in ready.iter().enumerate() {
+            let bd = budgets.budgeted_deadline(t);
+            if bd.is_infinite() {
+                continue;
+            }
+            let min_f = *finishes[i].iter().min().expect("at least one PE");
+            if min_f >= bd {
+                let excess = min_f - bd;
+                if urgent.is_none_or(|(_, e)| excess > e) {
+                    urgent = Some((i, excess));
+                }
+            }
+        }
+        if let Some((i, _)) = urgent {
+            let t = ready[i];
+            let k = best_finish_pe(placer, &pes, &finishes[i], t);
+            placer.commit(t, k);
+            continue;
+        }
+
+        // Energy-regret rule: δE = E2 − E1 over the budget-feasible PEs.
+        let mut best: Option<(usize, f64, PeId)> = None; // (ready idx, δE, E1's PE)
+        for (i, &t) in ready.iter().enumerate() {
+            let bd = budgets.budgeted_deadline(t);
+            let mut e1: Option<(Energy, Time, PeId)> = None;
+            let mut e2: Option<Energy> = None;
+            for (j, &k) in pes.iter().enumerate() {
+                if finishes[i][j] > bd {
+                    continue; // not budget-feasible
+                }
+                let e = placer.energy_for(t, k);
+                match e1 {
+                    None => e1 = Some((e, finishes[i][j], k)),
+                    Some((be, bf, bk)) => {
+                        if (e, finishes[i][j], k.index()) < (be, bf, bk.index()) {
+                            e2 = Some(be);
+                            e1 = Some((e, finishes[i][j], k));
+                        } else if e2.is_none_or(|s| e < s) {
+                            e2 = Some(e);
+                        }
+                    }
+                }
+            }
+            let (e1, _, k1) = match e1 {
+                Some(v) => (v.0, v.1, v.2),
+                // All PEs bust the budget, yet the urgency rule did not
+                // fire: only possible when min_F == BD triggers urgency
+                // first, so this branch is unreachable for finite BD; for
+                // safety fall back to the fastest PE.
+                None => {
+                    let k = best_finish_pe(placer, &pes, &finishes[i], t);
+                    (placer.energy_for(t, k), finishes[i][pes.iter().position(|&p| p == k).expect("pe in list")], k)
+                }
+            };
+            let delta = match e2 {
+                Some(e2) => (e2 - e1).as_nj(),
+                None => f64::INFINITY, // single feasible PE: must take it now
+            };
+            if best.is_none_or(|(_, d, _)| delta > d) {
+                best = Some((i, delta, k1));
+            }
+        }
+        let (i, _, k) = best.expect("nonempty ready list");
+        placer.commit(ready[i], k);
+    }
+}
+
+/// The PE giving the earliest finish (ties: lower energy, then lower id).
+fn best_finish_pe(placer: &Placer<'_>, pes: &[PeId], finishes: &[Time], t: TaskId) -> PeId {
+    let mut best = (finishes[0], placer.energy_for(t, pes[0]), pes[0]);
+    for (j, &k) in pes.iter().enumerate().skip(1) {
+        let cand = (finishes[j], placer.energy_for(t, k), k);
+        if (cand.0, cand.1, cand.2.index()) < (best.0, best.1, best.2.index()) {
+            best = cand;
+        }
+    }
+    best.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::WeightFunction;
+    use noc_ctg::task::Task;
+    use noc_ctg::TaskGraph;
+    use noc_platform::prelude::*;
+    use noc_platform::units::Volume;
+    use noc_schedule::validate;
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    /// One task, cheap on PE2, fast on PE0, loose deadline: the energy
+    /// rule must pick the cheap PE.
+    #[test]
+    fn loose_deadline_prefers_cheap_pe() {
+        let p = platform();
+        let mut b = TaskGraph::builder("cheap", 4);
+        let t = b.add_task(
+            Task::new(
+                "t",
+                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Energy::from_nj(100.0),
+                    Energy::from_nj(60.0),
+                    Energy::from_nj(10.0),
+                    Energy::from_nj(60.0),
+                ],
+            )
+            .with_deadline(Time::new(1_000)),
+        );
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let mut placer = Placer::new(&g, &p).unwrap();
+        level_schedule(&mut placer, &budgets, CommModel::Contention);
+        let s = placer.into_schedule();
+        assert_eq!(s.task(t).pe, PeId::new(2));
+        assert!(validate(&s, &g, &p).unwrap().meets_deadlines());
+    }
+
+    /// Same task with a deadline only the fast PE can meet: the urgency /
+    /// feasibility machinery must pick the fast PE.
+    #[test]
+    fn tight_deadline_forces_fast_pe() {
+        let p = platform();
+        let mut b = TaskGraph::builder("tight", 4);
+        let t = b.add_task(
+            Task::new(
+                "t",
+                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Energy::from_nj(100.0),
+                    Energy::from_nj(60.0),
+                    Energy::from_nj(10.0),
+                    Energy::from_nj(60.0),
+                ],
+            )
+            .with_deadline(Time::new(60)),
+        );
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let mut placer = Placer::new(&g, &p).unwrap();
+        level_schedule(&mut placer, &budgets, CommModel::Contention);
+        let s = placer.into_schedule();
+        assert_eq!(s.task(t).pe, PeId::new(0));
+        assert!(validate(&s, &g, &p).unwrap().meets_deadlines());
+    }
+
+    /// A diamond with remote data: the result must always be a valid
+    /// schedule (dependencies, link compatibility) whatever the choices.
+    #[test]
+    fn diamond_schedule_is_structurally_valid() {
+        let p = platform();
+        let mut b = TaskGraph::builder("diamond", 4);
+        let mk = |n: &str| Task::uniform(n, 4, Time::new(100), Energy::from_nj(10.0));
+        let a = b.add_task(mk("a"));
+        let x = b.add_task(mk("x"));
+        let y = b.add_task(mk("y"));
+        let d = b.add_task(mk("d").with_deadline(Time::new(5_000)));
+        b.add_edge(a, x, Volume::from_bits(640)).unwrap();
+        b.add_edge(a, y, Volume::from_bits(640)).unwrap();
+        b.add_edge(x, d, Volume::from_bits(640)).unwrap();
+        b.add_edge(y, d, Volume::from_bits(640)).unwrap();
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let mut placer = Placer::new(&g, &p).unwrap();
+        level_schedule(&mut placer, &budgets, CommModel::Contention);
+        let s = placer.into_schedule();
+        let report = validate(&s, &g, &p).expect("structurally valid");
+        assert!(report.meets_deadlines());
+    }
+
+    /// Two urgent tasks: the one further over its budget is scheduled
+    /// first (largest `min_F - BD`, Step 2.3).
+    #[test]
+    fn most_over_budget_task_goes_first() {
+        let p = platform();
+        let mut b = TaskGraph::builder("urgent", 4);
+        // Both impossible budgets; `worse` exceeds its budget by more.
+        let slightly = b.add_task(
+            Task::uniform("slightly", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(90)),
+        );
+        let worse = b.add_task(
+            Task::uniform("worse", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(10)),
+        );
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let mut placer = Placer::new(&g, &p).unwrap();
+        level_schedule(&mut placer, &budgets, CommModel::Contention);
+        let s = placer.into_schedule();
+        // Both start at 0 on different PEs, but `worse` must have been
+        // committed first: with identical costs it gets the lowest
+        // finish-optimal PE id.
+        assert!(s.task(worse).pe.index() <= s.task(slightly).pe.index());
+        assert_eq!(s.task(worse).start, Time::ZERO);
+    }
+
+    /// With zero heterogeneity and no deadlines, the energy rule ties on
+    /// energy everywhere; scheduling must still terminate and validate.
+    #[test]
+    fn homogeneous_graph_terminates() {
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .pes(PeCatalog::homogeneous().mix_for(4))
+            .build()
+            .unwrap();
+        let mut b = TaskGraph::builder("homo", 4);
+        let mut prev: Option<TaskId> = None;
+        for i in 0..6 {
+            let t = b.add_task(Task::uniform(
+                format!("t{i}"),
+                4,
+                Time::new(50),
+                Energy::from_nj(5.0),
+            ));
+            if let Some(pr) = prev {
+                b.add_edge(pr, t, Volume::from_bits(320)).unwrap();
+            }
+            prev = Some(t);
+        }
+        let g = b.build().unwrap();
+        let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+        let mut placer = Placer::new(&g, &p).unwrap();
+        level_schedule(&mut placer, &budgets, CommModel::Contention);
+        let s = placer.into_schedule();
+        validate(&s, &g, &p).expect("valid");
+        // A chain on identical PEs should stay local: zero comm cost.
+        let stats = noc_schedule::ScheduleStats::compute(&s, &g, &p);
+        assert_eq!(stats.avg_hops_per_packet, 1.0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Step 3 of EAS: the search-and-repair procedure (Fig. 4).
+//!
+//! When the energy-first level schedule misses deadlines, two kinds of
+//! greedy moves fix it:
+//!
+//! * **LTS — local task swapping**: reorder a *critical* task (a missed
+//!   task or one of its ancestors) before a non-critical task on the
+//!   same PE. Energy-neutral by construction (assignments unchanged).
+//! * **GTM — global task migration**: move a critical task to another
+//!   PE, trying destinations in increasing order of the energy increase
+//!   it would cause, accepting the first move that reduces misses.
+//!
+//! "Reduces the deadline misses" is made precise as a lexicographic
+//! decrease of `(miss count, total tardiness)`; since both components
+//! are well-founded, the greedy procedure always converges (the paper's
+//! convergence remark).
+
+use noc_ctg::analysis::GraphAnalysis;
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::tile::PeId;
+use noc_platform::units::{Energy, Time};
+use noc_platform::Platform;
+use noc_schedule::Schedule;
+
+use crate::comm::incoming_comm_energy;
+use crate::retime::{retime, OrderedAssignment};
+
+/// Counters describing one repair run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairStats {
+    /// Accepted local task swaps.
+    pub lts_accepted: usize,
+    /// Accepted global task migrations.
+    pub gtm_accepted: usize,
+    /// Candidate re-timings evaluated (accepted + rejected).
+    pub trials: usize,
+}
+
+/// Upper bound on candidate evaluations per repair run, guarding batch
+/// experiments against pathological graphs. Generously above anything
+/// the paper-scale benchmarks need.
+pub const MAX_REPAIR_TRIALS: usize = 500_000;
+
+type Badness = (usize, Time);
+
+fn badness(schedule: &Schedule, graph: &TaskGraph) -> Badness {
+    let misses = schedule.deadline_misses(graph);
+    let tardiness: Time = misses.iter().map(|(_, t)| *t).sum();
+    (misses.len(), tardiness)
+}
+
+/// Critical tasks: every task that misses its deadline plus all their
+/// ancestors (the paper notes a critical task "may not necessarily have
+/// a specified deadline, but it causes one of its descendant tasks to
+/// miss its deadline"). Ascending id.
+fn critical_tasks(graph: &TaskGraph, schedule: &Schedule) -> Vec<TaskId> {
+    let analysis = GraphAnalysis::new(graph);
+    let missed: Vec<TaskId> =
+        schedule.deadline_misses(graph).into_iter().map(|(t, _)| t).collect();
+    let mut critical = vec![false; graph.task_count()];
+    for &m in &missed {
+        critical[m.index()] = true;
+        for a in analysis.ancestors_of(m) {
+            critical[a.index()] = true;
+        }
+    }
+    critical
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| TaskId::new(i as u32))
+        .collect()
+}
+
+/// Runs search and repair on `schedule`, returning the repaired schedule
+/// (or the best-effort result if misses cannot be fully fixed) together
+/// with run statistics.
+///
+/// The input schedule is first *rebased* through [`retime`] so all
+/// candidate moves are compared on identical re-timing semantics; if the
+/// input already meets every deadline it is returned unchanged.
+#[must_use]
+pub fn search_and_repair(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: Schedule,
+) -> (Schedule, RepairStats) {
+    let mut stats = RepairStats::default();
+    if badness(&schedule, graph).0 == 0 {
+        return (schedule, stats);
+    }
+
+    let mut oa = OrderedAssignment::from_schedule(&schedule, platform);
+    let mut current = match retime(graph, platform, &oa) {
+        Some(s) => s,
+        None => return (schedule, stats), // cannot rebase: keep original
+    };
+    let mut best = badness(&current, graph);
+    if best.0 == 0 {
+        return (current, stats);
+    }
+
+    loop {
+        // --- LTS mode: swap critical tasks earlier on their own PE. ---
+        let mut lts_improved = true;
+        'lts: while lts_improved && best.0 > 0 && stats.trials < MAX_REPAIR_TRIALS {
+            lts_improved = false;
+            let crit = critical_tasks(graph, &current);
+            let is_crit = {
+                let mut v = vec![false; graph.task_count()];
+                for &c in &crit {
+                    v[c.index()] = true;
+                }
+                v
+            };
+            for &t1 in &crit {
+                let pe = oa.assignment[t1.index()];
+                let pos1 = oa.position(t1);
+                // Try to pull t1 before each earlier non-critical task.
+                for pos2 in 0..pos1 {
+                    let t2 = oa.order[pe.index()][pos2];
+                    if is_crit[t2.index()] {
+                        continue;
+                    }
+                    oa.swap(t1, t2);
+                    stats.trials += 1;
+                    let candidate = retime(graph, platform, &oa);
+                    let improved = candidate
+                        .as_ref()
+                        .is_some_and(|c| badness(c, graph) < best);
+                    if improved {
+                        current = candidate.expect("checked");
+                        best = badness(&current, graph);
+                        stats.lts_accepted += 1;
+                        lts_improved = true;
+                        continue 'lts; // restart with fresh critical set
+                    }
+                    oa.swap(t1, t2); // roll back
+                    if stats.trials >= MAX_REPAIR_TRIALS {
+                        break 'lts;
+                    }
+                }
+            }
+        }
+        if best.0 == 0 || stats.trials >= MAX_REPAIR_TRIALS {
+            break;
+        }
+
+        // --- GTM mode: migrate one critical task, cheapest energy first. ---
+        let crit = critical_tasks(graph, &current);
+        let mut migrated = false;
+        'gtm: for &t in &crit {
+            let src = oa.assignment[t.index()];
+            let mut destinations: Vec<(Energy, PeId)> = platform
+                .pes()
+                .filter(|&k| k != src)
+                .map(|k| (migration_energy(graph, platform, &current, t, k), k))
+                .collect();
+            destinations
+                .sort_by(|a, b| (a.0, a.1.index()).partial_cmp(&(b.0, b.1.index())).expect("finite energies"));
+            let old_pos = oa.position(t);
+            let old_start = current.task(t).start;
+            for (_, dst) in destinations {
+                // Insert keeping the destination queue sorted by current
+                // start times.
+                let anchor = oa.order[dst.index()]
+                    .iter()
+                    .position(|&x| current.task(x).start > old_start)
+                    .unwrap_or(oa.order[dst.index()].len());
+                oa.migrate(t, dst, anchor);
+                stats.trials += 1;
+                let candidate = retime(graph, platform, &oa);
+                let improved =
+                    candidate.as_ref().is_some_and(|c| badness(c, graph) < best);
+                if improved {
+                    current = candidate.expect("checked");
+                    best = badness(&current, graph);
+                    stats.gtm_accepted += 1;
+                    migrated = true;
+                    break 'gtm;
+                }
+                // Roll back the migration.
+                let back = oa.position(t);
+                let _ = back;
+                oa.migrate(t, src, old_pos);
+                if stats.trials >= MAX_REPAIR_TRIALS {
+                    break 'gtm;
+                }
+            }
+        }
+        if !migrated {
+            break; // Fig. 4: no critical task helps — give up.
+        }
+    }
+
+    (current, stats)
+}
+
+/// The energy of task `t` if migrated to `k` under the current
+/// placements: execution energy plus incoming and outgoing transfer
+/// energy (all neighbours are placed in a complete schedule).
+fn migration_energy(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: &Schedule,
+    t: TaskId,
+    k: PeId,
+) -> Energy {
+    let placements: Vec<Option<noc_schedule::TaskPlacement>> =
+        schedule.task_placements().iter().copied().map(Some).collect();
+    let incoming = incoming_comm_energy(graph, platform, &placements, t, k);
+    let outgoing: Energy = graph
+        .outgoing(t)
+        .iter()
+        .map(|&e| {
+            let edge = graph.edge(e);
+            let consumer = schedule.task(edge.dst).pe.tile();
+            platform.transfer_energy(k.tile(), consumer, edge.volume)
+        })
+        .sum();
+    graph.task(t).exec_energy(k) + incoming + outgoing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_schedule::validate;
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    /// Two independent tasks on one PE: `late` has a deadline of 100 but
+    /// is queued second. LTS must swap it first.
+    #[test]
+    fn lts_swaps_critical_task_earlier() {
+        let p = platform();
+        let mut b = TaskGraph::builder("lts", 4);
+        let filler = b.add_task(Task::uniform("filler", 4, Time::new(100), Energy::from_nj(1.0)));
+        let late = b.add_task(
+            Task::uniform("late", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(100)),
+        );
+        let g = b.build().unwrap();
+        let oa = OrderedAssignment {
+            assignment: vec![PeId::new(0), PeId::new(0)],
+            order: vec![vec![filler, late], vec![], vec![], vec![]],
+        };
+        let bad = retime(&g, &p, &oa).unwrap();
+        assert_eq!(bad.deadline_misses(&g).len(), 1);
+        let (fixed, stats) = search_and_repair(&g, &p, bad);
+        assert!(fixed.deadline_misses(&g).is_empty());
+        assert!(stats.lts_accepted >= 1);
+        assert_eq!(stats.gtm_accepted, 0, "swap suffices, no migration needed");
+        validate(&fixed, &g, &p).expect("valid");
+        // LTS is energy-neutral.
+        let s = noc_schedule::ScheduleStats::compute(&fixed, &g, &p);
+        assert!((s.energy.total().as_nj() - 2.0).abs() < 1e-9);
+    }
+
+    /// Two deadline tasks overloading one PE: swapping cannot fix both,
+    /// a migration must move one away.
+    #[test]
+    fn gtm_migrates_when_swapping_cannot_help() {
+        let p = platform();
+        let mut b = TaskGraph::builder("gtm", 4);
+        let t0 = b.add_task(
+            Task::uniform("t0", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(110)),
+        );
+        let t1 = b.add_task(
+            Task::uniform("t1", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(110)),
+        );
+        let g = b.build().unwrap();
+        let oa = OrderedAssignment {
+            assignment: vec![PeId::new(0), PeId::new(0)],
+            order: vec![vec![t0, t1], vec![], vec![], vec![]],
+        };
+        let bad = retime(&g, &p, &oa).unwrap();
+        assert_eq!(bad.deadline_misses(&g).len(), 1);
+        let (fixed, stats) = search_and_repair(&g, &p, bad);
+        assert!(fixed.deadline_misses(&g).is_empty());
+        assert!(stats.gtm_accepted >= 1);
+        validate(&fixed, &g, &p).expect("valid");
+        // The two tasks now sit on different PEs.
+        assert_ne!(fixed.task(t0).pe, fixed.task(t1).pe);
+    }
+
+    #[test]
+    fn already_feasible_schedule_is_returned_unchanged() {
+        let p = platform();
+        let mut b = TaskGraph::builder("ok", 4);
+        let t = b.add_task(
+            Task::uniform("t", 4, Time::new(10), Energy::from_nj(1.0))
+                .with_deadline(Time::new(100)),
+        );
+        let g = b.build().unwrap();
+        let oa = OrderedAssignment {
+            assignment: vec![PeId::new(2)],
+            order: vec![vec![], vec![], vec![t], vec![]],
+        };
+        let good = retime(&g, &p, &oa).unwrap();
+        let (same, stats) = search_and_repair(&g, &p, good.clone());
+        assert_eq!(same, good);
+        assert_eq!(stats, RepairStats::default());
+    }
+
+    /// An unfixable graph (deadline shorter than any execution time)
+    /// terminates gracefully with the misses intact.
+    #[test]
+    fn impossible_deadline_terminates() {
+        let p = platform();
+        let mut b = TaskGraph::builder("doom", 4);
+        let t = b.add_task(
+            Task::uniform("t", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(10)),
+        );
+        let g = b.build().unwrap();
+        let oa = OrderedAssignment {
+            assignment: vec![PeId::new(0)],
+            order: vec![vec![t], vec![], vec![], vec![]],
+        };
+        let bad = retime(&g, &p, &oa).unwrap();
+        let (out, _) = search_and_repair(&g, &p, bad);
+        assert_eq!(out.deadline_misses(&g).len(), 1);
+    }
+
+    /// GTM prefers the energetically cheapest destination that fixes the
+    /// miss.
+    #[test]
+    fn gtm_tries_cheap_destinations_first() {
+        // Heterogeneous energies: moving to PE1 is cheaper than PE2/PE3.
+        let p = platform();
+        let mut b = TaskGraph::builder("cheap", 4);
+        let t0 = b.add_task(
+            Task::new(
+                "t0",
+                vec![Time::new(100); 4],
+                vec![
+                    Energy::from_nj(1.0),
+                    Energy::from_nj(2.0),
+                    Energy::from_nj(50.0),
+                    Energy::from_nj(50.0),
+                ],
+            )
+            .with_deadline(Time::new(110)),
+        );
+        let t1 = b.add_task(
+            Task::new(
+                "t1",
+                vec![Time::new(100); 4],
+                vec![
+                    Energy::from_nj(1.0),
+                    Energy::from_nj(2.0),
+                    Energy::from_nj(50.0),
+                    Energy::from_nj(50.0),
+                ],
+            )
+            .with_deadline(Time::new(110)),
+        );
+        let g = b.build().unwrap();
+        let oa = OrderedAssignment {
+            assignment: vec![PeId::new(0), PeId::new(0)],
+            order: vec![vec![t0, t1], vec![], vec![], vec![]],
+        };
+        let bad = retime(&g, &p, &oa).unwrap();
+        let (fixed, _) = search_and_repair(&g, &p, bad);
+        assert!(fixed.deadline_misses(&g).is_empty());
+        // One stays on PE0, the migrated one went to the cheap PE1.
+        let pes: Vec<PeId> = vec![fixed.task(t0).pe, fixed.task(t1).pe];
+        assert!(pes.contains(&PeId::new(0)));
+        assert!(pes.contains(&PeId::new(1)));
+    }
+}

@@ -1,0 +1,244 @@
+//! Deterministic re-timing of a fixed (assignment, per-PE order) pair.
+//!
+//! The search-and-repair moves (Step 3) change *where* tasks run (GTM)
+//! or *in which order* they run on one PE (LTS), never the exact start
+//! times — those are recomputed here by a list re-timing pass that
+//! replays the Fig. 3 communication scheduler, so every candidate move is
+//! evaluated on exact, contention-aware timing.
+
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::tile::PeId;
+use noc_platform::units::Time;
+use noc_platform::Platform;
+use noc_schedule::{CommPlacement, ResourceTables, Schedule, TaskPlacement};
+
+use crate::comm::schedule_incoming;
+use crate::scheduler::CommModel;
+
+/// A schedule stripped to its decisions: per-task PE assignment and
+/// per-PE execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderedAssignment {
+    /// `assignment[t]` — the PE of task `t`.
+    pub assignment: Vec<PeId>,
+    /// `order[k]` — tasks of PE `k` in execution order.
+    pub order: Vec<Vec<TaskId>>,
+}
+
+impl OrderedAssignment {
+    /// Extracts the decisions of an existing schedule.
+    #[must_use]
+    pub fn from_schedule(schedule: &Schedule, platform: &Platform) -> Self {
+        let assignment: Vec<PeId> =
+            schedule.task_placements().iter().map(|p| p.pe).collect();
+        let order: Vec<Vec<TaskId>> =
+            platform.pes().map(|pe| schedule.tasks_on(pe)).collect();
+        OrderedAssignment { assignment, order }
+    }
+
+    /// Position of `t` within its PE's order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not in its assigned PE's order (corrupt state).
+    #[must_use]
+    pub fn position(&self, t: TaskId) -> usize {
+        let pe = self.assignment[t.index()];
+        self.order[pe.index()]
+            .iter()
+            .position(|&x| x == t)
+            .expect("task present in its PE order")
+    }
+
+    /// Swaps the execution order of two tasks on the same PE (an LTS
+    /// move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tasks are assigned to different PEs.
+    pub fn swap(&mut self, a: TaskId, b: TaskId) {
+        let pe = self.assignment[a.index()];
+        assert_eq!(pe, self.assignment[b.index()], "LTS swaps within one PE");
+        let ia = self.position(a);
+        let ib = self.position(b);
+        self.order[pe.index()].swap(ia, ib);
+    }
+
+    /// Moves `t` to `dst` (a GTM move), inserting it into `dst`'s order
+    /// before the first task currently ordered after `anchor_start`
+    /// (pass the task's previous start time to keep the global shape).
+    pub fn migrate(&mut self, t: TaskId, dst: PeId, anchor: usize) {
+        let src = self.assignment[t.index()];
+        let pos = self.position(t);
+        self.order[src.index()].remove(pos);
+        self.assignment[t.index()] = dst;
+        let at = anchor.min(self.order[dst.index()].len());
+        self.order[dst.index()].insert(at, t);
+    }
+}
+
+/// Recomputes exact start/finish times for `oa`, replaying communication
+/// scheduling in dependency order while honouring each PE's fixed
+/// execution order.
+///
+/// Returns `None` if the order contradicts the dependency graph across
+/// PEs (e.g. PE0 wants `a` before `b`, but `a` transitively depends on a
+/// task queued after `b` elsewhere) — such candidate moves are simply
+/// rejected by the repair loop.
+#[must_use]
+pub fn retime(
+    graph: &TaskGraph,
+    platform: &Platform,
+    oa: &OrderedAssignment,
+) -> Option<Schedule> {
+    let n = graph.task_count();
+    let mut tables = ResourceTables::new(platform);
+    let mut placements: Vec<Option<TaskPlacement>> = vec![None; n];
+    let mut comms: Vec<Option<CommPlacement>> = vec![None; graph.edge_count()];
+    let mut unplaced_preds: Vec<usize> =
+        graph.task_ids().map(|t| graph.incoming(t).len()).collect();
+    let mut ptr = vec![0usize; oa.order.len()];
+    let mut pe_avail = vec![Time::ZERO; oa.order.len()];
+    let mut placed = 0usize;
+
+    while placed < n {
+        let mut progress = false;
+        for pe_idx in 0..oa.order.len() {
+            while ptr[pe_idx] < oa.order[pe_idx].len() {
+                let t = oa.order[pe_idx][ptr[pe_idx]];
+                if unplaced_preds[t.index()] > 0 {
+                    break;
+                }
+                let pe = PeId::new(pe_idx as u32);
+                let incoming = schedule_incoming(
+                    graph,
+                    platform,
+                    &mut tables,
+                    &placements,
+                    t,
+                    pe,
+                    CommModel::Contention,
+                );
+                for (e, placement) in incoming.transactions {
+                    comms[e.index()] = Some(placement);
+                }
+                let exec = graph.task(t).exec_time(pe);
+                let start = incoming.drt.max(pe_avail[pe_idx]);
+                pe_avail[pe_idx] = start + exec;
+                placements[t.index()] = Some(TaskPlacement::new(pe, start, start + exec));
+                placed += 1;
+                progress = true;
+                ptr[pe_idx] += 1;
+                for s in graph.successors(t) {
+                    unplaced_preds[s.index()] -= 1;
+                }
+            }
+        }
+        if !progress {
+            return None; // cross-PE ordering deadlock
+        }
+    }
+
+    let tasks = placements.into_iter().map(|p| p.expect("placed")).collect();
+    let comms = comms.into_iter().map(|c| c.expect("placed")).collect();
+    Some(Schedule::new(tasks, comms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::{Energy, Volume};
+    use noc_schedule::validate;
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    /// a -> c, plus independent x; all uniform 100 ticks.
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraph::builder("g", 4);
+        let mk = |n: &str| Task::uniform(n, 4, Time::new(100), Energy::from_nj(1.0));
+        let a = b.add_task(mk("a"));
+        let c = b.add_task(mk("c"));
+        let _x = b.add_task(mk("x"));
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn oa(assignment: &[u32], order: &[&[u32]]) -> OrderedAssignment {
+        OrderedAssignment {
+            assignment: assignment.iter().map(|&k| PeId::new(k)).collect(),
+            order: order
+                .iter()
+                .map(|q| q.iter().map(|&t| TaskId::new(t)).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn retime_produces_valid_schedule() {
+        let p = platform();
+        let g = graph();
+        // a and x on PE0 (a first), c on PE1.
+        let s = retime(&g, &p, &oa(&[0, 1, 0], &[&[0, 2], &[1], &[], &[]])).expect("feasible");
+        let report = validate(&s, &g, &p).expect("valid");
+        assert_eq!(report.makespan, Time::new(210)); // a 0-100, comm 100-110, c 110-210
+        assert_eq!(s.task(TaskId::new(2)).start, Time::new(100)); // x after a on PE0
+    }
+
+    #[test]
+    fn order_matters() {
+        let p = platform();
+        let g = graph();
+        // x before a on PE0 delays the chain.
+        let s = retime(&g, &p, &oa(&[0, 1, 0], &[&[2, 0], &[1], &[], &[]])).expect("feasible");
+        assert_eq!(s.task(TaskId::new(0)).start, Time::new(100));
+        assert_eq!(s.task(TaskId::new(1)).start, Time::new(210));
+    }
+
+    #[test]
+    fn cross_pe_deadlock_returns_none() {
+        let p = platform();
+        // a -> c with c queued *before* a's co-resident dependent chain:
+        // c on PE1 first, but PE1's queue also holds a's predecessor...
+        // Construct: a on PE0, c on PE1; PE1 queue = [c_blocker, ...] where
+        // c_blocker depends on c... simplest: chain a -> c and put both on
+        // PE0 with c queued first.
+        let g = graph();
+        assert!(retime(&g, &p, &oa(&[0, 0, 1], &[&[1, 0], &[2], &[], &[]])).is_none());
+    }
+
+    #[test]
+    fn round_trip_from_schedule_is_stable() {
+        let p = platform();
+        let g = graph();
+        let oa0 = oa(&[0, 1, 0], &[&[0, 2], &[1], &[], &[]]);
+        let s1 = retime(&g, &p, &oa0).unwrap();
+        let oa1 = OrderedAssignment::from_schedule(&s1, &p);
+        assert_eq!(oa0, oa1);
+        let s2 = retime(&g, &p, &oa1).unwrap();
+        assert_eq!(s1, s2, "retime must be a fixpoint on its own output");
+    }
+
+    #[test]
+    fn swap_and_migrate_update_state() {
+        let p = platform();
+        let g = graph();
+        let mut oa0 = oa(&[0, 1, 0], &[&[0, 2], &[1], &[], &[]]);
+        oa0.swap(TaskId::new(0), TaskId::new(2));
+        assert_eq!(oa0.order[0], vec![TaskId::new(2), TaskId::new(0)]);
+        oa0.migrate(TaskId::new(2), PeId::new(3), 0);
+        assert_eq!(oa0.assignment[2], PeId::new(3));
+        assert_eq!(oa0.order[0], vec![TaskId::new(0)]);
+        assert_eq!(oa0.order[3], vec![TaskId::new(2)]);
+        let s = retime(&g, &p, &oa0).expect("feasible");
+        validate(&s, &g, &p).expect("valid");
+    }
+}

@@ -1,0 +1,271 @@
+//! DAG analyses on task graphs: longest paths, ancestry, and derived
+//! (effective) deadlines.
+//!
+//! These are the graph-theoretic building blocks of both the EAS slack
+//! budgeting step (longest mean-execution paths to deadline tasks) and
+//! the EDF baseline (deadline propagation to unconstrained ancestors).
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use noc_platform::units::Time;
+
+/// Cached analysis results for one [`TaskGraph`].
+///
+/// ```
+/// use noc_ctg::prelude::*;
+/// use noc_platform::units::{Energy, Time, Volume};
+///
+/// # fn main() -> Result<(), CtgError> {
+/// let mut b = TaskGraph::builder("chain", 1);
+/// let a = b.add_task(Task::uniform("a", 1, Time::new(100), Energy::from_nj(1.0)));
+/// let c = b.add_task(Task::uniform("c", 1, Time::new(200), Energy::from_nj(1.0)));
+/// b.add_edge(a, c, Volume::from_bits(8))?;
+/// let g = b.build()?;
+/// let analysis = GraphAnalysis::new(&g);
+/// assert_eq!(analysis.mean_finish(c).round() as u64, 300);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphAnalysis {
+    /// Longest mean-exec-time finish per task (forward DP).
+    mean_finish: Vec<f64>,
+    /// Predecessor on the longest mean path (for path extraction).
+    mean_finish_pred: Vec<Option<TaskId>>,
+    /// `ancestors[t]` marks all strict ancestors of `t`.
+    ancestors: Vec<Vec<bool>>,
+}
+
+impl GraphAnalysis {
+    /// Runs all analyses for `graph`.
+    #[must_use]
+    pub fn new(graph: &TaskGraph) -> Self {
+        let n = graph.task_count();
+        let mut mean_finish = vec![0.0f64; n];
+        let mut mean_finish_pred: Vec<Option<TaskId>> = vec![None; n];
+        for &t in graph.topological_order() {
+            let mean = graph.task(t).mean_exec_time();
+            let mut best_start = 0.0f64;
+            let mut best_pred = None;
+            for p in graph.predecessors(t) {
+                let f = mean_finish[p.index()];
+                if f > best_start {
+                    best_start = f;
+                    best_pred = Some(p);
+                }
+            }
+            mean_finish[t.index()] = best_start + mean;
+            mean_finish_pred[t.index()] = best_pred;
+        }
+
+        let mut ancestors: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for &t in graph.topological_order() {
+            // ancestors(t) = union over preds p of ({p} ∪ ancestors(p)).
+            let mut row = vec![false; n];
+            for p in graph.predecessors(t) {
+                row[p.index()] = true;
+                let pa = &ancestors[p.index()];
+                for i in 0..n {
+                    if pa[i] {
+                        row[i] = true;
+                    }
+                }
+            }
+            ancestors[t.index()] = row;
+        }
+
+        GraphAnalysis { mean_finish, mean_finish_pred, ancestors }
+    }
+
+    /// Longest-path finish time of `t` when every task costs its *mean*
+    /// execution time (`M_ti`) and communication is free — the quantity
+    /// the paper's slack budgeting reasons about.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn mean_finish(&self, t: TaskId) -> f64 {
+        self.mean_finish[t.index()]
+    }
+
+    /// The longest mean-exec path ending at `t`, source first, `t` last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn longest_mean_path_to(&self, t: TaskId) -> Vec<TaskId> {
+        let mut rev = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.mean_finish_pred[cur.index()] {
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// `true` if `a` is a strict ancestor of `b` (there is a nonempty
+    /// dependency path `a -> ... -> b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn is_ancestor(&self, a: TaskId, b: TaskId) -> bool {
+        self.ancestors[b.index()][a.index()]
+    }
+
+    /// All strict ancestors of `t`, ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn ancestors_of(&self, t: TaskId) -> Vec<TaskId> {
+        self.ancestors[t.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| TaskId::new(i as u32))
+            .collect()
+    }
+}
+
+/// Derived ("effective") deadlines: propagates explicit deadlines
+/// backwards so every ancestor of a constrained task gets the latest
+/// finish time that still lets the constrained descendant meet its
+/// deadline (assuming mean execution times and free communication):
+///
+/// ```text
+/// d'(t) = min( d(t), min over successors s of (d'(s) - M_s) )
+/// ```
+///
+/// Tasks with no constrained descendant keep `Time::INFINITY`. The EDF
+/// baseline prioritizes by these.
+#[must_use]
+pub fn effective_deadlines(graph: &TaskGraph) -> Vec<Time> {
+    let n = graph.task_count();
+    let mut eff: Vec<Time> = (0..n)
+        .map(|i| graph.task(TaskId::new(i as u32)).deadline_or_infinity())
+        .collect();
+    for &t in graph.topological_order().iter().rev() {
+        for s in graph.successors(t) {
+            let ds = eff[s.index()];
+            if !ds.is_infinite() {
+                let m = Time::new(graph.task(s).mean_exec_time().round() as u64);
+                let bound = ds.saturating_sub(m);
+                if bound < eff[t.index()] {
+                    eff[t.index()] = bound;
+                }
+            }
+        }
+    }
+    eff
+}
+
+/// The length (in mean execution time) of the graph's critical path.
+#[must_use]
+pub fn critical_path_length(graph: &TaskGraph) -> f64 {
+    let analysis = GraphAnalysis::new(graph);
+    graph
+        .task_ids()
+        .map(|t| analysis.mean_finish(t))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use noc_platform::units::{Energy, Volume};
+
+    fn t(name: &str, mean: u64) -> Task {
+        Task::uniform(name, 1, Time::new(mean), Energy::from_nj(1.0))
+    }
+
+    /// a(100) -> b(200) -> d(400); a -> c(50) -> d. Longest path via b.
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraph::builder("s", 1);
+        let a = b.add_task(t("a", 100));
+        let tb = b.add_task(t("b", 200));
+        let tc = b.add_task(t("c", 50));
+        let d = b.add_task(t("d", 400).with_deadline(Time::new(1000)));
+        b.add_edge(a, tb, Volume::from_bits(8)).unwrap();
+        b.add_edge(a, tc, Volume::from_bits(8)).unwrap();
+        b.add_edge(tb, d, Volume::from_bits(8)).unwrap();
+        b.add_edge(tc, d, Volume::from_bits(8)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn mean_finish_follows_longest_path() {
+        let g = sample();
+        let a = GraphAnalysis::new(&g);
+        assert_eq!(a.mean_finish(TaskId::new(0)), 100.0);
+        assert_eq!(a.mean_finish(TaskId::new(1)), 300.0);
+        assert_eq!(a.mean_finish(TaskId::new(2)), 150.0);
+        assert_eq!(a.mean_finish(TaskId::new(3)), 700.0);
+    }
+
+    #[test]
+    fn longest_path_extraction() {
+        let g = sample();
+        let a = GraphAnalysis::new(&g);
+        let path = a.longest_mean_path_to(TaskId::new(3));
+        assert_eq!(path, vec![TaskId::new(0), TaskId::new(1), TaskId::new(3)]);
+    }
+
+    #[test]
+    fn ancestry() {
+        let g = sample();
+        let a = GraphAnalysis::new(&g);
+        assert!(a.is_ancestor(TaskId::new(0), TaskId::new(3)));
+        assert!(a.is_ancestor(TaskId::new(1), TaskId::new(3)));
+        assert!(!a.is_ancestor(TaskId::new(3), TaskId::new(0)));
+        assert!(!a.is_ancestor(TaskId::new(1), TaskId::new(2)));
+        assert_eq!(
+            a.ancestors_of(TaskId::new(3)),
+            vec![TaskId::new(0), TaskId::new(1), TaskId::new(2)]
+        );
+        assert!(a.ancestors_of(TaskId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn effective_deadlines_propagate_backwards() {
+        let g = sample();
+        let eff = effective_deadlines(&g);
+        // d: 1000. b: 1000 - 400 = 600. c: 600. a: min(600-200, 600-50)=400.
+        assert_eq!(eff[3], Time::new(1000));
+        assert_eq!(eff[1], Time::new(600));
+        assert_eq!(eff[2], Time::new(600));
+        assert_eq!(eff[0], Time::new(400));
+    }
+
+    #[test]
+    fn effective_deadline_stays_infinite_without_constraints() {
+        let mut b = TaskGraph::builder("u", 1);
+        let a = b.add_task(t("a", 10));
+        let c = b.add_task(t("c", 10));
+        b.add_edge(a, c, Volume::ZERO).unwrap();
+        let g = b.build().unwrap();
+        assert!(effective_deadlines(&g).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn explicit_deadline_tighter_than_propagated_wins() {
+        let mut b = TaskGraph::builder("w", 1);
+        let a = b.add_task(t("a", 10).with_deadline(Time::new(15)));
+        let c = b.add_task(t("c", 10).with_deadline(Time::new(1000)));
+        b.add_edge(a, c, Volume::ZERO).unwrap();
+        let g = b.build().unwrap();
+        let eff = effective_deadlines(&g);
+        assert_eq!(eff[0], Time::new(15)); // own deadline tighter than 990
+    }
+
+    #[test]
+    fn critical_path_of_sample() {
+        assert_eq!(critical_path_length(&sample()), 700.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Additional realistic application benchmarks beyond the paper's
+//! multimedia set: an OFDM baseband transceiver and an IP packet
+//! processing pipeline.
+//!
+//! Both are classic NoC-mapping workloads in the literature following
+//! the paper (e.g. the E3S suite and 802.11 baseband studies) and
+//! exercise regimes the MSB graphs do not: the OFDM graph is
+//! DSP-saturated with wide fan-out/fan-in stages; the packet pipeline is
+//! control-heavy with modest communication volumes. They extend the
+//! evaluation surface of the schedulers (see `DESIGN.md`'s extension
+//! experiments) and give downstream users ready-made workloads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_platform::units::{Time, Volume};
+use noc_platform::Platform;
+
+use crate::costs::CostSynthesizer;
+use crate::graph::TaskGraph;
+use crate::task::Task;
+use crate::CtgError;
+
+/// Workload intensity profile (the analogue of the multimedia clips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Load {
+    /// Light traffic / narrow channel.
+    Light,
+    /// Nominal operating point.
+    Nominal,
+    /// Saturated channel / worst-case traffic.
+    Heavy,
+}
+
+impl Load {
+    /// All loads, ascending.
+    #[must_use]
+    pub const fn all() -> [Load; 3] {
+        [Load::Light, Load::Nominal, Load::Heavy]
+    }
+
+    /// Multiplier applied to data-dependent costs.
+    #[must_use]
+    pub const fn factor(self) -> f64 {
+        match self {
+            Load::Light => 0.7,
+            Load::Nominal => 1.0,
+            Load::Heavy => 1.3,
+        }
+    }
+
+    /// Lower-case name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Load::Light => "light",
+            Load::Nominal => "nominal",
+            Load::Heavy => "heavy",
+        }
+    }
+}
+
+impl fmt::Display for Load {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The extension application benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExtensionApp {
+    /// An 802.11a-style OFDM baseband transceiver (TX + RX chains,
+    /// 22 tasks): scrambler / coder / interleaver / mapper / IFFT on the
+    /// way out, synchronizer / FFT / equalizer / demapper / decoder on
+    /// the way in. Deadline: one OFDM symbol period per direction.
+    OfdmTransceiver,
+    /// An IP packet-processing pipeline (18 tasks): parse / checksum /
+    /// route-lookup / classify / meter / queue on the fast path with a
+    /// slow-path exception branch. Deadline: one line-rate batch period.
+    PacketPipeline,
+}
+
+impl ExtensionApp {
+    /// All extension applications.
+    #[must_use]
+    pub const fn all() -> [ExtensionApp; 2] {
+        [ExtensionApp::OfdmTransceiver, ExtensionApp::PacketPipeline]
+    }
+
+    /// The task count of the application graph.
+    #[must_use]
+    pub const fn task_count(self) -> usize {
+        match self {
+            ExtensionApp::OfdmTransceiver => 22,
+            ExtensionApp::PacketPipeline => 18,
+        }
+    }
+
+    /// The mesh `(cols, rows)` the benchmark is sized for.
+    #[must_use]
+    pub const fn recommended_mesh(self) -> (u16, u16) {
+        match self {
+            ExtensionApp::OfdmTransceiver => (3, 2),
+            ExtensionApp::PacketPipeline => (2, 2),
+        }
+    }
+
+    /// Short name for reports.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ExtensionApp::OfdmTransceiver => "ofdm-transceiver",
+            ExtensionApp::PacketPipeline => "packet-pipeline",
+        }
+    }
+
+    /// Builds the application CTG for `load` on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CtgError`] from graph assembly.
+    pub fn build(self, load: Load, platform: &Platform) -> Result<TaskGraph, CtgError> {
+        let f = load.factor();
+        let synth = CostSynthesizer::new(platform.pe_classes());
+        let name = format!("{}-{}", self.name(), load.name());
+        let mut b = TaskGraph::builder(name, platform.tile_count());
+        let mut add = |name: &str, base: f64, affinity: f64, deadline: Option<u64>| {
+            let (times, energies) = synth.vectors(base, affinity);
+            let mut task = Task::new(name, times, energies);
+            if let Some(d) = deadline {
+                task = task.with_deadline(Time::new(d));
+            }
+            b.add_task(task)
+        };
+
+        match self {
+            ExtensionApp::OfdmTransceiver => {
+                // Symbol period at nominal load; both chains share it.
+                let period = 9_000u64;
+                // --- TX chain (10 tasks) ---
+                let src = add("mac_tx", 220.0, 0.1, None);
+                let scram = add("scrambler", 260.0 * f, 0.6, None);
+                let coder = add("conv_coder", 520.0 * f, 0.7, None);
+                let ilv = add("interleaver", 380.0 * f, 0.5, None);
+                let map = add("qam_mapper", 460.0 * f, 0.8, None);
+                let pilot = add("pilot_insert", 240.0, 0.5, None);
+                let ifft = add("ifft64", 1_250.0 * f, 0.98, None);
+                let cp = add("cyclic_prefix", 260.0, 0.4, None);
+                let wind = add("windowing", 320.0, 0.7, None);
+                let dac = add("dac_frontend", 300.0, 0.2, Some(period));
+                // --- RX chain (12 tasks) ---
+                let adc = add("adc_frontend", 300.0, 0.2, None);
+                let sync = add("sync_detect", 640.0 * f, 0.85, None);
+                let cfo = add("cfo_correct", 420.0 * f, 0.8, None);
+                let fft = add("fft64", 1_250.0 * f, 0.98, None);
+                let chest = add("chan_estimate", 760.0 * f, 0.9, None);
+                let eq = add("equalizer", 680.0 * f, 0.9, None);
+                let demap = add("qam_demapper", 460.0 * f, 0.75, None);
+                let deilv = add("deinterleaver", 380.0 * f, 0.5, None);
+                let vit = add("viterbi", 1_450.0 * f, 0.92, None);
+                let descr = add("descrambler", 260.0 * f, 0.6, None);
+                let crc = add("crc_check", 240.0, 0.3, None);
+                let mac_rx = add("mac_rx", 220.0, 0.1, Some(period));
+
+                let v = |bits: f64| Volume::from_bits((bits * f).round() as u64);
+                for (s, d, bits) in [
+                    (src, scram, 2_048.0),
+                    (scram, coder, 2_048.0),
+                    (coder, ilv, 4_096.0),
+                    (ilv, map, 4_096.0),
+                    (map, pilot, 3_072.0),
+                    (pilot, ifft, 3_584.0),
+                    (ifft, cp, 4_096.0),
+                    (cp, wind, 4_608.0),
+                    (wind, dac, 4_608.0),
+                    (adc, sync, 4_608.0),
+                    (sync, cfo, 4_608.0),
+                    (cfo, fft, 4_096.0),
+                    (fft, chest, 3_584.0),
+                    (fft, eq, 3_584.0),
+                    (chest, eq, 1_024.0),
+                    (eq, demap, 3_072.0),
+                    (demap, deilv, 4_096.0),
+                    (deilv, vit, 4_096.0),
+                    (vit, descr, 2_048.0),
+                    (descr, crc, 2_048.0),
+                    (crc, mac_rx, 2_048.0),
+                ] {
+                    b.add_edge(s, d, v(bits))?;
+                }
+            }
+            ExtensionApp::PacketPipeline => {
+                let period = 6_000u64;
+                let rx = add("rx_dma", 200.0, 0.1, None);
+                let parse = add("hdr_parse", 360.0 * f, 0.3, None);
+                let csum = add("checksum", 420.0 * f, 0.7, None);
+                let lookup = add("route_lookup", 780.0 * f, 0.4, None);
+                let classify = add("classify", 620.0 * f, 0.4, None);
+                let acl = add("acl_filter", 540.0 * f, 0.3, None);
+                let meter = add("meter", 320.0, 0.4, None);
+                let mark = add("dscp_mark", 240.0, 0.3, None);
+                let frag = add("fragment", 460.0 * f, 0.5, None);
+                let encap = add("encap", 380.0, 0.4, None);
+                let sched = add("qos_sched", 520.0 * f, 0.3, None);
+                let queue = add("queue_mgr", 420.0, 0.2, None);
+                let tx = add("tx_dma", 200.0, 0.1, Some(period));
+                // Slow path (exceptions, stats) — control-heavy branch.
+                let except = add("slow_path", 900.0 * f, 0.15, None);
+                let arp = add("arp_resolve", 480.0, 0.15, None);
+                let icmp = add("icmp_gen", 380.0, 0.2, None);
+                let stats = add("stats_update", 300.0, 0.25, Some(period));
+                let log = add("flow_log", 340.0, 0.2, Some(period));
+
+                let v = |bits: f64| Volume::from_bits((bits * f).round() as u64);
+                for (s, d, bits) in [
+                    (rx, parse, 8_192.0),
+                    (parse, csum, 2_048.0),
+                    (parse, lookup, 1_024.0),
+                    (parse, classify, 1_024.0),
+                    (csum, acl, 512.0),
+                    (lookup, acl, 512.0),
+                    (classify, meter, 512.0),
+                    (acl, meter, 512.0),
+                    (meter, mark, 512.0),
+                    (mark, frag, 8_192.0),
+                    (frag, encap, 8_192.0),
+                    (encap, sched, 1_024.0),
+                    (sched, queue, 1_024.0),
+                    (queue, tx, 8_192.0),
+                    (parse, except, 1_024.0),
+                    (except, arp, 512.0),
+                    (except, icmp, 512.0),
+                    (arp, stats, 256.0),
+                    (icmp, stats, 256.0),
+                    (meter, log, 512.0),
+                    (stats, log, 256.0),
+                ] {
+                    b.add_edge(s, d, v(bits))?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for ExtensionApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_platform::prelude::*;
+
+    fn platform_for(app: ExtensionApp) -> Platform {
+        let (c, r) = app.recommended_mesh();
+        Platform::builder().topology(TopologySpec::mesh(c, r)).build().unwrap()
+    }
+
+    #[test]
+    fn task_counts_match_declaration() {
+        for app in ExtensionApp::all() {
+            let p = platform_for(app);
+            let g = app.build(Load::Nominal, &p).unwrap();
+            assert_eq!(g.task_count(), app.task_count(), "{app}");
+        }
+    }
+
+    #[test]
+    fn graphs_are_dags_with_deadlines() {
+        for app in ExtensionApp::all() {
+            let p = platform_for(app);
+            let g = app.build(Load::Nominal, &p).unwrap();
+            assert!(g.deadline_tasks().count() >= 1, "{app} needs deadlines");
+            assert_eq!(g.topological_order().len(), g.task_count());
+        }
+    }
+
+    #[test]
+    fn heavier_loads_cost_more() {
+        for app in ExtensionApp::all() {
+            let p = platform_for(app);
+            let light = app.build(Load::Light, &p).unwrap();
+            let heavy = app.build(Load::Heavy, &p).unwrap();
+            let work = |g: &TaskGraph| -> f64 {
+                g.task_ids().map(|t| g.task(t).mean_exec_time()).sum()
+            };
+            assert!(work(&heavy) > work(&light), "{app}");
+            assert!(heavy.total_volume() > light.total_volume(), "{app}");
+        }
+    }
+
+    #[test]
+    fn ofdm_has_dsp_dominant_kernels() {
+        let p = platform_for(ExtensionApp::OfdmTransceiver);
+        let g = ExtensionApp::OfdmTransceiver.build(Load::Nominal, &p).unwrap();
+        let fft = g.task_ids().find(|&t| g.task(t).name() == "fft64").unwrap();
+        // On a heterogeneous platform the FFT shows high cost variance —
+        // exactly what EAS's weights reward.
+        assert!(g.task(fft).exec_time_variance() > 0.0);
+    }
+
+    #[test]
+    fn names_and_loads_round_trip() {
+        assert_eq!(ExtensionApp::OfdmTransceiver.to_string(), "ofdm-transceiver");
+        assert_eq!(Load::Heavy.to_string(), "heavy");
+        assert!(Load::Heavy.factor() > Load::Light.factor());
+    }
+}

@@ -1,0 +1,114 @@
+//! Graphviz DOT export of task graphs, for inspection and papers.
+
+use std::fmt::Write as _;
+
+use crate::graph::TaskGraph;
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// Tasks show their name, mean execution time and (when present)
+/// deadline; data arcs are labelled with their volume, control arcs
+/// drawn dashed.
+///
+/// ```
+/// use noc_ctg::prelude::*;
+/// use noc_ctg::dot::to_dot;
+/// use noc_platform::units::{Energy, Time, Volume};
+///
+/// # fn main() -> Result<(), CtgError> {
+/// let mut b = TaskGraph::builder("demo", 1);
+/// let a = b.add_task(Task::uniform("a", 1, Time::new(10), Energy::from_nj(1.0)));
+/// let c = b.add_task(Task::uniform("c", 1, Time::new(10), Energy::from_nj(1.0)));
+/// b.add_edge(a, c, Volume::from_bits(64))?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("a -> c") || dot.contains("t0 -> t1"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(graph: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(graph.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for t in graph.task_ids() {
+        let task = graph.task(t);
+        let mut label = format!("{}\\nM={:.0}", escape(task.name()), task.mean_exec_time());
+        if let Some(d) = task.deadline() {
+            let _ = write!(label, "\\nd={d}");
+        }
+        let style = if task.has_deadline() { ", penwidth=2" } else { "" };
+        let _ = writeln!(out, "  {t} [label=\"{label}\"{style}];");
+    }
+    for e in graph.edge_ids() {
+        let edge = graph.edge(e);
+        if edge.is_control() {
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", edge.src, edge.dst);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}b\"];",
+                edge.src,
+                edge.dst,
+                edge.volume.bits()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use noc_platform::units::{Energy, Time, Volume};
+
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraph::builder("dot \"demo\"", 1);
+        let a = b.add_task(Task::uniform("a", 1, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(
+            Task::uniform("c", 1, Time::new(50), Energy::from_nj(1.0))
+                .with_deadline(Time::new(400)),
+        );
+        let d = b.add_task(Task::uniform("d", 1, Time::new(10), Energy::from_nj(1.0)));
+        b.add_edge(a, c, Volume::from_bits(128)).unwrap();
+        b.add_control_edge(a, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_task_and_edge() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("t0 ["));
+        assert!(dot.contains("t1 ["));
+        assert!(dot.contains("t2 ["));
+        assert!(dot.contains("t0 -> t1 [label=\"128b\"]"));
+        assert!(dot.contains("t0 -> t2 [style=dashed]"));
+    }
+
+    #[test]
+    fn deadlines_are_rendered_bold() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("d=400"));
+        assert!(dot.contains("penwidth=2"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph \"dot \\\"demo\\\"\""));
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        let dot = to_dot(&sample());
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Dependency arcs: the edges of a CTG (Def. 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_platform::units::Volume;
+
+use crate::task::TaskId;
+
+/// Identifies a dependency arc within a [`crate::TaskGraph`]. Ids are
+/// dense indices in `0..edge_count`.
+///
+/// ```
+/// use noc_ctg::edge::EdgeId;
+/// assert_eq!(EdgeId::new(3).to_string(), "c3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the dense index as a `usize`, for slice indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&format!("c{}", self.0))
+    }
+}
+
+/// A directed dependency arc `c_{src,dst}` with its communication volume.
+///
+/// A zero [`volume`](Edge::volume) models a pure *control* dependency
+/// ("dst cannot start before src finishes"); a nonzero volume
+/// additionally requires `v(c_ij)` bits to reach the destination PE
+/// before the destination task can start (a *data* dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producer task.
+    pub src: TaskId,
+    /// Consumer task.
+    pub dst: TaskId,
+    /// Communication volume in bits (`v(c_ij)`); zero for control arcs.
+    pub volume: Volume,
+}
+
+impl Edge {
+    /// Creates an arc.
+    #[must_use]
+    pub const fn new(src: TaskId, dst: TaskId, volume: Volume) -> Self {
+        Edge { src, dst, volume }
+    }
+
+    /// `true` if this is a pure control dependency (no data transfer).
+    #[must_use]
+    pub const fn is_control(&self) -> bool {
+        self.volume.is_zero()
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} ({})", self.src, self.dst, self.volume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_vs_data() {
+        let c = Edge::new(TaskId::new(0), TaskId::new(1), Volume::ZERO);
+        assert!(c.is_control());
+        let d = Edge::new(TaskId::new(0), TaskId::new(1), Volume::from_bits(8));
+        assert!(!d.is_control());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = Edge::new(TaskId::new(2), TaskId::new(5), Volume::from_bits(64));
+        assert_eq!(d.to_string(), "t2 -> t5 (64 bits)");
+    }
+}

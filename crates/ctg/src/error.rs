@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced while building or querying a [`crate::TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CtgError {
+    /// The graph has no tasks.
+    EmptyGraph,
+    /// A task id is out of range.
+    UnknownTask {
+        /// The offending id.
+        task: TaskId,
+        /// Number of tasks in the graph.
+        task_count: usize,
+    },
+    /// A task's cost vectors do not match the graph's PE count.
+    CostVectorMismatch {
+        /// The offending task.
+        task: TaskId,
+        /// Expected vector length (PE count).
+        expected: usize,
+        /// Actual execution-time vector length.
+        times: usize,
+        /// Actual energy vector length.
+        energies: usize,
+    },
+    /// An edge would connect a task to itself.
+    SelfLoop(TaskId),
+    /// The same (src, dst) arc was added twice.
+    DuplicateEdge {
+        /// Source task.
+        src: TaskId,
+        /// Destination task.
+        dst: TaskId,
+    },
+    /// The dependency arcs contain a cycle; a CTG must be a DAG.
+    CyclicGraph {
+        /// One task that participates in a cycle.
+        witness: TaskId,
+    },
+}
+
+impl fmt::Display for CtgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtgError::EmptyGraph => write!(f, "task graph has no tasks"),
+            CtgError::UnknownTask { task, task_count } => {
+                write!(f, "task {task} out of range (graph has {task_count} tasks)")
+            }
+            CtgError::CostVectorMismatch { task, expected, times, energies } => write!(
+                f,
+                "task {task} has cost vectors of length {times}/{energies}, expected {expected}"
+            ),
+            CtgError::SelfLoop(t) => write!(f, "task {t} cannot depend on itself"),
+            CtgError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate dependency arc {src} -> {dst}")
+            }
+            CtgError::CyclicGraph { witness } => {
+                write!(f, "dependency arcs form a cycle through task {witness}")
+            }
+        }
+    }
+}
+
+impl Error for CtgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_ids() {
+        let e = CtgError::DuplicateEdge { src: TaskId::new(1), dst: TaskId::new(2) };
+        assert!(e.to_string().contains("t1 -> t2"));
+        let e = CtgError::CyclicGraph { witness: TaskId::new(7) };
+        assert!(e.to_string().contains("t7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<CtgError>();
+    }
+}

@@ -1,0 +1,465 @@
+//! The Communication Task Graph container and its builder.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+use noc_platform::units::Volume;
+
+use crate::edge::{Edge, EdgeId};
+use crate::task::{Task, TaskId};
+use crate::CtgError;
+
+/// A validated Communication Task Graph (Def. 1): a DAG of [`Task`]s
+/// connected by [`Edge`]s, with all per-PE cost vectors sized for the
+/// same `pe_count`.
+///
+/// Construct with [`TaskGraph::builder`]; see the [crate-level
+/// documentation](crate) for an example. Validation (acyclicity, cost
+/// vector sizes, duplicate arcs) happens once at build time so queries
+/// are infallible afterwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    pe_count: usize,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    /// Outgoing edge ids per task.
+    succs: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per task.
+    preds: Vec<Vec<EdgeId>>,
+    /// A fixed topological order (deterministic: Kahn with min-id choice).
+    topo: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Starts building a graph whose cost vectors target `pe_count` PEs.
+    #[must_use]
+    pub fn builder(name: impl Into<String>, pe_count: usize) -> TaskGraphBuilder {
+        TaskGraphBuilder {
+            name: name.into(),
+            pe_count,
+            tasks: Vec::new(),
+            edges: Vec::new(),
+            edge_set: HashSet::new(),
+        }
+    }
+
+    /// Graph name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of PEs the cost vectors target.
+    #[must_use]
+    pub fn pe_count(&self) -> usize {
+        self.pe_count
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of dependency arcs.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All task ids in index order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId::new)
+    }
+
+    /// All edge ids in index order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId::new)
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All tasks, id order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All edges, id order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of arcs leaving `id` (to its consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn outgoing(&self, id: TaskId) -> &[EdgeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Ids of arcs entering `id` (from its producers) — the task's
+    /// *receiving communication transactions* (the paper's LCT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn incoming(&self, id: TaskId) -> &[EdgeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Successor task ids of `id`.
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[id.index()].iter().map(|&e| self.edges[e.index()].dst)
+    }
+
+    /// Predecessor task ids of `id`.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[id.index()].iter().map(|&e| self.edges[e.index()].src)
+    }
+
+    /// A fixed topological order of all tasks (deterministic).
+    #[must_use]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|t| self.preds[t.index()].is_empty())
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|t| self.succs[t.index()].is_empty())
+    }
+
+    /// Tasks carrying an explicit deadline.
+    pub fn deadline_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|t| self.task(*t).has_deadline())
+    }
+
+    /// Total communication volume over all arcs.
+    #[must_use]
+    pub fn total_volume(&self) -> Volume {
+        self.edges.iter().map(|e| e.volume).sum()
+    }
+
+    /// Validates that a task id is within range.
+    ///
+    /// # Errors
+    ///
+    /// [`CtgError::UnknownTask`] if out of range.
+    pub fn check_task(&self, task: TaskId) -> Result<(), CtgError> {
+        if task.index() < self.tasks.len() {
+            Ok(())
+        } else {
+            Err(CtgError::UnknownTask { task, task_count: self.tasks.len() })
+        }
+    }
+}
+
+impl fmt::Display for TaskGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} tasks, {} arcs, {} PEs",
+            self.name,
+            self.task_count(),
+            self.edge_count(),
+            self.pe_count
+        )
+    }
+}
+
+/// Incrementally assembles a [`TaskGraph`]; see [`TaskGraph::builder`].
+#[derive(Debug, Clone)]
+pub struct TaskGraphBuilder {
+    name: String,
+    pe_count: usize,
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+    edge_set: HashSet<(TaskId, TaskId)>,
+}
+
+impl TaskGraphBuilder {
+    /// Adds a task, returning its id.
+    pub fn add_task(&mut self, task: Task) -> TaskId {
+        let id = TaskId::new(self.tasks.len() as u32);
+        self.tasks.push(task);
+        id
+    }
+
+    /// Adds a dependency arc with the given communication volume.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtgError::UnknownTask`] if either endpoint has not been added,
+    /// * [`CtgError::SelfLoop`] if `src == dst`,
+    /// * [`CtgError::DuplicateEdge`] if the arc already exists.
+    pub fn add_edge(
+        &mut self,
+        src: TaskId,
+        dst: TaskId,
+        volume: Volume,
+    ) -> Result<EdgeId, CtgError> {
+        for t in [src, dst] {
+            if t.index() >= self.tasks.len() {
+                return Err(CtgError::UnknownTask { task: t, task_count: self.tasks.len() });
+            }
+        }
+        if src == dst {
+            return Err(CtgError::SelfLoop(src));
+        }
+        if !self.edge_set.insert((src, dst)) {
+            return Err(CtgError::DuplicateEdge { src, dst });
+        }
+        let id = EdgeId::new(self.edges.len() as u32);
+        self.edges.push(Edge::new(src, dst, volume));
+        Ok(id)
+    }
+
+    /// Adds a pure control dependency (zero volume).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_edge`](Self::add_edge).
+    pub fn add_control_edge(&mut self, src: TaskId, dst: TaskId) -> Result<EdgeId, CtgError> {
+        self.add_edge(src, dst, Volume::ZERO)
+    }
+
+    /// Number of tasks added so far.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Mutable access to an already-added task (e.g. to set a deadline
+    /// once the graph shape is known).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn task_mut(&mut self, id: TaskId) -> &mut Task {
+        &mut self.tasks[id.index()]
+    }
+
+    /// Validates and seals the graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtgError::EmptyGraph`] if no tasks were added,
+    /// * [`CtgError::CostVectorMismatch`] if any task's vectors do not
+    ///   match the builder's `pe_count`,
+    /// * [`CtgError::CyclicGraph`] if the arcs are not acyclic.
+    pub fn build(self) -> Result<TaskGraph, CtgError> {
+        if self.tasks.is_empty() {
+            return Err(CtgError::EmptyGraph);
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.exec_times().len() != self.pe_count || t.exec_energies().len() != self.pe_count {
+                return Err(CtgError::CostVectorMismatch {
+                    task: TaskId::new(i as u32),
+                    expected: self.pe_count,
+                    times: t.exec_times().len(),
+                    energies: t.exec_energies().len(),
+                });
+            }
+        }
+        let n = self.tasks.len();
+        let mut succs: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            succs[e.src.index()].push(EdgeId::new(i as u32));
+            preds[e.dst.index()].push(EdgeId::new(i as u32));
+        }
+
+        // Kahn's algorithm with a min-id ready set for determinism.
+        let mut in_deg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = in_deg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| std::cmp::Reverse(i as u32))
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            let id = TaskId::new(i);
+            topo.push(id);
+            for &e in &succs[id.index()] {
+                let d = self.edges[e.index()].dst;
+                in_deg[d.index()] -= 1;
+                if in_deg[d.index()] == 0 {
+                    ready.push(std::cmp::Reverse(d.raw()));
+                }
+            }
+        }
+        if topo.len() != n {
+            let witness = in_deg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| TaskId::new(i as u32))
+                .expect("cycle implies a task with nonzero in-degree");
+            return Err(CtgError::CyclicGraph { witness });
+        }
+
+        Ok(TaskGraph {
+            name: self.name,
+            pe_count: self.pe_count,
+            tasks: self.tasks,
+            edges: self.edges,
+            succs,
+            preds,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_platform::units::{Energy, Time};
+
+    fn task(name: &str) -> Task {
+        Task::uniform(name, 2, Time::new(10), Energy::from_nj(1.0))
+    }
+
+    /// Builds the diamond a -> {b, c} -> d.
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraph::builder("diamond", 2);
+        let a = b.add_task(task("a"));
+        let b1 = b.add_task(task("b"));
+        let c = b.add_task(task("c"));
+        let d = b.add_task(task("d"));
+        b.add_edge(a, b1, Volume::from_bits(8)).unwrap();
+        b.add_edge(a, c, Volume::from_bits(8)).unwrap();
+        b.add_edge(b1, d, Volume::from_bits(8)).unwrap();
+        b.add_edge(c, d, Volume::from_bits(8)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let g = diamond();
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources().collect::<Vec<_>>(), vec![TaskId::new(0)]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![TaskId::new(3)]);
+        assert_eq!(g.incoming(TaskId::new(3)).len(), 2);
+        assert_eq!(g.outgoing(TaskId::new(0)).len(), 2);
+        assert_eq!(
+            g.predecessors(TaskId::new(3)).collect::<Vec<_>>(),
+            vec![TaskId::new(1), TaskId::new(2)]
+        );
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let topo = g.topological_order();
+        let pos: Vec<usize> =
+            g.task_ids().map(|t| topo.iter().position(|&x| x == t).unwrap()).collect();
+        for e in g.edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = TaskGraph::builder("cyclic", 2);
+        let x = b.add_task(task("x"));
+        let y = b.add_task(task("y"));
+        b.add_edge(x, y, Volume::ZERO).unwrap();
+        b.add_edge(y, x, Volume::ZERO).unwrap();
+        assert!(matches!(b.build(), Err(CtgError::CyclicGraph { .. })));
+    }
+
+    #[test]
+    fn self_loop_and_duplicate_are_rejected() {
+        let mut b = TaskGraph::builder("bad", 2);
+        let x = b.add_task(task("x"));
+        let y = b.add_task(task("y"));
+        assert!(matches!(b.add_edge(x, x, Volume::ZERO), Err(CtgError::SelfLoop(_))));
+        b.add_edge(x, y, Volume::ZERO).unwrap();
+        assert!(matches!(b.add_edge(x, y, Volume::ZERO), Err(CtgError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_rejected() {
+        let mut b = TaskGraph::builder("bad", 2);
+        let x = b.add_task(task("x"));
+        let ghost = TaskId::new(9);
+        assert!(matches!(b.add_edge(x, ghost, Volume::ZERO), Err(CtgError::UnknownTask { .. })));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert!(matches!(TaskGraph::builder("e", 2).build(), Err(CtgError::EmptyGraph)));
+    }
+
+    #[test]
+    fn cost_vector_mismatch_is_rejected() {
+        let mut b = TaskGraph::builder("bad", 3);
+        b.add_task(task("x")); // 2-PE vectors in a 3-PE graph
+        assert!(matches!(b.build(), Err(CtgError::CostVectorMismatch { expected: 3, .. })));
+    }
+
+    #[test]
+    fn deadline_tasks_iterates_only_constrained() {
+        let mut b = TaskGraph::builder("d", 2);
+        b.add_task(task("a"));
+        let t = b.add_task(task("b"));
+        b.task_mut(t).clone_from(&task("b").with_deadline(Time::new(100)));
+        let g = b.build().unwrap();
+        assert_eq!(g.deadline_tasks().collect::<Vec<_>>(), vec![t]);
+    }
+
+    #[test]
+    fn total_volume_sums_edges() {
+        let g = diamond();
+        assert_eq!(g.total_volume(), Volume::from_bits(32));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TaskGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.task_count(), 4);
+        assert_eq!(back.topological_order(), g.topological_order());
+    }
+
+    #[test]
+    fn control_edge_has_zero_volume() {
+        let mut b = TaskGraph::builder("c", 2);
+        let x = b.add_task(task("x"));
+        let y = b.add_task(task("y"));
+        let e = b.add_control_edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.edge(e).is_control());
+    }
+}

@@ -1,0 +1,79 @@
+//! # noc-ctg
+//!
+//! Communication Task Graphs (CTGs) for energy-aware NoC scheduling,
+//! after Def. 1 of Hu & Marculescu (DATE 2004).
+//!
+//! A CTG is a directed acyclic graph whose vertices are computation tasks
+//! and whose arcs carry control/data dependencies. Every task carries a
+//! per-PE execution-time vector `R_i`, a per-PE energy vector `E_i` and an
+//! optional deadline `d(t_i)`; every arc carries a communication volume
+//! `v(c_ij)` in bits.
+//!
+//! The crate provides:
+//!
+//! * [`task`] / [`edge`] / [`graph`] — the CTG data model and builder,
+//! * [`analysis`] — DAG algorithms (topological order, longest paths,
+//!   ancestry, effective deadlines),
+//! * [`costs`] — synthesis of heterogeneous per-PE cost vectors from a
+//!   platform's PE classes,
+//! * [`tgff`] — a TGFF-style seeded random task-graph generator
+//!   (substitute for the TGFF tool the paper uses, see `DESIGN.md` §4),
+//! * [`multimedia`] — the paper's multimedia system benchmarks (A/V
+//!   encoder, decoder and integrated encoder/decoder) as synthetic
+//!   profiled CTGs with three clip profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_ctg::prelude::*;
+//! use noc_platform::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TaskGraph::builder("tiny", 4);
+//! let src = b.add_task(Task::uniform("src", 4, Time::new(100), Energy::from_nj(50.0)));
+//! let dst = b.add_task(
+//!     Task::uniform("dst", 4, Time::new(200), Energy::from_nj(80.0))
+//!         .with_deadline(Time::new(1_000)),
+//! );
+//! b.add_edge(src, dst, Volume::from_bits(512))?;
+//! let ctg = b.build()?;
+//! assert_eq!(ctg.task_count(), 2);
+//! assert_eq!(ctg.topological_order().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod apps;
+pub mod costs;
+pub mod dot;
+pub mod edge;
+mod error;
+pub mod graph;
+pub mod multimedia;
+pub mod pipeline;
+pub mod stats;
+pub mod task;
+pub mod tgff;
+pub mod tgff_parse;
+
+pub use error::CtgError;
+pub use graph::{TaskGraph, TaskGraphBuilder};
+
+/// Convenient glob import of the most commonly used CTG types.
+pub mod prelude {
+    pub use crate::analysis::GraphAnalysis;
+    pub use crate::apps::{ExtensionApp, Load};
+    pub use crate::edge::{Edge, EdgeId};
+    pub use crate::graph::{TaskGraph, TaskGraphBuilder};
+    pub use crate::multimedia::{Clip, MultimediaApp};
+    pub use crate::pipeline::{unroll, InterFrameEdge};
+    pub use crate::stats::GraphStats;
+    pub use crate::task::{Task, TaskId};
+    pub use crate::tgff::{TgffConfig, TgffGenerator};
+    pub use crate::tgff_parse::TgffFile;
+    pub use crate::CtgError;
+}

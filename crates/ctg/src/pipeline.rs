@@ -1,0 +1,202 @@
+//! Periodic pipeline unrolling: schedule several frames of a streaming
+//! application at once.
+//!
+//! The paper schedules one frame of the A/V applications against the
+//! frame period. Real encoders are *pipelined*: frame `k+1`'s motion
+//! estimation consumes frame `k`'s reconstructed reference frame. This
+//! module unrolls a per-frame CTG into an `n`-frame CTG with
+//!
+//! * per-frame deadline staggering (`d + k * period`), and
+//! * explicit **inter-frame data dependencies** between chosen producer
+//!   tasks of frame `k` and consumer tasks of frame `k+1`,
+//!
+//! letting the scheduler overlap frames on the NoC — a larger, harder
+//! instance of exactly the same scheduling problem (listed as an
+//! extension experiment in `DESIGN.md`).
+
+use noc_platform::units::{Time, Volume};
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+use crate::CtgError;
+
+/// An inter-frame dependency template: frame `k`'s `producer` feeds
+/// frame `k+1`'s `consumer` with `volume` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterFrameEdge {
+    /// Producer task (id within the per-frame graph).
+    pub producer: TaskId,
+    /// Consumer task (id within the per-frame graph).
+    pub consumer: TaskId,
+    /// Communication volume of the cross-frame transfer.
+    pub volume: Volume,
+}
+
+impl InterFrameEdge {
+    /// Creates a template edge.
+    #[must_use]
+    pub const fn new(producer: TaskId, consumer: TaskId, volume: Volume) -> Self {
+        InterFrameEdge { producer, consumer, volume }
+    }
+}
+
+/// Unrolls `frame` into `frames` back-to-back instances.
+///
+/// Frame `k`'s task `t` becomes task `k * n + t.index()`; deadlines are
+/// staggered by `k * period`; every `inter_frame` template adds an arc
+/// from frame `k`'s producer to frame `k+1`'s consumer.
+///
+/// # Errors
+///
+/// * [`CtgError::UnknownTask`] if a template references a task outside
+///   the per-frame graph,
+/// * construction errors from re-assembly (duplicate template edges).
+///
+/// # Panics
+///
+/// Panics if `frames` is zero.
+pub fn unroll(
+    frame: &TaskGraph,
+    frames: usize,
+    period: Time,
+    inter_frame: &[InterFrameEdge],
+) -> Result<TaskGraph, CtgError> {
+    assert!(frames > 0, "need at least one frame");
+    for e in inter_frame {
+        frame.check_task(e.producer)?;
+        frame.check_task(e.consumer)?;
+    }
+    let n = frame.task_count() as u32;
+    let mut builder = TaskGraph::builder(
+        format!("{}-x{}", frame.name(), frames),
+        frame.pe_count(),
+    );
+    for k in 0..frames {
+        let offset = period * k as u64;
+        for t in frame.tasks() {
+            let mut task = t.clone();
+            if let Some(d) = t.deadline() {
+                task = task.with_deadline(d + offset);
+            }
+            let mut renamed = crate::task::Task::new(
+                format!("f{k}.{}", t.name()),
+                task.exec_times().to_vec(),
+                task.exec_energies().to_vec(),
+            );
+            renamed = renamed.with_deadline(task.deadline_or_infinity());
+            builder.add_task(renamed);
+        }
+    }
+    let id = |k: usize, t: TaskId| TaskId::new(k as u32 * n + t.raw());
+    for k in 0..frames {
+        for e in frame.edges() {
+            builder.add_edge(id(k, e.src), id(k, e.dst), e.volume)?;
+        }
+    }
+    for k in 0..frames.saturating_sub(1) {
+        for e in inter_frame {
+            builder.add_edge(id(k, e.producer), id(k + 1, e.consumer), e.volume)?;
+        }
+    }
+    builder.build()
+}
+
+/// Finds a task by name in a per-frame graph (helper for building
+/// [`InterFrameEdge`] templates from the multimedia benchmarks).
+#[must_use]
+pub fn task_by_name(graph: &TaskGraph, name: &str) -> Option<TaskId> {
+    graph.task_ids().find(|&t| graph.task(t).name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multimedia::{Clip, MultimediaApp};
+    use crate::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::Energy;
+
+    fn frame_graph() -> TaskGraph {
+        let mut b = TaskGraph::builder("frame", 2);
+        let src = b.add_task(Task::uniform("src", 2, Time::new(10), Energy::from_nj(1.0)));
+        let sink = b.add_task(
+            Task::uniform("sink", 2, Time::new(10), Energy::from_nj(1.0))
+                .with_deadline(Time::new(100)),
+        );
+        b.add_edge(src, sink, Volume::from_bits(64)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unroll_replicates_tasks_and_staggers_deadlines() {
+        let f = frame_graph();
+        let g = unroll(&f, 3, Time::new(100), &[]).unwrap();
+        assert_eq!(g.task_count(), 6);
+        assert_eq!(g.edge_count(), 3);
+        // Frame 0 sink: 100; frame 2 sink: 300.
+        assert_eq!(g.task(TaskId::new(1)).deadline(), Some(Time::new(100)));
+        assert_eq!(g.task(TaskId::new(5)).deadline(), Some(Time::new(300)));
+        assert_eq!(g.task(TaskId::new(4)).name(), "f2.src");
+    }
+
+    #[test]
+    fn inter_frame_edges_chain_frames() {
+        let f = frame_graph();
+        let tmpl = InterFrameEdge::new(TaskId::new(1), TaskId::new(0), Volume::from_bits(32));
+        let g = unroll(&f, 3, Time::new(100), &[tmpl]).unwrap();
+        // 3 intra-frame + 2 cross-frame edges.
+        assert_eq!(g.edge_count(), 5);
+        // Frame 1's src depends on frame 0's sink.
+        let preds: Vec<TaskId> = g.predecessors(TaskId::new(2)).collect();
+        assert!(preds.contains(&TaskId::new(1)));
+        // Still a DAG with a valid topological order.
+        assert_eq!(g.topological_order().len(), 6);
+    }
+
+    #[test]
+    fn bad_template_is_rejected() {
+        let f = frame_graph();
+        let tmpl = InterFrameEdge::new(TaskId::new(9), TaskId::new(0), Volume::ZERO);
+        assert!(matches!(
+            unroll(&f, 2, Time::new(100), &[tmpl]),
+            Err(CtgError::UnknownTask { .. })
+        ));
+    }
+
+    #[test]
+    fn single_frame_unroll_is_isomorphic() {
+        let f = frame_graph();
+        let g = unroll(&f, 1, Time::new(100), &[]).unwrap();
+        assert_eq!(g.task_count(), f.task_count());
+        assert_eq!(g.edge_count(), f.edge_count());
+        assert_eq!(g.task(TaskId::new(1)).deadline(), f.task(TaskId::new(1)).deadline());
+    }
+
+    #[test]
+    fn multimedia_encoder_pipelines_via_frame_store() {
+        let platform = Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap();
+        let frame = MultimediaApp::AvEncoder.build(Clip::Foreman, &platform).unwrap();
+        let store = task_by_name(&frame, "frame_store").expect("task exists");
+        let me = task_by_name(&frame, "motion_est").expect("task exists");
+        let tmpl = InterFrameEdge::new(store, me, Volume::from_bits(16_384));
+        let g = unroll(
+            &frame,
+            3,
+            Time::new(crate::multimedia::ENCODER_PERIOD),
+            &[tmpl],
+        )
+        .unwrap();
+        assert_eq!(g.task_count(), 72);
+        // The cross edge makes frame 1's ME an ancestor-dependent task.
+        let me1 = TaskId::new(frame.task_count() as u32 + me.raw());
+        let preds: Vec<TaskId> = g.predecessors(me1).collect();
+        assert!(preds.iter().any(|p| g.task(*p).name() == "f0.frame_store"));
+    }
+
+    #[test]
+    fn unknown_name_lookup_returns_none() {
+        let f = frame_graph();
+        assert!(task_by_name(&f, "ghost").is_none());
+        assert_eq!(task_by_name(&f, "src"), Some(TaskId::new(0)));
+    }
+}

@@ -1,0 +1,170 @@
+//! Task-graph characterization statistics.
+//!
+//! The scheduling literature characterizes benchmark graphs by a few
+//! standard figures — depth, width, degree, and the
+//! communication-to-computation ratio (CCR) — which predict how much a
+//! communication-aware scheduler can matter. These are reported by the
+//! CLI's `info` command and usable for workload sanity checks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::analysis::GraphAnalysis;
+use crate::graph::TaskGraph;
+
+/// Shape and load statistics of one task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of dependency arcs.
+    pub edges: usize,
+    /// Longest chain length (number of tasks on the longest path).
+    pub depth: usize,
+    /// Maximum antichain estimate: the largest number of tasks sharing
+    /// the same longest-path depth level.
+    pub width: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Total mean computation (sum of `M_ti`), in ticks.
+    pub total_mean_work: f64,
+    /// Total communication volume, in bits.
+    pub total_volume_bits: u64,
+    /// Communication-to-computation ratio: mean transfer time (at
+    /// `bits_per_tick`) over mean execution time, per edge/task.
+    pub ccr: f64,
+    /// Tasks carrying explicit deadlines.
+    pub deadline_tasks: usize,
+}
+
+impl GraphStats {
+    /// Computes the statistics, pricing communication at
+    /// `bits_per_tick` (pass the platform's link bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_tick` is not positive.
+    #[must_use]
+    pub fn compute(graph: &TaskGraph, bits_per_tick: f64) -> Self {
+        assert!(bits_per_tick > 0.0, "bandwidth must be positive");
+        let analysis = GraphAnalysis::new(graph);
+
+        // Depth levels by longest chain (task count, not time).
+        let mut level = vec![0usize; graph.task_count()];
+        for &t in graph.topological_order() {
+            let l = graph
+                .predecessors(t)
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[t.index()] = l;
+        }
+        let depth = level.iter().max().map_or(0, |m| m + 1);
+        let mut per_level = vec![0usize; depth.max(1)];
+        for &l in &level {
+            per_level[l] += 1;
+        }
+        let width = per_level.iter().copied().max().unwrap_or(0);
+
+        let total_mean_work: f64 =
+            graph.task_ids().map(|t| graph.task(t).mean_exec_time()).sum();
+        let total_volume_bits = graph.total_volume().bits();
+        let mean_exec = total_mean_work / graph.task_count() as f64;
+        let data_edges = graph.edges().iter().filter(|e| !e.volume.is_zero()).count();
+        let mean_comm = if data_edges == 0 {
+            0.0
+        } else {
+            (total_volume_bits as f64 / bits_per_tick) / data_edges as f64
+        };
+        let _ = analysis; // analysis retained for future path statistics
+
+        GraphStats {
+            tasks: graph.task_count(),
+            edges: graph.edge_count(),
+            depth,
+            width,
+            avg_out_degree: graph.edge_count() as f64 / graph.task_count() as f64,
+            total_mean_work,
+            total_volume_bits,
+            ccr: if mean_exec == 0.0 { 0.0 } else { mean_comm / mean_exec },
+            deadline_tasks: graph.deadline_tasks().count(),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "tasks            {}", self.tasks)?;
+        writeln!(f, "arcs             {}", self.edges)?;
+        writeln!(f, "depth            {}", self.depth)?;
+        writeln!(f, "width            {}", self.width)?;
+        writeln!(f, "avg out-degree   {:.2}", self.avg_out_degree)?;
+        writeln!(f, "mean work        {:.0} ticks", self.total_mean_work)?;
+        writeln!(f, "total volume     {} bits", self.total_volume_bits)?;
+        writeln!(f, "CCR              {:.3}", self.ccr)?;
+        write!(f, "deadline tasks   {}", self.deadline_tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+    use noc_platform::units::{Energy, Time, Volume};
+
+    /// chain a -> b -> c plus parallel d: depth 3, width 2.
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraph::builder("s", 1);
+        let a = b.add_task(Task::uniform("a", 1, Time::new(100), Energy::from_nj(1.0)));
+        let t2 = b.add_task(Task::uniform("b", 1, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(
+            Task::uniform("c", 1, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(500)),
+        );
+        let _d = b.add_task(Task::uniform("d", 1, Time::new(100), Energy::from_nj(1.0)));
+        b.add_edge(a, t2, Volume::from_bits(3200)).unwrap();
+        b.add_edge(t2, c, Volume::from_bits(3200)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn shape_statistics() {
+        let s = GraphStats::compute(&sample(), 32.0);
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 2); // level 0 holds a and d
+        assert_eq!(s.deadline_tasks, 1);
+        assert!((s.avg_out_degree - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_prices_communication_against_computation() {
+        // Each edge: 3200 bits / 32 = 100 ticks; mean exec 100 ticks.
+        let s = GraphStats::compute(&sample(), 32.0);
+        assert!((s.ccr - 1.0).abs() < 1e-12);
+        // Faster links halve the CCR.
+        let s = GraphStats::compute(&sample(), 64.0);
+        assert!((s.ccr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_only_graph_has_zero_ccr() {
+        let mut b = TaskGraph::builder("c", 1);
+        let a = b.add_task(Task::uniform("a", 1, Time::new(10), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("c", 1, Time::new(10), Energy::from_nj(1.0)));
+        b.add_control_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let s = GraphStats::compute(&g, 32.0);
+        assert_eq!(s.ccr, 0.0);
+        assert_eq!(s.total_volume_bits, 0);
+    }
+
+    #[test]
+    fn display_lists_all_fields() {
+        let text = GraphStats::compute(&sample(), 32.0).to_string();
+        for key in ["tasks", "depth", "width", "CCR", "deadline"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+}

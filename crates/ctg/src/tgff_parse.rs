@@ -1,0 +1,392 @@
+//! Parser for (a documented subset of) the TGFF file format.
+//!
+//! The paper generates its random benchmarks with Dick/Rhodes/Wolf's
+//! TGFF tool. Besides the [seeded re-implementation](crate::tgff), this
+//! module reads *actual* `.tgff` files so externally generated
+//! workloads can be scheduled directly.
+//!
+//! # Supported subset
+//!
+//! ```text
+//! @TASK_GRAPH <n> {
+//!     PERIOD <ticks>                    # optional, informational
+//!     TASK <name> TYPE <k>
+//!     ARC <name> FROM <src> TO <dst> TYPE <m>
+//!     HARD_DEADLINE <d> ON <task> AT <ticks>
+//! }
+//!
+//! @COMMUN_QUANT <id> {                  # arc TYPE -> volume in bits
+//!     <m> <bits>
+//! }
+//!
+//! @PE <p> {                             # task TYPE -> cost on PE p
+//!     # comments and column headers are skipped
+//!     <k> <exec_time> <power>
+//! }
+//! ```
+//!
+//! `#` starts a comment. Multiple `@TASK_GRAPH` blocks merge into one
+//! CTG (disjoint union, names prefixed `g<n>.`). Task costs come from
+//! the `@PE` tables: execution time directly, energy as
+//! `exec_time × power`. When the file defines fewer `@PE` blocks than
+//! the platform has tiles, the blocks are assigned round-robin (TGFF
+//! files typically describe PE *types*, not instances).
+
+use std::collections::HashMap;
+
+use noc_platform::units::{Energy, Time, Volume};
+use noc_platform::Platform;
+
+use crate::graph::TaskGraph;
+use crate::task::{Task, TaskId};
+use crate::CtgError;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTgffError {
+    /// Line where parsing failed.
+    pub line: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTgffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tgff parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTgffError {}
+
+#[derive(Debug, Clone)]
+struct TgffTask {
+    graph: usize,
+    name: String,
+    ty: u32,
+    deadline: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct TgffArc {
+    src: String,
+    dst: String,
+    ty: u32,
+    graph: usize,
+}
+
+/// A parsed TGFF file, ready to instantiate against a platform.
+#[derive(Debug, Clone, Default)]
+pub struct TgffFile {
+    tasks: Vec<TgffTask>,
+    arcs: Vec<TgffArc>,
+    /// Arc TYPE -> volume bits.
+    volumes: HashMap<u32, u64>,
+    /// Per-PE-block: task TYPE -> (exec_time, power).
+    pe_tables: Vec<HashMap<u32, (u64, f64)>>,
+}
+
+impl TgffFile {
+    /// Parses TGFF text (see the [module docs](self) for the accepted
+    /// subset).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseTgffError`] with the offending line on malformed input.
+    pub fn parse(text: &str) -> Result<TgffFile, ParseTgffError> {
+        let mut file = TgffFile::default();
+        let mut block: Option<Block> = None;
+        let mut graph_index = 0usize;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let err = |message: String| ParseTgffError { line, message };
+            let code = raw.split('#').next().unwrap_or("").trim();
+            if code.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = code.split_whitespace().collect();
+            match tokens[0] {
+                t if t.starts_with('@') => {
+                    if !code.ends_with('{') {
+                        return Err(err(format!("block `{t}` must open with `{{`")));
+                    }
+                    block = Some(match t {
+                        "@TASK_GRAPH" => {
+                            graph_index = file.tasks.iter().map(|x| x.graph + 1).max().unwrap_or(0);
+                            Block::TaskGraph
+                        }
+                        "@COMMUN_QUANT" => Block::CommunQuant,
+                        "@PE" => {
+                            file.pe_tables.push(HashMap::new());
+                            Block::Pe
+                        }
+                        other => return Err(err(format!("unknown block `{other}`"))),
+                    });
+                }
+                "}" => block = None,
+                "PERIOD" => {} // informational
+                "TASK" => {
+                    if block != Some(Block::TaskGraph) {
+                        return Err(err("TASK outside @TASK_GRAPH".into()));
+                    }
+                    // TASK <name> TYPE <k>
+                    if tokens.len() < 4 || tokens[2] != "TYPE" {
+                        return Err(err("expected TASK <name> TYPE <k>".into()));
+                    }
+                    let ty = tokens[3].parse().map_err(|_| err("bad task type".into()))?;
+                    file.tasks.push(TgffTask {
+                        graph: graph_index,
+                        name: tokens[1].to_owned(),
+                        ty,
+                        deadline: None,
+                    });
+                }
+                "ARC" => {
+                    // ARC <name> FROM <a> TO <b> TYPE <m>
+                    if tokens.len() < 8
+                        || tokens[2] != "FROM"
+                        || tokens[4] != "TO"
+                        || tokens[6] != "TYPE"
+                    {
+                        return Err(err(
+                            "expected ARC <name> FROM <a> TO <b> TYPE <m>".into()
+                        ));
+                    }
+                    let ty = tokens[7].parse().map_err(|_| err("bad arc type".into()))?;
+                    file.arcs.push(TgffArc {
+                        src: tokens[3].to_owned(),
+                        dst: tokens[5].to_owned(),
+                        ty,
+                        graph: graph_index,
+                    });
+                }
+                "HARD_DEADLINE" | "SOFT_DEADLINE" => {
+                    // HARD_DEADLINE <d> ON <task> AT <ticks>
+                    if tokens.len() < 6 || tokens[2] != "ON" || tokens[4] != "AT" {
+                        return Err(err(
+                            "expected HARD_DEADLINE <d> ON <task> AT <ticks>".into()
+                        ));
+                    }
+                    let at: u64 = tokens[5].parse().map_err(|_| err("bad deadline".into()))?;
+                    let target = tokens[3];
+                    let task = file
+                        .tasks
+                        .iter_mut()
+                        .find(|t| t.graph == graph_index && t.name == target)
+                        .ok_or_else(|| err(format!("deadline on unknown task `{target}`")))?;
+                    task.deadline = Some(at);
+                }
+                _ => match block {
+                    Some(Block::CommunQuant) => {
+                        if tokens.len() < 2 {
+                            return Err(err("expected <type> <bits>".into()));
+                        }
+                        let ty = tokens[0].parse().map_err(|_| err("bad quant type".into()))?;
+                        // TGFF emits float quantities; round to bits.
+                        let bits: f64 =
+                            tokens[1].parse().map_err(|_| err("bad quant volume".into()))?;
+                        file.volumes.insert(ty, bits.round() as u64);
+                    }
+                    Some(Block::Pe) => {
+                        if tokens.len() < 3 {
+                            return Err(err("expected <type> <exec_time> <power>".into()));
+                        }
+                        let ty = tokens[0].parse().map_err(|_| err("bad task type".into()))?;
+                        let time: f64 =
+                            tokens[1].parse().map_err(|_| err("bad exec time".into()))?;
+                        let power: f64 =
+                            tokens[2].parse().map_err(|_| err("bad power".into()))?;
+                        let table = file.pe_tables.last_mut().ok_or_else(|| {
+                            err("PE row outside @PE block".into())
+                        })?;
+                        table.insert(ty, (time.round() as u64, power));
+                    }
+                    _ => return Err(err(format!("unexpected token `{}`", tokens[0]))),
+                },
+            }
+        }
+        Ok(file)
+    }
+
+    /// Number of parsed tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Instantiates the parsed file against `platform`, assigning `@PE`
+    /// tables to tiles round-robin. Arc types without a `@COMMUN_QUANT`
+    /// entry become zero-volume control dependencies.
+    ///
+    /// # Errors
+    ///
+    /// [`CtgError::EmptyGraph`] when the file defines no tasks, no `@PE`
+    /// tables, or a task type missing from a `@PE` table;
+    /// [`CtgError::UnknownTask`] when an arc references an undeclared
+    /// task; plus any graph-construction error (duplicate arcs, cycles).
+    pub fn into_task_graph(self, platform: &Platform) -> Result<TaskGraph, CtgError> {
+        if self.tasks.is_empty() || self.pe_tables.is_empty() {
+            return Err(CtgError::EmptyGraph);
+        }
+        let tiles = platform.tile_count();
+        let mut builder = TaskGraph::builder("tgff-import", tiles);
+        let mut index: HashMap<(usize, String), TaskId> = HashMap::new();
+        for t in &self.tasks {
+            let mut times = Vec::with_capacity(tiles);
+            let mut energies = Vec::with_capacity(tiles);
+            for pe in 0..tiles {
+                let table = &self.pe_tables[pe % self.pe_tables.len()];
+                let &(time, power) = table.get(&t.ty).ok_or(CtgError::EmptyGraph)?;
+                times.push(Time::new(time.max(1)));
+                energies.push(Energy::from_nj((time as f64 * power).max(1e-9)));
+            }
+            let mut task = Task::new(format!("g{}.{}", t.graph, t.name), times, energies);
+            if let Some(d) = t.deadline {
+                task = task.with_deadline(Time::new(d));
+            }
+            let id = builder.add_task(task);
+            index.insert((t.graph, t.name.clone()), id);
+        }
+        for a in &self.arcs {
+            let src = *index.get(&(a.graph, a.src.clone())).ok_or_else(|| {
+                CtgError::UnknownTask { task: TaskId::new(u32::MAX), task_count: self.tasks.len() }
+            })?;
+            let dst = *index.get(&(a.graph, a.dst.clone())).ok_or_else(|| {
+                CtgError::UnknownTask { task: TaskId::new(u32::MAX), task_count: self.tasks.len() }
+            })?;
+            let bits = self.volumes.get(&a.ty).copied().unwrap_or(0);
+            builder.add_edge(src, dst, Volume::from_bits(bits))?;
+        }
+        builder.build()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    TaskGraph,
+    CommunQuant,
+    Pe,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_platform::prelude::*;
+
+    const SAMPLE: &str = r"
+# A TGFF-style file with two small graphs and two PE types.
+@TASK_GRAPH 0 {
+    PERIOD 300
+    TASK src TYPE 0
+    TASK mid TYPE 1
+    TASK dst TYPE 0
+    ARC a0 FROM src TO mid TYPE 0
+    ARC a1 FROM mid TO dst TYPE 1
+    HARD_DEADLINE d0 ON dst AT 900
+}
+
+@TASK_GRAPH 1 {
+    TASK solo TYPE 1
+}
+
+@COMMUN_QUANT 0 {
+    0 1024
+    1 2048.6
+}
+
+@PE 0 {
+# type exec_time power
+    0 100 1.0
+    1 200 0.5
+}
+
+@PE 1 {
+    0 150 0.4
+    1 120 0.9
+}
+";
+
+    fn platform() -> Platform {
+        Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap()
+    }
+
+    #[test]
+    fn parses_and_instantiates_sample() {
+        let file = TgffFile::parse(SAMPLE).expect("parses");
+        assert_eq!(file.task_count(), 4);
+        let g = file.into_task_graph(&platform()).expect("instantiates");
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        // Names are graph-prefixed.
+        assert!(g.tasks().iter().any(|t| t.name() == "g0.src"));
+        assert!(g.tasks().iter().any(|t| t.name() == "g1.solo"));
+        // Deadline landed on dst.
+        let dst = g.task_ids().find(|&t| g.task(t).name() == "g0.dst").unwrap();
+        assert_eq!(g.task(dst).deadline(), Some(Time::new(900)));
+        // Volumes resolved (2048.6 rounds to 2049).
+        assert_eq!(g.edges()[0].volume.bits(), 1024);
+        assert_eq!(g.edges()[1].volume.bits(), 2049);
+    }
+
+    #[test]
+    fn pe_tables_cycle_round_robin() {
+        let g = TgffFile::parse(SAMPLE)
+            .unwrap()
+            .into_task_graph(&platform())
+            .unwrap();
+        let src = g.task_ids().find(|&t| g.task(t).name() == "g0.src").unwrap();
+        let times = g.task(src).exec_times();
+        // Type 0: PE block 0 gives 100, block 1 gives 150; 4 tiles cycle
+        // 0,1,0,1.
+        assert_eq!(times[0], Time::new(100));
+        assert_eq!(times[1], Time::new(150));
+        assert_eq!(times[2], Time::new(100));
+        assert_eq!(times[3], Time::new(150));
+        // Energy = time * power.
+        let e = g.task(src).exec_energies();
+        assert!((e[0].as_nj() - 100.0).abs() < 1e-9);
+        assert!((e[1].as_nj() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "@TASK_GRAPH 0 {\nTASK oops\n}";
+        let err = TgffFile::parse(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let bad = "TASK stray TYPE 0";
+        assert!(TgffFile::parse(bad).is_err());
+
+        let bad = "@MYSTERY 0 {\n}";
+        assert!(TgffFile::parse(bad).unwrap_err().message.contains("unknown block"));
+    }
+
+    #[test]
+    fn deadline_on_unknown_task_is_rejected() {
+        let bad = "@TASK_GRAPH 0 {\nTASK a TYPE 0\nHARD_DEADLINE d ON ghost AT 5\n}";
+        let err = TgffFile::parse(bad).unwrap_err();
+        assert!(err.message.contains("ghost"));
+    }
+
+    #[test]
+    fn missing_pe_tables_are_rejected() {
+        let text = "@TASK_GRAPH 0 {\nTASK a TYPE 0\n}";
+        let file = TgffFile::parse(text).unwrap();
+        assert!(matches!(
+            file.into_task_graph(&platform()),
+            Err(CtgError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn imported_graph_schedules_end_to_end() {
+        // The imported CTG must be directly consumable by the pipeline.
+        let g = TgffFile::parse(SAMPLE)
+            .unwrap()
+            .into_task_graph(&platform())
+            .unwrap();
+        assert_eq!(g.pe_count(), 4);
+        assert_eq!(g.topological_order().len(), 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the CTG substrate: generated graphs are
+//! always well-formed, analyses agree with brute-force recomputation,
+//! and pipeline unrolling preserves structure.
+
+use proptest::prelude::*;
+
+use noc_ctg::analysis::{critical_path_length, effective_deadlines, GraphAnalysis};
+use noc_ctg::pipeline::{unroll, InterFrameEdge};
+use noc_ctg::prelude::*;
+use noc_platform::prelude::*;
+use noc_platform::units::Volume;
+
+fn platform() -> Platform {
+    Platform::builder().topology(TopologySpec::mesh(4, 4)).build().expect("mesh builds")
+}
+
+fn small_config() -> impl Strategy<Value = TgffConfig> {
+    (0u64..500, 5usize..60, 1.1f64..3.5, 0.0f64..0.4).prop_map(
+        |(seed, task_count, laxity, ctrl)| {
+            let mut cfg = TgffConfig::small(seed);
+            cfg.task_count = task_count;
+            cfg.deadline_laxity = laxity;
+            cfg.control_edge_prob = ctrl;
+            cfg.width = (task_count / 5).max(2);
+            cfg
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated graphs are DAGs with consistent adjacency and in-range
+    /// cost vectors.
+    #[test]
+    fn generated_graphs_are_well_formed(cfg in small_config()) {
+        let p = platform();
+        let g = TgffGenerator::new(cfg.clone()).generate(&p).expect("generates");
+        prop_assert_eq!(g.task_count(), cfg.task_count);
+        prop_assert_eq!(g.pe_count(), p.tile_count());
+        // Topological order covers everything exactly once.
+        let mut seen = vec![false; g.task_count()];
+        for &t in g.topological_order() {
+            prop_assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        // Adjacency agrees with the edge list.
+        for e in g.edge_ids() {
+            let edge = *g.edge(e);
+            prop_assert!(g.outgoing(edge.src).contains(&e));
+            prop_assert!(g.incoming(edge.dst).contains(&e));
+        }
+        // Volumes within the configured range (control edges aside).
+        for e in g.edges() {
+            if !e.volume.is_zero() {
+                prop_assert!((cfg.volume_range.0..=cfg.volume_range.1)
+                    .contains(&e.volume.bits()));
+            }
+        }
+    }
+
+    /// mean_finish is the true longest path (brute-force check on the
+    /// DP via a second, edge-relaxing pass).
+    #[test]
+    fn mean_finish_matches_relaxation(cfg in small_config()) {
+        let p = platform();
+        let g = TgffGenerator::new(cfg).generate(&p).expect("generates");
+        let analysis = GraphAnalysis::new(&g);
+        let mut finish = vec![0.0f64; g.task_count()];
+        for &t in g.topological_order() {
+            let mut start = 0.0f64;
+            for pr in g.predecessors(t) {
+                start = start.max(finish[pr.index()]);
+            }
+            finish[t.index()] = start + g.task(t).mean_exec_time();
+        }
+        for t in g.task_ids() {
+            prop_assert!((analysis.mean_finish(t) - finish[t.index()]).abs() < 1e-9);
+        }
+        let cp = critical_path_length(&g);
+        let max = finish.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((cp - max).abs() < 1e-9);
+    }
+
+    /// Effective deadlines are monotone along edges and never exceed the
+    /// explicit deadline.
+    #[test]
+    fn effective_deadlines_are_consistent(cfg in small_config()) {
+        let p = platform();
+        let g = TgffGenerator::new(cfg).generate(&p).expect("generates");
+        let eff = effective_deadlines(&g);
+        for t in g.task_ids() {
+            if let Some(d) = g.task(t).deadline() {
+                prop_assert!(eff[t.index()] <= d);
+            }
+            for s in g.successors(t) {
+                if !eff[s.index()].is_infinite() {
+                    prop_assert!(eff[t.index()] < eff[s.index()]);
+                }
+            }
+        }
+    }
+
+    /// Unrolling multiplies tasks/edges as specified and keeps the DAG
+    /// property with any single inter-frame template edge.
+    #[test]
+    fn unrolling_preserves_structure(cfg in small_config(), frames in 1usize..4) {
+        let p = platform();
+        let g = TgffGenerator::new(cfg).generate(&p).expect("generates");
+        // Use sink -> source as the cross-frame edge (always legal:
+        // next frame starts after previous frame's sink).
+        let src = g.sources().next().expect("has source");
+        let sink = g.sinks().next().expect("has sink");
+        let tmpl = InterFrameEdge::new(sink, src, Volume::from_bits(64));
+        let u = unroll(&g, frames, Time::new(10_000), &[tmpl]).expect("unrolls");
+        prop_assert_eq!(u.task_count(), g.task_count() * frames);
+        prop_assert_eq!(
+            u.edge_count(),
+            g.edge_count() * frames + (frames - 1)
+        );
+        prop_assert_eq!(u.topological_order().len(), u.task_count());
+    }
+}

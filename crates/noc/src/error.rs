@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::tile::TileId;
+
+/// Errors produced while assembling or querying a [`crate::Platform`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// The topology has no tiles.
+    EmptyTopology,
+    /// A tile identifier is out of range for the platform.
+    UnknownTile {
+        /// The offending tile id.
+        tile: TileId,
+        /// Number of tiles in the platform.
+        tile_count: usize,
+    },
+    /// The number of PE specifications does not match the tile count.
+    PeCountMismatch {
+        /// Tiles in the topology.
+        tiles: usize,
+        /// PE specifications supplied.
+        pes: usize,
+    },
+    /// The requested routing algorithm cannot be used on the topology
+    /// (e.g. XY routing on a honeycomb).
+    IncompatibleRouting {
+        /// Routing algorithm name.
+        routing: &'static str,
+        /// Topology name.
+        topology: String,
+    },
+    /// A custom routing table is missing the route for a pair, or a listed
+    /// route does not form a connected link path from source to
+    /// destination.
+    InvalidRoute {
+        /// Source tile.
+        src: TileId,
+        /// Destination tile.
+        dst: TileId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The topology is disconnected: no route exists between two tiles.
+    Disconnected {
+        /// Source tile.
+        src: TileId,
+        /// Destination tile.
+        dst: TileId,
+    },
+    /// A non-positive link bandwidth was configured.
+    InvalidBandwidth(f64),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::EmptyTopology => write!(f, "topology has no tiles"),
+            PlatformError::UnknownTile { tile, tile_count } => {
+                write!(f, "tile {tile} out of range (platform has {tile_count} tiles)")
+            }
+            PlatformError::PeCountMismatch { tiles, pes } => {
+                write!(f, "{pes} PE specifications supplied for {tiles} tiles")
+            }
+            PlatformError::IncompatibleRouting { routing, topology } => {
+                write!(f, "routing `{routing}` is not applicable to topology `{topology}`")
+            }
+            PlatformError::InvalidRoute { src, dst, reason } => {
+                write!(f, "invalid route {src} -> {dst}: {reason}")
+            }
+            PlatformError::Disconnected { src, dst } => {
+                write!(f, "no route from tile {src} to tile {dst}")
+            }
+            PlatformError::InvalidBandwidth(b) => {
+                write!(f, "link bandwidth must be positive, got {b}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = PlatformError::UnknownTile { tile: TileId::new(9), tile_count: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("tile 9"));
+        assert!(msg.contains('4'));
+        let e = PlatformError::InvalidBandwidth(0.0);
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PlatformError>();
+    }
+}

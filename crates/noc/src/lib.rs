@@ -1,0 +1,70 @@
+//! # noc-platform
+//!
+//! Tile-based Network-on-Chip (NoC) platform model used by the `noc-eas`
+//! energy-aware scheduler, reproducing the platform of Hu & Marculescu,
+//! *"Energy-Aware Communication and Task Scheduling for Network-on-Chip
+//! Architectures under Real-Time Constraints"* (DATE 2004).
+//!
+//! The platform is a set of tiles, each containing a (possibly
+//! heterogeneous) processing element and a router, interconnected by
+//! directed links. The crate provides:
+//!
+//! * [`units`] — newtyped time/energy/volume quantities,
+//! * [`tile`] — tiles, coordinates and processing-element specifications,
+//! * [`catalog`] — a parametric catalog of heterogeneous PE classes,
+//! * [`topology`] — 2D mesh, 2D torus and honeycomb tile topologies,
+//! * [`routing`] — deterministic routing (XY, YX, shortest-path, custom),
+//! * [`energy`] — the bit-energy model `E_bit = E_Sbit + E_Lbit` (Eq. 1–2),
+//! * [`platform`] — the assembled [`Platform`], the crate's main entry
+//!   point, which precomputes the Architecture Characterization Graph
+//!   (ACG, Def. 2 of the paper): per source/destination pair the route,
+//!   the energy-per-bit `e(r_ij)` and the bandwidth `b(r_ij)`.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_platform::prelude::*;
+//!
+//! # fn main() -> Result<(), noc_platform::PlatformError> {
+//! // A 4x4 heterogeneous mesh with XY routing, as in the paper's Sec. 6.1.
+//! let platform = Platform::builder()
+//!     .topology(TopologySpec::mesh(4, 4))
+//!     .routing(RoutingSpec::Xy)
+//!     .pe_mix(PeCatalog::date04().cycle_mix())
+//!     .build()?;
+//!
+//! assert_eq!(platform.tile_count(), 16);
+//! let a = TileId::new(0);
+//! let b = TileId::new(15);
+//! // Manhattan distance 6 => 7 routers, 6 links on the XY route.
+//! assert_eq!(platform.route(a, b).len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod energy;
+mod error;
+pub mod platform;
+pub mod routing;
+pub mod tile;
+pub mod topology;
+pub mod units;
+
+pub use error::PlatformError;
+pub use platform::{Platform, PlatformBuilder};
+
+/// Convenient glob import of the most commonly used platform types.
+pub mod prelude {
+    pub use crate::catalog::{PeCatalog, PeClass};
+    pub use crate::energy::EnergyModel;
+    pub use crate::platform::{Platform, PlatformBuilder};
+    pub use crate::routing::{LinkId, RoutingSpec};
+    pub use crate::tile::{Coord, PeId, TileId};
+    pub use crate::topology::TopologySpec;
+    pub use crate::units::{Energy, Time, Volume};
+    pub use crate::PlatformError;
+}

@@ -1,0 +1,181 @@
+//! Tiles, coordinates and processing-element identities.
+//!
+//! Each tile of the NoC contains exactly one processing element (PE) and
+//! one router, so tiles and PEs are in one-to-one correspondence. The
+//! paper indexes tiles by `(row, col)`; we expose that via [`Coord`] while
+//! using dense integer [`TileId`]s internally.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a tile (and therefore also its PE and its router) within a
+/// platform. Ids are dense indices in `0..tile_count`.
+///
+/// ```
+/// use noc_platform::tile::TileId;
+/// let t = TileId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TileId(u32);
+
+impl TileId {
+    /// Creates a tile id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        TileId(index)
+    }
+
+    /// Returns the dense index as a `usize`, for slice indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f) // honours width/alignment flags
+    }
+}
+
+impl From<u32> for TileId {
+    fn from(index: u32) -> Self {
+        TileId(index)
+    }
+}
+
+/// A processing element identity. PEs and tiles correspond one-to-one, so
+/// this is an alias-like newtype kept distinct for API clarity: scheduling
+/// code talks about *PEs* (Def. 1's `R_i`/`E_i` arrays are indexed by PE),
+/// routing code talks about *tiles*.
+///
+/// ```
+/// use noc_platform::tile::{PeId, TileId};
+/// let pe = PeId::from(TileId::new(2));
+/// assert_eq!(pe.tile(), TileId::new(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PeId(u32);
+
+impl PeId {
+    /// Creates a PE id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        PeId(index)
+    }
+
+    /// Returns the dense index as a `usize`, for slice indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The tile hosting this PE.
+    #[must_use]
+    pub const fn tile(self) -> TileId {
+        TileId(self.0)
+    }
+}
+
+impl From<TileId> for PeId {
+    fn from(t: TileId) -> Self {
+        PeId(t.raw())
+    }
+}
+
+impl From<PeId> for TileId {
+    fn from(p: PeId) -> Self {
+        p.tile()
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(&format!("PE{}", self.0))
+    }
+}
+
+/// A 2D grid coordinate `(x, y)` where `x` is the column and `y` the row,
+/// matching the paper's Fig. 1 layout (tile `(row, col)` is written
+/// `(y, x)` there).
+///
+/// ```
+/// use noc_platform::tile::Coord;
+/// let a = Coord::new(0, 0);
+/// let b = Coord::new(3, 2);
+/// assert_eq!(a.manhattan(b), 5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Coord {
+    /// Column index.
+    pub x: u16,
+    /// Row index.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate from column `x` and row `y`.
+    #[must_use]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[must_use]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
+        dx + dy
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.y, self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_pe_round_trip() {
+        let t = TileId::new(7);
+        let p = PeId::from(t);
+        assert_eq!(TileId::from(p), t);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "PE7");
+    }
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_diagonal() {
+        let a = Coord::new(1, 4);
+        let b = Coord::new(5, 0);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+        assert_eq!(a.manhattan(b), 8);
+    }
+
+    #[test]
+    fn coord_display_matches_paper_row_col_order() {
+        // Paper writes tile (row, col); Coord stores x=col, y=row.
+        assert_eq!(Coord::new(3, 2).to_string(), "(2,3)");
+    }
+}

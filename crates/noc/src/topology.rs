@@ -1,0 +1,328 @@
+//! Tile topologies: 2D mesh (the paper's platform), 2D torus, and the
+//! honeycomb grid mentioned in the paper's future work (Sec. 7).
+//!
+//! A topology fixes the set of tiles (each with a grid [`Coord`]) and the
+//! set of directed inter-tile links. Routing is layered on top in
+//! [`crate::routing`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::tile::{Coord, TileId};
+
+/// A directed physical link between two adjacent tiles.
+///
+/// Links are directed because wormhole schedule tables reserve each
+/// direction independently (the paper's Fig. 1 schedules e.g. the link
+/// `(3,1) -> (2,3)` wait, `(3,1) -> (3,2)`, per direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Upstream tile.
+    pub src: TileId,
+    /// Downstream tile.
+    pub dst: TileId,
+}
+
+impl Link {
+    /// Creates a directed link.
+    #[must_use]
+    pub const fn new(src: TileId, dst: TileId) -> Self {
+        Link { src, dst }
+    }
+
+    /// The same physical channel in the opposite direction.
+    #[must_use]
+    pub const fn reversed(self) -> Link {
+        Link { src: self.dst, dst: self.src }
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+/// Declarative description of a tile topology.
+///
+/// ```
+/// use noc_platform::topology::TopologySpec;
+/// let mesh = TopologySpec::mesh(4, 4);
+/// assert_eq!(mesh.tile_count(), 16);
+/// assert_eq!(mesh.to_string(), "mesh-4x4");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// A `cols x rows` 2D mesh — the paper's platform.
+    Mesh2d {
+        /// Number of columns.
+        cols: u16,
+        /// Number of rows.
+        rows: u16,
+    },
+    /// A `cols x rows` 2D torus (mesh with wrap-around links).
+    Torus2d {
+        /// Number of columns.
+        cols: u16,
+        /// Number of rows.
+        rows: u16,
+    },
+    /// A `cols x rows` honeycomb (brick-wall) grid: horizontal links in
+    /// every row, vertical links only where `x + y` is even, giving router
+    /// degree at most 3 as in Hemani et al.'s honeycomb NoC.
+    Honeycomb {
+        /// Number of columns (must be at least 2 for connectivity).
+        cols: u16,
+        /// Number of rows.
+        rows: u16,
+    },
+    /// An explicit tile/link list for custom platforms.
+    Custom {
+        /// One coordinate per tile (tile `i` gets `coords[i]`).
+        coords: Vec<Coord>,
+        /// Directed links. Both directions must be listed if the channel
+        /// is bidirectional.
+        links: Vec<Link>,
+        /// Display name.
+        name: String,
+    },
+}
+
+impl TopologySpec {
+    /// A `cols x rows` 2D mesh.
+    #[must_use]
+    pub const fn mesh(cols: u16, rows: u16) -> Self {
+        TopologySpec::Mesh2d { cols, rows }
+    }
+
+    /// A `cols x rows` 2D torus.
+    #[must_use]
+    pub const fn torus(cols: u16, rows: u16) -> Self {
+        TopologySpec::Torus2d { cols, rows }
+    }
+
+    /// A `cols x rows` honeycomb grid.
+    #[must_use]
+    pub const fn honeycomb(cols: u16, rows: u16) -> Self {
+        TopologySpec::Honeycomb { cols, rows }
+    }
+
+    /// Number of tiles described by the spec.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        match self {
+            TopologySpec::Mesh2d { cols, rows }
+            | TopologySpec::Torus2d { cols, rows }
+            | TopologySpec::Honeycomb { cols, rows } => usize::from(*cols) * usize::from(*rows),
+            TopologySpec::Custom { coords, .. } => coords.len(),
+        }
+    }
+
+    /// Grid dimensions for regular topologies, `None` for custom ones.
+    #[must_use]
+    pub fn dims(&self) -> Option<(u16, u16)> {
+        match self {
+            TopologySpec::Mesh2d { cols, rows }
+            | TopologySpec::Torus2d { cols, rows }
+            | TopologySpec::Honeycomb { cols, rows } => Some((*cols, *rows)),
+            TopologySpec::Custom { .. } => None,
+        }
+    }
+
+    /// Materializes per-tile coordinates, row-major (`tile = y*cols + x`).
+    #[must_use]
+    pub fn coords(&self) -> Vec<Coord> {
+        match self {
+            TopologySpec::Mesh2d { cols, rows }
+            | TopologySpec::Torus2d { cols, rows }
+            | TopologySpec::Honeycomb { cols, rows } => {
+                let mut v = Vec::with_capacity(usize::from(*cols) * usize::from(*rows));
+                for y in 0..*rows {
+                    for x in 0..*cols {
+                        v.push(Coord::new(x, y));
+                    }
+                }
+                v
+            }
+            TopologySpec::Custom { coords, .. } => coords.clone(),
+        }
+    }
+
+    /// Materializes the directed link list.
+    #[must_use]
+    pub fn links(&self) -> Vec<Link> {
+        fn id(cols: u16, x: u16, y: u16) -> TileId {
+            TileId::new(u32::from(y) * u32::from(cols) + u32::from(x))
+        }
+        let mut links = Vec::new();
+        match self {
+            TopologySpec::Mesh2d { cols, rows } => {
+                for y in 0..*rows {
+                    for x in 0..*cols {
+                        let here = id(*cols, x, y);
+                        if x + 1 < *cols {
+                            let east = id(*cols, x + 1, y);
+                            links.push(Link::new(here, east));
+                            links.push(Link::new(east, here));
+                        }
+                        if y + 1 < *rows {
+                            let north = id(*cols, x, y + 1);
+                            links.push(Link::new(here, north));
+                            links.push(Link::new(north, here));
+                        }
+                    }
+                }
+            }
+            TopologySpec::Torus2d { cols, rows } => {
+                for y in 0..*rows {
+                    for x in 0..*cols {
+                        let here = id(*cols, x, y);
+                        // Wrap-around east and north neighbours; skip the
+                        // duplicate wrap link when the dimension is <= 1
+                        // (and the double link when it is exactly 2 would
+                        // alias the mesh link, so only add wrap if dim > 2
+                        // or the pair is distinct and not already added).
+                        if *cols > 1 {
+                            let east = id(*cols, (x + 1) % *cols, y);
+                            if x + 1 < *cols || *cols > 2 {
+                                links.push(Link::new(here, east));
+                                links.push(Link::new(east, here));
+                            }
+                        }
+                        if *rows > 1 {
+                            let north = id(*cols, x, (y + 1) % *rows);
+                            if y + 1 < *rows || *rows > 2 {
+                                links.push(Link::new(here, north));
+                                links.push(Link::new(north, here));
+                            }
+                        }
+                    }
+                }
+            }
+            TopologySpec::Honeycomb { cols, rows } => {
+                for y in 0..*rows {
+                    for x in 0..*cols {
+                        let here = id(*cols, x, y);
+                        if x + 1 < *cols {
+                            let east = id(*cols, x + 1, y);
+                            links.push(Link::new(here, east));
+                            links.push(Link::new(east, here));
+                        }
+                        // Vertical link only on the "even" brick seams.
+                        if y + 1 < *rows && (x + y) % 2 == 0 {
+                            let north = id(*cols, x, y + 1);
+                            links.push(Link::new(here, north));
+                            links.push(Link::new(north, here));
+                        }
+                    }
+                }
+            }
+            TopologySpec::Custom { links: l, .. } => links.extend(l.iter().copied()),
+        }
+        links.sort();
+        links.dedup();
+        links
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologySpec::Mesh2d { cols, rows } => write!(f, "mesh-{cols}x{rows}"),
+            TopologySpec::Torus2d { cols, rows } => write!(f, "torus-{cols}x{rows}"),
+            TopologySpec::Honeycomb { cols, rows } => write!(f, "honeycomb-{cols}x{rows}"),
+            TopologySpec::Custom { name, .. } => write!(f, "{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn degree_histogram(spec: &TopologySpec) -> Vec<usize> {
+        let mut out_deg = vec![0usize; spec.tile_count()];
+        for l in spec.links() {
+            out_deg[l.src.index()] += 1;
+        }
+        out_deg
+    }
+
+    #[test]
+    fn mesh_link_count() {
+        // cols*(rows-1) + rows*(cols-1) undirected channels, x2 directed.
+        let spec = TopologySpec::mesh(4, 4);
+        assert_eq!(spec.links().len(), 2 * (4 * 3 + 4 * 3));
+        assert_eq!(spec.coords().len(), 16);
+    }
+
+    #[test]
+    fn mesh_corner_degree_is_two() {
+        let deg = degree_histogram(&TopologySpec::mesh(3, 3));
+        assert_eq!(deg[0], 2); // corner
+        assert_eq!(deg[4], 4); // center
+    }
+
+    #[test]
+    fn torus_every_tile_has_degree_four() {
+        let deg = degree_histogram(&TopologySpec::torus(4, 4));
+        assert!(deg.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn torus_3x3_has_wrap_links() {
+        let spec = TopologySpec::torus(3, 3);
+        let links = spec.links();
+        // Wrap link from (2,0)=tile2 to (0,0)=tile0 must exist.
+        assert!(links.contains(&Link::new(TileId::new(2), TileId::new(0))));
+    }
+
+    #[test]
+    fn torus_degenerate_dims_do_not_duplicate_links() {
+        let spec = TopologySpec::torus(2, 2);
+        let links = spec.links();
+        let mut sorted = links.clone();
+        sorted.dedup();
+        assert_eq!(links.len(), sorted.len());
+        // 2x2 torus with dedup == 2x2 mesh links.
+        assert_eq!(links.len(), TopologySpec::mesh(2, 2).links().len());
+    }
+
+    #[test]
+    fn honeycomb_degree_at_most_three() {
+        let deg = degree_histogram(&TopologySpec::honeycomb(4, 4));
+        assert!(deg.iter().all(|&d| d <= 3), "honeycomb degree must be <= 3, got {deg:?}");
+    }
+
+    #[test]
+    fn links_are_sorted_and_unique() {
+        let links = TopologySpec::mesh(5, 3).links();
+        let mut copy = links.clone();
+        copy.sort();
+        copy.dedup();
+        assert_eq!(links, copy);
+    }
+
+    #[test]
+    fn reversed_link_round_trips() {
+        let l = Link::new(TileId::new(1), TileId::new(2));
+        assert_eq!(l.reversed().reversed(), l);
+        assert_eq!(l.to_string(), "1->2");
+    }
+
+    #[test]
+    fn custom_topology_passes_links_through() {
+        let spec = TopologySpec::Custom {
+            coords: vec![Coord::new(0, 0), Coord::new(1, 0)],
+            links: vec![
+                Link::new(TileId::new(0), TileId::new(1)),
+                Link::new(TileId::new(1), TileId::new(0)),
+            ],
+            name: "pair".into(),
+        };
+        assert_eq!(spec.tile_count(), 2);
+        assert_eq!(spec.links().len(), 2);
+        assert_eq!(spec.to_string(), "pair");
+    }
+}

@@ -1,0 +1,400 @@
+//! Newtyped physical quantities used throughout the workspace.
+//!
+//! The paper reports times in abstract "time units" and energies in nJ.
+//! We follow the same convention: [`Time`] is an integer tick count
+//! (interpreted as nanoseconds in the experiments) and [`Energy`] is a
+//! floating-point nanojoule amount.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) discrete schedule time, in ticks.
+///
+/// Ticks are dimensionless in the library; the experiment harness
+/// interprets them as nanoseconds. `Time` is kept integral so schedule
+/// tables are exact and comparisons are total.
+///
+/// ```
+/// use noc_platform::units::Time;
+/// let t = Time::new(100) + Time::new(20);
+/// assert_eq!(t, Time::new(120));
+/// assert!(t > Time::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of schedule time.
+    pub const ZERO: Time = Time(0);
+    /// A time later than any schedulable event; used for "no deadline".
+    pub const INFINITY: Time = Time(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the [`Time::INFINITY`] sentinel.
+    #[must_use]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Saturating addition; `INFINITY` absorbs.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction, clamping at zero.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lossy conversion to `f64` ticks (for statistics).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    /// Panics in debug builds if `rhs > self`.
+    fn sub(self, rhs: Time) -> Time {
+        debug_assert!(self.0 >= rhs.0, "time underflow: {self} - {rhs}");
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            f.pad("inf")
+        } else {
+            fmt::Display::fmt(&self.0, f) // honours width/alignment flags
+        }
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+/// An amount of energy, in nanojoules.
+///
+/// ```
+/// use noc_platform::units::Energy;
+/// let e = Energy::from_nj(1.5) + Energy::from_nj(0.5);
+/// assert_eq!(e.as_nj(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy amount from nanojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `nj` is negative or not finite.
+    #[must_use]
+    pub fn from_nj(nj: f64) -> Self {
+        debug_assert!(nj.is_finite() && nj >= 0.0, "invalid energy: {nj}");
+        Energy(nj)
+    }
+
+    /// Returns the amount in nanojoules.
+    #[must_use]
+    pub const fn as_nj(self) -> f64 {
+        self.0
+    }
+
+    /// The larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Energy) -> Energy {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} nJ", self.0)
+    }
+}
+
+/// A communication volume, in bits (the `v(c_ij)` of Def. 1).
+///
+/// ```
+/// use noc_platform::units::Volume;
+/// let v = Volume::from_bits(1024);
+/// assert_eq!(v.bits(), 1024);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Volume(u64);
+
+impl Volume {
+    /// Zero bits.
+    pub const ZERO: Volume = Volume(0);
+
+    /// Creates a volume from a bit count.
+    #[must_use]
+    pub const fn from_bits(bits: u64) -> Self {
+        Volume(bits)
+    }
+
+    /// Returns the bit count.
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// `true` if the volume carries no data (a pure control dependency).
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lossy conversion to `f64` bits.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for Volume {
+    type Output = Volume;
+    fn add(self, rhs: Volume) -> Volume {
+        Volume(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Volume {
+    fn add_assign(&mut self, rhs: Volume) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Volume {
+    fn sum<I: Iterator<Item = Volume>>(iter: I) -> Volume {
+        iter.fold(Volume::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Volume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bits", self.0)
+    }
+}
+
+impl From<u64> for Volume {
+    fn from(bits: u64) -> Self {
+        Volume(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_saturates_at_infinity() {
+        let t = Time::INFINITY + Time::new(5);
+        assert!(t.is_infinite());
+        assert_eq!(Time::INFINITY.saturating_add(Time::new(1)), Time::INFINITY);
+    }
+
+    #[test]
+    fn time_subtraction_and_ordering() {
+        let a = Time::new(100);
+        let b = Time::new(40);
+        assert_eq!(a - b, Time::new(60));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Time::new(60)));
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn time_sum_and_display() {
+        let total: Time = [1u64, 2, 3].into_iter().map(Time::new).sum();
+        assert_eq!(total, Time::new(6));
+        assert_eq!(Time::new(7).to_string(), "7");
+        assert_eq!(Time::INFINITY.to_string(), "inf");
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let e = Energy::from_nj(2.0) * 3.0 + Energy::from_nj(1.0);
+        assert!((e.as_nj() - 7.0).abs() < 1e-12);
+        let total: Energy = [1.0, 2.5].into_iter().map(Energy::from_nj).sum();
+        assert!((total.as_nj() - 3.5).abs() < 1e-12);
+        assert_eq!(Energy::from_nj(1.0).max(Energy::from_nj(2.0)).as_nj(), 2.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid energy")]
+    fn energy_rejects_negative() {
+        let _ = Energy::from_nj(-1.0);
+    }
+
+    #[test]
+    fn volume_basics() {
+        let v = Volume::from_bits(10) + Volume::from_bits(20);
+        assert_eq!(v.bits(), 30);
+        assert!(!v.is_zero());
+        assert!(Volume::ZERO.is_zero());
+        assert_eq!(v.to_string(), "30 bits");
+    }
+
+    #[test]
+    fn infinity_ordering_and_multiplication() {
+        assert!(Time::INFINITY > Time::new(u64::MAX - 1));
+        assert!((Time::INFINITY * 2).is_infinite());
+        assert_eq!(Time::INFINITY.saturating_sub(Time::new(5)), Time::new(u64::MAX - 5));
+        assert!(!Time::new(0).is_infinite());
+    }
+
+    #[test]
+    fn display_honours_width() {
+        assert_eq!(format!("{:>6}", Time::new(42)), "    42");
+        assert_eq!(format!("{:<5}", Time::INFINITY), "inf  ");
+    }
+
+    #[test]
+    fn serde_round_trips_are_transparent() {
+        let t: Time = serde_json::from_str("42").expect("time");
+        assert_eq!(t, Time::new(42));
+        assert_eq!(serde_json::to_string(&Volume::from_bits(9)).unwrap(), "9");
+    }
+}

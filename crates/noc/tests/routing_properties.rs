@@ -1,0 +1,123 @@
+//! Property-based tests of platform routing: every supported
+//! (topology, routing) combination yields complete, link-consistent,
+//! loop-free routes.
+
+use proptest::prelude::*;
+
+use noc_platform::prelude::*;
+
+fn build(topology: TopologySpec, routing: RoutingSpec) -> Platform {
+    Platform::builder()
+        .topology(topology)
+        .routing(routing)
+        .build()
+        .expect("supported combination builds")
+}
+
+fn assert_routes_consistent(p: &Platform) {
+    for s in p.tiles() {
+        for d in p.tiles() {
+            let route = p.route(s, d);
+            if s == d {
+                assert!(route.is_empty());
+                continue;
+            }
+            assert!(!route.is_empty(), "{s}->{d} unrouted");
+            assert_eq!(p.link(route[0]).src, s);
+            assert_eq!(p.link(route[route.len() - 1]).dst, d);
+            for w in route.windows(2) {
+                assert_eq!(p.link(w[0]).dst, p.link(w[1]).src);
+            }
+            // Loop-free: no tile visited twice.
+            let mut visited = vec![p.link(route[0]).src];
+            for &l in route {
+                let next = p.link(l).dst;
+                assert!(!visited.contains(&next), "{s}->{d} revisits {next}");
+                visited.push(next);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mesh_routes_are_consistent(cols in 1u16..6, rows in 1u16..6,
+                                  yx in proptest::bool::ANY) {
+        let routing = if yx { RoutingSpec::Yx } else { RoutingSpec::Xy };
+        let p = build(TopologySpec::mesh(cols, rows), routing);
+        assert_routes_consistent(&p);
+        // XY route lengths equal Manhattan distance (minimal routing).
+        for s in p.tiles() {
+            for d in p.tiles() {
+                prop_assert_eq!(
+                    p.route(s, d).len() as u32,
+                    p.coord(s).manhattan(p.coord(d))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_routes_are_consistent_and_never_longer_than_mesh(
+        cols in 1u16..6, rows in 1u16..6,
+    ) {
+        let torus = build(TopologySpec::torus(cols, rows), RoutingSpec::Xy);
+        assert_routes_consistent(&torus);
+        let mesh = build(TopologySpec::mesh(cols, rows), RoutingSpec::Xy);
+        for s in torus.tiles() {
+            for d in torus.tiles() {
+                prop_assert!(torus.route(s, d).len() <= mesh.route(s, d).len());
+            }
+        }
+    }
+
+    #[test]
+    fn honeycomb_shortest_path_is_consistent(cols in 2u16..6, rows in 1u16..6) {
+        let p = build(TopologySpec::honeycomb(cols, rows), RoutingSpec::ShortestPath);
+        assert_routes_consistent(&p);
+    }
+
+    #[test]
+    fn bit_energy_is_monotone_in_route_length(cols in 2u16..6, rows in 2u16..6) {
+        let p = build(TopologySpec::mesh(cols, rows), RoutingSpec::Xy);
+        let origin = TileId::new(0);
+        let mut by_len: Vec<(usize, f64)> = p
+            .tiles()
+            .map(|d| (p.hop_links(origin, d), p.bit_energy(origin, d).as_nj()))
+            .collect();
+        by_len.sort_by_key(|entry| entry.0);
+        for w in by_len.windows(2) {
+            if w[0].0 < w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            } else {
+                prop_assert!((w[0].1 - w[1].1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_duration_matches_bandwidth(bits in 1u64..100_000, bw in 1u32..512) {
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(2, 1))
+            .link_bandwidth(f64::from(bw))
+            .build()
+            .expect("builds");
+        let d = p.transfer_duration(TileId::new(0), TileId::new(1), Volume::from_bits(bits));
+        let expect = (bits as f64 / f64::from(bw)).ceil() as u64;
+        prop_assert_eq!(d, Time::new(expect.max(1)));
+    }
+}
+
+#[test]
+fn single_tile_platform_is_degenerate_but_valid() {
+    let p = build(TopologySpec::mesh(1, 1), RoutingSpec::Xy);
+    assert_eq!(p.tile_count(), 1);
+    assert_eq!(p.link_count(), 0);
+    assert!(p.route(TileId::new(0), TileId::new(0)).is_empty());
+    assert_eq!(
+        p.transfer_duration(TileId::new(0), TileId::new(0), Volume::from_bits(1 << 20)),
+        Time::ZERO
+    );
+}

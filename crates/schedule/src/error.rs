@@ -1,0 +1,133 @@
+use std::error::Error;
+use std::fmt;
+
+use noc_ctg::edge::EdgeId;
+use noc_ctg::task::TaskId;
+use noc_platform::routing::LinkId;
+use noc_platform::tile::PeId;
+
+/// Constraint violations detected by [`crate::validate()`].
+///
+/// Deadline misses are deliberately *not* an error variant: the paper's
+/// EAS-base can produce schedules with misses which are then repaired, so
+/// misses are reported in the [`crate::ValidationReport`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// The schedule was built for a different task/edge count than the
+    /// graph it is validated against.
+    ShapeMismatch {
+        /// Tasks in the schedule.
+        schedule_tasks: usize,
+        /// Tasks in the graph.
+        graph_tasks: usize,
+        /// Edges in the schedule.
+        schedule_edges: usize,
+        /// Edges in the graph.
+        graph_edges: usize,
+    },
+    /// A task has no placement.
+    UnplacedTask(TaskId),
+    /// A task's recorded finish is not `start + exec_time(pe)`.
+    InconsistentTaskTiming(TaskId),
+    /// Two tasks overlap in time on the same PE (violates Def. 4).
+    TaskOverlap {
+        /// The shared PE.
+        pe: PeId,
+        /// First task.
+        first: TaskId,
+        /// Second task.
+        second: TaskId,
+    },
+    /// A data edge between remotely-placed tasks has no communication
+    /// placement.
+    UnplacedTransaction(EdgeId),
+    /// A transaction's route differs from the platform's deterministic
+    /// route between the placed PEs.
+    RouteMismatch(EdgeId),
+    /// A transaction's recorded finish is not `start + duration`.
+    InconsistentTransactionTiming(EdgeId),
+    /// A transaction starts before its producer task finishes.
+    TransactionBeforeProducer(EdgeId),
+    /// Two transactions overlap in time on the same link (violates
+    /// Def. 3).
+    TransactionOverlap {
+        /// The shared link.
+        link: LinkId,
+        /// First transaction.
+        first: EdgeId,
+        /// Second transaction.
+        second: EdgeId,
+    },
+    /// A task starts before one of its dependencies is satisfied
+    /// (producer finish for control/local edges, transaction arrival for
+    /// remote data edges).
+    DependencyViolation {
+        /// The violated edge.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::ShapeMismatch {
+                schedule_tasks,
+                graph_tasks,
+                schedule_edges,
+                graph_edges,
+            } => write!(
+                f,
+                "schedule shape {schedule_tasks}t/{schedule_edges}e does not match graph {graph_tasks}t/{graph_edges}e"
+            ),
+            ScheduleError::UnplacedTask(t) => write!(f, "task {t} has no placement"),
+            ScheduleError::InconsistentTaskTiming(t) => {
+                write!(f, "task {t} finish time does not equal start + execution time")
+            }
+            ScheduleError::TaskOverlap { pe, first, second } => {
+                write!(f, "tasks {first} and {second} overlap on {pe}")
+            }
+            ScheduleError::UnplacedTransaction(e) => {
+                write!(f, "remote data edge {e} has no communication placement")
+            }
+            ScheduleError::RouteMismatch(e) => {
+                write!(f, "transaction {e} does not follow the platform route")
+            }
+            ScheduleError::InconsistentTransactionTiming(e) => {
+                write!(f, "transaction {e} finish time does not equal start + duration")
+            }
+            ScheduleError::TransactionBeforeProducer(e) => {
+                write!(f, "transaction {e} starts before its producer finishes")
+            }
+            ScheduleError::TransactionOverlap { link, first, second } => {
+                write!(f, "transactions {first} and {second} overlap on link {link}")
+            }
+            ScheduleError::DependencyViolation { edge } => {
+                write!(f, "dependency {edge} violated: consumer starts too early")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ScheduleError::TaskOverlap {
+            pe: PeId::new(1),
+            first: TaskId::new(2),
+            second: TaskId::new(3),
+        };
+        assert_eq!(e.to_string(), "tasks t2 and t3 overlap on PE1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ScheduleError>();
+    }
+}

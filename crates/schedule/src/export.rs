@@ -1,0 +1,201 @@
+//! Machine-readable schedule exports: CSV rows and a link-occupancy
+//! view, complementing the human-oriented [`crate::gantt`].
+
+use std::fmt::Write as _;
+
+use noc_ctg::TaskGraph;
+use noc_platform::routing::LinkId;
+use noc_platform::units::Time;
+use noc_platform::Platform;
+
+use crate::schedule::Schedule;
+
+/// Renders the task placements as CSV:
+/// `task,name,pe,start,finish,deadline` (deadline empty when
+/// unconstrained).
+#[must_use]
+pub fn tasks_to_csv(schedule: &Schedule, graph: &TaskGraph) -> String {
+    let mut out = String::from("task,name,pe,start,finish,deadline\n");
+    for t in graph.task_ids() {
+        let p = schedule.task(t);
+        let deadline = graph
+            .task(t)
+            .deadline()
+            .map(|d| d.ticks().to_string())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            t.index(),
+            graph.task(t).name(),
+            p.pe.index(),
+            p.start.ticks(),
+            p.finish.ticks(),
+            deadline
+        );
+    }
+    out
+}
+
+/// Renders the communication placements as CSV:
+/// `edge,src_task,dst_task,volume_bits,start,finish,links`.
+#[must_use]
+pub fn comms_to_csv(schedule: &Schedule, graph: &TaskGraph) -> String {
+    let mut out = String::from("edge,src_task,dst_task,volume_bits,start,finish,links\n");
+    for e in graph.edge_ids() {
+        let edge = graph.edge(e);
+        let c = schedule.comm(e);
+        let links = c
+            .route
+            .iter()
+            .map(|l| l.index().to_string())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            e.index(),
+            edge.src.index(),
+            edge.dst.index(),
+            edge.volume.bits(),
+            c.start.ticks(),
+            c.finish.ticks(),
+            links
+        );
+    }
+    out
+}
+
+/// Per-link occupancy windows of a schedule, sorted by start — the
+/// "schedule table of the link" from the paper's Fig. 1, reconstructed
+/// from the artifact.
+#[must_use]
+pub fn link_occupancy(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    platform: &Platform,
+) -> Vec<Vec<(Time, Time)>> {
+    let mut per_link: Vec<Vec<(Time, Time)>> = vec![Vec::new(); platform.link_count()];
+    for e in graph.edge_ids() {
+        let c = schedule.comm(e);
+        if c.start == c.finish {
+            continue;
+        }
+        for l in &c.route {
+            per_link[l.index()].push((c.start, c.finish));
+        }
+    }
+    for v in &mut per_link {
+        v.sort_unstable();
+    }
+    per_link
+}
+
+/// A compact text view of the busiest links: `link  src->dst  busy%  windows`.
+#[must_use]
+pub fn render_link_occupancy(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    platform: &Platform,
+    top: usize,
+) -> String {
+    let occupancy = link_occupancy(schedule, graph, platform);
+    let makespan = schedule.makespan().as_f64().max(1.0);
+    let mut rows: Vec<(f64, LinkId)> = occupancy
+        .iter()
+        .enumerate()
+        .map(|(i, wins)| {
+            let busy: u64 = wins.iter().map(|(s, f)| (*f - *s).ticks()).sum();
+            (busy as f64 / makespan, LinkId::new(i as u32))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    let mut out = String::from("link   channel    busy%  windows\n");
+    for (busy, link) in rows.into_iter().take(top) {
+        let l = platform.link(link);
+        let _ = writeln!(
+            out,
+            "{:<6} {:<10} {:>5.1}  {}",
+            link,
+            format!("{}->{}", l.src, l.dst),
+            busy * 100.0,
+            occupancy[link.index()].len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, TaskPlacement};
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::{Energy, Volume};
+
+    fn fixture() -> (Platform, TaskGraph, Schedule) {
+        let platform = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap();
+        let mut b = TaskGraph::builder("x", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(
+            Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(500)),
+        );
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        let graph = b.build().unwrap();
+        let route = platform.route(TileId::new(0), TileId::new(1)).to_vec();
+        let schedule = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        );
+        (platform, graph, schedule)
+    }
+
+    #[test]
+    fn task_csv_has_header_and_rows() {
+        let (_, graph, schedule) = fixture();
+        let csv = tasks_to_csv(&schedule, &graph);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "task,name,pe,start,finish,deadline");
+        assert_eq!(lines[1], "0,a,0,0,100,");
+        assert_eq!(lines[2], "1,c,1,110,210,500");
+    }
+
+    #[test]
+    fn comm_csv_lists_route_links() {
+        let (_, graph, schedule) = fixture();
+        let csv = comms_to_csv(&schedule, &graph);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("0,0,1,320,100,110,"));
+    }
+
+    #[test]
+    fn occupancy_reconstructs_link_tables() {
+        let (platform, graph, schedule) = fixture();
+        let occ = link_occupancy(&schedule, &graph, &platform);
+        let used: usize = occ.iter().map(Vec::len).sum();
+        assert_eq!(used, 1);
+        let windows: Vec<_> = occ.iter().flatten().collect();
+        assert_eq!(*windows[0], (Time::new(100), Time::new(110)));
+    }
+
+    #[test]
+    fn render_lists_busiest_first() {
+        let (platform, graph, schedule) = fixture();
+        let text = render_link_occupancy(&schedule, &graph, &platform, 3);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("busy%"));
+        // The one used link leads the ranking with nonzero busy%.
+        assert!(lines[1].contains("0->1"));
+        assert!(!lines[1].contains(" 0.0"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Plain-text Gantt rendering of a schedule, for humans and examples.
+
+use noc_ctg::TaskGraph;
+use noc_platform::units::Time;
+use noc_platform::Platform;
+
+use crate::schedule::Schedule;
+
+/// Renders a per-PE Gantt chart of `schedule` as fixed-width text.
+///
+/// Each PE row shows its tasks as `[name---]` blocks on a time axis
+/// scaled to `width` columns. Intended for quickstart examples and
+/// debugging, not for machine parsing.
+///
+/// ```
+/// use noc_schedule::prelude::*;
+/// use noc_schedule::gantt::render_gantt;
+/// # use noc_ctg::prelude::*;
+/// # use noc_platform::prelude::*;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let platform = Platform::builder().topology(TopologySpec::mesh(2, 1)).build()?;
+/// # let mut b = TaskGraph::builder("g", 2);
+/// # let a = b.add_task(Task::uniform("a", 2, Time::new(10), Energy::from_nj(1.0)));
+/// # let graph = b.build()?;
+/// # let schedule = Schedule::new(
+/// #     vec![TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(10))], vec![]);
+/// let text = render_gantt(&schedule, &graph, &platform, 60);
+/// assert!(text.contains("PE0"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn render_gantt(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    platform: &Platform,
+    width: usize,
+) -> String {
+    let width = width.max(20);
+    let makespan = schedule.makespan().as_f64().max(1.0);
+    let col = |t: Time| -> usize {
+        ((t.as_f64() / makespan) * (width as f64 - 1.0)).round() as usize
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} on {} ({} routing), makespan {}\n",
+        graph.name(),
+        platform.topology(),
+        platform.routing_name(),
+        schedule.makespan()
+    ));
+    for pe in platform.pes() {
+        let class = platform.pe_class(pe);
+        let mut row = vec![b' '; width];
+        for t in schedule.tasks_on(pe) {
+            let p = schedule.task(t);
+            let (s, e) = (col(p.start), col(p.finish).max(col(p.start) + 1));
+            let name = graph.task(t).name();
+            let block_len = (e - s).min(width - s);
+            let mut block = vec![b'-'; block_len];
+            if block_len >= 2 {
+                block[0] = b'[';
+                block[block_len - 1] = b']';
+                for (i, ch) in name.bytes().take(block_len.saturating_sub(2)).enumerate() {
+                    block[1 + i] = ch;
+                }
+            } else if block_len == 1 {
+                block[0] = b'|';
+            }
+            row[s..s + block_len].copy_from_slice(&block);
+        }
+        out.push_str(&format!(
+            "PE{:<3} {:<10} |{}|\n",
+            pe.index(),
+            class.name,
+            String::from_utf8_lossy(&row)
+        ));
+    }
+    // Axis.
+    out.push_str(&format!(
+        "{:16}0{:>width$}\n",
+        "",
+        schedule.makespan(),
+        width = width
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, TaskPlacement};
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::{Energy, Volume};
+
+    #[test]
+    fn renders_all_pes_and_task_names() {
+        let platform = Platform::builder().topology(TopologySpec::mesh(2, 1)).build().unwrap();
+        let mut b = TaskGraph::builder("demo", 2);
+        let a = b.add_task(Task::uniform("alpha", 2, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("beta", 2, Time::new(100), Energy::from_nj(1.0)));
+        b.add_edge(a, c, Volume::from_bits(32)).unwrap();
+        let graph = b.build().unwrap();
+        let route = platform.route(TileId::new(0), TileId::new(1)).to_vec();
+        let schedule = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(101), Time::new(201)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(101))],
+        );
+        let text = render_gantt(&schedule, &graph, &platform, 80);
+        assert!(text.contains("PE0"));
+        assert!(text.contains("PE1"));
+        assert!(text.contains("alph") || text.contains("alpha"));
+        assert!(text.contains("makespan 201"));
+    }
+
+    #[test]
+    fn narrow_width_is_clamped() {
+        let platform = Platform::builder().topology(TopologySpec::mesh(1, 1)).build().unwrap();
+        let mut b = TaskGraph::builder("demo", 1);
+        b.add_task(Task::uniform("x", 1, Time::new(10), Energy::from_nj(1.0)));
+        let graph = b.build().unwrap();
+        let schedule = Schedule::new(
+            vec![TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(10))],
+            vec![],
+        );
+        let text = render_gantt(&schedule, &graph, &platform, 1);
+        assert!(text.lines().count() >= 2);
+    }
+}

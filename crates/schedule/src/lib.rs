@@ -1,0 +1,69 @@
+//! # noc-schedule
+//!
+//! Schedule-table and schedule-artifact substrate for energy-aware NoC
+//! scheduling (Hu & Marculescu, DATE 2004).
+//!
+//! The paper's schedulers manipulate *schedule tables*: per-PE and
+//! per-link lists of occupied time slots (Fig. 1 shows the tables of tile
+//! `(2,3)` and of the link `(3,1) -> (3,2)`). This crate provides:
+//!
+//! * [`table`] — a single resource's busy-interval table with earliest-gap
+//!   search,
+//! * [`resources`] — the combined PE + link tables of a platform with an
+//!   **undo log** (checkpoint/rollback), the workhorse of the trial
+//!   `F(i,k)` computations in the EAS level scheduler and of the Fig. 3
+//!   communication scheduler's *path* tables,
+//! * [`schedule`] — the immutable schedule artifact (task and
+//!   communication placements),
+//! * [`validate`](mod@validate) — checks a schedule against Defs. 3–4 (task and
+//!   transaction compatibility), dependency and deadline constraints,
+//! * [`stats`] — energy accounting (Eq. 3), makespan, hops-per-packet and
+//!   utilization statistics,
+//! * [`gantt`] — a plain-text Gantt rendering for humans.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_schedule::table::ScheduleTable;
+//! use noc_platform::units::Time;
+//!
+//! let mut t = ScheduleTable::new();
+//! t.occupy(Time::new(10), Time::new(20));
+//! // Earliest slot of length 15 at or after t=0 is after the busy block.
+//! assert_eq!(t.find_earliest(Time::ZERO, Time::new(15)), Time::new(30));
+//! assert_eq!(t.find_earliest(Time::ZERO, Time::new(10)), Time::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+mod error;
+pub mod export;
+pub mod gantt;
+pub mod resources;
+pub mod schedule;
+pub mod stats;
+pub mod table;
+pub mod validate;
+pub mod vcd;
+
+pub use error::ScheduleError;
+pub use resources::ResourceTables;
+pub use schedule::{CommPlacement, Schedule, TaskPlacement};
+pub use stats::{EnergyBreakdown, ScheduleStats};
+pub use validate::{validate, ValidationReport};
+
+/// Convenient glob import of the most commonly used scheduling types.
+pub mod prelude {
+    pub use crate::compare::ScheduleDiff;
+    pub use crate::export::{comms_to_csv, link_occupancy, render_link_occupancy, tasks_to_csv};
+    pub use crate::gantt::render_gantt;
+    pub use crate::resources::{Mark, ResourceTables};
+    pub use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
+    pub use crate::stats::{EnergyBreakdown, ScheduleStats};
+    pub use crate::table::ScheduleTable;
+    pub use crate::vcd::to_vcd;
+    pub use crate::validate::{validate, ValidationReport};
+    pub use crate::ScheduleError;
+}

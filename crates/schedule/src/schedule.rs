@@ -1,0 +1,239 @@
+//! The schedule artifact: where and when every task runs and every
+//! communication transaction flows.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_ctg::edge::EdgeId;
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::routing::LinkId;
+use noc_platform::tile::PeId;
+use noc_platform::units::Time;
+
+/// Where and when one task executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPlacement {
+    /// The PE the task is mapped to (the paper's `M(t_i)`).
+    pub pe: PeId,
+    /// Execution start.
+    pub start: Time,
+    /// Execution finish (`start + r_i^{M(t_i)}`).
+    pub finish: Time,
+}
+
+impl TaskPlacement {
+    /// Creates a placement.
+    #[must_use]
+    pub const fn new(pe: PeId, start: Time, finish: Time) -> Self {
+        TaskPlacement { pe, start, finish }
+    }
+}
+
+/// When one communication transaction occupies its route.
+///
+/// Local transfers (producer and consumer on the same PE) and
+/// zero-volume control edges have an empty route and `start == finish`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommPlacement {
+    /// The links reserved, upstream to downstream.
+    pub route: Vec<LinkId>,
+    /// Transfer start (at or after the producer's finish).
+    pub start: Time,
+    /// Transfer finish (`start + ceil(volume / bandwidth)`); the consumer
+    /// may not start before this.
+    pub finish: Time,
+}
+
+impl CommPlacement {
+    /// Creates a transaction placement.
+    #[must_use]
+    pub const fn new(route: Vec<LinkId>, start: Time, finish: Time) -> Self {
+        CommPlacement { route, start, finish }
+    }
+
+    /// A placement for a transfer that never enters the network,
+    /// completing instantaneously at `at`.
+    #[must_use]
+    pub const fn local(at: Time) -> Self {
+        CommPlacement { route: Vec::new(), start: at, finish: at }
+    }
+
+    /// `true` if the transfer does not use the network.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.route.is_empty()
+    }
+
+    /// Number of links traversed.
+    #[must_use]
+    pub fn hop_links(&self) -> usize {
+        self.route.len()
+    }
+}
+
+/// A complete static schedule for one task graph on one platform: the
+/// output artifact of every scheduler in `noc-eas`.
+///
+/// Use [`crate::validate()`] to check it against the constraints of the
+/// paper's problem formulation (Sec. 4) and [`crate::ScheduleStats`] for
+/// energy/makespan accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    tasks: Vec<TaskPlacement>,
+    comms: Vec<CommPlacement>,
+}
+
+impl Schedule {
+    /// Assembles a schedule from per-task and per-edge placements
+    /// (indexed by [`TaskId`] / [`EdgeId`] order).
+    #[must_use]
+    pub fn new(tasks: Vec<TaskPlacement>, comms: Vec<CommPlacement>) -> Self {
+        Schedule { tasks, comms }
+    }
+
+    /// Number of placed tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of placed transactions.
+    #[must_use]
+    pub fn comm_count(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// The placement of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[must_use]
+    pub fn task(&self, task: TaskId) -> &TaskPlacement {
+        &self.tasks[task.index()]
+    }
+
+    /// The placement of a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[must_use]
+    pub fn comm(&self, edge: EdgeId) -> &CommPlacement {
+        &self.comms[edge.index()]
+    }
+
+    /// All task placements, id order.
+    #[must_use]
+    pub fn task_placements(&self) -> &[TaskPlacement] {
+        &self.tasks
+    }
+
+    /// All transaction placements, id order.
+    #[must_use]
+    pub fn comm_placements(&self) -> &[CommPlacement] {
+        &self.comms
+    }
+
+    /// Latest task finish.
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        self.tasks.iter().map(|p| p.finish).max().unwrap_or(Time::ZERO)
+    }
+
+    /// Tasks mapped to `pe`, sorted by start time.
+    #[must_use]
+    pub fn tasks_on(&self, pe: PeId) -> Vec<TaskId> {
+        let mut v: Vec<TaskId> = (0..self.tasks.len() as u32)
+            .map(TaskId::new)
+            .filter(|t| self.tasks[t.index()].pe == pe)
+            .collect();
+        v.sort_by_key(|t| (self.tasks[t.index()].start, t.raw()));
+        v
+    }
+
+    /// The deadline misses of this schedule against `graph`: tasks whose
+    /// finish exceeds their (explicit) deadline, with their tardiness.
+    #[must_use]
+    pub fn deadline_misses(&self, graph: &TaskGraph) -> Vec<(TaskId, Time)> {
+        let mut misses = Vec::new();
+        for t in graph.task_ids() {
+            if let Some(d) = graph.task(t).deadline() {
+                let finish = self.tasks[t.index()].finish;
+                if finish > d {
+                    misses.push((t, finish - d));
+                }
+            }
+        }
+        misses
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule of {} tasks / {} transactions, makespan {}",
+            self.task_count(),
+            self.comm_count(),
+            self.makespan()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Time {
+        Time::new(x)
+    }
+
+    fn two_task_schedule() -> Schedule {
+        Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), t(0), t(100)),
+                TaskPlacement::new(PeId::new(1), t(150), t(250)),
+            ],
+            vec![CommPlacement::new(vec![LinkId::new(0)], t(100), t(150))],
+        )
+    }
+
+    #[test]
+    fn makespan_is_latest_finish() {
+        assert_eq!(two_task_schedule().makespan(), t(250));
+        assert_eq!(Schedule::new(vec![], vec![]).makespan(), Time::ZERO);
+    }
+
+    #[test]
+    fn tasks_on_filters_and_sorts() {
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), t(100), t(200)),
+                TaskPlacement::new(PeId::new(0), t(0), t(100)),
+                TaskPlacement::new(PeId::new(1), t(0), t(50)),
+            ],
+            vec![],
+        );
+        assert_eq!(s.tasks_on(PeId::new(0)), vec![TaskId::new(1), TaskId::new(0)]);
+        assert_eq!(s.tasks_on(PeId::new(1)), vec![TaskId::new(2)]);
+        assert!(s.tasks_on(PeId::new(2)).is_empty());
+    }
+
+    #[test]
+    fn local_comm_is_instant() {
+        let c = CommPlacement::local(t(42));
+        assert!(c.is_local());
+        assert_eq!(c.start, c.finish);
+        assert_eq!(c.hop_links(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = two_task_schedule();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,235 @@
+//! Energy accounting (Eq. 3) and schedule statistics.
+//!
+//! The paper's objective is
+//!
+//! ```text
+//! energy = Σ_i e_i^{M(t_i)}  +  Σ_{c_ij} v(c_ij) * e(r_{M(t_i),M(t_j)})
+//! ```
+//!
+//! i.e. computation energy on the assigned PEs plus communication energy
+//! of every data transfer over its route. [`ScheduleStats`] additionally
+//! reports the per-packet hop average the paper quotes in Sec. 6.2
+//! ("decreasing the average hops per packet from 2.55 to 1.68") and PE
+//! utilization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_ctg::TaskGraph;
+use noc_platform::tile::PeId;
+use noc_platform::units::{Energy, Time};
+use noc_platform::Platform;
+
+use crate::schedule::Schedule;
+
+/// Computation/communication energy split (Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// `Σ e_i^{M(t_i)}` — task execution energy on the assigned PEs.
+    pub computation: Energy,
+    /// `Σ v(c_ij) · e(r_ij)` — transfer energy over the assigned routes.
+    pub communication: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total application energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.computation + self.communication
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} total ({} comp + {} comm)",
+            self.total(),
+            self.computation,
+            self.communication
+        )
+    }
+}
+
+/// Derived statistics of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Energy split per Eq. 3.
+    pub energy: EnergyBreakdown,
+    /// Latest task finish.
+    pub makespan: Time,
+    /// Mean number of routers traversed per *data* packet (local
+    /// delivery counts as 1 router, matching Eq. 2's `n_hops`).
+    pub avg_hops_per_packet: f64,
+    /// Fraction of `makespan` each PE spends computing, tile order.
+    pub pe_utilization: Vec<f64>,
+}
+
+impl ScheduleStats {
+    /// Computes all statistics of `schedule` for `graph` on `platform`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's shape does not match the graph (validate
+    /// first with [`crate::validate()`]).
+    #[must_use]
+    pub fn compute(schedule: &Schedule, graph: &TaskGraph, platform: &Platform) -> Self {
+        assert_eq!(schedule.task_count(), graph.task_count(), "schedule/graph shape mismatch");
+        assert_eq!(schedule.comm_count(), graph.edge_count(), "schedule/graph shape mismatch");
+
+        let mut computation = Energy::ZERO;
+        let mut busy = vec![Time::ZERO; platform.tile_count()];
+        for t in graph.task_ids() {
+            let p = schedule.task(t);
+            computation += graph.task(t).exec_energy(p.pe);
+            busy[p.pe.index()] += p.finish - p.start;
+        }
+
+        let mut communication = Energy::ZERO;
+        let mut hop_sum = 0usize;
+        let mut packets = 0usize;
+        for e in graph.edge_ids() {
+            let edge = graph.edge(e);
+            if edge.volume.is_zero() {
+                continue;
+            }
+            let src = schedule.task(edge.src).pe.tile();
+            let dst = schedule.task(edge.dst).pe.tile();
+            communication += platform.transfer_energy(src, dst, edge.volume);
+            hop_sum += platform.hop_links(src, dst) + 1; // links + 1 routers
+            packets += 1;
+        }
+
+        let makespan = schedule.makespan();
+        let horizon = makespan.as_f64().max(1.0);
+        let pe_utilization = busy.iter().map(|b| b.as_f64() / horizon).collect();
+
+        ScheduleStats {
+            energy: EnergyBreakdown { computation, communication },
+            makespan,
+            avg_hops_per_packet: if packets == 0 {
+                0.0
+            } else {
+                hop_sum as f64 / packets as f64
+            },
+            pe_utilization,
+        }
+    }
+
+    /// Utilization of one PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    #[must_use]
+    pub fn utilization(&self, pe: PeId) -> f64 {
+        self.pe_utilization[pe.index()]
+    }
+}
+
+impl fmt::Display for ScheduleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, makespan {}, {:.2} hops/packet",
+            self.energy, self.makespan, self.avg_hops_per_packet
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, TaskPlacement};
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::Volume;
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraph::builder("g", 4);
+        let a = b.add_task(Task::new(
+            "a",
+            vec![Time::new(100); 4],
+            vec![
+                Energy::from_nj(10.0),
+                Energy::from_nj(20.0),
+                Energy::from_nj(30.0),
+                Energy::from_nj(40.0),
+            ],
+        ));
+        let c = b.add_task(Task::uniform("c", 4, Time::new(100), Energy::from_nj(5.0)));
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn computation_energy_depends_on_assignment() {
+        let p = platform();
+        let g = graph();
+        let local = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(3), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(3), Time::new(100), Time::new(200)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        let stats = ScheduleStats::compute(&local, &g, &p);
+        assert!((stats.energy.computation.as_nj() - 45.0).abs() < 1e-9);
+        // Local data packet still traverses one router (Eq. 2 with 0 links).
+        assert!(stats.energy.communication.as_nj() > 0.0);
+        assert_eq!(stats.avg_hops_per_packet, 1.0);
+    }
+
+    #[test]
+    fn communication_energy_matches_eq3() {
+        let p = platform();
+        let g = graph();
+        let route = p.route(TileId::new(0), TileId::new(3)).to_vec(); // 2 links
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(3), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        );
+        let stats = ScheduleStats::compute(&s, &g, &p);
+        let expected = p.transfer_energy(TileId::new(0), TileId::new(3), Volume::from_bits(320));
+        assert!((stats.energy.communication.as_nj() - expected.as_nj()).abs() < 1e-12);
+        assert_eq!(stats.avg_hops_per_packet, 3.0); // 2 links + 1
+        assert_eq!(stats.makespan, Time::new(210));
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let p = platform();
+        let g = graph();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(0), Time::new(100), Time::new(200)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        let stats = ScheduleStats::compute(&s, &g, &p);
+        assert!((stats.utilization(PeId::new(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(stats.utilization(PeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let b = EnergyBreakdown {
+            computation: Energy::from_nj(3.0),
+            communication: Energy::from_nj(4.0),
+        };
+        assert!((b.total().as_nj() - 7.0).abs() < 1e-12);
+        assert!(b.to_string().contains("comp"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Schedule validation against the paper's problem formulation (Sec. 4).
+//!
+//! A feasible schedule must satisfy, for a given CTG and platform:
+//!
+//! 1. **task compatibility** (Def. 4): tasks on the same PE do not
+//!    overlap in time,
+//! 2. **transaction compatibility** (Def. 3): transactions sharing a
+//!    link do not overlap in time,
+//! 3. **dependencies**: a consumer starts only after each producer has
+//!    finished and (for remote data edges) the transaction has arrived,
+//! 4. **deadlines**: constrained tasks finish by their deadline.
+//!
+//! Violations of 1–3 are hard errors ([`crate::ScheduleError`]); deadline
+//! misses are reported in the [`ValidationReport`] because the paper's
+//! EAS-base legitimately produces them (they are then repaired in
+//! Step 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::units::Time;
+use noc_platform::Platform;
+
+use crate::schedule::Schedule;
+use crate::ScheduleError;
+
+/// One deadline miss: the task, its finish and its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlineMiss {
+    /// The late task.
+    pub task: TaskId,
+    /// When it finishes.
+    pub finish: Time,
+    /// When it should have finished.
+    pub deadline: Time,
+}
+
+impl DeadlineMiss {
+    /// How late the task is.
+    #[must_use]
+    pub fn tardiness(&self) -> Time {
+        self.finish - self.deadline
+    }
+}
+
+/// Outcome of a successful structural validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// All deadline misses, ascending task id.
+    pub deadline_misses: Vec<DeadlineMiss>,
+    /// Latest task finish.
+    pub makespan: Time,
+}
+
+impl ValidationReport {
+    /// `true` if every constrained task meets its deadline.
+    #[must_use]
+    pub fn meets_deadlines(&self) -> bool {
+        self.deadline_misses.is_empty()
+    }
+
+    /// Sum of all tardiness.
+    #[must_use]
+    pub fn total_tardiness(&self) -> Time {
+        self.deadline_misses.iter().map(DeadlineMiss::tardiness).sum()
+    }
+
+    /// The lexicographic badness `(miss count, total tardiness)` used by
+    /// the search-and-repair procedure to decide whether a move
+    /// "reduces the deadline misses".
+    #[must_use]
+    pub fn badness(&self) -> (usize, Time) {
+        (self.deadline_misses.len(), self.total_tardiness())
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "makespan {}, {} deadline miss(es), tardiness {}",
+            self.makespan,
+            self.deadline_misses.len(),
+            self.total_tardiness()
+        )
+    }
+}
+
+/// Validates `schedule` for `graph` on `platform`.
+///
+/// # Errors
+///
+/// Returns the first detected structural violation as a
+/// [`ScheduleError`] (see the [module documentation](self) for the rule
+/// list). Deadline misses do **not** error; inspect the report.
+pub fn validate(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    platform: &Platform,
+) -> Result<ValidationReport, ScheduleError> {
+    if schedule.task_count() != graph.task_count()
+        || schedule.comm_count() != graph.edge_count()
+    {
+        return Err(ScheduleError::ShapeMismatch {
+            schedule_tasks: schedule.task_count(),
+            graph_tasks: graph.task_count(),
+            schedule_edges: schedule.comm_count(),
+            graph_edges: graph.edge_count(),
+        });
+    }
+
+    // 1. Per-task timing consistency.
+    for t in graph.task_ids() {
+        let p = schedule.task(t);
+        if p.pe.index() >= platform.tile_count() {
+            return Err(ScheduleError::UnplacedTask(t));
+        }
+        let exec = graph.task(t).exec_time(p.pe);
+        if p.start + exec != p.finish {
+            return Err(ScheduleError::InconsistentTaskTiming(t));
+        }
+    }
+
+    // 2. Def. 4: tasks on one PE must not overlap.
+    for pe in platform.pes() {
+        let tasks = schedule.tasks_on(pe);
+        for w in tasks.windows(2) {
+            let a = schedule.task(w[0]);
+            let b = schedule.task(w[1]);
+            if b.start < a.finish {
+                return Err(ScheduleError::TaskOverlap { pe, first: w[0], second: w[1] });
+            }
+        }
+    }
+
+    // 3. Transactions: routes, timing, producer/consumer ordering.
+    for e in graph.edge_ids() {
+        let edge = graph.edge(e);
+        let producer = schedule.task(edge.src);
+        let consumer = schedule.task(edge.dst);
+        let comm = schedule.comm(e);
+        let local = producer.pe == consumer.pe || edge.volume.is_zero();
+        if local {
+            if !comm.is_local() {
+                return Err(ScheduleError::RouteMismatch(e));
+            }
+            if consumer.start < producer.finish {
+                return Err(ScheduleError::DependencyViolation { edge: e });
+            }
+            continue;
+        }
+        let expected = platform.route(producer.pe.tile(), consumer.pe.tile());
+        if comm.route != expected {
+            return Err(ScheduleError::RouteMismatch(e));
+        }
+        let duration =
+            platform.transfer_duration(producer.pe.tile(), consumer.pe.tile(), edge.volume);
+        if comm.start + duration != comm.finish {
+            return Err(ScheduleError::InconsistentTransactionTiming(e));
+        }
+        if comm.start < producer.finish {
+            return Err(ScheduleError::TransactionBeforeProducer(e));
+        }
+        if consumer.start < comm.finish {
+            return Err(ScheduleError::DependencyViolation { edge: e });
+        }
+    }
+
+    // 4. Def. 3: transactions sharing a link must not overlap.
+    let mut per_link: Vec<Vec<(Time, Time, noc_ctg::edge::EdgeId)>> =
+        vec![Vec::new(); platform.link_count()];
+    for e in graph.edge_ids() {
+        let comm = schedule.comm(e);
+        if comm.start == comm.finish {
+            continue;
+        }
+        for l in &comm.route {
+            per_link[l.index()].push((comm.start, comm.finish, e));
+        }
+    }
+    for (li, entries) in per_link.iter_mut().enumerate() {
+        entries.sort();
+        for w in entries.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(ScheduleError::TransactionOverlap {
+                    link: noc_platform::routing::LinkId::new(li as u32),
+                    first: w[0].2,
+                    second: w[1].2,
+                });
+            }
+        }
+    }
+
+    // 5. Deadlines (reported, not errored).
+    let mut deadline_misses = Vec::new();
+    for t in graph.task_ids() {
+        if let Some(d) = graph.task(t).deadline() {
+            let finish = schedule.task(t).finish;
+            if finish > d {
+                deadline_misses.push(DeadlineMiss { task: t, finish, deadline: d });
+            }
+        }
+    }
+
+    Ok(ValidationReport { deadline_misses, makespan: schedule.makespan() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{CommPlacement, TaskPlacement};
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::{Energy, Volume};
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    /// a -> b with 320 bits (10 ticks at bw 32).
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraph::builder("g", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(
+            Task::uniform("b", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(300)),
+        );
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn remote_ok_schedule(p: &Platform) -> Schedule {
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        )
+    }
+
+    #[test]
+    fn valid_remote_schedule_passes() {
+        let p = platform();
+        let g = graph();
+        let report = validate(&remote_ok_schedule(&p), &g, &p).expect("valid");
+        assert!(report.meets_deadlines());
+        assert_eq!(report.makespan, Time::new(210));
+    }
+
+    #[test]
+    fn valid_local_schedule_passes() {
+        let p = platform();
+        let g = graph();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(2), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(2), Time::new(100), Time::new(200)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        let report = validate(&s, &g, &p).expect("valid");
+        assert!(report.meets_deadlines());
+    }
+
+    #[test]
+    fn deadline_miss_is_reported_not_errored() {
+        let p = platform();
+        let g = graph();
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::new(200), Time::new(300)),
+                TaskPlacement::new(PeId::new(1), Time::new(310), Time::new(410)),
+            ],
+            vec![CommPlacement::new(route, Time::new(300), Time::new(310))],
+        );
+        let report = validate(&s, &g, &p).expect("structurally valid");
+        assert_eq!(report.deadline_misses.len(), 1);
+        assert_eq!(report.deadline_misses[0].tardiness(), Time::new(110));
+        assert_eq!(report.badness(), (1, Time::new(110)));
+    }
+
+    #[test]
+    fn task_overlap_is_detected() {
+        let p = platform();
+        let g = graph();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(0), Time::new(50), Time::new(150)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TaskOverlap { .. })));
+    }
+
+    #[test]
+    fn wrong_route_is_detected() {
+        let p = platform();
+        let g = graph();
+        let wrong = p.route(TileId::new(1), TileId::new(0)).to_vec(); // reversed
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(wrong, Time::new(100), Time::new(110))],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::RouteMismatch(_))));
+    }
+
+    #[test]
+    fn consumer_before_arrival_is_detected() {
+        let p = platform();
+        let g = graph();
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(105), Time::new(205)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::DependencyViolation { .. })));
+    }
+
+    #[test]
+    fn transaction_before_producer_is_detected() {
+        let p = platform();
+        let g = graph();
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(90), Time::new(100))],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TransactionBeforeProducer(_))));
+    }
+
+    #[test]
+    fn link_overlap_is_detected() {
+        let p = platform();
+        // Two parallel producer/consumer pairs sharing link 0->1.
+        let mut b = TaskGraph::builder("g2", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(10), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("c", 4, Time::new(10), Energy::from_nj(1.0)));
+        let x = b.add_task(Task::uniform("x", 4, Time::new(10), Energy::from_nj(1.0)));
+        let y = b.add_task(Task::uniform("y", 4, Time::new(10), Energy::from_nj(1.0)));
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.add_edge(x, y, Volume::from_bits(320)).unwrap();
+        let g = b.build().unwrap();
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(10)),
+                TaskPlacement::new(PeId::new(1), Time::new(25), Time::new(35)),
+                TaskPlacement::new(PeId::new(0), Time::new(10), Time::new(20)),
+                TaskPlacement::new(PeId::new(1), Time::new(35), Time::new(45)),
+            ],
+            vec![
+                CommPlacement::new(route.clone(), Time::new(15), Time::new(25)),
+                CommPlacement::new(route, Time::new(20), Time::new(30)), // overlaps in [20,25)
+            ],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TransactionOverlap { .. })));
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let p = platform();
+        let g = graph();
+        let s = Schedule::new(vec![], vec![]);
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn inconsistent_task_timing_is_detected() {
+        let p = platform();
+        let g = graph();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(99)), // should be 100
+                TaskPlacement::new(PeId::new(0), Time::new(100), Time::new(200)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::InconsistentTaskTiming(_))));
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the wormhole network model.
+///
+/// The defaults mirror the scheduling model's assumptions so simulated
+/// and scheduled transfer durations agree up to pipeline fill latency:
+/// one 32-bit flit per link per tick matches the platform's default
+/// bandwidth of 32 bits/tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Bits per flit (one flit crosses one link per tick).
+    pub flit_bits: u64,
+    /// Router input buffer depth in flits (the paper: "registers,
+    /// typically in the size of one or two flits each").
+    pub buffer_flits: u64,
+    /// Extra router pipeline ticks charged when a head flit acquires a
+    /// channel (0 = single-cycle routers, the schedule model's
+    /// assumption; 1–2 model deeper router pipelines).
+    pub hop_latency: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with single-cycle routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    #[must_use]
+    pub fn new(flit_bits: u64, buffer_flits: u64) -> Self {
+        assert!(flit_bits > 0, "flit size must be positive");
+        assert!(buffer_flits > 0, "buffers must hold at least one flit");
+        SimConfig { flit_bits, buffer_flits, hop_latency: 0 }
+    }
+
+    /// Sets the per-hop router pipeline latency (builder style).
+    #[must_use]
+    pub fn with_hop_latency(mut self, ticks: u64) -> Self {
+        self.hop_latency = ticks;
+        self
+    }
+
+    /// Flits needed for a payload of `bits` (at least one).
+    #[must_use]
+    pub fn flits_for(&self, bits: u64) -> u64 {
+        bits.div_ceil(self.flit_bits).max(1)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(32, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let c = SimConfig::default();
+        assert_eq!(c.flits_for(32), 1);
+        assert_eq!(c.flits_for(33), 2);
+        assert_eq!(c.flits_for(1), 1);
+        assert_eq!(c.flits_for(0), 1, "even an empty payload needs a header flit");
+    }
+
+    #[test]
+    #[should_panic(expected = "flit size")]
+    fn zero_flit_size_rejected() {
+        let _ = SimConfig::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffers")]
+    fn zero_buffer_rejected() {
+        let _ = SimConfig::new(32, 0);
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+use noc_platform::tile::TileId;
+
+/// Errors produced by the simulator layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A message references a tile outside the simulated platform.
+    UnknownTile(TileId),
+    /// The executor was given a schedule whose shape does not match the
+    /// task graph.
+    ShapeMismatch {
+        /// Tasks in the schedule.
+        schedule_tasks: usize,
+        /// Tasks in the graph.
+        graph_tasks: usize,
+    },
+    /// The executor made no progress: the schedule's per-PE order
+    /// contradicts the dependency graph (should not happen for validated
+    /// schedules).
+    ExecutorDeadlock,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTile(t) => write!(f, "message references unknown tile {t}"),
+            SimError::ShapeMismatch { schedule_tasks, graph_tasks } => write!(
+                f,
+                "schedule has {schedule_tasks} tasks but the graph has {graph_tasks}"
+            ),
+            SimError::ExecutorDeadlock => {
+                write!(f, "execution deadlocked: per-PE order contradicts dependencies")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::ExecutorDeadlock.to_string().contains("deadlock"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Whole-application execution of a static schedule on the simulated
+//! network.
+//!
+//! The executor keeps the schedule's *decisions* (PE assignment and
+//! per-PE execution order) but lets timing emerge dynamically: a task
+//! starts when (a) it is its turn on its PE and (b) every input has
+//! actually arrived through the wormhole network; transactions are
+//! injected the moment their producer finishes. Comparing the realized
+//! trace against the static schedule quantifies the abstraction gap of
+//! the schedule-table model (pipeline-fill latency, arbitration order)
+//! and confirms the schedule executes without deadline surprises.
+
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::tile::PeId;
+use noc_platform::units::Time;
+use noc_platform::Platform;
+use noc_schedule::Schedule;
+
+use crate::config::SimConfig;
+use crate::message::{Message, MessageId};
+use crate::network::NetworkSim;
+use crate::SimError;
+
+/// The realized (dynamic) timing of one schedule execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    /// Realized start per task.
+    pub start: Vec<Time>,
+    /// Realized finish per task.
+    pub finish: Vec<Time>,
+    /// Latest realized finish.
+    pub makespan: Time,
+    /// Tasks whose realized finish exceeds their deadline, with
+    /// tardiness.
+    pub deadline_misses: Vec<(TaskId, Time)>,
+}
+
+impl ExecutionTrace {
+    /// `true` if the realized execution met every deadline.
+    #[must_use]
+    pub fn meets_deadlines(&self) -> bool {
+        self.deadline_misses.is_empty()
+    }
+
+    /// Per-task slippage of the realized finish versus the static
+    /// schedule (saturating at zero for tasks that finish early).
+    #[must_use]
+    pub fn slippage_vs(&self, schedule: &Schedule) -> Vec<Time> {
+        self.finish
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| f.saturating_sub(schedule.task(TaskId::new(i as u32)).finish))
+            .collect()
+    }
+}
+
+/// Replays schedules on a simulated wormhole network; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ScheduleExecutor<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    config: SimConfig,
+}
+
+impl<'a> ScheduleExecutor<'a> {
+    /// Creates an executor for one graph/platform pair.
+    #[must_use]
+    pub fn new(graph: &'a TaskGraph, platform: &'a Platform, config: SimConfig) -> Self {
+        ScheduleExecutor { graph, platform, config }
+    }
+
+    /// Executes `schedule`'s decisions with dynamic timing.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ShapeMismatch`] if the schedule does not match the
+    ///   graph,
+    /// * [`SimError::ExecutorDeadlock`] if no progress is possible (only
+    ///   for schedules that were never validated).
+    pub fn execute(&self, schedule: &Schedule) -> Result<ExecutionTrace, SimError> {
+        self.execute_with_exec_times(schedule, None)
+    }
+
+    /// Like [`execute`](Self::execute), but with per-task execution-time
+    /// overrides (indexed by task id) — the hook for Monte-Carlo
+    /// robustness studies where realized runtimes deviate from the
+    /// profiled `R_i` the schedule was built against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`execute`](Self::execute); additionally
+    /// [`SimError::ShapeMismatch`] if the override vector length differs
+    /// from the task count.
+    pub fn execute_with_exec_times(
+        &self,
+        schedule: &Schedule,
+        exec_override: Option<&[Time]>,
+    ) -> Result<ExecutionTrace, SimError> {
+        let graph = self.graph;
+        if let Some(o) = exec_override {
+            if o.len() != graph.task_count() {
+                return Err(SimError::ShapeMismatch {
+                    schedule_tasks: o.len(),
+                    graph_tasks: graph.task_count(),
+                });
+            }
+        }
+        if schedule.task_count() != graph.task_count() {
+            return Err(SimError::ShapeMismatch {
+                schedule_tasks: schedule.task_count(),
+                graph_tasks: graph.task_count(),
+            });
+        }
+
+        let n = graph.task_count();
+        let queues: Vec<Vec<TaskId>> =
+            self.platform.pes().map(|pe| schedule.tasks_on(pe)).collect();
+        let mut ptr = vec![0usize; queues.len()];
+        let mut pe_busy_until = vec![Time::ZERO; queues.len()];
+
+        let mut started: Vec<Option<Time>> = vec![None; n];
+        let mut finished: Vec<Option<Time>> = vec![None; n];
+        // For every edge: the message carrying it (None for local /
+        // control edges, resolved when the producer finishes).
+        let mut edge_msg: Vec<Option<MessageId>> = vec![None; graph.edge_count()];
+        let mut edge_injected = vec![false; graph.edge_count()];
+
+        let mut network = NetworkSim::new(self.platform, self.config);
+        let mut now = Time::ZERO;
+        let mut done = 0usize;
+        let horizon_guard = Time::new(1 << 40);
+
+        while done < n {
+            // 1. Inject transactions of tasks finishing at `now`.
+            for t in graph.task_ids() {
+                if finished[t.index()] != Some(now) {
+                    continue;
+                }
+                for &e in graph.outgoing(t) {
+                    if edge_injected[e.index()] {
+                        continue;
+                    }
+                    edge_injected[e.index()] = true;
+                    let edge = graph.edge(e);
+                    let src = schedule.task(edge.src).pe.tile();
+                    let dst = schedule.task(edge.dst).pe.tile();
+                    if src == dst || edge.volume.is_zero() {
+                        continue; // delivered instantly; readiness checks producer finish
+                    }
+                    let id = network.inject_on(
+                        self.platform,
+                        Message::new(src, dst, edge.volume, now),
+                    );
+                    edge_msg[e.index()] = Some(id);
+                }
+            }
+
+            // 2. Start tasks whose turn has come and whose inputs arrived.
+            let mut progressed = false;
+            for (pe_idx, queue) in queues.iter().enumerate() {
+                if ptr[pe_idx] >= queue.len() || pe_busy_until[pe_idx] > now {
+                    continue;
+                }
+                let t = queue[ptr[pe_idx]];
+                if started[t.index()].is_some() {
+                    continue;
+                }
+                let ready = graph.incoming(t).iter().all(|&e| {
+                    let edge = graph.edge(e);
+                    match finished[edge.src.index()] {
+                        None => false,
+                        Some(f) => match edge_msg[e.index()] {
+                            // Local/control edge: ready at producer finish.
+                            None => f <= now,
+                            Some(m) => network.completion(m).is_some_and(|c| c <= now),
+                        },
+                    }
+                });
+                if !ready {
+                    continue;
+                }
+                let exec = exec_override
+                    .map_or_else(|| graph.task(t).exec_time(PeId::new(pe_idx as u32)),
+                                 |o| o[t.index()]);
+                started[t.index()] = Some(now);
+                finished[t.index()] = Some(now + exec);
+                pe_busy_until[pe_idx] = now + exec;
+                ptr[pe_idx] += 1;
+                done += 1;
+                progressed = true;
+            }
+
+            // 3. Advance time: tick the network, or fast-forward to the
+            //    next interesting instant when it is idle.
+            let network_active = network.tick();
+            if !network_active && !progressed {
+                // Jump to the next task finish (message injections and
+                // readiness changes only happen at finishes).
+                let next = finished
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|&f| f > now)
+                    .min();
+                match next {
+                    Some(f) => now = f,
+                    None => {
+                        if done < n {
+                            return Err(SimError::ExecutorDeadlock);
+                        }
+                    }
+                }
+            } else {
+                now += Time::new(1);
+            }
+            if now > horizon_guard {
+                return Err(SimError::ExecutorDeadlock);
+            }
+            // Keep the network clock in lockstep.
+            while network.now() < now {
+                network.tick();
+            }
+        }
+
+        let start: Vec<Time> = started.into_iter().map(|s| s.expect("all started")).collect();
+        let finish: Vec<Time> = finished.into_iter().map(|f| f.expect("all finished")).collect();
+        let makespan = finish.iter().copied().max().unwrap_or(Time::ZERO);
+        let mut deadline_misses = Vec::new();
+        for t in graph.task_ids() {
+            if let Some(d) = graph.task(t).deadline() {
+                if finish[t.index()] > d {
+                    deadline_misses.push((t, finish[t.index()] - d));
+                }
+            }
+        }
+        Ok(ExecutionTrace { start, finish, makespan, deadline_misses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_platform::prelude::*;
+    use noc_platform::units::{Energy, Volume};
+    use noc_schedule::{CommPlacement, TaskPlacement};
+
+    fn platform() -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .build()
+            .unwrap()
+    }
+
+    fn chain_graph() -> TaskGraph {
+        let mut b = TaskGraph::builder("c", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(
+            Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(250)),
+        );
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn remote_schedule(p: &Platform) -> Schedule {
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(1), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        )
+    }
+
+    #[test]
+    fn dynamic_matches_static_for_single_hop() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        // 10 flits over 1 link: arrives at 110, c runs 110..210 — exactly
+        // the static schedule.
+        assert_eq!(trace.start[1], Time::new(110));
+        assert_eq!(trace.finish[1], Time::new(210));
+        assert!(trace.meets_deadlines());
+        assert!(trace.slippage_vs(&s).iter().all(|&x| x == Time::ZERO));
+    }
+
+    #[test]
+    fn multi_hop_slips_by_pipeline_fill() {
+        let p = platform();
+        let g = chain_graph();
+        // Same chain but consumer on tile 3 (two hops).
+        let route = p.route(TileId::new(0), TileId::new(3)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(3), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        );
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        // Arrival 111 (one extra pipeline-fill tick) -> start slips by 1.
+        assert_eq!(trace.start[1], Time::new(111));
+        assert_eq!(trace.slippage_vs(&s)[1], Time::new(1));
+    }
+
+    #[test]
+    fn local_schedule_runs_back_to_back() {
+        let p = platform();
+        let g = chain_graph();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(2), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(2), Time::new(100), Time::new(200)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        assert_eq!(trace.start[1], Time::new(100));
+        assert_eq!(trace.makespan, Time::new(200));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let p = platform();
+        let g = chain_graph();
+        let s = Schedule::new(vec![], vec![]);
+        assert!(matches!(
+            ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s),
+            Err(SimError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn exec_override_changes_realized_times() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let overrides = vec![Time::new(150), Time::new(100)]; // a runs long
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_exec_times(&s, Some(&overrides))
+            .unwrap();
+        assert_eq!(trace.finish[0], Time::new(150));
+        // Message leaves at 150, arrives 160, c runs 160..260 — past the
+        // 250 deadline.
+        assert_eq!(trace.finish[1], Time::new(260));
+        assert_eq!(trace.deadline_misses.len(), 1);
+    }
+
+    #[test]
+    fn exec_override_shape_is_checked() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let bad = vec![Time::new(1)];
+        assert!(matches!(
+            ScheduleExecutor::new(&g, &p, SimConfig::default())
+                .execute_with_exec_times(&s, Some(&bad)),
+            Err(SimError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_order_deadlocks_gracefully() {
+        let p = platform();
+        let g = chain_graph();
+        // Consumer queued before producer on the same PE.
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::new(100), Time::new(200)),
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+            ],
+            vec![CommPlacement::local(Time::new(100))],
+        );
+        assert!(matches!(
+            ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s),
+            Err(SimError::ExecutorDeadlock)
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! # noc-sim
+//!
+//! A discrete (cycle-driven), flit-level **wormhole NoC simulator** for
+//! the tile-based platforms of `noc-platform`, used to validate the
+//! static schedules produced by `noc-eas` and to measure what happens
+//! when a schedule executes under *dynamic* network contention instead
+//! of reserved link slots.
+//!
+//! The router model follows the paper's platform description (Sec. 3.1):
+//! wormhole switching, register-based input buffers of one or two flits,
+//! one flit per link per tick, deterministic routing taken from the
+//! platform's ACG, and FIFO channel arbitration.
+//!
+//! Two layers:
+//!
+//! * [`network`] — the network itself: inject [`message::Message`]s,
+//!   advance ticks, observe delivery times and link utilization,
+//! * [`exec`] — a whole-application executor: replays a
+//!   [`noc_schedule::Schedule`]'s assignment and per-PE order, injecting
+//!   each transaction when its producer *actually* finishes, and reports
+//!   the realized (dynamic) task times and deadline misses next to the
+//!   static ones.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_platform::prelude::*;
+//! use noc_sim::network::NetworkSim;
+//! use noc_sim::message::Message;
+//! use noc_sim::SimConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let platform = Platform::builder().topology(TopologySpec::mesh(2, 2)).build()?;
+//! let mut sim = NetworkSim::new(&platform, SimConfig::default());
+//! let id = sim.inject_on(
+//!     &platform,
+//!     Message::new(TileId::new(0), TileId::new(3), Volume::from_bits(320), Time::ZERO),
+//! );
+//! let makespan = sim.run_until_idle();
+//! assert!(sim.completion(id).is_some());
+//! assert!(makespan > Time::ZERO);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod exec;
+pub mod message;
+pub mod network;
+
+pub use config::SimConfig;
+pub use error::SimError;
+pub use exec::{ExecutionTrace, ScheduleExecutor};
+
+/// Convenient glob import of the most commonly used simulator types.
+pub mod prelude {
+    pub use crate::exec::{ExecutionTrace, ScheduleExecutor};
+    pub use crate::message::{Message, MessageId};
+    pub use crate::network::{MessageStats, NetworkSim};
+    pub use crate::SimConfig;
+    pub use crate::SimError;
+}

@@ -1,0 +1,85 @@
+//! Messages: the packets the network simulator carries.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use noc_platform::tile::TileId;
+use noc_platform::units::{Time, Volume};
+
+/// Identifies an injected message within one [`crate::network::NetworkSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MessageId(u32);
+
+impl MessageId {
+    /// Creates an id from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        MessageId(index)
+    }
+
+    /// Returns the dense index as a `usize`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A point-to-point message: `volume` bits from `src` to `dst`, ready
+/// for injection at `inject_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Producing tile.
+    pub src: TileId,
+    /// Consuming tile.
+    pub dst: TileId,
+    /// Payload size in bits.
+    pub volume: Volume,
+    /// Earliest injection time (e.g. the producer task's finish).
+    pub inject_at: Time,
+}
+
+impl Message {
+    /// Creates a message.
+    #[must_use]
+    pub const fn new(src: TileId, dst: TileId, volume: Volume, inject_at: Time) -> Self {
+        Message { src, dst, volume, inject_at }
+    }
+
+    /// `true` if the message never enters the network.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} ({}, t={})", self.src, self.dst, self.volume, self.inject_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality() {
+        let m = Message::new(TileId::new(1), TileId::new(1), Volume::from_bits(8), Time::ZERO);
+        assert!(m.is_local());
+        let m = Message::new(TileId::new(1), TileId::new(2), Volume::from_bits(8), Time::ZERO);
+        assert!(!m.is_local());
+    }
+
+    #[test]
+    fn display() {
+        let m = Message::new(TileId::new(0), TileId::new(2), Volume::from_bits(64), Time::new(5));
+        assert_eq!(m.to_string(), "0 -> 2 (64 bits, t=5)");
+    }
+}

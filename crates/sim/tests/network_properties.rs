@@ -1,0 +1,116 @@
+//! Property-based tests of the wormhole network model: conservation,
+//! determinism, and consistency with the analytic latency formula.
+
+use proptest::prelude::*;
+
+use noc_platform::prelude::*;
+use noc_sim::prelude::*;
+
+fn mesh(cols: u16, rows: u16) -> Platform {
+    Platform::builder()
+        .topology(TopologySpec::mesh(cols, rows))
+        .link_bandwidth(32.0)
+        .build()
+        .expect("mesh builds")
+}
+
+/// Strategy: a batch of random messages on a 4x4 mesh.
+fn message_batch() -> impl Strategy<Value = Vec<(u32, u32, u64, u64)>> {
+    prop::collection::vec((0u32..16, 0u32..16, 1u64..4_096, 0u64..500), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every message is eventually delivered, after its injection and
+    /// never before its contention-free bound.
+    #[test]
+    fn all_messages_deliver_within_physical_bounds(batch in message_batch()) {
+        let p = mesh(4, 4);
+        let mut sim = NetworkSim::new(&p, SimConfig::default());
+        let ids: Vec<MessageId> = batch
+            .iter()
+            .map(|&(s, d, bits, at)| {
+                sim.inject_on(
+                    &p,
+                    Message::new(TileId::new(s), TileId::new(d), Volume::from_bits(bits), Time::new(at)),
+                )
+            })
+            .collect();
+        sim.run_until_idle();
+        for id in ids {
+            let done = sim.completion(id).expect("delivered");
+            prop_assert!(done >= sim.ideal_completion(id));
+            let stats = sim.message_stats(id).expect("stats available");
+            prop_assert_eq!(stats.delivered_at, done);
+            prop_assert_eq!(
+                stats.stall_ticks,
+                done.saturating_sub(stats.ideal).ticks()
+            );
+        }
+    }
+
+    /// The simulation is deterministic: same batch, same outcome.
+    #[test]
+    fn simulation_is_deterministic(batch in message_batch()) {
+        let p = mesh(4, 4);
+        let run = |batch: &[(u32, u32, u64, u64)]| -> Vec<Option<Time>> {
+            let mut sim = NetworkSim::new(&p, SimConfig::default());
+            let ids: Vec<MessageId> = batch
+                .iter()
+                .map(|&(s, d, bits, at)| {
+                    sim.inject_on(
+                        &p,
+                        Message::new(
+                            TileId::new(s),
+                            TileId::new(d),
+                            Volume::from_bits(bits),
+                            Time::new(at),
+                        ),
+                    )
+                })
+                .collect();
+            sim.run_until_idle();
+            ids.into_iter().map(|i| sim.completion(i)).collect()
+        };
+        prop_assert_eq!(run(&batch), run(&batch));
+    }
+
+    /// Flit conservation: total link busy ticks equal the sum over
+    /// remote messages of `flits * route_links`.
+    #[test]
+    fn flit_conservation(batch in message_batch()) {
+        let p = mesh(4, 4);
+        let cfg = SimConfig::default();
+        let mut sim = NetworkSim::new(&p, cfg);
+        let mut expected = 0u64;
+        for &(s, d, bits, at) in &batch {
+            let (src, dst) = (TileId::new(s), TileId::new(d));
+            sim.inject_on(&p, Message::new(src, dst, Volume::from_bits(bits), Time::new(at)));
+            if src != dst {
+                expected += cfg.flits_for(bits) * p.route(src, dst).len() as u64;
+            }
+        }
+        sim.run_until_idle();
+        let total: u64 = sim.link_busy_ticks().iter().sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    /// A single message in an empty network hits the analytic latency
+    /// exactly, for any buffer depth and hop latency.
+    #[test]
+    fn lone_message_matches_formula(
+        s in 0u32..16, d in 0u32..16, bits in 1u64..4_096,
+        buffers in 1u64..4, hop in 0u64..3,
+    ) {
+        let p = mesh(4, 4);
+        let cfg = SimConfig::new(32, buffers).with_hop_latency(hop);
+        let mut sim = NetworkSim::new(&p, cfg);
+        let id = sim.inject_on(
+            &p,
+            Message::new(TileId::new(s), TileId::new(d), Volume::from_bits(bits), Time::ZERO),
+        );
+        sim.run_until_idle();
+        prop_assert_eq!(sim.completion(id), Some(sim.ideal_completion(id)));
+    }
+}

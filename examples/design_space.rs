@@ -1,0 +1,49 @@
+//! Architecture design-space exploration with the scheduler in the
+//! loop: sweep mesh sizes and PE mixes for the integrated A/V system and
+//! report the energy / deadline Pareto rows — the kind of study the
+//! paper's scheduler enables (which platform is *enough* for the
+//! workload?).
+//!
+//! Run with: `cargo run -p noc-eas --example design_space --release`
+
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let meshes: [(u16, u16); 3] = [(2, 2), (3, 2), (3, 3)];
+    let mixes: [(&str, PeCatalog); 2] = [
+        ("date04-hetero", PeCatalog::date04()),
+        ("homogeneous", PeCatalog::homogeneous()),
+    ];
+
+    println!(
+        "{:<9} {:<15} {:>12} {:>10} {:>8} {:>7}",
+        "mesh", "pe-mix", "energy(nJ)", "makespan", "misses", "hops"
+    );
+    for (cols, rows) in meshes {
+        for (mix_name, catalog) in &mixes {
+            let platform = Platform::builder()
+                .topology(TopologySpec::mesh(cols, rows))
+                .pe_mix(catalog.cycle_mix())
+                .build()?;
+            let graph = MultimediaApp::AvIntegrated.build(Clip::Foreman, &platform)?;
+            let outcome = EasScheduler::full().schedule(&graph, &platform)?;
+            println!(
+                "{:<9} {:<15} {:>12.1} {:>10} {:>8} {:>7.2}",
+                format!("{cols}x{rows}"),
+                mix_name,
+                outcome.stats.energy.total().as_nj(),
+                outcome.report.makespan,
+                outcome.report.deadline_misses.len(),
+                outcome.stats.avg_hops_per_packet,
+            );
+        }
+    }
+    println!(
+        "\nReading guide: heterogeneous mixes dominate homogeneous ones on energy;\n\
+         smaller meshes save communication energy until the load makes deadlines\n\
+         unschedulable — the scheduler turns platform sizing into a measurement."
+    );
+    Ok(())
+}

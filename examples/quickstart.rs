@@ -1,0 +1,62 @@
+//! Quickstart: build a small communication task graph, schedule it on a
+//! 2x2 heterogeneous NoC with EAS, and compare against the EDF baseline.
+//!
+//! Run with: `cargo run -p noc-eas --example quickstart`
+
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+use noc_schedule::gantt::render_gantt;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The platform: a 2x2 mesh with the DATE'04 heterogeneous PE mix
+    //    (fast CPU / mid CPU / low-power core / DSP) and XY routing.
+    let platform = Platform::builder()
+        .topology(TopologySpec::mesh(2, 2))
+        .routing(RoutingSpec::Xy)
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()?;
+
+    // 2. The application: a six-task pipeline with a fork/join, a
+    //    deadline on the sink, and per-PE cost vectors synthesized from
+    //    the PE classes (a "DSP-ish" task is cheaper on the DSP tile).
+    let synth = noc_ctg::costs::CostSynthesizer::new(platform.pe_classes());
+    let mut builder = TaskGraph::builder("quickstart", platform.tile_count());
+    let mut task = |name: &str, base: f64, affinity: f64| {
+        let (times, energies) = synth.vectors(base, affinity);
+        builder.add_task(Task::new(name, times, energies))
+    };
+    let capture = task("capture", 150.0, 0.1);
+    let filter_l = task("filter-l", 400.0, 0.9);
+    let filter_r = task("filter-r", 400.0, 0.9);
+    let analyze = task("analyze", 500.0, 0.7);
+    let encode = task("encode", 350.0, 0.4);
+    let emit = task("emit", 120.0, 0.1);
+    builder.add_edge(capture, filter_l, Volume::from_bits(4096))?;
+    builder.add_edge(capture, filter_r, Volume::from_bits(4096))?;
+    builder.add_edge(filter_l, analyze, Volume::from_bits(2048))?;
+    builder.add_edge(filter_r, analyze, Volume::from_bits(2048))?;
+    builder.add_edge(analyze, encode, Volume::from_bits(1024))?;
+    builder.add_edge(encode, emit, Volume::from_bits(512))?;
+    let task = builder.task_mut(emit);
+    *task = task.clone().with_deadline(Time::new(3_000));
+    let graph = builder.build()?;
+
+    // 3. Schedule with EAS (energy-aware) and EDF (performance-driven).
+    let eas = EasScheduler::full().schedule(&graph, &platform)?;
+    let edf = EdfScheduler::new().schedule(&graph, &platform)?;
+
+    println!("EAS schedule:");
+    println!("{}", render_gantt(&eas.schedule, &graph, &platform, 70));
+    println!("EDF schedule:");
+    println!("{}", render_gantt(&edf.schedule, &graph, &platform, 70));
+
+    println!("EAS: {}   (deadlines met: {})", eas.stats, eas.report.meets_deadlines());
+    println!("EDF: {}   (deadlines met: {})", edf.stats, edf.report.meets_deadlines());
+    println!(
+        "Energy savings of EAS over EDF: {:.1}%",
+        100.0 * (edf.stats.energy.total().as_nj() - eas.stats.energy.total().as_nj())
+            / edf.stats.energy.total().as_nj()
+    );
+    Ok(())
+}

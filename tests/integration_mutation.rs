@@ -1,0 +1,195 @@
+//! Failure injection: corrupt valid schedules in every structured way
+//! and assert the validator rejects each corruption — the validator is
+//! the safety net every scheduler relies on, so its discrimination power
+//! is itself under test.
+
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+use noc_schedule::{validate, CommPlacement, Schedule, ScheduleError, TaskPlacement};
+
+fn fixture() -> (Platform, TaskGraph, Schedule) {
+    let platform = Platform::builder()
+        .topology(TopologySpec::mesh(4, 4))
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()
+        .expect("mesh builds");
+    let graph = TgffGenerator::new(TgffConfig::small(13))
+        .generate(&platform)
+        .expect("generates");
+    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    (platform, graph, outcome.schedule)
+}
+
+/// Picks the first remote data transaction of the schedule.
+fn first_remote_edge(graph: &TaskGraph, schedule: &Schedule) -> Option<noc_ctg::edge::EdgeId> {
+    graph.edge_ids().find(|&e| !schedule.comm(e).is_local())
+}
+
+fn rebuild_with_task(
+    schedule: &Schedule,
+    idx: usize,
+    placement: TaskPlacement,
+) -> Schedule {
+    let mut tasks = schedule.task_placements().to_vec();
+    tasks[idx] = placement;
+    Schedule::new(tasks, schedule.comm_placements().to_vec())
+}
+
+fn rebuild_with_comm(schedule: &Schedule, idx: usize, comm: CommPlacement) -> Schedule {
+    let mut comms = schedule.comm_placements().to_vec();
+    comms[idx] = comm;
+    Schedule::new(schedule.task_placements().to_vec(), comms)
+}
+
+/// The annealer's output must survive the same validator as everything
+/// else (its random moves are only accepted via exact re-timing).
+#[test]
+fn annealed_schedules_survive_validation() {
+    let (platform, graph, _) = fixture();
+    let annealer = noc_eas::prelude::AnnealScheduler::new(noc_eas::prelude::AnnealConfig {
+        iterations: 300,
+        ..Default::default()
+    });
+    let outcome = annealer.schedule(&graph, &platform).expect("anneals");
+    validate(&outcome.schedule, &graph, &platform).expect("valid after annealing");
+}
+
+#[test]
+fn baseline_fixture_is_valid() {
+    let (platform, graph, schedule) = fixture();
+    validate(&schedule, &graph, &platform).expect("fixture must be valid");
+}
+
+#[test]
+fn shifting_a_consumer_before_its_input_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let e = first_remote_edge(&graph, &schedule).expect("remote edge exists");
+    let dst = graph.edge(e).dst;
+    let p = *schedule.task(dst);
+    // Pull the consumer to start at the transaction's start (before its
+    // finish): a dependency violation (or an overlap, whichever triggers
+    // first — both are rejections).
+    let hacked = rebuild_with_task(
+        &schedule,
+        dst.index(),
+        TaskPlacement::new(p.pe, schedule.comm(e).start, schedule.comm(e).start + (p.finish - p.start)),
+    );
+    assert!(validate(&hacked, &graph, &platform).is_err());
+}
+
+#[test]
+fn corrupting_task_duration_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let p = *schedule.task(noc_ctg::task::TaskId::new(0));
+    let hacked = rebuild_with_task(
+        &schedule,
+        0,
+        TaskPlacement::new(p.pe, p.start, p.finish + noc_platform::units::Time::new(1)),
+    );
+    assert!(matches!(
+        validate(&hacked, &graph, &platform),
+        Err(ScheduleError::InconsistentTaskTiming(_))
+    ));
+}
+
+#[test]
+fn moving_a_task_without_rerouting_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let e = first_remote_edge(&graph, &schedule).expect("remote edge exists");
+    let src = graph.edge(e).src;
+    let p = *schedule.task(src);
+    // Teleport the producer to another PE without updating the
+    // transaction's route.
+    let new_pe = PeId::new((p.pe.index() as u32 + 1) % platform.tile_count() as u32);
+    let exec = graph.task(src).exec_time(new_pe);
+    let hacked =
+        rebuild_with_task(&schedule, src.index(), TaskPlacement::new(new_pe, p.start, p.start + exec));
+    assert!(validate(&hacked, &graph, &platform).is_err());
+}
+
+#[test]
+fn shrinking_a_transaction_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let e = first_remote_edge(&graph, &schedule).expect("remote edge exists");
+    let c = schedule.comm(e).clone();
+    let hacked = rebuild_with_comm(
+        &schedule,
+        e.index(),
+        CommPlacement::new(c.route.clone(), c.start, c.finish - noc_platform::units::Time::new(1)),
+    );
+    assert!(matches!(
+        validate(&hacked, &graph, &platform),
+        Err(ScheduleError::InconsistentTransactionTiming(_))
+    ));
+}
+
+#[test]
+fn emptying_a_remote_route_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let e = first_remote_edge(&graph, &schedule).expect("remote edge exists");
+    let c = schedule.comm(e).clone();
+    let hacked =
+        rebuild_with_comm(&schedule, e.index(), CommPlacement::new(Vec::new(), c.start, c.finish));
+    assert!(matches!(
+        validate(&hacked, &graph, &platform),
+        Err(ScheduleError::RouteMismatch(_))
+    ));
+}
+
+#[test]
+fn double_booking_a_pe_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    // Move task 1 onto task 0's PE at the same start time (durations
+    // recomputed so per-task timing stays internally consistent).
+    let p0 = *schedule.task(noc_ctg::task::TaskId::new(0));
+    let t1 = noc_ctg::task::TaskId::new(1);
+    let exec = graph.task(t1).exec_time(p0.pe);
+    let hacked =
+        rebuild_with_task(&schedule, 1, TaskPlacement::new(p0.pe, p0.start, p0.start + exec));
+    assert!(validate(&hacked, &graph, &platform).is_err());
+}
+
+#[test]
+fn truncating_the_schedule_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    let tasks = schedule.task_placements()[..graph.task_count() - 1].to_vec();
+    let hacked = Schedule::new(tasks, schedule.comm_placements().to_vec());
+    assert!(matches!(
+        validate(&hacked, &graph, &platform),
+        Err(ScheduleError::ShapeMismatch { .. })
+    ));
+}
+
+#[test]
+fn overlapping_two_transactions_is_caught() {
+    let (platform, graph, schedule) = fixture();
+    // Find two remote transactions sharing at least one link and force
+    // the second onto the first's window.
+    let remotes: Vec<_> = graph
+        .edge_ids()
+        .filter(|&e| !schedule.comm(e).is_local())
+        .collect();
+    let mut pair = None;
+    'outer: for (i, &a) in remotes.iter().enumerate() {
+        for &b in &remotes[i + 1..] {
+            let ra = &schedule.comm(a).route;
+            let rb = &schedule.comm(b).route;
+            if ra.iter().any(|l| rb.contains(l)) {
+                pair = Some((a, b));
+                break 'outer;
+            }
+        }
+    }
+    let Some((a, b)) = pair else {
+        return; // the mapping avoided shared links entirely: nothing to corrupt
+    };
+    let ca = schedule.comm(a).clone();
+    let cb = schedule.comm(b).clone();
+    let dur = cb.finish - cb.start;
+    let hacked =
+        rebuild_with_comm(&schedule, b.index(), CommPlacement::new(cb.route, ca.start, ca.start + dur));
+    // The producer/consumer timing of b may now also be violated; any
+    // rejection is acceptable, but silence is not.
+    assert!(validate(&hacked, &graph, &platform).is_err());
+}

@@ -1,0 +1,157 @@
+//! End-to-end pipeline integration: platform -> CTG -> scheduler ->
+//! validated schedule, across topologies, schedulers and workloads.
+
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+use noc_schedule::{validate, ScheduleStats};
+
+fn mesh(cols: u16, rows: u16) -> Platform {
+    Platform::builder()
+        .topology(TopologySpec::mesh(cols, rows))
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()
+        .expect("mesh builds")
+}
+
+#[test]
+fn all_schedulers_produce_valid_schedules_on_random_graphs() {
+    let platform = mesh(4, 4);
+    let eas_base = EasScheduler::base();
+    let eas = EasScheduler::full();
+    let edf = EdfScheduler::new();
+    for seed in 0..5u64 {
+        let graph = TgffGenerator::new(TgffConfig::small(seed))
+            .generate(&platform)
+            .expect("generates");
+        for scheduler in [&eas_base as &dyn Scheduler, &eas, &edf] {
+            let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
+            // Independent re-validation of the artifact.
+            let report =
+                validate(&outcome.schedule, &graph, &platform).expect("structurally valid");
+            assert_eq!(report, outcome.report, "seed {seed} {}", scheduler.name());
+        }
+    }
+}
+
+#[test]
+fn eas_energy_never_exceeds_edf_on_benchmarks() {
+    let platform = mesh(4, 4);
+    let eas = EasScheduler::full();
+    let edf = EdfScheduler::new();
+    for seed in 0..5u64 {
+        let graph = TgffGenerator::new(TgffConfig::small(seed))
+            .generate(&platform)
+            .expect("generates");
+        let e = eas.schedule(&graph, &platform).expect("eas");
+        let d = edf.schedule(&graph, &platform).expect("edf");
+        assert!(
+            e.stats.energy.total().as_nj() <= d.stats.energy.total().as_nj() * 1.001,
+            "seed {seed}: EAS {} vs EDF {}",
+            e.stats.energy.total(),
+            d.stats.energy.total()
+        );
+    }
+}
+
+#[test]
+fn scheduling_is_deterministic() {
+    let platform = mesh(4, 4);
+    let graph = TgffGenerator::new(TgffConfig::small(3))
+        .generate(&platform)
+        .expect("generates");
+    let a = EasScheduler::full().schedule(&graph, &platform).expect("a");
+    let b = EasScheduler::full().schedule(&graph, &platform).expect("b");
+    assert_eq!(a.schedule, b.schedule);
+    let a = EdfScheduler::new().schedule(&graph, &platform).expect("a");
+    let b = EdfScheduler::new().schedule(&graph, &platform).expect("b");
+    assert_eq!(a.schedule, b.schedule);
+}
+
+#[test]
+fn multimedia_apps_schedule_on_their_paper_platforms() {
+    for (app, mesh_dims) in [
+        (MultimediaApp::AvEncoder, (2, 2)),
+        (MultimediaApp::AvDecoder, (2, 2)),
+        (MultimediaApp::AvIntegrated, (3, 3)),
+    ] {
+        let platform = mesh(mesh_dims.0, mesh_dims.1);
+        for clip in Clip::all() {
+            let graph = app.build(clip, &platform).expect("builds");
+            let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+            assert!(
+                outcome.report.meets_deadlines(),
+                "{app} {clip}: misses {:?}",
+                outcome.report.deadline_misses
+            );
+        }
+    }
+}
+
+#[test]
+fn eas_works_on_torus_and_honeycomb() {
+    for (topology, routing) in [
+        (TopologySpec::torus(4, 4), RoutingSpec::Xy),
+        (TopologySpec::honeycomb(4, 4), RoutingSpec::ShortestPath),
+        (TopologySpec::mesh(4, 4), RoutingSpec::Yx),
+    ] {
+        let platform = Platform::builder()
+            .topology(topology.clone())
+            .routing(routing)
+            .build()
+            .expect("builds");
+        let graph = TgffGenerator::new(TgffConfig::small(1))
+            .generate(&platform)
+            .expect("generates");
+        let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+        validate(&outcome.schedule, &graph, &platform).expect("valid");
+    }
+}
+
+#[test]
+fn search_and_repair_fixes_base_misses_with_small_energy_cost() {
+    let platform = mesh(4, 4);
+    let mut fixed_any = false;
+    for seed in 0..12u64 {
+        let mut cfg = TgffConfig::small(seed);
+        cfg.deadline_laxity = 1.05; // provoke misses
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let base = EasScheduler::base().schedule(&graph, &platform).expect("base");
+        let full = EasScheduler::full().schedule(&graph, &platform).expect("full");
+        assert!(
+            full.report.deadline_misses.len() <= base.report.deadline_misses.len(),
+            "seed {seed}"
+        );
+        if !base.report.meets_deadlines() && full.report.meets_deadlines() {
+            fixed_any = true;
+            // Paper: "negligible increase in the energy consumption".
+            let increase = full.stats.energy.total().as_nj()
+                / base.stats.energy.total().as_nj();
+            assert!(increase < 1.25, "seed {seed}: repair cost {increase}");
+        }
+    }
+    assert!(fixed_any, "expected at least one repaired benchmark in the sweep");
+}
+
+#[test]
+fn stats_energy_split_adds_up() {
+    let platform = mesh(2, 2);
+    let graph = MultimediaApp::AvEncoder.build(Clip::Foreman, &platform).expect("builds");
+    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let stats = ScheduleStats::compute(&outcome.schedule, &graph, &platform);
+    let total = stats.energy.computation + stats.energy.communication;
+    assert!((total.as_nj() - stats.energy.total().as_nj()).abs() < 1e-9);
+    assert!(stats.energy.computation.as_nj() > 0.0);
+    assert!(stats.energy.communication.as_nj() > 0.0);
+}
+
+#[test]
+fn graph_platform_mismatch_is_surfaced() {
+    let p22 = mesh(2, 2);
+    let p33 = mesh(3, 3);
+    let graph = MultimediaApp::AvEncoder.build(Clip::Akiyo, &p22).expect("builds");
+    assert!(matches!(
+        EasScheduler::full().schedule(&graph, &p33),
+        Err(SchedulerError::PeCountMismatch { graph: 4, platform: 9 })
+    ));
+}
