@@ -22,14 +22,26 @@ fn bench_configs(c: &mut Criterion) {
     let variants: Vec<(&str, EasConfig)> = vec![
         ("paper", EasConfig::default()),
         ("no-repair", EasConfig::base()),
-        ("no-budgeting", EasConfig { budgeting: false, ..EasConfig::default() }),
+        (
+            "no-budgeting",
+            EasConfig {
+                budgeting: false,
+                ..EasConfig::default()
+            },
+        ),
         (
             "fixed-delay-comm",
-            EasConfig { comm_model: CommModel::FixedDelay, ..EasConfig::default() },
+            EasConfig {
+                comm_model: CommModel::FixedDelay,
+                ..EasConfig::default()
+            },
         ),
         (
             "uniform-weights",
-            EasConfig { weight_function: WeightFunction::Uniform, ..EasConfig::default() },
+            EasConfig {
+                weight_function: WeightFunction::Uniform,
+                ..EasConfig::default()
+            },
         ),
     ];
 

@@ -51,10 +51,12 @@ fn bench_repair_overhead(c: &mut Criterion) {
     // deadline on this seed/laxity; asserted below so the bench cannot
     // silently measure a no-op).
     let platform = platforms::mesh_4x4();
-    let mut cfg = TgffConfig::small(6);
-    cfg.deadline_laxity = 1.05;
+    let mut cfg = TgffConfig::small(2);
+    cfg.deadline_laxity = 0.95;
     let graph = TgffGenerator::new(cfg).generate(&platform).expect("valid");
-    let base_outcome = EasScheduler::base().schedule(&graph, &platform).expect("schedules");
+    let base_outcome = EasScheduler::base()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     assert!(
         !base_outcome.report.meets_deadlines(),
         "bench workload must trigger search-and-repair"
@@ -69,6 +71,20 @@ fn bench_repair_overhead(c: &mut Criterion) {
         let s = EasScheduler::full();
         b.iter(|| black_box(s.schedule(&graph, &platform).expect("schedules")));
     });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let platform = platforms::mesh_4x4();
+    let graph = graphs_of_size(250, &platform);
+    let mut group = c.benchmark_group("eas_thread_scaling_250_tasks");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        let scheduler = EasScheduler::new(EasConfig::default().with_threads(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &graph, |b, g| {
+            b.iter(|| black_box(scheduler.schedule(g, &platform).expect("schedules")));
+        });
+    }
     group.finish();
 }
 
@@ -91,6 +107,7 @@ criterion_group!(
     bench_scaling,
     bench_schedulers_at_paper_scale,
     bench_repair_overhead,
+    bench_thread_scaling,
     bench_budgeting
 );
 criterion_main!(benches);

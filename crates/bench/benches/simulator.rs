@@ -20,7 +20,12 @@ fn bench_network_streaming(c: &mut Criterion) {
                 let dst = TileId::new((i * 7 + 3) % 16);
                 sim.inject_on(
                     &platform,
-                    Message::new(src, dst, Volume::from_bits(1024), Time::new(u64::from(i) * 5)),
+                    Message::new(
+                        src,
+                        dst,
+                        Volume::from_bits(1024),
+                        Time::new(u64::from(i) * 5),
+                    ),
                 );
             }
             black_box(sim.run_until_idle())
@@ -33,7 +38,9 @@ fn bench_schedule_execution(c: &mut Criterion) {
     let graph = MultimediaApp::AvIntegrated
         .build(Clip::Foreman, &platform)
         .expect("valid");
-    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let outcome = EasScheduler::full()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     c.bench_function("execute_av_integrated_schedule", |b| {
         let exec = ScheduleExecutor::new(&graph, &platform, SimConfig::default());
         b.iter(|| black_box(exec.execute(&outcome.schedule).expect("executes")));

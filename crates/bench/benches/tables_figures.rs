@@ -25,9 +25,7 @@ fn bench_random_benchmark_unit(c: &mut Criterion) {
         let full = EasScheduler::full();
         let edf = EdfScheduler::new();
         b.iter(|| {
-            black_box(
-                run_schedulers(&graph, &platform, &[&base, &full, &edf]).expect("schedules"),
-            )
+            black_box(run_schedulers(&graph, &platform, &[&base, &full, &edf]).expect("schedules"))
         });
     });
     group.finish();
@@ -57,5 +55,10 @@ fn bench_fig7_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_random_benchmark_unit, bench_tables, bench_fig7_point);
+criterion_group!(
+    benches,
+    bench_random_benchmark_unit,
+    bench_tables,
+    bench_fig7_point
+);
 criterion_main!(benches);

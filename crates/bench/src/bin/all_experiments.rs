@@ -31,7 +31,10 @@ fn main() {
     for (name, app) in [
         ("Table 1: A/V encoder", MultimediaApp::AvEncoder),
         ("Table 2: A/V decoder", MultimediaApp::AvDecoder),
-        ("Table 3: integrated A/V system", MultimediaApp::AvIntegrated),
+        (
+            "Table 3: integrated A/V system",
+            MultimediaApp::AvIntegrated,
+        ),
     ] {
         println!("#### {name} ####\n");
         let table = multimedia_table(app);
@@ -54,7 +57,10 @@ fn main() {
         render_series(
             "ratio",
             &fig7.ratios,
-            &[("eas(nJ)", fig7.eas_energy_nj.clone()), ("edf(nJ)", fig7.edf_energy_nj.clone())],
+            &[
+                ("eas(nJ)", fig7.eas_energy_nj.clone()),
+                ("edf(nJ)", fig7.edf_energy_nj.clone())
+            ],
         )
     );
     write_json_artifact("fig7_tradeoff", &fig7);

@@ -1,0 +1,147 @@
+//! Scheduler performance baseline for CI: runs full EAS serially and
+//! with a worker pool on the same graphs, checks the results are
+//! byte-identical, and writes the wall-clock numbers to
+//! `BENCH_schedule.json` (first argument overrides the path).
+//!
+//! The speedup figures are *measured on whatever machine runs this*, and
+//! `host_cpus` is recorded alongside them: on a single-core CI runner a
+//! 4-thread run cannot be faster than serial, and the artifact says so
+//! honestly instead of extrapolating.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+/// Thread counts compared against the serial run.
+const PARALLEL_THREADS: usize = 4;
+/// Timing runs per configuration; the minimum is reported.
+const RUNS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct Case {
+    graph: String,
+    tasks: usize,
+    edges: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    parallel_threads: usize,
+    speedup: f64,
+    identical: bool,
+    energy_nj: f64,
+    deadline_misses: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: String,
+    host_cpus: usize,
+    parallel_threads: usize,
+    cases: Vec<Case>,
+}
+
+fn timed_schedule(
+    scheduler: &EasScheduler,
+    graph: &noc_ctg::TaskGraph,
+    platform: &noc_platform::Platform,
+) -> (ScheduleOutcome, f64) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        let out = scheduler.schedule(graph, platform).expect("schedules");
+        best = best.min(t0.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    (outcome.expect("at least one run"), best)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_schedule.json".to_owned());
+    let platform = platforms::mesh_4x4();
+    let host_cpus = noc_par::available_threads();
+    println!("== Scheduler perf baseline (host has {host_cpus} hardware threads) ==\n");
+    println!(
+        "{:<22} {:>6} {:>6} {:>10} {:>10} {:>8} {:>10}",
+        "graph", "tasks", "edges", "serial(s)", "par(s)", "speedup", "identical"
+    );
+
+    let mut cases = Vec::new();
+    for task_count in [64usize, 128, 256] {
+        let mut cfg = TgffConfig::category_i(42);
+        cfg.task_count = task_count;
+        cfg.width = (task_count / 20).max(4);
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
+
+        let serial = EasScheduler::new(EasConfig::default());
+        let parallel = EasScheduler::new(EasConfig::default().with_threads(PARALLEL_THREADS));
+        let (serial_out, serial_s) = timed_schedule(&serial, &graph, &platform);
+        let (parallel_out, parallel_s) = timed_schedule(&parallel, &graph, &platform);
+
+        // Hard determinism gate: the parallel engine must reproduce the
+        // serial schedule bit for bit, including repair statistics.
+        let identical = serial_out == parallel_out;
+        assert!(
+            identical,
+            "parallel schedule diverged from serial on {}",
+            graph.name()
+        );
+
+        let speedup = serial_s / parallel_s;
+        println!(
+            "{:<22} {:>6} {:>6} {:>10.3} {:>10.3} {:>8.2} {:>10}",
+            graph.name(),
+            graph.task_count(),
+            graph.edge_count(),
+            serial_s,
+            parallel_s,
+            speedup,
+            identical,
+        );
+        cases.push(Case {
+            graph: graph.name().to_owned(),
+            tasks: graph.task_count(),
+            edges: graph.edge_count(),
+            serial_s,
+            parallel_s,
+            parallel_threads: PARALLEL_THREADS,
+            speedup,
+            identical,
+            energy_nj: serial_out.stats.energy.total().as_nj(),
+            deadline_misses: serial_out.report.deadline_misses.len(),
+        });
+    }
+
+    let baseline = Baseline {
+        bench: "schedule".to_owned(),
+        host_cpus,
+        parallel_threads: PARALLEL_THREADS,
+        cases,
+    };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => match std::fs::write(&out_path, json) {
+            Ok(()) => println!("\nBaseline written to {out_path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot serialize baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+    if host_cpus < PARALLEL_THREADS {
+        println!(
+            "note: host has fewer than {PARALLEL_THREADS} hardware threads; \
+             speedup figures are bounded by the hardware, not the engine."
+        );
+    }
+}

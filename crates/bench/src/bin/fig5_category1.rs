@@ -24,7 +24,11 @@ fn main() {
         "{}",
         render_bars(
             &labels,
-            &[("eas-base", pick("eas-base")), ("eas", pick("eas")), ("edf", pick("edf"))],
+            &[
+                ("eas-base", pick("eas-base")),
+                ("eas", pick("eas")),
+                ("edf", pick("edf"))
+            ],
             50,
         )
     );

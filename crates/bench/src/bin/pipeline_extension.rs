@@ -17,8 +17,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:<7} {:>6} {:>12.1} {:>14.1} {:>10} {:>14.1} {:>7}",
-            r.frames, r.tasks, r.energy_nj, r.energy_per_frame_nj, r.makespan,
-            r.interval_per_frame, r.misses
+            r.frames,
+            r.tasks,
+            r.energy_nj,
+            r.energy_per_frame_nj,
+            r.makespan,
+            r.interval_per_frame,
+            r.misses
         );
     }
     println!(

@@ -23,12 +23,18 @@ fn main() {
         let mut cfg = TgffConfig::category_i(42);
         cfg.task_count = 30 * tiles;
         cfg.width = (cfg.task_count / 20).max(4);
-        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
 
         let t0 = Instant::now();
-        let eas = EasScheduler::full().schedule(&graph, &platform).expect("eas");
+        let eas = EasScheduler::full()
+            .schedule(&graph, &platform)
+            .expect("eas");
         let t1 = Instant::now();
-        let edf = EdfScheduler::new().schedule(&graph, &platform).expect("edf");
+        let edf = EdfScheduler::new()
+            .schedule(&graph, &platform)
+            .expect("edf");
         let t2 = Instant::now();
 
         println!(

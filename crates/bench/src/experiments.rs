@@ -139,8 +139,10 @@ impl MultimediaTable {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("MSB Task Set        {:>14} {:>14} {:>14}\n",
-            self.clips[0].clip, self.clips[1].clip, self.clips[2].clip));
+        out.push_str(&format!(
+            "MSB Task Set        {:>14} {:>14} {:>14}\n",
+            self.clips[0].clip, self.clips[1].clip, self.clips[2].clip
+        ));
         let row = |label: &str, f: &dyn Fn(&ClipResult) -> String| -> String {
             format!(
                 "{label:<19} {:>14} {:>14} {:>14}\n",
@@ -149,16 +151,34 @@ impl MultimediaTable {
                 f(&self.clips[2])
             )
         };
-        out.push_str(&row("EAS Energy (nJ)", &|c| format!("{:.1}", c.eas_energy_nj)));
-        out.push_str(&row("EDF Energy (nJ)", &|c| format!("{:.1}", c.edf_energy_nj)));
-        out.push_str(&row("Energy Savings (%)", &|c| format!("{:.1}", c.savings_percent)));
+        out.push_str(&row("EAS Energy (nJ)", &|c| {
+            format!("{:.1}", c.eas_energy_nj)
+        }));
+        out.push_str(&row("EDF Energy (nJ)", &|c| {
+            format!("{:.1}", c.edf_energy_nj)
+        }));
+        out.push_str(&row("Energy Savings (%)", &|c| {
+            format!("{:.1}", c.savings_percent)
+        }));
         out.push('\n');
-        out.push_str(&row("EAS comp (nJ)", &|c| format!("{:.1}", c.eas_computation_nj)));
-        out.push_str(&row("EDF comp (nJ)", &|c| format!("{:.1}", c.edf_computation_nj)));
-        out.push_str(&row("EAS comm (nJ)", &|c| format!("{:.1}", c.eas_communication_nj)));
-        out.push_str(&row("EDF comm (nJ)", &|c| format!("{:.1}", c.edf_communication_nj)));
-        out.push_str(&row("EAS hops/packet", &|c| format!("{:.2}", c.eas_avg_hops)));
-        out.push_str(&row("EDF hops/packet", &|c| format!("{:.2}", c.edf_avg_hops)));
+        out.push_str(&row("EAS comp (nJ)", &|c| {
+            format!("{:.1}", c.eas_computation_nj)
+        }));
+        out.push_str(&row("EDF comp (nJ)", &|c| {
+            format!("{:.1}", c.edf_computation_nj)
+        }));
+        out.push_str(&row("EAS comm (nJ)", &|c| {
+            format!("{:.1}", c.eas_communication_nj)
+        }));
+        out.push_str(&row("EDF comm (nJ)", &|c| {
+            format!("{:.1}", c.edf_communication_nj)
+        }));
+        out.push_str(&row("EAS hops/packet", &|c| {
+            format!("{:.2}", c.eas_avg_hops)
+        }));
+        out.push_str(&row("EDF hops/packet", &|c| {
+            format!("{:.2}", c.edf_avg_hops)
+        }));
         out.push_str(&row("EAS deadline misses", &|c| c.eas_misses.to_string()));
         out
     }
@@ -179,7 +199,9 @@ pub fn multimedia_table(app: MultimediaApp) -> MultimediaTable {
 
     let mut clips = Vec::new();
     for clip in Clip::all() {
-        let graph = app.build(clip, &platform).expect("benchmark graphs are valid");
+        let graph = app
+            .build(clip, &platform)
+            .expect("benchmark graphs are valid");
         let rows = run_schedulers(&graph, &platform, &[&eas, &edf])
             .expect("benchmark graphs match their platforms");
         let (e, d) = (&rows[0], &rows[1]);
@@ -283,7 +305,10 @@ pub fn ablation_study(seeds: u64) -> Vec<AblationRow> {
     let platform = platforms::mesh_4x4();
     let mut variants: Vec<(String, Box<dyn Scheduler>)> = vec![
         ("eas (paper)".into(), Box::new(EasScheduler::full())),
-        ("eas-base (no repair)".into(), Box::new(EasScheduler::base())),
+        (
+            "eas-base (no repair)".into(),
+            Box::new(EasScheduler::base()),
+        ),
         (
             "weight=var-e".into(),
             Box::new(EasScheduler::new(EasConfig {
@@ -388,7 +413,9 @@ pub fn baseline_comparison() -> Vec<ResultRow> {
     for app in MultimediaApp::all() {
         let (c, r) = app.recommended_mesh();
         let platform = platforms::mesh(c, r);
-        let graph = app.build(Clip::Foreman, &platform).expect("benchmark builds");
+        let graph = app
+            .build(Clip::Foreman, &platform)
+            .expect("benchmark builds");
         rows.extend(
             run_schedulers(&graph, &platform, &[&eas, &dls, &edf, &two_phase, &anneal])
                 .expect("benchmark graphs match their platforms"),
@@ -400,7 +427,9 @@ pub fn baseline_comparison() -> Vec<ResultRow> {
     let mut cfg = TgffConfig::category_i(0);
     cfg.task_count = 120;
     cfg.width = 10;
-    let graph = TgffGenerator::new(cfg).generate(&platform).expect("generator works");
+    let graph = TgffGenerator::new(cfg)
+        .generate(&platform)
+        .expect("generator works");
     rows.extend(
         run_schedulers(&graph, &platform, &[&eas, &dls, &edf, &two_phase, &anneal])
             .expect("generated graphs match the platform"),
@@ -472,11 +501,12 @@ pub fn pipeline_extension(clip: Clip, max_frames: usize) -> Vec<PipelineRow> {
     use noc_platform::units::{Time, Volume};
 
     let platform = platforms::mesh_2x2();
-    let frame = MultimediaApp::AvEncoder.build(clip, &platform).expect("benchmark builds");
+    let frame = MultimediaApp::AvEncoder
+        .build(clip, &platform)
+        .expect("benchmark builds");
     let store = task_by_name(&frame, "frame_store").expect("encoder has frame_store");
     let me = task_by_name(&frame, "motion_est").expect("encoder has motion_est");
-    let template =
-        [InterFrameEdge::new(store, me, Volume::from_bits(16_384))];
+    let template = [InterFrameEdge::new(store, me, Volume::from_bits(16_384))];
     let eas = EasScheduler::full();
 
     let mut rows = Vec::new();
@@ -540,11 +570,7 @@ pub fn robustness_study(jitters: &[f64], trials: usize) -> Vec<RobustnessRow> {
 ///
 /// Panics only on internal scheduler errors.
 #[must_use]
-pub fn robustness_study_at_ratio(
-    jitters: &[f64],
-    trials: usize,
-    ratio: f64,
-) -> Vec<RobustnessRow> {
+pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> Vec<RobustnessRow> {
     use noc_platform::units::Time;
     use noc_sim::prelude::*;
     use rand::rngs::StdRng;
@@ -561,8 +587,12 @@ pub fn robustness_study_at_ratio(
     let mut rows = Vec::new();
     for (name, scheduler) in &schedulers {
         let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
-        let assignment: Vec<_> =
-            outcome.schedule.task_placements().iter().map(|p| p.pe).collect();
+        let assignment: Vec<_> = outcome
+            .schedule
+            .task_placements()
+            .iter()
+            .map(|p| p.pe)
+            .collect();
         let executor = ScheduleExecutor::new(&graph, &platform, SimConfig::default());
         for &jitter in jitters {
             let mut rng = StdRng::seed_from_u64(0xEA5);
@@ -572,8 +602,7 @@ pub fn robustness_study_at_ratio(
                 let overrides: Vec<Time> = graph
                     .task_ids()
                     .map(|t| {
-                        let nominal =
-                            graph.task(t).exec_time(assignment[t.index()]).as_f64();
+                        let nominal = graph.task(t).exec_time(assignment[t.index()]).as_f64();
                         let factor: f64 = rng.random_range(1.0 - jitter..=1.0 + jitter);
                         Time::new(((nominal * factor).round() as u64).max(1))
                     })
@@ -635,7 +664,9 @@ mod tests {
         let eas = EasScheduler::full();
         let edf = EdfScheduler::new();
         for seed in 0..2 {
-            let g = TgffGenerator::new(TgffConfig::small(seed)).generate(&platform).unwrap();
+            let g = TgffGenerator::new(TgffConfig::small(seed))
+                .generate(&platform)
+                .unwrap();
             let rows = run_schedulers(&g, &platform, &[&eas, &edf]).unwrap();
             assert_eq!(rows.len(), 2);
             assert!(rows[0].energy_nj <= rows[1].energy_nj * 1.05);

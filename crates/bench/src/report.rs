@@ -8,7 +8,14 @@ pub fn render_rows(rows: &[ResultRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<22} {:<9} {:>12} {:>12} {:>12} {:>6} {:>10} {:>6} {:>9}\n",
-        "benchmark", "sched", "energy(nJ)", "comp(nJ)", "comm(nJ)", "miss", "makespan", "hops",
+        "benchmark",
+        "sched",
+        "energy(nJ)",
+        "comp(nJ)",
+        "comm(nJ)",
+        "miss",
+        "makespan",
+        "hops",
         "time(s)"
     ));
     for r in rows {
@@ -103,7 +110,11 @@ mod tests {
 
     #[test]
     fn series_aligns_columns() {
-        let text = render_series("ratio", &[1.0, 1.2], &[("eas", vec![1.0, 2.0]), ("edf", vec![3.0, 4.0])]);
+        let text = render_series(
+            "ratio",
+            &[1.0, 1.2],
+            &[("eas", vec![1.0, 2.0]), ("edf", vec![3.0, 4.0])],
+        );
         assert_eq!(text.lines().count(), 3);
         assert!(text.starts_with("ratio"));
         assert!(text.contains("edf"));

@@ -73,7 +73,12 @@ pub fn run_schedulers(
         let t0 = Instant::now();
         let outcome = s.schedule(graph, platform)?;
         let dt = t0.elapsed().as_secs_f64();
-        rows.push(ResultRow::from_outcome(graph.name(), s.name(), &outcome, dt));
+        rows.push(ResultRow::from_outcome(
+            graph.name(),
+            s.name(),
+            &outcome,
+            dt,
+        ));
     }
     Ok(rows)
 }

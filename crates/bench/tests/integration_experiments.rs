@@ -20,13 +20,24 @@ fn random_category_shape() {
         let mut cfg = TgffConfig::category_i(seed);
         cfg.task_count = 120; // reduced scale for test time
         cfg.width = 10;
-        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
-        let rows =
-            run_schedulers(&graph, &platform, &[&eas_base as &dyn Scheduler, &eas, &edf])
-                .expect("schedules");
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
+        let rows = run_schedulers(
+            &graph,
+            &platform,
+            &[&eas_base as &dyn Scheduler, &eas, &edf],
+        )
+        .expect("schedules");
         let (base, full, baseline) = (&rows[0], &rows[1], &rows[2]);
-        assert!(baseline.energy_nj > full.energy_nj * 1.15, "seed {seed}: EDF should cost >15% more");
-        assert_eq!(full.deadline_misses, 0, "seed {seed}: EAS repairs everything");
+        assert!(
+            baseline.energy_nj > full.energy_nj * 1.15,
+            "seed {seed}: EDF should cost >15% more"
+        );
+        assert_eq!(
+            full.deadline_misses, 0,
+            "seed {seed}: EAS repairs everything"
+        );
         let drift = (base.energy_nj - full.energy_nj).abs() / base.energy_nj;
         assert!(drift < 0.25, "seed {seed}: repair energy drift {drift}");
     }
@@ -66,7 +77,11 @@ fn multimedia_tables_shape() {
 #[test]
 fn integrated_reduces_both_energy_components() {
     let table = multimedia_table(MultimediaApp::AvIntegrated);
-    let foreman = table.clips.iter().find(|c| c.clip == "foreman").expect("clip present");
+    let foreman = table
+        .clips
+        .iter()
+        .find(|c| c.clip == "foreman")
+        .expect("clip present");
     assert!(foreman.eas_computation_nj < foreman.edf_computation_nj);
     assert!(foreman.eas_communication_nj < foreman.edf_communication_nj);
     assert!(foreman.eas_avg_hops < foreman.edf_avg_hops);
@@ -78,12 +93,18 @@ fn integrated_reduces_both_energy_components() {
 fn tradeoff_shape() {
     let result = tradeoff_sweep(Clip::Foreman, &[1.0, 1.2, 1.4]);
     for w in result.eas_energy_nj.windows(2) {
-        assert!(w[1] >= w[0] * 0.995, "EAS energy must not drop when tightening: {w:?}");
+        assert!(
+            w[1] >= w[0] * 0.995,
+            "EAS energy must not drop when tightening: {w:?}"
+        );
     }
     let gap_start = result.edf_energy_nj[0] - result.eas_energy_nj[0];
     let gap_end = result.edf_energy_nj[2] - result.eas_energy_nj[2];
     assert!(gap_start > 0.0);
-    assert!(gap_end <= gap_start * 1.05, "the EAS/EDF gap should shrink as constraints tighten");
+    assert!(
+        gap_end <= gap_start * 1.05,
+        "the EAS/EDF gap should shrink as constraints tighten"
+    );
     assert_eq!(result.eas_misses[0], 0, "baseline rate must be schedulable");
 }
 
@@ -94,16 +115,23 @@ fn tradeoff_shape() {
 fn ablation_shape() {
     let platform = platforms::mesh_4x4();
     let paper = EasScheduler::full();
-    let no_budget = EasScheduler::new(EasConfig { budgeting: false, ..EasConfig::default() });
-    let fixed_delay =
-        EasScheduler::new(EasConfig { comm_model: CommModel::FixedDelay, ..EasConfig::default() });
+    let no_budget = EasScheduler::new(EasConfig {
+        budgeting: false,
+        ..EasConfig::default()
+    });
+    let fixed_delay = EasScheduler::new(EasConfig {
+        comm_model: CommModel::FixedDelay,
+        ..EasConfig::default()
+    });
     let mut paper_misses = 0usize;
     let mut greedy_beats_paper = 0usize;
     for seed in 0..4u64 {
         let mut cfg = TgffConfig::category_ii(seed);
         cfg.task_count = 100;
         cfg.width = 10;
-        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
         let p = paper.schedule(&graph, &platform).expect("paper");
         let g = no_budget.schedule(&graph, &platform).expect("greedy");
         let f = fixed_delay.schedule(&graph, &platform).expect("fixed");
@@ -136,7 +164,10 @@ fn pipeline_extension_shape() {
     }
     let drift = (rows[1].energy_per_frame_nj - rows[0].energy_per_frame_nj).abs()
         / rows[0].energy_per_frame_nj;
-    assert!(drift < 0.2, "per-frame energy should be stable, drift {drift}");
+    assert!(
+        drift < 0.2,
+        "per-frame energy should be stable, drift {drift}"
+    );
 }
 
 /// Extension: the two-phase mapping baseline lands between EAS and EDF
@@ -144,7 +175,9 @@ fn pipeline_extension_shape() {
 #[test]
 fn map_then_schedule_sits_between_eas_and_edf() {
     let platform = platforms::mesh_3x3();
-    let graph = MultimediaApp::AvIntegrated.build(Clip::Foreman, &platform).unwrap();
+    let graph = MultimediaApp::AvIntegrated
+        .build(Clip::Foreman, &platform)
+        .unwrap();
     let eas = EasScheduler::full().schedule(&graph, &platform).unwrap();
     let two_phase = noc_eas::prelude::MapThenScheduleScheduler::new()
         .schedule(&graph, &platform)
@@ -161,7 +194,11 @@ fn robustness_zero_jitter_is_clean() {
     let rows = noc_bench::experiments::robustness_study(&[0.0], 3);
     assert_eq!(rows.len(), 2);
     for r in &rows {
-        assert_eq!(r.miss_trials, 0, "{} must be clean at zero jitter", r.scheduler);
+        assert_eq!(
+            r.miss_trials, 0,
+            "{} must be clean at zero jitter",
+            r.scheduler
+        );
         assert!(r.mean_makespan > 0.0);
     }
 }
@@ -182,7 +219,10 @@ fn extension_apps_are_schedulable() {
                 out.report.deadline_misses
             );
             let edf = EdfScheduler::new().schedule(&graph, &platform).unwrap();
-            assert!(out.stats.energy.total() < edf.stats.energy.total(), "{app} {load}");
+            assert!(
+                out.stats.energy.total() < edf.stats.energy.total(),
+                "{app} {load}"
+            );
         }
     }
 }

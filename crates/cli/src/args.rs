@@ -25,7 +25,10 @@ impl Args {
         if command.starts_with('-') {
             return Err(format!("expected a subcommand before `{command}`"));
         }
-        let mut args = Args { command, ..Args::default() };
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument `{token}`"));
@@ -59,7 +62,8 @@ impl Args {
     ///
     /// When the option is absent.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A numeric option with a default.
@@ -70,7 +74,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("option --{key} has invalid value `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key} has invalid value `{v}`")),
         }
     }
 

@@ -27,9 +27,11 @@ USAGE:
 
   noceas schedule --graph graph.json --platform mesh:4x4
                   [--scheduler eas|eas-base|edf|dls|anneal]
-                  [--out schedule.json] [--vcd waves.vcd]
+                  [--threads N] [--out schedule.json] [--vcd waves.vcd]
                   [--gantt] [--links] [--csv]
       Schedule a task graph and report energy / deadline statistics.
+      --threads fans trial evaluation out over N workers (0 = all
+      cores); the schedule is identical for every thread count.
 
   noceas validate --graph graph.json --schedule schedule.json --platform mesh:4x4
       Re-check a schedule against all Def. 3/4, dependency and deadline
@@ -95,7 +97,9 @@ fn generate(args: &Args) -> Result<String, String> {
     cfg.task_count = args.get_num("tasks", 100usize)?;
     cfg.width = (cfg.task_count / 20).max(2);
     cfg.deadline_laxity = args.get_num("laxity", cfg.deadline_laxity)?;
-    let graph = TgffGenerator::new(cfg).generate(&platform).map_err(|e| e.to_string())?;
+    let graph = TgffGenerator::new(cfg)
+        .generate(&platform)
+        .map_err(|e| e.to_string())?;
     let out = args.require("out")?;
     save_json(out, &graph)?;
     Ok(format!(
@@ -125,7 +129,11 @@ fn benchmark(args: &Args) -> Result<String, String> {
         let graph = app.build(load, &platform).map_err(|e| e.to_string())?;
         let out = args.require("out")?;
         save_json(out, &graph)?;
-        return Ok(format!("wrote {} ({} on {cols}x{rows}, load {load})\n", out, app.name()));
+        return Ok(format!(
+            "wrote {} ({} on {cols}x{rows}, load {load})\n",
+            out,
+            app.name()
+        ));
     }
     let app = match args.require("app")? {
         "av-encoder" => MultimediaApp::AvEncoder,
@@ -157,15 +165,22 @@ fn benchmark(args: &Args) -> Result<String, String> {
 fn schedule(args: &Args) -> Result<String, String> {
     let platform = parse_platform(args.require("platform")?)?;
     let graph = load_graph(args.require("graph")?)?;
-    let scheduler = parse_scheduler(args.get_or("scheduler", "eas"))?;
-    let outcome = scheduler.schedule(&graph, &platform).map_err(|e| e.to_string())?;
+    let threads: usize = args.get_num("threads", 1)?;
+    let scheduler = parse_scheduler(args.get_or("scheduler", "eas"), threads)?;
+    let outcome = scheduler
+        .schedule(&graph, &platform)
+        .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     out.push_str(&format!(
         "{}: {} | deadlines {} ({} misses)\n",
         scheduler.name(),
         outcome.stats,
-        if outcome.report.meets_deadlines() { "met" } else { "MISSED" },
+        if outcome.report.meets_deadlines() {
+            "met"
+        } else {
+            "MISSED"
+        },
         outcome.report.deadline_misses.len(),
     ));
     if args.has_flag("gantt") {
@@ -174,7 +189,12 @@ fn schedule(args: &Args) -> Result<String, String> {
     }
     if args.has_flag("links") {
         out.push('\n');
-        out.push_str(&render_link_occupancy(&outcome.schedule, &graph, &platform, 10));
+        out.push_str(&render_link_occupancy(
+            &outcome.schedule,
+            &graph,
+            &platform,
+            10,
+        ));
     }
     if args.has_flag("csv") {
         out.push('\n');
@@ -183,8 +203,11 @@ fn schedule(args: &Args) -> Result<String, String> {
         out.push_str(&comms_to_csv(&outcome.schedule, &graph));
     }
     if let Some(path) = args.get("vcd") {
-        fs::write(path, noc_schedule::vcd::to_vcd(&outcome.schedule, &graph, &platform))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        fs::write(
+            path,
+            noc_schedule::vcd::to_vcd(&outcome.schedule, &graph, &platform),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
         out.push_str(&format!("wrote {path}\n"));
     }
     if let Some(path) = args.get("out") {
@@ -277,14 +300,27 @@ mod tests {
         let graph_path = tmp("g.json");
         let sched_path = tmp("s.json");
         let out = run(&args(&[
-            "generate", "--platform", "mesh:2x2", "--tasks", "12", "--seed", "5", "--out",
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "12",
+            "--seed",
+            "5",
+            "--out",
             &graph_path,
         ]))
         .expect("generate");
         assert!(out.contains("12 tasks"));
 
         let out = run(&args(&[
-            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2", "--out", &sched_path,
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--out",
+            &sched_path,
             "--gantt",
         ]))
         .expect("schedule");
@@ -292,14 +328,24 @@ mod tests {
         assert!(out.contains("PE0"));
 
         let out = run(&args(&[
-            "validate", "--graph", &graph_path, "--schedule", &sched_path, "--platform",
+            "validate",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
             "mesh:2x2",
         ]))
         .expect("validate");
         assert!(out.contains("structurally valid"));
 
         let out = run(&args(&[
-            "simulate", "--graph", &graph_path, "--schedule", &sched_path, "--platform",
+            "simulate",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
             "mesh:2x2",
         ]))
         .expect("simulate");
@@ -310,7 +356,13 @@ mod tests {
     fn benchmark_and_dot() {
         let graph_path = tmp("enc.json");
         let out = run(&args(&[
-            "benchmark", "--app", "av-encoder", "--clip", "akiyo", "--out", &graph_path,
+            "benchmark",
+            "--app",
+            "av-encoder",
+            "--clip",
+            "akiyo",
+            "--out",
+            &graph_path,
         ]))
         .expect("benchmark");
         assert!(out.contains("av-encoder"));
@@ -323,11 +375,23 @@ mod tests {
     fn schedule_with_edf_and_csv() {
         let graph_path = tmp("g2.json");
         run(&args(&[
-            "generate", "--platform", "mesh:2x2", "--tasks", "8", "--out", &graph_path,
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "8",
+            "--out",
+            &graph_path,
         ]))
         .expect("generate");
         let out = run(&args(&[
-            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2", "--scheduler", "edf",
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--scheduler",
+            "edf",
             "--csv",
         ]))
         .expect("schedule");
@@ -337,13 +401,23 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(run(&args(&["explode"])).unwrap_err().contains("unknown subcommand"));
-        assert!(run(&args(&["schedule"])).unwrap_err().contains("missing required option"));
-        assert!(run(&args(&["generate", "--platform", "blob:1x1", "--out", "x"]))
+        assert!(run(&args(&["explode"]))
             .unwrap_err()
-            .contains("unknown topology"));
+            .contains("unknown subcommand"));
+        assert!(run(&args(&["schedule"]))
+            .unwrap_err()
+            .contains("missing required option"));
+        assert!(
+            run(&args(&["generate", "--platform", "blob:1x1", "--out", "x"]))
+                .unwrap_err()
+                .contains("unknown topology")
+        );
         let missing = run(&args(&[
-            "schedule", "--graph", "/nonexistent.json", "--platform", "mesh:2x2",
+            "schedule",
+            "--graph",
+            "/nonexistent.json",
+            "--platform",
+            "mesh:2x2",
         ]))
         .unwrap_err();
         assert!(missing.contains("cannot read"));
@@ -352,7 +426,15 @@ mod tests {
     #[test]
     fn help_text_lists_every_subcommand() {
         let help = run(&args(&["help"])).expect("help");
-        for cmd in ["generate", "benchmark", "schedule", "validate", "simulate", "dot", "info"] {
+        for cmd in [
+            "generate",
+            "benchmark",
+            "schedule",
+            "validate",
+            "simulate",
+            "dot",
+            "info",
+        ] {
             assert!(help.contains(cmd), "help must mention {cmd}");
         }
     }
@@ -361,13 +443,26 @@ mod tests {
     fn info_reports_graph_statistics() {
         let graph_path = tmp("info.json");
         run(&args(&[
-            "generate", "--platform", "mesh:2x2", "--tasks", "10", "--out", &graph_path,
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--out",
+            &graph_path,
         ]))
         .expect("generate");
         let out = run(&args(&["info", "--graph", &graph_path])).expect("info");
         assert!(out.contains("CCR"));
         assert!(out.contains("tasks"));
-        assert!(run(&args(&["info", "--graph", &graph_path, "--bandwidth", "-3"])).is_err());
+        assert!(run(&args(&[
+            "info",
+            "--graph",
+            &graph_path,
+            "--bandwidth",
+            "-3"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -381,12 +476,22 @@ mod tests {
         .expect("write tgff");
         let graph_path = tmp("imported.json");
         let out = run(&args(&[
-            "import", "--tgff", &tgff_path, "--platform", "mesh:2x2", "--out", &graph_path,
+            "import",
+            "--tgff",
+            &tgff_path,
+            "--platform",
+            "mesh:2x2",
+            "--out",
+            &graph_path,
         ]))
         .expect("import");
         assert!(out.contains("2 tasks"));
         let sched = run(&args(&[
-            "schedule", "--graph", &graph_path, "--platform", "mesh:2x2",
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
         ]))
         .expect("schedule imported");
         assert!(sched.contains("eas:"));
@@ -396,7 +501,13 @@ mod tests {
     fn extension_app_benchmarks_emit() {
         let graph_path = tmp("ofdm.json");
         let out = run(&args(&[
-            "benchmark", "--app", "ofdm-transceiver", "--load", "heavy", "--out", &graph_path,
+            "benchmark",
+            "--app",
+            "ofdm-transceiver",
+            "--load",
+            "heavy",
+            "--out",
+            &graph_path,
         ]))
         .expect("benchmark");
         assert!(out.contains("ofdm-transceiver"));

@@ -26,16 +26,23 @@ pub fn parse_platform(spec: &str) -> Result<Platform, String> {
     if dims.len() != 2 {
         return Err(format!("dimensions `{}` must look like 4x4", parts[1]));
     }
-    let cols: u16 = dims[0].parse().map_err(|_| format!("bad column count `{}`", dims[0]))?;
-    let rows: u16 = dims[1].parse().map_err(|_| format!("bad row count `{}`", dims[1]))?;
+    let cols: u16 = dims[0]
+        .parse()
+        .map_err(|_| format!("bad column count `{}`", dims[0]))?;
+    let rows: u16 = dims[1]
+        .parse()
+        .map_err(|_| format!("bad row count `{}`", dims[1]))?;
     let topology = match parts[0] {
         "mesh" => TopologySpec::mesh(cols, rows),
         "torus" => TopologySpec::torus(cols, rows),
         "honeycomb" => TopologySpec::honeycomb(cols, rows),
         other => return Err(format!("unknown topology `{other}`")),
     };
-    let default_routing =
-        if parts[0] == "honeycomb" { RoutingSpec::ShortestPath } else { RoutingSpec::Xy };
+    let default_routing = if parts[0] == "honeycomb" {
+        RoutingSpec::ShortestPath
+    } else {
+        RoutingSpec::Xy
+    };
     let routing = match parts.get(2) {
         None => default_routing,
         Some(&"xy") => RoutingSpec::Xy,
@@ -51,18 +58,28 @@ pub fn parse_platform(spec: &str) -> Result<Platform, String> {
         .map_err(|e| e.to_string())
 }
 
-/// Parses a scheduler name into a boxed [`Scheduler`].
+/// Parses a scheduler name into a boxed [`Scheduler`]. `threads` sets
+/// the worker count for the schedulers that parallelize (`eas`,
+/// `eas-base`, `anneal`); `0` means all hardware threads. Results are
+/// identical for every thread count.
 ///
 /// # Errors
 ///
 /// Returns a message listing the valid names on unknown input.
-pub fn parse_scheduler(name: &str) -> Result<Box<dyn Scheduler>, String> {
+pub fn parse_scheduler(name: &str, threads: usize) -> Result<Box<dyn Scheduler>, String> {
     match name {
-        "eas" => Ok(Box::new(EasScheduler::full())),
-        "eas-base" => Ok(Box::new(EasScheduler::base())),
+        "eas" => Ok(Box::new(EasScheduler::new(
+            EasConfig::default().with_threads(threads),
+        ))),
+        "eas-base" => Ok(Box::new(EasScheduler::new(
+            EasConfig::base().with_threads(threads),
+        ))),
         "edf" => Ok(Box::new(EdfScheduler::new())),
         "dls" => Ok(Box::new(DlsScheduler::new())),
-        "anneal" => Ok(Box::new(AnnealScheduler::default())),
+        "anneal" => Ok(Box::new(AnnealScheduler::new(AnnealConfig {
+            threads,
+            ..AnnealConfig::default()
+        }))),
         "map-then-schedule" => Ok(Box::new(MapThenScheduleScheduler::new())),
         other => Err(format!(
             "unknown scheduler `{other}` (use eas, eas-base, edf, dls, anneal or map-then-schedule)"
@@ -101,14 +118,26 @@ mod tests {
         assert!(parse_platform("mesh:ax4").is_err());
         assert!(parse_platform("ring:4x4").is_err());
         assert!(parse_platform("mesh:4x4:zigzag").is_err());
-        assert!(parse_platform("honeycomb:4x4:xy").is_err(), "xy cannot route honeycombs");
+        assert!(
+            parse_platform("honeycomb:4x4:xy").is_err(),
+            "xy cannot route honeycombs"
+        );
     }
 
     #[test]
     fn parses_all_schedulers() {
-        for name in ["eas", "eas-base", "edf", "dls", "anneal", "map-then-schedule"] {
-            assert_eq!(parse_scheduler(name).expect("parses").name(), name);
+        for name in [
+            "eas",
+            "eas-base",
+            "edf",
+            "dls",
+            "anneal",
+            "map-then-schedule",
+        ] {
+            for threads in [1usize, 4] {
+                assert_eq!(parse_scheduler(name, threads).expect("parses").name(), name);
+            }
         }
-        assert!(parse_scheduler("magic").is_err());
+        assert!(parse_scheduler("magic", 1).is_err());
     }
 }

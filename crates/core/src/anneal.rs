@@ -42,6 +42,13 @@ pub struct AnnealConfig {
     pub tardiness_penalty_nj: f64,
     /// Flat cost penalty per missed deadline, in nJ-equivalents.
     pub miss_penalty_nj: f64,
+    /// Independent annealing chains, seeded `seed + i`. The chain with
+    /// the lowest final cost wins (ties: lowest chain index), so the
+    /// result only depends on the seeds, never on scheduling order.
+    pub restarts: usize,
+    /// Worker threads for running restart chains (`0` = all hardware
+    /// threads). Results are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for AnnealConfig {
@@ -53,6 +60,8 @@ impl Default for AnnealConfig {
             cooling: 0.999,
             tardiness_penalty_nj: 10.0,
             miss_penalty_nj: 10_000.0,
+            restarts: 1,
+            threads: 1,
         }
     }
 }
@@ -87,8 +96,13 @@ impl AnnealScheduler {
 
     /// Refines `start` in place of running a scheduler from scratch.
     ///
-    /// Returns the best schedule found (never worse than `start` under
-    /// the annealer's cost) and the number of accepted moves.
+    /// Runs [`AnnealConfig::restarts`] independent chains (seeded
+    /// `seed + i`, fanned out over [`AnnealConfig::threads`] workers) and
+    /// returns the best schedule found across all chains (never worse
+    /// than `start` under the annealer's cost) together with the winning
+    /// chain's accepted-move count. The winner is chosen by
+    /// `(cost, chain index)`, so the outcome is deterministic for every
+    /// thread count.
     #[must_use]
     pub fn refine(
         &self,
@@ -96,11 +110,43 @@ impl AnnealScheduler {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> (Schedule, usize) {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut oa = OrderedAssignment::from_schedule(&start, platform);
+        let restarts = self.config.restarts.max(1);
+        if restarts == 1 {
+            let (schedule, accepted, _) =
+                self.refine_chain(self.config.seed, &start, graph, platform);
+            return (schedule, accepted);
+        }
+        let workers = noc_par::effective_threads(self.config.threads);
+        let seeds: Vec<u64> = (0..restarts as u64)
+            .map(|i| self.config.seed.wrapping_add(i))
+            .collect();
+        let chains = noc_par::par_map(workers, &seeds, |_, &seed| {
+            self.refine_chain(seed, &start, graph, platform)
+        });
+        let mut win = 0;
+        for (i, chain) in chains.iter().enumerate().skip(1) {
+            if chain.2 < chains[win].2 {
+                win = i;
+            }
+        }
+        let (schedule, accepted, _) = chains.into_iter().nth(win).expect("winner exists");
+        (schedule, accepted)
+    }
+
+    /// One annealing chain: the original serial Metropolis loop, seeded
+    /// explicitly. Returns `(best schedule, accepted moves, best cost)`.
+    fn refine_chain(
+        &self,
+        seed: u64,
+        start: &Schedule,
+        graph: &TaskGraph,
+        platform: &Platform,
+    ) -> (Schedule, usize, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oa = OrderedAssignment::from_schedule(start, platform);
         let mut current = match retime(graph, platform, &oa) {
             Some(s) => s,
-            None => return (start, 0),
+            None => return (start.clone(), 0, self.cost(start, graph, platform)),
         };
         let mut current_cost = self.cost(&current, graph, platform);
         let mut best = current.clone();
@@ -142,8 +188,8 @@ impl AnnealScheduler {
                 Some(cand) => {
                     let cand_cost = self.cost(&cand, graph, platform);
                     let delta = cand_cost - current_cost;
-                    let take = delta <= 0.0
-                        || rng.random_range(0.0..1.0) < (-delta / temperature).exp();
+                    let take =
+                        delta <= 0.0 || rng.random_range(0.0..1.0) < (-delta / temperature).exp();
                     if take {
                         current = cand;
                         current_cost = cand_cost;
@@ -162,7 +208,7 @@ impl AnnealScheduler {
             }
             temperature = (temperature * self.config.cooling).max(1e-9);
         }
-        (best, accepted)
+        (best, accepted, best_cost)
     }
 }
 
@@ -185,7 +231,12 @@ impl Scheduler for AnnealScheduler {
         let (schedule, _) = self.refine(warm.schedule, graph, platform);
         let report = validate(&schedule, graph, platform)?;
         let stats = ScheduleStats::compute(&schedule, graph, platform);
-        Ok(ScheduleOutcome { schedule, report, stats, repair: RepairStats::default() })
+        Ok(ScheduleOutcome {
+            schedule,
+            report,
+            stats,
+            repair: RepairStats::default(),
+        })
     }
 }
 
@@ -196,11 +247,17 @@ mod tests {
     use noc_platform::prelude::*;
 
     fn platform() -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .build()
+            .unwrap()
     }
 
     fn small_config() -> AnnealConfig {
-        AnnealConfig { iterations: 400, ..AnnealConfig::default() }
+        AnnealConfig {
+            iterations: 400,
+            ..AnnealConfig::default()
+        }
     }
 
     #[test]
@@ -220,8 +277,12 @@ mod tests {
     fn annealing_is_deterministic_per_seed() {
         let p = platform();
         let g = MultimediaApp::AvDecoder.build(Clip::Akiyo, &p).unwrap();
-        let a = AnnealScheduler::new(small_config()).schedule(&g, &p).unwrap();
-        let b = AnnealScheduler::new(small_config()).schedule(&g, &p).unwrap();
+        let a = AnnealScheduler::new(small_config())
+            .schedule(&g, &p)
+            .unwrap();
+        let b = AnnealScheduler::new(small_config())
+            .schedule(&g, &p)
+            .unwrap();
         assert_eq!(a.schedule, b.schedule);
     }
 
@@ -230,16 +291,57 @@ mod tests {
         let p = platform();
         let g = MultimediaApp::AvEncoder.build(Clip::Foreman, &p).unwrap();
         let eas = EasScheduler::full().schedule(&g, &p).unwrap();
-        let annealed = AnnealScheduler::new(small_config()).schedule(&g, &p).unwrap();
+        let annealed = AnnealScheduler::new(small_config())
+            .schedule(&g, &p)
+            .unwrap();
         assert!(annealed.report.meets_deadlines());
-        assert!(
-            annealed.stats.energy.total().as_nj()
-                <= eas.stats.energy.total().as_nj() + 1e-9
-        );
+        assert!(annealed.stats.energy.total().as_nj() <= eas.stats.energy.total().as_nj() + 1e-9);
     }
 
     #[test]
     fn scheduler_name() {
         assert_eq!(AnnealScheduler::default().name(), "anneal");
+    }
+
+    #[test]
+    fn restart_chains_are_thread_count_invariant() {
+        let p = platform();
+        let g = MultimediaApp::AvDecoder.build(Clip::Akiyo, &p).unwrap();
+        let warm = EasScheduler::full().schedule(&g, &p).unwrap().schedule;
+        let cfg = AnnealConfig {
+            iterations: 150,
+            restarts: 4,
+            ..AnnealConfig::default()
+        };
+        let (serial, serial_accepted) = AnnealScheduler::new(cfg).refine(warm.clone(), &g, &p);
+        for threads in [2usize, 4, 8] {
+            let par_cfg = AnnealConfig { threads, ..cfg };
+            let (par, par_accepted) = AnnealScheduler::new(par_cfg).refine(warm.clone(), &g, &p);
+            assert_eq!(par, serial, "threads {threads}");
+            assert_eq!(par_accepted, serial_accepted, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_never_increase_the_cost() {
+        let p = platform();
+        let g = MultimediaApp::AvDecoder.build(Clip::Foreman, &p).unwrap();
+        let warm = EasScheduler::full().schedule(&g, &p).unwrap().schedule;
+        let one = AnnealConfig {
+            iterations: 150,
+            ..AnnealConfig::default()
+        };
+        let many = AnnealConfig {
+            restarts: 3,
+            threads: 2,
+            ..one
+        };
+        let single = AnnealScheduler::new(one);
+        let multi = AnnealScheduler::new(many);
+        let (s1, _) = single.refine(warm.clone(), &g, &p);
+        let (s3, _) = multi.refine(warm, &g, &p);
+        // Chain 0 of the multi-restart run *is* the single run, so the
+        // winner can only be at least as good.
+        assert!(multi.cost(&s3, &g, &p) <= single.cost(&s1, &g, &p) + 1e-9);
     }
 }

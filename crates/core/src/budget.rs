@@ -94,8 +94,7 @@ impl SlackBudgets {
                 .deadline()
                 .expect("deadline_tasks yields constrained tasks");
             let path = analysis.longest_mean_path_to(td);
-            let mut path_cost: f64 =
-                path.iter().map(|&t| graph.task(t).mean_exec_time()).sum();
+            let mut path_cost: f64 = path.iter().map(|&t| graph.task(t).mean_exec_time()).sum();
             for w in path.windows(2) {
                 path_cost += arc_cost(w[0], w[1]);
             }
@@ -126,9 +125,8 @@ impl SlackBudgets {
             for s in graph.successors(t) {
                 let ds = bd[s.index()];
                 if !ds.is_infinite() {
-                    let m = Time::new(
-                        (graph.task(s).mean_exec_time() + arc_cost(t, s)).round() as u64,
-                    );
+                    let m =
+                        Time::new((graph.task(s).mean_exec_time() + arc_cost(t, s)).round() as u64);
                     let bound = ds.saturating_sub(m);
                     if bound < bd[t.index()] {
                         bd[t.index()] = bound;
@@ -145,7 +143,9 @@ impl SlackBudgets {
     /// greedy energy minimization. Used by the ablation study.
     #[must_use]
     pub fn unbounded(graph: &TaskGraph) -> Self {
-        SlackBudgets { bd: vec![Time::INFINITY; graph.task_count()] }
+        SlackBudgets {
+            bd: vec![Time::INFINITY; graph.task_count()],
+        }
     }
 
     /// The budgeted deadline of `t` (`Time::INFINITY` if unconstrained).

@@ -68,7 +68,9 @@ pub fn schedule_incoming(
     let mut lct: Vec<EdgeId> = graph.incoming(task).to_vec();
     lct.sort_by_key(|&e| {
         let src = graph.edge(e).src;
-        let p = placements[src.index()].as_ref().expect("predecessor placed");
+        let p = placements[src.index()]
+            .as_ref()
+            .expect("predecessor placed");
         (p.finish, e)
     });
 
@@ -76,7 +78,9 @@ pub fn schedule_incoming(
     let mut transactions = Vec::with_capacity(lct.len());
     for e in lct {
         let edge = graph.edge(e);
-        let sender = placements[edge.src.index()].as_ref().expect("predecessor placed");
+        let sender = placements[edge.src.index()]
+            .as_ref()
+            .expect("predecessor placed");
         let src_tile = sender.pe.tile();
         let dst_tile = dst_pe.tile();
         let placement = if src_tile == dst_tile || edge.volume.is_zero() {
@@ -121,7 +125,9 @@ pub fn incoming_comm_energy(
         .iter()
         .map(|&e| {
             let edge = graph.edge(e);
-            let sender = placements[edge.src.index()].as_ref().expect("predecessor placed");
+            let sender = placements[edge.src.index()]
+                .as_ref()
+                .expect("predecessor placed");
             platform.transfer_energy(sender.pe.tile(), dst_pe.tile(), edge.volume)
         })
         .sum()
@@ -268,7 +274,10 @@ mod tests {
             CommModel::FixedDelay,
         );
         // Both start at 100 even though they share the link.
-        assert!(inc.transactions.iter().all(|(_, c)| c.start == Time::new(100)));
+        assert!(inc
+            .transactions
+            .iter()
+            .all(|(_, c)| c.start == Time::new(100)));
         assert_eq!(mark, tables.checkpoint(), "fixed-delay must not reserve");
     }
 

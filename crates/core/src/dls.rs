@@ -49,7 +49,10 @@ pub fn dls_schedule(placer: &mut Placer<'_>) {
     let pes: Vec<PeId> = placer.platform().pes().collect();
     let means: Vec<f64> = {
         let graph = placer.graph();
-        graph.task_ids().map(|t| graph.task(t).mean_exec_time()).collect()
+        graph
+            .task_ids()
+            .map(|t| graph.task(t).mean_exec_time())
+            .collect()
     };
 
     while !placer.is_done() {
@@ -67,8 +70,7 @@ pub fn dls_schedule(placer: &mut Placer<'_>) {
                     // Ties: lower task id, then lower PE id (determinism).
                     Some((b, bt, bk)) => {
                         dl > b + 1e-9
-                            || ((dl - b).abs() <= 1e-9
-                                && (t, k.index()) < (bt, bk.index()))
+                            || ((dl - b).abs() <= 1e-9 && (t, k.index()) < (bt, bk.index()))
                     }
                 };
                 if better {
@@ -118,7 +120,12 @@ mod tests {
         let mut b = TaskGraph::builder("fast", 4);
         let t = b.add_task(Task::new(
             "t",
-            vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+            vec![
+                Time::new(50),
+                Time::new(100),
+                Time::new(200),
+                Time::new(100),
+            ],
             vec![Energy::from_nj(9.0); 4],
         ));
         let g = b.build().unwrap();

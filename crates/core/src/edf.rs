@@ -71,7 +71,12 @@ mod tests {
         let t = b.add_task(
             Task::new(
                 "t",
-                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Time::new(50),
+                    Time::new(100),
+                    Time::new(200),
+                    Time::new(100),
+                ],
                 vec![
                     Energy::from_nj(100.0),
                     Energy::from_nj(60.0),
@@ -109,7 +114,11 @@ mod tests {
         let s = placer.into_schedule();
         assert!(s.task(tight).finish <= Time::new(100), "tight deadline met");
         assert!(validate(&s, &g, &p).unwrap().meets_deadlines());
-        assert_eq!(s.task(loose).start, Time::ZERO, "parallel PEs keep both early");
+        assert_eq!(
+            s.task(loose).start,
+            Time::ZERO,
+            "parallel PEs keep both early"
+        );
     }
 
     #[test]
@@ -118,8 +127,18 @@ mod tests {
         let mut b = TaskGraph::builder("prop", 4);
         // An unconstrained feeder of a constrained sink must win against
         // an unconstrained independent task.
-        let feeder = b.add_task(Task::uniform("feeder", 4, Time::new(100), Energy::from_nj(1.0)));
-        let free = b.add_task(Task::uniform("free", 4, Time::new(100), Energy::from_nj(1.0)));
+        let feeder = b.add_task(Task::uniform(
+            "feeder",
+            4,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
+        let free = b.add_task(Task::uniform(
+            "free",
+            4,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
         let sink = b.add_task(
             Task::uniform("sink", 4, Time::new(100), Energy::from_nj(1.0))
                 .with_deadline(Time::new(250)),

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SchedulerError::PeCountMismatch { graph: 4, platform: 16 };
+        let e = SchedulerError::PeCountMismatch {
+            graph: 4,
+            platform: 16,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.source().is_none());
         let e = SchedulerError::from(ScheduleError::UnplacedTask(noc_ctg::task::TaskId::new(0)));

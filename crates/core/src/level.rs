@@ -16,28 +16,137 @@
 //!   (Step 2.4).
 
 use noc_ctg::task::TaskId;
+use noc_par::{effective_threads, RoundPool};
 use noc_platform::tile::PeId;
 use noc_platform::units::{Energy, Time};
+use noc_schedule::{ResourceTables, TaskPlacement};
 
 use crate::budget::SlackBudgets;
-use crate::placer::Placer;
+use crate::placer::{trial_eval, Placer, Trial};
 use crate::scheduler::CommModel;
 
 /// Runs level-based scheduling to completion, mutating `placer` until
-/// every task is placed.
+/// every task is placed. Serial trial evaluation (equivalent to
+/// [`level_schedule_threads`] with one thread).
 pub fn level_schedule(placer: &mut Placer<'_>, budgets: &SlackBudgets, model: CommModel) {
+    level_loop(placer, budgets, |placer, jobs| {
+        jobs.iter()
+            .map(|&(t, k)| placer.cached_trial(t, k, model))
+            .collect()
+    });
+}
+
+/// Read-only snapshot handed to the trial workers for one round: the
+/// placer's resource tables and placements as of the round start. Each
+/// worker clones the tables once and checkpoints/rolls back per trial,
+/// exactly like the serial path, so per-job results are bit-identical.
+struct TrialCtx {
+    tables: ResourceTables,
+    placements: Vec<Option<TaskPlacement>>,
+    model: CommModel,
+}
+
+/// Like [`level_schedule`], but fans the per-round `F(i,k)` matrix out
+/// over `threads` persistent workers (`0` = all hardware threads).
+///
+/// Determinism is a hard invariant: jobs are evaluated against an
+/// immutable snapshot of the round's tables, results are reduced in
+/// fixed `(task, PE)` index order, and the trial cache only returns
+/// values that recomputation would reproduce — so the resulting schedule
+/// is byte-identical to the serial one for every thread count.
+pub fn level_schedule_threads(
+    placer: &mut Placer<'_>,
+    budgets: &SlackBudgets,
+    model: CommModel,
+    threads: usize,
+) {
+    let workers = effective_threads(threads);
+    if workers <= 1 {
+        level_schedule(placer, budgets, model);
+        return;
+    }
+    let graph = placer.graph();
+    let platform = placer.platform();
+    std::thread::scope(|scope| {
+        let pool: RoundPool<'_, TrialCtx, (TaskId, PeId), Trial> = RoundPool::new(
+            scope,
+            workers,
+            move |ctx: &TrialCtx, jobs: &[(TaskId, PeId)]| {
+                let mut tables = ctx.tables.clone();
+                jobs.iter()
+                    .map(|&(t, k)| {
+                        trial_eval(
+                            graph,
+                            platform,
+                            &mut tables,
+                            &ctx.placements,
+                            t,
+                            k,
+                            ctx.model,
+                        )
+                    })
+                    .collect()
+            },
+        );
+        level_loop(placer, budgets, |placer, jobs| {
+            // Cache hits are resolved inline; only stale cells go to the
+            // pool, and their fresh values re-enter the cache.
+            let mut out: Vec<Option<Trial>> = jobs
+                .iter()
+                .map(|&(t, k)| placer.cache_probe(t, k, model))
+                .collect();
+            let missing: Vec<(TaskId, PeId)> = jobs
+                .iter()
+                .zip(&out)
+                .filter_map(|(&job, slot)| slot.is_none().then_some(job))
+                .collect();
+            if !missing.is_empty() {
+                let ctx = TrialCtx {
+                    tables: placer.tables().clone(),
+                    placements: placer.placements().to_vec(),
+                    model,
+                };
+                let fresh = pool.run_round(ctx, missing.clone());
+                let mut fresh = fresh.into_iter().zip(missing);
+                for slot in &mut out {
+                    if slot.is_none() {
+                        let (trial, (t, k)) = fresh.next().expect("one result per miss");
+                        placer.cache_store(t, k, model, trial);
+                        *slot = Some(trial);
+                    }
+                }
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("every job filled"))
+                .collect()
+        });
+    });
+}
+
+/// The round loop shared by the serial and parallel entry points:
+/// `eval_round` must return one [`Trial`] per `(task, PE)` job, in job
+/// order — everything downstream (urgency, energy regret, commits) is
+/// common code, which is what makes the two paths bit-identical.
+fn level_loop<F>(placer: &mut Placer<'_>, budgets: &SlackBudgets, mut eval_round: F)
+where
+    F: FnMut(&mut Placer<'_>, &[(TaskId, PeId)]) -> Vec<Trial>,
+{
     let pes: Vec<PeId> = placer.platform().pes().collect();
     while !placer.is_done() {
         let ready: Vec<TaskId> = placer.ready_tasks().to_vec();
         debug_assert!(!ready.is_empty(), "DAG guarantees progress");
 
-        // F(i,k) for the whole ready level.
-        let mut finishes: Vec<Vec<Time>> = Vec::with_capacity(ready.len());
-        for &t in &ready {
-            let row: Vec<Time> =
-                pes.iter().map(|&k| placer.trial(t, k, model).finish).collect();
-            finishes.push(row);
-        }
+        // F(i,k) for the whole ready level, task-major in PE order.
+        let jobs: Vec<(TaskId, PeId)> = ready
+            .iter()
+            .flat_map(|&t| pes.iter().map(move |&k| (t, k)))
+            .collect();
+        let trials = eval_round(placer, &jobs);
+        debug_assert_eq!(trials.len(), jobs.len(), "one trial per job");
+        let finishes: Vec<Vec<Time>> = trials
+            .chunks(pes.len())
+            .map(|row| row.iter().map(|t| t.finish).collect())
+            .collect();
 
         // Urgency rule: schedule the most-over-budget task ASAP.
         let mut urgent: Option<(usize, Time)> = None; // (ready idx, excess)
@@ -92,7 +201,11 @@ pub fn level_schedule(placer: &mut Placer<'_>, budgets: &SlackBudgets, model: Co
                 // safety fall back to the fastest PE.
                 None => {
                     let k = best_finish_pe(placer, &pes, &finishes[i], t);
-                    (placer.energy_for(t, k), finishes[i][pes.iter().position(|&p| p == k).expect("pe in list")], k)
+                    (
+                        placer.energy_for(t, k),
+                        finishes[i][pes.iter().position(|&p| p == k).expect("pe in list")],
+                        k,
+                    )
                 }
             };
             let delta = match e2 {
@@ -147,7 +260,12 @@ mod tests {
         let t = b.add_task(
             Task::new(
                 "t",
-                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Time::new(50),
+                    Time::new(100),
+                    Time::new(200),
+                    Time::new(100),
+                ],
                 vec![
                     Energy::from_nj(100.0),
                     Energy::from_nj(60.0),
@@ -175,7 +293,12 @@ mod tests {
         let t = b.add_task(
             Task::new(
                 "t",
-                vec![Time::new(50), Time::new(100), Time::new(200), Time::new(100)],
+                vec![
+                    Time::new(50),
+                    Time::new(100),
+                    Time::new(200),
+                    Time::new(100),
+                ],
                 vec![
                     Energy::from_nj(100.0),
                     Energy::from_nj(60.0),
@@ -243,6 +366,35 @@ mod tests {
         // finish-optimal PE id.
         assert!(s.task(worse).pe.index() <= s.task(slightly).pe.index());
         assert_eq!(s.task(worse).start, Time::ZERO);
+    }
+
+    /// The parallel scheduler must commit the exact same placements as
+    /// the serial one for every thread count (hard determinism).
+    #[test]
+    fn parallel_level_schedule_is_bit_identical_to_serial() {
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .pe_mix(PeCatalog::date04().cycle_mix())
+            .build()
+            .unwrap();
+        for seed in [0u64, 3, 9] {
+            let g = noc_ctg::prelude::TgffGenerator::new(noc_ctg::prelude::TgffConfig::small(seed))
+                .generate(&p)
+                .unwrap();
+            let budgets = SlackBudgets::compute(&g, WeightFunction::VarEnergyTimesVarTime);
+            let mut serial = Placer::new(&g, &p).unwrap();
+            level_schedule(&mut serial, &budgets, CommModel::Contention);
+            let reference = serial.into_schedule();
+            for threads in [2usize, 3, 8] {
+                let mut par = Placer::new(&g, &p).unwrap();
+                level_schedule_threads(&mut par, &budgets, CommModel::Contention, threads);
+                assert_eq!(
+                    par.into_schedule(),
+                    reference,
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
     }
 
     /// With zero heterogeneity and no deadlines, the energy rule ties on

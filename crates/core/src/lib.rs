@@ -54,6 +54,7 @@
 
 pub mod anneal;
 pub mod budget;
+pub mod cache;
 pub mod comm;
 pub mod dls;
 pub mod edf;
@@ -67,8 +68,7 @@ pub mod scheduler;
 
 pub use error::SchedulerError;
 pub use scheduler::{
-    DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome, Scheduler,
-    WeightFunction,
+    DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome, Scheduler, WeightFunction,
 };
 
 /// Convenient glob import of the most commonly used scheduler types.
@@ -77,8 +77,8 @@ pub mod prelude {
     pub use crate::budget::SlackBudgets;
     pub use crate::mapping::MapThenScheduleScheduler;
     pub use crate::scheduler::{
-        CommModel, DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome,
-        Scheduler, WeightFunction,
+        CommModel, DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome, Scheduler,
+        WeightFunction,
     };
     pub use crate::SchedulerError;
 }

@@ -47,7 +47,9 @@ impl MapThenScheduleScheduler {
     /// Creates the baseline with the default load balance factor (1.5).
     #[must_use]
     pub fn new() -> Self {
-        MapThenScheduleScheduler { balance_factor: 1.5 }
+        MapThenScheduleScheduler {
+            balance_factor: 1.5,
+        }
     }
 
     /// Overrides the load-balance cap.
@@ -66,7 +68,10 @@ impl MapThenScheduleScheduler {
     fn map(&self, graph: &TaskGraph, platform: &Platform) -> Vec<PeId> {
         let n = graph.task_count();
         let pe_count = platform.tile_count();
-        let total_mean: f64 = graph.task_ids().map(|t| graph.task(t).mean_exec_time()).sum();
+        let total_mean: f64 = graph
+            .task_ids()
+            .map(|t| graph.task(t).mean_exec_time())
+            .sum();
         let load_cap = (total_mean / pe_count as f64) * self.balance_factor;
 
         // Order tasks by descending adjacent communication volume
@@ -120,7 +125,10 @@ impl MapThenScheduleScheduler {
             assignment[t.index()] = Some(k);
             load[k.index()] += graph.task(t).mean_exec_time();
         }
-        assignment.into_iter().map(|a| a.expect("all mapped")).collect()
+        assignment
+            .into_iter()
+            .map(|a| a.expect("all mapped"))
+            .collect()
     }
 }
 
@@ -169,7 +177,12 @@ impl Scheduler for MapThenScheduleScheduler {
         let schedule = retime(graph, platform, &oa).ok_or(SchedulerError::RetimeDeadlock)?;
         let report = validate(&schedule, graph, platform)?;
         let stats = ScheduleStats::compute(&schedule, graph, platform);
-        Ok(ScheduleOutcome { schedule, report, stats, repair: RepairStats::default() })
+        Ok(ScheduleOutcome {
+            schedule,
+            report,
+            stats,
+            repair: RepairStats::default(),
+        })
     }
 }
 
@@ -181,15 +194,22 @@ mod tests {
     use noc_platform::prelude::*;
 
     fn platform() -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(4, 4)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn produces_valid_schedules() {
         let p = platform();
         for seed in 0..4u64 {
-            let g = TgffGenerator::new(TgffConfig::small(seed)).generate(&p).unwrap();
-            let out = MapThenScheduleScheduler::new().schedule(&g, &p).expect("schedules");
+            let g = TgffGenerator::new(TgffConfig::small(seed))
+                .generate(&p)
+                .unwrap();
+            let out = MapThenScheduleScheduler::new()
+                .schedule(&g, &p)
+                .expect("schedules");
             validate(&out.schedule, &g, &p).expect("valid");
         }
     }
@@ -220,7 +240,9 @@ mod tests {
         let mut better_than_edf = 0;
         let mut eas_wins = 0;
         for seed in 0..4u64 {
-            let g = TgffGenerator::new(TgffConfig::small(seed)).generate(&p).unwrap();
+            let g = TgffGenerator::new(TgffConfig::small(seed))
+                .generate(&p)
+                .unwrap();
             let two_phase = MapThenScheduleScheduler::new().schedule(&g, &p).unwrap();
             let edf = EdfScheduler::new().schedule(&g, &p).unwrap();
             let eas = EasScheduler::full().schedule(&g, &p).unwrap();
@@ -231,8 +253,14 @@ mod tests {
                 eas_wins += 1;
             }
         }
-        assert!(better_than_edf >= 3, "energy-aware mapping should usually beat EDF");
-        assert!(eas_wins >= 3, "co-scheduling should match or beat the two-phase split");
+        assert!(
+            better_than_edf >= 3,
+            "energy-aware mapping should usually beat EDF"
+        );
+        assert!(
+            eas_wins >= 3,
+            "co-scheduling should match or beat the two-phase split"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use noc_platform::units::{Energy, Time};
 use noc_platform::Platform;
 use noc_schedule::{CommPlacement, ResourceTables, Schedule, TaskPlacement};
 
+use crate::cache::TrialCache;
 use crate::comm::{incoming_comm_energy, schedule_incoming};
 use crate::scheduler::CommModel;
 use crate::SchedulerError;
@@ -25,6 +26,36 @@ pub struct Trial {
     pub finish: Time,
 }
 
+/// Computes `F(i,k)` against arbitrary resource tables: trial-schedules
+/// `task`'s incoming transactions and the task itself on `pe`, then
+/// restores the tables. This is the pure evaluation kernel shared by
+/// [`Placer::trial`] and the parallel trial workers in [`crate::level`],
+/// which run it against per-worker *clones* of the placer's tables.
+///
+/// # Panics
+///
+/// Panics if any predecessor of `task` has no placement in `placements`.
+#[must_use]
+pub fn trial_eval(
+    graph: &TaskGraph,
+    platform: &Platform,
+    tables: &mut ResourceTables,
+    placements: &[Option<TaskPlacement>],
+    task: TaskId,
+    pe: PeId,
+    model: CommModel,
+) -> Trial {
+    let mark = tables.checkpoint();
+    let incoming = schedule_incoming(graph, platform, tables, placements, task, pe, model);
+    let exec = graph.task(task).exec_time(pe);
+    let start = tables.earliest_pe_slot(pe, incoming.drt, exec);
+    tables.rollback(mark);
+    Trial {
+        start,
+        finish: start + exec,
+    }
+}
+
 /// Incremental scheduling state over one graph and platform.
 #[derive(Debug, Clone)]
 pub struct Placer<'a> {
@@ -36,6 +67,12 @@ pub struct Placer<'a> {
     unplaced_preds: Vec<usize>,
     ready: Vec<TaskId>,
     placed_count: usize,
+    /// Commit counters per PE / per link; a trial's epoch stamp sums the
+    /// counters of every table it reads, so an unchanged stamp proves
+    /// the cached result is still exact (see [`TrialCache`]).
+    pe_epochs: Vec<u64>,
+    link_epochs: Vec<u64>,
+    cache: TrialCache,
 }
 
 impl<'a> Placer<'a> {
@@ -67,6 +104,9 @@ impl<'a> Placer<'a> {
             unplaced_preds,
             ready,
             placed_count: 0,
+            pe_epochs: vec![0; platform.tile_count()],
+            link_epochs: vec![0; platform.link_count()],
+            cache: TrialCache::new(graph.task_count(), platform.tile_count()),
         })
     }
 
@@ -83,16 +123,25 @@ impl<'a> Placer<'a> {
         self.placed_count == self.graph.task_count()
     }
 
-    /// The graph being scheduled.
+    /// The graph being scheduled (with the placer's full borrow
+    /// lifetime, so callers can hold it across mutations of `self`).
     #[must_use]
-    pub fn graph(&self) -> &TaskGraph {
+    pub fn graph(&self) -> &'a TaskGraph {
         self.graph
     }
 
-    /// The platform being scheduled onto.
+    /// The platform being scheduled onto (full borrow lifetime, like
+    /// [`graph`](Self::graph)).
     #[must_use]
-    pub fn platform(&self) -> &Platform {
+    pub fn platform(&self) -> &'a Platform {
         self.platform
+    }
+
+    /// The current resource tables (for snapshotting into parallel trial
+    /// workers).
+    #[must_use]
+    pub(crate) fn tables(&self) -> &ResourceTables {
+        &self.tables
     }
 
     /// Current (partial) placements, task-id order.
@@ -111,8 +160,7 @@ impl<'a> Placer<'a> {
     /// Panics if `task` is not ready (has unplaced predecessors).
     #[must_use]
     pub fn trial(&mut self, task: TaskId, pe: PeId, model: CommModel) -> Trial {
-        let mark = self.tables.checkpoint();
-        let incoming = schedule_incoming(
+        trial_eval(
             self.graph,
             self.platform,
             &mut self.tables,
@@ -120,11 +168,73 @@ impl<'a> Placer<'a> {
             task,
             pe,
             model,
-        );
-        let exec = self.graph.task(task).exec_time(pe);
-        let start = self.tables.earliest_pe_slot(pe, incoming.drt, exec);
-        self.tables.rollback(mark);
-        Trial { start, finish: start + exec }
+        )
+    }
+
+    /// The epoch stamp of a `(task, pe)` trial: the sum of the commit
+    /// counters of every schedule table the trial reads — the PE's own
+    /// table plus, under [`CommModel::Contention`], each link on the
+    /// routes from the task's placed senders to `pe`'s tile. Epochs are
+    /// monotone, so two equal stamps imply every summand (hence every
+    /// table the trial depends on) is unchanged.
+    fn trial_stamp(&self, task: TaskId, pe: PeId, model: CommModel) -> u64 {
+        let mut stamp = self.pe_epochs[pe.index()];
+        if model == CommModel::Contention {
+            let dst_tile = pe.tile();
+            for &e in self.graph.incoming(task) {
+                let edge = self.graph.edge(e);
+                let sender = self.placements[edge.src.index()]
+                    .as_ref()
+                    .expect("predecessor placed");
+                let src_tile = sender.pe.tile();
+                if src_tile == dst_tile || edge.volume.is_zero() {
+                    continue;
+                }
+                for l in self.platform.route(src_tile, dst_tile) {
+                    stamp += self.link_epochs[l.index()];
+                }
+            }
+        }
+        stamp
+    }
+
+    /// Cached variant of [`trial`](Self::trial): returns the memoized
+    /// `F(i,k)` when the epoch stamp proves it is still exact, else
+    /// recomputes and stores it. Results are always identical to
+    /// [`trial`](Self::trial).
+    #[must_use]
+    pub fn cached_trial(&mut self, task: TaskId, pe: PeId, model: CommModel) -> Trial {
+        if let Some(hit) = self.cache_probe(task, pe, model) {
+            return hit;
+        }
+        let trial = self.trial(task, pe, model);
+        self.cache_store(task, pe, model, trial);
+        trial
+    }
+
+    /// Probes the trial cache without computing anything on a miss.
+    pub(crate) fn cache_probe(
+        &mut self,
+        task: TaskId,
+        pe: PeId,
+        model: CommModel,
+    ) -> Option<Trial> {
+        let stamp = self.trial_stamp(task, pe, model);
+        self.cache.probe(task.index(), pe.index(), model, stamp)
+    }
+
+    /// Stores an externally computed trial (from a parallel worker that
+    /// evaluated it against a snapshot of the current tables).
+    pub(crate) fn cache_store(&mut self, task: TaskId, pe: PeId, model: CommModel, trial: Trial) {
+        let stamp = self.trial_stamp(task, pe, model);
+        self.cache
+            .store(task.index(), pe.index(), model, stamp, trial);
+    }
+
+    /// `(hits, misses)` of the trial cache since construction.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 
     /// Commits `task` to `pe`: permanently reserves its incoming
@@ -153,11 +263,17 @@ impl<'a> Placer<'a> {
             CommModel::Contention,
         );
         for (e, placement) in incoming.transactions {
+            // Every committed link reservation invalidates cached trials
+            // whose routes cross it (local placements have empty routes).
+            for l in &placement.route {
+                self.link_epochs[l.index()] += 1;
+            }
             self.comms[e.index()] = Some(placement);
         }
         let exec = self.graph.task(task).exec_time(pe);
         let start = self.tables.earliest_pe_slot(pe, incoming.drt, exec);
         self.tables.reserve_pe(pe, start, exec);
+        self.pe_epochs[pe.index()] += 1;
         self.placements[task.index()] = Some(TaskPlacement::new(pe, start, start + exec));
         self.placed_count += 1;
 
@@ -239,11 +355,17 @@ mod tests {
 
     #[test]
     fn pe_count_mismatch_is_rejected() {
-        let p = Platform::builder().topology(TopologySpec::mesh(3, 3)).build().unwrap();
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(3, 3))
+            .build()
+            .unwrap();
         let g = chain(); // 4-PE vectors
         assert!(matches!(
             Placer::new(&g, &p),
-            Err(SchedulerError::PeCountMismatch { graph: 4, platform: 9 })
+            Err(SchedulerError::PeCountMismatch {
+                graph: 4,
+                platform: 9
+            })
         ));
     }
 
@@ -307,5 +429,60 @@ mod tests {
         let g = chain();
         let mut placer = Placer::new(&g, &p).unwrap();
         placer.commit(TaskId::new(1), PeId::new(0));
+    }
+
+    #[test]
+    fn cached_trial_hits_when_tables_are_untouched() {
+        let p = platform();
+        let g = chain();
+        let mut placer = Placer::new(&g, &p).unwrap();
+        let first = placer.cached_trial(TaskId::new(0), PeId::new(0), CommModel::Contention);
+        let second = placer.cached_trial(TaskId::new(0), PeId::new(0), CommModel::Contention);
+        assert_eq!(first, second);
+        let (hits, misses) = placer.cache_stats();
+        assert_eq!((hits, misses), (1, 1), "second probe must be a hit");
+    }
+
+    #[test]
+    fn commit_on_a_pe_invalidates_cached_trials_for_it() {
+        let p = platform();
+        // Two independent tasks: both ready from the start.
+        let mut b = TaskGraph::builder("indep", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0)));
+        let g = b.build().unwrap();
+        let mut placer = Placer::new(&g, &p).unwrap();
+        let before = placer.cached_trial(c, PeId::new(0), CommModel::Contention);
+        assert_eq!(before.start, Time::ZERO);
+        placer.commit(a, PeId::new(0));
+        // The PE epoch bump must force a recomputation that sees the
+        // occupied [0, 100) slot; a stale hit would return start 0.
+        let after = placer.cached_trial(c, PeId::new(0), CommModel::Contention);
+        assert_eq!(after.start, Time::new(100));
+    }
+
+    #[test]
+    fn committed_route_reservation_invalidates_overlapping_trials() {
+        let p = platform();
+        // One producer fanning out to two consumers; both transfers leave
+        // tile 0 over the shared link 0 -> 1.
+        let mut b = TaskGraph::builder("fan", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0)));
+        let d = b.add_task(Task::uniform("d", 4, Time::new(100), Energy::from_nj(1.0)));
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap(); // 10 ticks
+        b.add_edge(a, d, Volume::from_bits(320)).unwrap(); // 10 ticks
+        let g = b.build().unwrap();
+        let mut placer = Placer::new(&g, &p).unwrap();
+        placer.commit(a, PeId::new(0));
+        // Trial c on tile 3: route 0->1->3, comm [100, 110), start 110.
+        let before = placer.cached_trial(c, PeId::new(3), CommModel::Contention);
+        assert_eq!(before.start, Time::new(110));
+        // Committing d on tile 1 reserves link 0->1 for [100, 110). PE 3's
+        // table is untouched — only the link epoch can invalidate c's
+        // cached trial, whose transfer must now wait for the link.
+        placer.commit(d, PeId::new(1));
+        let after = placer.cached_trial(c, PeId::new(3), CommModel::Contention);
+        assert_eq!(after.start, Time::new(120));
     }
 }

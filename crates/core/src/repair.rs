@@ -56,8 +56,11 @@ fn badness(schedule: &Schedule, graph: &TaskGraph) -> Badness {
 /// miss its deadline"). Ascending id.
 fn critical_tasks(graph: &TaskGraph, schedule: &Schedule) -> Vec<TaskId> {
     let analysis = GraphAnalysis::new(graph);
-    let missed: Vec<TaskId> =
-        schedule.deadline_misses(graph).into_iter().map(|(t, _)| t).collect();
+    let missed: Vec<TaskId> = schedule
+        .deadline_misses(graph)
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect();
     let mut critical = vec![false; graph.task_count()];
     for &m in &missed {
         critical[m.index()] = true;
@@ -86,6 +89,27 @@ pub fn search_and_repair(
     platform: &Platform,
     schedule: Schedule,
 ) -> (Schedule, RepairStats) {
+    search_and_repair_threads(graph, platform, schedule, 1)
+}
+
+/// [`search_and_repair`] with GTM candidate re-timings fanned out over
+/// `threads` workers (`0` = all hardware threads).
+///
+/// Destinations are still tried in the serial order (increasing
+/// migration energy); they are evaluated in blocks of `threads`
+/// candidates and the *first improving candidate in that order* is the
+/// one accepted, with [`RepairStats::trials`] counting exactly the
+/// candidates the serial scan would have evaluated — so the repaired
+/// schedule **and** the statistics are byte-identical to the serial run
+/// for every thread count.
+#[must_use]
+pub fn search_and_repair_threads(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: Schedule,
+    threads: usize,
+) -> (Schedule, RepairStats) {
+    let workers = noc_par::effective_threads(threads);
     let mut stats = RepairStats::default();
     if badness(&schedule, graph).0 == 0 {
         return (schedule, stats);
@@ -126,9 +150,7 @@ pub fn search_and_repair(
                     oa.swap(t1, t2);
                     stats.trials += 1;
                     let candidate = retime(graph, platform, &oa);
-                    let improved = candidate
-                        .as_ref()
-                        .is_some_and(|c| badness(c, graph) < best);
+                    let improved = candidate.as_ref().is_some_and(|c| badness(c, graph) < best);
                     if improved {
                         current = candidate.expect("checked");
                         best = badness(&current, graph);
@@ -157,35 +179,67 @@ pub fn search_and_repair(
                 .filter(|&k| k != src)
                 .map(|k| (migration_energy(graph, platform, &current, t, k), k))
                 .collect();
-            destinations
-                .sort_by(|a, b| (a.0, a.1.index()).partial_cmp(&(b.0, b.1.index())).expect("finite energies"));
-            let old_pos = oa.position(t);
+            destinations.sort_by(|a, b| {
+                (a.0, a.1.index())
+                    .partial_cmp(&(b.0, b.1.index()))
+                    .expect("finite energies")
+            });
             let old_start = current.task(t).start;
-            for (_, dst) in destinations {
-                // Insert keeping the destination queue sorted by current
-                // start times.
-                let anchor = oa.order[dst.index()]
-                    .iter()
-                    .position(|&x| current.task(x).start > old_start)
-                    .unwrap_or(oa.order[dst.index()].len());
-                oa.migrate(t, dst, anchor);
-                stats.trials += 1;
-                let candidate = retime(graph, platform, &oa);
-                let improved =
-                    candidate.as_ref().is_some_and(|c| badness(c, graph) < best);
-                if improved {
-                    current = candidate.expect("checked");
-                    best = badness(&current, graph);
-                    stats.gtm_accepted += 1;
-                    migrated = true;
+            // Evaluate destinations in blocks of `workers` candidates.
+            // Each candidate re-times a *clone* of the current ordered
+            // assignment, so workers never share mutable state; accepting
+            // the first improving candidate in sorted order (and charging
+            // `trials` for exactly the candidates a serial scan would
+            // have evaluated) keeps results and stats serial-identical.
+            let mut next = 0;
+            while next < destinations.len() {
+                let budget_left = MAX_REPAIR_TRIALS - stats.trials;
+                if budget_left == 0 {
                     break 'gtm;
                 }
-                // Roll back the migration.
-                let back = oa.position(t);
-                let _ = back;
-                oa.migrate(t, src, old_pos);
-                if stats.trials >= MAX_REPAIR_TRIALS {
-                    break 'gtm;
+                let block_end = destinations
+                    .len()
+                    .min(next + workers)
+                    .min(next + budget_left);
+                let block = &destinations[next..block_end];
+                let evals: Vec<Option<(Schedule, Badness)>> =
+                    noc_par::par_map(workers, block, |_, &(_, dst)| {
+                        let mut trial_oa = oa.clone();
+                        // Insert keeping the destination queue sorted by
+                        // current start times.
+                        let anchor = trial_oa.order[dst.index()]
+                            .iter()
+                            .position(|&x| current.task(x).start > old_start)
+                            .unwrap_or(trial_oa.order[dst.index()].len());
+                        trial_oa.migrate(t, dst, anchor);
+                        retime(graph, platform, &trial_oa).map(|c| {
+                            let b = badness(&c, graph);
+                            (c, b)
+                        })
+                    });
+                let accepted = evals
+                    .iter()
+                    .position(|e| e.as_ref().is_some_and(|(_, b)| *b < best));
+                match accepted {
+                    Some(j) => {
+                        stats.trials += j + 1;
+                        let dst = block[j].1;
+                        let anchor = oa.order[dst.index()]
+                            .iter()
+                            .position(|&x| current.task(x).start > old_start)
+                            .unwrap_or(oa.order[dst.index()].len());
+                        oa.migrate(t, dst, anchor);
+                        let (cand, b) = evals.into_iter().nth(j).flatten().expect("improving");
+                        current = cand;
+                        best = b;
+                        stats.gtm_accepted += 1;
+                        migrated = true;
+                        break 'gtm;
+                    }
+                    None => {
+                        stats.trials += block.len();
+                        next = block_end;
+                    }
                 }
             }
         }
@@ -207,8 +261,12 @@ fn migration_energy(
     t: TaskId,
     k: PeId,
 ) -> Energy {
-    let placements: Vec<Option<noc_schedule::TaskPlacement>> =
-        schedule.task_placements().iter().copied().map(Some).collect();
+    let placements: Vec<Option<noc_schedule::TaskPlacement>> = schedule
+        .task_placements()
+        .iter()
+        .copied()
+        .map(Some)
+        .collect();
     let incoming = incoming_comm_energy(graph, platform, &placements, t, k);
     let outgoing: Energy = graph
         .outgoing(t)
@@ -243,7 +301,12 @@ mod tests {
     fn lts_swaps_critical_task_earlier() {
         let p = platform();
         let mut b = TaskGraph::builder("lts", 4);
-        let filler = b.add_task(Task::uniform("filler", 4, Time::new(100), Energy::from_nj(1.0)));
+        let filler = b.add_task(Task::uniform(
+            "filler",
+            4,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
         let late = b.add_task(
             Task::uniform("late", 4, Time::new(100), Energy::from_nj(1.0))
                 .with_deadline(Time::new(100)),
@@ -331,6 +394,39 @@ mod tests {
         let bad = retime(&g, &p, &oa).unwrap();
         let (out, _) = search_and_repair(&g, &p, bad);
         assert_eq!(out.deadline_misses(&g).len(), 1);
+    }
+
+    /// Parallel GTM evaluation must reproduce the serial repair exactly —
+    /// same schedule, same accept/trial counters — on workloads that
+    /// actually exercise migrations.
+    #[test]
+    fn parallel_repair_is_bit_identical_to_serial() {
+        use crate::scheduler::Scheduler;
+        use noc_ctg::prelude::{TgffConfig, TgffGenerator};
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .pe_mix(PeCatalog::date04().cycle_mix())
+            .build()
+            .unwrap();
+        for seed in [2u64, 5] {
+            let mut cfg = TgffConfig::small(seed);
+            cfg.deadline_laxity = 0.95; // provoke misses so GTM runs
+            let g = TgffGenerator::new(cfg).generate(&p).unwrap();
+            let base = crate::EasScheduler::base()
+                .schedule(&g, &p)
+                .unwrap()
+                .schedule;
+            let (serial, serial_stats) = search_and_repair(&g, &p, base.clone());
+            assert!(
+                serial_stats.trials > 0,
+                "seed {seed}: workload must exercise repair"
+            );
+            for threads in [2usize, 4, 7] {
+                let (par, par_stats) = search_and_repair_threads(&g, &p, base.clone(), threads);
+                assert_eq!(par, serial, "seed {seed} threads {threads}");
+                assert_eq!(par_stats, serial_stats, "seed {seed} threads {threads}");
+            }
+        }
     }
 
     /// GTM prefers the energetically cheapest destination that fixes the

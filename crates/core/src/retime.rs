@@ -30,10 +30,8 @@ impl OrderedAssignment {
     /// Extracts the decisions of an existing schedule.
     #[must_use]
     pub fn from_schedule(schedule: &Schedule, platform: &Platform) -> Self {
-        let assignment: Vec<PeId> =
-            schedule.task_placements().iter().map(|p| p.pe).collect();
-        let order: Vec<Vec<TaskId>> =
-            platform.pes().map(|pe| schedule.tasks_on(pe)).collect();
+        let assignment: Vec<PeId> = schedule.task_placements().iter().map(|p| p.pe).collect();
+        let order: Vec<Vec<TaskId>> = platform.pes().map(|pe| schedule.tasks_on(pe)).collect();
         OrderedAssignment { assignment, order }
     }
 
@@ -87,11 +85,7 @@ impl OrderedAssignment {
 /// task queued after `b` elsewhere) — such candidate moves are simply
 /// rejected by the repair loop.
 #[must_use]
-pub fn retime(
-    graph: &TaskGraph,
-    platform: &Platform,
-    oa: &OrderedAssignment,
-) -> Option<Schedule> {
+pub fn retime(graph: &TaskGraph, platform: &Platform, oa: &OrderedAssignment) -> Option<Schedule> {
     let n = graph.task_count();
     let mut tables = ResourceTables::new(platform);
     let mut placements: Vec<Option<TaskPlacement>> = vec![None; n];

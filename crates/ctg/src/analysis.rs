@@ -74,7 +74,11 @@ impl GraphAnalysis {
             ancestors[t.index()] = row;
         }
 
-        GraphAnalysis { mean_finish, mean_finish_pred, ancestors }
+        GraphAnalysis {
+            mean_finish,
+            mean_finish_pred,
+            ancestors,
+        }
     }
 
     /// Longest-path finish time of `t` when every task costs its *mean*

@@ -256,7 +256,10 @@ mod tests {
 
     fn platform_for(app: ExtensionApp) -> Platform {
         let (c, r) = app.recommended_mesh();
-        Platform::builder().topology(TopologySpec::mesh(c, r)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(c, r))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -284,9 +287,8 @@ mod tests {
             let p = platform_for(app);
             let light = app.build(Load::Light, &p).unwrap();
             let heavy = app.build(Load::Heavy, &p).unwrap();
-            let work = |g: &TaskGraph| -> f64 {
-                g.task_ids().map(|t| g.task(t).mean_exec_time()).sum()
-            };
+            let work =
+                |g: &TaskGraph| -> f64 { g.task_ids().map(|t| g.task(t).mean_exec_time()).sum() };
             assert!(work(&heavy) > work(&light), "{app}");
             assert!(heavy.total_volume() > light.total_volume(), "{app}");
         }
@@ -295,7 +297,9 @@ mod tests {
     #[test]
     fn ofdm_has_dsp_dominant_kernels() {
         let p = platform_for(ExtensionApp::OfdmTransceiver);
-        let g = ExtensionApp::OfdmTransceiver.build(Load::Nominal, &p).unwrap();
+        let g = ExtensionApp::OfdmTransceiver
+            .build(Load::Nominal, &p)
+            .unwrap();
         let fft = g.task_ids().find(|&t| g.task(t).name() == "fft64").unwrap();
         // On a heterogeneous platform the FFT shows high cost variance —
         // exactly what EAS's weights reward.
@@ -304,7 +308,10 @@ mod tests {
 
     #[test]
     fn names_and_loads_round_trip() {
-        assert_eq!(ExtensionApp::OfdmTransceiver.to_string(), "ofdm-transceiver");
+        assert_eq!(
+            ExtensionApp::OfdmTransceiver.to_string(),
+            "ofdm-transceiver"
+        );
         assert_eq!(Load::Heavy.to_string(), "heavy");
         assert!(Load::Heavy.factor() > Load::Light.factor());
     }

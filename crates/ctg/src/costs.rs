@@ -41,7 +41,10 @@ impl<'a> CostSynthesizer<'a> {
     /// Creates a synthesizer over the given per-tile PE classes.
     #[must_use]
     pub fn new(classes: &'a [PeClass]) -> Self {
-        CostSynthesizer { classes, nominal_power: NOMINAL_POWER_NJ_PER_TICK }
+        CostSynthesizer {
+            classes,
+            nominal_power: NOMINAL_POWER_NJ_PER_TICK,
+        }
     }
 
     /// Overrides the nominal computation power (nJ per tick on the
@@ -71,7 +74,9 @@ impl<'a> CostSynthesizer<'a> {
         for class in self.classes {
             let (ts, es) = self.class_multipliers(class, affinity);
             times.push(Time::new(((base_time * ts).round() as u64).max(1)));
-            energies.push(Energy::from_nj((base_time * self.nominal_power * es).max(1e-6)));
+            energies.push(Energy::from_nj(
+                (base_time * self.nominal_power * es).max(1e-6),
+            ));
         }
         (times, energies)
     }
@@ -99,7 +104,9 @@ impl<'a> CostSynthesizer<'a> {
             let jt: f64 = rng.random_range(1.0 - jitter..=1.0 + jitter);
             let je: f64 = rng.random_range(1.0 - jitter..=1.0 + jitter);
             times.push(Time::new(((base_time * ts * jt).round() as u64).max(1)));
-            energies.push(Energy::from_nj((base_time * self.nominal_power * es * je).max(1e-6)));
+            energies.push(Energy::from_nj(
+                (base_time * self.nominal_power * es * je).max(1e-6),
+            ));
         }
         (times, energies)
     }
@@ -120,7 +127,10 @@ mod tests {
         let tmin = times.iter().min().unwrap();
         let tmax = times.iter().max().unwrap();
         assert!(tmax > tmin, "times should differ across classes: {times:?}");
-        let emin = energies.iter().map(|e| e.as_nj()).fold(f64::INFINITY, f64::min);
+        let emin = energies
+            .iter()
+            .map(|e| e.as_nj())
+            .fold(f64::INFINITY, f64::min);
         let emax = energies.iter().map(|e| e.as_nj()).fold(0.0, f64::max);
         assert!(emax > emin);
     }
@@ -140,8 +150,8 @@ mod tests {
         let synth = CostSynthesizer::new(&classes);
         let (_, high) = synth.vectors(300.0, 0.95); // DSP-affine
         let (_, low) = synth.vectors(300.0, 0.05); // control-code task
-        // Energy on DSP (index 3) relative to mid CPU (index 1) should
-        // improve for the DSP-affine task.
+                                                   // Energy on DSP (index 3) relative to mid CPU (index 1) should
+                                                   // improve for the DSP-affine task.
         let ratio_high = high[3].as_nj() / high[1].as_nj();
         let ratio_low = low[3].as_nj() / low[1].as_nj();
         assert!(ratio_high < ratio_low);
@@ -156,7 +166,10 @@ mod tests {
         let (jt, _) = synth.vectors_with_jitter(500.0, 0.5, 0.1, &mut rng);
         for (a, b) in base_t.iter().zip(&jt) {
             let ratio = b.as_f64() / a.as_f64();
-            assert!((0.85..=1.15).contains(&ratio), "jitter out of bounds: {ratio}");
+            assert!(
+                (0.85..=1.15).contains(&ratio),
+                "jitter out of bounds: {ratio}"
+            );
         }
         // Determinism under the same seed.
         let mut rng2 = StdRng::seed_from_u64(7);

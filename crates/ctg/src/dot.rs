@@ -38,7 +38,11 @@ pub fn to_dot(graph: &TaskGraph) -> String {
         if let Some(d) = task.deadline() {
             let _ = write!(label, "\\nd={d}");
         }
-        let style = if task.has_deadline() { ", penwidth=2" } else { "" };
+        let style = if task.has_deadline() {
+            ", penwidth=2"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {t} [label=\"{label}\"{style}];");
     }
     for e in graph.edge_ids() {

@@ -50,7 +50,12 @@ impl fmt::Display for CtgError {
             CtgError::UnknownTask { task, task_count } => {
                 write!(f, "task {task} out of range (graph has {task_count} tasks)")
             }
-            CtgError::CostVectorMismatch { task, expected, times, energies } => write!(
+            CtgError::CostVectorMismatch {
+                task,
+                expected,
+                times,
+                energies,
+            } => write!(
                 f,
                 "task {task} has cost vectors of length {times}/{energies}, expected {expected}"
             ),
@@ -73,9 +78,14 @@ mod tests {
 
     #[test]
     fn messages_mention_the_ids() {
-        let e = CtgError::DuplicateEdge { src: TaskId::new(1), dst: TaskId::new(2) };
+        let e = CtgError::DuplicateEdge {
+            src: TaskId::new(1),
+            dst: TaskId::new(2),
+        };
         assert!(e.to_string().contains("t1 -> t2"));
-        let e = CtgError::CyclicGraph { witness: TaskId::new(7) };
+        let e = CtgError::CyclicGraph {
+            witness: TaskId::new(7),
+        };
         assert!(e.to_string().contains("t7"));
     }
 

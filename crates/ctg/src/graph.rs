@@ -134,12 +134,16 @@ impl TaskGraph {
 
     /// Successor task ids of `id`.
     pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.succs[id.index()].iter().map(|&e| self.edges[e.index()].dst)
+        self.succs[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].dst)
     }
 
     /// Predecessor task ids of `id`.
     pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.preds[id.index()].iter().map(|&e| self.edges[e.index()].src)
+        self.preds[id.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].src)
     }
 
     /// A fixed topological order of all tasks (deterministic).
@@ -178,7 +182,10 @@ impl TaskGraph {
         if task.index() < self.tasks.len() {
             Ok(())
         } else {
-            Err(CtgError::UnknownTask { task, task_count: self.tasks.len() })
+            Err(CtgError::UnknownTask {
+                task,
+                task_count: self.tasks.len(),
+            })
         }
     }
 }
@@ -229,7 +236,10 @@ impl TaskGraphBuilder {
     ) -> Result<EdgeId, CtgError> {
         for t in [src, dst] {
             if t.index() >= self.tasks.len() {
-                return Err(CtgError::UnknownTask { task: t, task_count: self.tasks.len() });
+                return Err(CtgError::UnknownTask {
+                    task: t,
+                    task_count: self.tasks.len(),
+                });
             }
         }
         if src == dst {
@@ -381,8 +391,10 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = diamond();
         let topo = g.topological_order();
-        let pos: Vec<usize> =
-            g.task_ids().map(|t| topo.iter().position(|&x| x == t).unwrap()).collect();
+        let pos: Vec<usize> = g
+            .task_ids()
+            .map(|t| topo.iter().position(|&x| x == t).unwrap())
+            .collect();
         for e in g.edges() {
             assert!(pos[e.src.index()] < pos[e.dst.index()]);
         }
@@ -403,9 +415,15 @@ mod tests {
         let mut b = TaskGraph::builder("bad", 2);
         let x = b.add_task(task("x"));
         let y = b.add_task(task("y"));
-        assert!(matches!(b.add_edge(x, x, Volume::ZERO), Err(CtgError::SelfLoop(_))));
+        assert!(matches!(
+            b.add_edge(x, x, Volume::ZERO),
+            Err(CtgError::SelfLoop(_))
+        ));
         b.add_edge(x, y, Volume::ZERO).unwrap();
-        assert!(matches!(b.add_edge(x, y, Volume::ZERO), Err(CtgError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(x, y, Volume::ZERO),
+            Err(CtgError::DuplicateEdge { .. })
+        ));
     }
 
     #[test]
@@ -413,19 +431,28 @@ mod tests {
         let mut b = TaskGraph::builder("bad", 2);
         let x = b.add_task(task("x"));
         let ghost = TaskId::new(9);
-        assert!(matches!(b.add_edge(x, ghost, Volume::ZERO), Err(CtgError::UnknownTask { .. })));
+        assert!(matches!(
+            b.add_edge(x, ghost, Volume::ZERO),
+            Err(CtgError::UnknownTask { .. })
+        ));
     }
 
     #[test]
     fn empty_graph_is_rejected() {
-        assert!(matches!(TaskGraph::builder("e", 2).build(), Err(CtgError::EmptyGraph)));
+        assert!(matches!(
+            TaskGraph::builder("e", 2).build(),
+            Err(CtgError::EmptyGraph)
+        ));
     }
 
     #[test]
     fn cost_vector_mismatch_is_rejected() {
         let mut b = TaskGraph::builder("bad", 3);
         b.add_task(task("x")); // 2-PE vectors in a 3-PE graph
-        assert!(matches!(b.build(), Err(CtgError::CostVectorMismatch { expected: 3, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(CtgError::CostVectorMismatch { expected: 3, .. })
+        ));
     }
 
     #[test]
@@ -433,7 +460,8 @@ mod tests {
         let mut b = TaskGraph::builder("d", 2);
         b.add_task(task("a"));
         let t = b.add_task(task("b"));
-        b.task_mut(t).clone_from(&task("b").with_deadline(Time::new(100)));
+        b.task_mut(t)
+            .clone_from(&task("b").with_deadline(Time::new(100)));
         let g = b.build().unwrap();
         assert_eq!(g.deadline_tasks().collect::<Vec<_>>(), vec![t]);
     }

@@ -147,7 +147,11 @@ impl MultimediaApp {
     /// All applications in paper order.
     #[must_use]
     pub const fn all() -> [MultimediaApp; 3] {
-        [MultimediaApp::AvEncoder, MultimediaApp::AvDecoder, MultimediaApp::AvIntegrated]
+        [
+            MultimediaApp::AvEncoder,
+            MultimediaApp::AvDecoder,
+            MultimediaApp::AvIntegrated,
+        ]
     }
 
     /// The task count the paper reports for the application.
@@ -212,14 +216,46 @@ impl MultimediaApp {
         let mut builder = TaskGraph::builder(name, platform.tile_count());
         match self {
             MultimediaApp::AvEncoder => {
-                build_section(&mut builder, platform, clip, ratio, &encoder_tasks(), &encoder_edges(), "")?;
+                build_section(
+                    &mut builder,
+                    platform,
+                    clip,
+                    ratio,
+                    &encoder_tasks(),
+                    &encoder_edges(),
+                    "",
+                )?;
             }
             MultimediaApp::AvDecoder => {
-                build_section(&mut builder, platform, clip, ratio, &decoder_tasks(), &decoder_edges(), "")?;
+                build_section(
+                    &mut builder,
+                    platform,
+                    clip,
+                    ratio,
+                    &decoder_tasks(),
+                    &decoder_edges(),
+                    "",
+                )?;
             }
             MultimediaApp::AvIntegrated => {
-                build_section(&mut builder, platform, clip, ratio, &encoder_tasks(), &encoder_edges(), "enc.")?;
-                build_section(&mut builder, platform, clip, ratio, &decoder_tasks(), &decoder_edges(), "dec.")?;
+                build_section(
+                    &mut builder,
+                    platform,
+                    clip,
+                    ratio,
+                    &encoder_tasks(),
+                    &encoder_edges(),
+                    "enc.",
+                )?;
+                build_section(
+                    &mut builder,
+                    platform,
+                    clip,
+                    ratio,
+                    &decoder_tasks(),
+                    &decoder_edges(),
+                    "dec.",
+                )?;
             }
         }
         builder.build()
@@ -359,7 +395,11 @@ fn build_section(
 ) -> Result<(), CtgError> {
     let synth = CostSynthesizer::new(platform.pe_classes());
     let is_decoder_section = tasks.iter().any(|t| t.0 == "demux");
-    let period = if is_decoder_section { DECODER_PERIOD } else { ENCODER_PERIOD };
+    let period = if is_decoder_section {
+        DECODER_PERIOD
+    } else {
+        ENCODER_PERIOD
+    };
     let deadline = Time::new(((period as f64) / ratio).round() as u64);
 
     let base = builder.task_count() as u32;
@@ -403,7 +443,10 @@ mod tests {
     use noc_platform::prelude::*;
 
     fn mesh(cols: u16, rows: u16) -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(cols, rows)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(cols, rows))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -411,7 +454,11 @@ mod tests {
         let p22 = mesh(2, 2);
         let p33 = mesh(3, 3);
         for app in MultimediaApp::all() {
-            let platform = if app == MultimediaApp::AvIntegrated { &p33 } else { &p22 };
+            let platform = if app == MultimediaApp::AvIntegrated {
+                &p33
+            } else {
+                &p22
+            };
             let g = app.build(Clip::Foreman, platform).unwrap();
             assert_eq!(g.task_count(), app.task_count(), "{app}");
         }
@@ -422,12 +469,20 @@ mod tests {
         let p = mesh(2, 2);
         let g = MultimediaApp::AvEncoder.build(Clip::Akiyo, &p).unwrap();
         for s in g.sinks() {
-            assert!(g.task(s).has_deadline(), "sink {} must carry a deadline", g.task(s).name());
+            assert!(
+                g.task(s).has_deadline(),
+                "sink {} must carry a deadline",
+                g.task(s).name()
+            );
         }
         // Interior tasks carry none.
         for t in g.task_ids() {
             if g.outgoing(t).iter().next().is_some() {
-                assert!(!g.task(t).has_deadline(), "interior {} has deadline", g.task(t).name());
+                assert!(
+                    !g.task(t).has_deadline(),
+                    "interior {} has deadline",
+                    g.task(t).name()
+                );
             }
         }
     }
@@ -437,7 +492,8 @@ mod tests {
         let p = mesh(2, 2);
         let heavy = MultimediaApp::AvEncoder.build(Clip::Toybox, &p).unwrap();
         let light = MultimediaApp::AvEncoder.build(Clip::Akiyo, &p).unwrap();
-        let work = |g: &TaskGraph| -> f64 { g.task_ids().map(|t| g.task(t).mean_exec_time()).sum() };
+        let work =
+            |g: &TaskGraph| -> f64 { g.task_ids().map(|t| g.task(t).mean_exec_time()).sum() };
         assert!(work(&heavy) > work(&light));
         assert!(heavy.total_volume() > light.total_volume());
     }
@@ -463,11 +519,21 @@ mod tests {
     #[test]
     fn integrated_app_is_disjoint_union() {
         let p = mesh(3, 3);
-        let g = MultimediaApp::AvIntegrated.build(Clip::Foreman, &p).unwrap();
+        let g = MultimediaApp::AvIntegrated
+            .build(Clip::Foreman, &p)
+            .unwrap();
         assert_eq!(g.task_count(), 40);
         // Encoder tasks are prefixed enc., decoder tasks dec..
-        let enc = g.tasks().iter().filter(|t| t.name().starts_with("enc.")).count();
-        let dec = g.tasks().iter().filter(|t| t.name().starts_with("dec.")).count();
+        let enc = g
+            .tasks()
+            .iter()
+            .filter(|t| t.name().starts_with("enc."))
+            .count();
+        let dec = g
+            .tasks()
+            .iter()
+            .filter(|t| t.name().starts_with("dec."))
+            .count();
         assert_eq!(enc, 24);
         assert_eq!(dec, 16);
         // No cross edges.
@@ -481,7 +547,9 @@ mod tests {
     #[test]
     fn decoder_deadline_is_tighter_than_encoder() {
         let p = mesh(3, 3);
-        let g = MultimediaApp::AvIntegrated.build(Clip::Foreman, &p).unwrap();
+        let g = MultimediaApp::AvIntegrated
+            .build(Clip::Foreman, &p)
+            .unwrap();
         let enc_deadline = g
             .task_ids()
             .filter(|&t| g.task(t).name().starts_with("enc.") && g.task(t).has_deadline())

@@ -36,7 +36,11 @@ impl InterFrameEdge {
     /// Creates a template edge.
     #[must_use]
     pub const fn new(producer: TaskId, consumer: TaskId, volume: Volume) -> Self {
-        InterFrameEdge { producer, consumer, volume }
+        InterFrameEdge {
+            producer,
+            consumer,
+            volume,
+        }
     }
 }
 
@@ -67,10 +71,7 @@ pub fn unroll(
         frame.check_task(e.consumer)?;
     }
     let n = frame.task_count() as u32;
-    let mut builder = TaskGraph::builder(
-        format!("{}-x{}", frame.name(), frames),
-        frame.pe_count(),
-    );
+    let mut builder = TaskGraph::builder(format!("{}-x{}", frame.name(), frames), frame.pe_count());
     for k in 0..frames {
         let offset = period * k as u64;
         for t in frame.tasks() {
@@ -169,13 +170,21 @@ mod tests {
         let g = unroll(&f, 1, Time::new(100), &[]).unwrap();
         assert_eq!(g.task_count(), f.task_count());
         assert_eq!(g.edge_count(), f.edge_count());
-        assert_eq!(g.task(TaskId::new(1)).deadline(), f.task(TaskId::new(1)).deadline());
+        assert_eq!(
+            g.task(TaskId::new(1)).deadline(),
+            f.task(TaskId::new(1)).deadline()
+        );
     }
 
     #[test]
     fn multimedia_encoder_pipelines_via_frame_store() {
-        let platform = Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap();
-        let frame = MultimediaApp::AvEncoder.build(Clip::Foreman, &platform).unwrap();
+        let platform = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .build()
+            .unwrap();
+        let frame = MultimediaApp::AvEncoder
+            .build(Clip::Foreman, &platform)
+            .unwrap();
         let store = task_by_name(&frame, "frame_store").expect("task exists");
         let me = task_by_name(&frame, "motion_est").expect("task exists");
         let tmpl = InterFrameEdge::new(store, me, Volume::from_bits(16_384));

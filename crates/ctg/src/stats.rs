@@ -66,8 +66,10 @@ impl GraphStats {
         }
         let width = per_level.iter().copied().max().unwrap_or(0);
 
-        let total_mean_work: f64 =
-            graph.task_ids().map(|t| graph.task(t).mean_exec_time()).sum();
+        let total_mean_work: f64 = graph
+            .task_ids()
+            .map(|t| graph.task(t).mean_exec_time())
+            .sum();
         let total_volume_bits = graph.total_volume().bits();
         let mean_exec = total_mean_work / graph.task_count() as f64;
         let data_edges = graph.edges().iter().filter(|e| !e.volume.is_zero()).count();
@@ -86,7 +88,11 @@ impl GraphStats {
             avg_out_degree: graph.edge_count() as f64 / graph.task_count() as f64,
             total_mean_work,
             total_volume_bits,
-            ccr: if mean_exec == 0.0 { 0.0 } else { mean_comm / mean_exec },
+            ccr: if mean_exec == 0.0 {
+                0.0
+            } else {
+                mean_comm / mean_exec
+            },
             deadline_tasks: graph.deadline_tasks().count(),
         }
     }

@@ -80,12 +80,13 @@ impl Task {
     /// of the [`crate::TaskGraph`] the task will join (checked at
     /// [`crate::TaskGraphBuilder::build`] time).
     #[must_use]
-    pub fn new(
-        name: impl Into<String>,
-        exec_times: Vec<Time>,
-        exec_energies: Vec<Energy>,
-    ) -> Self {
-        Task { name: name.into(), exec_times, exec_energies, deadline: Time::INFINITY }
+    pub fn new(name: impl Into<String>, exec_times: Vec<Time>, exec_energies: Vec<Energy>) -> Self {
+        Task {
+            name: name.into(),
+            exec_times,
+            exec_energies,
+            deadline: Time::INFINITY,
+        }
     }
 
     /// Creates a task with identical cost on all `pe_count` PEs — handy
@@ -244,7 +245,11 @@ mod tests {
         Task::new(
             "t",
             vec![Time::new(100), Time::new(200), Time::new(300)],
-            vec![Energy::from_nj(10.0), Energy::from_nj(20.0), Energy::from_nj(60.0)],
+            vec![
+                Energy::from_nj(10.0),
+                Energy::from_nj(20.0),
+                Energy::from_nj(60.0),
+            ],
         )
     }
 

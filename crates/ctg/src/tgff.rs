@@ -86,7 +86,10 @@ impl TgffConfig {
     /// while EDF still meets them.
     #[must_use]
     pub fn category_ii(seed: u64) -> Self {
-        TgffConfig { deadline_laxity: 1.55, ..TgffConfig::category_i(seed) }
+        TgffConfig {
+            deadline_laxity: 1.55,
+            ..TgffConfig::category_i(seed)
+        }
     }
 
     /// A small smoke-test preset (fast in debug builds).
@@ -142,8 +145,7 @@ impl TgffGenerator {
         let classes = platform.pe_classes();
         let synth = CostSynthesizer::new(classes);
 
-        let mut builder =
-            TaskGraph::builder(format!("tgff-{}", cfg.seed), platform.tile_count());
+        let mut builder = TaskGraph::builder(format!("tgff-{}", cfg.seed), platform.tile_count());
 
         // 1. Tasks with heterogeneous costs.
         for i in 0..cfg.task_count {
@@ -163,8 +165,10 @@ impl TgffGenerator {
             let lo = i.saturating_sub(window);
             let parents = rng.random_range(1..=2usize.min(i - lo).max(1));
             let candidates: Vec<usize> = (lo..i).collect();
-            let picks: Vec<usize> =
-                candidates.choose_multiple(&mut rng, parents).copied().collect();
+            let picks: Vec<usize> = candidates
+                .choose_multiple(&mut rng, parents)
+                .copied()
+                .collect();
             for p in picks {
                 let volume = self.sample_volume(&mut rng);
                 if builder
@@ -190,7 +194,10 @@ impl TgffGenerator {
                 continue;
             }
             let volume = self.sample_volume(&mut rng);
-            if builder.add_edge(TaskId::new(a as u32), TaskId::new(b as u32), volume).is_ok() {
+            if builder
+                .add_edge(TaskId::new(a as u32), TaskId::new(b as u32), volume)
+                .is_ok()
+            {
                 in_degree[b] += 1;
                 edges_added += 1;
             }
@@ -199,7 +206,10 @@ impl TgffGenerator {
         // 4. Deadlines on sinks.
         let graph = builder.build()?;
         let analysis = GraphAnalysis::new(&graph);
-        let total_work: f64 = graph.task_ids().map(|t| graph.task(t).mean_exec_time()).sum();
+        let total_work: f64 = graph
+            .task_ids()
+            .map(|t| graph.task(t).mean_exec_time())
+            .sum();
         let throughput_bound = total_work / platform.tile_count() as f64;
 
         let mut builder = TaskGraph::builder(graph.name().to_owned(), platform.tile_count());
@@ -241,31 +251,53 @@ mod tests {
     use noc_platform::prelude::*;
 
     fn platform() -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(4, 4)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn category_i_hits_paper_scale() {
-        let g = TgffGenerator::new(TgffConfig::category_i(1)).generate(&platform()).unwrap();
+        let g = TgffGenerator::new(TgffConfig::category_i(1))
+            .generate(&platform())
+            .unwrap();
         assert_eq!(g.task_count(), 500);
         let e = g.edge_count();
-        assert!((900..=1100).contains(&e), "edge count {e} should be near 1000");
+        assert!(
+            (900..=1100).contains(&e),
+            "edge count {e} should be near 1000"
+        );
     }
 
     #[test]
     fn generation_is_deterministic_per_seed() {
         let p = platform();
-        let a = TgffGenerator::new(TgffConfig::small(9)).generate(&p).unwrap();
-        let b = TgffGenerator::new(TgffConfig::small(9)).generate(&p).unwrap();
-        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
-        let c = TgffGenerator::new(TgffConfig::small(10)).generate(&p).unwrap();
-        assert_ne!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&c).unwrap());
+        let a = TgffGenerator::new(TgffConfig::small(9))
+            .generate(&p)
+            .unwrap();
+        let b = TgffGenerator::new(TgffConfig::small(9))
+            .generate(&p)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let c = TgffGenerator::new(TgffConfig::small(10))
+            .generate(&p)
+            .unwrap();
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
     }
 
     #[test]
     fn all_sinks_have_deadlines_with_fraction_one() {
         let p = platform();
-        let g = TgffGenerator::new(TgffConfig::small(3)).generate(&p).unwrap();
+        let g = TgffGenerator::new(TgffConfig::small(3))
+            .generate(&p)
+            .unwrap();
         for s in g.sinks() {
             assert!(g.task(s).has_deadline(), "sink {s} should carry a deadline");
         }
@@ -282,7 +314,10 @@ mod tests {
         let gii = TgffGenerator::new(cfg_ii).generate(&p).unwrap();
         for (a, b) in gi.task_ids().zip(gii.task_ids()) {
             if let (Some(da), Some(db)) = (gi.task(a).deadline(), gii.task(b).deadline()) {
-                assert!(db < da, "category II deadline {db} should be tighter than {da}");
+                assert!(
+                    db < da,
+                    "category II deadline {db} should be tighter than {da}"
+                );
             }
         }
     }
@@ -290,11 +325,16 @@ mod tests {
     #[test]
     fn generated_graph_is_connected_enough() {
         let p = platform();
-        let g = TgffGenerator::new(TgffConfig::small(2)).generate(&p).unwrap();
+        let g = TgffGenerator::new(TgffConfig::small(2))
+            .generate(&p)
+            .unwrap();
         // Only the first task may be parentless by construction.
         let roots = g.sources().count();
         assert!(roots >= 1);
-        assert!(roots <= 2, "backbone should keep the graph nearly single-rooted");
+        assert!(
+            roots <= 2,
+            "backbone should keep the graph nearly single-rooted"
+        );
     }
 
     #[test]
@@ -309,8 +349,13 @@ mod tests {
     #[test]
     fn costs_are_heterogeneous() {
         let p = platform();
-        let g = TgffGenerator::new(TgffConfig::small(4)).generate(&p).unwrap();
-        let hetero = g.task_ids().filter(|&t| g.task(t).exec_time_variance() > 0.0).count();
+        let g = TgffGenerator::new(TgffConfig::small(4))
+            .generate(&p)
+            .unwrap();
+        let hetero = g
+            .task_ids()
+            .filter(|&t| g.task(t).exec_time_variance() > 0.0)
+            .count();
         assert!(hetero > g.task_count() / 2);
     }
 }

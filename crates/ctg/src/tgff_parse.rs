@@ -52,7 +52,11 @@ pub struct ParseTgffError {
 
 impl std::fmt::Display for ParseTgffError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tgff parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "tgff parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -148,9 +152,7 @@ impl TgffFile {
                         || tokens[4] != "TO"
                         || tokens[6] != "TYPE"
                     {
-                        return Err(err(
-                            "expected ARC <name> FROM <a> TO <b> TYPE <m>".into()
-                        ));
+                        return Err(err("expected ARC <name> FROM <a> TO <b> TYPE <m>".into()));
                     }
                     let ty = tokens[7].parse().map_err(|_| err("bad arc type".into()))?;
                     file.arcs.push(TgffArc {
@@ -163,9 +165,7 @@ impl TgffFile {
                 "HARD_DEADLINE" | "SOFT_DEADLINE" => {
                     // HARD_DEADLINE <d> ON <task> AT <ticks>
                     if tokens.len() < 6 || tokens[2] != "ON" || tokens[4] != "AT" {
-                        return Err(err(
-                            "expected HARD_DEADLINE <d> ON <task> AT <ticks>".into()
-                        ));
+                        return Err(err("expected HARD_DEADLINE <d> ON <task> AT <ticks>".into()));
                     }
                     let at: u64 = tokens[5].parse().map_err(|_| err("bad deadline".into()))?;
                     let target = tokens[3];
@@ -181,10 +181,13 @@ impl TgffFile {
                         if tokens.len() < 2 {
                             return Err(err("expected <type> <bits>".into()));
                         }
-                        let ty = tokens[0].parse().map_err(|_| err("bad quant type".into()))?;
+                        let ty = tokens[0]
+                            .parse()
+                            .map_err(|_| err("bad quant type".into()))?;
                         // TGFF emits float quantities; round to bits.
-                        let bits: f64 =
-                            tokens[1].parse().map_err(|_| err("bad quant volume".into()))?;
+                        let bits: f64 = tokens[1]
+                            .parse()
+                            .map_err(|_| err("bad quant volume".into()))?;
                         file.volumes.insert(ty, bits.round() as u64);
                     }
                     Some(Block::Pe) => {
@@ -194,11 +197,11 @@ impl TgffFile {
                         let ty = tokens[0].parse().map_err(|_| err("bad task type".into()))?;
                         let time: f64 =
                             tokens[1].parse().map_err(|_| err("bad exec time".into()))?;
-                        let power: f64 =
-                            tokens[2].parse().map_err(|_| err("bad power".into()))?;
-                        let table = file.pe_tables.last_mut().ok_or_else(|| {
-                            err("PE row outside @PE block".into())
-                        })?;
+                        let power: f64 = tokens[2].parse().map_err(|_| err("bad power".into()))?;
+                        let table = file
+                            .pe_tables
+                            .last_mut()
+                            .ok_or_else(|| err("PE row outside @PE block".into()))?;
                         table.insert(ty, (time.round() as u64, power));
                     }
                     _ => return Err(err(format!("unexpected token `{}`", tokens[0]))),
@@ -248,12 +251,20 @@ impl TgffFile {
             index.insert((t.graph, t.name.clone()), id);
         }
         for a in &self.arcs {
-            let src = *index.get(&(a.graph, a.src.clone())).ok_or_else(|| {
-                CtgError::UnknownTask { task: TaskId::new(u32::MAX), task_count: self.tasks.len() }
-            })?;
-            let dst = *index.get(&(a.graph, a.dst.clone())).ok_or_else(|| {
-                CtgError::UnknownTask { task: TaskId::new(u32::MAX), task_count: self.tasks.len() }
-            })?;
+            let src =
+                *index
+                    .get(&(a.graph, a.src.clone()))
+                    .ok_or_else(|| CtgError::UnknownTask {
+                        task: TaskId::new(u32::MAX),
+                        task_count: self.tasks.len(),
+                    })?;
+            let dst =
+                *index
+                    .get(&(a.graph, a.dst.clone()))
+                    .ok_or_else(|| CtgError::UnknownTask {
+                        task: TaskId::new(u32::MAX),
+                        task_count: self.tasks.len(),
+                    })?;
             let bits = self.volumes.get(&a.ty).copied().unwrap_or(0);
             builder.add_edge(src, dst, Volume::from_bits(bits))?;
         }
@@ -307,7 +318,10 @@ mod tests {
 ";
 
     fn platform() -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -321,7 +335,10 @@ mod tests {
         assert!(g.tasks().iter().any(|t| t.name() == "g0.src"));
         assert!(g.tasks().iter().any(|t| t.name() == "g1.solo"));
         // Deadline landed on dst.
-        let dst = g.task_ids().find(|&t| g.task(t).name() == "g0.dst").unwrap();
+        let dst = g
+            .task_ids()
+            .find(|&t| g.task(t).name() == "g0.dst")
+            .unwrap();
         assert_eq!(g.task(dst).deadline(), Some(Time::new(900)));
         // Volumes resolved (2048.6 rounds to 2049).
         assert_eq!(g.edges()[0].volume.bits(), 1024);
@@ -334,7 +351,10 @@ mod tests {
             .unwrap()
             .into_task_graph(&platform())
             .unwrap();
-        let src = g.task_ids().find(|&t| g.task(t).name() == "g0.src").unwrap();
+        let src = g
+            .task_ids()
+            .find(|&t| g.task(t).name() == "g0.src")
+            .unwrap();
         let times = g.task(src).exec_times();
         // Type 0: PE block 0 gives 100, block 1 gives 150; 4 tiles cycle
         // 0,1,0,1.
@@ -359,7 +379,10 @@ mod tests {
         assert!(TgffFile::parse(bad).is_err());
 
         let bad = "@MYSTERY 0 {\n}";
-        assert!(TgffFile::parse(bad).unwrap_err().message.contains("unknown block"));
+        assert!(TgffFile::parse(bad)
+            .unwrap_err()
+            .message
+            .contains("unknown block"));
     }
 
     #[test]

@@ -11,7 +11,10 @@ use noc_platform::prelude::*;
 use noc_platform::units::Volume;
 
 fn platform() -> Platform {
-    Platform::builder().topology(TopologySpec::mesh(4, 4)).build().expect("mesh builds")
+    Platform::builder()
+        .topology(TopologySpec::mesh(4, 4))
+        .build()
+        .expect("mesh builds")
 }
 
 fn small_config() -> impl Strategy<Value = TgffConfig> {

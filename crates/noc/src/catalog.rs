@@ -50,11 +50,21 @@ impl PeClass {
     /// Panics if any factor is non-positive or `affinity` is outside
     /// `0..=1`.
     #[must_use]
-    pub fn new(name: impl Into<String>, speed_factor: f64, energy_factor: f64, affinity: f64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        speed_factor: f64,
+        energy_factor: f64,
+        affinity: f64,
+    ) -> Self {
         assert!(speed_factor > 0.0, "speed factor must be positive");
         assert!(energy_factor > 0.0, "energy factor must be positive");
         assert!((0.0..=1.0).contains(&affinity), "affinity must be in 0..=1");
-        PeClass { name: name.into(), speed_factor, energy_factor, affinity }
+        PeClass {
+            name: name.into(),
+            speed_factor,
+            energy_factor,
+            affinity,
+        }
     }
 
     /// A high-performance, energy-hungry general-purpose CPU
@@ -174,7 +184,9 @@ impl PeCatalog {
     /// Materializes a round-robin mix of exactly `tiles` PE classes.
     #[must_use]
     pub fn mix_for(&self, tiles: usize) -> Vec<PeClass> {
-        (0..tiles).map(|i| self.classes[i % self.classes.len()].clone()).collect()
+        (0..tiles)
+            .map(|i| self.classes[i % self.classes.len()].clone())
+            .collect()
     }
 }
 

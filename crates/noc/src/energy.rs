@@ -57,7 +57,11 @@ impl EnergyModel {
     /// buffering term, as in the paper's Eq. 1).
     #[must_use]
     pub const fn new(e_sbit: Energy, e_lbit: Energy) -> Self {
-        EnergyModel { e_sbit, e_lbit, e_bbit: Energy::ZERO }
+        EnergyModel {
+            e_sbit,
+            e_lbit,
+            e_bbit: Energy::ZERO,
+        }
     }
 
     /// Adds an average buffering charge per bit per router traversal.

@@ -58,13 +58,19 @@ impl fmt::Display for PlatformError {
         match self {
             PlatformError::EmptyTopology => write!(f, "topology has no tiles"),
             PlatformError::UnknownTile { tile, tile_count } => {
-                write!(f, "tile {tile} out of range (platform has {tile_count} tiles)")
+                write!(
+                    f,
+                    "tile {tile} out of range (platform has {tile_count} tiles)"
+                )
             }
             PlatformError::PeCountMismatch { tiles, pes } => {
                 write!(f, "{pes} PE specifications supplied for {tiles} tiles")
             }
             PlatformError::IncompatibleRouting { routing, topology } => {
-                write!(f, "routing `{routing}` is not applicable to topology `{topology}`")
+                write!(
+                    f,
+                    "routing `{routing}` is not applicable to topology `{topology}`"
+                )
             }
             PlatformError::InvalidRoute { src, dst, reason } => {
                 write!(f, "invalid route {src} -> {dst}: {reason}")
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = PlatformError::UnknownTile { tile: TileId::new(9), tile_count: 4 };
+        let e = PlatformError::UnknownTile {
+            tile: TileId::new(9),
+            tile_count: 4,
+        };
         let msg = e.to_string();
         assert!(msg.contains("tile 9"));
         assert!(msg.contains('4'));

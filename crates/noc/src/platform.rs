@@ -140,7 +140,8 @@ impl Platform {
         if volume.is_zero() {
             return Energy::ZERO;
         }
-        self.energy.transfer_energy(self.hop_links(src, dst), volume)
+        self.energy
+            .transfer_energy(self.hop_links(src, dst), volume)
     }
 
     /// The ACG bandwidth `b(r_ij)` in bits per tick. Local transfers are
@@ -200,7 +201,10 @@ impl Platform {
         if tile.index() < self.coords.len() {
             Ok(())
         } else {
-            Err(PlatformError::UnknownTile { tile, tile_count: self.coords.len() })
+            Err(PlatformError::UnknownTile {
+                tile,
+                tile_count: self.coords.len(),
+            })
         }
     }
 }
@@ -318,7 +322,10 @@ impl PlatformBuilder {
             PeSource::Catalog(cat) => cat.mix_for(tile_count),
             PeSource::Explicit(v) => {
                 if v.len() != tile_count {
-                    return Err(PlatformError::PeCountMismatch { tiles: tile_count, pes: v.len() });
+                    return Err(PlatformError::PeCountMismatch {
+                        tiles: tile_count,
+                        pes: v.len(),
+                    });
                 }
                 v
             }
@@ -382,7 +389,10 @@ mod tests {
     fn local_transfer_is_instant_and_link_free() {
         let p = mesh(2);
         let t = TileId::new(3);
-        assert_eq!(p.transfer_duration(t, t, Volume::from_bits(1_000_000)), Time::ZERO);
+        assert_eq!(
+            p.transfer_duration(t, t, Volume::from_bits(1_000_000)),
+            Time::ZERO
+        );
         assert!(p.route(t, t).is_empty());
         assert_eq!(p.bandwidth(t, t), f64::INFINITY);
     }
@@ -395,16 +405,28 @@ mod tests {
             .build()
             .unwrap();
         let (a, b) = (TileId::new(0), TileId::new(1));
-        assert_eq!(p.transfer_duration(a, b, Volume::from_bits(100)), Time::new(10));
-        assert_eq!(p.transfer_duration(a, b, Volume::from_bits(101)), Time::new(11));
-        assert_eq!(p.transfer_duration(a, b, Volume::from_bits(1)), Time::new(1));
+        assert_eq!(
+            p.transfer_duration(a, b, Volume::from_bits(100)),
+            Time::new(10)
+        );
+        assert_eq!(
+            p.transfer_duration(a, b, Volume::from_bits(101)),
+            Time::new(11)
+        );
+        assert_eq!(
+            p.transfer_duration(a, b, Volume::from_bits(1)),
+            Time::new(1)
+        );
         assert_eq!(p.transfer_duration(a, b, Volume::ZERO), Time::ZERO);
     }
 
     #[test]
     fn zero_volume_transfer_has_zero_energy() {
         let p = mesh(3);
-        assert_eq!(p.transfer_energy(TileId::new(0), TileId::new(8), Volume::ZERO), Energy::ZERO);
+        assert_eq!(
+            p.transfer_energy(TileId::new(0), TileId::new(8), Volume::ZERO),
+            Energy::ZERO
+        );
     }
 
     #[test]
@@ -414,14 +436,20 @@ mod tests {
             .pes(vec![PeClass::mid_cpu()])
             .build()
             .unwrap_err();
-        assert!(matches!(err, PlatformError::PeCountMismatch { tiles: 4, pes: 1 }));
+        assert!(matches!(
+            err,
+            PlatformError::PeCountMismatch { tiles: 4, pes: 1 }
+        ));
     }
 
     #[test]
     fn invalid_bandwidth_is_rejected() {
         let err = Platform::builder().link_bandwidth(0.0).build().unwrap_err();
         assert!(matches!(err, PlatformError::InvalidBandwidth(_)));
-        let err = Platform::builder().link_bandwidth(f64::NAN).build().unwrap_err();
+        let err = Platform::builder()
+            .link_bandwidth(f64::NAN)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, PlatformError::InvalidBandwidth(_)));
     }
 
@@ -456,7 +484,10 @@ mod tests {
         let json = serde_json::to_string(&p).expect("serialize");
         let back: Platform = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back.tile_count(), p.tile_count());
-        assert_eq!(back.route(TileId::new(0), TileId::new(3)), p.route(TileId::new(0), TileId::new(3)));
+        assert_eq!(
+            back.route(TileId::new(0), TileId::new(3)),
+            p.route(TileId::new(0), TileId::new(3))
+        );
     }
 
     #[test]

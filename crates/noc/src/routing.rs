@@ -142,29 +142,28 @@ pub fn compute_routes(
         .map(|(i, l)| (*l, LinkId::new(i as u32)))
         .collect();
 
-    let tile_path_to_links = |src: TileId,
-                              dst: TileId,
-                              path: &[TileId]|
-     -> Result<Vec<LinkId>, PlatformError> {
-        if path.first() != Some(&src) || path.last() != Some(&dst) {
-            return Err(PlatformError::InvalidRoute {
-                src,
-                dst,
-                reason: "path endpoints do not match the pair".into(),
-            });
-        }
-        path.windows(2)
-            .map(|w| {
-                link_index.get(&Link::new(w[0], w[1])).copied().ok_or_else(|| {
-                    PlatformError::InvalidRoute {
-                        src,
-                        dst,
-                        reason: format!("no link {} -> {}", w[0], w[1]),
-                    }
+    let tile_path_to_links =
+        |src: TileId, dst: TileId, path: &[TileId]| -> Result<Vec<LinkId>, PlatformError> {
+            if path.first() != Some(&src) || path.last() != Some(&dst) {
+                return Err(PlatformError::InvalidRoute {
+                    src,
+                    dst,
+                    reason: "path endpoints do not match the pair".into(),
+                });
+            }
+            path.windows(2)
+                .map(|w| {
+                    link_index
+                        .get(&Link::new(w[0], w[1]))
+                        .copied()
+                        .ok_or_else(|| PlatformError::InvalidRoute {
+                            src,
+                            dst,
+                            reason: format!("no link {} -> {}", w[0], w[1]),
+                        })
                 })
-            })
-            .collect()
-    };
+                .collect()
+        };
 
     let mut routes: Vec<Vec<Vec<LinkId>>> = vec![vec![Vec::new(); n]; n];
 
@@ -224,11 +223,13 @@ pub fn compute_routes(
                     }
                     let src = TileId::new(s as u32);
                     let dst = TileId::new(d as u32);
-                    let path = table.get(src, dst).ok_or_else(|| PlatformError::InvalidRoute {
-                        src,
-                        dst,
-                        reason: "missing routing table entry".into(),
-                    })?;
+                    let path = table
+                        .get(src, dst)
+                        .ok_or_else(|| PlatformError::InvalidRoute {
+                            src,
+                            dst,
+                            reason: "missing routing table entry".into(),
+                        })?;
                     routes[s][d] = tile_path_to_links(src, dst, path)?;
                 }
             }
@@ -424,12 +425,20 @@ mod tests {
         let coords = topo.coords();
         let links = topo.links();
         let mut table = RoutingTable::new();
-        table.insert(TileId::new(0), TileId::new(1), vec![TileId::new(0), TileId::new(1)]);
+        table.insert(
+            TileId::new(0),
+            TileId::new(1),
+            vec![TileId::new(0), TileId::new(1)],
+        );
         // Missing 1 -> 0 entry.
         let err =
             compute_routes(&topo, &RoutingSpec::Table(table.clone()), &coords, &links).unwrap_err();
         assert!(matches!(err, PlatformError::InvalidRoute { .. }));
-        table.insert(TileId::new(1), TileId::new(0), vec![TileId::new(1), TileId::new(0)]);
+        table.insert(
+            TileId::new(1),
+            TileId::new(0),
+            vec![TileId::new(1), TileId::new(0)],
+        );
         let routes = compute_routes(&topo, &RoutingSpec::Table(table), &coords, &links).unwrap();
         assert_eq!(routes[0][1].len(), 1);
         assert_eq!(routes[1][0].len(), 1);
@@ -442,7 +451,11 @@ mod tests {
         let links = topo.links();
         let mut table = RoutingTable::new();
         // Claims a direct 0 -> 2 link which does not exist.
-        table.insert(TileId::new(0), TileId::new(2), vec![TileId::new(0), TileId::new(2)]);
+        table.insert(
+            TileId::new(0),
+            TileId::new(2),
+            vec![TileId::new(0), TileId::new(2)],
+        );
         let err = compute_routes(&topo, &RoutingSpec::Table(table), &coords, &links).unwrap_err();
         assert!(matches!(err, PlatformError::InvalidRoute { .. }));
     }

@@ -17,9 +17,7 @@ use std::fmt;
 /// assert_eq!(t.index(), 3);
 /// assert_eq!(t.to_string(), "3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TileId(u32);
 
@@ -65,9 +63,7 @@ impl From<u32> for TileId {
 /// let pe = PeId::from(TileId::new(2));
 /// assert_eq!(pe.tile(), TileId::new(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PeId(u32);
 
@@ -119,9 +115,7 @@ impl fmt::Display for PeId {
 /// let b = Coord::new(3, 2);
 /// assert_eq!(a.manhattan(b), 5);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Coord {
     /// Column index.
     pub x: u16,

@@ -33,7 +33,10 @@ impl Link {
     /// The same physical channel in the opposite direction.
     #[must_use]
     pub const fn reversed(self) -> Link {
-        Link { src: self.dst, dst: self.src }
+        Link {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 }
 
@@ -292,7 +295,10 @@ mod tests {
     #[test]
     fn honeycomb_degree_at_most_three() {
         let deg = degree_histogram(&TopologySpec::honeycomb(4, 4));
-        assert!(deg.iter().all(|&d| d <= 3), "honeycomb degree must be <= 3, got {deg:?}");
+        assert!(
+            deg.iter().all(|&d| d <= 3),
+            "honeycomb degree must be <= 3, got {deg:?}"
+        );
     }
 
     #[test]

@@ -381,7 +381,10 @@ mod tests {
     fn infinity_ordering_and_multiplication() {
         assert!(Time::INFINITY > Time::new(u64::MAX - 1));
         assert!((Time::INFINITY * 2).is_infinite());
-        assert_eq!(Time::INFINITY.saturating_sub(Time::new(5)), Time::new(u64::MAX - 5));
+        assert_eq!(
+            Time::INFINITY.saturating_sub(Time::new(5)),
+            Time::new(u64::MAX - 5)
+        );
         assert!(!Time::new(0).is_infinite());
     }
 

@@ -1,0 +1,352 @@
+//! Deterministic parallel execution primitives.
+//!
+//! Everything in this crate preserves a hard invariant: **results are
+//! identical to a serial left-to-right evaluation**, independent of the
+//! thread count. Parallelism only changes *when* each job runs, never
+//! which jobs run or how their results are ordered:
+//!
+//! * [`par_map`] — an ordered fan-out over a slice. Items are split into
+//!   contiguous chunks (one per worker) and the per-chunk results are
+//!   concatenated in chunk order, so the output `Vec` is index-aligned
+//!   with the input regardless of scheduling.
+//! * [`RoundPool`] — persistent workers for *iterated* fan-outs (one
+//!   round per scheduling pass). Spawning threads once and reusing them
+//!   across hundreds of rounds keeps the per-round overhead to a single
+//!   mutex round-trip per worker instead of a thread spawn.
+//!
+//! Jobs must be pure with respect to the shared round context: workers
+//! receive `&Ctx` and may only mutate their own per-chunk scratch state.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{Scope, ScopedJoinHandle};
+
+/// Number of hardware threads available to this process (at least 1).
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolves a user-facing thread-count knob: `0` means "use all
+/// available hardware threads", anything else is taken literally.
+#[must_use]
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Splits `len` items into `parts` contiguous chunks; returns the bounds
+/// of chunk `index`. Chunks tile `0..len` in ascending order, so
+/// concatenating per-chunk results in index order reproduces the input
+/// order.
+#[must_use]
+pub fn chunk_bounds(len: usize, parts: usize, index: usize) -> (usize, usize) {
+    debug_assert!(parts >= 1 && index < parts);
+    (index * len / parts, (index + 1) * len / parts)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order. With `threads <= 1` (or fewer than two items)
+/// this is a plain serial map with zero thread overhead; the output is
+/// byte-identical either way. `f` receives the item index alongside the
+/// item so callers can derive per-item seeds or labels.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<ScopedJoinHandle<'_, Vec<R>>> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                let (lo, hi) = chunk_bounds(items.len(), workers, w);
+                let slice = &items[lo..hi];
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(lo + i, t))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+struct Inner<Ctx, Job, Out> {
+    /// Monotone round counter; workers run one evaluation per tick.
+    round: u64,
+    shutdown: bool,
+    /// Context and jobs of the active round, shared read-only.
+    work: Option<(Arc<Ctx>, Arc<Vec<Job>>)>,
+    /// Per-worker chunk results of the active round.
+    results: Vec<Option<Vec<Out>>>,
+    /// Workers that have not finished the active round yet.
+    remaining: usize,
+}
+
+struct Shared<Ctx, Job, Out> {
+    inner: Mutex<Inner<Ctx, Job, Out>>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A pool of persistent scoped workers evaluating one batch of jobs per
+/// [`run_round`](RoundPool::run_round) call.
+///
+/// Each round, worker `w` evaluates the `w`-th contiguous chunk of the
+/// job list against the shared round context; the per-chunk result
+/// vectors are concatenated in worker order, so `run_round` returns
+/// results index-aligned with its `jobs` argument — exactly what a
+/// serial `jobs.iter().map(...)` would produce.
+///
+/// The pool must live inside a [`std::thread::scope`]; dropping it (or
+/// leaving the scope) shuts the workers down.
+pub struct RoundPool<'scope, Ctx, Job, Out> {
+    shared: Arc<Shared<Ctx, Job, Out>>,
+    threads: usize,
+    _handles: Vec<ScopedJoinHandle<'scope, ()>>,
+}
+
+impl<'scope, Ctx, Job, Out> RoundPool<'scope, Ctx, Job, Out>
+where
+    Ctx: Send + Sync + 'scope,
+    Job: Send + Sync + 'scope,
+    Out: Send + 'scope,
+{
+    /// Spawns `threads` workers on `scope`. Each round, every worker
+    /// calls `eval(&ctx, chunk)` once with its contiguous job chunk and
+    /// must return one result per job, in chunk order.
+    pub fn new<'env, E>(scope: &'scope Scope<'scope, 'env>, threads: usize, eval: E) -> Self
+    where
+        E: Fn(&Ctx, &[Job]) -> Vec<Out> + Send + Sync + 'scope,
+    {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                round: 0,
+                shutdown: false,
+                work: None,
+                results: (0..threads).map(|_| None).collect(),
+                remaining: 0,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let eval = Arc::new(eval);
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let eval = Arc::clone(&eval);
+                scope.spawn(move || worker_loop(w, threads, &shared, eval.as_ref()))
+            })
+            .collect();
+        RoundPool {
+            shared,
+            threads,
+            _handles: handles,
+        }
+    }
+
+    /// Evaluates `jobs` against `ctx` across all workers and returns the
+    /// results in job order. Blocks until the round completes; on return
+    /// no worker holds a reference to `ctx` or `jobs` any more.
+    pub fn run_round(&self, ctx: Ctx, jobs: Vec<Job>) -> Vec<Out> {
+        let expected = jobs.len();
+        let mut inner = self.shared.inner.lock().expect("pool lock");
+        inner.work = Some((Arc::new(ctx), Arc::new(jobs)));
+        inner.round += 1;
+        inner.remaining = self.threads;
+        for slot in &mut inner.results {
+            *slot = None;
+        }
+        self.shared.start.notify_all();
+        while inner.remaining > 0 {
+            inner = self.shared.done.wait(inner).expect("pool lock");
+        }
+        inner.work = None; // last references: ctx and jobs die here
+        let mut out = Vec::with_capacity(expected);
+        for slot in &mut inner.results {
+            out.append(&mut slot.take().expect("worker reported its chunk"));
+        }
+        debug_assert_eq!(out.len(), expected, "eval must return one result per job");
+        out
+    }
+
+    /// Number of workers in the pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<Ctx, Job, Out> Drop for RoundPool<'_, Ctx, Job, Out> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("pool lock");
+        inner.shutdown = true;
+        self.shared.start.notify_all();
+    }
+}
+
+fn worker_loop<Ctx, Job, Out, E>(
+    worker: usize,
+    threads: usize,
+    shared: &Shared<Ctx, Job, Out>,
+    eval: &E,
+) where
+    E: Fn(&Ctx, &[Job]) -> Vec<Out>,
+{
+    let mut seen_round = 0u64;
+    loop {
+        let (ctx, jobs) = {
+            let mut inner = shared.inner.lock().expect("pool lock");
+            loop {
+                if inner.shutdown {
+                    return;
+                }
+                if inner.round > seen_round {
+                    break;
+                }
+                inner = shared.start.wait(inner).expect("pool lock");
+            }
+            seen_round = inner.round;
+            let (ctx, jobs) = inner.work.as_ref().expect("active round has work");
+            (Arc::clone(ctx), Arc::clone(jobs))
+        };
+        let (lo, hi) = chunk_bounds(jobs.len(), threads, worker);
+        let out = eval(&ctx, &jobs[lo..hi]);
+        // Drop the shared references *before* reporting completion so
+        // `run_round` can hand the context back to the caller by value.
+        drop(jobs);
+        drop(ctx);
+        let mut inner = shared.inner.lock().expect("pool lock");
+        inner.results[worker] = Some(out);
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_bounds_tile_the_range() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for parts in 1..=8 {
+                let mut covered = 0;
+                for i in 0..parts {
+                    let (lo, hi) = chunk_bounds(len, parts, i);
+                    assert_eq!(lo, covered, "len={len} parts={parts} i={i}");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0usize, 1, 2, 3, 4, 7, 128] {
+            let parallel = par_map(threads.max(1), &items, |_, &x| x * x + 1);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_global_indices() {
+        let items = vec!["a"; 37];
+        let indices = par_map(4, &items, |i, _| i);
+        assert_eq!(indices, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn round_pool_orders_results_across_rounds() {
+        std::thread::scope(|scope| {
+            let pool: RoundPool<'_, u64, u64, u64> =
+                RoundPool::new(scope, 3, |offset: &u64, jobs: &[u64]| {
+                    jobs.iter().map(|j| j * 10 + offset).collect()
+                });
+            for round in 0..50u64 {
+                let jobs: Vec<u64> = (0..13).collect();
+                let expect: Vec<u64> = jobs.iter().map(|j| j * 10 + round).collect();
+                assert_eq!(pool.run_round(round, jobs), expect);
+            }
+        });
+    }
+
+    #[test]
+    fn round_pool_runs_every_job_exactly_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let pool = RoundPool::new(scope, 4, |(): &(), jobs: &[u32]| {
+                CALLS.fetch_add(jobs.len(), Ordering::SeqCst);
+                jobs.to_vec()
+            });
+            let jobs: Vec<u32> = (0..101).collect();
+            let out = pool.run_round((), jobs.clone());
+            assert_eq!(out, jobs);
+        });
+        assert_eq!(CALLS.load(Ordering::SeqCst), 101);
+    }
+
+    #[test]
+    fn round_pool_tolerates_empty_rounds() {
+        std::thread::scope(|scope| {
+            let pool = RoundPool::new(scope, 2, |(): &(), jobs: &[u8]| jobs.to_vec());
+            assert!(pool.run_round((), Vec::new()).is_empty());
+            assert_eq!(pool.run_round((), vec![1, 2, 3]), vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn round_pool_context_is_returned_exclusively() {
+        // The context must have no outstanding references after
+        // run_round: an Arc handed in by value would be unwrappable.
+        std::thread::scope(|scope| {
+            let pool = RoundPool::new(scope, 2, |ctx: &Arc<Vec<u32>>, jobs: &[usize]| {
+                jobs.iter().map(|&j| ctx[j]).collect::<Vec<u32>>()
+            });
+            let ctx = Arc::new(vec![5u32, 6, 7]);
+            let out = pool.run_round(Arc::clone(&ctx), vec![2, 0, 1]);
+            assert_eq!(out, vec![7, 5, 6]);
+            assert_eq!(Arc::strong_count(&ctx), 1, "workers must release the ctx");
+        });
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_hardware() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(0), available_threads());
+    }
+}

@@ -53,21 +53,37 @@ impl ScheduleDiff {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> Self {
-        assert_eq!(first.task_count(), graph.task_count(), "first schedule shape");
-        assert_eq!(second.task_count(), graph.task_count(), "second schedule shape");
+        assert_eq!(
+            first.task_count(),
+            graph.task_count(),
+            "first schedule shape"
+        );
+        assert_eq!(
+            second.task_count(),
+            graph.task_count(),
+            "second schedule shape"
+        );
         let mut migrations = Vec::new();
         let mut retimed = 0usize;
         for t in graph.task_ids() {
             let (a, b) = (first.task(t), second.task(t));
             if a.pe != b.pe {
-                migrations.push(Migration { task: t, from: a.pe, to: b.pe });
+                migrations.push(Migration {
+                    task: t,
+                    from: a.pe,
+                    to: b.pe,
+                });
             }
             if a.start != b.start || a.pe != b.pe {
                 retimed += 1;
             }
         }
-        let ea = ScheduleStats::compute(first, graph, platform).energy.total();
-        let eb = ScheduleStats::compute(second, graph, platform).energy.total();
+        let ea = ScheduleStats::compute(first, graph, platform)
+            .energy
+            .total();
+        let eb = ScheduleStats::compute(second, graph, platform)
+            .energy
+            .total();
         ScheduleDiff {
             migrations,
             retimed_tasks: retimed,

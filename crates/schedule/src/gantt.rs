@@ -38,9 +38,8 @@ pub fn render_gantt(
 ) -> String {
     let width = width.max(20);
     let makespan = schedule.makespan().as_f64().max(1.0);
-    let col = |t: Time| -> usize {
-        ((t.as_f64() / makespan) * (width as f64 - 1.0)).round() as usize
-    };
+    let col =
+        |t: Time| -> usize { ((t.as_f64() / makespan) * (width as f64 - 1.0)).round() as usize };
 
     let mut out = String::new();
     out.push_str(&format!(
@@ -97,10 +96,23 @@ mod tests {
 
     #[test]
     fn renders_all_pes_and_task_names() {
-        let platform = Platform::builder().topology(TopologySpec::mesh(2, 1)).build().unwrap();
+        let platform = Platform::builder()
+            .topology(TopologySpec::mesh(2, 1))
+            .build()
+            .unwrap();
         let mut b = TaskGraph::builder("demo", 2);
-        let a = b.add_task(Task::uniform("alpha", 2, Time::new(100), Energy::from_nj(1.0)));
-        let c = b.add_task(Task::uniform("beta", 2, Time::new(100), Energy::from_nj(1.0)));
+        let a = b.add_task(Task::uniform(
+            "alpha",
+            2,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
+        let c = b.add_task(Task::uniform(
+            "beta",
+            2,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
         b.add_edge(a, c, Volume::from_bits(32)).unwrap();
         let graph = b.build().unwrap();
         let route = platform.route(TileId::new(0), TileId::new(1)).to_vec();
@@ -120,7 +132,10 @@ mod tests {
 
     #[test]
     fn narrow_width_is_clamped() {
-        let platform = Platform::builder().topology(TopologySpec::mesh(1, 1)).build().unwrap();
+        let platform = Platform::builder()
+            .topology(TopologySpec::mesh(1, 1))
+            .build()
+            .unwrap();
         let mut b = TaskGraph::builder("demo", 1);
         b.add_task(Task::uniform("x", 1, Time::new(10), Energy::from_nj(1.0)));
         let graph = b.build().unwrap();

@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
     pub use crate::stats::{EnergyBreakdown, ScheduleStats};
     pub use crate::table::ScheduleTable;
-    pub use crate::vcd::to_vcd;
     pub use crate::validate::{validate, ValidationReport};
+    pub use crate::vcd::to_vcd;
     pub use crate::ScheduleError;
 }

@@ -22,8 +22,16 @@ pub struct Mark(usize);
 
 #[derive(Debug, Clone, Copy)]
 enum Reservation {
-    Pe { pe: PeId, start: Time, duration: Time },
-    Link { link: LinkId, start: Time, duration: Time },
+    Pe {
+        pe: PeId,
+        start: Time,
+        duration: Time,
+    },
+    Link {
+        link: LinkId,
+        start: Time,
+        duration: Time,
+    },
 }
 
 /// Per-PE and per-link busy tables for one platform, with checkpoint /
@@ -80,10 +88,18 @@ impl ResourceTables {
         assert!(mark.0 <= self.log.len(), "mark from a later state");
         while self.log.len() > mark.0 {
             match self.log.pop().expect("len checked") {
-                Reservation::Pe { pe, start, duration } => {
+                Reservation::Pe {
+                    pe,
+                    start,
+                    duration,
+                } => {
                     self.pe[pe.index()].release(start, duration);
                 }
-                Reservation::Link { link, start, duration } => {
+                Reservation::Link {
+                    link,
+                    start,
+                    duration,
+                } => {
                     self.link[link.index()].release(start, duration);
                 }
             }
@@ -100,8 +116,7 @@ impl ResourceTables {
     /// for `duration` — the merged "path schedule table" of Fig. 3.
     #[must_use]
     pub fn earliest_path_slot(&self, route: &[LinkId], ready: Time, duration: Time) -> Time {
-        let tables: Vec<&ScheduleTable> =
-            route.iter().map(|l| &self.link[l.index()]).collect();
+        let tables: Vec<&ScheduleTable> = route.iter().map(|l| &self.link[l.index()]).collect();
         find_earliest_across(&tables, ready, duration)
     }
 
@@ -114,7 +129,11 @@ impl ResourceTables {
     pub fn reserve_pe(&mut self, pe: PeId, start: Time, duration: Time) {
         self.pe[pe.index()].occupy(start, duration);
         if duration > Time::ZERO {
-            self.log.push(Reservation::Pe { pe, start, duration });
+            self.log.push(Reservation::Pe {
+                pe,
+                start,
+                duration,
+            });
         }
     }
 
@@ -130,7 +149,11 @@ impl ResourceTables {
         }
         for &l in route {
             self.link[l.index()].occupy(start, duration);
-            self.log.push(Reservation::Link { link: l, start, duration });
+            self.log.push(Reservation::Link {
+                link: l,
+                start,
+                duration,
+            });
         }
     }
 
@@ -159,7 +182,10 @@ mod tests {
     use noc_platform::prelude::*;
 
     fn platform() -> Platform {
-        Platform::builder().topology(TopologySpec::mesh(2, 2)).build().unwrap()
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .build()
+            .unwrap()
     }
 
     fn t(x: u64) -> Time {
@@ -229,7 +255,11 @@ mod tests {
         r.reserve_pe(PeId::new(1), t(5), Time::ZERO);
         let route: Vec<LinkId> = p.route(TileId::new(0), TileId::new(1)).to_vec();
         r.reserve_path(&route, t(5), Time::ZERO);
-        assert_eq!(mark, r.checkpoint(), "zero reservations must not grow the log");
+        assert_eq!(
+            mark,
+            r.checkpoint(),
+            "zero reservations must not grow the log"
+        );
     }
 
     #[test]

@@ -49,14 +49,22 @@ impl CommPlacement {
     /// Creates a transaction placement.
     #[must_use]
     pub const fn new(route: Vec<LinkId>, start: Time, finish: Time) -> Self {
-        CommPlacement { route, start, finish }
+        CommPlacement {
+            route,
+            start,
+            finish,
+        }
     }
 
     /// A placement for a transfer that never enters the network,
     /// completing instantaneously at `at`.
     #[must_use]
     pub const fn local(at: Time) -> Self {
-        CommPlacement { route: Vec::new(), start: at, finish: at }
+        CommPlacement {
+            route: Vec::new(),
+            start: at,
+            finish: at,
+        }
     }
 
     /// `true` if the transfer does not use the network.
@@ -139,7 +147,11 @@ impl Schedule {
     /// Latest task finish.
     #[must_use]
     pub fn makespan(&self) -> Time {
-        self.tasks.iter().map(|p| p.finish).max().unwrap_or(Time::ZERO)
+        self.tasks
+            .iter()
+            .map(|p| p.finish)
+            .max()
+            .unwrap_or(Time::ZERO)
     }
 
     /// Tasks mapped to `pe`, sorted by start time.
@@ -216,7 +228,10 @@ mod tests {
             ],
             vec![],
         );
-        assert_eq!(s.tasks_on(PeId::new(0)), vec![TaskId::new(1), TaskId::new(0)]);
+        assert_eq!(
+            s.tasks_on(PeId::new(0)),
+            vec![TaskId::new(1), TaskId::new(0)]
+        );
         assert_eq!(s.tasks_on(PeId::new(1)), vec![TaskId::new(2)]);
         assert!(s.tasks_on(PeId::new(2)).is_empty());
     }

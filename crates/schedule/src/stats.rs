@@ -74,8 +74,16 @@ impl ScheduleStats {
     /// first with [`crate::validate()`]).
     #[must_use]
     pub fn compute(schedule: &Schedule, graph: &TaskGraph, platform: &Platform) -> Self {
-        assert_eq!(schedule.task_count(), graph.task_count(), "schedule/graph shape mismatch");
-        assert_eq!(schedule.comm_count(), graph.edge_count(), "schedule/graph shape mismatch");
+        assert_eq!(
+            schedule.task_count(),
+            graph.task_count(),
+            "schedule/graph shape mismatch"
+        );
+        assert_eq!(
+            schedule.comm_count(),
+            graph.edge_count(),
+            "schedule/graph shape mismatch"
+        );
 
         let mut computation = Energy::ZERO;
         let mut busy = vec![Time::ZERO; platform.tile_count()];
@@ -105,7 +113,10 @@ impl ScheduleStats {
         let pe_utilization = busy.iter().map(|b| b.as_f64() / horizon).collect();
 
         ScheduleStats {
-            energy: EnergyBreakdown { computation, communication },
+            energy: EnergyBreakdown {
+                computation,
+                communication,
+            },
             makespan,
             avg_hops_per_packet: if packets == 0 {
                 0.0

@@ -117,7 +117,10 @@ impl ScheduleTable {
         let slot = Slot::new(start, start.saturating_add(duration));
         let idx = self.slots.partition_point(|s| s.end <= start);
         if let Some(next) = self.slots.get(idx) {
-            assert!(!next.overlaps(&slot), "double booking: {slot} overlaps {next}");
+            assert!(
+                !next.overlaps(&slot),
+                "double booking: {slot} overlaps {next}"
+            );
         }
         self.slots.insert(idx, slot);
     }
@@ -295,7 +298,7 @@ mod tests {
         let mut b = ScheduleTable::new();
         a.occupy(t(0), t(10)); // a busy [0,10)
         b.occupy(t(15), t(10)); // b busy [15,25)
-        // Need 6 ticks in both: [10,15) too small, so 25.
+                                // Need 6 ticks in both: [10,15) too small, so 25.
         assert_eq!(find_earliest_across(&[&a, &b], t(0), t(6)), t(25));
         // 5 ticks fit exactly in [10,15).
         assert_eq!(find_earliest_across(&[&a, &b], t(0), t(5)), t(10));

@@ -64,7 +64,10 @@ impl ValidationReport {
     /// Sum of all tardiness.
     #[must_use]
     pub fn total_tardiness(&self) -> Time {
-        self.deadline_misses.iter().map(DeadlineMiss::tardiness).sum()
+        self.deadline_misses
+            .iter()
+            .map(DeadlineMiss::tardiness)
+            .sum()
     }
 
     /// The lexicographic badness `(miss count, total tardiness)` used by
@@ -100,9 +103,7 @@ pub fn validate(
     graph: &TaskGraph,
     platform: &Platform,
 ) -> Result<ValidationReport, ScheduleError> {
-    if schedule.task_count() != graph.task_count()
-        || schedule.comm_count() != graph.edge_count()
-    {
+    if schedule.task_count() != graph.task_count() || schedule.comm_count() != graph.edge_count() {
         return Err(ScheduleError::ShapeMismatch {
             schedule_tasks: schedule.task_count(),
             graph_tasks: graph.task_count(),
@@ -130,7 +131,11 @@ pub fn validate(
             let a = schedule.task(w[0]);
             let b = schedule.task(w[1]);
             if b.start < a.finish {
-                return Err(ScheduleError::TaskOverlap { pe, first: w[0], second: w[1] });
+                return Err(ScheduleError::TaskOverlap {
+                    pe,
+                    first: w[0],
+                    second: w[1],
+                });
             }
         }
     }
@@ -199,12 +204,19 @@ pub fn validate(
         if let Some(d) = graph.task(t).deadline() {
             let finish = schedule.task(t).finish;
             if finish > d {
-                deadline_misses.push(DeadlineMiss { task: t, finish, deadline: d });
+                deadline_misses.push(DeadlineMiss {
+                    task: t,
+                    finish,
+                    deadline: d,
+                });
             }
         }
     }
 
-    Ok(ValidationReport { deadline_misses, makespan: schedule.makespan() })
+    Ok(ValidationReport {
+        deadline_misses,
+        makespan: schedule.makespan(),
+    })
 }
 
 #[cfg(test)]
@@ -299,7 +311,10 @@ mod tests {
             ],
             vec![CommPlacement::local(Time::new(100))],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TaskOverlap { .. })));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::TaskOverlap { .. })
+        ));
     }
 
     #[test]
@@ -314,7 +329,10 @@ mod tests {
             ],
             vec![CommPlacement::new(wrong, Time::new(100), Time::new(110))],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::RouteMismatch(_))));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::RouteMismatch(_))
+        ));
     }
 
     #[test]
@@ -329,7 +347,10 @@ mod tests {
             ],
             vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::DependencyViolation { .. })));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::DependencyViolation { .. })
+        ));
     }
 
     #[test]
@@ -344,7 +365,10 @@ mod tests {
             ],
             vec![CommPlacement::new(route, Time::new(90), Time::new(100))],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TransactionBeforeProducer(_))));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::TransactionBeforeProducer(_))
+        ));
     }
 
     #[test]
@@ -372,7 +396,10 @@ mod tests {
                 CommPlacement::new(route, Time::new(20), Time::new(30)), // overlaps in [20,25)
             ],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::TransactionOverlap { .. })));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::TransactionOverlap { .. })
+        ));
     }
 
     #[test]
@@ -380,7 +407,10 @@ mod tests {
         let p = platform();
         let g = graph();
         let s = Schedule::new(vec![], vec![]);
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::ShapeMismatch { .. })));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -394,6 +424,9 @@ mod tests {
             ],
             vec![CommPlacement::local(Time::new(100))],
         );
-        assert!(matches!(validate(&s, &g, &p), Err(ScheduleError::InconsistentTaskTiming(_))));
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::InconsistentTaskTiming(_))
+        ));
     }
 }

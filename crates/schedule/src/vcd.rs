@@ -99,19 +99,30 @@ pub fn to_vcd(schedule: &Schedule, graph: &TaskGraph, platform: &Platform) -> St
             signal: p.pe.index(),
             value: sanitize(graph.task(t).name()),
         });
-        events.push(Event { time: p.finish, signal: p.pe.index(), value: "idle".into() });
+        events.push(Event {
+            time: p.finish,
+            signal: p.pe.index(),
+            value: "idle".into(),
+        });
     }
-    let link_signal = |l: usize| -> usize {
-        pe_count + used_links.binary_search(&l).expect("link registered")
-    };
+    let link_signal =
+        |l: usize| -> usize { pe_count + used_links.binary_search(&l).expect("link registered") };
     for e in graph.edge_ids() {
         let c = schedule.comm(e);
         if c.start == c.finish {
             continue;
         }
         for l in &c.route {
-            events.push(Event { time: c.start, signal: link_signal(l.index()), value: format!("c{}", e.index()) });
-            events.push(Event { time: c.finish, signal: link_signal(l.index()), value: "idle".into() });
+            events.push(Event {
+                time: c.start,
+                signal: link_signal(l.index()),
+                value: format!("c{}", e.index()),
+            });
+            events.push(Event {
+                time: c.finish,
+                signal: link_signal(l.index()),
+                value: "idle".into(),
+            });
         }
     }
     events.sort();
@@ -141,7 +152,9 @@ pub fn to_vcd(schedule: &Schedule, graph: &TaskGraph, platform: &Platform) -> St
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect()
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
 }
 
 #[cfg(test)]
@@ -159,8 +172,18 @@ mod tests {
             .build()
             .unwrap();
         let mut b = TaskGraph::builder("wave demo", 4);
-        let a = b.add_task(Task::uniform("alpha", 4, Time::new(100), Energy::from_nj(1.0)));
-        let c = b.add_task(Task::uniform("beta", 4, Time::new(100), Energy::from_nj(1.0)));
+        let a = b.add_task(Task::uniform(
+            "alpha",
+            4,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
+        let c = b.add_task(Task::uniform(
+            "beta",
+            4,
+            Time::new(100),
+            Energy::from_nj(1.0),
+        ));
         b.add_edge(a, c, Volume::from_bits(320)).unwrap();
         let graph = b.build().unwrap();
         let route = platform.route(TileId::new(0), TileId::new(1)).to_vec();
@@ -196,7 +219,10 @@ mod tests {
             .map(|t| t.parse().expect("numeric timestamp"))
             .collect();
         assert!(!times.is_empty());
-        assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps must ascend: {times:?}");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "timestamps must ascend: {times:?}"
+        );
         assert_eq!(times, vec![0, 100, 110, 210]);
     }
 
@@ -213,7 +239,10 @@ mod tests {
     #[test]
     fn code_generation_is_unique_for_many_signals() {
         // Indirectly: render a 4x4 platform schedule with many links.
-        let p = Platform::builder().topology(TopologySpec::mesh(4, 4)).build().unwrap();
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .build()
+            .unwrap();
         let mut b = TaskGraph::builder("big", 16);
         let a = b.add_task(Task::uniform("a", 16, Time::new(10), Energy::from_nj(1.0)));
         let c = b.add_task(Task::uniform("c", 16, Time::new(10), Energy::from_nj(1.0)));

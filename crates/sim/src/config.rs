@@ -31,7 +31,11 @@ impl SimConfig {
     pub fn new(flit_bits: u64, buffer_flits: u64) -> Self {
         assert!(flit_bits > 0, "flit size must be positive");
         assert!(buffer_flits > 0, "buffers must hold at least one flit");
-        SimConfig { flit_bits, buffer_flits, hop_latency: 0 }
+        SimConfig {
+            flit_bits,
+            buffer_flits,
+            hop_latency: 0,
+        }
     }
 
     /// Sets the per-hop router pipeline latency (builder style).
@@ -64,7 +68,11 @@ mod tests {
         assert_eq!(c.flits_for(32), 1);
         assert_eq!(c.flits_for(33), 2);
         assert_eq!(c.flits_for(1), 1);
-        assert_eq!(c.flits_for(0), 1, "even an empty payload needs a header flit");
+        assert_eq!(
+            c.flits_for(0),
+            1,
+            "even an empty payload needs a header flit"
+        );
     }
 
     #[test]

@@ -27,12 +27,18 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownTile(t) => write!(f, "message references unknown tile {t}"),
-            SimError::ShapeMismatch { schedule_tasks, graph_tasks } => write!(
+            SimError::ShapeMismatch {
+                schedule_tasks,
+                graph_tasks,
+            } => write!(
                 f,
                 "schedule has {schedule_tasks} tasks but the graph has {graph_tasks}"
             ),
             SimError::ExecutorDeadlock => {
-                write!(f, "execution deadlocked: per-PE order contradicts dependencies")
+                write!(
+                    f,
+                    "execution deadlocked: per-PE order contradicts dependencies"
+                )
             }
         }
     }

@@ -68,7 +68,11 @@ impl<'a> ScheduleExecutor<'a> {
     /// Creates an executor for one graph/platform pair.
     #[must_use]
     pub fn new(graph: &'a TaskGraph, platform: &'a Platform, config: SimConfig) -> Self {
-        ScheduleExecutor { graph, platform, config }
+        ScheduleExecutor {
+            graph,
+            platform,
+            config,
+        }
     }
 
     /// Executes `schedule`'s decisions with dynamic timing.
@@ -115,8 +119,11 @@ impl<'a> ScheduleExecutor<'a> {
         }
 
         let n = graph.task_count();
-        let queues: Vec<Vec<TaskId>> =
-            self.platform.pes().map(|pe| schedule.tasks_on(pe)).collect();
+        let queues: Vec<Vec<TaskId>> = self
+            .platform
+            .pes()
+            .map(|pe| schedule.tasks_on(pe))
+            .collect();
         let mut ptr = vec![0usize; queues.len()];
         let mut pe_busy_until = vec![Time::ZERO; queues.len()];
 
@@ -149,10 +156,8 @@ impl<'a> ScheduleExecutor<'a> {
                     if src == dst || edge.volume.is_zero() {
                         continue; // delivered instantly; readiness checks producer finish
                     }
-                    let id = network.inject_on(
-                        self.platform,
-                        Message::new(src, dst, edge.volume, now),
-                    );
+                    let id =
+                        network.inject_on(self.platform, Message::new(src, dst, edge.volume, now));
                     edge_msg[e.index()] = Some(id);
                 }
             }
@@ -181,9 +186,10 @@ impl<'a> ScheduleExecutor<'a> {
                 if !ready {
                     continue;
                 }
-                let exec = exec_override
-                    .map_or_else(|| graph.task(t).exec_time(PeId::new(pe_idx as u32)),
-                                 |o| o[t.index()]);
+                let exec = exec_override.map_or_else(
+                    || graph.task(t).exec_time(PeId::new(pe_idx as u32)),
+                    |o| o[t.index()],
+                );
                 started[t.index()] = Some(now);
                 finished[t.index()] = Some(now + exec);
                 pe_busy_until[pe_idx] = now + exec;
@@ -224,8 +230,14 @@ impl<'a> ScheduleExecutor<'a> {
             }
         }
 
-        let start: Vec<Time> = started.into_iter().map(|s| s.expect("all started")).collect();
-        let finish: Vec<Time> = finished.into_iter().map(|f| f.expect("all finished")).collect();
+        let start: Vec<Time> = started
+            .into_iter()
+            .map(|s| s.expect("all started"))
+            .collect();
+        let finish: Vec<Time> = finished
+            .into_iter()
+            .map(|f| f.expect("all finished"))
+            .collect();
         let makespan = finish.iter().copied().max().unwrap_or(Time::ZERO);
         let mut deadline_misses = Vec::new();
         for t in graph.task_ids() {
@@ -235,7 +247,12 @@ impl<'a> ScheduleExecutor<'a> {
                 }
             }
         }
-        Ok(ExecutionTrace { start, finish, makespan, deadline_misses })
+        Ok(ExecutionTrace {
+            start,
+            finish,
+            makespan,
+            deadline_misses,
+        })
     }
 }
 
@@ -282,7 +299,9 @@ mod tests {
         let p = platform();
         let g = chain_graph();
         let s = remote_schedule(&p);
-        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute(&s)
+            .unwrap();
         // 10 flits over 1 link: arrives at 110, c runs 110..210 — exactly
         // the static schedule.
         assert_eq!(trace.start[1], Time::new(110));
@@ -304,7 +323,9 @@ mod tests {
             ],
             vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
         );
-        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute(&s)
+            .unwrap();
         // Arrival 111 (one extra pipeline-fill tick) -> start slips by 1.
         assert_eq!(trace.start[1], Time::new(111));
         assert_eq!(trace.slippage_vs(&s)[1], Time::new(1));
@@ -321,7 +342,9 @@ mod tests {
             ],
             vec![CommPlacement::local(Time::new(100))],
         );
-        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default()).execute(&s).unwrap();
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute(&s)
+            .unwrap();
         assert_eq!(trace.start[1], Time::new(100));
         assert_eq!(trace.makespan, Time::new(200));
     }

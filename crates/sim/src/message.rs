@@ -49,7 +49,12 @@ impl Message {
     /// Creates a message.
     #[must_use]
     pub const fn new(src: TileId, dst: TileId, volume: Volume, inject_at: Time) -> Self {
-        Message { src, dst, volume, inject_at }
+        Message {
+            src,
+            dst,
+            volume,
+            inject_at,
+        }
     }
 
     /// `true` if the message never enters the network.
@@ -61,7 +66,11 @@ impl Message {
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} ({}, t={})", self.src, self.dst, self.volume, self.inject_at)
+        write!(
+            f,
+            "{} -> {} ({}, t={})",
+            self.src, self.dst, self.volume, self.inject_at
+        )
     }
 }
 
@@ -71,15 +80,30 @@ mod tests {
 
     #[test]
     fn locality() {
-        let m = Message::new(TileId::new(1), TileId::new(1), Volume::from_bits(8), Time::ZERO);
+        let m = Message::new(
+            TileId::new(1),
+            TileId::new(1),
+            Volume::from_bits(8),
+            Time::ZERO,
+        );
         assert!(m.is_local());
-        let m = Message::new(TileId::new(1), TileId::new(2), Volume::from_bits(8), Time::ZERO);
+        let m = Message::new(
+            TileId::new(1),
+            TileId::new(2),
+            Volume::from_bits(8),
+            Time::ZERO,
+        );
         assert!(!m.is_local());
     }
 
     #[test]
     fn display() {
-        let m = Message::new(TileId::new(0), TileId::new(2), Volume::from_bits(64), Time::new(5));
+        let m = Message::new(
+            TileId::new(0),
+            TileId::new(2),
+            Volume::from_bits(64),
+            Time::new(5),
+        );
         assert_eq!(m.to_string(), "0 -> 2 (64 bits, t=5)");
     }
 }

@@ -102,7 +102,11 @@ impl NetworkSim {
         );
         let id = MessageId::new(self.worms.len() as u32);
         let flits = self.config.flits_for(msg.volume.bits());
-        let completed_at = if route.is_empty() { Some(msg.inject_at) } else { None };
+        let completed_at = if route.is_empty() {
+            Some(msg.inject_at)
+        } else {
+            None
+        };
         let n = route.len();
         self.worms.push(Worm {
             msg,
@@ -179,9 +183,9 @@ impl NetworkSim {
                 continue;
             }
             // Earliest requester wins; ties by message id (== index).
-            let better = grants.iter().find(|(j, _)| {
-                self.worms[*j].route[self.worms[*j].acquired] == link
-            });
+            let better = grants
+                .iter()
+                .find(|(j, _)| self.worms[*j].route[self.worms[*j].acquired] == link);
             match better {
                 None => grants.push((i, MessageId::new(i as u32))),
                 Some(&(j, _)) => {
@@ -223,10 +227,12 @@ impl NetworkSim {
                     activity = true;
                     continue;
                 }
-                let upstream_ready =
-                    if j == 0 { w.sent[0] < w.flits } else { w.buffered[j - 1] >= 1 };
-                let downstream_free =
-                    j == last || w.buffered[j] < self.config.buffer_flits;
+                let upstream_ready = if j == 0 {
+                    w.sent[0] < w.flits
+                } else {
+                    w.buffered[j - 1] >= 1
+                };
+                let downstream_free = j == last || w.buffered[j] < self.config.buffer_flits;
                 if !(upstream_ready && downstream_free) {
                     continue;
                 }
@@ -252,7 +258,10 @@ impl NetworkSim {
         }
 
         // Future injections count as pending activity.
-        let pending = self.worms.iter().any(|w| w.msg.inject_at > now && !w.is_done());
+        let pending = self
+            .worms
+            .iter()
+            .any(|w| w.msg.inject_at > now && !w.is_done());
         self.now = now + Time::new(1);
         activity || pending
     }
@@ -289,7 +298,11 @@ impl NetworkSim {
                 "network exceeded {BOUND} ticks; suspected livelock"
             );
         }
-        self.worms.iter().filter_map(|w| w.completed_at).max().unwrap_or(self.now)
+        self.worms
+            .iter()
+            .filter_map(|w| w.completed_at)
+            .max()
+            .unwrap_or(self.now)
     }
 
     /// Ideal (contention-free) delivery time of a message:
@@ -370,7 +383,12 @@ mod tests {
     }
 
     fn msg(src: u32, dst: u32, bits: u64, at: u64) -> Message {
-        Message::new(TileId::new(src), TileId::new(dst), Volume::from_bits(bits), Time::new(at))
+        Message::new(
+            TileId::new(src),
+            TileId::new(dst),
+            Volume::from_bits(bits),
+            Time::new(at),
+        )
     }
 
     #[test]
@@ -439,7 +457,10 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(sim.completion(a), Some(Time::new(20)));
         let done_b = sim.completion(b).unwrap();
-        assert!(done_b > Time::new(11), "b must have been delayed, got {done_b}");
+        assert!(
+            done_b > Time::new(11),
+            "b must have been delayed, got {done_b}"
+        );
         // b's head waits at router 1; once 1->3 frees at t=20 it streams
         // its remaining flits: finish = 20 + 10 (some flits already
         // buffered downstream of 0->1).

@@ -42,8 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Replay the EAS schedule on the wormhole simulator.
         let trace = ScheduleExecutor::new(&graph, &platform, SimConfig::default())
             .execute(&eas.schedule)?;
-        let worst_slip =
-            trace.slippage_vs(&eas.schedule).into_iter().max().unwrap_or(Time::ZERO);
+        let worst_slip = trace
+            .slippage_vs(&eas.schedule)
+            .into_iter()
+            .max()
+            .unwrap_or(Time::ZERO);
         println!(
             "          simulator: dynamic makespan {} (static {}), worst slip {} ticks, \
              misses under execution: {}\n",

@@ -45,12 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Busiest links: where the cross-frame reference traffic lands.
     println!("\nbusiest links:");
-    println!("{}", render_link_occupancy(&outcome.schedule, &pipeline, &platform, 5));
+    println!(
+        "{}",
+        render_link_occupancy(&outcome.schedule, &pipeline, &platform, 5)
+    );
 
     // Waveform export for GTKWave.
     let vcd = noc_schedule::vcd::to_vcd(&outcome.schedule, &pipeline, &platform);
     let path = std::env::temp_dir().join("pipelined_stream.vcd");
     std::fs::write(&path, vcd)?;
-    println!("VCD waveform written to {} (open with GTKWave)", path.display());
+    println!(
+        "VCD waveform written to {} (open with GTKWave)",
+        path.display()
+    );
     Ok(())
 }

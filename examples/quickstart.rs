@@ -51,8 +51,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("EDF schedule:");
     println!("{}", render_gantt(&edf.schedule, &graph, &platform, 70));
 
-    println!("EAS: {}   (deadlines met: {})", eas.stats, eas.report.meets_deadlines());
-    println!("EDF: {}   (deadlines met: {})", edf.stats, edf.report.meets_deadlines());
+    println!(
+        "EAS: {}   (deadlines met: {})",
+        eas.stats,
+        eas.report.meets_deadlines()
+    );
+    println!(
+        "EDF: {}   (deadlines met: {})",
+        edf.stats,
+        edf.report.meets_deadlines()
+    );
     println!(
         "Energy savings of EAS over EDF: {:.1}%",
         100.0 * (edf.stats.energy.total().as_nj() - eas.stats.energy.total().as_nj())

@@ -17,7 +17,9 @@ fn fixture() -> (Platform, TaskGraph, Schedule) {
     let graph = TgffGenerator::new(TgffConfig::small(13))
         .generate(&platform)
         .expect("generates");
-    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let outcome = EasScheduler::full()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     (platform, graph, outcome.schedule)
 }
 
@@ -26,11 +28,7 @@ fn first_remote_edge(graph: &TaskGraph, schedule: &Schedule) -> Option<noc_ctg::
     graph.edge_ids().find(|&e| !schedule.comm(e).is_local())
 }
 
-fn rebuild_with_task(
-    schedule: &Schedule,
-    idx: usize,
-    placement: TaskPlacement,
-) -> Schedule {
+fn rebuild_with_task(schedule: &Schedule, idx: usize, placement: TaskPlacement) -> Schedule {
     let mut tasks = schedule.task_placements().to_vec();
     tasks[idx] = placement;
     Schedule::new(tasks, schedule.comm_placements().to_vec())
@@ -73,7 +71,11 @@ fn shifting_a_consumer_before_its_input_is_caught() {
     let hacked = rebuild_with_task(
         &schedule,
         dst.index(),
-        TaskPlacement::new(p.pe, schedule.comm(e).start, schedule.comm(e).start + (p.finish - p.start)),
+        TaskPlacement::new(
+            p.pe,
+            schedule.comm(e).start,
+            schedule.comm(e).start + (p.finish - p.start),
+        ),
     );
     assert!(validate(&hacked, &graph, &platform).is_err());
 }
@@ -103,8 +105,11 @@ fn moving_a_task_without_rerouting_is_caught() {
     // transaction's route.
     let new_pe = PeId::new((p.pe.index() as u32 + 1) % platform.tile_count() as u32);
     let exec = graph.task(src).exec_time(new_pe);
-    let hacked =
-        rebuild_with_task(&schedule, src.index(), TaskPlacement::new(new_pe, p.start, p.start + exec));
+    let hacked = rebuild_with_task(
+        &schedule,
+        src.index(),
+        TaskPlacement::new(new_pe, p.start, p.start + exec),
+    );
     assert!(validate(&hacked, &graph, &platform).is_err());
 }
 
@@ -116,7 +121,11 @@ fn shrinking_a_transaction_is_caught() {
     let hacked = rebuild_with_comm(
         &schedule,
         e.index(),
-        CommPlacement::new(c.route.clone(), c.start, c.finish - noc_platform::units::Time::new(1)),
+        CommPlacement::new(
+            c.route.clone(),
+            c.start,
+            c.finish - noc_platform::units::Time::new(1),
+        ),
     );
     assert!(matches!(
         validate(&hacked, &graph, &platform),
@@ -129,8 +138,11 @@ fn emptying_a_remote_route_is_caught() {
     let (platform, graph, schedule) = fixture();
     let e = first_remote_edge(&graph, &schedule).expect("remote edge exists");
     let c = schedule.comm(e).clone();
-    let hacked =
-        rebuild_with_comm(&schedule, e.index(), CommPlacement::new(Vec::new(), c.start, c.finish));
+    let hacked = rebuild_with_comm(
+        &schedule,
+        e.index(),
+        CommPlacement::new(Vec::new(), c.start, c.finish),
+    );
     assert!(matches!(
         validate(&hacked, &graph, &platform),
         Err(ScheduleError::RouteMismatch(_))
@@ -145,8 +157,11 @@ fn double_booking_a_pe_is_caught() {
     let p0 = *schedule.task(noc_ctg::task::TaskId::new(0));
     let t1 = noc_ctg::task::TaskId::new(1);
     let exec = graph.task(t1).exec_time(p0.pe);
-    let hacked =
-        rebuild_with_task(&schedule, 1, TaskPlacement::new(p0.pe, p0.start, p0.start + exec));
+    let hacked = rebuild_with_task(
+        &schedule,
+        1,
+        TaskPlacement::new(p0.pe, p0.start, p0.start + exec),
+    );
     assert!(validate(&hacked, &graph, &platform).is_err());
 }
 
@@ -187,8 +202,11 @@ fn overlapping_two_transactions_is_caught() {
     let ca = schedule.comm(a).clone();
     let cb = schedule.comm(b).clone();
     let dur = cb.finish - cb.start;
-    let hacked =
-        rebuild_with_comm(&schedule, b.index(), CommPlacement::new(cb.route, ca.start, ca.start + dur));
+    let hacked = rebuild_with_comm(
+        &schedule,
+        b.index(),
+        CommPlacement::new(cb.route, ca.start, ca.start + dur),
+    );
     // The producer/consumer timing of b may now also be violated; any
     // rejection is acceptable, but silence is not.
     assert!(validate(&hacked, &graph, &platform).is_err());

@@ -27,15 +27,17 @@ fn tgff_config() -> impl Strategy<Value = TgffConfig> {
         0.0f64..0.3,
         (64u64..512, 512u64..4096),
     )
-        .prop_map(|(seed, task_count, laxity, control_prob, (vol_lo, vol_hi))| {
-            let mut cfg = TgffConfig::small(seed);
-            cfg.task_count = task_count;
-            cfg.deadline_laxity = laxity;
-            cfg.control_edge_prob = control_prob;
-            cfg.volume_range = (vol_lo, vol_hi);
-            cfg.width = (task_count / 4).max(2);
-            cfg
-        })
+        .prop_map(
+            |(seed, task_count, laxity, control_prob, (vol_lo, vol_hi))| {
+                let mut cfg = TgffConfig::small(seed);
+                cfg.task_count = task_count;
+                cfg.deadline_laxity = laxity;
+                cfg.control_edge_prob = control_prob;
+                cfg.volume_range = (vol_lo, vol_hi);
+                cfg.width = (task_count / 4).max(2);
+                cfg
+            },
+        )
 }
 
 proptest! {
@@ -79,6 +81,23 @@ proptest! {
         prop_assert!(full.report.deadline_misses.len()
             <= base.report.deadline_misses.len());
         prop_assert!(validate(&full.schedule, &graph, &platform).is_ok());
+    }
+
+    /// The parallel scheduling engine is bit-identical to the serial one
+    /// on every workload and thread count: same schedule, same energy,
+    /// same deadline misses, same repair statistics.
+    #[test]
+    fn parallel_scheduling_matches_serial(cfg in tgff_config(), threads in 2usize..8) {
+        let platform = platform(4, 4);
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let serial = EasScheduler::new(EasConfig::default())
+            .schedule(&graph, &platform).expect("serial");
+        let parallel = EasScheduler::new(EasConfig::default().with_threads(threads))
+            .schedule(&graph, &platform).expect("parallel");
+        prop_assert_eq!(&parallel.schedule, &serial.schedule);
+        prop_assert_eq!(parallel.stats.energy.total(), serial.stats.energy.total());
+        prop_assert_eq!(&parallel.report.deadline_misses, &serial.report.deadline_misses);
+        prop_assert_eq!(parallel.repair, serial.repair);
     }
 
     /// Budgeted deadlines never exceed the task's own deadline and are

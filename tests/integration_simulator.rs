@@ -30,7 +30,9 @@ fn multimedia_schedules_execute_with_bounded_slip() {
         let platform = mesh(dims.0, dims.1);
         for clip in Clip::all() {
             let graph = app.build(clip, &platform).expect("builds");
-            let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+            let outcome = EasScheduler::full()
+                .schedule(&graph, &platform)
+                .expect("schedules");
             let trace = ScheduleExecutor::new(&graph, &platform, SimConfig::default())
                 .execute(&outcome.schedule)
                 .expect("executes");
@@ -56,7 +58,10 @@ fn random_schedules_execute_to_completion() {
         let graph = TgffGenerator::new(TgffConfig::small(seed))
             .generate(&platform)
             .expect("generates");
-        for scheduler in [&EasScheduler::full() as &dyn Scheduler, &EdfScheduler::new()] {
+        for scheduler in [
+            &EasScheduler::full() as &dyn Scheduler,
+            &EdfScheduler::new(),
+        ] {
             let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
             let trace = ScheduleExecutor::new(&graph, &platform, SimConfig::default())
                 .execute(&outcome.schedule)
@@ -90,7 +95,9 @@ fn simulator_agrees_with_static_model_on_contention_free_single_hops() {
     let c = b.add_task(Task::new("c", t2, e2));
     b.add_edge(a, c, Volume::from_bits(640)).expect("edge");
     let graph = b.build().expect("builds");
-    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let outcome = EasScheduler::full()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     let trace = ScheduleExecutor::new(&graph, &platform, SimConfig::default())
         .execute(&outcome.schedule)
         .expect("executes");
@@ -114,8 +121,12 @@ fn dynamic_execution_preserves_deadlines_for_multimedia_eas() {
     // The headline claim survives execution: EAS schedules of the paper
     // workloads stay deadline-clean even with pipeline-fill slippage.
     let platform = mesh(2, 2);
-    let graph = MultimediaApp::AvEncoder.build(Clip::Foreman, &platform).expect("builds");
-    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let graph = MultimediaApp::AvEncoder
+        .build(Clip::Foreman, &platform)
+        .expect("builds");
+    let outcome = EasScheduler::full()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     let trace = ScheduleExecutor::new(&graph, &platform, SimConfig::default())
         .execute(&outcome.schedule)
         .expect("executes");
@@ -132,7 +143,9 @@ fn network_stats_reflect_traffic() {
     let graph = TgffGenerator::new(TgffConfig::small(2))
         .generate(&platform)
         .expect("generates");
-    let outcome = EasScheduler::full().schedule(&graph, &platform).expect("schedules");
+    let outcome = EasScheduler::full()
+        .schedule(&graph, &platform)
+        .expect("schedules");
     let mut sim = NetworkSim::new(&platform, SimConfig::default());
     let mut remote = 0usize;
     for e in graph.edge_ids() {

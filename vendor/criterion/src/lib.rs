@@ -1,0 +1,336 @@
+//! A minimal, vendored stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: `Criterion`,
+//! benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock via
+//! [`std::time::Instant`]; each sample measures one closure call and the
+//! minimum / median / mean over samples are printed.
+//!
+//! Mode selection follows criterion's CLI contract: `--bench` (passed by
+//! `cargo bench`) runs full measurements; anything else (e.g. `--test`
+//! from `cargo test --benches`) runs each benchmark closure exactly once
+//! as a smoke test.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Whether we are measuring or merely smoke-testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    Smoke,
+}
+
+/// A benchmark identifier, possibly parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id that is just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (accepted, currently not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Nanoseconds per sample, filled by [`Bencher::iter`].
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records one timing sample per call
+    /// (after one untimed warm-up call). In smoke mode `f` runs once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed().as_nanos());
+        }
+    }
+}
+
+/// The benchmark manager driving all groups and functions.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+    completed: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            default_sample_size: 10,
+            completed: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments (`--bench`
+    /// selects measurement mode; a positional argument filters by
+    /// substring; other flags are ignored).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => c.mode = Mode::Measure,
+                "--test" => c.mode = Mode::Smoke,
+                // Flags with a value we do not interpret.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                filter => c.filter = Some(filter.to_owned()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let samples = self.default_sample_size;
+        self.run_one(id, samples, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.completed += 1;
+        match self.mode {
+            Mode::Smoke => println!("{id}: ok (smoke test)"),
+            Mode::Measure => report(&id, &mut bencher.samples),
+        }
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        let what = if self.mode == Mode::Measure {
+            "benchmarks"
+        } else {
+            "smoke tests"
+        };
+        println!("completed {} {what}", self.completed);
+    }
+}
+
+fn report(id: &str, samples: &mut [u128]) {
+    if samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{id}: min {} / median {} / mean {} ({} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepts a throughput annotation (ignored by this harness).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_closure_once() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        c.bench_function("counted", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(42), &3u32, |b, &x| {
+            b.iter(|| calls += x)
+        });
+        group.finish();
+        // warm-up + 5 samples, 3 per call.
+        assert_eq!(calls, 6 * 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match".into()),
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("does_match_this", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("scale", 64).id, "scale/64");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

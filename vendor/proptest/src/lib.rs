@@ -1,0 +1,342 @@
+//! A minimal, vendored stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`strategy::Strategy`]
+//! trait over numeric ranges, tuples, `prop_map`, [`collection::vec`],
+//! [`bool::ANY`], [`strategy::Just`], the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros, and a deterministic
+//! [`test_runner::TestRunner`]. Sampling is purely random (seeded from
+//! the test name and case index) — there is no shrinking; a failing case
+//! reports its fully rendered input instead.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::random_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::random_bool(rng, 0.5)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::random_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and execution.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Runner configuration; only `cases` is supported.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `test` against `config.cases` deterministic samples of
+    /// `strategy`, panicking with the rendered input on the first
+    /// failing case. Used by the [`proptest!`](crate::proptest) macro.
+    pub fn run_cases<S, F>(config: ProptestConfig, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value),
+    {
+        for case in 0..config.cases {
+            let seed =
+                fnv1a(name.as_bytes()) ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.sample(&mut rng);
+            let rendered = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            if let Err(payload) = outcome {
+                let message = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                panic!(
+                    "proptest property `{name}` failed at case {case}/{total} \
+                     with input {rendered}: {message}",
+                    total = config.cases,
+                );
+            }
+        }
+    }
+}
+
+/// One-glob import of everything a property test needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        @with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run_cases(
+                    config,
+                    stringify!($name),
+                    &strategy,
+                    |($($arg,)+)| $body,
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = u64> {
+        (1u64..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 5u32..10, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn mapped_values_are_even(v in doubled()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(items in prop::collection::vec((0u32..4, 0u64..9), 1..20)) {
+            prop_assert!((1..20).contains(&items.len()));
+            for (a, b) in items {
+                prop_assert!(a < 4 && b < 9);
+            }
+        }
+
+        #[test]
+        fn bool_and_just(flag in prop::bool::ANY, fixed in Just(7u8)) {
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert_eq!(fixed, 7);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                ProptestConfig::with_cases(10),
+                "always_fails",
+                &(0u32..5,),
+                |(v,)| assert!(v > 100, "v too small"),
+            );
+        });
+        let payload = result.expect_err("property must fail");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("always_fails"), "got: {message}");
+        assert!(message.contains("with input"), "got: {message}");
+    }
+}

@@ -1,0 +1,479 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! Parses the item's token stream by hand (no `syn`/`quote`, so the
+//! crate builds with nothing but the compiler) and generates impls of
+//! the vendored `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]` honoured per field),
+//! * tuple structs (`#[serde(transparent)]` honoured for newtypes),
+//! * enums with unit, newtype-tuple, and struct variants
+//!   (externally tagged, like real serde).
+//!
+//! Generics are intentionally unsupported: the derive panics with a
+//! clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Scans attribute tokens (`#` + bracket group pairs) at the cursor,
+/// returning the collected `#[serde(...)]` idents ("transparent",
+/// "default", ...).
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut serde_words = Vec::new();
+    while *pos + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*pos + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(word) = t {
+                            serde_words.push(word.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        *pos += 2;
+    }
+    serde_words
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos..], [TokenTree::Ident(i), ..] if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(&tokens[*pos..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container_attrs = take_attrs(&tokens, &mut pos);
+    let transparent = container_attrs.iter().any(|w| w == "transparent");
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive ({name})");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => panic!("serde_derive: unit structs are not supported ({name})"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive: malformed enum body ({name})"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Splits a brace/paren group body on top-level commas. Commas inside
+/// `(...)`/`[...]`/`{...}` arrive pre-grouped by the tokenizer, but
+/// generics like `HashMap<(K, K), V>` need explicit `<`/`>` depth
+/// tracking ( `>>` arrives as two separate `>` puncts, so counting each
+/// one works for nested generics).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut groups = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                groups.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_commas(stream)
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|tokens| {
+            let mut pos = 0;
+            let attrs = take_attrs(&tokens, &mut pos);
+            skip_visibility(&tokens, &mut pos);
+            let name = match &tokens[pos] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("serde_derive: expected field name, found {other}"),
+            };
+            Field {
+                name,
+                default: attrs.iter().any(|w| w == "default"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream)
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|tokens| {
+            let mut pos = 0;
+            let _ = take_attrs(&tokens, &mut pos); // doc comments, #[default]
+            let name = match &tokens[pos] {
+                TokenTree::Ident(i) => i.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            pos += 1;
+            let shape = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "transparent struct must have one field ({name})"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut s = String::from("let mut m = ::serde::Map::new();\n");
+                for f in fields {
+                    s += &format!(
+                        "m.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));\n",
+                        f.name
+                    );
+                }
+                s += "::serde::Value::Object(m)";
+                s
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if input.transparent || *n == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms += &format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vn}(x0) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\", ::serde::Serialize::to_value(x0));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\", ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner += &format!(
+                                "inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\", ::serde::Value::Object(inner));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// One named-field initializer reading from object `m`.
+fn named_field_init(f: &Field, ty_name: &str) -> String {
+    if f.default {
+        format!(
+            "{0}: match m.get(\"{0}\") {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             None => ::core::default::Default::default(),\n}},\n",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: match m.get(\"{0}\") {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             None => return ::core::result::Result::Err(::serde::Error::msg(\
+             \"missing field `{0}` in {1}\")),\n}},\n",
+            f.name, ty_name
+        )
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "transparent struct must have one field ({name})"
+                );
+                format!(
+                    "::core::result::Result::Ok({name} {{ {0}: ::serde::Deserialize::from_value(value)? }})",
+                    fields[0].name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    inits += &named_field_init(f, name);
+                }
+                format!(
+                    "let m = match value {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     other => return ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"expected object for {name}, found {{}}\", other.kind()))),\n}};\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if input.transparent || *n == 1 {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                     ::core::result::Result::Ok({name}({items})),\n\
+                     other => ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"expected {n}-element array for {name}, found {{}}\", other.kind()))),\n}}",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms += &format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok({name}::{vn}),\n"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms += &format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms += &format!(
+                            "\"{vn}\" => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected array payload for {name}::{vn}\"))?;\n\
+                             if items.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::Error::msg(\"wrong arity for {name}::{vn}\")); }}\n\
+                             return ::core::result::Result::Ok({name}::{vn}({items}));\n}}\n",
+                            items = items.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits += &named_field_init(f, &format!("{name}::{vn}"));
+                        }
+                        tagged_arms += &format!(
+                            "\"{vn}\" => {{\n\
+                             let m = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::msg(\"expected object payload for {name}::{vn}\"))?;\n\
+                             return ::core::result::Result::Ok({name}::{vn} {{\n{inits}}});\n}}\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(s) = value {{\n\
+                 match s.as_str() {{\n{unit_arms}\
+                 _ => return ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{s}}` for {name}\"))),\n}}\n}}\n\
+                 if let ::serde::Value::Object(m) = value {{\n\
+                 if m.len() == 1 {{\n\
+                 let (tag, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 _ => return ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"unknown variant `{{tag}}` for {name}\"))),\n}}\n}}\n}}\n\
+                 ::core::result::Result::Err(::serde::Error::msg(\
+                 format!(\"expected string or single-key object for {name}, found {{}}\", value.kind())))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
