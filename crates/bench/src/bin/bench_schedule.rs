@@ -4,9 +4,10 @@
 //! `BENCH_schedule.json` (first argument overrides the path).
 //!
 //! The speedup figures are *measured on whatever machine runs this*, and
-//! `host_cpus` is recorded alongside them: on a single-core CI runner a
-//! 4-thread run cannot be faster than serial, and the artifact says so
-//! honestly instead of extrapolating.
+//! `host_cpus` is recorded alongside them. On a single-core host a
+//! 4-thread run cannot be faster than serial, so the speedup claim is
+//! **suppressed entirely** (`null` in the artifact, `n/a` in the table)
+//! rather than recorded as a misleading ~1.0 measurement.
 
 use std::time::Instant;
 
@@ -29,7 +30,9 @@ struct Case {
     serial_s: f64,
     parallel_s: f64,
     parallel_threads: usize,
-    speedup: f64,
+    /// `None` on hosts where a parallel speedup is unmeasurable
+    /// (a single hardware thread): no claim beats a bogus one.
+    speedup: Option<f64>,
     identical: bool,
     energy_nj: f64,
     deadline_misses: usize,
@@ -94,15 +97,17 @@ fn main() {
             graph.name()
         );
 
-        let speedup = serial_s / parallel_s;
+        // A single-hardware-thread host cannot demonstrate a parallel
+        // speedup; suppress the claim instead of recording noise.
+        let speedup = (host_cpus > 1).then(|| serial_s / parallel_s);
         println!(
-            "{:<22} {:>6} {:>6} {:>10.3} {:>10.3} {:>8.2} {:>10}",
+            "{:<22} {:>6} {:>6} {:>10.3} {:>10.3} {:>8} {:>10}",
             graph.name(),
             graph.task_count(),
             graph.edge_count(),
             serial_s,
             parallel_s,
-            speedup,
+            speedup.map_or_else(|| "n/a".to_owned(), |s| format!("{s:.2}")),
             identical,
         );
         cases.push(Case {
@@ -138,7 +143,12 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if host_cpus < PARALLEL_THREADS {
+    if host_cpus == 1 {
+        println!(
+            "note: host has a single hardware thread; speedup claims are \
+             suppressed (recorded as null), not measured."
+        );
+    } else if host_cpus < PARALLEL_THREADS {
         println!(
             "note: host has fewer than {PARALLEL_THREADS} hardware threads; \
              speedup figures are bounded by the hardware, not the engine."

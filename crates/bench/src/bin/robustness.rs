@@ -2,13 +2,50 @@
 //! Each scheduler's integrated-A/V schedule is replayed on the wormhole
 //! simulator with task runtimes perturbed by ±jitter; we count the
 //! Monte-Carlo trials whose realized execution misses a deadline.
+//!
+//! Flags (defaults match the historical fixed configuration):
+//! `--jitters 0.0,0.02,0.05,0.10,0.15`, `--trials 50`, `--ratio 1.5`.
 
 use noc_bench::experiments::{robustness_study_at_ratio, write_json_artifact};
 
 fn main() {
-    let jitters = [0.0, 0.02, 0.05, 0.10, 0.15];
-    let trials = 50;
-    let ratio = 1.5; // stressed operating point from the Fig. 7 sweep
+    let mut jitters = vec![0.0, 0.02, 0.05, 0.10, 0.15];
+    let mut trials = 50usize;
+    let mut ratio = 1.5f64; // stressed operating point from the Fig. 7 sweep
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("error: {} needs a value", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--jitters" => {
+                jitters = value(&mut i).split(',').map(parse::<f64>).collect();
+                if jitters.is_empty() {
+                    eprintln!("error: --jitters needs at least one value");
+                    std::process::exit(2);
+                }
+            }
+            "--trials" => trials = parse(&value(&mut i)),
+            "--ratio" => ratio = parse(&value(&mut i)),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other}\n\
+                     usage: robustness [--jitters J1,J2,...] [--trials N] [--ratio R]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
     println!(
         "== Extension: runtime-jitter robustness (A/V integrated, 3x3, ratio {ratio}, {trials} trials) ==\n"
     );
@@ -36,4 +73,11 @@ fn main() {
     if let Some(path) = write_json_artifact("robustness", &rows) {
         println!("JSON artifact: {}", path.display());
     }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid numeric value {s:?}");
+        std::process::exit(2);
+    })
 }

@@ -627,6 +627,215 @@ pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> 
     rows
 }
 
+/// One row of the fault-injection sweep: one scheduler at one fault
+/// count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// Scheduler under test.
+    pub scheduler: String,
+    /// Number of injected fault events (a PE death or a channel death).
+    pub faults: usize,
+    /// Monte-Carlo trials executed.
+    pub trials: usize,
+    /// Trials where a fault-aware static schedule existed (surviving
+    /// mesh connected and the re-plan validated).
+    pub repaired_trials: usize,
+    /// Mean fraction of deadlines met when the *pristine* schedule keeps
+    /// running while the faults strike at t = 0.
+    pub unrepaired_met: f64,
+    /// Mean fraction of deadlines met after masked-resource re-repair
+    /// (falling back to the unrepaired figure when no repair exists).
+    pub repaired_met: f64,
+    /// Deadline tasks the repaired schedule meets that the unrepaired
+    /// run missed, summed over all trials.
+    pub recovered_deadlines: usize,
+    /// Mean repaired-vs-pristine energy delta in percent, over the
+    /// repaired trials (0 when none).
+    pub mean_energy_delta_percent: f64,
+}
+
+/// Draws `k` distinct fault events (PE or bidirectional channel deaths,
+/// 1:2 odds) without ever killing the last tile.
+fn draw_faults(
+    rng: &mut rand::rngs::StdRng,
+    platform: &noc_platform::Platform,
+    k: usize,
+) -> noc_platform::fault::FaultSet {
+    use noc_platform::tile::TileId;
+    use rand::Rng;
+
+    let mut fs = noc_platform::fault::FaultSet::new();
+    let tiles = platform.tile_count() as u32;
+    let mut events = 0usize;
+    let mut guard = 0usize;
+    while events < k && guard < 1_000 {
+        guard += 1;
+        if rng.random_range(0..3u32) == 0 {
+            let t = TileId::new(rng.random_range(0..tiles));
+            if !fs.tile_failed(t) && fs.failed_tiles().len() + 1 < tiles as usize {
+                fs.fail_tile(t);
+                events += 1;
+            }
+        } else {
+            let links = platform.links();
+            let l = links[rng.random_range(0..links.len() as u32) as usize];
+            if !fs.link_failed(l) {
+                fs.fail_channel(l.src, l.dst);
+                events += 1;
+            }
+        }
+    }
+    fs
+}
+
+/// Fault-injection sweep (extension): graceful degradation of EAS vs EDF
+/// on the A/V-integrated benchmark under `k = 0..=max_faults` random
+/// permanent faults.
+///
+/// For every trial the same drawn fault set is measured two ways:
+///
+/// * **unrepaired** — the pristine schedule keeps executing on the
+///   wormhole simulator while the faults strike at `t = 0`
+///   ([`noc_sim::exec::ScheduleExecutor::execute_with_faults`]); stranded
+///   tasks count as missed deadlines;
+/// * **repaired** — the faults are masked into the platform and the
+///   schedule is re-planned: EAS re-repairs the struck schedule
+///   ([`noc_eas::repair::repair_with_faults`], falling back to
+///   scheduling from scratch), EDF re-runs from scratch. The repaired
+///   schedule is then replayed on the simulator.
+///
+/// Everything is deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics only on internal scheduler errors on the pristine platform.
+#[must_use]
+pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<FaultSweepRow> {
+    use noc_eas::repair::repair_with_faults;
+    use noc_platform::fault::FaultSet;
+    use noc_platform::tile::PeId;
+    use noc_platform::units::Time;
+    use noc_schedule::ScheduleStats;
+    use noc_sim::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn met_fraction(met: &[bool]) -> f64 {
+        if met.is_empty() {
+            1.0
+        } else {
+            met.iter().filter(|&&m| m).count() as f64 / met.len() as f64
+        }
+    }
+
+    fn injected(fs: &FaultSet) -> Vec<InjectedFault> {
+        let mut v: Vec<InjectedFault> = fs
+            .failed_tiles()
+            .iter()
+            .map(|t| InjectedFault::pe(Time::ZERO, PeId::new(t.index() as u32)))
+            .collect();
+        v.extend(
+            fs.failed_links()
+                .iter()
+                .map(|&l| InjectedFault::link(Time::ZERO, l)),
+        );
+        v
+    }
+
+    let platform = platforms::mesh_3x3();
+    let graph = MultimediaApp::AvIntegrated
+        .build(Clip::Foreman, &platform)
+        .expect("benchmark builds");
+    let deadline_tasks: Vec<_> = graph
+        .task_ids()
+        .filter(|&t| graph.task(t).deadline().is_some())
+        .collect();
+    let deadline_of = |t: noc_ctg::task::TaskId| graph.task(t).deadline().expect("filtered");
+
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("eas", Box::new(EasScheduler::full())),
+        ("edf", Box::new(EdfScheduler::new())),
+    ];
+    let mut rows = Vec::new();
+    for (name, scheduler) in &schedulers {
+        let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
+        let pristine_energy = outcome.stats.energy.total().as_nj();
+        let executor = ScheduleExecutor::new(&graph, &platform, SimConfig::default());
+        for k in 0..=max_faults {
+            let mut unrepaired_sum = 0.0f64;
+            let mut repaired_sum = 0.0f64;
+            let mut recovered = 0usize;
+            let mut repaired_trials = 0usize;
+            let mut energy_delta_sum = 0.0f64;
+            for trial in 0..trials {
+                let mut rng = StdRng::seed_from_u64(seed ^ ((k as u64) << 32) ^ (trial as u64));
+                let fs = draw_faults(&mut rng, &platform, k);
+                let unrep = executor
+                    .execute_with_faults(&outcome.schedule, &injected(&fs))
+                    .expect("faulted execution always settles");
+                let unrep_met: Vec<bool> = deadline_tasks
+                    .iter()
+                    .map(|&t| unrep.finish[t.index()].is_some_and(|f| f <= deadline_of(t)))
+                    .collect();
+                unrepaired_sum += met_fraction(&unrep_met);
+
+                // Mask the faults into the platform and re-plan.
+                let repaired = platforms::faulted_mesh(3, 3, fs).ok().and_then(|fp| {
+                    let schedule = if *name == "eas" {
+                        repair_with_faults(&graph, &fp, &outcome.schedule, 1)
+                            .map(|(s, _)| s)
+                            .or_else(|| scheduler.schedule(&graph, &fp).ok().map(|o| o.schedule))
+                    } else {
+                        scheduler.schedule(&graph, &fp).ok().map(|o| o.schedule)
+                    }?;
+                    let trace = ScheduleExecutor::new(&graph, &fp, SimConfig::default())
+                        .execute(&schedule)
+                        .ok()?;
+                    let energy = ScheduleStats::compute(&schedule, &graph, &fp)
+                        .energy
+                        .total()
+                        .as_nj();
+                    Some((trace, energy))
+                });
+                match repaired {
+                    Some((trace, energy)) => {
+                        repaired_trials += 1;
+                        let rep_met: Vec<bool> = deadline_tasks
+                            .iter()
+                            .map(|&t| trace.finish[t.index()] <= deadline_of(t))
+                            .collect();
+                        repaired_sum += met_fraction(&rep_met);
+                        recovered += rep_met
+                            .iter()
+                            .zip(&unrep_met)
+                            .filter(|&(&r, &u)| r && !u)
+                            .count();
+                        energy_delta_sum += 100.0 * (energy - pristine_energy) / pristine_energy;
+                    }
+                    // No fault-aware schedule exists (surviving mesh
+                    // disconnected): keep limping on the old one.
+                    None => repaired_sum += met_fraction(&unrep_met),
+                }
+            }
+            rows.push(FaultSweepRow {
+                scheduler: (*name).to_owned(),
+                faults: k,
+                trials,
+                repaired_trials,
+                unrepaired_met: unrepaired_sum / trials as f64,
+                repaired_met: repaired_sum / trials as f64,
+                recovered_deadlines: recovered,
+                mean_energy_delta_percent: if repaired_trials == 0 {
+                    0.0
+                } else {
+                    energy_delta_sum / repaired_trials as f64
+                },
+            });
+        }
+    }
+    rows
+}
+
 /// Writes a JSON artifact under `target/experiments/` (best-effort: IO
 /// failures only emit a warning so batch runs keep going) and returns
 /// the path written to on success.

@@ -38,6 +38,26 @@ pub fn mesh(cols: u16, rows: u16) -> Platform {
         .expect("constant mesh configuration is valid")
 }
 
+/// The same heterogeneous mesh with a set of permanent faults masked in
+/// (dead PEs removed from candidate lists, routes detouring dead links).
+///
+/// # Errors
+///
+/// Propagates builder failures: fault sets that disconnect the surviving
+/// mesh or kill every tile have no usable platform.
+pub fn faulted_mesh(
+    cols: u16,
+    rows: u16,
+    faults: noc_platform::fault::FaultSet,
+) -> Result<Platform, noc_platform::PlatformError> {
+    Platform::builder()
+        .topology(TopologySpec::mesh(cols, rows))
+        .routing(RoutingSpec::Xy)
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .faults(faults)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,44 @@
+//! Graceful-degradation gate for the fault-injection subsystem: with a
+//! fixed seed, masked-resource re-repair must recover deadlines that the
+//! pristine schedule, struck by the same faults mid-execution, misses —
+//! and the whole sweep must be bit-deterministic.
+
+use noc_bench::experiments::fault_sweep_study;
+
+/// One fault on the 3x3 integrated-A/V workload, fixed seed. The
+/// unrepaired run strands work and misses deadlines; EAS's
+/// masked-resource repair gets a strict improvement back.
+#[test]
+fn masked_repair_recovers_missed_deadlines() {
+    let rows = fault_sweep_study(1, 4, 7);
+    // Rows come out scheduler-major: (eas, k=0), (eas, k=1), (edf, ...).
+    let eas_k1 = rows
+        .iter()
+        .find(|r| r.scheduler == "eas" && r.faults == 1)
+        .expect("eas k=1 row");
+    assert!(
+        eas_k1.recovered_deadlines > 0,
+        "masked re-repair should recover deadlines the faulted run missed, got {eas_k1:?}"
+    );
+    assert!(
+        eas_k1.repaired_met > eas_k1.unrepaired_met,
+        "repaired deadline fraction should beat the unrepaired one, got {eas_k1:?}"
+    );
+
+    // Zero faults is the control: nothing to recover, nothing missed.
+    for r in rows.iter().filter(|r| r.faults == 0) {
+        assert_eq!(r.recovered_deadlines, 0, "k=0 must not recover: {r:?}");
+        assert!(
+            (r.repaired_met - r.unrepaired_met).abs() < 1e-12,
+            "k=0 repaired == unrepaired: {r:?}"
+        );
+    }
+}
+
+/// The sweep is a pure function of its (max_faults, trials, seed) inputs.
+#[test]
+fn fault_sweep_is_deterministic() {
+    let a = fault_sweep_study(1, 2, 7);
+    let b = fault_sweep_study(1, 2, 7);
+    assert_eq!(a, b);
+}

@@ -8,7 +8,7 @@ use noc_schedule::prelude::*;
 use noc_sim::prelude::*;
 
 use crate::args::Args;
-use crate::spec::{parse_platform, parse_scheduler};
+use crate::spec::{parse_platform, parse_platform_faulted, parse_scheduler};
 
 /// Usage text for `noceas help`.
 pub const USAGE: &str = "\
@@ -27,18 +27,23 @@ USAGE:
 
   noceas schedule --graph graph.json --platform mesh:4x4
                   [--scheduler eas|eas-base|edf|dls|anneal]
+                  [--faults tile:4,link:1-2]
                   [--threads N] [--out schedule.json] [--vcd waves.vcd]
                   [--gantt] [--links] [--csv]
       Schedule a task graph and report energy / deadline statistics.
       --threads fans trial evaluation out over N workers (0 = all
       cores); the schedule is identical for every thread count.
+      --faults masks permanently failed resources: dead PEs leave the
+      candidate lists and routes detour around dead links
+      (`tile:<id>`, `link:<a>-<b>` both ways, `link:<a>><b>` one way).
 
   noceas validate --graph graph.json --schedule schedule.json --platform mesh:4x4
+                  [--faults SPEC]
       Re-check a schedule against all Def. 3/4, dependency and deadline
-      constraints.
+      constraints (on the fault-masked platform when --faults is given).
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
-                  [--buffers N] [--hop-latency N]
+                  [--buffers N] [--hop-latency N] [--faults SPEC]
       Replay a schedule on the flit-level wormhole simulator.
 
   noceas dot --graph graph.json
@@ -163,7 +168,7 @@ fn benchmark(args: &Args) -> Result<String, String> {
 }
 
 fn schedule(args: &Args) -> Result<String, String> {
-    let platform = parse_platform(args.require("platform")?)?;
+    let platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
     let graph = load_graph(args.require("graph")?)?;
     let threads: usize = args.get_num("threads", 1)?;
     let scheduler = parse_scheduler(args.get_or("scheduler", "eas"), threads)?;
@@ -172,6 +177,14 @@ fn schedule(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
+    if !platform.faults().is_empty() {
+        out.push_str(&format!(
+            "faults masked: {} ({} tiles, {} links dead)\n",
+            platform.faults(),
+            platform.faults().failed_tiles().len(),
+            platform.faults().failed_links().len(),
+        ));
+    }
     out.push_str(&format!(
         "{}: {} | deadlines {} ({} misses)\n",
         scheduler.name(),
@@ -218,7 +231,7 @@ fn schedule(args: &Args) -> Result<String, String> {
 }
 
 fn validate_cmd(args: &Args) -> Result<String, String> {
-    let platform = parse_platform(args.require("platform")?)?;
+    let platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
     let graph = load_graph(args.require("graph")?)?;
     let schedule = load_schedule(args.require("schedule")?)?;
     let report = validate(&schedule, &graph, &platform).map_err(|e| e.to_string())?;
@@ -226,7 +239,7 @@ fn validate_cmd(args: &Args) -> Result<String, String> {
 }
 
 fn simulate(args: &Args) -> Result<String, String> {
-    let platform = parse_platform(args.require("platform")?)?;
+    let platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
     let graph = load_graph(args.require("graph")?)?;
     let schedule = load_schedule(args.require("schedule")?)?;
     let config = SimConfig::new(
@@ -397,6 +410,77 @@ mod tests {
         .expect("schedule");
         assert!(out.contains("edf:"));
         assert!(out.contains("task,name,pe,start,finish,deadline"));
+    }
+
+    #[test]
+    fn faulted_schedule_round_trip() {
+        let graph_path = tmp("gf.json");
+        let sched_path = tmp("sf.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "3",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        let out = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--faults",
+            "tile:3",
+            "--out",
+            &sched_path,
+        ]))
+        .expect("faulted schedule");
+        assert!(out.contains("faults masked"));
+        assert!(out.contains("1 tiles, 0 links dead"));
+        // The produced schedule validates and simulates on the same
+        // fault-masked platform.
+        let out = run(&args(&[
+            "validate",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--faults",
+            "tile:3",
+        ]))
+        .expect("faulted validate");
+        assert!(out.contains("structurally valid"));
+        let out = run(&args(&[
+            "simulate",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--faults",
+            "tile:3",
+        ]))
+        .expect("faulted simulate");
+        assert!(out.contains("dynamic makespan"));
+        // Malformed fault specs surface a readable error.
+        assert!(run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--faults",
+            "tile:99",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Textual platform and scheduler specifications used on the command
 //! line, e.g. `mesh:4x4`, `torus:3x3:yx`, `honeycomb:4x4`, `eas`,
-//! `eas-base`, `edf`, `dls`.
+//! `eas-base`, `edf`, `dls`, and fault sets like `tile:4,link:1-2`.
 
 use noc_eas::prelude::*;
 use noc_platform::prelude::*;
@@ -16,6 +16,31 @@ use noc_platform::prelude::*;
 /// Returns a human-readable message on malformed specs or invalid
 /// combinations.
 pub fn parse_platform(spec: &str) -> Result<Platform, String> {
+    parse_platform_faulted(spec, None)
+}
+
+/// Parses a fault-set spec: comma-separated `tile:<id>`,
+/// `link:<a>-<b>` (both directions) and `link:<a>><b>` (one direction)
+/// entries, e.g. `tile:4,link:1-2` (see
+/// [`noc_platform::fault::FaultSet::parse`]).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed entries.
+pub fn parse_faults(spec: &str) -> Result<FaultSet, String> {
+    FaultSet::parse(spec).map_err(|e| e.to_string())
+}
+
+/// [`parse_platform`] with an optional fault-set spec masked into the
+/// platform: dead PEs leave every candidate list and routes detour
+/// around dead links.
+///
+/// # Errors
+///
+/// As [`parse_platform`] and [`parse_faults`]; additionally rejects
+/// fault sets that reference missing resources or disconnect the
+/// surviving tiles.
+pub fn parse_platform_faulted(spec: &str, faults: Option<&str>) -> Result<Platform, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() < 2 || parts.len() > 3 {
         return Err(format!(
@@ -50,12 +75,14 @@ pub fn parse_platform(spec: &str) -> Result<Platform, String> {
         Some(&"bfs") => RoutingSpec::ShortestPath,
         Some(other) => return Err(format!("unknown routing `{other}` (use xy, yx or bfs)")),
     };
-    Platform::builder()
+    let mut builder = Platform::builder()
         .topology(topology)
         .routing(routing)
-        .pe_mix(PeCatalog::date04().cycle_mix())
-        .build()
-        .map_err(|e| e.to_string())
+        .pe_mix(PeCatalog::date04().cycle_mix());
+    if let Some(f) = faults {
+        builder = builder.faults(parse_faults(f)?);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 /// Parses a scheduler name into a boxed [`Scheduler`]. `threads` sets
@@ -122,6 +149,29 @@ mod tests {
             parse_platform("honeycomb:4x4:xy").is_err(),
             "xy cannot route honeycombs"
         );
+    }
+
+    #[test]
+    fn parses_faulted_platforms() {
+        let p = parse_platform_faulted("mesh:3x3", Some("tile:4,link:0-1")).expect("parses");
+        assert!(!p.tile_alive(TileId::new(4)));
+        assert!(p.tile_alive(TileId::new(0)));
+        assert_eq!(p.faults().failed_links().len(), 2);
+        // No fault spec: identical to the plain parse.
+        let plain = parse_platform_faulted("mesh:2x2", None).expect("parses");
+        assert!(plain.faults().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_fault_specs() {
+        assert!(parse_platform_faulted("mesh:2x2", Some("tile:nine")).is_err());
+        assert!(parse_platform_faulted("mesh:2x2", Some("tile:9")).is_err());
+        assert!(
+            parse_platform_faulted("mesh:3x1", Some("tile:1")).is_err(),
+            "disconnecting faults are rejected"
+        );
+        assert!(parse_faults("gibberish").is_err());
+        assert_eq!(parse_faults("link:0-1").unwrap().len(), 2);
     }
 
     #[test]

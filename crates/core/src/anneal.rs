@@ -153,6 +153,9 @@ impl AnnealScheduler {
         let mut best_cost = current_cost;
         let mut temperature = (current_cost * self.config.initial_temperature).max(1e-9);
         let mut accepted = 0usize;
+        // Migration targets: only alive PEs (identical RNG stream to the
+        // pre-fault code on pristine platforms, where all PEs are alive).
+        let alive: Vec<PeId> = platform.alive_pes().collect();
         let pe_count = platform.tile_count();
         let task_count = graph.task_count();
 
@@ -161,7 +164,7 @@ impl AnnealScheduler {
             let backup = oa.clone();
             if rng.random_bool(0.5) {
                 let t = noc_ctg::task::TaskId::new(rng.random_range(0..task_count as u32));
-                let dst = PeId::new(rng.random_range(0..pe_count as u32));
+                let dst = alive[rng.random_range(0..alive.len() as u32) as usize];
                 if dst == oa.assignment[t.index()] {
                     continue;
                 }

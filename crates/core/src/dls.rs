@@ -46,7 +46,7 @@ pub fn static_levels(graph: &TaskGraph) -> Vec<f64> {
 /// Runs DLS list scheduling to completion, mutating `placer`.
 pub fn dls_schedule(placer: &mut Placer<'_>) {
     let levels = static_levels(placer.graph());
-    let pes: Vec<PeId> = placer.platform().pes().collect();
+    let pes: Vec<PeId> = placer.platform().alive_pes().collect();
     let means: Vec<f64> = {
         let graph = placer.graph();
         graph

@@ -25,7 +25,7 @@ use crate::scheduler::CommModel;
 /// Runs EDF list scheduling to completion, mutating `placer`.
 pub fn edf_schedule(placer: &mut Placer<'_>) {
     let eff = effective_deadlines(placer.graph());
-    let pes: Vec<PeId> = placer.platform().pes().collect();
+    let pes: Vec<PeId> = placer.platform().alive_pes().collect();
     while !placer.is_done() {
         // Earliest effective deadline among ready tasks (ties: task id).
         let &task = placer

@@ -131,7 +131,8 @@ fn level_loop<F>(placer: &mut Placer<'_>, budgets: &SlackBudgets, mut eval_round
 where
     F: FnMut(&mut Placer<'_>, &[(TaskId, PeId)]) -> Vec<Trial>,
 {
-    let pes: Vec<PeId> = placer.platform().pes().collect();
+    // Candidate PEs: dead ones (platform faults) are masked out.
+    let pes: Vec<PeId> = placer.platform().alive_pes().collect();
     while !placer.is_done() {
         let ready: Vec<TaskId> = placer.ready_tasks().to_vec();
         debug_assert!(!ready.is_empty(), "DAG guarantees progress");

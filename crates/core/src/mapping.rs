@@ -92,7 +92,7 @@ impl MapThenScheduleScheduler {
         let mut load = vec![0.0f64; pe_count];
         for t in order {
             let mut best: Option<(Energy, usize, PeId)> = None;
-            for k in platform.pes() {
+            for k in platform.alive_pes() {
                 // Hard cap unless every PE is capped (then fall through).
                 let capped = load[k.index()] + graph.task(t).mean_exec_time() > load_cap;
                 let mut energy = graph.task(t).exec_energy(k);

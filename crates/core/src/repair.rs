@@ -174,8 +174,10 @@ pub fn search_and_repair_threads(
         let mut migrated = false;
         'gtm: for &t in &crit {
             let src = oa.assignment[t.index()];
+            // Dead PEs are masked out of the candidate destinations, so
+            // repair on a faulted platform never re-strands a task.
             let mut destinations: Vec<(Energy, PeId)> = platform
-                .pes()
+                .alive_pes()
                 .filter(|&k| k != src)
                 .map(|k| (migration_energy(graph, platform, &current, t, k), k))
                 .collect();
@@ -249,6 +251,57 @@ pub fn search_and_repair_threads(
     }
 
     (current, stats)
+}
+
+/// Masked-resource re-repair: adapts a schedule built for a pristine
+/// platform to `platform`'s fault set instead of discarding it.
+///
+/// Tasks assigned to dead PEs are first *evacuated* (ascending task id)
+/// to the alive PE with the lowest migration energy (ties: lowest PE
+/// id), inserted into the destination queue at the position matching
+/// their original start time. The evacuated assignment is re-timed on
+/// the faulted platform — whose fault-aware routes already detour
+/// around dead links, so the Fig. 3 link tables only ever reserve
+/// surviving links — and then handed to
+/// [`search_and_repair_threads`], which masks dead PEs out of its GTM
+/// candidate list. The combined pass re-runs the paper's Step 3 with
+/// failed resources masked, recovering deadlines where slack permits.
+///
+/// Returns `None` when the evacuated order cannot be re-timed (a
+/// cross-PE ordering deadlock); callers should fall back to scheduling
+/// from scratch on the faulted platform.
+#[must_use]
+pub fn repair_with_faults(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: &Schedule,
+    threads: usize,
+) -> Option<(Schedule, RepairStats)> {
+    let mut oa = OrderedAssignment::from_schedule(schedule, platform);
+    let stranded: Vec<TaskId> = graph
+        .task_ids()
+        .filter(|t| !platform.pe_alive(oa.assignment[t.index()]))
+        .collect();
+    for t in stranded {
+        let old_start = schedule.task(t).start;
+        let mut dests: Vec<(Energy, PeId)> = platform
+            .alive_pes()
+            .map(|k| (migration_energy(graph, platform, schedule, t, k), k))
+            .collect();
+        dests.sort_by(|a, b| {
+            (a.0, a.1.index())
+                .partial_cmp(&(b.0, b.1.index()))
+                .expect("finite energies")
+        });
+        let dst = dests.first()?.1;
+        let anchor = oa.order[dst.index()]
+            .iter()
+            .position(|&x| schedule.task(x).start > old_start)
+            .unwrap_or(oa.order[dst.index()].len());
+        oa.migrate(t, dst, anchor);
+    }
+    let rebased = retime(graph, platform, &oa)?;
+    Some(search_and_repair_threads(graph, platform, rebased, threads))
 }
 
 /// The energy of task `t` if migrated to `k` under the current
@@ -427,6 +480,83 @@ mod tests {
                 assert_eq!(par_stats, serial_stats, "seed {seed} threads {threads}");
             }
         }
+    }
+
+    /// A schedule struck by a PE fault is evacuated, re-timed on the
+    /// faulted platform and repaired — never placing anything on the
+    /// dead PE.
+    #[test]
+    fn repair_with_faults_evacuates_dead_pes() {
+        use crate::scheduler::Scheduler;
+        let pristine = platform();
+        let mut b = TaskGraph::builder("fault", 4);
+        let mk = |n: &str| {
+            Task::uniform(n, 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(1_000))
+        };
+        let a = b.add_task(mk("a"));
+        let c = b.add_task(mk("c"));
+        let d = b.add_task(mk("d"));
+        b.add_edge(a, c, noc_platform::units::Volume::from_bits(320))
+            .unwrap();
+        let g = b.build().unwrap();
+        let schedule = crate::EasScheduler::full()
+            .schedule(&g, &pristine)
+            .unwrap()
+            .schedule;
+
+        // Kill the PE hosting task `a` (corner kills keep 2x2 connected).
+        let dead = schedule.task(a).pe;
+        let faulted = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .faults(FaultSet::parse(&format!("tile:{}", dead.index())).unwrap())
+            .build()
+            .unwrap();
+        let (repaired, _) =
+            repair_with_faults(&g, &faulted, &schedule, 1).expect("evacuation re-times");
+        for t in [a, c, d] {
+            assert_ne!(repaired.task(t).pe, dead, "task {t} still on dead PE");
+        }
+        validate(&repaired, &g, &faulted).expect("valid on the faulted platform");
+        // Deterministic: a second run reproduces the schedule exactly.
+        let (again, _) = repair_with_faults(&g, &faulted, &schedule, 1).unwrap();
+        assert_eq!(again, repaired);
+    }
+
+    /// Link faults alone re-time the schedule onto detour routes.
+    #[test]
+    fn repair_with_faults_handles_link_faults() {
+        use crate::scheduler::Scheduler;
+        let pristine = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .pe_mix(PeCatalog::date04().cycle_mix())
+            .build()
+            .unwrap();
+        let mut b = TaskGraph::builder("linkfault", 4);
+        let a = b.add_task(
+            Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(2_000)),
+        );
+        let c = b.add_task(
+            Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(2_000)),
+        );
+        b.add_edge(a, c, noc_platform::units::Volume::from_bits(640))
+            .unwrap();
+        let g = b.build().unwrap();
+        let schedule = crate::EasScheduler::full()
+            .schedule(&g, &pristine)
+            .unwrap()
+            .schedule;
+        let faulted = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .pe_mix(PeCatalog::date04().cycle_mix())
+            .faults(FaultSet::parse("link:0-1").unwrap())
+            .build()
+            .unwrap();
+        let (repaired, _) = repair_with_faults(&g, &faulted, &schedule, 1).expect("re-times");
+        validate(&repaired, &g, &faulted).expect("valid with detour routes");
     }
 
     /// GTM prefers the energetically cheapest destination that fixes the

@@ -51,6 +51,9 @@ pub enum PlatformError {
     },
     /// A non-positive link bandwidth was configured.
     InvalidBandwidth(f64),
+    /// A fault specification is malformed or references a resource the
+    /// platform does not have (see [`crate::fault::FaultSet`]).
+    InvalidFaultSpec(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -80,6 +83,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::InvalidBandwidth(b) => {
                 write!(f, "link bandwidth must be positive, got {b}")
+            }
+            PlatformError::InvalidFaultSpec(reason) => {
+                write!(f, "invalid fault specification: {reason}")
             }
         }
     }

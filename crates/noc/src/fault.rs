@@ -1,0 +1,301 @@
+//! Permanent resource faults: dead tiles and dead links.
+//!
+//! The paper's schedules assume a pristine mesh; this module models the
+//! platform *after* manufacturing defects or field failures have removed
+//! resources. A [`FaultSet`] lists failed tiles (the whole tile dies:
+//! its PE and its router, hence every link touching it) and failed
+//! directed links (the channel dies, the routers survive). Platforms
+//! built with a fault set compute fault-aware routes that detour around
+//! dead resources (see [`crate::routing::compute_routes_with_faults`]),
+//! and schedulers mask the dead PEs out of their candidate lists.
+//!
+//! Fault sets are value types: deterministic, order-independent,
+//! serializable and parseable from a compact CLI spec string.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+use crate::tile::TileId;
+use crate::topology::Link;
+use crate::PlatformError;
+
+/// A set of permanently failed tiles and directed links.
+///
+/// Internally kept sorted and deduplicated, so two fault sets with the
+/// same resources compare equal regardless of insertion order.
+///
+/// # Spec strings
+///
+/// [`FaultSet::parse`] (also available through [`FromStr`]) accepts a
+/// comma-separated list of items:
+///
+/// * `tile:<id>` — the tile (PE + router) is dead,
+/// * `link:<a>-<b>` — the bidirectional channel between tiles `a` and
+///   `b` is dead (both directed links fail),
+/// * `link:<a>><b>` — only the directed link `a -> b` is dead.
+///
+/// ```
+/// use noc_platform::fault::FaultSet;
+/// use noc_platform::tile::TileId;
+///
+/// let f: FaultSet = "tile:5,link:0-1".parse().unwrap();
+/// assert!(f.tile_failed(TileId::new(5)));
+/// assert_eq!(f.failed_links().len(), 2); // both directions of 0-1
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    /// Failed tiles, sorted ascending.
+    tiles: Vec<TileId>,
+    /// Failed directed links, sorted ascending.
+    links: Vec<Link>,
+}
+
+impl FaultSet {
+    /// Creates an empty fault set (a pristine platform).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultSet::default()
+    }
+
+    /// `true` if no resource failed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty() && self.links.is_empty()
+    }
+
+    /// Marks a tile (PE + router) as permanently dead.
+    pub fn fail_tile(&mut self, tile: TileId) {
+        if let Err(pos) = self.tiles.binary_search(&tile) {
+            self.tiles.insert(pos, tile);
+        }
+    }
+
+    /// Marks one directed link as permanently dead.
+    pub fn fail_link(&mut self, link: Link) {
+        if let Err(pos) = self.links.binary_search(&link) {
+            self.links.insert(pos, link);
+        }
+    }
+
+    /// Marks the bidirectional channel between two tiles as dead (both
+    /// directed links fail).
+    pub fn fail_channel(&mut self, a: TileId, b: TileId) {
+        self.fail_link(Link::new(a, b));
+        self.fail_link(Link::new(b, a));
+    }
+
+    /// `true` if the tile itself is dead.
+    #[must_use]
+    pub fn tile_failed(&self, tile: TileId) -> bool {
+        self.tiles.binary_search(&tile).is_ok()
+    }
+
+    /// `true` if the directed link itself is dead (endpoints may be
+    /// alive; see [`FaultSet::blocks_link`] for the routing question).
+    #[must_use]
+    pub fn link_failed(&self, link: Link) -> bool {
+        self.links.binary_search(&link).is_ok()
+    }
+
+    /// `true` if traffic cannot use the link: the link is dead or either
+    /// endpoint tile (and therefore its router) is dead.
+    #[must_use]
+    pub fn blocks_link(&self, link: Link) -> bool {
+        self.link_failed(link) || self.tile_failed(link.src) || self.tile_failed(link.dst)
+    }
+
+    /// The failed tiles, ascending.
+    #[must_use]
+    pub fn failed_tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+
+    /// The failed directed links, ascending.
+    #[must_use]
+    pub fn failed_links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Total number of fault entries (tiles + directed links).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiles.len() + self.links.len()
+    }
+
+    /// Parses a spec string; see the [type docs](FaultSet) for the
+    /// grammar. An empty string yields an empty set.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::InvalidFaultSpec`] on malformed items.
+    pub fn parse(spec: &str) -> Result<Self, PlatformError> {
+        let mut set = FaultSet::new();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(id) = item.strip_prefix("tile:") {
+                let id: u32 = id.trim().parse().map_err(|_| {
+                    PlatformError::InvalidFaultSpec(format!("bad tile id in `{item}`"))
+                })?;
+                set.fail_tile(TileId::new(id));
+            } else if let Some(pair) = item.strip_prefix("link:") {
+                let (a, b, directed) = if let Some((a, b)) = pair.split_once('>') {
+                    (a, b, true)
+                } else if let Some((a, b)) = pair.split_once('-') {
+                    (a, b, false)
+                } else {
+                    return Err(PlatformError::InvalidFaultSpec(format!(
+                        "link item `{item}` needs `a-b` (both directions) or `a>b` (one)"
+                    )));
+                };
+                let parse_tile = |s: &str| -> Result<TileId, PlatformError> {
+                    s.trim().parse::<u32>().map(TileId::new).map_err(|_| {
+                        PlatformError::InvalidFaultSpec(format!("bad tile id in `{item}`"))
+                    })
+                };
+                let (a, b) = (parse_tile(a)?, parse_tile(b)?);
+                if directed {
+                    set.fail_link(Link::new(a, b));
+                } else {
+                    set.fail_channel(a, b);
+                }
+            } else {
+                return Err(PlatformError::InvalidFaultSpec(format!(
+                    "unknown fault item `{item}` (expected `tile:<id>` or `link:<a>-<b>`)"
+                )));
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl FromStr for FaultSet {
+    type Err = PlatformError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultSet::parse(s)
+    }
+}
+
+impl fmt::Display for FaultSet {
+    /// Canonical spec form: round-trips through [`FaultSet::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, ",")
+            }
+        };
+        for t in &self.tiles {
+            sep(f)?;
+            write!(f, "tile:{}", t.index())?;
+        }
+        // Collapse link pairs that fail in both directions into `a-b`.
+        let mut printed = vec![false; self.links.len()];
+        for (i, l) in self.links.iter().enumerate() {
+            if printed[i] {
+                continue;
+            }
+            let rev = self.links.binary_search(&l.reversed());
+            match rev {
+                Ok(j) if l.src < l.dst => {
+                    printed[i] = true;
+                    printed[j] = true;
+                    sep(f)?;
+                    write!(f, "link:{}-{}", l.src.index(), l.dst.index())?;
+                }
+                Ok(_) => {} // printed by the smaller-src direction
+                Err(_) => {
+                    printed[i] = true;
+                    sep(f)?;
+                    write!(f, "link:{}>{}", l.src.index(), l.dst.index())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_blocks_nothing() {
+        let f = FaultSet::new();
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert!(!f.blocks_link(Link::new(TileId::new(0), TileId::new(1))));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = FaultSet::new();
+        a.fail_tile(TileId::new(3));
+        a.fail_tile(TileId::new(1));
+        let mut b = FaultSet::new();
+        b.fail_tile(TileId::new(1));
+        b.fail_tile(TileId::new(3));
+        b.fail_tile(TileId::new(3)); // duplicate is a no-op
+        assert_eq!(a, b);
+        assert_eq!(a.failed_tiles(), &[TileId::new(1), TileId::new(3)]);
+    }
+
+    #[test]
+    fn dead_tile_blocks_adjacent_links() {
+        let mut f = FaultSet::new();
+        f.fail_tile(TileId::new(2));
+        assert!(f.blocks_link(Link::new(TileId::new(2), TileId::new(3))));
+        assert!(f.blocks_link(Link::new(TileId::new(1), TileId::new(2))));
+        assert!(!f.blocks_link(Link::new(TileId::new(0), TileId::new(1))));
+        assert!(!f.link_failed(Link::new(TileId::new(2), TileId::new(3))));
+    }
+
+    #[test]
+    fn channel_fails_both_directions() {
+        let mut f = FaultSet::new();
+        f.fail_channel(TileId::new(0), TileId::new(1));
+        assert!(f.link_failed(Link::new(TileId::new(0), TileId::new(1))));
+        assert!(f.link_failed(Link::new(TileId::new(1), TileId::new(0))));
+    }
+
+    #[test]
+    fn parse_accepts_all_item_kinds() {
+        let f = FaultSet::parse("tile:5, link:0-1, link:2>3").unwrap();
+        assert!(f.tile_failed(TileId::new(5)));
+        assert!(f.link_failed(Link::new(TileId::new(0), TileId::new(1))));
+        assert!(f.link_failed(Link::new(TileId::new(1), TileId::new(0))));
+        assert!(f.link_failed(Link::new(TileId::new(2), TileId::new(3))));
+        assert!(!f.link_failed(Link::new(TileId::new(3), TileId::new(2))));
+        assert_eq!(FaultSet::parse("").unwrap(), FaultSet::new());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_items() {
+        for bad in ["pe:1", "tile:x", "link:1", "link:a-b", "7"] {
+            let err = FaultSet::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, PlatformError::InvalidFaultSpec(_)),
+                "spec `{bad}` gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let f = FaultSet::parse("tile:5,tile:2,link:0-1,link:7>4").unwrap();
+        let shown = f.to_string();
+        let back = FaultSet::parse(&shown).unwrap();
+        assert_eq!(back, f, "display form `{shown}` must round-trip");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = FaultSet::parse("tile:1,link:2-3").unwrap();
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FaultSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`catalog`] — a parametric catalog of heterogeneous PE classes,
 //! * [`topology`] — 2D mesh, 2D torus and honeycomb tile topologies,
 //! * [`routing`] — deterministic routing (XY, YX, shortest-path, custom),
+//! * [`fault`] — permanent tile/link fault sets with fault-aware rerouting,
 //! * [`energy`] — the bit-energy model `E_bit = E_Sbit + E_Lbit` (Eq. 1–2),
 //! * [`platform`] — the assembled [`Platform`], the crate's main entry
 //!   point, which precomputes the Architecture Characterization Graph
@@ -48,6 +49,7 @@
 pub mod catalog;
 pub mod energy;
 mod error;
+pub mod fault;
 pub mod platform;
 pub mod routing;
 pub mod tile;
@@ -61,6 +63,7 @@ pub use platform::{Platform, PlatformBuilder};
 pub mod prelude {
     pub use crate::catalog::{PeCatalog, PeClass};
     pub use crate::energy::EnergyModel;
+    pub use crate::fault::FaultSet;
     pub use crate::platform::{Platform, PlatformBuilder};
     pub use crate::routing::{LinkId, RoutingSpec};
     pub use crate::tile::{Coord, PeId, TileId};

@@ -10,7 +10,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::catalog::{CycleMix, PeCatalog, PeClass};
 use crate::energy::EnergyModel;
-use crate::routing::{compute_routes, LinkId, RoutingSpec};
+use crate::fault::FaultSet;
+use crate::routing::{compute_routes_with_faults, LinkId, RoutingSpec};
 use crate::tile::{Coord, PeId, TileId};
 use crate::topology::{Link, TopologySpec};
 use crate::units::{Energy, Time, Volume};
@@ -35,6 +36,9 @@ pub struct Platform {
     energy: EnergyModel,
     /// Uniform link bandwidth in bits per tick.
     link_bandwidth: f64,
+    /// Permanently failed resources (empty on a pristine platform).
+    #[serde(default)]
+    faults: FaultSet,
 }
 
 impl Platform {
@@ -192,6 +196,52 @@ impl Platform {
         &self.routing_name
     }
 
+    /// The permanent faults this platform was built with (empty for a
+    /// pristine platform).
+    #[must_use]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// `true` if the tile (PE + router) survived the fault set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    #[must_use]
+    pub fn tile_alive(&self, tile: TileId) -> bool {
+        assert!(tile.index() < self.coords.len(), "tile {tile} out of range");
+        !self.faults.tile_failed(tile)
+    }
+
+    /// `true` if the PE survived the fault set (schedulers must not
+    /// place tasks on dead PEs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is out of range.
+    #[must_use]
+    pub fn pe_alive(&self, pe: PeId) -> bool {
+        self.tile_alive(pe.tile())
+    }
+
+    /// All surviving PE ids, in order — the candidate list schedulers
+    /// draw from. Equals [`Platform::pes`] on a pristine platform.
+    pub fn alive_pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        self.pes().filter(|&pe| self.pe_alive(pe))
+    }
+
+    /// `true` if the directed link is usable: neither the link itself
+    /// nor an endpoint tile failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    #[must_use]
+    pub fn link_alive(&self, link: LinkId) -> bool {
+        !self.faults.blocks_link(self.link(link))
+    }
+
     /// Validates that a tile id is within range.
     ///
     /// # Errors
@@ -232,6 +282,7 @@ pub struct PlatformBuilder {
     pes: PeSource,
     energy: EnergyModel,
     link_bandwidth: f64,
+    faults: FaultSet,
 }
 
 #[derive(Debug, Clone)]
@@ -252,6 +303,7 @@ impl PlatformBuilder {
             pes: PeSource::Catalog(PeCatalog::date04()),
             energy: EnergyModel::date04(),
             link_bandwidth: DEFAULT_LINK_BANDWIDTH,
+            faults: FaultSet::new(),
         }
     }
 
@@ -298,6 +350,15 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the permanent fault set. Routes are computed fault-aware
+    /// (see [`compute_routes_with_faults`]) and dead PEs are exposed
+    /// through [`Platform::alive_pes`] for schedulers to mask.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSet) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Validates the configuration and assembles the platform, computing
     /// the full ACG.
     ///
@@ -307,7 +368,9 @@ impl PlatformBuilder {
     /// * [`PlatformError::PeCountMismatch`] if explicit PEs do not match
     ///   the tile count,
     /// * [`PlatformError::InvalidBandwidth`] for non-positive bandwidth,
-    /// * routing errors from [`compute_routes`]
+    /// * [`PlatformError::InvalidFaultSpec`] if the fault set references
+    ///   a resource the topology does not have, or kills every tile,
+    /// * routing errors from [`compute_routes_with_faults`]
     ///   ([`PlatformError::IncompatibleRouting`],
     ///   [`PlatformError::Disconnected`], [`PlatformError::InvalidRoute`]).
     pub fn build(self) -> Result<Platform, PlatformError> {
@@ -332,7 +395,33 @@ impl PlatformBuilder {
         };
         let coords = self.topology.coords();
         let links = self.topology.links();
-        let routes = compute_routes(&self.topology, &self.routing, &coords, &links)?;
+        for &t in self.faults.failed_tiles() {
+            if t.index() >= tile_count {
+                return Err(PlatformError::UnknownTile {
+                    tile: t,
+                    tile_count,
+                });
+            }
+        }
+        for &l in self.faults.failed_links() {
+            if links.binary_search(&l).is_err() {
+                return Err(PlatformError::InvalidFaultSpec(format!(
+                    "failed link {l} does not exist in the topology"
+                )));
+            }
+        }
+        if self.faults.failed_tiles().len() >= tile_count {
+            return Err(PlatformError::InvalidFaultSpec(
+                "every tile failed: no PE left to schedule on".into(),
+            ));
+        }
+        let routes = compute_routes_with_faults(
+            &self.topology,
+            &self.routing,
+            &coords,
+            &links,
+            &self.faults,
+        )?;
         Ok(Platform {
             routing_name: self.routing.name().to_owned(),
             topology: self.topology,
@@ -342,6 +431,7 @@ impl PlatformBuilder {
             routes,
             energy: self.energy,
             link_bandwidth: self.link_bandwidth,
+            faults: self.faults,
         })
     }
 }
@@ -476,6 +566,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn faulted_platform_masks_pes_and_reroutes() {
+        let faults = FaultSet::parse("tile:5,link:1-2").unwrap();
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(4, 4))
+            .faults(faults)
+            .build()
+            .expect("faulted 4x4 stays connected");
+        assert!(!p.tile_alive(TileId::new(5)));
+        assert!(p.tile_alive(TileId::new(0)));
+        assert_eq!(p.alive_pes().count(), 15);
+        assert!(!p.pe_alive(PeId::new(5)));
+        // No route may use a blocked link.
+        for s in p.tiles() {
+            for d in p.tiles() {
+                for &l in p.route(s, d) {
+                    assert!(p.link_alive(l), "route {s}->{d} crosses dead {l}");
+                }
+            }
+        }
+        // Dead-tile pairs carry no traffic.
+        assert!(p.route(TileId::new(5), TileId::new(0)).is_empty());
+        assert!(p.route(TileId::new(0), TileId::new(5)).is_empty());
+    }
+
+    #[test]
+    fn fault_referencing_missing_resources_is_rejected() {
+        let err = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .faults(FaultSet::parse("tile:9").unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::UnknownTile { .. }));
+        let err = Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .faults(FaultSet::parse("link:0-3").unwrap()) // diagonal: no such link
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidFaultSpec(_)));
+    }
+
+    #[test]
+    fn killing_every_tile_is_rejected() {
+        let err = Platform::builder()
+            .topology(TopologySpec::mesh(2, 1))
+            .faults(FaultSet::parse("tile:0,tile:1").unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidFaultSpec(_)));
+    }
+
+    #[test]
+    fn disconnecting_faults_are_a_typed_error() {
+        let err = Platform::builder()
+            .topology(TopologySpec::mesh(3, 1))
+            .faults(FaultSet::parse("tile:1").unwrap())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn faulted_platform_serde_round_trip() {
+        let p = Platform::builder()
+            .topology(TopologySpec::mesh(3, 3))
+            .faults(FaultSet::parse("tile:4").unwrap())
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: Platform = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.faults(), p.faults());
+        assert!(!back.tile_alive(TileId::new(4)));
     }
 
     #[test]

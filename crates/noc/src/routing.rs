@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::fault::FaultSet;
 use crate::tile::{Coord, TileId};
 use crate::topology::{Link, TopologySpec};
 use crate::PlatformError;
@@ -143,27 +144,7 @@ pub fn compute_routes(
         .collect();
 
     let tile_path_to_links =
-        |src: TileId, dst: TileId, path: &[TileId]| -> Result<Vec<LinkId>, PlatformError> {
-            if path.first() != Some(&src) || path.last() != Some(&dst) {
-                return Err(PlatformError::InvalidRoute {
-                    src,
-                    dst,
-                    reason: "path endpoints do not match the pair".into(),
-                });
-            }
-            path.windows(2)
-                .map(|w| {
-                    link_index
-                        .get(&Link::new(w[0], w[1]))
-                        .copied()
-                        .ok_or_else(|| PlatformError::InvalidRoute {
-                            src,
-                            dst,
-                            reason: format!("no link {} -> {}", w[0], w[1]),
-                        })
-                })
-                .collect()
-        };
+        |src: TileId, dst: TileId, path: &[TileId]| path_to_links(src, dst, path, &link_index);
 
     let mut routes: Vec<Vec<Vec<LinkId>>> = vec![vec![Vec::new(); n]; n];
 
@@ -236,6 +217,210 @@ pub fn compute_routes(
         }
     }
     Ok(routes)
+}
+
+/// Converts a tile-by-tile path into link ids, validating endpoints and
+/// link existence.
+fn path_to_links(
+    src: TileId,
+    dst: TileId,
+    path: &[TileId],
+    link_index: &HashMap<Link, LinkId>,
+) -> Result<Vec<LinkId>, PlatformError> {
+    if path.first() != Some(&src) || path.last() != Some(&dst) {
+        return Err(PlatformError::InvalidRoute {
+            src,
+            dst,
+            reason: "path endpoints do not match the pair".into(),
+        });
+    }
+    path.windows(2)
+        .map(|w| {
+            link_index
+                .get(&Link::new(w[0], w[1]))
+                .copied()
+                .ok_or_else(|| PlatformError::InvalidRoute {
+                    src,
+                    dst,
+                    reason: format!("no link {} -> {}", w[0], w[1]),
+                })
+        })
+        .collect()
+}
+
+/// Like [`compute_routes`], but detours around the resources listed in
+/// `faults`.
+///
+/// Pairs whose primary route (dimension-ordered path or table entry)
+/// survives the faults keep it unchanged. Severed pairs fall back to a
+/// per-pair detour computed on the residual (fault-free) graph: on
+/// meshes a **west-first turn-model** path is preferred (deadlock-free
+/// under wormhole routing), with a plain deterministic shortest path as
+/// the last resort when the turn model cannot reach the destination.
+/// Pairs involving a failed tile keep an empty route: a dead tile hosts
+/// no tasks, so no traffic may originate or terminate there (schedulers
+/// mask such PEs; [`crate::Platform::tile_alive`] exposes the mask).
+///
+/// # Errors
+///
+/// Everything [`compute_routes`] returns, plus
+/// [`PlatformError::Disconnected`] when two *alive* tiles have no
+/// residual path between them.
+#[allow(clippy::needless_range_loop)] // routes[s][d] is clearest with dual indices
+pub fn compute_routes_with_faults(
+    topology: &TopologySpec,
+    routing: &RoutingSpec,
+    coords: &[Coord],
+    links: &[Link],
+    faults: &FaultSet,
+) -> Result<Vec<Vec<Vec<LinkId>>>, PlatformError> {
+    if faults.is_empty() {
+        return compute_routes(topology, routing, coords, links);
+    }
+    let n = coords.len();
+    let link_index: HashMap<Link, LinkId> = links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (*l, LinkId::new(i as u32)))
+        .collect();
+
+    // Residual adjacency: only links usable despite the faults.
+    let mut adjacency: Vec<Vec<TileId>> = vec![Vec::new(); n];
+    for l in links {
+        if !faults.blocks_link(*l) {
+            adjacency[l.src.index()].push(l.dst);
+        }
+    }
+    for adj in &mut adjacency {
+        adj.sort();
+    }
+
+    let grid = match topology {
+        TopologySpec::Mesh2d { cols, rows } => Some((*cols, *rows, false)),
+        TopologySpec::Torus2d { cols, rows } => Some((*cols, *rows, true)),
+        _ => None,
+    };
+    if matches!(routing, RoutingSpec::Xy | RoutingSpec::Yx) && grid.is_none() {
+        return Err(PlatformError::IncompatibleRouting {
+            routing: routing.name(),
+            topology: topology.to_string(),
+        });
+    }
+    let path_alive = |path: &[TileId]| {
+        path.windows(2)
+            .all(|w| !faults.blocks_link(Link::new(w[0], w[1])))
+    };
+
+    let mut routes: Vec<Vec<Vec<LinkId>>> = vec![vec![Vec::new(); n]; n];
+    for s in 0..n {
+        let src = TileId::new(s as u32);
+        if faults.tile_failed(src) {
+            continue;
+        }
+        let parents = bfs_parents(src, &adjacency);
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let dst = TileId::new(d as u32);
+            if faults.tile_failed(dst) {
+                continue;
+            }
+            let primary: Option<Vec<TileId>> = match routing {
+                RoutingSpec::Xy | RoutingSpec::Yx => {
+                    let (cols, rows, wrap) = grid.expect("grids checked above");
+                    let x_first = matches!(routing, RoutingSpec::Xy);
+                    Some(dimension_ordered_path(
+                        coords[s], coords[d], cols, rows, wrap, x_first,
+                    ))
+                }
+                RoutingSpec::ShortestPath => None,
+                RoutingSpec::Table(table) => Some(
+                    table
+                        .get(src, dst)
+                        .ok_or_else(|| PlatformError::InvalidRoute {
+                            src,
+                            dst,
+                            reason: "missing routing table entry".into(),
+                        })?
+                        .to_vec(),
+                ),
+            };
+            let path = match primary {
+                Some(p) if path_alive(&p) => p,
+                _ => {
+                    let turn_model = match grid {
+                        Some((_, _, false)) => west_first_path(src, dst, coords, &adjacency),
+                        _ => None,
+                    };
+                    match turn_model {
+                        Some(p) => p,
+                        None => reconstruct_path(src, dst, &parents)
+                            .ok_or(PlatformError::Disconnected { src, dst })?,
+                    }
+                }
+            };
+            routes[s][d] = path_to_links(src, dst, &path, &link_index)?;
+        }
+    }
+    Ok(routes)
+}
+
+/// West-first turn-model path on a mesh: every westward hop must precede
+/// the first non-westward hop, which keeps the fallback routes
+/// deadlock-free under wormhole switching (Glass & Ni). Breadth-first
+/// over `(tile, phase)` states with sorted neighbour order, so the
+/// result is deterministic and hop-minimal among west-first paths.
+/// Returns `None` when no west-first path survives the faults.
+fn west_first_path(
+    src: TileId,
+    dst: TileId,
+    coords: &[Coord],
+    adjacency: &[Vec<TileId>],
+) -> Option<Vec<TileId>> {
+    let n = adjacency.len();
+    // State: tile * 2 + phase. Phase 0: westward hops still allowed.
+    let state = |t: TileId, phase: usize| t.index() * 2 + phase;
+    let mut parent: Vec<Option<usize>> = vec![None; 2 * n];
+    let mut visited = vec![false; 2 * n];
+    let start = state(src, 0);
+    visited[start] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    let mut goal = None;
+    'bfs: while let Some(cur) = queue.pop_front() {
+        let (tile, phase) = (TileId::new((cur / 2) as u32), cur % 2);
+        for &next in &adjacency[tile.index()] {
+            let west = coords[next.index()].x < coords[tile.index()].x;
+            let next_phase = if west {
+                if phase == 1 {
+                    continue; // no west turns after leaving phase 0
+                }
+                0
+            } else {
+                1
+            };
+            let ns = state(next, next_phase);
+            if visited[ns] {
+                continue;
+            }
+            visited[ns] = true;
+            parent[ns] = Some(cur);
+            if next == dst {
+                goal = Some(ns);
+                break 'bfs; // BFS: first arrival is hop-minimal
+            }
+            queue.push_back(ns);
+        }
+    }
+    let mut cur = goal?;
+    let mut rev = vec![TileId::new((cur / 2) as u32)];
+    while let Some(p) = parent[cur] {
+        cur = p;
+        rev.push(TileId::new((cur / 2) as u32));
+    }
+    rev.reverse();
+    Some(rev)
 }
 
 /// Dimension-ordered path on a (possibly wrapping) grid, as tile ids.
@@ -458,6 +643,129 @@ mod tests {
         );
         let err = compute_routes(&topo, &RoutingSpec::Table(table), &coords, &links).unwrap_err();
         assert!(matches!(err, PlatformError::InvalidRoute { .. }));
+    }
+
+    #[test]
+    fn empty_fault_set_reproduces_plain_routes() {
+        let topo = TopologySpec::mesh(4, 4);
+        let coords = topo.coords();
+        let links = topo.links();
+        let plain = compute_routes(&topo, &RoutingSpec::Xy, &coords, &links).unwrap();
+        let faulted =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &FaultSet::new())
+                .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn unaffected_pairs_keep_their_xy_route() {
+        let topo = TopologySpec::mesh(4, 4);
+        let coords = topo.coords();
+        let links = topo.links();
+        let plain = compute_routes(&topo, &RoutingSpec::Xy, &coords, &links).unwrap();
+        // Kill the 0-1 channel: only routes crossing it may change.
+        let faults = FaultSet::parse("link:0-1").unwrap();
+        let faulted =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        let crosses = |route: &[LinkId]| {
+            route.iter().any(|l| {
+                let link = links[l.index()];
+                faults.blocks_link(link)
+            })
+        };
+        for s in 0..16 {
+            for d in 0..16 {
+                if !crosses(&plain[s][d]) {
+                    assert_eq!(plain[s][d], faulted[s][d], "pair {s}->{d} must not change");
+                }
+                assert!(!crosses(&faulted[s][d]), "pair {s}->{d} uses a dead link");
+            }
+        }
+    }
+
+    #[test]
+    fn severed_pair_detours_around_dead_link() {
+        let topo = TopologySpec::mesh(4, 4);
+        let coords = topo.coords();
+        let links = topo.links();
+        let faults = FaultSet::parse("link:0-1").unwrap();
+        let routes =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        // 0 -> 1 must still be reachable, now via a detour (> 1 hop).
+        assert!(routes[0][1].len() > 1);
+        let first = links[routes[0][1][0].index()];
+        assert_eq!(first.src, TileId::new(0));
+    }
+
+    #[test]
+    fn dead_tile_pairs_have_empty_routes() {
+        let topo = TopologySpec::mesh(3, 3);
+        let coords = topo.coords();
+        let links = topo.links();
+        let faults = FaultSet::parse("tile:4").unwrap(); // mesh centre
+        let routes =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        for d in 0..9 {
+            assert!(routes[4][d].is_empty());
+            assert!(routes[d][4].is_empty());
+        }
+        // Alive pairs previously routed through the centre detour around it.
+        assert!(!routes[3][5].is_empty());
+        for l in &routes[3][5] {
+            let link = links[l.index()];
+            assert_ne!(link.src, TileId::new(4));
+            assert_ne!(link.dst, TileId::new(4));
+        }
+    }
+
+    #[test]
+    fn disconnected_alive_pair_is_a_typed_error() {
+        // 3x1 line: killing the middle tile disconnects 0 from 2.
+        let topo = TopologySpec::mesh(3, 1);
+        let coords = topo.coords();
+        let links = topo.links();
+        let faults = FaultSet::parse("tile:1").unwrap();
+        let err = compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults)
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn fault_detours_are_deterministic() {
+        let topo = TopologySpec::mesh(4, 4);
+        let coords = topo.coords();
+        let links = topo.links();
+        let faults = FaultSet::parse("tile:5,link:2-6").unwrap();
+        let a =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        let b =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn west_first_detour_keeps_west_hops_first() {
+        // Kill 1-2 on the top row of a 4x4 mesh: the XY route 1 -> 3 is
+        // severed and must detour; whatever path is chosen, all westward
+        // hops (x decreasing) must precede the first non-westward hop.
+        let topo = TopologySpec::mesh(4, 4);
+        let coords = topo.coords();
+        let links = topo.links();
+        let faults = FaultSet::parse("link:1-2").unwrap();
+        let routes =
+            compute_routes_with_faults(&topo, &RoutingSpec::Xy, &coords, &links, &faults).unwrap();
+        let route = &routes[1][3];
+        assert!(route.len() > 2, "detour expected, got {route:?}");
+        let mut seen_non_west = false;
+        for l in route {
+            let link = links[l.index()];
+            let west = coords[link.dst.index()].x < coords[link.src.index()].x;
+            if west {
+                assert!(!seen_non_west, "westward hop after a non-west hop");
+            } else {
+                seen_non_west = true;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property-based tests of the fault-aware routing layer: fault-aware
+//! routes never traverse a failed link or tile, route computation on a
+//! connected residual mesh always succeeds, and disconnected pairs
+//! surface as the typed [`PlatformError::Disconnected`] — never a panic.
+
+use proptest::prelude::*;
+
+use noc_platform::fault::FaultSet;
+use noc_platform::prelude::*;
+use noc_platform::topology::TopologySpec as Topo;
+
+/// Ground truth the platform builder must agree with: BFS connectivity
+/// of the residual (post-fault) graph restricted to alive tiles.
+fn residual_connected(topo: &Topo, faults: &FaultSet) -> bool {
+    let n = topo.tile_count();
+    let links = topo.links();
+    let alive: Vec<TileId> = (0..n as u32)
+        .map(TileId::new)
+        .filter(|&t| !faults.tile_failed(t))
+        .collect();
+    let Some(&start) = alive.first() else {
+        return false;
+    };
+    let mut adj: Vec<Vec<TileId>> = vec![Vec::new(); n];
+    for l in &links {
+        if !faults.blocks_link(*l) {
+            adj[l.src.index()].push(l.dst);
+        }
+    }
+    let mut seen = vec![false; n];
+    seen[start.index()] = true;
+    let mut stack = vec![start];
+    while let Some(t) = stack.pop() {
+        for &next in &adj[t.index()] {
+            if !seen[next.index()] {
+                seen[next.index()] = true;
+                stack.push(next);
+            }
+        }
+    }
+    alive.iter().all(|t| seen[t.index()])
+}
+
+fn fault_set(topo: &Topo, tile_picks: &[u32], chan_picks: &[u32]) -> FaultSet {
+    let n = topo.tile_count() as u32;
+    let links = topo.links();
+    let mut faults = FaultSet::new();
+    for &t in tile_picks {
+        faults.fail_tile(TileId::new(t % n));
+    }
+    for &c in chan_picks {
+        let l = links[c as usize % links.len()];
+        faults.fail_channel(l.src, l.dst);
+    }
+    faults
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_aware_routes_avoid_dead_resources_and_never_panic(
+        cols in 2u16..5, rows in 2u16..5,
+        tile_picks in prop::collection::vec(0u32..1024, 0..3),
+        chan_picks in prop::collection::vec(0u32..4096, 0..4),
+    ) {
+        let topo = Topo::mesh(cols, rows);
+        let faults = fault_set(&topo, &tile_picks, &chan_picks);
+        let connected = residual_connected(&topo, &faults);
+        let result = Platform::builder()
+            .topology(topo.clone())
+            .faults(faults.clone())
+            .build();
+        match result {
+            Ok(p) => {
+                prop_assert!(connected, "build succeeded on a disconnected residual");
+                for s in p.tiles() {
+                    for d in p.tiles() {
+                        // Never a dead resource on any route.
+                        for &l in p.route(s, d) {
+                            prop_assert!(
+                                p.link_alive(l),
+                                "route {s}->{d} crosses dead link {l}"
+                            );
+                        }
+                        // Every alive pair is routed.
+                        if s != d && p.tile_alive(s) && p.tile_alive(d) {
+                            prop_assert!(!p.route(s, d).is_empty(), "{s}->{d} unrouted");
+                        }
+                    }
+                }
+            }
+            Err(PlatformError::Disconnected { .. }) => {
+                prop_assert!(!connected, "typed Disconnected on a connected residual");
+            }
+            Err(PlatformError::InvalidFaultSpec(_)) => {
+                // Only legal when the faults killed every tile.
+                prop_assert_eq!(faults.failed_tiles().len(), topo.tile_count());
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn fault_aware_builds_are_deterministic(
+        cols in 2u16..5, rows in 2u16..5,
+        tile_picks in prop::collection::vec(0u32..1024, 0..2),
+        chan_picks in prop::collection::vec(0u32..4096, 0..3),
+    ) {
+        let topo = Topo::mesh(cols, rows);
+        let faults = fault_set(&topo, &tile_picks, &chan_picks);
+        let build = || Platform::builder()
+            .topology(topo.clone())
+            .faults(faults.clone())
+            .build();
+        match (build(), build()) {
+            (Ok(a), Ok(b)) => {
+                for s in a.tiles() {
+                    for d in a.tiles() {
+                        prop_assert_eq!(a.route(s, d), b.route(s, d));
+                    }
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "one build succeeded, the other failed"),
+        }
+    }
+}

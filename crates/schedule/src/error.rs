@@ -66,6 +66,22 @@ pub enum ScheduleError {
         /// The violated edge.
         edge: EdgeId,
     },
+    /// A task is placed on a PE masked out by the platform's
+    /// [`noc_platform::fault::FaultSet`].
+    TaskOnFailedPe {
+        /// The misplaced task.
+        task: TaskId,
+        /// The dead PE it was placed on.
+        pe: PeId,
+    },
+    /// A transaction's route traverses a link masked out by the
+    /// platform's [`noc_platform::fault::FaultSet`].
+    TransactionOverFailedLink {
+        /// The offending transaction.
+        edge: EdgeId,
+        /// The dead link on its route.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -104,6 +120,12 @@ impl fmt::Display for ScheduleError {
             }
             ScheduleError::DependencyViolation { edge } => {
                 write!(f, "dependency {edge} violated: consumer starts too early")
+            }
+            ScheduleError::TaskOnFailedPe { task, pe } => {
+                write!(f, "task {task} is placed on failed {pe}")
+            }
+            ScheduleError::TransactionOverFailedLink { edge, link } => {
+                write!(f, "transaction {edge} crosses failed link {link}")
             }
         }
     }

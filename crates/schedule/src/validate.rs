@@ -8,9 +8,12 @@
 //!    link do not overlap in time,
 //! 3. **dependencies**: a consumer starts only after each producer has
 //!    finished and (for remote data edges) the transaction has arrived,
-//! 4. **deadlines**: constrained tasks finish by their deadline.
+//! 4. **fault masks**: no task sits on a failed PE and no transaction
+//!    crosses a failed link of the platform's
+//!    [`noc_platform::fault::FaultSet`],
+//! 5. **deadlines**: constrained tasks finish by their deadline.
 //!
-//! Violations of 1–3 are hard errors ([`crate::ScheduleError`]); deadline
+//! Violations of 1–4 are hard errors ([`crate::ScheduleError`]); deadline
 //! misses are reported in the [`ValidationReport`] because the paper's
 //! EAS-base legitimately produces them (they are then repaired in
 //! Step 3).
@@ -118,6 +121,9 @@ pub fn validate(
         if p.pe.index() >= platform.tile_count() {
             return Err(ScheduleError::UnplacedTask(t));
         }
+        if !platform.pe_alive(p.pe) {
+            return Err(ScheduleError::TaskOnFailedPe { task: t, pe: p.pe });
+        }
         let exec = graph.task(t).exec_time(p.pe);
         if p.start + exec != p.finish {
             return Err(ScheduleError::InconsistentTaskTiming(t));
@@ -155,6 +161,12 @@ pub fn validate(
                 return Err(ScheduleError::DependencyViolation { edge: e });
             }
             continue;
+        }
+        if let Some(&dead) = comm.route.iter().find(|&&l| !platform.link_alive(l)) {
+            return Err(ScheduleError::TransactionOverFailedLink {
+                edge: e,
+                link: dead,
+            });
         }
         let expected = platform.route(producer.pe.tile(), consumer.pe.tile());
         if comm.route != expected {
@@ -400,6 +412,94 @@ mod tests {
             validate(&s, &g, &p),
             Err(ScheduleError::TransactionOverlap { .. })
         ));
+    }
+
+    fn faulted_platform(faults: &str) -> Platform {
+        Platform::builder()
+            .topology(TopologySpec::mesh(2, 2))
+            .link_bandwidth(32.0)
+            .faults(FaultSet::parse(faults).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn task_on_failed_pe_is_detected() {
+        let p = faulted_platform("tile:1");
+        let g = graph();
+        // Schedule planned for the pristine platform places task b on the
+        // now-dead PE 1.
+        let s = remote_ok_schedule(&platform());
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::TaskOnFailedPe { pe, .. }) if pe == PeId::new(1)
+        ));
+    }
+
+    #[test]
+    fn transaction_over_failed_link_is_detected() {
+        // Kill the 0<->1 channel: tiles stay alive and the mesh stays
+        // connected (detour through tiles 2 and 3), but the pristine
+        // schedule's transaction still uses the direct dead link.
+        let p = faulted_platform("link:0-1");
+        let g = graph();
+        let s = remote_ok_schedule(&platform());
+        assert!(matches!(
+            validate(&s, &g, &p),
+            Err(ScheduleError::TransactionOverFailedLink { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_misses_accumulate_tardiness() {
+        let p = platform();
+        let mut b = TaskGraph::builder("g3", 4);
+        let a = b.add_task(
+            Task::uniform("a", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(50)),
+        );
+        let c = b.add_task(
+            Task::uniform("c", 4, Time::new(100), Energy::from_nj(1.0))
+                .with_deadline(Time::new(180)),
+        );
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        let g = b.build().unwrap();
+        let s = remote_ok_schedule(&p);
+        let report = validate(&s, &g, &p).expect("structurally valid");
+        // a finishes at 100 against 50 (+50); c at 210 against 180 (+30).
+        assert_eq!(report.deadline_misses.len(), 2);
+        assert_eq!(report.total_tardiness(), Time::new(80));
+        assert_eq!(report.badness(), (2, Time::new(80)));
+        assert!(!report.meets_deadlines());
+    }
+
+    #[test]
+    fn back_to_back_link_reservations_are_legal() {
+        // Two transactions on the same link where one starts exactly when
+        // the other finishes: half-open intervals must not collide.
+        let p = platform();
+        let mut b = TaskGraph::builder("g4", 4);
+        let a = b.add_task(Task::uniform("a", 4, Time::new(10), Energy::from_nj(1.0)));
+        let c = b.add_task(Task::uniform("c", 4, Time::new(10), Energy::from_nj(1.0)));
+        let x = b.add_task(Task::uniform("x", 4, Time::new(10), Energy::from_nj(1.0)));
+        let y = b.add_task(Task::uniform("y", 4, Time::new(10), Energy::from_nj(1.0)));
+        b.add_edge(a, c, Volume::from_bits(320)).unwrap();
+        b.add_edge(x, y, Volume::from_bits(320)).unwrap();
+        let g = b.build().unwrap();
+        let route = p.route(TileId::new(0), TileId::new(1)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(10)),
+                TaskPlacement::new(PeId::new(1), Time::new(20), Time::new(30)),
+                TaskPlacement::new(PeId::new(0), Time::new(10), Time::new(20)),
+                TaskPlacement::new(PeId::new(1), Time::new(30), Time::new(40)),
+            ],
+            vec![
+                CommPlacement::new(route.clone(), Time::new(10), Time::new(20)),
+                CommPlacement::new(route, Time::new(20), Time::new(30)),
+            ],
+        );
+        assert!(validate(&s, &g, &p).is_ok());
     }
 
     #[test]

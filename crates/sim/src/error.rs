@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use noc_platform::tile::TileId;
+use noc_platform::topology::Link;
 
 /// Errors produced by the simulator layers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -9,6 +10,8 @@ use noc_platform::tile::TileId;
 pub enum SimError {
     /// A message references a tile outside the simulated platform.
     UnknownTile(TileId),
+    /// An injected fault references a link the platform does not have.
+    UnknownLink(Link),
     /// The executor was given a schedule whose shape does not match the
     /// task graph.
     ShapeMismatch {
@@ -27,6 +30,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownTile(t) => write!(f, "message references unknown tile {t}"),
+            SimError::UnknownLink(l) => write!(f, "fault references unknown link {l}"),
             SimError::ShapeMismatch {
                 schedule_tasks,
                 graph_tasks,

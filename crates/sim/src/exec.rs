@@ -10,14 +10,17 @@
 //! the schedule-table model (pipeline-fill latency, arbitration order)
 //! and confirms the schedule executes without deadline surprises.
 
+use noc_ctg::edge::EdgeId;
 use noc_ctg::task::TaskId;
 use noc_ctg::TaskGraph;
+use noc_platform::routing::LinkId;
 use noc_platform::tile::PeId;
 use noc_platform::units::Time;
 use noc_platform::Platform;
 use noc_schedule::Schedule;
 
 use crate::config::SimConfig;
+use crate::fault::{FaultKind, FaultedTrace, InjectedFault};
 use crate::message::{Message, MessageId};
 use crate::network::NetworkSim;
 use crate::SimError;
@@ -254,6 +257,319 @@ impl<'a> ScheduleExecutor<'a> {
             deadline_misses,
         })
     }
+
+    /// Executes `schedule` while permanent faults strike mid-run; see
+    /// [`crate::fault`] for the fault semantics.
+    ///
+    /// Tasks and transactions unaffected by the faults run exactly as in
+    /// [`execute`](Self::execute). Everything downstream of a dead
+    /// resource — the task killed on a dying PE, messages severed in
+    /// flight or routed over a dead link, and every consumer starved of
+    /// an input, transitively — is reported as *stranded* instead of
+    /// deadlocking the executor. The run is fully deterministic for a
+    /// given fault list.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ShapeMismatch`] if the schedule does not match the
+    ///   graph,
+    /// * [`SimError::UnknownTile`] / [`SimError::UnknownLink`] if a
+    ///   fault references a resource the platform does not have,
+    /// * [`SimError::ExecutorDeadlock`] as in [`execute`](Self::execute).
+    pub fn execute_with_faults(
+        &self,
+        schedule: &Schedule,
+        faults: &[InjectedFault],
+    ) -> Result<FaultedTrace, SimError> {
+        let graph = self.graph;
+        if schedule.task_count() != graph.task_count() {
+            return Err(SimError::ShapeMismatch {
+                schedule_tasks: schedule.task_count(),
+                graph_tasks: graph.task_count(),
+            });
+        }
+
+        // Resolve every fault to the links it severs up front (a PE
+        // fault takes the tile's router down: all adjacent links die
+        // with it). Stable sort keeps same-tick faults in caller order.
+        let mut timeline: Vec<(Time, Option<usize>, Vec<LinkId>)> = Vec::new();
+        for f in faults {
+            match f.kind {
+                FaultKind::Pe(pe) => {
+                    if pe.index() >= self.platform.tile_count() {
+                        return Err(SimError::UnknownTile(pe.tile()));
+                    }
+                    let tile = pe.tile();
+                    let links = self
+                        .platform
+                        .links()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, l)| l.src == tile || l.dst == tile)
+                        .map(|(i, _)| LinkId::new(i as u32))
+                        .collect();
+                    timeline.push((f.at, Some(pe.index()), links));
+                }
+                FaultKind::Link(link) => {
+                    let idx = self
+                        .platform
+                        .links()
+                        .binary_search(&link)
+                        .map_err(|_| SimError::UnknownLink(link))?;
+                    timeline.push((f.at, None, vec![LinkId::new(idx as u32)]));
+                }
+            }
+        }
+        timeline.sort_by_key(|&(at, _, _)| at);
+        let mut next_fault = 0usize;
+
+        // Stranding a task starves every consumer downstream of it.
+        // `done` counts settled (finished or stranded) tasks; a task
+        // killed mid-run was already counted when it started.
+        fn strand_closure(
+            graph: &TaskGraph,
+            seed: TaskId,
+            started: &[Option<Time>],
+            edge_injected: &[bool],
+            task_stranded: &mut [bool],
+            edge_stranded: &mut [bool],
+            done: &mut usize,
+        ) {
+            let mut work = vec![seed];
+            while let Some(t) = work.pop() {
+                if task_stranded[t.index()] {
+                    continue;
+                }
+                task_stranded[t.index()] = true;
+                if started[t.index()].is_none() {
+                    *done += 1;
+                }
+                for &e in graph.outgoing(t) {
+                    if !edge_injected[e.index()] {
+                        edge_stranded[e.index()] = true;
+                    }
+                    work.push(graph.edge(e).dst);
+                }
+            }
+        }
+
+        let n = graph.task_count();
+        let queues: Vec<Vec<TaskId>> = self
+            .platform
+            .pes()
+            .map(|pe| schedule.tasks_on(pe))
+            .collect();
+        let mut ptr = vec![0usize; queues.len()];
+        let mut pe_busy_until = vec![Time::ZERO; queues.len()];
+        let mut pe_dead = vec![false; queues.len()];
+
+        let mut started: Vec<Option<Time>> = vec![None; n];
+        let mut finished: Vec<Option<Time>> = vec![None; n];
+        let mut task_stranded = vec![false; n];
+        let mut edge_msg: Vec<Option<MessageId>> = vec![None; graph.edge_count()];
+        let mut edge_injected = vec![false; graph.edge_count()];
+        let mut edge_stranded = vec![false; graph.edge_count()];
+
+        let mut network = NetworkSim::new(self.platform, self.config);
+        let mut now = Time::ZERO;
+        let mut done = 0usize;
+        let horizon_guard = Time::new(1 << 40);
+
+        while done < n {
+            // 0. Activate faults due now. Survival is judged against the
+            //    activation instant `at`, not `now`: a task that finished
+            //    at or before `at` keeps its outputs.
+            while next_fault < timeline.len() && timeline[next_fault].0 <= now {
+                let (at, dead_pe, links) = timeline[next_fault].clone();
+                next_fault += 1;
+                if let Some(p) = dead_pe {
+                    if !pe_dead[p] {
+                        pe_dead[p] = true;
+                        let seeds: Vec<TaskId> = queues[p]
+                            .iter()
+                            .copied()
+                            .filter(|&t| {
+                                !task_stranded[t.index()]
+                                    && finished[t.index()].is_none_or(|f| f > at)
+                            })
+                            .collect();
+                        for t in seeds {
+                            // A task killed mid-run loses its finish.
+                            finished[t.index()] = None;
+                            strand_closure(
+                                graph,
+                                t,
+                                &started,
+                                &edge_injected,
+                                &mut task_stranded,
+                                &mut edge_stranded,
+                                &mut done,
+                            );
+                        }
+                        ptr[p] = queues[p].len();
+                    }
+                }
+                for l in links {
+                    for id in network.fail_link(l) {
+                        // Find the edge whose message was severed and
+                        // starve its consumer.
+                        let e = graph
+                            .edge_ids()
+                            .find(|&e| edge_msg[e.index()] == Some(id))
+                            .expect("every injected message carries an edge");
+                        edge_stranded[e.index()] = true;
+                        strand_closure(
+                            graph,
+                            graph.edge(e).dst,
+                            &started,
+                            &edge_injected,
+                            &mut task_stranded,
+                            &mut edge_stranded,
+                            &mut done,
+                        );
+                    }
+                }
+            }
+
+            // 1. Inject transactions of tasks finishing at `now`. A
+            //    message routed over an already-dead link strands at
+            //    injection, starving its consumer.
+            for t in graph.task_ids() {
+                if finished[t.index()] != Some(now) {
+                    continue;
+                }
+                for &e in graph.outgoing(t) {
+                    if edge_injected[e.index()] {
+                        continue;
+                    }
+                    edge_injected[e.index()] = true;
+                    let edge = graph.edge(e);
+                    let src = schedule.task(edge.src).pe.tile();
+                    let dst = schedule.task(edge.dst).pe.tile();
+                    if src == dst || edge.volume.is_zero() {
+                        continue;
+                    }
+                    let id =
+                        network.inject_on(self.platform, Message::new(src, dst, edge.volume, now));
+                    edge_msg[e.index()] = Some(id);
+                    if network.stranded(id) {
+                        edge_stranded[e.index()] = true;
+                        strand_closure(
+                            graph,
+                            edge.dst,
+                            &started,
+                            &edge_injected,
+                            &mut task_stranded,
+                            &mut edge_stranded,
+                            &mut done,
+                        );
+                    }
+                }
+            }
+
+            // 2. Start tasks on alive PEs whose turn has come.
+            let mut progressed = false;
+            for (pe_idx, queue) in queues.iter().enumerate() {
+                if pe_dead[pe_idx] {
+                    continue;
+                }
+                // Stranded tasks never run: skip them in queue order.
+                while ptr[pe_idx] < queue.len() && task_stranded[queue[ptr[pe_idx]].index()] {
+                    ptr[pe_idx] += 1;
+                }
+                if ptr[pe_idx] >= queue.len() || pe_busy_until[pe_idx] > now {
+                    continue;
+                }
+                let t = queue[ptr[pe_idx]];
+                if started[t.index()].is_some() {
+                    continue;
+                }
+                let ready = graph.incoming(t).iter().all(|&e| {
+                    let edge = graph.edge(e);
+                    match finished[edge.src.index()] {
+                        None => false,
+                        Some(f) => match edge_msg[e.index()] {
+                            None => f <= now,
+                            Some(m) => network.completion(m).is_some_and(|c| c <= now),
+                        },
+                    }
+                });
+                if !ready {
+                    continue;
+                }
+                let exec = graph.task(t).exec_time(PeId::new(pe_idx as u32));
+                started[t.index()] = Some(now);
+                finished[t.index()] = Some(now + exec);
+                pe_busy_until[pe_idx] = now + exec;
+                ptr[pe_idx] += 1;
+                done += 1;
+                progressed = true;
+            }
+
+            // 3. Advance time: tick the network, or fast-forward to the
+            //    next finish *or fault activation* when it is idle.
+            let network_active = network.tick();
+            if !network_active && !progressed {
+                let next_finish = finished
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .filter(|&f| f > now)
+                    .min();
+                let next_fault_at = timeline
+                    .get(next_fault)
+                    .map(|&(at, _, _)| at)
+                    .filter(|&at| at > now);
+                let next = match (next_finish, next_fault_at) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                match next {
+                    Some(f) => now = f,
+                    None => {
+                        if done < n {
+                            return Err(SimError::ExecutorDeadlock);
+                        }
+                    }
+                }
+            } else {
+                now += Time::new(1);
+            }
+            if now > horizon_guard {
+                return Err(SimError::ExecutorDeadlock);
+            }
+            while network.now() < now {
+                network.tick();
+            }
+        }
+
+        let stranded_tasks: Vec<TaskId> = graph
+            .task_ids()
+            .filter(|&t| task_stranded[t.index()])
+            .collect();
+        let stranded_edges: Vec<EdgeId> = graph
+            .edge_ids()
+            .filter(|&e| edge_stranded[e.index()])
+            .collect();
+        let makespan = finished
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO);
+        let mut trace = FaultedTrace {
+            start: started,
+            finish: finished,
+            stranded_tasks,
+            stranded_edges,
+            makespan,
+            deadline_misses: Vec::new(),
+            deadline_total: 0,
+            deadline_met: 0,
+        };
+        trace.account_deadlines(graph);
+        Ok(trace)
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +702,144 @@ mod tests {
             ScheduleExecutor::new(&g, &p, SimConfig::default())
                 .execute_with_exec_times(&s, Some(&bad)),
             Err(SimError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_free_faulted_run_matches_plain_execute() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let exec = ScheduleExecutor::new(&g, &p, SimConfig::default());
+        let plain = exec.execute(&s).unwrap();
+        let faulted = exec.execute_with_faults(&s, &[]).unwrap();
+        assert_eq!(
+            faulted.finish,
+            plain.finish.iter().copied().map(Some).collect::<Vec<_>>()
+        );
+        assert!(faulted.stranded_tasks.is_empty());
+        assert!(faulted.stranded_edges.is_empty());
+        assert_eq!(faulted.makespan, plain.makespan);
+        assert!(faulted.meets_deadlines());
+    }
+
+    #[test]
+    fn pe_fault_strands_running_task_and_descendants() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_faults(&s, &[InjectedFault::pe(Time::new(50), PeId::new(0))])
+            .unwrap();
+        // a dies mid-run at t=50; c starves on a's output.
+        assert_eq!(trace.start[0], Some(Time::ZERO));
+        assert_eq!(trace.finish[0], None);
+        assert_eq!(trace.finish[1], None);
+        assert_eq!(trace.stranded_tasks, vec![TaskId::new(0), TaskId::new(1)]);
+        assert_eq!(trace.stranded_edges.len(), 1);
+        assert_eq!(trace.completed(), 0);
+        assert_eq!(trace.met_fraction(), 0.0);
+        assert_eq!(trace.makespan, Time::ZERO);
+    }
+
+    #[test]
+    fn pe_fault_after_finish_spares_delivered_work() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        // a finished at 100 and its message delivered at 110; killing
+        // PE 0 at 150 changes nothing downstream.
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_faults(&s, &[InjectedFault::pe(Time::new(150), PeId::new(0))])
+            .unwrap();
+        assert_eq!(trace.finish[0], Some(Time::new(100)));
+        assert_eq!(trace.finish[1], Some(Time::new(210)));
+        assert!(trace.stranded_tasks.is_empty());
+        assert!(trace.meets_deadlines());
+    }
+
+    #[test]
+    fn link_fault_before_injection_strands_consumer() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let link = p.link(p.route(TileId::new(0), TileId::new(1))[0]);
+        // The link dies at t=50, before a finishes at 100: a completes,
+        // but its message strands at injection and c starves.
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_faults(&s, &[InjectedFault::link(Time::new(50), link)])
+            .unwrap();
+        assert_eq!(trace.finish[0], Some(Time::new(100)));
+        assert_eq!(trace.finish[1], None);
+        assert_eq!(trace.stranded_tasks, vec![TaskId::new(1)]);
+        assert_eq!(trace.stranded_edges.len(), 1);
+        assert_eq!(trace.makespan, Time::new(100));
+        assert_eq!(trace.met_fraction(), 0.0);
+    }
+
+    #[test]
+    fn transit_tile_death_severs_through_traffic() {
+        let p = platform();
+        let g = chain_graph();
+        // Producer tile 0, consumer tile 3: the XY route transits tile 1,
+        // whose death (with its router) severs the path even though both
+        // endpoint PEs stay alive.
+        let route = p.route(TileId::new(0), TileId::new(3)).to_vec();
+        let s = Schedule::new(
+            vec![
+                TaskPlacement::new(PeId::new(0), Time::ZERO, Time::new(100)),
+                TaskPlacement::new(PeId::new(3), Time::new(110), Time::new(210)),
+            ],
+            vec![CommPlacement::new(route, Time::new(100), Time::new(110))],
+        );
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_faults(&s, &[InjectedFault::pe(Time::new(50), PeId::new(1))])
+            .unwrap();
+        assert_eq!(trace.finish[0], Some(Time::new(100)));
+        assert_eq!(trace.stranded_tasks, vec![TaskId::new(1)]);
+    }
+
+    #[test]
+    fn midflight_link_death_strands_partially_sent_message() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let link = p.link(p.route(TileId::new(0), TileId::new(1))[0]);
+        // The message flies 100..110; kill the link at 105, mid-worm.
+        let trace = ScheduleExecutor::new(&g, &p, SimConfig::default())
+            .execute_with_faults(&s, &[InjectedFault::link(Time::new(105), link)])
+            .unwrap();
+        assert_eq!(trace.finish[0], Some(Time::new(100)));
+        assert_eq!(trace.finish[1], None);
+        assert_eq!(trace.stranded_edges.len(), 1);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let faults = [InjectedFault::pe(Time::new(50), PeId::new(0))];
+        let exec = ScheduleExecutor::new(&g, &p, SimConfig::default());
+        let a = exec.execute_with_faults(&s, &faults).unwrap();
+        let b = exec.execute_with_faults(&s, &faults).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_referencing_unknown_resources_errors() {
+        let p = platform();
+        let g = chain_graph();
+        let s = remote_schedule(&p);
+        let exec = ScheduleExecutor::new(&g, &p, SimConfig::default());
+        assert!(matches!(
+            exec.execute_with_faults(&s, &[InjectedFault::pe(Time::ZERO, PeId::new(99))]),
+            Err(SimError::UnknownTile(_))
+        ));
+        let bogus = noc_platform::topology::Link::new(TileId::new(0), TileId::new(3));
+        assert!(matches!(
+            exec.execute_with_faults(&s, &[InjectedFault::link(Time::ZERO, bogus)]),
+            Err(SimError::UnknownLink(_))
         ));
     }
 

@@ -1,0 +1,183 @@
+//! Dynamic fault injection for schedule execution.
+//!
+//! While `noc_platform::fault::FaultSet` models faults that are *known
+//! before scheduling* (and routed around statically), this module models
+//! faults that strike **mid-execution**: a PE or link that dies at a
+//! fixed instant while a schedule is running. The executor
+//! ([`crate::exec::ScheduleExecutor::execute_with_faults`]) keeps
+//! running whatever is unaffected and reports exactly which tasks and
+//! transactions were *stranded* — the raw material for graceful-
+//! degradation studies (how many deadlines survive k faults, and how
+//! much a fault-aware re-repair recovers).
+//!
+//! Fault semantics follow the platform's static model: a dead tile
+//! takes its router down with it, so a [`FaultKind::Pe`] failure also
+//! severs every link adjacent to the PE's tile (mirroring
+//! `FaultSet::blocks_link`). A [`FaultKind::Link`] failure kills a
+//! single directed channel. All effects are permanent.
+
+use noc_ctg::edge::EdgeId;
+use noc_ctg::task::TaskId;
+use noc_ctg::TaskGraph;
+use noc_platform::tile::PeId;
+use noc_platform::topology::Link;
+use noc_platform::units::Time;
+
+/// The failing resource of one [`InjectedFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// The PE dies, together with its tile's router — every link
+    /// adjacent to the tile is severed too.
+    Pe(PeId),
+    /// A single directed link dies; the tiles stay alive.
+    Link(Link),
+}
+
+/// A permanent resource failure activating at a fixed instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Activation time: the resource is unusable from this tick on.
+    pub at: Time,
+    /// Which resource fails.
+    pub kind: FaultKind,
+}
+
+impl InjectedFault {
+    /// A PE (and router) failure at `at`.
+    #[must_use]
+    pub fn pe(at: Time, pe: PeId) -> Self {
+        InjectedFault {
+            at,
+            kind: FaultKind::Pe(pe),
+        }
+    }
+
+    /// A directed-link failure at `at`.
+    #[must_use]
+    pub fn link(at: Time, link: Link) -> Self {
+        InjectedFault {
+            at,
+            kind: FaultKind::Link(link),
+        }
+    }
+}
+
+/// The realized timing of one *faulted* schedule execution.
+///
+/// Unlike [`crate::exec::ExecutionTrace`], per-task times are optional:
+/// a stranded task never started (or was killed mid-run) and has no
+/// finish. Deadline accounting treats stranded deadline-tasks as
+/// unmet — they appear in neither `deadline_misses` (their tardiness is
+/// unbounded) nor the met count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultedTrace {
+    /// Realized start per task (`None` if it never started).
+    pub start: Vec<Option<Time>>,
+    /// Realized finish per task (`None` if stranded).
+    pub finish: Vec<Option<Time>>,
+    /// Tasks that can never complete: killed on a dead PE, or
+    /// transitively starved of an input, in id order.
+    pub stranded_tasks: Vec<TaskId>,
+    /// Edges whose transaction can never be delivered (message severed
+    /// in flight, routed over a dead link, or never produced), id order.
+    pub stranded_edges: Vec<EdgeId>,
+    /// Latest finish among *completed* tasks.
+    pub makespan: Time,
+    /// Completed tasks that finished past their deadline, with
+    /// tardiness.
+    pub deadline_misses: Vec<(TaskId, Time)>,
+    /// Number of tasks carrying an explicit deadline.
+    pub deadline_total: usize,
+    /// Deadline tasks that completed on time.
+    pub deadline_met: usize,
+}
+
+impl FaultedTrace {
+    /// Number of tasks that ran to completion.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.finish.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Fraction of explicit deadlines met (`1.0` when there are none).
+    #[must_use]
+    pub fn met_fraction(&self) -> f64 {
+        if self.deadline_total == 0 {
+            1.0
+        } else {
+            self.deadline_met as f64 / self.deadline_total as f64
+        }
+    }
+
+    /// `true` when every explicit deadline was met despite the faults.
+    #[must_use]
+    pub fn meets_deadlines(&self) -> bool {
+        self.deadline_met == self.deadline_total
+    }
+
+    /// Tallies deadline bookkeeping from realized finishes.
+    pub(crate) fn account_deadlines(&mut self, graph: &TaskGraph) {
+        self.deadline_total = 0;
+        self.deadline_met = 0;
+        self.deadline_misses.clear();
+        for t in graph.task_ids() {
+            let Some(d) = graph.task(t).deadline() else {
+                continue;
+            };
+            self.deadline_total += 1;
+            match self.finish[t.index()] {
+                Some(f) if f <= d => self.deadline_met += 1,
+                Some(f) => self.deadline_misses.push((t, f - d)),
+                None => {} // stranded: unmet, unbounded tardiness
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_ctg::task::Task;
+    use noc_platform::tile::TileId;
+    use noc_platform::units::Energy;
+
+    #[test]
+    fn constructors_round_trip() {
+        let f = InjectedFault::pe(Time::new(10), PeId::new(2));
+        assert_eq!(f.at, Time::new(10));
+        assert_eq!(f.kind, FaultKind::Pe(PeId::new(2)));
+        let l = Link::new(TileId::new(0), TileId::new(1));
+        assert_eq!(InjectedFault::link(Time::ZERO, l).kind, FaultKind::Link(l));
+    }
+
+    #[test]
+    fn deadline_accounting_separates_met_late_and_stranded() {
+        let mut b = TaskGraph::builder("acct", 1);
+        let mk = |n: &str, d: u64| {
+            Task::uniform(n, 1, Time::new(10), Energy::from_nj(1.0)).with_deadline(Time::new(d))
+        };
+        let met = b.add_task(mk("met", 100));
+        let late = b.add_task(mk("late", 5));
+        let stranded = b.add_task(mk("stranded", 100));
+        let g = b.build().unwrap();
+        let mut trace = FaultedTrace {
+            start: vec![Some(Time::ZERO), Some(Time::ZERO), None],
+            finish: vec![Some(Time::new(10)), Some(Time::new(10)), None],
+            stranded_tasks: vec![stranded],
+            stranded_edges: Vec::new(),
+            makespan: Time::new(10),
+            deadline_misses: Vec::new(),
+            deadline_total: 0,
+            deadline_met: 0,
+        };
+        trace.account_deadlines(&g);
+        assert_eq!(trace.deadline_total, 3);
+        assert_eq!(trace.deadline_met, 1);
+        assert_eq!(trace.deadline_misses, vec![(late, Time::new(5))]);
+        assert!((trace.met_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!trace.meets_deadlines());
+        assert_eq!(trace.completed(), 2);
+        let _ = met;
+    }
+}

@@ -21,6 +21,11 @@
 //!   the realized (dynamic) task times and deadline misses next to the
 //!   static ones.
 //!
+//! A third, orthogonal layer is [`fault`]: permanent PE/link failures
+//! that strike *mid-execution* ([`exec::ScheduleExecutor::execute_with_faults`]),
+//! stranding the affected tasks and messages instead of deadlocking —
+//! the measurement side of the platform's static fault model.
+//!
 //! # Example
 //!
 //! ```
@@ -49,16 +54,19 @@
 mod config;
 mod error;
 pub mod exec;
+pub mod fault;
 pub mod message;
 pub mod network;
 
 pub use config::SimConfig;
 pub use error::SimError;
 pub use exec::{ExecutionTrace, ScheduleExecutor};
+pub use fault::{FaultKind, FaultedTrace, InjectedFault};
 
 /// Convenient glob import of the most commonly used simulator types.
 pub mod prelude {
     pub use crate::exec::{ExecutionTrace, ScheduleExecutor};
+    pub use crate::fault::{FaultKind, FaultedTrace, InjectedFault};
     pub use crate::message::{Message, MessageId};
     pub use crate::network::{MessageStats, NetworkSim};
     pub use crate::SimConfig;

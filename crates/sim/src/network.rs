@@ -39,6 +39,8 @@ struct Worm {
     /// When the head started waiting for its next channel.
     requesting_since: Option<Time>,
     completed_at: Option<Time>,
+    /// Permanently undeliverable: a link on the remaining route failed.
+    stranded: bool,
 }
 
 impl Worm {
@@ -46,9 +48,14 @@ impl Worm {
         self.completed_at.is_some()
     }
 
+    /// Delivered or stranded — either way the network owes it nothing.
+    fn is_settled(&self) -> bool {
+        self.is_done() || self.stranded
+    }
+
     /// `true` if the head flit is ready to request the next channel.
     fn head_waiting(&self) -> bool {
-        if self.is_done() || self.acquired == self.route.len() {
+        if self.is_settled() || self.acquired == self.route.len() {
             return false;
         }
         if self.acquired == 0 {
@@ -68,6 +75,8 @@ pub struct NetworkSim {
     owner: Vec<Option<MessageId>>,
     /// Busy ticks per link (for utilization stats).
     busy: Vec<u64>,
+    /// Links that have permanently failed mid-simulation.
+    dead: Vec<bool>,
 }
 
 impl NetworkSim {
@@ -80,6 +89,7 @@ impl NetworkSim {
             worms: Vec::new(),
             owner: vec![None; platform.link_count()],
             busy: vec![0; platform.link_count()],
+            dead: vec![false; platform.link_count()],
         }
     }
 
@@ -107,6 +117,9 @@ impl NetworkSim {
         } else {
             None
         };
+        // A route crossing an already-failed link can never deliver:
+        // the worm is stranded on arrival rather than deadlocking.
+        let stranded = route.iter().any(|l| self.dead[l.index()]);
         let n = route.len();
         self.worms.push(Worm {
             msg,
@@ -119,6 +132,7 @@ impl NetworkSim {
             ready_at: vec![Time::ZERO; n],
             requesting_since: None,
             completed_at,
+            stranded,
         });
         id
     }
@@ -150,10 +164,69 @@ impl NetworkSim {
         self.worms[id.index()].completed_at
     }
 
-    /// `true` once every injected message has been delivered.
+    /// `true` once every injected message has been delivered (or
+    /// stranded by a link failure — stranded worms are never delivered
+    /// and no longer occupy the network).
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.worms.iter().all(Worm::is_done)
+        self.worms.iter().all(Worm::is_settled)
+    }
+
+    /// `true` if the message was stranded by a link failure and will
+    /// never be delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn stranded(&self, id: MessageId) -> bool {
+        self.worms[id.index()].stranded
+    }
+
+    /// Permanently fails a link, effective immediately.
+    ///
+    /// Every in-flight worm whose *remaining* route crosses the link
+    /// (tail not yet past it) is stranded: it will never complete, and
+    /// all channels it still holds are released so other traffic can
+    /// proceed. Worms whose tail already cleared the link are
+    /// unaffected. Future injections routed over the link strand at
+    /// injection time.
+    ///
+    /// Returns the messages stranded by this failure, in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<MessageId> {
+        assert!(link.index() < self.dead.len(), "unknown link {link}");
+        if self.dead[link.index()] {
+            return Vec::new();
+        }
+        self.dead[link.index()] = true;
+        let mut newly = Vec::new();
+        for (i, w) in self.worms.iter_mut().enumerate() {
+            if w.is_settled() {
+                continue;
+            }
+            let severed = w
+                .route
+                .iter()
+                .enumerate()
+                .any(|(j, &l)| l == link && w.sent[j] < w.flits);
+            if !severed {
+                continue;
+            }
+            w.stranded = true;
+            w.requesting_since = None;
+            newly.push(MessageId::new(i as u32));
+            // Release every channel the dead worm still owns.
+            for (j, &l) in w.route.iter().enumerate().take(w.acquired) {
+                if w.sent[j] < w.flits {
+                    self.owner[l.index()] = None;
+                }
+            }
+        }
+        newly
     }
 
     /// Advances one tick. Returns `true` if anything happened (a grant,
@@ -164,7 +237,7 @@ impl NetworkSim {
 
         // 1. Register channel requests.
         for w in &mut self.worms {
-            if w.msg.inject_at > now || w.is_done() {
+            if w.msg.inject_at > now || w.is_settled() {
                 continue;
             }
             if w.head_waiting() && w.requesting_since.is_none() {
@@ -211,7 +284,7 @@ impl NetworkSim {
         // 3. Flit movement, head links first so freed buffer slots chain.
         for i in 0..self.worms.len() {
             let w = &mut self.worms[i];
-            if w.msg.inject_at > now || w.is_done() || w.acquired == 0 {
+            if w.msg.inject_at > now || w.is_settled() || w.acquired == 0 {
                 continue;
             }
             let last = w.route.len() - 1;
@@ -261,7 +334,7 @@ impl NetworkSim {
         let pending = self
             .worms
             .iter()
-            .any(|w| w.msg.inject_at > now && !w.is_done());
+            .any(|w| w.msg.inject_at > now && !w.is_settled());
         self.now = now + Time::new(1);
         activity || pending
     }
@@ -285,7 +358,7 @@ impl NetworkSim {
                 let next = self
                     .worms
                     .iter()
-                    .filter(|w| !w.is_done() && w.msg.inject_at > self.now)
+                    .filter(|w| !w.is_settled() && w.msg.inject_at > self.now)
                     .map(|w| w.msg.inject_at)
                     .min();
                 match next {
@@ -540,6 +613,68 @@ mod tests {
         let a = sim.inject_on(&p, msg(0, 1, 320, 5));
         assert!(sim.message_stats(a).is_none());
         assert_eq!(sim.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn failed_link_strands_inflight_worm() {
+        let p = platform();
+        let mut sim = NetworkSim::new(&p, SimConfig::default());
+        let id = sim.inject_on(&p, msg(0, 1, 320, 0)); // 10 flits
+        for _ in 0..3 {
+            sim.tick();
+        }
+        let link = p.route(TileId::new(0), TileId::new(1))[0];
+        let stranded = sim.fail_link(link);
+        assert_eq!(stranded, vec![id]);
+        assert!(sim.stranded(id));
+        assert!(sim.is_idle(), "stranded worms no longer occupy the net");
+        assert_eq!(sim.completion(id), None);
+        // Failing the same link again reports nothing new.
+        assert!(sim.fail_link(link).is_empty());
+    }
+
+    #[test]
+    fn failure_after_tail_passed_is_harmless() {
+        let p = platform();
+        let mut sim = NetworkSim::new(&p, SimConfig::default());
+        let id = sim.inject_on(&p, msg(0, 1, 320, 0));
+        sim.run_until_idle();
+        let link = p.route(TileId::new(0), TileId::new(1))[0];
+        assert!(sim.fail_link(link).is_empty());
+        assert_eq!(sim.completion(id), Some(Time::new(10)));
+    }
+
+    #[test]
+    fn stranded_worm_releases_its_channels() {
+        let p = platform();
+        let mut sim = NetworkSim::new(&p, SimConfig::default());
+        // a goes 0 -> 1 -> 3; killing 1->3 mid-flight must free 0->1
+        // so b (injected later over 0->1) still delivers.
+        let a = sim.inject_on(&p, msg(0, 3, 640, 0)); // 20 flits
+        for _ in 0..5 {
+            sim.tick();
+        }
+        let second_hop = p.route(TileId::new(0), TileId::new(3))[1];
+        assert_eq!(sim.fail_link(second_hop), vec![a]);
+        let b = sim.inject_on(&p, msg(0, 1, 320, 6));
+        sim.run_until_idle();
+        assert!(sim.stranded(a));
+        assert_eq!(sim.completion(b), Some(Time::new(16)));
+    }
+
+    #[test]
+    fn injection_over_dead_link_strands_immediately() {
+        let p = platform();
+        let mut sim = NetworkSim::new(&p, SimConfig::default());
+        let link = p.route(TileId::new(0), TileId::new(1))[0];
+        sim.fail_link(link);
+        let id = sim.inject_on(&p, msg(0, 1, 320, 0));
+        assert!(sim.stranded(id));
+        assert!(sim.is_idle());
+        // Traffic avoiding the dead link is unaffected.
+        let ok = sim.inject_on(&p, msg(2, 3, 320, 0));
+        sim.run_until_idle();
+        assert_eq!(sim.completion(ok), Some(Time::new(10)));
     }
 
     #[test]
