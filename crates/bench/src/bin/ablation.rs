@@ -3,12 +3,12 @@
 //! communication and search-and-repair, each evaluated on the same
 //! seeded category-II benchmarks.
 
-use noc_bench::experiments::{ablation_study, write_json_artifact};
+use noc_bench::experiments::{ablation_study_threads, write_json_artifact};
 
 fn main() {
     let seeds = 10;
     println!("== Ablation study ({seeds} category-II benchmarks, 4x4 NoC) ==\n");
-    let rows = ablation_study(seeds);
+    let rows = ablation_study_threads(seeds, noc_bench::threads_arg());
     println!(
         "{:<22} {:>14} {:>14} {:>12} {:>12}",
         "config", "mean energy(nJ)", "miss benches", "total misses", "runtime(s)"

@@ -3,15 +3,16 @@
 //! entry point referenced by `EXPERIMENTS.md`.
 
 use noc_bench::experiments::{
-    ablation_study, multimedia_table, random_category, tradeoff_sweep, write_json_artifact,
-    Category,
+    ablation_study_threads, multimedia_table, random_category_threads, tradeoff_sweep_threads,
+    write_json_artifact, Category,
 };
 use noc_bench::report::{render_rows, render_series};
 use noc_ctg::prelude::{Clip, MultimediaApp};
 
 fn main() {
+    let threads = noc_bench::threads_arg();
     println!("#### Fig. 5: category-I random benchmarks ####\n");
-    let fig5 = random_category(Category::I, 10);
+    let fig5 = random_category_threads(Category::I, 10, threads);
     println!("{}", render_rows(&fig5.rows));
     println!(
         "EDF overhead vs EAS: {:.0}% (paper: 55%); EAS-base misses on {:?} (paper: [0])\n",
@@ -20,7 +21,7 @@ fn main() {
     write_json_artifact("fig5_category1", &fig5);
 
     println!("#### Fig. 6: category-II random benchmarks ####\n");
-    let fig6 = random_category(Category::II, 10);
+    let fig6 = random_category_threads(Category::II, 10, threads);
     println!("{}", render_rows(&fig6.rows));
     println!(
         "EDF overhead vs EAS: {:.0}% (paper: 39%); EAS-base misses on {:?} (paper: [0, 5, 6])\n",
@@ -51,7 +52,7 @@ fn main() {
 
     println!("#### Fig. 7: energy vs performance ratio ####\n");
     let ratios: Vec<f64> = (0..=6).map(|i| 1.0 + 0.1 * f64::from(i)).collect();
-    let fig7 = tradeoff_sweep(Clip::Foreman, &ratios);
+    let fig7 = tradeoff_sweep_threads(Clip::Foreman, &ratios, threads);
     println!(
         "{}",
         render_series(
@@ -66,7 +67,7 @@ fn main() {
     write_json_artifact("fig7_tradeoff", &fig7);
 
     println!("#### Ablation study ####\n");
-    let ablation = ablation_study(10);
+    let ablation = ablation_study_threads(10, threads);
     for r in &ablation {
         println!(
             "{:<22} {:>12.1} nJ  {:>2} miss-benches  {:>3} misses  {:.3}s",

@@ -8,7 +8,7 @@
 //! `--seed <N>` (default 0xFA17). The sweep is fully deterministic for
 //! a given seed.
 
-use noc_bench::experiments::fault_sweep_study;
+use noc_bench::experiments::try_fault_sweep_study;
 
 fn main() {
     let mut out_path = "BENCH_faults.json".to_owned();
@@ -45,7 +45,10 @@ fn main() {
         "== Extension: fault-injection sweep (A/V integrated, 3x3, k = 0..={max_faults}, \
          {trials} trials, seed {seed:#x}) ==\n"
     );
-    let rows = fault_sweep_study(max_faults, trials, seed);
+    let rows = try_fault_sweep_study(max_faults, trials, seed).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!(
         "{:<6} {:>6} {:>9} {:>13} {:>12} {:>10} {:>10}",
         "sched", "faults", "repaired", "unrepaired", "repaired", "recovered", "dE(%)"

@@ -2,13 +2,14 @@
 //! ten category-I random benchmarks (~500 tasks, ~1000 transactions,
 //! 4x4 heterogeneous NoC, loose deadlines).
 
-use noc_bench::experiments::{random_category, write_json_artifact, Category};
+use noc_bench::experiments::{random_category_threads, write_json_artifact, Category};
 use noc_bench::report::{render_bars, render_rows};
 
 fn main() {
     let count = 10;
+    let threads = noc_bench::threads_arg();
     println!("== Fig. 5: category-I random benchmarks (EAS-base / EAS / EDF) ==\n");
-    let result = random_category(Category::I, count);
+    let result = random_category_threads(Category::I, count, threads);
     println!("{}", render_rows(&result.rows));
 
     let labels: Vec<String> = (0..count).map(|i| format!("benchmark {i}")).collect();

@@ -2,13 +2,14 @@
 //! ten category-II random benchmarks (same scale as category I, tighter
 //! deadlines).
 
-use noc_bench::experiments::{random_category, write_json_artifact, Category};
+use noc_bench::experiments::{random_category_threads, write_json_artifact, Category};
 use noc_bench::report::{render_bars, render_rows};
 
 fn main() {
     let count = 10;
+    let threads = noc_bench::threads_arg();
     println!("== Fig. 6: category-II random benchmarks (EAS-base / EAS / EDF) ==\n");
-    let result = random_category(Category::II, count);
+    let result = random_category_threads(Category::II, count, threads);
     println!("{}", render_rows(&result.rows));
 
     let labels: Vec<String> = (0..count).map(|i| format!("benchmark {i}")).collect();

@@ -3,14 +3,14 @@
 //! decoding rate) scales from the 40/67 frames-per-second baseline up to
 //! 1.6x — the paper's "unified performance ratio".
 
-use noc_bench::experiments::{tradeoff_sweep, write_json_artifact};
+use noc_bench::experiments::{tradeoff_sweep_threads, write_json_artifact};
 use noc_bench::report::render_series;
 use noc_ctg::prelude::Clip;
 
 fn main() {
     println!("== Fig. 7: energy vs unified performance ratio (integrated MSB, foreman) ==\n");
     let ratios: Vec<f64> = (0..=6).map(|i| 1.0 + 0.1 * f64::from(i)).collect();
-    let result = tradeoff_sweep(Clip::Foreman, &ratios);
+    let result = tradeoff_sweep_threads(Clip::Foreman, &ratios, noc_bench::threads_arg());
     println!(
         "{}",
         render_series(

@@ -6,7 +6,7 @@
 //! Flags (defaults match the historical fixed configuration):
 //! `--jitters 0.0,0.02,0.05,0.10,0.15`, `--trials 50`, `--ratio 1.5`.
 
-use noc_bench::experiments::{robustness_study_at_ratio, write_json_artifact};
+use noc_bench::experiments::{try_robustness_study_at_ratio, write_json_artifact};
 
 fn main() {
     let mut jitters = vec![0.0, 0.02, 0.05, 0.10, 0.15];
@@ -49,7 +49,10 @@ fn main() {
     println!(
         "== Extension: runtime-jitter robustness (A/V integrated, 3x3, ratio {ratio}, {trials} trials) ==\n"
     );
-    let rows = robustness_study_at_ratio(&jitters, trials, ratio);
+    let rows = try_robustness_study_at_ratio(&jitters, trials, ratio).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!(
         "{:<9} {:>8} {:>12} {:>16}",
         "sched", "jitter", "miss trials", "mean makespan"
@@ -70,9 +73,11 @@ fn main() {
          artifact; EDF's speed-first schedules carry more slack and resist\n\
          longer. A deployment would re-profile or pad deadlines accordingly."
     );
-    if let Some(path) = write_json_artifact("robustness", &rows) {
-        println!("JSON artifact: {}", path.display());
-    }
+    let Some(path) = write_json_artifact("robustness", &rows) else {
+        eprintln!("error: failed to write the robustness artifact");
+        std::process::exit(1);
+    };
+    println!("JSON artifact: {}", path.display());
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> T {

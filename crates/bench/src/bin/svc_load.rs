@@ -1,0 +1,320 @@
+//! Load generator for the `noceas serve` scheduling service. Fires a
+//! fixed-seed request mix at a running server from several concurrent
+//! keep-alive clients, checks every answer for byte determinism
+//! (identical bodies for identical requests, across clients and across
+//! cold/cached/coalesced serving), and writes `BENCH_service.json`
+//! with throughput, latency percentiles and cache statistics.
+//!
+//! Flags: `--addr <host:port>` (default `127.0.0.1:8533`),
+//! `--requests <N>` (default 1200), `--clients <N>` (default 4),
+//! `--graphs <N>` distinct problems (default 12), `--seed <N>`
+//! (default 0x5EC). The first positional argument overrides the
+//! artifact path. Exits non-zero on any transport error, non-200
+//! answer, or determinism violation.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use noc_svc::client::Client;
+
+/// Schedulers cycled through the request mix — the fast baselines, so
+/// the load exercises the service rather than the EAS search.
+const SCHEDULERS: [&str; 2] = ["edf", "dls"];
+
+#[derive(Debug, Serialize)]
+struct ServiceBench {
+    addr: String,
+    requests: usize,
+    clients: usize,
+    distinct_problems: usize,
+    errors: usize,
+    determinism_violations: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+    schedules_executed: u64,
+    requests_coalesced: u64,
+}
+
+struct WorkerResult {
+    latencies_us: Vec<u64>,
+    errors: usize,
+    /// First response body seen per request-mix index.
+    bodies: HashMap<usize, String>,
+    /// Determinism violations observed *within* this worker.
+    violations: usize,
+}
+
+fn main() {
+    let mut out_path = "BENCH_service.json".to_owned();
+    let mut addr_text = "127.0.0.1:8533".to_owned();
+    let mut requests = 1200usize;
+    let mut clients = 4usize;
+    let mut graphs = 12usize;
+    let mut seed = 0x5ECu64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("error: {} needs a value", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--addr" => addr_text = flag_value(&mut i),
+            "--requests" => requests = parse(&flag_value(&mut i)),
+            "--clients" => clients = parse::<usize>(&flag_value(&mut i)).max(1),
+            "--graphs" => graphs = parse::<usize>(&flag_value(&mut i)).max(1),
+            "--seed" => seed = parse(&flag_value(&mut i)),
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_owned(),
+        }
+        i += 1;
+    }
+    let addr: SocketAddr = addr_text.parse().unwrap_or_else(|_| {
+        eprintln!("error: bad --addr {addr_text:?}");
+        std::process::exit(2);
+    });
+
+    println!(
+        "== svc_load: {requests} requests, {clients} clients, {graphs} graphs x \
+         {} schedulers, seed {seed:#x} -> {addr} ==",
+        SCHEDULERS.len()
+    );
+
+    // A fixed-seed request mix: `graphs` distinct CTGs times the
+    // scheduler list. Identical mix indices must answer identical bytes.
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+    let mut mix: Vec<String> = Vec::new();
+    for g in 0..graphs {
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(g as u64));
+        cfg.task_count = 10 + (g % 4) * 2;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        for scheduler in SCHEDULERS {
+            mix.push(format!(
+                r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#
+            ));
+        }
+    }
+    let mix = Arc::new(mix);
+
+    // Warm up the connection path (and fail fast if nothing listens).
+    let mut probe = Client::connect_retry(addr, Duration::from_secs(10)).unwrap_or_else(|e| {
+        eprintln!("error: cannot reach {addr}: {e}");
+        std::process::exit(1);
+    });
+    let health = probe.get("/healthz").unwrap_or_else(|e| {
+        eprintln!("error: /healthz failed: {e}");
+        std::process::exit(1);
+    });
+    if health.status != 200 {
+        eprintln!("error: /healthz answered {}", health.status);
+        std::process::exit(1);
+    }
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|worker| {
+            let mix = Arc::clone(&mix);
+            std::thread::spawn(move || run_worker(addr, &mix, worker, clients, requests))
+        })
+        .collect();
+    let results: Vec<WorkerResult> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .collect();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Merge: identical mix indices must have answered identical bytes
+    // across *all* workers, not just within one.
+    let mut errors = 0usize;
+    let mut violations = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut reference: HashMap<usize, String> = HashMap::new();
+    for r in results {
+        errors += r.errors;
+        violations += r.violations;
+        latencies.extend(r.latencies_us);
+        for (idx, body) in r.bodies {
+            match reference.get(&idx) {
+                None => {
+                    reference.insert(idx, body);
+                }
+                Some(seen) if *seen == body => {}
+                Some(_) => {
+                    eprintln!("determinism violation: mix index {idx} answered divergent bodies across clients");
+                    violations += 1;
+                }
+            }
+        }
+    }
+    latencies.sort_unstable();
+    let done = latencies.len();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((done as f64) * p).ceil() as usize;
+        latencies[idx.clamp(1, done) - 1] as f64 / 1000.0
+    };
+
+    // Cache statistics straight from the server's own metrics.
+    let metrics = probe.get("/metrics").map(|r| r.body).unwrap_or_default();
+    let cache_hits = scrape(&metrics, "noc_svc_cache_hits_total");
+    let cache_misses = scrape(&metrics, "noc_svc_cache_misses_total");
+    let report = ServiceBench {
+        addr: addr_text,
+        requests: done,
+        clients,
+        distinct_problems: mix.len(),
+        errors,
+        determinism_violations: violations,
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            done as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        max_ms: latencies.last().map_or(0.0, |&v| v as f64 / 1000.0),
+        cache_hits,
+        cache_misses,
+        cache_hit_rate: if cache_hits + cache_misses > 0 {
+            cache_hits as f64 / (cache_hits + cache_misses) as f64
+        } else {
+            0.0
+        },
+        schedules_executed: scrape(&metrics, "noc_svc_schedules_executed_total"),
+        requests_coalesced: scrape(&metrics, "noc_svc_requests_coalesced_total"),
+    };
+
+    println!(
+        "{done} requests in {wall_s:.2}s ({:.0} rps) | p50 {:.2}ms p99 {:.2}ms | \
+         cache hit rate {:.1}% | {errors} errors, {violations} determinism violations",
+        report.throughput_rps,
+        report.p50_ms,
+        report.p99_ms,
+        report.cache_hit_rate * 100.0,
+    );
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if errors > 0 || violations > 0 {
+        eprintln!("error: load run failed ({errors} errors, {violations} determinism violations)");
+        std::process::exit(1);
+    }
+}
+
+/// One client worker: sends its strided share of the request sequence
+/// over a single keep-alive connection.
+fn run_worker(
+    addr: SocketAddr,
+    mix: &[String],
+    worker: usize,
+    clients: usize,
+    requests: usize,
+) -> WorkerResult {
+    let mut result = WorkerResult {
+        latencies_us: Vec::new(),
+        errors: 0,
+        bodies: HashMap::new(),
+        violations: 0,
+    };
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("worker {worker}: cannot connect: {e}");
+            result.errors += 1;
+            return result;
+        }
+    };
+    let mut n = worker;
+    while n < requests {
+        let idx = n % mix.len();
+        let sent = Instant::now();
+        match client.post("/v1/schedule", &mix[idx]) {
+            Ok(resp) => {
+                result.latencies_us.push(sent.elapsed().as_micros() as u64);
+                if resp.status == 429 {
+                    // Honest backpressure: honor Retry-After and retry
+                    // the same request instead of counting an error.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+                if resp.status != 200 {
+                    eprintln!(
+                        "worker {worker}: request {n} answered {}: {}",
+                        resp.status, resp.body
+                    );
+                    result.errors += 1;
+                } else {
+                    match result.bodies.get(&idx) {
+                        None => {
+                            result.bodies.insert(idx, resp.body);
+                        }
+                        Some(seen) if *seen == resp.body => {}
+                        Some(_) => {
+                            eprintln!("worker {worker}: determinism violation at mix index {idx}");
+                            result.violations += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("worker {worker}: request {n} failed: {e}");
+                result.errors += 1;
+            }
+        }
+        n += clients;
+    }
+    result
+}
+
+/// Extracts a single-value counter from Prometheus text.
+fn scrape(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#') && !l[name.len()..].starts_with('{'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid numeric value {s:?}");
+        std::process::exit(2);
+    })
+}

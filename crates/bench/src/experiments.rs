@@ -5,9 +5,26 @@ use serde::{Deserialize, Serialize};
 
 use noc_ctg::prelude::*;
 use noc_eas::prelude::*;
+use noc_par::{effective_threads, par_map};
+use noc_platform::Platform;
 
 use crate::platforms;
 use crate::runner::{run_schedulers, savings_percent, ResultRow};
+
+/// An internal experiment failure: a scheduler or simulator error on
+/// inputs that are supposed to be feasible by construction. Studies
+/// that can hit one return `Result` so batch binaries can exit
+/// non-zero instead of silently skipping the data point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError(pub String);
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
 
 /// The two random-benchmark families of Sec. 6.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,7 +72,9 @@ pub struct CategoryResult {
 }
 
 /// Runs `count` seeded random benchmarks of `category` on the 4x4 mesh
-/// with EAS-base, EAS and EDF (Figs. 5 and 6).
+/// with EAS-base, EAS and EDF (Figs. 5 and 6), fanning the independent
+/// benchmarks out over all hardware threads. Byte-identical to a serial
+/// run (modulo wall-clock `runtime_s`).
 ///
 /// # Panics
 ///
@@ -63,25 +82,32 @@ pub struct CategoryResult {
 /// match the platform).
 #[must_use]
 pub fn random_category(category: Category, count: u64) -> CategoryResult {
+    random_category_threads(category, count, 0)
+}
+
+/// [`random_category`] with an explicit worker count (0 = all hardware
+/// threads, 1 = serial). Every thread count produces identical rows —
+/// the fan-out is ordered and each seeded benchmark is independent.
+///
+/// # Panics
+///
+/// Panics only on internal scheduler errors (the generated graphs always
+/// match the platform).
+#[must_use]
+pub fn random_category_threads(category: Category, count: u64, threads: usize) -> CategoryResult {
     let platform = platforms::mesh_4x4();
-    let eas_base = EasScheduler::base();
-    let eas = EasScheduler::full();
-    let edf = EdfScheduler::new();
+    let configs: Vec<TgffConfig> = (0..count).map(|seed| category.config(seed)).collect();
+    let per_bench = category_rows(&platform, &configs, threads);
 
     let mut rows = Vec::new();
     let mut base_miss_benchmarks = Vec::new();
     let mut overhead_sum = 0.0;
-    for seed in 0..count {
-        let graph = TgffGenerator::new(category.config(seed))
-            .generate(&platform)
-            .expect("generator produces valid CTGs");
-        let bench_rows = run_schedulers(&graph, &platform, &[&eas_base, &eas, &edf])
-            .expect("generated graphs match the platform");
+    for (seed, bench_rows) in per_bench.into_iter().enumerate() {
         let base = &bench_rows[0];
         let full = &bench_rows[1];
         let baseline = &bench_rows[2];
         if base.deadline_misses > 0 {
-            base_miss_benchmarks.push(seed as usize);
+            base_miss_benchmarks.push(seed);
         }
         overhead_sum += 100.0 * (baseline.energy_nj - full.energy_nj) / full.energy_nj;
         rows.extend(bench_rows);
@@ -92,6 +118,27 @@ pub fn random_category(category: Category, count: u64) -> CategoryResult {
         base_miss_benchmarks,
         avg_edf_overhead_percent: overhead_sum / count as f64,
     }
+}
+
+/// Generates one benchmark per config and runs the Fig. 5/6 scheduler
+/// line-up (EAS-base, EAS, EDF) on each, `par_map`-fanned over
+/// `threads` workers. Results are ordered by config index, so the
+/// output does not depend on the worker count.
+fn category_rows(
+    platform: &Platform,
+    configs: &[TgffConfig],
+    threads: usize,
+) -> Vec<Vec<ResultRow>> {
+    let eas_base = EasScheduler::base();
+    let eas = EasScheduler::full();
+    let edf = EdfScheduler::new();
+    par_map(effective_threads(threads), configs, |_, cfg| {
+        let graph = TgffGenerator::new(cfg.clone())
+            .generate(platform)
+            .expect("generator produces valid CTGs");
+        run_schedulers(&graph, platform, &[&eas_base, &eas, &edf])
+            .expect("generated graphs match the platform")
+    })
 }
 
 /// One clip column of Tables 1–3.
@@ -252,9 +299,28 @@ pub struct TradeoffResult {
 /// Panics only on internal scheduler errors.
 #[must_use]
 pub fn tradeoff_sweep(clip: Clip, ratios: &[f64]) -> TradeoffResult {
+    tradeoff_sweep_threads(clip, ratios, 0)
+}
+
+/// [`tradeoff_sweep`] with an explicit worker count (0 = all hardware
+/// threads, 1 = serial). The ratio points are independent and the
+/// fan-out is ordered, so every thread count produces identical curves.
+///
+/// # Panics
+///
+/// Panics only on internal scheduler errors.
+#[must_use]
+pub fn tradeoff_sweep_threads(clip: Clip, ratios: &[f64], threads: usize) -> TradeoffResult {
     let platform = platforms::mesh_3x3();
     let eas = EasScheduler::full();
     let edf = EdfScheduler::new();
+    let per_ratio = par_map(effective_threads(threads), ratios, |_, &ratio| {
+        let graph = MultimediaApp::AvIntegrated
+            .build_with_performance_ratio(clip, &platform, ratio)
+            .expect("benchmark graphs are valid");
+        run_schedulers(&graph, &platform, &[&eas, &edf])
+            .expect("benchmark graphs match their platforms")
+    });
     let mut result = TradeoffResult {
         ratios: ratios.to_vec(),
         eas_energy_nj: Vec::new(),
@@ -262,12 +328,7 @@ pub fn tradeoff_sweep(clip: Clip, ratios: &[f64]) -> TradeoffResult {
         eas_misses: Vec::new(),
         edf_misses: Vec::new(),
     };
-    for &ratio in ratios {
-        let graph = MultimediaApp::AvIntegrated
-            .build_with_performance_ratio(clip, &platform, ratio)
-            .expect("benchmark graphs are valid");
-        let rows = run_schedulers(&graph, &platform, &[&eas, &edf])
-            .expect("benchmark graphs match their platforms");
+    for rows in per_ratio {
         result.eas_energy_nj.push(rows[0].energy_nj);
         result.edf_energy_nj.push(rows[1].energy_nj);
         result.eas_misses.push(rows[0].deadline_misses);
@@ -302,8 +363,21 @@ pub struct AblationRow {
 /// Panics only on internal scheduler errors.
 #[must_use]
 pub fn ablation_study(seeds: u64) -> Vec<AblationRow> {
+    ablation_study_threads(seeds, 0)
+}
+
+/// [`ablation_study`] with an explicit worker count (0 = all hardware
+/// threads, 1 = serial). Every (variant, benchmark) cell is independent,
+/// so the full cross product fans out; the rows aggregate in variant
+/// order regardless of the worker count.
+///
+/// # Panics
+///
+/// Panics only on internal scheduler errors.
+#[must_use]
+pub fn ablation_study_threads(seeds: u64, threads: usize) -> Vec<AblationRow> {
     let platform = platforms::mesh_4x4();
-    let mut variants: Vec<(String, Box<dyn Scheduler>)> = vec![
+    let variants: Vec<(String, Box<dyn Scheduler + Send + Sync>)> = vec![
         ("eas (paper)".into(), Box::new(EasScheduler::full())),
         (
             "eas-base (no repair)".into(),
@@ -355,29 +429,39 @@ pub fn ablation_study(seeds: u64) -> Vec<AblationRow> {
         ("dls (Sih&Lee)".into(), Box::new(DlsScheduler::new())),
     ];
 
-    let graphs: Vec<_> = (0..seeds)
-        .map(|s| {
-            TgffGenerator::new(TgffConfig::category_ii(s))
-                .generate(&platform)
-                .expect("generator produces valid CTGs")
-        })
+    let workers = effective_threads(threads);
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    let graphs: Vec<TaskGraph> = par_map(workers, &seed_list, |_, &s| {
+        TgffGenerator::new(TgffConfig::category_ii(s))
+            .generate(&platform)
+            .expect("generator produces valid CTGs")
+    });
+
+    // Fan the full (variant x benchmark) cross product out at once:
+    // individual cells dominate the runtime and are independent.
+    let cells: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| (0..graphs.len()).map(move |g| (v, g)))
         .collect();
+    let per_cell: Vec<ResultRow> = par_map(workers, &cells, |_, &(v, g)| {
+        let scheduler: &dyn Scheduler = variants[v].1.as_ref();
+        run_schedulers(&graphs[g], &platform, &[scheduler])
+            .expect("generated graphs match the platform")
+            .remove(0)
+    });
 
     let mut rows = Vec::new();
-    for (label, scheduler) in &mut variants {
+    for (v, (label, _)) in variants.iter().enumerate() {
         let mut energy = 0.0;
         let mut miss_benchmarks = 0;
         let mut total_misses = 0;
         let mut runtime = 0.0;
-        for graph in &graphs {
-            let r = run_schedulers(graph, &platform, &[scheduler.as_ref()])
-                .expect("generated graphs match the platform");
-            energy += r[0].energy_nj;
-            total_misses += r[0].deadline_misses;
-            if r[0].deadline_misses > 0 {
+        for r in &per_cell[v * graphs.len()..(v + 1) * graphs.len()] {
+            energy += r.energy_nj;
+            total_misses += r.deadline_misses;
+            if r.deadline_misses > 0 {
                 miss_benchmarks += 1;
             }
-            runtime += r[0].runtime_s;
+            runtime += r.runtime_s;
         }
         rows.push(AblationRow {
             config: label.clone(),
@@ -571,6 +655,23 @@ pub fn robustness_study(jitters: &[f64], trials: usize) -> Vec<RobustnessRow> {
 /// Panics only on internal scheduler errors.
 #[must_use]
 pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> Vec<RobustnessRow> {
+    try_robustness_study_at_ratio(jitters, trials, ratio).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`robustness_study_at_ratio`]: internal scheduler or
+/// simulator failures surface as [`ExperimentError`] instead of a
+/// panic, so batch binaries can report them and exit non-zero.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the benchmark cannot be built,
+/// a scheduler fails on the pristine platform, or a Monte-Carlo replay
+/// fails to execute.
+pub fn try_robustness_study_at_ratio(
+    jitters: &[f64],
+    trials: usize,
+    ratio: f64,
+) -> Result<Vec<RobustnessRow>, ExperimentError> {
     use noc_platform::units::Time;
     use noc_sim::prelude::*;
     use rand::rngs::StdRng;
@@ -579,14 +680,16 @@ pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> 
     let platform = platforms::mesh_3x3();
     let graph = MultimediaApp::AvIntegrated
         .build_with_performance_ratio(Clip::Foreman, &platform, ratio)
-        .expect("benchmark builds");
+        .map_err(|e| ExperimentError(format!("building the A/V benchmark failed: {e}")))?;
     let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
         ("eas", Box::new(EasScheduler::full())),
         ("edf", Box::new(EdfScheduler::new())),
     ];
     let mut rows = Vec::new();
     for (name, scheduler) in &schedulers {
-        let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
+        let outcome = scheduler
+            .schedule(&graph, &platform)
+            .map_err(|e| ExperimentError(format!("{name} failed on the pristine platform: {e}")))?;
         let assignment: Vec<_> = outcome
             .schedule
             .task_placements()
@@ -598,7 +701,7 @@ pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> 
             let mut rng = StdRng::seed_from_u64(0xEA5);
             let mut miss_trials = 0usize;
             let mut makespan_sum = 0.0f64;
-            for _ in 0..trials {
+            for trial in 0..trials {
                 let overrides: Vec<Time> = graph
                     .task_ids()
                     .map(|t| {
@@ -609,7 +712,11 @@ pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> 
                     .collect();
                 let trace = executor
                     .execute_with_exec_times(&outcome.schedule, Some(&overrides))
-                    .expect("executes");
+                    .map_err(|e| {
+                        ExperimentError(format!(
+                            "replaying {name} (jitter {jitter}, trial {trial}) failed: {e}"
+                        ))
+                    })?;
                 if !trace.meets_deadlines() {
                     miss_trials += 1;
                 }
@@ -624,7 +731,7 @@ pub fn robustness_study_at_ratio(jitters: &[f64], trials: usize, ratio: f64) -> 
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// One row of the fault-injection sweep: one scheduler at one fault
@@ -711,6 +818,26 @@ fn draw_faults(
 /// Panics only on internal scheduler errors on the pristine platform.
 #[must_use]
 pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<FaultSweepRow> {
+    try_fault_sweep_study(max_faults, trials, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`fault_sweep_study`]: internal errors surface as
+/// [`ExperimentError`] instead of being silently skipped or panicking.
+/// A fault set whose surviving mesh admits no platform or no schedule
+/// is *not* an error — that trial legitimately falls back to the
+/// unrepaired figure — but a failure to schedule the pristine platform
+/// or to replay a schedule that was just planned is.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the benchmark cannot be built,
+/// a scheduler fails on the pristine platform, a faulted execution
+/// does not settle, or a freshly repaired schedule fails to replay.
+pub fn try_fault_sweep_study(
+    max_faults: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<FaultSweepRow>, ExperimentError> {
     use noc_eas::repair::repair_with_faults;
     use noc_platform::fault::FaultSet;
     use noc_platform::tile::PeId;
@@ -745,7 +872,7 @@ pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<Fau
     let platform = platforms::mesh_3x3();
     let graph = MultimediaApp::AvIntegrated
         .build(Clip::Foreman, &platform)
-        .expect("benchmark builds");
+        .map_err(|e| ExperimentError(format!("building the A/V benchmark failed: {e}")))?;
     let deadline_tasks: Vec<_> = graph
         .task_ids()
         .filter(|&t| graph.task(t).deadline().is_some())
@@ -758,7 +885,9 @@ pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<Fau
     ];
     let mut rows = Vec::new();
     for (name, scheduler) in &schedulers {
-        let outcome = scheduler.schedule(&graph, &platform).expect("schedules");
+        let outcome = scheduler
+            .schedule(&graph, &platform)
+            .map_err(|e| ExperimentError(format!("{name} failed on the pristine platform: {e}")))?;
         let pristine_energy = outcome.stats.energy.total().as_nj();
         let executor = ScheduleExecutor::new(&graph, &platform, SimConfig::default());
         for k in 0..=max_faults {
@@ -772,31 +901,51 @@ pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<Fau
                 let fs = draw_faults(&mut rng, &platform, k);
                 let unrep = executor
                     .execute_with_faults(&outcome.schedule, &injected(&fs))
-                    .expect("faulted execution always settles");
+                    .map_err(|e| {
+                        ExperimentError(format!(
+                            "faulted execution did not settle (k = {k}, trial {trial}, {name}): {e}"
+                        ))
+                    })?;
                 let unrep_met: Vec<bool> = deadline_tasks
                     .iter()
                     .map(|&t| unrep.finish[t.index()].is_some_and(|f| f <= deadline_of(t)))
                     .collect();
                 unrepaired_sum += met_fraction(&unrep_met);
 
-                // Mask the faults into the platform and re-plan.
-                let repaired = platforms::faulted_mesh(3, 3, fs).ok().and_then(|fp| {
-                    let schedule = if *name == "eas" {
-                        repair_with_faults(&graph, &fp, &outcome.schedule, 1)
+                // Mask the faults into the platform and re-plan. A fault
+                // set whose surviving mesh has no platform or no
+                // schedule is a legitimate no-repair outcome; a replay
+                // failure of a schedule planned *for that platform* is
+                // an internal error and propagates.
+                let faulted_platform = platforms::faulted_mesh(3, 3, fs).ok();
+                let planned = faulted_platform.as_ref().and_then(|fp| {
+                    if *name == "eas" {
+                        repair_with_faults(&graph, fp, &outcome.schedule, 1)
                             .map(|(s, _)| s)
-                            .or_else(|| scheduler.schedule(&graph, &fp).ok().map(|o| o.schedule))
+                            .or_else(|| scheduler.schedule(&graph, fp).ok().map(|o| o.schedule))
                     } else {
-                        scheduler.schedule(&graph, &fp).ok().map(|o| o.schedule)
-                    }?;
-                    let trace = ScheduleExecutor::new(&graph, &fp, SimConfig::default())
-                        .execute(&schedule)
-                        .ok()?;
-                    let energy = ScheduleStats::compute(&schedule, &graph, &fp)
-                        .energy
-                        .total()
-                        .as_nj();
-                    Some((trace, energy))
+                        scheduler.schedule(&graph, fp).ok().map(|o| o.schedule)
+                    }
                 });
+                let repaired = match planned {
+                    None => None,
+                    Some(schedule) => {
+                        let fp = faulted_platform.as_ref().expect("planned implies platform");
+                        let trace = ScheduleExecutor::new(&graph, fp, SimConfig::default())
+                            .execute(&schedule)
+                            .map_err(|e| {
+                                ExperimentError(format!(
+                                    "replaying the repaired schedule failed \
+                                     (k = {k}, trial {trial}, {name}): {e}"
+                                ))
+                            })?;
+                        let energy = ScheduleStats::compute(&schedule, &graph, fp)
+                            .energy
+                            .total()
+                            .as_nj();
+                        Some((trace, energy))
+                    }
+                };
                 match repaired {
                     Some((trace, energy)) => {
                         repaired_trials += 1;
@@ -833,7 +982,7 @@ pub fn fault_sweep_study(max_faults: usize, trials: usize, seed: u64) -> Vec<Fau
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Writes a JSON artifact under `target/experiments/` (best-effort: IO
@@ -899,6 +1048,33 @@ mod tests {
         assert!(r.eas_energy_nj[1] >= r.eas_energy_nj[0] * 0.999);
         // And EDF stays above EAS.
         assert!(r.edf_energy_nj[0] > r.eas_energy_nj[0]);
+    }
+
+    /// The experiment fan-out must be byte-identical for every worker
+    /// count: same rows in the same order, serial vs parallel (only the
+    /// wall-clock `runtime_s` measurement may differ).
+    #[test]
+    fn parallel_category_fanout_is_byte_identical_to_serial() {
+        let platform = platforms::mesh_4x4();
+        let configs: Vec<TgffConfig> = (0..3).map(TgffConfig::small).collect();
+        let strip = |mut benches: Vec<Vec<ResultRow>>| -> String {
+            for rows in &mut benches {
+                for r in rows {
+                    r.runtime_s = 0.0;
+                }
+            }
+            serde_json::to_string(&benches).unwrap()
+        };
+        let serial = strip(category_rows(&platform, &configs, 1));
+        let parallel = strip(category_rows(&platform, &configs, 4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_tradeoff_sweep_matches_serial() {
+        let serial = tradeoff_sweep_threads(Clip::Foreman, &[1.0, 1.3], 1);
+        let parallel = tradeoff_sweep_threads(Clip::Foreman, &[1.0, 1.3], 2);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

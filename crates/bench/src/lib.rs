@@ -27,3 +27,28 @@ pub mod report;
 pub mod runner;
 
 pub use runner::{run_schedulers, ResultRow};
+
+/// Parses the shared `--threads N` knob from the process arguments
+/// (0, the default, means all hardware threads). Exits with a usage
+/// error on a malformed value so experiment binaries fail loudly
+/// instead of silently running serial.
+#[must_use]
+pub fn threads_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let value = args.next().unwrap_or_default();
+            return value.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads expects a number, got {value:?}");
+                std::process::exit(2);
+            });
+        }
+        if let Some(value) = arg.strip_prefix("--threads=") {
+            return value.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads expects a number, got {value:?}");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}

@@ -29,8 +29,11 @@ USAGE:
                   [--scheduler eas|eas-base|edf|dls|anneal]
                   [--faults tile:4,link:1-2]
                   [--threads N] [--out schedule.json] [--vcd waves.vcd]
-                  [--gantt] [--links] [--csv]
+                  [--gantt] [--links] [--csv] [--json]
       Schedule a task graph and report energy / deadline statistics.
+      --json replaces the human-readable summary with the same compact
+      JSON body the HTTP service answers (one serialization of a
+      schedule, byte-identical across surfaces).
       --threads fans trial evaluation out over N workers (0 = all
       cores); the schedule is identical for every thread count.
       --faults masks permanently failed resources: dead PEs leave the
@@ -38,9 +41,18 @@ USAGE:
       (`tile:<id>`, `link:<a>-<b>` both ways, `link:<a>><b>` one way).
 
   noceas validate --graph graph.json --schedule schedule.json --platform mesh:4x4
-                  [--faults SPEC]
+                  [--faults SPEC] [--json]
       Re-check a schedule against all Def. 3/4, dependency and deadline
       constraints (on the fault-masked platform when --faults is given).
+      --json prints the service's validation body; structural
+      violations then report {\"valid\":false,...} with exit code 0.
+
+  noceas serve [--addr 127.0.0.1:8533] [--http-workers N]
+               [--sched-workers N] [--queue N] [--cache N] [--threads N]
+      Run the scheduling service: POST /v1/schedule, POST /v1/validate,
+      GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
+      bounded at --queue entries (429 + Retry-After past it) and
+      responses are cached content-addressed in --cache entries.
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -73,6 +85,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "schedule" => schedule(args),
         "validate" => validate_cmd(args),
         "simulate" => simulate(args),
+        "serve" => serve(args),
         "dot" => dot(args),
         "info" => info(args),
         "import" => import(args),
@@ -176,6 +189,16 @@ fn schedule(args: &Args) -> Result<String, String> {
         .schedule(&graph, &platform)
         .map_err(|e| e.to_string())?;
 
+    if args.has_flag("json") {
+        // The exact body the HTTP service answers: one serialization of
+        // a schedule, shared via noc_svc::api.
+        let response = noc_svc::api::ScheduleResponse::from_outcome(scheduler.name(), &outcome);
+        if let Some(path) = args.get("out") {
+            save_json(path, &outcome.schedule)?;
+        }
+        return Ok(format!("{}\n", response.to_json()));
+    }
+
     let mut out = String::new();
     if !platform.faults().is_empty() {
         out.push_str(&format!(
@@ -234,8 +257,35 @@ fn validate_cmd(args: &Args) -> Result<String, String> {
     let platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
     let graph = load_graph(args.require("graph")?)?;
     let schedule = load_schedule(args.require("schedule")?)?;
+    if args.has_flag("json") {
+        // Mirror the service: structural violations are a successful
+        // validation answering {"valid":false,...}.
+        let response = match validate(&schedule, &graph, &platform) {
+            Ok(report) => noc_svc::api::ValidateResponse::ok(&report),
+            Err(e) => noc_svc::api::ValidateResponse::invalid(e.to_string()),
+        };
+        return Ok(format!("{}\n", response.to_json()));
+    }
     let report = validate(&schedule, &graph, &platform).map_err(|e| e.to_string())?;
     Ok(format!("schedule is structurally valid: {report}\n"))
+}
+
+fn serve(args: &Args) -> Result<String, String> {
+    let config = noc_svc::ServiceConfig {
+        addr: args.get_or("addr", "127.0.0.1:8533").to_owned(),
+        http_workers: args.get_num("http-workers", 4usize)?,
+        sched_workers: args.get_num("sched-workers", 2usize)?,
+        queue_capacity: args.get_num("queue", 64usize)?,
+        cache_capacity: args.get_num("cache", 1024usize)?,
+        threads: args.get_num("threads", 0usize)?,
+        ..noc_svc::ServiceConfig::default()
+    };
+    let server = noc_svc::Server::start(config).map_err(|e| e.to_string())?;
+    // Announce readiness eagerly: wait() blocks until the process is
+    // signalled, so this line must not wait for run() to return.
+    println!("noc-svc listening on http://{}", server.addr());
+    server.wait();
+    Ok(String::new())
 }
 
 fn simulate(args: &Args) -> Result<String, String> {
@@ -516,11 +566,94 @@ mod tests {
             "schedule",
             "validate",
             "simulate",
+            "serve",
             "dot",
             "info",
         ] {
             assert!(help.contains(cmd), "help must mention {cmd}");
         }
+    }
+
+    #[test]
+    fn schedule_and_validate_json_emit_the_service_body() {
+        let graph_path = tmp("gj.json");
+        let sched_path = tmp("sj.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "2",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        let out = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--json",
+            "--out",
+            &sched_path,
+        ]))
+        .expect("schedule");
+        let resp: noc_svc::api::ScheduleResponse =
+            serde_json::from_str(out.trim()).expect("parses as the service body");
+        assert_eq!(resp.scheduler, "eas");
+        assert_eq!(
+            format!("{}\n", resp.to_json()),
+            out,
+            "CLI --json is the service serialization, byte for byte"
+        );
+
+        let out = run(&args(&[
+            "validate",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--json",
+        ]))
+        .expect("validate");
+        let resp: noc_svc::api::ValidateResponse =
+            serde_json::from_str(out.trim()).expect("parses as the service body");
+        assert!(resp.valid);
+        // A schedule checked against the wrong graph is a *successful*
+        // validation with valid:false under --json.
+        let other_graph = tmp("gj2.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "8",
+            "--seed",
+            "9",
+            "--out",
+            &other_graph,
+        ]))
+        .expect("generate");
+        let out = run(&args(&[
+            "validate",
+            "--graph",
+            &other_graph,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--json",
+        ]))
+        .expect("validate --json never errors structurally");
+        let resp: noc_svc::api::ValidateResponse =
+            serde_json::from_str(out.trim()).expect("parses");
+        assert!(!resp.valid);
+        assert!(resp.error.is_some());
     }
 
     #[test]

@@ -1,193 +1,6 @@
-//! Textual platform and scheduler specifications used on the command
-//! line, e.g. `mesh:4x4`, `torus:3x3:yx`, `honeycomb:4x4`, `eas`,
-//! `eas-base`, `edf`, `dls`, and fault sets like `tile:4,link:1-2`.
+//! Platform / scheduler / fault spec parsing. The parsers moved to
+//! [`noc_svc::spec`] so the HTTP service and the CLI are guaranteed to
+//! resolve identical specs identically; this module re-exports them to
+//! keep the CLI's internal imports stable.
 
-use noc_eas::prelude::*;
-use noc_platform::prelude::*;
-
-/// Parses a platform spec of the form
-/// `<topology>:<cols>x<rows>[:<routing>]` with topology one of `mesh`,
-/// `torus`, `honeycomb` and routing one of `xy`, `yx`, `bfs`
-/// (shortest-path). Routing defaults to `xy` for grids and `bfs` for
-/// honeycombs.
-///
-/// # Errors
-///
-/// Returns a human-readable message on malformed specs or invalid
-/// combinations.
-pub fn parse_platform(spec: &str) -> Result<Platform, String> {
-    parse_platform_faulted(spec, None)
-}
-
-/// Parses a fault-set spec: comma-separated `tile:<id>`,
-/// `link:<a>-<b>` (both directions) and `link:<a>><b>` (one direction)
-/// entries, e.g. `tile:4,link:1-2` (see
-/// [`noc_platform::fault::FaultSet::parse`]).
-///
-/// # Errors
-///
-/// Returns a human-readable message on malformed entries.
-pub fn parse_faults(spec: &str) -> Result<FaultSet, String> {
-    FaultSet::parse(spec).map_err(|e| e.to_string())
-}
-
-/// [`parse_platform`] with an optional fault-set spec masked into the
-/// platform: dead PEs leave every candidate list and routes detour
-/// around dead links.
-///
-/// # Errors
-///
-/// As [`parse_platform`] and [`parse_faults`]; additionally rejects
-/// fault sets that reference missing resources or disconnect the
-/// surviving tiles.
-pub fn parse_platform_faulted(spec: &str, faults: Option<&str>) -> Result<Platform, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    if parts.len() < 2 || parts.len() > 3 {
-        return Err(format!(
-            "platform spec `{spec}` must look like mesh:4x4 or torus:3x3:yx"
-        ));
-    }
-    let dims: Vec<&str> = parts[1].split('x').collect();
-    if dims.len() != 2 {
-        return Err(format!("dimensions `{}` must look like 4x4", parts[1]));
-    }
-    let cols: u16 = dims[0]
-        .parse()
-        .map_err(|_| format!("bad column count `{}`", dims[0]))?;
-    let rows: u16 = dims[1]
-        .parse()
-        .map_err(|_| format!("bad row count `{}`", dims[1]))?;
-    let topology = match parts[0] {
-        "mesh" => TopologySpec::mesh(cols, rows),
-        "torus" => TopologySpec::torus(cols, rows),
-        "honeycomb" => TopologySpec::honeycomb(cols, rows),
-        other => return Err(format!("unknown topology `{other}`")),
-    };
-    let default_routing = if parts[0] == "honeycomb" {
-        RoutingSpec::ShortestPath
-    } else {
-        RoutingSpec::Xy
-    };
-    let routing = match parts.get(2) {
-        None => default_routing,
-        Some(&"xy") => RoutingSpec::Xy,
-        Some(&"yx") => RoutingSpec::Yx,
-        Some(&"bfs") => RoutingSpec::ShortestPath,
-        Some(other) => return Err(format!("unknown routing `{other}` (use xy, yx or bfs)")),
-    };
-    let mut builder = Platform::builder()
-        .topology(topology)
-        .routing(routing)
-        .pe_mix(PeCatalog::date04().cycle_mix());
-    if let Some(f) = faults {
-        builder = builder.faults(parse_faults(f)?);
-    }
-    builder.build().map_err(|e| e.to_string())
-}
-
-/// Parses a scheduler name into a boxed [`Scheduler`]. `threads` sets
-/// the worker count for the schedulers that parallelize (`eas`,
-/// `eas-base`, `anneal`); `0` means all hardware threads. Results are
-/// identical for every thread count.
-///
-/// # Errors
-///
-/// Returns a message listing the valid names on unknown input.
-pub fn parse_scheduler(name: &str, threads: usize) -> Result<Box<dyn Scheduler>, String> {
-    match name {
-        "eas" => Ok(Box::new(EasScheduler::new(
-            EasConfig::default().with_threads(threads),
-        ))),
-        "eas-base" => Ok(Box::new(EasScheduler::new(
-            EasConfig::base().with_threads(threads),
-        ))),
-        "edf" => Ok(Box::new(EdfScheduler::new())),
-        "dls" => Ok(Box::new(DlsScheduler::new())),
-        "anneal" => Ok(Box::new(AnnealScheduler::new(AnnealConfig {
-            threads,
-            ..AnnealConfig::default()
-        }))),
-        "map-then-schedule" => Ok(Box::new(MapThenScheduleScheduler::new())),
-        other => Err(format!(
-            "unknown scheduler `{other}` (use eas, eas-base, edf, dls, anneal or map-then-schedule)"
-        )),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_mesh_default_xy() {
-        let p = parse_platform("mesh:4x4").expect("parses");
-        assert_eq!(p.tile_count(), 16);
-        assert_eq!(p.routing_name(), "xy");
-    }
-
-    #[test]
-    fn parses_torus_with_routing() {
-        let p = parse_platform("torus:3x3:yx").expect("parses");
-        assert_eq!(p.tile_count(), 9);
-        assert_eq!(p.routing_name(), "yx");
-    }
-
-    #[test]
-    fn honeycomb_defaults_to_bfs() {
-        let p = parse_platform("honeycomb:4x4").expect("parses");
-        assert_eq!(p.routing_name(), "shortest-path");
-    }
-
-    #[test]
-    fn rejects_bad_specs() {
-        assert!(parse_platform("mesh").is_err());
-        assert!(parse_platform("mesh:4").is_err());
-        assert!(parse_platform("mesh:ax4").is_err());
-        assert!(parse_platform("ring:4x4").is_err());
-        assert!(parse_platform("mesh:4x4:zigzag").is_err());
-        assert!(
-            parse_platform("honeycomb:4x4:xy").is_err(),
-            "xy cannot route honeycombs"
-        );
-    }
-
-    #[test]
-    fn parses_faulted_platforms() {
-        let p = parse_platform_faulted("mesh:3x3", Some("tile:4,link:0-1")).expect("parses");
-        assert!(!p.tile_alive(TileId::new(4)));
-        assert!(p.tile_alive(TileId::new(0)));
-        assert_eq!(p.faults().failed_links().len(), 2);
-        // No fault spec: identical to the plain parse.
-        let plain = parse_platform_faulted("mesh:2x2", None).expect("parses");
-        assert!(plain.faults().is_empty());
-    }
-
-    #[test]
-    fn rejects_bad_fault_specs() {
-        assert!(parse_platform_faulted("mesh:2x2", Some("tile:nine")).is_err());
-        assert!(parse_platform_faulted("mesh:2x2", Some("tile:9")).is_err());
-        assert!(
-            parse_platform_faulted("mesh:3x1", Some("tile:1")).is_err(),
-            "disconnecting faults are rejected"
-        );
-        assert!(parse_faults("gibberish").is_err());
-        assert_eq!(parse_faults("link:0-1").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn parses_all_schedulers() {
-        for name in [
-            "eas",
-            "eas-base",
-            "edf",
-            "dls",
-            "anneal",
-            "map-then-schedule",
-        ] {
-            for threads in [1usize, 4] {
-                assert_eq!(parse_scheduler(name, threads).expect("parses").name(), name);
-            }
-        }
-        assert!(parse_scheduler("magic", 1).is_err());
-    }
-}
+pub use noc_svc::spec::*;

@@ -1,0 +1,262 @@
+//! Request and response bodies of the JSON API.
+//!
+//! These types are the **single serialization of a schedule** in the
+//! workspace: the HTTP service, the CLI `--json` output and the
+//! `svc_load` load generator all render [`ScheduleResponse`] /
+//! [`ValidateResponse`] through [`to_json`](ScheduleResponse::to_json),
+//! so a schedule serializes to the same bytes no matter which surface
+//! produced it. Determinism matters: the service promises byte-identical
+//! bodies whether a request is served cold, from cache, or coalesced
+//! onto a concurrent twin.
+
+use serde::{Deserialize, Map, Serialize, Value};
+
+use noc_eas::ScheduleOutcome;
+use noc_schedule::{Schedule, ValidationReport};
+
+use crate::hash::{canonical_string, content_hash};
+
+/// Body of `POST /v1/schedule`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleRequest {
+    /// The communication task graph, in the same JSON shape
+    /// `noceas generate --out` writes.
+    pub graph: Value,
+    /// Platform spec, e.g. `"mesh:4x4"` or `"torus:3x3:yx"`.
+    pub platform: String,
+    /// Scheduler name (`eas`, `eas-base`, `edf`, `dls`, `anneal`,
+    /// `map-then-schedule`); defaults to `eas`.
+    #[serde(default)]
+    pub scheduler: Option<String>,
+    /// Optional fault spec, e.g. `"tile:4,link:1-2"`.
+    #[serde(default)]
+    pub faults: Option<String>,
+    /// Worker threads for the schedulers that parallelize; results are
+    /// identical for every value, so this is *excluded* from the cache
+    /// key. Defaults to the server's `--threads`.
+    #[serde(default)]
+    pub threads: Option<usize>,
+    /// `"sync"` (default) answers with the schedule; `"async"` answers
+    /// `202` with a job id to poll via `GET /v1/jobs/<id>`.
+    #[serde(default)]
+    pub mode: Option<String>,
+}
+
+impl ScheduleRequest {
+    /// Resolved scheduler name.
+    #[must_use]
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.as_deref().unwrap_or("eas")
+    }
+
+    /// `true` when the client asked for an async submission.
+    #[must_use]
+    pub fn is_async(&self) -> bool {
+        self.mode.as_deref() == Some("async")
+    }
+
+    /// The canonical cache key: a sorted-key rendering of the
+    /// *semantic* request content — graph, platform spec, fault spec and
+    /// resolved scheduler name. Insensitive to JSON key order, to
+    /// defaulted-vs-explicit `scheduler`, and to the volatile `mode` /
+    /// `threads` fields (thread count never changes the schedule).
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let mut m = Map::new();
+        m.insert("graph", self.graph.clone());
+        m.insert("platform", Value::String(self.platform.clone()));
+        m.insert("scheduler", Value::String(self.scheduler_name().to_owned()));
+        m.insert(
+            "faults",
+            match &self.faults {
+                Some(f) => Value::String(f.clone()),
+                None => Value::Null,
+            },
+        );
+        canonical_string(&Value::Object(m))
+    }
+
+    /// Short hex id derived from [`canonical_key`](Self::canonical_key);
+    /// doubles as the job id.
+    #[must_use]
+    pub fn request_hash(&self) -> String {
+        content_hash(&self.canonical_key())
+    }
+}
+
+/// Body of a successful `POST /v1/schedule` answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResponse {
+    /// Scheduler that produced the schedule.
+    pub scheduler: String,
+    /// Total Eq. 3 energy, nJ.
+    pub energy_nj: f64,
+    /// Computation part of the energy, nJ.
+    pub computation_nj: f64,
+    /// Communication part of the energy, nJ.
+    pub communication_nj: f64,
+    /// Schedule makespan, ticks.
+    pub makespan: u64,
+    /// Deadline misses in the schedule.
+    pub deadline_misses: usize,
+    /// Summed tardiness over the misses, ticks.
+    pub tardiness: u64,
+    /// `deadline_misses == 0`.
+    pub meets_deadlines: bool,
+    /// Average routers per data packet.
+    pub avg_hops: f64,
+    /// The full schedule artifact (same shape `noceas schedule --out`
+    /// writes).
+    pub schedule: Schedule,
+}
+
+impl ScheduleResponse {
+    /// Builds the response from a validated scheduling outcome.
+    #[must_use]
+    pub fn from_outcome(scheduler: &str, outcome: &ScheduleOutcome) -> Self {
+        ScheduleResponse {
+            scheduler: scheduler.to_owned(),
+            energy_nj: outcome.stats.energy.total().as_nj(),
+            computation_nj: outcome.stats.energy.computation.as_nj(),
+            communication_nj: outcome.stats.energy.communication.as_nj(),
+            makespan: outcome.report.makespan.ticks(),
+            deadline_misses: outcome.report.deadline_misses.len(),
+            tardiness: outcome.report.total_tardiness().ticks(),
+            meets_deadlines: outcome.report.meets_deadlines(),
+            avg_hops: outcome.stats.avg_hops_per_packet,
+            schedule: outcome.schedule.clone(),
+        }
+    }
+
+    /// The one true serialization: compact JSON, stable field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialization is infallible")
+    }
+}
+
+/// Body of `POST /v1/validate`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidateRequest {
+    /// The communication task graph.
+    pub graph: Value,
+    /// Platform spec, e.g. `"mesh:4x4"`.
+    pub platform: String,
+    /// The schedule to check (same JSON shape `noceas schedule --out`
+    /// writes).
+    pub schedule: Value,
+    /// Optional fault spec masked into the platform first.
+    #[serde(default)]
+    pub faults: Option<String>,
+}
+
+/// Body of a `POST /v1/validate` answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidateResponse {
+    /// `true` when the schedule passed every structural check.
+    pub valid: bool,
+    /// The violated constraint, when invalid.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Deadline misses found (0 when invalid — validation stops at the
+    /// first structural violation).
+    pub deadline_misses: usize,
+    /// Summed tardiness over the misses, ticks.
+    pub tardiness: u64,
+    /// Schedule makespan, ticks (0 when invalid).
+    pub makespan: u64,
+}
+
+impl ValidateResponse {
+    /// A passing report.
+    #[must_use]
+    pub fn ok(report: &ValidationReport) -> Self {
+        ValidateResponse {
+            valid: true,
+            error: None,
+            deadline_misses: report.deadline_misses.len(),
+            tardiness: report.total_tardiness().ticks(),
+            makespan: report.makespan.ticks(),
+        }
+    }
+
+    /// A structural failure.
+    #[must_use]
+    pub fn invalid(error: String) -> Self {
+        ValidateResponse {
+            valid: false,
+            error: Some(error),
+            deadline_misses: 0,
+            tardiness: 0,
+            makespan: 0,
+        }
+    }
+
+    /// The one true serialization: compact JSON, stable field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialization is infallible")
+    }
+}
+
+/// Renders a JSON error body `{"error": "..."}`.
+#[must_use]
+pub fn error_body(message: &str) -> String {
+    let mut m = Map::new();
+    m.insert("error", Value::String(message.to_owned()));
+    serde_json::to_string(&Value::Object(m)).expect("serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(text: &str) -> ScheduleRequest {
+        serde_json::from_str(text).expect("parses")
+    }
+
+    #[test]
+    fn cache_key_ignores_field_order_and_volatile_fields() {
+        let a = request(r#"{"platform":"mesh:2x2","graph":{"x":1,"y":2}}"#);
+        let b = request(
+            r#"{"graph":{"y":2,"x":1},"platform":"mesh:2x2","scheduler":"eas","mode":"async","threads":8}"#,
+        );
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.request_hash(), b.request_hash());
+        assert!(!a.is_async());
+        assert!(b.is_async());
+    }
+
+    #[test]
+    fn cache_key_separates_different_problems() {
+        let a = request(r#"{"platform":"mesh:2x2","graph":{"x":1}}"#);
+        let b = request(r#"{"platform":"mesh:4x4","graph":{"x":1}}"#);
+        let c = request(r#"{"platform":"mesh:2x2","graph":{"x":1},"scheduler":"edf"}"#);
+        let d = request(r#"{"platform":"mesh:2x2","graph":{"x":1},"faults":"tile:1"}"#);
+        let keys = [
+            a.canonical_key(),
+            b.canonical_key(),
+            c.canonical_key(),
+            d.canonical_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(error_body("bad \"x\""), r#"{"error":"bad \"x\""}"#);
+    }
+
+    #[test]
+    fn validate_response_shapes() {
+        let inv = ValidateResponse::invalid("overlap".into());
+        assert!(!inv.valid);
+        assert!(inv.to_json().contains("\"overlap\""));
+        let parsed: ValidateResponse = serde_json::from_str(&inv.to_json()).expect("round-trips");
+        assert_eq!(parsed, inv);
+    }
+}

@@ -1,0 +1,135 @@
+//! Content-addressed LRU cache of rendered schedule responses.
+//!
+//! Keys are *canonical request strings* (see [`crate::hash`]): two
+//! requests that describe the same (CTG, platform, faults, config)
+//! problem — regardless of JSON key order, whitespace or volatile
+//! fields like `mode` — share one entry. Values are the exact response
+//! bodies served to clients, so a hit returns bytes identical to the
+//! cold run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bounded LRU map from canonical request to rendered response body.
+#[derive(Debug)]
+pub struct ScheduleCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+impl ScheduleCache {
+    /// Creates a cache holding at most `capacity` responses. A capacity
+    /// of zero disables caching entirely (every lookup misses).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ScheduleCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.body)
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when the cache is full. Eviction scans all entries — O(n),
+    /// fine for the few-thousand-entry caches this service runs with.
+    pub fn insert(&mut self, key: String, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            Entry {
+                body,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached responses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let mut c = ScheduleCache::new(4);
+        assert!(c.get("k").is_none());
+        c.insert("k".into(), body("payload"));
+        assert_eq!(c.get("k").expect("hit").as_str(), "payload");
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut c = ScheduleCache::new(2);
+        c.insert("a".into(), body("A"));
+        c.insert("b".into(), body("B"));
+        assert!(c.get("a").is_some()); // a is now fresher than b
+        c.insert("c".into(), body("C"));
+        assert!(c.get("b").is_none(), "b was LRU and must be evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut c = ScheduleCache::new(2);
+        c.insert("a".into(), body("A"));
+        c.insert("a".into(), body("A2"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").expect("hit").as_str(), "A2");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ScheduleCache::new(0);
+        c.insert("a".into(), body("A"));
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+}

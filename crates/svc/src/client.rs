@@ -1,0 +1,207 @@
+//! A minimal blocking HTTP/1.1 client for the loopback service — used
+//! by the integration tests and the `svc_load` load generator, so the
+//! workspace exercises its own wire format end to end without external
+//! tooling.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One client response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First value of `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the service.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for `addr` (connects lazily).
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        Client {
+            addr,
+            conn: None,
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Creates a client, retrying the first connection for up to
+    /// `patience` — for racing a just-spawned server.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once `patience` is exhausted.
+    pub fn connect_retry(addr: SocketAddr, patience: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + patience;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(conn) => {
+                    let mut client = Client::new(addr);
+                    client.install(conn)?;
+                    return Ok(client);
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn install(&mut self, conn: TcpStream) -> std::io::Result<()> {
+        conn.set_read_timeout(Some(self.timeout))?;
+        conn.set_write_timeout(Some(self.timeout))?;
+        conn.set_nodelay(true)?;
+        self.conn = Some(conn);
+        Ok(())
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let conn = TcpStream::connect(self.addr)?;
+            self.install(conn)?;
+        }
+        Ok(self.conn.as_mut().expect("connection installed"))
+    }
+
+    /// Sends a `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let result = self.request_once(method, path, body);
+        if result.is_ok() {
+            return result;
+        }
+        // The server may have dropped an idle keep-alive connection;
+        // reconnect once before giving up.
+        self.conn = None;
+        self.request_once(method, path, body)
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: noc-svc\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.stream()?;
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        match read_response(stream) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-response",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line `{status_line}`"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}

@@ -1,0 +1,517 @@
+//! The scheduling engine behind the HTTP surface: request admission,
+//! single-flight deduplication, the bounded job queue, the
+//! content-addressed response cache and the scheduler workers.
+//!
+//! Admission order is fixed and lock-disciplined (never holding two of
+//! the cache / jobs locks at once): parse → resolve specs → cache
+//! lookup → join an identical in-flight job → enqueue a new one →
+//! reject with backpressure. The same canonical request therefore runs
+//! the scheduler **at most once** no matter how many clients submit it
+//! concurrently, and every one of them receives byte-identical bodies.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use serde::Deserialize;
+
+use noc_ctg::prelude::TaskGraph;
+use noc_eas::prelude::Scheduler;
+use noc_platform::prelude::Platform;
+
+use crate::api::{ScheduleRequest, ScheduleResponse, ValidateRequest, ValidateResponse};
+use crate::cache::ScheduleCache;
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, PushError};
+
+/// Finished jobs kept for `GET /v1/jobs/<id>` before the oldest are
+/// forgotten (their responses usually survive longer in the cache).
+const FINISHED_JOBS_RETAINED: usize = 1024;
+
+/// Lifecycle of one scheduling job.
+#[derive(Debug, Clone)]
+pub enum JobPhase {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing the scheduler.
+    Running,
+    /// Finished; the rendered response body.
+    Done(Arc<String>),
+    /// The scheduler failed; the error message.
+    Failed(String),
+}
+
+/// The resolved inputs a worker needs; taken (once) by the worker that
+/// executes the job.
+struct JobWork {
+    graph: TaskGraph,
+    platform: Platform,
+    scheduler: Box<dyn Scheduler + Send + Sync>,
+    scheduler_name: String,
+}
+
+/// One admitted scheduling job, shared between the submitting
+/// connections and the worker executing it.
+pub struct Job {
+    /// Content-hash id (doubles as the `GET /v1/jobs/<id>` handle).
+    id: String,
+    /// Canonical request string — the cache key.
+    key: String,
+    work: Mutex<Option<JobWork>>,
+    state: Mutex<JobPhase>,
+    finished: Condvar,
+}
+
+impl Job {
+    /// The job's content-hash id.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Current lifecycle phase (a snapshot).
+    #[must_use]
+    pub fn phase(&self) -> JobPhase {
+        self.state.lock().expect("job lock").clone()
+    }
+
+    /// Blocks until the job leaves the queue/running phases, returning
+    /// the terminal phase.
+    #[must_use]
+    pub fn wait(&self) -> JobPhase {
+        let mut state = self.state.lock().expect("job lock");
+        loop {
+            match &*state {
+                JobPhase::Done(_) | JobPhase::Failed(_) => return state.clone(),
+                JobPhase::Queued | JobPhase::Running => {
+                    state = self.finished.wait(state).expect("job lock");
+                }
+            }
+        }
+    }
+
+    fn set_phase(&self, phase: JobPhase) {
+        *self.state.lock().expect("job lock") = phase;
+        self.finished.notify_all();
+    }
+}
+
+/// Outcome of admitting one `POST /v1/schedule` body.
+pub enum Submission {
+    /// The body was not valid JSON for a [`ScheduleRequest`] → 400.
+    BadRequest(String),
+    /// The specs inside the body did not resolve (unknown platform,
+    /// scheduler, fault set or malformed graph) → 422.
+    BadSpec(String),
+    /// Served from the response cache → 200 with `X-Cache: hit`.
+    Cached {
+        /// Content-hash id of the request.
+        id: String,
+        /// The cached response body.
+        body: Arc<String>,
+    },
+    /// Joined an identical job already queued or running →
+    /// `X-Cache: join`.
+    Joined {
+        /// Content-hash id of the request.
+        id: String,
+        /// The in-flight job to wait on.
+        job: Arc<Job>,
+    },
+    /// Admitted as a new job → `X-Cache: miss`.
+    Enqueued {
+        /// Content-hash id of the request.
+        id: String,
+        /// The newly queued job.
+        job: Arc<Job>,
+    },
+    /// The job queue is full → 429 with `Retry-After`.
+    Rejected,
+    /// The engine is shutting down → 503.
+    ShuttingDown,
+}
+
+struct JobTable {
+    /// Live and recently finished jobs by id.
+    map: HashMap<String, Arc<Job>>,
+    /// Finished ids in completion order, for bounded retention.
+    finished: VecDeque<String>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Bounded job-queue capacity; submissions past it get 429.
+    pub queue_capacity: usize,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Default scheduler thread count when a request does not name one
+    /// (0 = all hardware threads).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            threads: 0,
+        }
+    }
+}
+
+/// The scheduling engine: admission, cache, queue and workers.
+pub struct Engine {
+    config: EngineConfig,
+    queue: JobQueue<Arc<Job>>,
+    cache: Mutex<ScheduleCache>,
+    jobs: Mutex<JobTable>,
+    /// The service-wide metrics registry.
+    pub metrics: Metrics,
+}
+
+impl Engine {
+    /// Creates an engine; workers are spawned by the caller with
+    /// [`worker_loop`](Engine::worker_loop).
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Arc<Self> {
+        Arc::new(Engine {
+            queue: JobQueue::new(config.queue_capacity),
+            cache: Mutex::new(ScheduleCache::new(config.cache_capacity)),
+            jobs: Mutex::new(JobTable {
+                map: HashMap::new(),
+                finished: VecDeque::new(),
+            }),
+            metrics: Metrics::new(),
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Admits one `POST /v1/schedule` body.
+    #[must_use]
+    pub fn submit(&self, body: &str) -> Submission {
+        let request: ScheduleRequest = match serde_json::from_str(body) {
+            Ok(r) => r,
+            Err(e) => return Submission::BadRequest(format!("invalid request body: {e}")),
+        };
+
+        // Resolve every spec *before* touching cache or queue, so a
+        // request that can never schedule is rejected up front and is
+        // never admitted, cached or coalesced.
+        let platform =
+            match crate::spec::parse_platform_faulted(&request.platform, request.faults.as_deref())
+            {
+                Ok(p) => p,
+                Err(e) => return Submission::BadSpec(e),
+            };
+        let graph = match TaskGraph::from_value(&request.graph) {
+            Ok(g) => g,
+            Err(e) => return Submission::BadSpec(format!("invalid graph: {e}")),
+        };
+        let threads = request.threads.unwrap_or(self.config.threads);
+        let scheduler_name = request.scheduler_name().to_owned();
+        let scheduler = match crate::spec::parse_scheduler(&scheduler_name, threads) {
+            Ok(s) => s,
+            Err(e) => return Submission::BadSpec(e),
+        };
+
+        let key = request.canonical_key();
+        let id = crate::hash::content_hash(&key);
+
+        if let Some(body) = self.cache.lock().expect("cache lock").get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Submission::Cached { id, body };
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Single-flight: the jobs-table lock makes the check-then-insert
+        // atomic, so concurrent identical submissions all land on one job.
+        let job = {
+            let mut table = self.jobs.lock().expect("jobs lock");
+            if let Some(existing) = table.map.get(&id) {
+                match existing.phase() {
+                    JobPhase::Queued | JobPhase::Running => {
+                        let job = Arc::clone(existing);
+                        drop(table);
+                        self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Submission::Joined { id, job };
+                    }
+                    // A finished twin lingers only for /v1/jobs lookups;
+                    // Done bodies also live in the cache (unless evicted
+                    // or the job failed) — fall through and re-run.
+                    JobPhase::Done(_) | JobPhase::Failed(_) => {
+                        table.map.remove(&id);
+                        table.finished.retain(|f| f != &id);
+                    }
+                }
+            }
+            let job = Arc::new(Job {
+                id: id.clone(),
+                key,
+                work: Mutex::new(Some(JobWork {
+                    graph,
+                    platform,
+                    scheduler,
+                    scheduler_name,
+                })),
+                state: Mutex::new(JobPhase::Queued),
+                finished: Condvar::new(),
+            });
+            table.map.insert(id.clone(), Arc::clone(&job));
+            job
+        };
+
+        match self.queue.try_push(Arc::clone(&job)) {
+            Ok(()) => {
+                self.metrics
+                    .queue_depth
+                    .store(self.queue.depth() as u64, Ordering::Relaxed);
+                Submission::Enqueued { id, job }
+            }
+            Err(err) => {
+                self.jobs.lock().expect("jobs lock").map.remove(&id);
+                match err {
+                    PushError::Full => {
+                        self.metrics.queue_rejected.fetch_add(1, Ordering::Relaxed);
+                        Submission::Rejected
+                    }
+                    PushError::Closed => Submission::ShuttingDown,
+                }
+            }
+        }
+    }
+
+    /// Looks a job up by its content-hash id.
+    #[must_use]
+    pub fn job(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("jobs lock").map.get(id).cloned()
+    }
+
+    /// Handles one `POST /v1/validate` body synchronously (validation
+    /// is cheap — no queueing, no caching).
+    ///
+    /// # Errors
+    ///
+    /// `Err((status, message))` with 400 for unparseable bodies and 422
+    /// for unresolvable specs; structural schedule violations are a
+    /// *successful* validation with `valid: false`.
+    pub fn validate(&self, body: &str) -> Result<ValidateResponse, (u16, String)> {
+        let request: ValidateRequest =
+            serde_json::from_str(body).map_err(|e| (400, format!("invalid request body: {e}")))?;
+        let platform =
+            crate::spec::parse_platform_faulted(&request.platform, request.faults.as_deref())
+                .map_err(|e| (422, e))?;
+        let graph = TaskGraph::from_value(&request.graph)
+            .map_err(|e| (422, format!("invalid graph: {e}")))?;
+        let schedule = noc_schedule::Schedule::from_value(&request.schedule)
+            .map_err(|e| (422, format!("invalid schedule: {e}")))?;
+        Ok(match noc_schedule::validate(&schedule, &graph, &platform) {
+            Ok(report) => ValidateResponse::ok(&report),
+            Err(e) => ValidateResponse::invalid(e.to_string()),
+        })
+    }
+
+    /// Runs jobs until the queue is closed and drained. Spawn one
+    /// thread per scheduling worker on this.
+    pub fn worker_loop(&self) {
+        while let Some(job) = self.queue.pop_blocking() {
+            self.metrics
+                .queue_depth
+                .store(self.queue.depth() as u64, Ordering::Relaxed);
+            self.run_job(&job);
+        }
+    }
+
+    fn run_job(&self, job: &Job) {
+        let Some(work) = job.work.lock().expect("job lock").take() else {
+            return; // already executed (double enqueue cannot happen, but stay safe)
+        };
+        job.set_phase(JobPhase::Running);
+        let started = Instant::now();
+        let outcome = work.scheduler.schedule(&work.graph, &work.platform);
+        let elapsed = started.elapsed().as_secs_f64();
+        match outcome {
+            Ok(outcome) => {
+                let response = ScheduleResponse::from_outcome(&work.scheduler_name, &outcome);
+                let body = Arc::new(response.to_json());
+                self.metrics
+                    .schedules_executed
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.observe_latency(elapsed);
+                self.cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(job.key.clone(), Arc::clone(&body));
+                job.set_phase(JobPhase::Done(body));
+            }
+            Err(e) => {
+                self.metrics.schedule_errors.fetch_add(1, Ordering::Relaxed);
+                job.set_phase(JobPhase::Failed(e.to_string()));
+            }
+        }
+        self.retire(&job.id);
+    }
+
+    /// Records `id` as finished and prunes the oldest finished jobs
+    /// past the retention bound.
+    fn retire(&self, id: &str) {
+        let mut table = self.jobs.lock().expect("jobs lock");
+        table.finished.push_back(id.to_owned());
+        while table.finished.len() > FINISHED_JOBS_RETAINED {
+            if let Some(old) = table.finished.pop_front() {
+                table.map.remove(&old);
+            }
+        }
+    }
+
+    /// Closes the queue: pending submissions fail with
+    /// [`Submission::ShuttingDown`], workers drain the backlog and exit.
+    pub fn shutdown(&self) {
+        self.queue.close();
+    }
+
+    /// Jobs currently waiting in the queue.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_json() -> String {
+        let platform = crate::spec::parse_platform("mesh:2x2").expect("platform");
+        let cfg = noc_ctg::prelude::TgffConfig::category_i(7);
+        let mut cfg = cfg;
+        cfg.task_count = 8;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
+        serde_json::to_string(&graph).expect("serializes")
+    }
+
+    fn request_body(graph: &str) -> String {
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf"}}"#)
+    }
+
+    #[test]
+    fn submit_run_cache_round_trip() {
+        let engine = Engine::new(EngineConfig::default());
+        let body = request_body(&graph_json());
+
+        let Submission::Enqueued { id, job } = engine.submit(&body) else {
+            panic!("first submission must enqueue");
+        };
+        // No worker threads in this test: run the backlog inline.
+        let worker = Arc::clone(&engine);
+        let handle = std::thread::spawn(move || {
+            worker.shutdown();
+            worker.worker_loop();
+        });
+        let JobPhase::Done(first) = job.wait() else {
+            panic!("job must finish");
+        };
+        handle.join().expect("worker exits");
+
+        // Second submission: byte-identical body straight from cache.
+        let Submission::Cached {
+            id: id2,
+            body: cached,
+        } = engine.submit(&body)
+        else {
+            panic!("second submission must hit the cache");
+        };
+        assert_eq!(id, id2);
+        assert_eq!(*first, *cached, "cache hit must be byte-identical");
+        assert_eq!(engine.metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics.schedules_executed.load(Ordering::Relaxed), 1);
+        assert!(engine.job(&id).is_some(), "finished job stays pollable");
+    }
+
+    #[test]
+    fn identical_concurrent_submissions_coalesce() {
+        let engine = Engine::new(EngineConfig::default());
+        let body = request_body(&graph_json());
+        let Submission::Enqueued { job, .. } = engine.submit(&body) else {
+            panic!("first submission must enqueue");
+        };
+        let Submission::Joined { job: joined, .. } = engine.submit(&body) else {
+            panic!("identical submission must join, not re-enqueue");
+        };
+        assert!(Arc::ptr_eq(&job, &joined));
+        assert_eq!(engine.metrics.coalesced.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.queue_depth(), 1, "one job queued, not two");
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let engine = Engine::new(EngineConfig {
+            queue_capacity: 1,
+            ..EngineConfig::default()
+        });
+        let graph = graph_json();
+        let a = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf"}}"#);
+        let b = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"dls"}}"#);
+        assert!(matches!(engine.submit(&a), Submission::Enqueued { .. }));
+        assert!(matches!(engine.submit(&b), Submission::Rejected));
+        assert_eq!(engine.metrics.queue_rejected.load(Ordering::Relaxed), 1);
+        // The rejected job must not linger in the table: resubmitting
+        // after drain re-enqueues rather than joining a ghost.
+        assert_eq!(engine.jobs.lock().expect("jobs lock").map.len(), 1);
+    }
+
+    #[test]
+    fn bad_bodies_and_specs_classify() {
+        let engine = Engine::new(EngineConfig::default());
+        assert!(matches!(
+            engine.submit("not json"),
+            Submission::BadRequest(_)
+        ));
+        assert!(matches!(
+            engine.submit(r#"{"graph":{},"platform":"ring:9x9"}"#),
+            Submission::BadSpec(_)
+        ));
+        let graph = graph_json();
+        assert!(matches!(
+            engine.submit(&format!(
+                r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"magic"}}"#
+            )),
+            Submission::BadSpec(_)
+        ));
+        assert_eq!(
+            engine.metrics.cache_misses.load(Ordering::Relaxed),
+            0,
+            "rejected submissions never touch the cache"
+        );
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work() {
+        let engine = Engine::new(EngineConfig::default());
+        engine.shutdown();
+        let body = request_body(&graph_json());
+        assert!(matches!(engine.submit(&body), Submission::ShuttingDown));
+    }
+
+    #[test]
+    fn validate_endpoint_classifies() {
+        let engine = Engine::new(EngineConfig::default());
+        assert_eq!(engine.validate("nope").unwrap_err().0, 400);
+        let graph = graph_json();
+        let err = engine
+            .validate(&format!(
+                r#"{{"graph":{graph},"platform":"mesh:2x2","schedule":{{}}}}"#
+            ))
+            .unwrap_err();
+        assert_eq!(err.0, 422);
+    }
+}

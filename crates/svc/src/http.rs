@@ -1,0 +1,359 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
+//! a loopback JSON service: request parsing with a bounded header/body
+//! size, `Content-Length` bodies, keep-alive, and response writing.
+//! No TLS, no chunked encoding, no multipart — requests that need them
+//! are rejected rather than misparsed.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block, bytes.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Request target, e.g. `/v1/schedule` (query strings are kept
+    /// verbatim; the service does not use them).
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` unless the client asked to close the connection.
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One response to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value), e.g. `X-Cache` / `Retry-After`.
+    pub extra_headers: Vec<(String, String)>,
+    /// The body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a full request
+    /// (includes a clean close between keep-alive requests) or stalled
+    /// mid-request past the socket timeout.
+    Disconnected,
+    /// The socket read timed out with no bytes received — the
+    /// connection is idle. The caller may poll again (e.g. after
+    /// checking a shutdown flag) or close it.
+    TimedOut,
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge(usize),
+}
+
+/// Reads one request from `stream`. `max_body` bounds the accepted
+/// `Content-Length`.
+///
+/// # Errors
+///
+/// [`ReadError::Disconnected`] on EOF/timeout, [`ReadError::Malformed`]
+/// on protocol violations, [`ReadError::BodyTooLarge`] past `max_body`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::Malformed("header block too large".into()));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle (nothing received) is pollable; a stall in the
+                // middle of a request is a dead peer.
+                return Err(if buf.is_empty() {
+                    ReadError::TimedOut
+                } else {
+                    ReadError::Disconnected
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ReadError::Malformed("header block is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line has no target".into()))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line has no version".into()))?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ReadError::Malformed(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err(ReadError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse()
+            .map_err(|_| ReadError::Malformed(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge(content_length));
+    }
+
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ReadError::Disconnected)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    }
+    body.truncate(content_length);
+    request.body = body;
+    Ok(request)
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes `response` to `stream` with an exact `Content-Length`.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket pair so the reader is
+    /// tested against the same transport the server uses.
+    fn feed(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connects");
+            s.write_all(&raw).expect("writes");
+            s
+        });
+        let (mut conn, _) = listener.accept().expect("accepts");
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .expect("timeout");
+        let result = read_request(&mut conn, 1024 * 1024);
+        drop(writer.join().expect("writer thread"));
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = feed(b"POST /v1/schedule HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+            .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/schedule");
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = feed(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_lengths() {
+        assert!(matches!(
+            feed(b"NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            feed(b"GET / HTTP/9.9\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            feed(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connects");
+            s.write_all(b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n")
+                .expect("writes");
+            s
+        });
+        let (mut conn, _) = listener.accept().expect("accepts");
+        let result = read_request(&mut conn, 10);
+        assert!(matches!(result, Err(ReadError::BodyTooLarge(99))));
+        drop(writer.join().expect("writer thread"));
+    }
+
+    #[test]
+    fn response_writes_exact_content_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connects");
+            let mut text = String::new();
+            s.read_to_string(&mut text).expect("reads");
+            text
+        });
+        let (mut conn, _) = listener.accept().expect("accepts");
+        let resp =
+            Response::json(429, "{\"error\":\"busy\"}".to_owned()).with_header("Retry-After", "1");
+        write_response(&mut conn, &resp, false).expect("writes");
+        drop(conn);
+        let text = reader.join().expect("reader thread");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 16\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"busy\"}"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Service metrics, rendered in Prometheus text exposition format.
+//!
+//! All counters are monotone and cheap (`AtomicU64`); the per-endpoint
+//! request table and the scheduling-latency histogram sit behind a
+//! mutex taken only on the affected events. Rendering iterates sorted
+//! containers so `/metrics` output is deterministic for a given state —
+//! the service's byte-stability discipline extends to its
+//! observability surface.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bounds (seconds) of the scheduling-latency histogram buckets;
+/// an implicit `+Inf` bucket completes the set.
+pub const LATENCY_BUCKETS: [f64; 12] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+];
+
+#[derive(Debug, Default)]
+struct Histogram {
+    /// Cumulative counts per bucket of [`LATENCY_BUCKETS`] (non-Inf).
+    buckets: [u64; LATENCY_BUCKETS.len()],
+    count: u64,
+    sum: f64,
+}
+
+/// The service-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests served, keyed by (normalized endpoint, status code).
+    requests: Mutex<BTreeMap<(String, u16), u64>>,
+    /// Schedule-cache hits (response served from memory).
+    pub cache_hits: AtomicU64,
+    /// Schedule-cache misses (a scheduling job ran or was joined).
+    pub cache_misses: AtomicU64,
+    /// Requests coalesced onto an identical in-flight job
+    /// (single-flight; counted in addition to the cache miss).
+    pub coalesced: AtomicU64,
+    /// Submissions rejected with 429 because the job queue was full.
+    pub queue_rejected: AtomicU64,
+    /// Scheduling jobs actually executed (cache misses that ran).
+    pub schedules_executed: AtomicU64,
+    /// Scheduling jobs that failed with a scheduler error.
+    pub schedule_errors: AtomicU64,
+    /// Current job-queue depth (gauge, maintained by the engine).
+    pub queue_depth: AtomicU64,
+    latency: Mutex<Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one served request for `endpoint` with `status`.
+    pub fn record_request(&self, endpoint: &str, status: u16) {
+        let mut table = self.requests.lock().expect("metrics lock");
+        *table.entry((endpoint.to_owned(), status)).or_insert(0) += 1;
+    }
+
+    /// Total requests recorded across all endpoints and statuses.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.requests.lock().expect("metrics lock").values().sum()
+    }
+
+    /// Records one scheduling execution latency, in seconds.
+    pub fn observe_latency(&self, seconds: f64) {
+        let mut h = self.latency.lock().expect("metrics lock");
+        h.count += 1;
+        h.sum += seconds;
+        for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+            if seconds <= *bound {
+                h.buckets[i] += 1;
+            }
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+
+        out.push_str(
+            "# HELP noc_svc_requests_total HTTP requests served, by endpoint and status.\n\
+             # TYPE noc_svc_requests_total counter\n",
+        );
+        for ((endpoint, status), count) in self.requests.lock().expect("metrics lock").iter() {
+            out.push_str(&format!(
+                "noc_svc_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        let counter = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        };
+        counter(
+            &mut out,
+            "noc_svc_cache_hits_total",
+            "Schedule-cache hits.",
+            &self.cache_hits,
+        );
+        counter(
+            &mut out,
+            "noc_svc_cache_misses_total",
+            "Schedule-cache misses.",
+            &self.cache_misses,
+        );
+        counter(
+            &mut out,
+            "noc_svc_requests_coalesced_total",
+            "Requests coalesced onto an identical in-flight job.",
+            &self.coalesced,
+        );
+        counter(
+            &mut out,
+            "noc_svc_queue_rejected_total",
+            "Submissions rejected with 429 (queue full).",
+            &self.queue_rejected,
+        );
+        counter(
+            &mut out,
+            "noc_svc_schedules_executed_total",
+            "Scheduling jobs executed.",
+            &self.schedules_executed,
+        );
+        counter(
+            &mut out,
+            "noc_svc_schedule_errors_total",
+            "Scheduling jobs that failed.",
+            &self.schedule_errors,
+        );
+        out.push_str(&format!(
+            "# HELP noc_svc_queue_depth Jobs waiting in the bounded queue.\n\
+             # TYPE noc_svc_queue_depth gauge\n\
+             noc_svc_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        let h = self.latency.lock().expect("metrics lock");
+        out.push_str(
+            "# HELP noc_svc_schedule_seconds Scheduling execution latency.\n\
+             # TYPE noc_svc_schedule_seconds histogram\n",
+        );
+        for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+            out.push_str(&format!(
+                "noc_svc_schedule_seconds_bucket{{le=\"{bound}\"}} {}\n",
+                h.buckets[i]
+            ));
+        }
+        out.push_str(&format!(
+            "noc_svc_schedule_seconds_bucket{{le=\"+Inf\"}} {}\n\
+             noc_svc_schedule_seconds_sum {}\n\
+             noc_svc_schedule_seconds_count {}\n",
+            h.count, h.sum, h.count
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_table_renders_sorted_labels() {
+        let m = Metrics::new();
+        m.record_request("/v1/schedule", 200);
+        m.record_request("/healthz", 200);
+        m.record_request("/v1/schedule", 200);
+        m.record_request("/v1/schedule", 429);
+        let text = m.render();
+        let healthz = text.find("endpoint=\"/healthz\"").expect("healthz row");
+        let sched = text
+            .find("endpoint=\"/v1/schedule\"")
+            .expect("schedule row");
+        assert!(healthz < sched, "rows render in sorted order");
+        assert!(text.contains("noc_svc_requests_total{endpoint=\"/v1/schedule\",status=\"200\"} 2"));
+        assert!(text.contains("noc_svc_requests_total{endpoint=\"/v1/schedule\",status=\"429\"} 1"));
+        assert_eq!(m.total_requests(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_latency(0.002); // falls into le=0.0025 and everything above
+        m.observe_latency(0.2); // le=0.25 and above
+        m.observe_latency(100.0); // only +Inf
+        let text = m.render();
+        assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"0.001\"} 0"));
+        assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"0.0025\"} 1"));
+        assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"0.25\"} 2"));
+        assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"5\"} 2"));
+        assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("noc_svc_schedule_seconds_count 3"));
+    }
+
+    #[test]
+    fn counters_render_their_values() {
+        let m = Metrics::new();
+        m.cache_hits.fetch_add(7, Ordering::Relaxed);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("noc_svc_cache_hits_total 7"));
+        assert!(text.contains("noc_svc_queue_depth 3"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The HTTP server: a fixed pool of connection workers over one
+//! `TcpListener`, routing to the [`Engine`](crate::engine::Engine), and
+//! a graceful shutdown that drains admitted jobs before the process
+//! exits.
+//!
+//! Endpoints:
+//!
+//! | Method | Path             | Purpose                                    |
+//! |--------|------------------|--------------------------------------------|
+//! | POST   | `/v1/schedule`   | Schedule a CTG; sync or `"mode":"async"`   |
+//! | POST   | `/v1/validate`   | Structurally check a schedule              |
+//! | GET    | `/v1/jobs/<id>`  | Poll an async submission                   |
+//! | GET    | `/healthz`       | Liveness                                   |
+//! | GET    | `/metrics`       | Prometheus text metrics                    |
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::api::error_body;
+use crate::engine::{Engine, EngineConfig, JobPhase, Submission};
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address, e.g. `127.0.0.1:8533`; port 0 picks a free port.
+    pub addr: String,
+    /// Connection (HTTP) worker threads.
+    pub http_workers: usize,
+    /// Scheduling worker threads; 0 admits jobs but never runs them
+    /// (useful to test queue backpressure deterministically).
+    pub sched_workers: usize,
+    /// Bounded job-queue capacity.
+    pub queue_capacity: usize,
+    /// Response-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Default scheduler thread count (0 = all hardware threads).
+    pub threads: usize,
+    /// Largest accepted request body, bytes.
+    pub max_body: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:8533".to_owned(),
+            http_workers: 4,
+            sched_workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            threads: 0,
+            max_body: 16 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running service instance.
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    http_handles: Vec<JoinHandle<()>>,
+    sched_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/clone failures on the listening socket.
+    pub fn start(config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Engine::new(EngineConfig {
+            queue_capacity: config.queue_capacity,
+            cache_capacity: config.cache_capacity,
+            threads: config.threads,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut sched_handles = Vec::new();
+        for i in 0..config.sched_workers {
+            let engine = Arc::clone(&engine);
+            sched_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-sched-{i}"))
+                    .spawn(move || engine.worker_loop())?,
+            );
+        }
+
+        let mut http_handles = Vec::new();
+        for i in 0..config.http_workers.max(1) {
+            let listener = listener.try_clone()?;
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let max_body = config.max_body;
+            let io_timeout = config.io_timeout;
+            http_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-http-{i}"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            match listener.accept() {
+                                Ok((conn, _)) => {
+                                    if stop.load(Ordering::Acquire) {
+                                        break;
+                                    }
+                                    handle_connection(&engine, conn, max_body, io_timeout, &stop);
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            engine,
+            addr,
+            stop,
+            http_handles,
+            sched_handles,
+        })
+    }
+
+    /// The bound socket address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine, for inspection (metrics, queue depth).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new submissions, drain
+    /// every admitted job, join all workers.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.engine.shutdown();
+        // accept() has no timeout; unblock each HTTP worker with one
+        // dummy connection, which it drops on seeing the stop flag.
+        for _ in 0..self.http_handles.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.http_handles.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.sched_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until every worker exits (i.e. forever, unless another
+    /// thread triggers shutdown or the process is signalled).
+    pub fn wait(mut self) {
+        for h in self.http_handles.drain(..) {
+            let _ = h.join();
+        }
+        for h in self.sched_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Socket read granularity: bounds both shutdown latency (the stop
+/// flag is re-checked every poll) and the cost of idle keep-alive
+/// connections.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+fn handle_connection(
+    engine: &Engine,
+    mut conn: TcpStream,
+    max_body: usize,
+    timeout: Duration,
+    stop: &AtomicBool,
+) {
+    let _ = conn.set_read_timeout(Some(READ_POLL.min(timeout)));
+    let _ = conn.set_write_timeout(Some(timeout));
+    let _ = conn.set_nodelay(true);
+    let mut idle_since = std::time::Instant::now();
+    loop {
+        let request = match read_request(&mut conn, max_body) {
+            Ok(r) => {
+                idle_since = std::time::Instant::now();
+                r
+            }
+            Err(ReadError::TimedOut) => {
+                // Idle connection: drop it on shutdown or past the
+                // keep-alive timeout, otherwise poll again.
+                if stop.load(Ordering::Acquire) || idle_since.elapsed() >= timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(ReadError::Disconnected) => return,
+            Err(ReadError::Malformed(msg)) => {
+                let resp = Response::json(400, error_body(&format!("malformed request: {msg}")));
+                engine.metrics.record_request("malformed", 400);
+                let _ = write_response(&mut conn, &resp, false);
+                return;
+            }
+            Err(ReadError::BodyTooLarge(n)) => {
+                let resp = Response::json(
+                    413,
+                    error_body(&format!("request body of {n} bytes too large")),
+                );
+                engine.metrics.record_request("malformed", 413);
+                let _ = write_response(&mut conn, &resp, false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive();
+        let response = route(engine, &request);
+        engine
+            .metrics
+            .record_request(endpoint_label(&request), response.status);
+        if write_response(&mut conn, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Normalizes a request path to a bounded metrics label.
+fn endpoint_label(request: &Request) -> &'static str {
+    match request.path.as_str() {
+        "/v1/schedule" => "/v1/schedule",
+        "/v1/validate" => "/v1/validate",
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        p if p.starts_with("/v1/jobs/") => "/v1/jobs",
+        _ => "other",
+    }
+}
+
+fn route(engine: &Engine, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n".to_owned()),
+        ("GET", "/metrics") => Response::text(200, engine.metrics.render()),
+        ("POST", "/v1/schedule") => schedule_route(engine, request),
+        ("POST", "/v1/validate") => match std::str::from_utf8(&request.body) {
+            Err(_) => Response::json(400, error_body("request body is not UTF-8")),
+            Ok(body) => match engine.validate(body) {
+                Ok(resp) => Response::json(200, resp.to_json()),
+                Err((status, msg)) => Response::json(status, error_body(&msg)),
+            },
+        },
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            jobs_route(engine, &path["/v1/jobs/".len()..])
+        }
+        (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/validate") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        _ => Response::json(404, error_body("no such endpoint")),
+    }
+}
+
+fn schedule_route(engine: &Engine, request: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::json(400, error_body("request body is not UTF-8"));
+    };
+    // `mode` only matters for fresh/joined jobs; a cached answer is
+    // final either way.
+    let wants_async = serde_json::from_str::<crate::api::ScheduleRequest>(body)
+        .map(|r| r.is_async())
+        .unwrap_or(false);
+    match engine.submit(body) {
+        Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
+        Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
+        Submission::Cached { id, body } => Response::json(200, body.as_str().to_owned())
+            .with_header("X-Cache", "hit")
+            .with_header("X-Request-Hash", &id),
+        Submission::Joined { id, job } => {
+            if wants_async {
+                accepted_response(&id)
+            } else {
+                finish_response(&id, &job.wait(), "join")
+            }
+        }
+        Submission::Enqueued { id, job } => {
+            if wants_async {
+                accepted_response(&id)
+            } else {
+                finish_response(&id, &job.wait(), "miss")
+            }
+        }
+        Submission::Rejected => Response::json(429, error_body("job queue is full; retry later"))
+            .with_header("Retry-After", "1"),
+        Submission::ShuttingDown => Response::json(503, error_body("service is shutting down")),
+    }
+}
+
+/// 202 body for an async submission (ids are hex — no escaping needed).
+fn accepted_response(id: &str) -> Response {
+    Response::json(202, format!("{{\"id\":\"{id}\",\"status\":\"queued\"}}"))
+        .with_header("X-Request-Hash", id)
+}
+
+fn finish_response(id: &str, phase: &JobPhase, cache_label: &str) -> Response {
+    match phase {
+        JobPhase::Done(body) => Response::json(200, body.as_str().to_owned())
+            .with_header("X-Cache", cache_label)
+            .with_header("X-Request-Hash", id),
+        JobPhase::Failed(msg) => {
+            Response::json(500, error_body(&format!("scheduling failed: {msg}")))
+                .with_header("X-Request-Hash", id)
+        }
+        JobPhase::Queued | JobPhase::Running => {
+            Response::json(500, error_body("job did not reach a terminal state"))
+        }
+    }
+}
+
+fn jobs_route(engine: &Engine, id: &str) -> Response {
+    let Some(job) = engine.job(id) else {
+        return Response::json(404, error_body("no such job"));
+    };
+    match job.phase() {
+        JobPhase::Queued => {
+            Response::json(200, format!("{{\"id\":\"{id}\",\"status\":\"queued\"}}"))
+        }
+        JobPhase::Running => {
+            Response::json(200, format!("{{\"id\":\"{id}\",\"status\":\"running\"}}"))
+        }
+        // Splice the stored body verbatim so the `result` field is
+        // byte-identical to the sync answer.
+        JobPhase::Done(body) => Response::json(
+            200,
+            format!("{{\"id\":\"{id}\",\"status\":\"done\",\"result\":{body}}}"),
+        ),
+        JobPhase::Failed(msg) => Response::json(
+            200,
+            format!(
+                "{{\"id\":\"{id}\",\"status\":\"failed\",\"error\":{}}}",
+                serde_json::to_string(&serde::Value::String(msg)).expect("serializes")
+            ),
+        ),
+    }
+}

@@ -1,0 +1,296 @@
+//! End-to-end loopback tests of the scheduling service: real sockets,
+//! real worker pools, the shipped client. Covers the happy path, error
+//! classification, queue backpressure, cache byte-identity,
+//! single-flight coalescing, the async job flow and graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use noc_svc::client::Client;
+use noc_svc::{Server, ServiceConfig};
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        http_workers: 4,
+        sched_workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        threads: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+fn client(server: &Server) -> Client {
+    Client::connect_retry(server.addr(), Duration::from_secs(5)).expect("connects")
+}
+
+/// A small deterministic task graph, serialized the way `noceas
+/// generate --out` writes it.
+fn graph_json(seed: u64, tasks: usize) -> String {
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform");
+    let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed);
+    cfg.task_count = tasks;
+    let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+        .generate(&platform)
+        .expect("generates");
+    serde_json::to_string(&graph).expect("serializes")
+}
+
+fn schedule_body(graph: &str, scheduler: &str) -> String {
+    format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#)
+}
+
+#[test]
+fn happy_path_health_metrics_and_schedule() {
+    let server = Server::start(config()).expect("starts");
+    let mut c = client(&server);
+
+    let health = c.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let body = schedule_body(&graph_json(11, 10), "eas");
+    let resp = c.post("/v1/schedule", &body).expect("schedules");
+    assert_eq!(resp.status, 200, "body: {}", resp.body);
+    assert_eq!(resp.header("x-cache"), Some("miss"));
+    let parsed: noc_svc::api::ScheduleResponse =
+        serde_json::from_str(&resp.body).expect("valid schedule body");
+    assert_eq!(parsed.scheduler, "eas");
+    assert!(parsed.energy_nj > 0.0);
+
+    // Round-trip the produced schedule through /v1/validate.
+    let schedule_json = serde_json::to_string(&parsed.schedule).expect("serializes");
+    let validate_body = format!(
+        r#"{{"graph":{},"platform":"mesh:2x2","schedule":{schedule_json}}}"#,
+        graph_json(11, 10)
+    );
+    let validated = c.post("/v1/validate", &validate_body).expect("validates");
+    assert_eq!(validated.status, 200, "body: {}", validated.body);
+    let report: noc_svc::api::ValidateResponse =
+        serde_json::from_str(&validated.body).expect("valid body");
+    assert!(report.valid, "the service's own schedule must validate");
+
+    let metrics = c.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("noc_svc_schedules_executed_total 1"));
+    assert!(metrics
+        .body
+        .contains("noc_svc_requests_total{endpoint=\"/healthz\",status=\"200\"} 1"));
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_unroutable_requests_classify() {
+    let server = Server::start(config()).expect("starts");
+    let mut c = client(&server);
+
+    let resp = c.post("/v1/schedule", "this is not json").expect("answers");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("error"));
+
+    let resp = c
+        .post("/v1/schedule", r#"{"graph":{},"platform":"ring:9x9"}"#)
+        .expect("answers");
+    assert_eq!(resp.status, 422);
+
+    let resp = c.get("/no/such/path").expect("answers");
+    assert_eq!(resp.status, 404);
+
+    let resp = c.post("/healthz", "{}").expect("answers");
+    assert_eq!(resp.status, 405);
+
+    let resp = c.get("/v1/jobs/deadbeef").expect("answers");
+    assert_eq!(resp.status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn cache_hit_returns_byte_identical_bodies() {
+    let server = Server::start(config()).expect("starts");
+    let mut c = client(&server);
+    let body = schedule_body(&graph_json(3, 12), "edf");
+
+    let first = c.post("/v1/schedule", &body).expect("cold run");
+    assert_eq!(first.status, 200);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+
+    let second = c.post("/v1/schedule", &body).expect("cached run");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+    assert_eq!(
+        first.header("x-request-hash"),
+        second.header("x-request-hash")
+    );
+
+    // Key order in the request body must not matter: same problem, same
+    // cache entry, same bytes.
+    let reordered = format!(
+        r#"{{"scheduler":"edf","platform":"mesh:2x2","graph":{}}}"#,
+        graph_json(3, 12)
+    );
+    let third = c.post("/v1/schedule", &reordered).expect("reordered run");
+    assert_eq!(third.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, third.body);
+
+    let metrics = c.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("noc_svc_cache_hits_total 2"));
+    assert!(metrics.body.contains("noc_svc_schedules_executed_total 1"));
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    let server = Server::start(ServiceConfig {
+        sched_workers: 0, // nobody drains: the queue fills deterministically
+        queue_capacity: 1,
+        ..config()
+    })
+    .expect("starts");
+    let mut c = client(&server);
+    let graph = graph_json(5, 8);
+
+    let first =
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf","mode":"async"}}"#);
+    let resp = c.post("/v1/schedule", &first).expect("admits");
+    assert_eq!(resp.status, 202, "body: {}", resp.body);
+    assert!(resp.body.contains("\"status\":\"queued\""));
+
+    // An identical resubmission coalesces (does not consume capacity)...
+    let resp = c.post("/v1/schedule", &first).expect("joins");
+    assert_eq!(resp.status, 202);
+
+    // ...while a different problem is rejected with backpressure.
+    let second =
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"dls","mode":"async"}}"#);
+    let resp = c.post("/v1/schedule", &second).expect("rejects");
+    assert_eq!(resp.status, 429);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    let metrics = c.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("noc_svc_queue_rejected_total 1"));
+    assert!(metrics.body.contains("noc_svc_queue_depth 1"));
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_schedule_once() {
+    let server = Server::start(config()).expect("starts");
+    let addr = server.addr();
+    let body = Arc::new(schedule_body(&graph_json(21, 16), "eas"));
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let body = Arc::clone(&body);
+            std::thread::spawn(move || {
+                let mut c = Client::connect_retry(addr, Duration::from_secs(5)).expect("connects");
+                let resp = c.post("/v1/schedule", &body).expect("schedules");
+                (resp.status, resp.body)
+            })
+        })
+        .collect();
+    let results: Vec<(u16, String)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+
+    let reference = &results[0].1;
+    for (status, resp_body) in &results {
+        assert_eq!(*status, 200);
+        assert_eq!(
+            resp_body, reference,
+            "every concurrent client gets byte-identical bodies"
+        );
+    }
+
+    let mut c = client(&server);
+    let metrics = c.get("/metrics").expect("metrics");
+    assert!(
+        metrics.body.contains("noc_svc_schedules_executed_total 1"),
+        "identical concurrent requests must run the scheduler exactly once:\n{}",
+        metrics.body
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn async_flow_polls_to_the_same_bytes_as_sync() {
+    let server = Server::start(config()).expect("starts");
+    let mut c = client(&server);
+    let graph = graph_json(8, 10);
+
+    let sync_body = schedule_body(&graph, "dls");
+    let sync = c.post("/v1/schedule", &sync_body).expect("sync run");
+    assert_eq!(sync.status, 200);
+
+    // Different scheduler → different cache entry → actually exercises
+    // the async queue rather than the cache.
+    let async_body =
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf","mode":"async"}}"#);
+    let accepted = c.post("/v1/schedule", &async_body).expect("accepted");
+    assert_eq!(accepted.status, 202, "body: {}", accepted.body);
+    let id = accepted
+        .header("x-request-hash")
+        .expect("hash header")
+        .to_owned();
+
+    let mut done_body = None;
+    for _ in 0..200 {
+        let poll = c.get(&format!("/v1/jobs/{id}")).expect("polls");
+        assert_eq!(poll.status, 200);
+        if poll.body.contains("\"status\":\"done\"") {
+            done_body = Some(poll.body);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let done_body = done_body.expect("job finishes within 2s");
+
+    // The spliced result must be the byte-exact sync serialization.
+    let sync_edf = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf"}}"#);
+    let direct = c.post("/v1/schedule", &sync_edf).expect("cached now");
+    assert_eq!(direct.header("x-cache"), Some("hit"));
+    assert_eq!(
+        done_body,
+        format!(
+            r#"{{"id":"{id}","status":"done","result":{}}}"#,
+            direct.body
+        )
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_jobs() {
+    let server = Server::start(ServiceConfig {
+        sched_workers: 1,
+        ..config()
+    })
+    .expect("starts");
+    let mut c = client(&server);
+    let graph = graph_json(2, 10);
+    let body =
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf","mode":"async"}}"#);
+    let accepted = c.post("/v1/schedule", &body).expect("admits");
+    assert_eq!(accepted.status, 202);
+
+    let engine = Arc::clone(server.engine());
+    server.shutdown();
+    // After a graceful shutdown the admitted job has been executed, not
+    // dropped.
+    assert_eq!(
+        engine
+            .metrics
+            .schedules_executed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(engine.queue_depth(), 0);
+}
