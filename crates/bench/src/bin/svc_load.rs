@@ -32,6 +32,9 @@ struct ServiceBench {
     clients: usize,
     distinct_problems: usize,
     errors: usize,
+    /// 429 answers that were retried; excluded from `requests`,
+    /// throughput and the latency percentiles.
+    retries_429: usize,
     determinism_violations: usize,
     wall_s: f64,
     throughput_rps: f64,
@@ -48,6 +51,8 @@ struct ServiceBench {
 struct WorkerResult {
     latencies_us: Vec<u64>,
     errors: usize,
+    /// 429 backpressure answers that were slept on and retried.
+    retries_429: usize,
     /// First response body seen per request-mix index.
     bodies: HashMap<usize, String>,
     /// Determinism violations observed *within* this worker.
@@ -148,11 +153,13 @@ fn main() {
     // Merge: identical mix indices must have answered identical bytes
     // across *all* workers, not just within one.
     let mut errors = 0usize;
+    let mut retries_429 = 0usize;
     let mut violations = 0usize;
     let mut latencies: Vec<u64> = Vec::new();
     let mut reference: HashMap<usize, String> = HashMap::new();
     for r in results {
         errors += r.errors;
+        retries_429 += r.retries_429;
         violations += r.violations;
         latencies.extend(r.latencies_us);
         for (idx, body) in r.bodies {
@@ -188,6 +195,7 @@ fn main() {
         clients,
         distinct_problems: mix.len(),
         errors,
+        retries_429,
         determinism_violations: violations,
         wall_s,
         throughput_rps: if wall_s > 0.0 {
@@ -211,7 +219,8 @@ fn main() {
 
     println!(
         "{done} requests in {wall_s:.2}s ({:.0} rps) | p50 {:.2}ms p99 {:.2}ms | \
-         cache hit rate {:.1}% | {errors} errors, {violations} determinism violations",
+         cache hit rate {:.1}% | {retries_429} backpressure retries | \
+         {errors} errors, {violations} determinism violations",
         report.throughput_rps,
         report.p50_ms,
         report.p99_ms,
@@ -249,6 +258,7 @@ fn run_worker(
     let mut result = WorkerResult {
         latencies_us: Vec::new(),
         errors: 0,
+        retries_429: 0,
         bodies: HashMap::new(),
         violations: 0,
     };
@@ -266,13 +276,16 @@ fn run_worker(
         let sent = Instant::now();
         match client.post("/v1/schedule", &mix[idx]) {
             Ok(resp) => {
-                result.latencies_us.push(sent.elapsed().as_micros() as u64);
                 if resp.status == 429 {
                     // Honest backpressure: honor Retry-After and retry
                     // the same request instead of counting an error.
+                    // Not a completed request — it contributes neither a
+                    // latency sample nor a throughput count.
+                    result.retries_429 += 1;
                     std::thread::sleep(Duration::from_millis(50));
                     continue;
                 }
+                result.latencies_us.push(sent.elapsed().as_micros() as u64);
                 if resp.status != 200 {
                     eprintln!(
                         "worker {worker}: request {n} answered {}: {}",

@@ -33,7 +33,9 @@ USAGE:
       Schedule a task graph and report energy / deadline statistics.
       --json replaces the human-readable summary with the same compact
       JSON body the HTTP service answers (one serialization of a
-      schedule, byte-identical across surfaces).
+      schedule, byte-identical across surfaces). The --out and --vcd
+      artifacts are still written; --gantt/--links/--csv render into
+      the replaced summary and are rejected alongside --json.
       --threads fans trial evaluation out over N workers (0 = all
       cores); the schedule is identical for every thread count.
       --faults masks permanently failed resources: dead PEs leave the
@@ -190,9 +192,27 @@ fn schedule(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
 
     if args.has_flag("json") {
+        // --gantt/--links/--csv render into the human-readable summary
+        // that --json replaces; refuse the combination instead of
+        // silently dropping them.
+        for flag in ["gantt", "links", "csv"] {
+            if args.has_flag(flag) {
+                return Err(format!(
+                    "--{flag} renders the human-readable summary and cannot be combined with --json"
+                ));
+            }
+        }
         // The exact body the HTTP service answers: one serialization of
-        // a schedule, shared via noc_svc::api.
+        // a schedule, shared via noc_svc::api. --vcd and --out produce
+        // file artifacts, so both still apply.
         let response = noc_svc::api::ScheduleResponse::from_outcome(scheduler.name(), &outcome);
+        if let Some(path) = args.get("vcd") {
+            fs::write(
+                path,
+                noc_schedule::vcd::to_vcd(&outcome.schedule, &graph, &platform),
+            )
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
         if let Some(path) = args.get("out") {
             save_json(path, &outcome.schedule)?;
         }
@@ -654,6 +674,60 @@ mod tests {
             serde_json::from_str(out.trim()).expect("parses");
         assert!(!resp.valid);
         assert!(resp.error.is_some());
+    }
+
+    #[test]
+    fn schedule_json_keeps_artifacts_and_rejects_summary_flags() {
+        let graph_path = tmp("gjf.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "8",
+            "--seed",
+            "3",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+
+        // --vcd is a file artifact, not summary output: it must still be
+        // written when --json replaces the summary.
+        let vcd_path = tmp("gjf.vcd");
+        let _ = fs::remove_file(&vcd_path);
+        run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--json",
+            "--vcd",
+            &vcd_path,
+        ]))
+        .expect("schedule --json --vcd");
+        let vcd = fs::read_to_string(&vcd_path).expect("vcd artifact written under --json");
+        assert!(vcd.contains("$timescale"));
+
+        // Summary renderers cannot combine with --json: error, never a
+        // silent drop.
+        for flag in ["--gantt", "--links", "--csv"] {
+            let err = run(&args(&[
+                "schedule",
+                "--graph",
+                &graph_path,
+                "--platform",
+                "mesh:2x2",
+                "--json",
+                flag,
+            ]))
+            .expect_err("summary flag with --json must be rejected");
+            assert!(
+                err.contains(flag),
+                "error must name the offending flag: {err}"
+            );
+        }
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! single-flight deduplication, the bounded job queue, the
 //! content-addressed response cache and the scheduler workers.
 //!
-//! Admission order is fixed and lock-disciplined (never holding two of
-//! the cache / jobs locks at once): parse → resolve specs → cache
-//! lookup → join an identical in-flight job → enqueue a new one →
-//! reject with backpressure. The same canonical request therefore runs
-//! the scheduler **at most once** no matter how many clients submit it
-//! concurrently, and every one of them receives byte-identical bodies.
+//! Admission order is fixed and lock-disciplined (lock order is always
+//! jobs → queue, and the cache lock is never held with either): parse →
+//! resolve specs → cache lookup → join an identical in-flight job →
+//! enqueue a new one → reject with backpressure. The same canonical
+//! request therefore runs the scheduler **at most once** no matter how
+//! many clients submit it concurrently, and every one of them receives
+//! byte-identical bodies.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
@@ -233,50 +234,61 @@ impl Engine {
 
         // Single-flight: the jobs-table lock makes the check-then-insert
         // atomic, so concurrent identical submissions all land on one job.
-        let job = {
-            let mut table = self.jobs.lock().expect("jobs lock");
-            if let Some(existing) = table.map.get(&id) {
-                match existing.phase() {
-                    JobPhase::Queued | JobPhase::Running => {
-                        let job = Arc::clone(existing);
-                        drop(table);
-                        self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                        return Submission::Joined { id, job };
-                    }
-                    // A finished twin lingers only for /v1/jobs lookups;
-                    // Done bodies also live in the cache (unless evicted
-                    // or the job failed) — fall through and re-run.
-                    JobPhase::Done(_) | JobPhase::Failed(_) => {
-                        table.map.remove(&id);
-                        table.finished.retain(|f| f != &id);
-                    }
+        // It stays held across the queue push (lock order jobs → queue):
+        // a job must never be visible in the table unless it is actually
+        // queued, or a concurrent identical submission could join a job
+        // that admission is about to discard and wait on it forever.
+        let mut table = self.jobs.lock().expect("jobs lock");
+        if let Some(existing) = table.map.get(&id) {
+            match existing.phase() {
+                JobPhase::Queued | JobPhase::Running => {
+                    let job = Arc::clone(existing);
+                    drop(table);
+                    self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Submission::Joined { id, job };
+                }
+                // A finished twin's body is the canonical response for
+                // this request: serve it directly. The cache lookup
+                // above can legitimately miss it — the worker publishes
+                // Done before the submitter's cache check lands, or the
+                // entry was already evicted — and re-running instead
+                // would break the at-most-once guarantee.
+                JobPhase::Done(body) => {
+                    drop(table);
+                    self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return Submission::Cached { id, body };
+                }
+                // A failed twin is forgotten and the request retried.
+                JobPhase::Failed(_) => {
+                    table.map.remove(&id);
+                    table.finished.retain(|f| f != &id);
                 }
             }
-            let job = Arc::new(Job {
-                id: id.clone(),
-                key,
-                work: Mutex::new(Some(JobWork {
-                    graph,
-                    platform,
-                    scheduler,
-                    scheduler_name,
-                })),
-                state: Mutex::new(JobPhase::Queued),
-                finished: Condvar::new(),
-            });
-            table.map.insert(id.clone(), Arc::clone(&job));
-            job
-        };
+        }
+        let job = Arc::new(Job {
+            id: id.clone(),
+            key,
+            work: Mutex::new(Some(JobWork {
+                graph,
+                platform,
+                scheduler,
+                scheduler_name,
+            })),
+            state: Mutex::new(JobPhase::Queued),
+            finished: Condvar::new(),
+        });
 
         match self.queue.try_push(Arc::clone(&job)) {
             Ok(()) => {
+                table.map.insert(id.clone(), Arc::clone(&job));
+                drop(table);
                 self.metrics
                     .queue_depth
                     .store(self.queue.depth() as u64, Ordering::Relaxed);
                 Submission::Enqueued { id, job }
             }
             Err(err) => {
-                self.jobs.lock().expect("jobs lock").map.remove(&id);
+                drop(table);
                 match err {
                     PushError::Full => {
                         self.metrics.queue_rejected.fetch_add(1, Ordering::Relaxed);
@@ -464,8 +476,11 @@ mod tests {
         assert!(matches!(engine.submit(&a), Submission::Enqueued { .. }));
         assert!(matches!(engine.submit(&b), Submission::Rejected));
         assert_eq!(engine.metrics.queue_rejected.load(Ordering::Relaxed), 1);
-        // The rejected job must not linger in the table: resubmitting
-        // after drain re-enqueues rather than joining a ghost.
+        // A rejected job must never have been visible in the table: an
+        // identical resubmission is rejected again (never joined to a
+        // ghost that no worker will ever run), and after drain it would
+        // re-enqueue.
+        assert!(matches!(engine.submit(&b), Submission::Rejected));
         assert_eq!(engine.jobs.lock().expect("jobs lock").map.len(), 1);
     }
 

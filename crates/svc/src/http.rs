@@ -105,14 +105,21 @@ pub enum ReadError {
 }
 
 /// Reads one request from `stream`. `max_body` bounds the accepted
-/// `Content-Length`.
+/// `Content-Length`. `carry` holds bytes received past the previous
+/// request's body (an HTTP/1.1 client may legally pipeline); they are
+/// consumed first, and any bytes past *this* request's body are left in
+/// `carry` for the next call — keep one buffer per connection.
 ///
 /// # Errors
 ///
 /// [`ReadError::Disconnected`] on EOF/timeout, [`ReadError::Malformed`]
 /// on protocol violations, [`ReadError::BodyTooLarge`] past `max_body`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    carry: &mut Vec<u8>,
+) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
         if let Some(pos) = find_header_end(&buf) {
@@ -206,7 +213,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             Err(_) => return Err(ReadError::Disconnected),
         }
     }
-    body.truncate(content_length);
+    // Bytes past the declared body are the start of a pipelined next
+    // request — keep them for the next read, never drop them.
+    if body.len() > content_length {
+        carry.extend_from_slice(&body[content_length..]);
+        body.truncate(content_length);
+    }
     request.body = body;
     Ok(request)
 }
@@ -279,7 +291,7 @@ mod tests {
         let (mut conn, _) = listener.accept().expect("accepts");
         conn.set_read_timeout(Some(std::time::Duration::from_millis(500)))
             .expect("timeout");
-        let result = read_request(&mut conn, 1024 * 1024);
+        let result = read_request(&mut conn, 1024 * 1024, &mut Vec::new());
         drop(writer.join().expect("writer thread"));
         result
     }
@@ -319,6 +331,36 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_are_not_dropped() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        // Two requests in one segment: the bytes past the first body
+        // must be carried over, not truncated away.
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connects");
+            s.write_all(
+                b"POST /v1/schedule HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirst\
+                  GET /healthz HTTP/1.1\r\n\r\n"
+                    .as_slice(),
+            )
+            .expect("writes");
+            s
+        });
+        let (mut conn, _) = listener.accept().expect("accepts");
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(500)))
+            .expect("timeout");
+        let mut carry = Vec::new();
+        let first = read_request(&mut conn, 1024, &mut carry).expect("first parses");
+        assert_eq!(first.body, b"first");
+        assert!(!carry.is_empty(), "pipelined bytes must be carried");
+        let second = read_request(&mut conn, 1024, &mut carry).expect("second parses");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(carry.is_empty());
+        drop(writer.join().expect("writer thread"));
+    }
+
+    #[test]
     fn rejects_oversized_bodies() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
         let addr = listener.local_addr().expect("addr");
@@ -329,7 +371,7 @@ mod tests {
             s
         });
         let (mut conn, _) = listener.accept().expect("accepts");
-        let result = read_request(&mut conn, 10);
+        let result = read_request(&mut conn, 10, &mut Vec::new());
         assert!(matches!(result, Err(ReadError::BodyTooLarge(99))));
         drop(writer.join().expect("writer thread"));
     }

@@ -189,8 +189,10 @@ fn handle_connection(
     let _ = conn.set_write_timeout(Some(timeout));
     let _ = conn.set_nodelay(true);
     let mut idle_since = std::time::Instant::now();
+    // Bytes a pipelining client sent past the previous request's body.
+    let mut carry: Vec<u8> = Vec::new();
     loop {
-        let request = match read_request(&mut conn, max_body) {
+        let request = match read_request(&mut conn, max_body, &mut carry) {
             Ok(r) => {
                 idle_since = std::time::Instant::now();
                 r
@@ -220,7 +222,10 @@ fn handle_connection(
                 return;
             }
         };
-        let keep_alive = request.keep_alive();
+        // A back-to-back keep-alive client would otherwise be served
+        // past shutdown indefinitely: once the stop flag is set, answer
+        // the in-flight request with `Connection: close` and hang up.
+        let keep_alive = request.keep_alive() && !stop.load(Ordering::Acquire);
         let response = route(engine, &request);
         engine
             .metrics
