@@ -8,11 +8,27 @@
 //! Flags: `--addr <host:port>` (default `127.0.0.1:8533`),
 //! `--requests <N>` (default 1200), `--clients <N>` (default 4),
 //! `--graphs <N>` distinct problems (default 12), `--seed <N>`
-//! (default 0x5EC). The first positional argument overrides the
+//! (default 0x5EC), `--timeout-ms <N>` client read/write timeout
+//! (default 60000). The first positional argument overrides the
 //! artifact path. Exits non-zero on any transport error, non-200
 //! answer, or determinism violation.
+//!
+//! Chaos modes, for the crash-recovery CI gate:
+//!
+//! * `--chaos [--jobs N] [--state chaos_state.json]` — attacks a
+//!   *journaled* server: posts `chaos-panic` requests (each must fail
+//!   with an isolated 500 while the service keeps answering), kills
+//!   connections mid-request, then submits N async jobs and records
+//!   their ids plus the locally computed expected response bytes in the
+//!   state file. The harness SIGKILLs the server afterwards.
+//! * `--chaos-verify --state chaos_state.json` — runs against the
+//!   *restarted* server: polls every recorded job until the replayed
+//!   journal finishes it, byte-compares each response against the
+//!   expected bytes, re-posts each body expecting the identical answer,
+//!   and writes the `BENCH_chaos.json` artifact.
 
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,12 +76,17 @@ struct WorkerResult {
 }
 
 fn main() {
-    let mut out_path = "BENCH_service.json".to_owned();
+    let mut out_path: Option<String> = None;
     let mut addr_text = "127.0.0.1:8533".to_owned();
     let mut requests = 1200usize;
     let mut clients = 4usize;
     let mut graphs = 12usize;
     let mut seed = 0x5ECu64;
+    let mut timeout_ms = 60_000u64;
+    let mut chaos = false;
+    let mut chaos_verify = false;
+    let mut jobs = 8usize;
+    let mut state_path = "chaos_state.json".to_owned();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -85,11 +106,16 @@ fn main() {
             "--clients" => clients = parse::<usize>(&flag_value(&mut i)).max(1),
             "--graphs" => graphs = parse::<usize>(&flag_value(&mut i)).max(1),
             "--seed" => seed = parse(&flag_value(&mut i)),
+            "--timeout-ms" => timeout_ms = parse::<u64>(&flag_value(&mut i)).max(1),
+            "--jobs" => jobs = parse::<usize>(&flag_value(&mut i)).max(1),
+            "--state" => state_path = flag_value(&mut i),
+            "--chaos" => chaos = true,
+            "--chaos-verify" => chaos_verify = true,
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 std::process::exit(2);
             }
-            path => out_path = path.to_owned(),
+            path => out_path = Some(path.to_owned()),
         }
         i += 1;
     }
@@ -97,6 +123,26 @@ fn main() {
         eprintln!("error: bad --addr {addr_text:?}");
         std::process::exit(2);
     });
+    let timeout = Duration::from_millis(timeout_ms);
+
+    if chaos && chaos_verify {
+        eprintln!("error: --chaos and --chaos-verify are mutually exclusive");
+        std::process::exit(2);
+    }
+    if chaos {
+        std::process::exit(run_chaos(addr, seed, jobs, timeout, &state_path));
+    }
+    if chaos_verify {
+        let out = out_path.unwrap_or_else(|| "BENCH_chaos.json".to_owned());
+        std::process::exit(run_chaos_verify(
+            addr,
+            &addr_text,
+            timeout,
+            &state_path,
+            &out,
+        ));
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_service.json".to_owned());
 
     println!(
         "== svc_load: {requests} requests, {clients} clients, {graphs} graphs x \
@@ -128,6 +174,7 @@ fn main() {
         eprintln!("error: cannot reach {addr}: {e}");
         std::process::exit(1);
     });
+    let _ = probe.set_timeout(timeout);
     let health = probe.get("/healthz").unwrap_or_else(|e| {
         eprintln!("error: /healthz failed: {e}");
         std::process::exit(1);
@@ -141,7 +188,7 @@ fn main() {
     let handles: Vec<_> = (0..clients)
         .map(|worker| {
             let mix = Arc::clone(&mix);
-            std::thread::spawn(move || run_worker(addr, &mix, worker, clients, requests))
+            std::thread::spawn(move || run_worker(addr, &mix, worker, clients, requests, timeout))
         })
         .collect();
     let results: Vec<WorkerResult> = handles
@@ -254,6 +301,7 @@ fn run_worker(
     worker: usize,
     clients: usize,
     requests: usize,
+    timeout: Duration,
 ) -> WorkerResult {
     let mut result = WorkerResult {
         latencies_us: Vec::new(),
@@ -270,6 +318,7 @@ fn run_worker(
             return result;
         }
     };
+    let _ = client.set_timeout(timeout);
     let mut n = worker;
     while n < requests {
         let idx = n % mix.len();
@@ -313,6 +362,373 @@ fn run_worker(
         n += clients;
     }
     result
+}
+
+/// One async job recorded by the chaos phase for the verify phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ChaosJob {
+    /// Job id the server answered with (202 body).
+    id: String,
+    /// Scheduler the job names.
+    scheduler: String,
+    /// The exact request body submitted.
+    body: String,
+    /// Locally computed response bytes the finished job must match.
+    expected: String,
+}
+
+/// The chaos → verify handoff file.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ChaosState {
+    seed: u64,
+    jobs: Vec<ChaosJob>,
+}
+
+/// The `BENCH_chaos.json` artifact.
+#[derive(Debug, Serialize)]
+struct ChaosBench {
+    addr: String,
+    jobs: usize,
+    recovered: usize,
+    byte_identical: usize,
+    repost_identical: usize,
+    journal_replayed: u64,
+    worker_panics: u64,
+    errors: usize,
+    wall_s: f64,
+}
+
+/// Chaos phase: panic-injection probes, mid-request connection kills,
+/// then a wave of journaled async jobs whose expected bytes are
+/// computed locally. Returns the process exit code.
+fn run_chaos(addr: SocketAddr, seed: u64, jobs: usize, timeout: Duration, state_path: &str) -> i32 {
+    let mut errors = 0usize;
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = client.set_timeout(timeout);
+    println!("== svc_load --chaos: {jobs} async jobs, seed {seed:#x} -> {addr} ==");
+
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+
+    // 1. Panic isolation: a `chaos-panic` request must die alone — a
+    //    typed 500 for that request, business as usual for the next.
+    for probe in 0..2u64 {
+        let mut cfg =
+            noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(0x9A9C).wrapping_add(probe));
+        cfg.task_count = 8;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        let body =
+            format!(r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"chaos-panic"}}"#);
+        match client.post("/v1/schedule", &body) {
+            Ok(resp) if resp.status == 500 && resp.body.contains("panic") => {}
+            Ok(resp) => {
+                eprintln!(
+                    "error: chaos-panic probe {probe} answered {} (want isolated 500): {}",
+                    resp.status, resp.body
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: chaos-panic probe {probe} transport failure: {e}");
+                errors += 1;
+            }
+        }
+        // The same connection must keep working after the panic.
+        let healthy =
+            format!(r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"edf"}}"#);
+        match client.post("/v1/schedule", &healthy) {
+            Ok(resp) if resp.status == 200 => {}
+            Ok(resp) => {
+                eprintln!("error: post-panic request answered {}", resp.status);
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: post-panic request failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    println!("panic isolation probes done ({errors} errors so far)");
+
+    // 2. Mid-flight kills: open a connection, send a torn request head
+    //    that promises a body which never arrives, and hang up.
+    for _ in 0..3 {
+        if let Ok(mut raw) = std::net::TcpStream::connect(addr) {
+            let torn = "POST /v1/schedule HTTP/1.1\r\nHost: chaos\r\n\
+                        Content-Type: application/json\r\nContent-Length: 4096\r\n\r\n{\"graph\":";
+            let _ = raw.write_all(torn.as_bytes());
+            let _ = raw.flush();
+            drop(raw);
+        }
+    }
+    match client.get("/healthz") {
+        Ok(resp) if resp.status == 200 => {}
+        Ok(resp) => {
+            eprintln!(
+                "error: /healthz answered {} after torn requests",
+                resp.status
+            );
+            errors += 1;
+        }
+        Err(e) => {
+            eprintln!("error: /healthz failed after torn requests: {e}");
+            errors += 1;
+        }
+    }
+
+    // 3. Journaled async wave: fresh seeds (disjoint from the normal
+    //    load mix, so no finished twin or cache entry can answer 200)
+    //    with the expected bytes computed locally — schedules are
+    //    byte-deterministic, so the restarted server must reproduce
+    //    them exactly.
+    let mut state = ChaosState {
+        seed,
+        jobs: Vec::new(),
+    };
+    for j in 0..jobs {
+        // The first job is deliberately heavy (annealing a larger
+        // graph): against a `--sched-workers 1` server it pins the
+        // worker, so the rest of the wave is still accepted-but-
+        // unfinished when the harness SIGKILLs — the replay path the
+        // gate exists to exercise.
+        let scheduler = if j == 0 {
+            "anneal"
+        } else {
+            ["edf", "dls", "eas"][j % 3]
+        };
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(
+            seed.wrapping_add(0xC4A0).wrapping_add(j as u64),
+        );
+        cfg.task_count = if j == 0 { 96 } else { 12 + (j % 3) * 4 };
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        let expected = match noc_svc::spec::parse_scheduler(scheduler, 1) {
+            Ok(s) => match s.schedule(&graph, &platform) {
+                Ok(outcome) => {
+                    noc_svc::api::ScheduleResponse::from_outcome(scheduler, &outcome).to_json()
+                }
+                Err(e) => {
+                    eprintln!("error: local {scheduler} schedule for job {j} failed: {e}");
+                    errors += 1;
+                    continue;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        let body = format!(
+            r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}","mode":"async"}}"#
+        );
+        match client.post("/v1/schedule", &body) {
+            Ok(resp) if resp.status == 202 => {
+                let id = serde_json::from_str::<serde_json::Value>(&resp.body)
+                    .ok()
+                    .and_then(|v| {
+                        v.as_object()
+                            .and_then(|m| m.get("id"))
+                            .and_then(|id| id.as_str().map(str::to_owned))
+                    });
+                match id {
+                    Some(id) => state.jobs.push(ChaosJob {
+                        id,
+                        scheduler: scheduler.to_owned(),
+                        body,
+                        expected,
+                    }),
+                    None => {
+                        eprintln!("error: 202 body has no id: {}", resp.body);
+                        errors += 1;
+                    }
+                }
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "error: async job {j} answered {} (want 202): {}",
+                    resp.status, resp.body
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: async job {j} failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+
+    match serde_json::to_string_pretty(&state) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(state_path, json) {
+                eprintln!("error: cannot write {state_path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize state: {e}");
+            return 1;
+        }
+    }
+    println!(
+        "{} async jobs accepted and journaled; state -> {state_path}; {errors} errors",
+        state.jobs.len()
+    );
+    i32::from(errors > 0 || state.jobs.is_empty())
+}
+
+/// Verify phase, run against the restarted server: every job recorded
+/// by the chaos phase must finish with exactly the locally computed
+/// bytes, a re-post of each body must hit the recovered result, and the
+/// journal-replay counter must prove the recovery actually happened.
+/// Returns the process exit code.
+fn run_chaos_verify(
+    addr: SocketAddr,
+    addr_text: &str,
+    timeout: Duration,
+    state_path: &str,
+    out_path: &str,
+) -> i32 {
+    let state: ChaosState = match std::fs::read_to_string(state_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("error: cannot load {state_path}: {e}");
+            return 1;
+        }
+    };
+    let started = Instant::now();
+    let mut errors = 0usize;
+    let mut recovered = 0usize;
+    let mut byte_identical = 0usize;
+    let mut repost_identical = 0usize;
+    // Generous patience: the restarted server replays the journal and
+    // re-runs every unfinished job before the answers converge.
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach restarted server {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = client.set_timeout(timeout);
+    println!(
+        "== svc_load --chaos-verify: {} jobs from {state_path} -> {addr} ==",
+        state.jobs.len()
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for job in &state.jobs {
+        let path = format!("/v1/jobs/{}", job.id);
+        let outcome = loop {
+            match client.get(&path) {
+                Ok(resp)
+                    if resp.body.contains("\"status\":\"queued\"")
+                        || resp.body.contains("\"status\":\"running\"") =>
+                {
+                    if Instant::now() > deadline {
+                        break Err(format!("job {} still pending at deadline", job.id));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Ok(resp) if resp.status == 200 => break Ok(resp.body),
+                Ok(resp) => {
+                    break Err(format!(
+                        "job {} answered {}: {}",
+                        job.id, resp.status, resp.body
+                    ))
+                }
+                Err(e) => break Err(format!("job {} poll failed: {e}", job.id)),
+            }
+        };
+        match outcome {
+            Ok(body) => {
+                recovered += 1;
+                let expected = format!(
+                    "{{\"id\":\"{}\",\"status\":\"done\",\"result\":{}}}",
+                    job.id, job.expected
+                );
+                if body == expected {
+                    byte_identical += 1;
+                } else {
+                    eprintln!(
+                        "error: job {} ({}) diverged after recovery:\n  want {expected}\n  got  {body}",
+                        job.id, job.scheduler
+                    );
+                    errors += 1;
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                errors += 1;
+            }
+        }
+        // The recovered result must also serve the original request.
+        match client.post("/v1/schedule", &job.body) {
+            Ok(resp) if resp.status == 200 && resp.body == job.expected => repost_identical += 1,
+            Ok(resp) => {
+                eprintln!(
+                    "error: re-post of job {} answered {} with divergent bytes",
+                    job.id, resp.status
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: re-post of job {} failed: {e}", job.id);
+                errors += 1;
+            }
+        }
+    }
+
+    let metrics = client.get("/metrics").map(|r| r.body).unwrap_or_default();
+    let journal_replayed = scrape(&metrics, "noc_svc_journal_replayed_total");
+    if journal_replayed == 0 {
+        eprintln!("error: noc_svc_journal_replayed_total is 0 — the restart never replayed");
+        errors += 1;
+    }
+    let report = ChaosBench {
+        addr: addr_text.to_owned(),
+        jobs: state.jobs.len(),
+        recovered,
+        byte_identical,
+        repost_identical,
+        journal_replayed,
+        worker_panics: scrape(&metrics, "noc_svc_worker_panics_total"),
+        errors,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    println!(
+        "{recovered}/{} jobs recovered, {byte_identical} byte-identical, \
+         {repost_identical} re-posts identical, {journal_replayed} journal records replayed, \
+         {errors} errors",
+        report.jobs
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return 1;
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            return 1;
+        }
+    }
+    i32::from(errors > 0)
 }
 
 /// Extracts a single-value counter from Prometheus text.

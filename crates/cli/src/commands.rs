@@ -28,9 +28,13 @@ USAGE:
   noceas schedule --graph graph.json --platform mesh:4x4
                   [--scheduler eas|eas-base|edf|dls|anneal]
                   [--faults tile:4,link:1-2]
-                  [--threads N] [--out schedule.json] [--vcd waves.vcd]
+                  [--threads N] [--budget-ms MS]
+                  [--out schedule.json] [--vcd waves.vcd]
                   [--gantt] [--links] [--csv] [--json]
       Schedule a task graph and report energy / deadline statistics.
+      --budget-ms bounds the scheduler to a wall-clock compute budget;
+      an exhausted budget is a clean typed error (no partial schedule),
+      so retry with a larger budget or a cheaper scheduler.
       --json replaces the human-readable summary with the same compact
       JSON body the HTTP service answers (one serialization of a
       schedule, byte-identical across surfaces). The --out and --vcd
@@ -51,10 +55,17 @@ USAGE:
 
   noceas serve [--addr 127.0.0.1:8533] [--http-workers N]
                [--sched-workers N] [--queue N] [--cache N] [--threads N]
+               [--budget-ms MS] [--journal PATH]
       Run the scheduling service: POST /v1/schedule, POST /v1/validate,
       GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
       bounded at --queue entries (429 + Retry-After past it) and
       responses are cached content-addressed in --cache entries.
+      --budget-ms bounds each request's scheduler; past the budget the
+      service answers the degraded energy-blind EDF fallback, marked
+      \"degraded\":true plus a Degraded-Mode header, instead of a 500.
+      --journal write-ahead-logs accepted async jobs to PATH; after a
+      crash (even kill -9) the restarted server replays the journal,
+      re-runs unfinished jobs and answers byte-identically.
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -187,9 +198,18 @@ fn schedule(args: &Args) -> Result<String, String> {
     let graph = load_graph(args.require("graph")?)?;
     let threads: usize = args.get_num("threads", 1)?;
     let scheduler = parse_scheduler(args.get_or("scheduler", "eas"), threads)?;
-    let outcome = scheduler
-        .schedule(&graph, &platform)
-        .map_err(|e| e.to_string())?;
+    let outcome = match args.get("budget-ms") {
+        None => scheduler.schedule(&graph, &platform),
+        Some(text) => {
+            let ms: u64 = text
+                .parse()
+                .map_err(|_| format!("bad --budget-ms `{text}` (milliseconds)"))?;
+            let budget =
+                noc_eas::prelude::ComputeBudget::wall_clock(std::time::Duration::from_millis(ms));
+            scheduler.schedule_with_budget(&graph, &platform, &budget)
+        }
+    }
+    .map_err(|e| e.to_string())?;
 
     if args.has_flag("json") {
         // --gantt/--links/--csv render into the human-readable summary
@@ -298,6 +318,14 @@ fn serve(args: &Args) -> Result<String, String> {
         queue_capacity: args.get_num("queue", 64usize)?,
         cache_capacity: args.get_num("cache", 1024usize)?,
         threads: args.get_num("threads", 0usize)?,
+        budget_ms: match args.get("budget-ms") {
+            None => None,
+            Some(text) => Some(
+                text.parse()
+                    .map_err(|_| format!("bad --budget-ms `{text}` (milliseconds)"))?,
+            ),
+        },
+        journal: args.get("journal").map(str::to_owned),
         ..noc_svc::ServiceConfig::default()
     };
     let server = noc_svc::Server::start(config).map_err(|e| e.to_string())?;
@@ -728,6 +756,66 @@ mod tests {
                 "error must name the offending flag: {err}"
             );
         }
+    }
+
+    #[test]
+    fn schedule_budget_exhaustion_is_a_clean_typed_error() {
+        let graph_path = tmp("gb.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "4",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        // A zero budget interrupts EAS at its first checkpoint.
+        let err = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--budget-ms",
+            "0",
+        ]))
+        .expect_err("zero budget must interrupt");
+        assert!(err.contains("budget"), "typed budget error, got `{err}`");
+        // A generous budget changes nothing: same summary as no budget.
+        let bounded = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--budget-ms",
+            "600000",
+        ]))
+        .expect("schedules within budget");
+        let unbounded = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+        ]))
+        .expect("schedules");
+        assert_eq!(bounded, unbounded, "budgets never change the result");
+        // Garbage budgets are rejected up front.
+        assert!(run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--budget-ms",
+            "soon",
+        ]))
+        .is_err());
     }
 
     #[test]

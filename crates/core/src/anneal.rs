@@ -21,6 +21,7 @@ use noc_platform::tile::PeId;
 use noc_platform::Platform;
 use noc_schedule::{validate, Schedule, ScheduleStats};
 
+use crate::limit::{ComputeBudget, Interrupt};
 use crate::repair::RepairStats;
 use crate::retime::{retime, OrderedAssignment};
 use crate::scheduler::{ScheduleOutcome, Scheduler};
@@ -110,19 +111,40 @@ impl AnnealScheduler {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> (Schedule, usize) {
+        self.refine_budgeted(start, graph, platform, &ComputeBudget::unlimited())
+            .expect("unlimited budget never interrupts")
+    }
+
+    /// Budgeted variant of [`refine`](AnnealScheduler::refine): the
+    /// budget is polled once per chain iteration (every restart chain
+    /// shares the same allowance). An interrupted refinement drops all
+    /// chain state — the warm-start schedule is untouched.
+    ///
+    /// # Errors
+    ///
+    /// The [`Interrupt`] that fired in any chain.
+    pub fn refine_budgeted(
+        &self,
+        start: Schedule,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+    ) -> Result<(Schedule, usize), Interrupt> {
         let restarts = self.config.restarts.max(1);
         if restarts == 1 {
             let (schedule, accepted, _) =
-                self.refine_chain(self.config.seed, &start, graph, platform);
-            return (schedule, accepted);
+                self.refine_chain(self.config.seed, &start, graph, platform, budget)?;
+            return Ok((schedule, accepted));
         }
         let workers = noc_par::effective_threads(self.config.threads);
         let seeds: Vec<u64> = (0..restarts as u64)
             .map(|i| self.config.seed.wrapping_add(i))
             .collect();
         let chains = noc_par::par_map(workers, &seeds, |_, &seed| {
-            self.refine_chain(seed, &start, graph, platform)
+            self.refine_chain(seed, &start, graph, platform, budget)
         });
+        let chains: Vec<(Schedule, usize, f64)> =
+            chains.into_iter().collect::<Result<_, Interrupt>>()?;
         let mut win = 0;
         for (i, chain) in chains.iter().enumerate().skip(1) {
             if chain.2 < chains[win].2 {
@@ -130,7 +152,7 @@ impl AnnealScheduler {
             }
         }
         let (schedule, accepted, _) = chains.into_iter().nth(win).expect("winner exists");
-        (schedule, accepted)
+        Ok((schedule, accepted))
     }
 
     /// One annealing chain: the original serial Metropolis loop, seeded
@@ -141,12 +163,13 @@ impl AnnealScheduler {
         start: &Schedule,
         graph: &TaskGraph,
         platform: &Platform,
-    ) -> (Schedule, usize, f64) {
+        budget: &ComputeBudget,
+    ) -> Result<(Schedule, usize, f64), Interrupt> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut oa = OrderedAssignment::from_schedule(start, platform);
         let mut current = match retime(graph, platform, &oa) {
             Some(s) => s,
-            None => return (start.clone(), 0, self.cost(start, graph, platform)),
+            None => return Ok((start.clone(), 0, self.cost(start, graph, platform))),
         };
         let mut current_cost = self.cost(&current, graph, platform);
         let mut best = current.clone();
@@ -160,6 +183,7 @@ impl AnnealScheduler {
         let task_count = graph.task_count();
 
         for _ in 0..self.config.iterations {
+            budget.check()?;
             // Propose: 50% migration, 50% adjacent swap on one PE.
             let backup = oa.clone();
             if rng.random_bool(0.5) {
@@ -211,7 +235,7 @@ impl AnnealScheduler {
             }
             temperature = (temperature * self.config.cooling).max(1e-9);
         }
-        (best, accepted, best_cost)
+        Ok((best, accepted, best_cost))
     }
 }
 
@@ -230,8 +254,17 @@ impl Scheduler for AnnealScheduler {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> Result<ScheduleOutcome, SchedulerError> {
-        let warm = EasScheduler::full().schedule(graph, platform)?;
-        let (schedule, _) = self.refine(warm.schedule, graph, platform);
+        self.schedule_with_budget(graph, platform, &ComputeBudget::unlimited())
+    }
+
+    fn schedule_with_budget(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        let warm = EasScheduler::full().schedule_with_budget(graph, platform, budget)?;
+        let (schedule, _) = self.refine_budgeted(warm.schedule, graph, platform, budget)?;
         let report = validate(&schedule, graph, platform)?;
         let stats = ScheduleStats::compute(&schedule, graph, platform);
         Ok(ScheduleOutcome {

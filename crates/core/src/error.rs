@@ -3,6 +3,8 @@ use std::fmt;
 
 use noc_schedule::ScheduleError;
 
+use crate::limit::Interrupt;
+
 /// Errors produced by the schedulers in this crate.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -23,6 +25,19 @@ pub enum SchedulerError {
     /// scheduler bug surfaced as an error rather than a panic so batch
     /// experiment runs can continue.
     InvalidSchedule(ScheduleError),
+    /// The run was cancelled through its [`CancelToken`] before a
+    /// schedule was produced. No partial state escapes: re-running the
+    /// same problem uninterrupted is byte-identical to a run that was
+    /// never cancelled.
+    ///
+    /// [`CancelToken`]: crate::limit::CancelToken
+    Interrupted,
+    /// The [`ComputeBudget`] (wall-clock or step allowance) ran out
+    /// before a schedule was produced. Callers may retry with a larger
+    /// budget or fall back to a cheaper scheduler (e.g. EDF).
+    ///
+    /// [`ComputeBudget`]: crate::limit::ComputeBudget
+    BudgetExhausted(Interrupt),
 }
 
 impl fmt::Display for SchedulerError {
@@ -37,6 +52,10 @@ impl fmt::Display for SchedulerError {
             }
             SchedulerError::InvalidSchedule(e) => {
                 write!(f, "scheduler produced an invalid schedule: {e}")
+            }
+            SchedulerError::Interrupted => write!(f, "scheduling was cancelled"),
+            SchedulerError::BudgetExhausted(cause) => {
+                write!(f, "compute budget exhausted: {cause}")
             }
         }
     }
@@ -57,6 +76,15 @@ impl From<ScheduleError> for SchedulerError {
     }
 }
 
+impl From<Interrupt> for SchedulerError {
+    fn from(cause: Interrupt) -> Self {
+        match cause {
+            Interrupt::Cancelled => SchedulerError::Interrupted,
+            Interrupt::WallClock | Interrupt::Steps => SchedulerError::BudgetExhausted(cause),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +99,21 @@ mod tests {
         assert!(e.source().is_none());
         let e = SchedulerError::from(ScheduleError::UnplacedTask(noc_ctg::task::TaskId::new(0)));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn interrupt_maps_to_typed_variants() {
+        assert_eq!(
+            SchedulerError::from(Interrupt::Cancelled),
+            SchedulerError::Interrupted
+        );
+        assert_eq!(
+            SchedulerError::from(Interrupt::Steps),
+            SchedulerError::BudgetExhausted(Interrupt::Steps)
+        );
+        let e = SchedulerError::from(Interrupt::WallClock);
+        assert!(e.to_string().contains("budget exhausted"));
+        assert!(e.source().is_none());
     }
 
     #[test]

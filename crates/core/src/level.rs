@@ -22,6 +22,7 @@ use noc_platform::units::{Energy, Time};
 use noc_schedule::{ResourceTables, TaskPlacement};
 
 use crate::budget::SlackBudgets;
+use crate::limit::{ComputeBudget, Interrupt};
 use crate::placer::{trial_eval, Placer, Trial};
 use crate::scheduler::CommModel;
 
@@ -29,11 +30,30 @@ use crate::scheduler::CommModel;
 /// every task is placed. Serial trial evaluation (equivalent to
 /// [`level_schedule_threads`] with one thread).
 pub fn level_schedule(placer: &mut Placer<'_>, budgets: &SlackBudgets, model: CommModel) {
-    level_loop(placer, budgets, |placer, jobs| {
+    level_schedule_budgeted(placer, budgets, model, &ComputeBudget::unlimited())
+        .expect("unlimited budget never interrupts");
+}
+
+/// Like [`level_schedule`], but polls `budget` at every round boundary
+/// (one placement committed per round) and stops early when it runs
+/// out. On interrupt the placer holds only fully committed placements —
+/// discarding it leaves no observable state, and an uninterrupted rerun
+/// of the same problem is byte-identical.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that fired.
+pub fn level_schedule_budgeted(
+    placer: &mut Placer<'_>,
+    budgets: &SlackBudgets,
+    model: CommModel,
+    budget: &ComputeBudget,
+) -> Result<(), Interrupt> {
+    level_loop(placer, budgets, budget, |placer, jobs| {
         jobs.iter()
             .map(|&(t, k)| placer.cached_trial(t, k, model))
             .collect()
-    });
+    })
 }
 
 /// Read-only snapshot handed to the trial workers for one round: the
@@ -60,10 +80,26 @@ pub fn level_schedule_threads(
     model: CommModel,
     threads: usize,
 ) {
+    level_schedule_threads_budgeted(placer, budgets, model, threads, &ComputeBudget::unlimited())
+        .expect("unlimited budget never interrupts");
+}
+
+/// Budgeted variant of [`level_schedule_threads`]: same determinism
+/// contract, plus a [`ComputeBudget`] poll at every round boundary.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that fired.
+pub fn level_schedule_threads_budgeted(
+    placer: &mut Placer<'_>,
+    budgets: &SlackBudgets,
+    model: CommModel,
+    threads: usize,
+    budget: &ComputeBudget,
+) -> Result<(), Interrupt> {
     let workers = effective_threads(threads);
     if workers <= 1 {
-        level_schedule(placer, budgets, model);
-        return;
+        return level_schedule_budgeted(placer, budgets, model, budget);
     }
     let graph = placer.graph();
     let platform = placer.platform();
@@ -88,7 +124,7 @@ pub fn level_schedule_threads(
                     .collect()
             },
         );
-        level_loop(placer, budgets, |placer, jobs| {
+        level_loop(placer, budgets, budget, |placer, jobs| {
             // Cache hits are resolved inline; only stale cells go to the
             // pool, and their fresh values re-enter the cache.
             let mut out: Vec<Option<Trial>> = jobs
@@ -119,21 +155,31 @@ pub fn level_schedule_threads(
             out.into_iter()
                 .map(|slot| slot.expect("every job filled"))
                 .collect()
-        });
-    });
+        })
+    })
 }
 
 /// The round loop shared by the serial and parallel entry points:
 /// `eval_round` must return one [`Trial`] per `(task, PE)` job, in job
 /// order — everything downstream (urgency, energy regret, commits) is
 /// common code, which is what makes the two paths bit-identical.
-fn level_loop<F>(placer: &mut Placer<'_>, budgets: &SlackBudgets, mut eval_round: F)
+///
+/// The budget is polled once per round, *before* any trial of the round
+/// runs: an interrupt can therefore only land between fully committed
+/// placements, never mid-commit.
+fn level_loop<F>(
+    placer: &mut Placer<'_>,
+    budgets: &SlackBudgets,
+    budget: &ComputeBudget,
+    mut eval_round: F,
+) -> Result<(), Interrupt>
 where
     F: FnMut(&mut Placer<'_>, &[(TaskId, PeId)]) -> Vec<Trial>,
 {
     // Candidate PEs: dead ones (platform faults) are masked out.
     let pes: Vec<PeId> = placer.platform().alive_pes().collect();
     while !placer.is_done() {
+        budget.check()?;
         let ready: Vec<TaskId> = placer.ready_tasks().to_vec();
         debug_assert!(!ready.is_empty(), "DAG guarantees progress");
 
@@ -220,6 +266,7 @@ where
         let (i, _, k) = best.expect("nonempty ready list");
         placer.commit(ready[i], k);
     }
+    Ok(())
 }
 
 /// The PE giving the earliest finish (ties: lower energy, then lower id).

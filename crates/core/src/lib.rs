@@ -60,6 +60,7 @@ pub mod dls;
 pub mod edf;
 mod error;
 pub mod level;
+pub mod limit;
 pub mod mapping;
 pub mod placer;
 pub mod repair;
@@ -75,6 +76,7 @@ pub use scheduler::{
 pub mod prelude {
     pub use crate::anneal::{AnnealConfig, AnnealScheduler};
     pub use crate::budget::SlackBudgets;
+    pub use crate::limit::{CancelToken, ComputeBudget, Interrupt};
     pub use crate::mapping::MapThenScheduleScheduler;
     pub use crate::scheduler::{
         CommModel, DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome, Scheduler,

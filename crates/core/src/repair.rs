@@ -24,6 +24,7 @@ use noc_platform::Platform;
 use noc_schedule::Schedule;
 
 use crate::comm::incoming_comm_energy;
+use crate::limit::{ComputeBudget, Interrupt};
 use crate::retime::{retime, OrderedAssignment};
 
 /// Counters describing one repair run.
@@ -109,20 +110,46 @@ pub fn search_and_repair_threads(
     schedule: Schedule,
     threads: usize,
 ) -> (Schedule, RepairStats) {
+    search_and_repair_threads_budgeted(
+        graph,
+        platform,
+        schedule,
+        threads,
+        &ComputeBudget::unlimited(),
+    )
+    .expect("unlimited budget never interrupts")
+}
+
+/// Budgeted variant of [`search_and_repair_threads`]: the budget is
+/// polled before every LTS candidate re-timing and every GTM candidate
+/// block. All candidate state lives in clones; an interrupt simply
+/// drops the partially repaired schedule, so no reservation or ordering
+/// change survives it.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that fired.
+pub fn search_and_repair_threads_budgeted(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: Schedule,
+    threads: usize,
+    budget: &ComputeBudget,
+) -> Result<(Schedule, RepairStats), Interrupt> {
     let workers = noc_par::effective_threads(threads);
     let mut stats = RepairStats::default();
     if badness(&schedule, graph).0 == 0 {
-        return (schedule, stats);
+        return Ok((schedule, stats));
     }
 
     let mut oa = OrderedAssignment::from_schedule(&schedule, platform);
     let mut current = match retime(graph, platform, &oa) {
         Some(s) => s,
-        None => return (schedule, stats), // cannot rebase: keep original
+        None => return Ok((schedule, stats)), // cannot rebase: keep original
     };
     let mut best = badness(&current, graph);
     if best.0 == 0 {
-        return (current, stats);
+        return Ok((current, stats));
     }
 
     loop {
@@ -147,6 +174,7 @@ pub fn search_and_repair_threads(
                     if is_crit[t2.index()] {
                         continue;
                     }
+                    budget.check()?;
                     oa.swap(t1, t2);
                     stats.trials += 1;
                     let candidate = retime(graph, platform, &oa);
@@ -195,6 +223,7 @@ pub fn search_and_repair_threads(
             // have evaluated) keeps results and stats serial-identical.
             let mut next = 0;
             while next < destinations.len() {
+                budget.check()?;
                 let budget_left = MAX_REPAIR_TRIALS - stats.trials;
                 if budget_left == 0 {
                     break 'gtm;
@@ -250,7 +279,7 @@ pub fn search_and_repair_threads(
         }
     }
 
-    (current, stats)
+    Ok((current, stats))
 }
 
 /// Masked-resource re-repair: adapts a schedule built for a pristine

@@ -11,9 +11,10 @@ use noc_schedule::{validate, Schedule, ScheduleStats, ValidationReport};
 
 use crate::budget::SlackBudgets;
 use crate::edf::edf_schedule;
-use crate::level::level_schedule_threads;
+use crate::level::level_schedule_threads_budgeted;
+use crate::limit::ComputeBudget;
 use crate::placer::Placer;
-use crate::repair::{search_and_repair_threads, RepairStats};
+use crate::repair::{search_and_repair_threads_budgeted, RepairStats};
 use crate::SchedulerError;
 
 /// How communication delay is modelled during `F(i,k)` estimation.
@@ -159,6 +160,32 @@ pub trait Scheduler {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> Result<ScheduleOutcome, SchedulerError>;
+
+    /// Like [`schedule`](Scheduler::schedule), bounded by a
+    /// [`ComputeBudget`] polled at the scheduler's coarse checkpoints.
+    ///
+    /// The default implementation ignores the budget — appropriate for
+    /// the cheap polynomial baselines (EDF, DLS), whose runtime is
+    /// bounded by construction. Schedulers with unbounded search
+    /// (EAS repair, annealing) override it and stop early with clean
+    /// state: no partial placement or link reservation survives an
+    /// interrupt, so an uninterrupted rerun is byte-identical to a run
+    /// that never had a budget.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`schedule`](Scheduler::schedule) returns, plus
+    /// [`SchedulerError::Interrupted`] /
+    /// [`SchedulerError::BudgetExhausted`] when the budget fires.
+    fn schedule_with_budget(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        let _ = budget;
+        self.schedule(graph, platform)
+    }
 }
 
 /// The paper's Energy-Aware Scheduler.
@@ -212,6 +239,15 @@ impl Scheduler for EasScheduler {
         graph: &TaskGraph,
         platform: &Platform,
     ) -> Result<ScheduleOutcome, SchedulerError> {
+        self.schedule_with_budget(graph, platform, &ComputeBudget::unlimited())
+    }
+
+    fn schedule_with_budget(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
         // Step 1: slack budgeting (communication-aware: see DESIGN.md §6).
         let budgets = if self.config.budgeting {
             SlackBudgets::compute_with_comm(
@@ -222,20 +258,28 @@ impl Scheduler for EasScheduler {
         } else {
             SlackBudgets::unbounded(graph)
         };
-        // Step 2: level-based scheduling.
+        // Step 2: level-based scheduling. An interrupt drops the placer —
+        // trial evaluation always rolls its table checkpoints back and
+        // only committed placements live in it, so nothing escapes.
         let mut placer = Placer::new(graph, platform)?;
-        level_schedule_threads(
+        level_schedule_threads_budgeted(
             &mut placer,
             &budgets,
             self.config.comm_model,
             self.config.threads,
-        );
+            budget,
+        )?;
         let mut schedule = placer.into_schedule();
         // Step 3: search and repair.
         let mut repair = RepairStats::default();
         if self.config.search_and_repair {
-            let (repaired, stats) =
-                search_and_repair_threads(graph, platform, schedule, self.config.threads);
+            let (repaired, stats) = search_and_repair_threads_budgeted(
+                graph,
+                platform,
+                schedule,
+                self.config.threads,
+                budget,
+            )?;
             schedule = repaired;
             repair = stats;
         }

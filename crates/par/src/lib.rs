@@ -16,9 +16,57 @@
 //!
 //! Jobs must be pure with respect to the shared round context: workers
 //! receive `&Ctx` and may only mutate their own per-chunk scratch state.
+//!
+//! # Panic isolation
+//!
+//! A panicking job must never take down the caller's process or hang a
+//! pool. Worker closures run under [`std::panic::catch_unwind`]:
+//! [`try_par_map`] reports the first panicking chunk (in chunk order, so
+//! the error is deterministic) as a typed [`WorkerPanic`], and
+//! [`RoundPool::try_run_round`] does the same per round — the panicking
+//! worker still reports its round as finished, keeping the pool's
+//! bookkeeping intact, and stays alive for subsequent rounds.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{Scope, ScopedJoinHandle};
+
+/// A worker closure panicked during a parallel evaluation.
+///
+/// Carries a best-effort rendering of the panic payload (`&str` and
+/// `String` payloads verbatim; anything else is labelled opaque). When
+/// several workers panic in one evaluation, the first chunk in input
+/// order wins, so the reported error is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Human-readable panic payload.
+    pub message: String,
+}
+
+impl WorkerPanic {
+    /// Renders a `catch_unwind` payload into a typed panic error — also
+    /// used by downstream crates (the service engine) that isolate
+    /// panics with their own `catch_unwind`.
+    #[must_use]
+    pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_owned()
+        };
+        WorkerPanic { message }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
 
 /// Number of hardware threads available to this process (at least 1).
 #[must_use]
@@ -52,7 +100,40 @@ pub fn chunk_bounds(len: usize, parts: usize, index: usize) -> (usize, usize) {
 /// this is a plain serial map with zero thread overhead; the output is
 /// byte-identical either way. `f` receives the item index alongside the
 /// item so callers can derive per-item seeds or labels.
+///
+/// # Panics
+///
+/// If `f` panics: the panic is re-raised on the calling thread with the
+/// original payload message (see [`try_par_map`] for the non-panicking
+/// variant).
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_par_map(threads, items, f) {
+        Ok(out) => out,
+        Err(p) => panic!("par_map worker panicked: {}", p.message),
+    }
+}
+
+/// [`par_map`] with typed panic handling: a panic in `f` fails *this
+/// map call only* with a [`WorkerPanic`] instead of unwinding through
+/// (or crashing) the caller. All scoped workers are joined before
+/// returning, so no detached thread outlives the call; results computed
+/// by non-panicking chunks are discarded.
+///
+/// `f` is run under [`AssertUnwindSafe`]: on `Err` every result is
+/// dropped, so no partially-built output is ever observable, but
+/// caller-supplied interior mutability updated by `f` before the panic
+/// is the caller's responsibility (the workspace's schedulers only hand
+/// out per-chunk scratch state, which dies with the call).
+///
+/// # Errors
+///
+/// The [`WorkerPanic`] of the first panicking chunk in input order.
+pub fn try_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Sync,
     R: Send,
@@ -60,33 +141,39 @@ where
 {
     let workers = threads.min(items.len()).max(1);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return catch_unwind(AssertUnwindSafe(|| {
+            items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+        }))
+        .map_err(WorkerPanic::from_payload);
     }
-    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<ScopedJoinHandle<'_, Vec<R>>> = (0..workers)
+    let chunks: Vec<Result<Vec<R>, WorkerPanic>> = std::thread::scope(|scope| {
+        let handles: Vec<ScopedJoinHandle<'_, Result<Vec<R>, WorkerPanic>>> = (0..workers)
             .map(|w| {
                 let f = &f;
                 let (lo, hi) = chunk_bounds(items.len(), workers, w);
                 let slice = &items[lo..hi];
                 scope.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| f(lo + i, t))
-                        .collect()
+                    catch_unwind(AssertUnwindSafe(|| {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(i, t)| f(lo + i, t))
+                            .collect()
+                    }))
+                    .map_err(WorkerPanic::from_payload)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("par_map worker panicked"))
+            .map(|h| h.join().expect("panics are caught inside the worker"))
             .collect()
     });
     let mut out = Vec::with_capacity(items.len());
-    for chunk in &mut chunks {
-        out.append(chunk);
+    for chunk in chunks {
+        out.append(&mut chunk?);
     }
-    out
+    Ok(out)
 }
 
 struct Inner<Ctx, Job, Out> {
@@ -95,8 +182,9 @@ struct Inner<Ctx, Job, Out> {
     shutdown: bool,
     /// Context and jobs of the active round, shared read-only.
     work: Option<(Arc<Ctx>, Arc<Vec<Job>>)>,
-    /// Per-worker chunk results of the active round.
-    results: Vec<Option<Vec<Out>>>,
+    /// Per-worker chunk results of the active round (`Err` = the worker
+    /// panicked this round; it stays alive for the next one).
+    results: Vec<Option<Result<Vec<Out>, WorkerPanic>>>,
     /// Workers that have not finished the active round yet.
     remaining: usize,
 }
@@ -167,7 +255,28 @@ where
     /// Evaluates `jobs` against `ctx` across all workers and returns the
     /// results in job order. Blocks until the round completes; on return
     /// no worker holds a reference to `ctx` or `jobs` any more.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on the calling thread (the pool itself
+    /// stays usable); see [`try_run_round`](RoundPool::try_run_round).
     pub fn run_round(&self, ctx: Ctx, jobs: Vec<Job>) -> Vec<Out> {
+        match self.try_run_round(ctx, jobs) {
+            Ok(out) => out,
+            Err(p) => panic!("round pool worker panicked: {}", p.message),
+        }
+    }
+
+    /// [`run_round`](RoundPool::run_round) with typed panic handling: a
+    /// panicking `eval` fails this round with a [`WorkerPanic`] (first
+    /// panicking worker in chunk order) instead of hanging or unwinding.
+    /// The panicking worker reports its round as complete and keeps
+    /// serving subsequent rounds — no respawn needed.
+    ///
+    /// # Errors
+    ///
+    /// The [`WorkerPanic`] of the first panicking chunk.
+    pub fn try_run_round(&self, ctx: Ctx, jobs: Vec<Job>) -> Result<Vec<Out>, WorkerPanic> {
         let expected = jobs.len();
         let mut inner = self.shared.inner.lock().expect("pool lock");
         inner.work = Some((Arc::new(ctx), Arc::new(jobs)));
@@ -183,10 +292,10 @@ where
         inner.work = None; // last references: ctx and jobs die here
         let mut out = Vec::with_capacity(expected);
         for slot in &mut inner.results {
-            out.append(&mut slot.take().expect("worker reported its chunk"));
+            out.append(&mut slot.take().expect("worker reported its chunk")?);
         }
         debug_assert_eq!(out.len(), expected, "eval must return one result per job");
-        out
+        Ok(out)
     }
 
     /// Number of workers in the pool.
@@ -230,7 +339,10 @@ fn worker_loop<Ctx, Job, Out, E>(
             (Arc::clone(ctx), Arc::clone(jobs))
         };
         let (lo, hi) = chunk_bounds(jobs.len(), threads, worker);
-        let out = eval(&ctx, &jobs[lo..hi]);
+        // A panicking eval must still decrement `remaining` below, or
+        // run_round would wait forever; catch it and report it typed.
+        let out = catch_unwind(AssertUnwindSafe(|| eval(&ctx, &jobs[lo..hi])))
+            .map_err(WorkerPanic::from_payload);
         // Drop the shared references *before* reporting completion so
         // `run_round` can hand the context back to the caller by value.
         drop(jobs);
@@ -348,5 +460,73 @@ mod tests {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(0), available_threads());
+    }
+
+    /// One panicking item fails only that map call — the next call on
+    /// the same inputs (minus the poison) succeeds, and the error names
+    /// the panic payload.
+    #[test]
+    fn try_par_map_isolates_a_panicking_item() {
+        let items: Vec<u32> = (0..40).collect();
+        for threads in [1usize, 2, 4, 7] {
+            let err = try_par_map(threads, &items, |_, &x| {
+                assert!(x != 17, "poison item");
+                x * 2
+            })
+            .expect_err("item 17 panics");
+            assert!(err.message.contains("poison item"), "got: {}", err.message);
+            assert!(err.to_string().contains("worker panicked"));
+            // The same closure without the poison works immediately after.
+            let ok = try_par_map(threads, &items, |_, &x| x * 2).expect("no panic");
+            assert_eq!(ok, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    /// When several chunks panic, the first chunk in input order wins,
+    /// so the reported error is deterministic for every thread count.
+    #[test]
+    fn try_par_map_reports_the_first_panicking_chunk() {
+        let items: Vec<u32> = (0..64).collect();
+        for threads in [2usize, 4, 8] {
+            let err = try_par_map(threads, &items, |_, &x| -> u32 {
+                panic!("boom at {x}");
+            })
+            .expect_err("everything panics");
+            assert_eq!(err.message, "boom at 0", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_the_panic_message() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map(2, &[1u32, 2, 3], |_, &x| {
+                assert!(x != 2, "unlucky");
+                x
+            })
+        })
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("unlucky"), "got: {msg}");
+    }
+
+    /// A worker panic fails the round but neither hangs `run_round` nor
+    /// kills the pool: the same workers serve the next round.
+    #[test]
+    fn round_pool_survives_a_panicking_round() {
+        std::thread::scope(|scope| {
+            let pool = RoundPool::new(scope, 3, |poison: &bool, jobs: &[u32]| {
+                assert!(!poison, "poisoned round");
+                jobs.to_vec()
+            });
+            let jobs: Vec<u32> = (0..23).collect();
+            let err = pool
+                .try_run_round(true, jobs.clone())
+                .expect_err("poisoned round fails");
+            assert!(err.message.contains("poisoned round"));
+            // The pool is intact: clean rounds still work afterwards.
+            for _ in 0..3 {
+                assert_eq!(pool.try_run_round(false, jobs.clone()), Ok(jobs.clone()));
+            }
+        });
     }
 }

@@ -105,6 +105,11 @@ pub struct ScheduleResponse {
     pub meets_deadlines: bool,
     /// Average routers per data packet.
     pub avg_hops: f64,
+    /// `true` when the requested scheduler exhausted its compute budget
+    /// and this is the degraded energy-blind EDF fallback schedule
+    /// (`scheduler` then reads `"edf"`).
+    #[serde(default)]
+    pub degraded: bool,
     /// The full schedule artifact (same shape `noceas schedule --out`
     /// writes).
     pub schedule: Schedule,
@@ -124,6 +129,7 @@ impl ScheduleResponse {
             tardiness: outcome.report.total_tardiness().ticks(),
             meets_deadlines: outcome.report.meets_deadlines(),
             avg_hops: outcome.stats.avg_hops_per_packet,
+            degraded: false,
             schedule: outcome.schedule.clone(),
         }
     }

@@ -10,6 +10,29 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// A finished schedule as served to clients: the rendered response body
+/// plus whether it came from the degraded EDF fallback. The flag rides
+/// along so a cache hit (or a finished-twin join) reproduces the
+/// `Degraded-Mode` header exactly as the cold run sent it.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The exact response body bytes.
+    pub body: Arc<String>,
+    /// `true` when the body is the degraded EDF fallback schedule.
+    pub degraded: bool,
+}
+
+impl JobOutput {
+    /// A normal (non-degraded) output.
+    #[must_use]
+    pub fn new(body: Arc<String>) -> Self {
+        JobOutput {
+            body,
+            degraded: false,
+        }
+    }
+}
+
 /// Bounded LRU map from canonical request to rendered response body.
 #[derive(Debug)]
 pub struct ScheduleCache {
@@ -20,7 +43,7 @@ pub struct ScheduleCache {
 
 #[derive(Debug)]
 struct Entry {
-    body: Arc<String>,
+    output: JobOutput,
     last_used: u64,
 }
 
@@ -37,19 +60,19 @@ impl ScheduleCache {
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &str) -> Option<Arc<String>> {
+    pub fn get(&mut self, key: &str) -> Option<JobOutput> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(key).map(|e| {
             e.last_used = tick;
-            Arc::clone(&e.body)
+            e.output.clone()
         })
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
     /// entry when the cache is full. Eviction scans all entries — O(n),
     /// fine for the few-thousand-entry caches this service runs with.
-    pub fn insert(&mut self, key: String, body: Arc<String>) {
+    pub fn insert(&mut self, key: String, output: JobOutput) {
         if self.capacity == 0 {
             return;
         }
@@ -68,7 +91,7 @@ impl ScheduleCache {
         self.entries.insert(
             key,
             Entry {
-                body,
+                output,
                 last_used: tick,
             },
         );
@@ -91,8 +114,8 @@ impl ScheduleCache {
 mod tests {
     use super::*;
 
-    fn body(s: &str) -> Arc<String> {
-        Arc::new(s.to_owned())
+    fn body(s: &str) -> JobOutput {
+        JobOutput::new(Arc::new(s.to_owned()))
     }
 
     #[test]
@@ -100,7 +123,21 @@ mod tests {
         let mut c = ScheduleCache::new(4);
         assert!(c.get("k").is_none());
         c.insert("k".into(), body("payload"));
-        assert_eq!(c.get("k").expect("hit").as_str(), "payload");
+        assert_eq!(c.get("k").expect("hit").body.as_str(), "payload");
+    }
+
+    #[test]
+    fn degraded_flag_survives_the_cache() {
+        let mut c = ScheduleCache::new(4);
+        c.insert(
+            "k".into(),
+            JobOutput {
+                body: Arc::new("fallback".to_owned()),
+                degraded: true,
+            },
+        );
+        let hit = c.get("k").expect("hit");
+        assert!(hit.degraded, "hits must reproduce the Degraded-Mode flag");
     }
 
     #[test]
@@ -122,7 +159,7 @@ mod tests {
         c.insert("a".into(), body("A"));
         c.insert("a".into(), body("A2"));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get("a").expect("hit").as_str(), "A2");
+        assert_eq!(c.get("a").expect("hit").body.as_str(), "A2");
     }
 
     #[test]

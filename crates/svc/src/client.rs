@@ -37,14 +37,38 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client for `addr` (connects lazily).
+    /// Creates a client for `addr` (connects lazily) with the default
+    /// 60 s read/write timeout.
     #[must_use]
     pub fn new(addr: SocketAddr) -> Self {
+        Client::with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Creates a client with an explicit per-operation read/write
+    /// timeout, so a hung or killed server surfaces as a timely I/O
+    /// error instead of a stuck client.
+    #[must_use]
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Self {
         Client {
             addr,
             conn: None,
-            timeout: Duration::from_secs(60),
+            timeout,
         }
+    }
+
+    /// Changes the read/write timeout; applies to the current
+    /// connection (if any) and every future one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_read_timeout`/`set_write_timeout` failures.
+    pub fn set_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        self.timeout = timeout;
+        if let Some(conn) = &self.conn {
+            conn.set_read_timeout(Some(timeout))?;
+            conn.set_write_timeout(Some(timeout))?;
+        }
+        Ok(())
     }
 
     /// Creates a client, retrying the first connection for up to
@@ -204,4 +228,44 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
         headers,
         body: String::from_utf8_lossy(&body).into_owned(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn read_timeout_fails_fast_against_a_mute_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        // Accept connections but never answer them.
+        let mute = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for conn in listener.incoming().take(2) {
+                held.push(conn);
+            }
+            held
+        });
+        let mut client = Client::with_timeout(addr, Duration::from_millis(50));
+        let started = Instant::now();
+        let err = client
+            .get("/healthz")
+            .expect_err("mute server must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "got {err:?}"
+        );
+        // Two attempts (request() retries once), each bounded by the
+        // 50 ms timeout, plus slack for a loaded CI machine.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must bound the wait"
+        );
+        drop(client);
+        let _ = mute.join();
+    }
 }

@@ -9,20 +9,36 @@
 //! request therefore runs the scheduler **at most once** no matter how
 //! many clients submit it concurrently, and every one of them receives
 //! byte-identical bodies.
+//!
+//! Three resilience layers wrap job execution:
+//!
+//! * **Panic isolation** — the scheduler runs under `catch_unwind`, so
+//!   a panicking scheduler fails *its own* job with a typed error and
+//!   the worker thread lives on.
+//! * **Degraded mode** — with a per-request compute budget configured,
+//!   a scheduler that exhausts it is answered by the cheap energy-blind
+//!   EDF fallback, marked `"degraded": true`, instead of a 500.
+//! * **Crash recovery** — with a journal configured, accepted async
+//!   jobs are write-ahead logged and replayed on startup (see
+//!   [`crate::journal`]), so a killed server finishes what it admitted
+//!   and serves byte-identical responses after restart.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::Deserialize;
 
 use noc_ctg::prelude::TaskGraph;
-use noc_eas::prelude::Scheduler;
+use noc_eas::prelude::{ComputeBudget, EdfScheduler, Scheduler, SchedulerError};
 use noc_platform::prelude::Platform;
 
 use crate::api::{ScheduleRequest, ScheduleResponse, ValidateRequest, ValidateResponse};
-use crate::cache::ScheduleCache;
+use crate::cache::{JobOutput, ScheduleCache};
+use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
 
@@ -37,8 +53,8 @@ pub enum JobPhase {
     Queued,
     /// A worker is executing the scheduler.
     Running,
-    /// Finished; the rendered response body.
-    Done(Arc<String>),
+    /// Finished; the rendered response body and its degraded flag.
+    Done(JobOutput),
     /// The scheduler failed; the error message.
     Failed(String),
 }
@@ -59,6 +75,11 @@ pub struct Job {
     id: String,
     /// Canonical request string — the cache key.
     key: String,
+    /// Whether this job has an `acc` record in the journal, so its
+    /// terminal phase must be journaled too. Set at admission for async
+    /// submissions; flips to `true` when an async client joins a job a
+    /// sync submission created first.
+    journaled: AtomicBool,
     work: Mutex<Option<JobWork>>,
     state: Mutex<JobPhase>,
     finished: Condvar,
@@ -109,8 +130,8 @@ pub enum Submission {
     Cached {
         /// Content-hash id of the request.
         id: String,
-        /// The cached response body.
-        body: Arc<String>,
+        /// The cached response body and its degraded flag.
+        output: JobOutput,
     },
     /// Joined an identical job already queued or running →
     /// `X-Cache: join`.
@@ -150,6 +171,14 @@ pub struct EngineConfig {
     /// Default scheduler thread count when a request does not name one
     /// (0 = all hardware threads).
     pub threads: usize,
+    /// Per-request compute budget, wall-clock milliseconds. A scheduler
+    /// that exhausts it is answered by the degraded EDF fallback.
+    /// `None` (the default) runs schedulers to completion. Wall-clock
+    /// budgets make responses timing-dependent — leave this off when
+    /// byte determinism across runs matters more than latency bounds.
+    pub budget_ms: Option<u64>,
+    /// Path of the crash-safe job journal; `None` disables journaling.
+    pub journal: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -158,6 +187,8 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             threads: 0,
+            budget_ms: None,
+            journal: None,
         }
     }
 }
@@ -168,25 +199,166 @@ pub struct Engine {
     queue: JobQueue<Arc<Job>>,
     cache: Mutex<ScheduleCache>,
     jobs: Mutex<JobTable>,
+    journal: Option<Journal>,
     /// The service-wide metrics registry.
     pub metrics: Metrics,
 }
 
 impl Engine {
     /// Creates an engine; workers are spawned by the caller with
-    /// [`worker_loop`](Engine::worker_loop).
-    #[must_use]
-    pub fn new(config: EngineConfig) -> Arc<Self> {
-        Arc::new(Engine {
+    /// [`worker_loop`](Engine::worker_loop). When the config names a
+    /// journal, its records are replayed first: finished jobs come back
+    /// with their exact response bytes and accepted-but-unfinished jobs
+    /// are re-enqueued (past the capacity bound — an acknowledged job is
+    /// never dropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal open/recovery I/O failures.
+    pub fn new(config: EngineConfig) -> io::Result<Arc<Self>> {
+        let (journal, backlog) = match &config.journal {
+            Some(path) => {
+                let (journal, records) = Journal::open(path)?;
+                (Some(journal), records)
+            }
+            None => (None, Vec::new()),
+        };
+        let engine = Arc::new(Engine {
             queue: JobQueue::new(config.queue_capacity),
             cache: Mutex::new(ScheduleCache::new(config.cache_capacity)),
             jobs: Mutex::new(JobTable {
                 map: HashMap::new(),
                 finished: VecDeque::new(),
             }),
+            journal,
             metrics: Metrics::new(),
             config,
-        })
+        });
+        engine.replay(backlog);
+        Ok(engine)
+    }
+
+    /// Applies the journal backlog: one pass folds the records per job
+    /// id (keeping first-seen order), then each job is restored to its
+    /// recorded terminal phase or, lacking one, re-enqueued to run.
+    fn replay(&self, backlog: Vec<Record>) {
+        let mut order: Vec<String> = Vec::new();
+        let mut accepted: HashMap<String, String> = HashMap::new();
+        let mut terminal: HashMap<String, Record> = HashMap::new();
+        let total = backlog.len() as u64;
+        for record in backlog {
+            let id = record.id().to_owned();
+            if !accepted.contains_key(&id) && !terminal.contains_key(&id) {
+                order.push(id.clone());
+            }
+            match record {
+                Record::Accepted { body, .. } => {
+                    accepted.insert(id, body);
+                }
+                done_or_failed => {
+                    terminal.insert(id, done_or_failed);
+                }
+            }
+        }
+        for id in order {
+            match terminal.remove(&id) {
+                Some(Record::Done { degraded, body, .. }) => {
+                    let output = JobOutput {
+                        body: Arc::new(body),
+                        degraded,
+                    };
+                    // Re-derive the cache key from the accepted body so
+                    // resubmissions of the same problem hit the cache.
+                    if let Some(request_body) = accepted.get(&id) {
+                        if let Ok(request) = serde_json::from_str::<ScheduleRequest>(request_body) {
+                            self.cache
+                                .lock()
+                                .expect("cache lock")
+                                .insert(request.canonical_key(), output.clone());
+                        }
+                    }
+                    self.restore_finished(&id, JobPhase::Done(output));
+                }
+                Some(Record::Failed { error, .. }) => {
+                    self.restore_finished(&id, JobPhase::Failed(error));
+                }
+                Some(Record::Accepted { .. }) => unreachable!("acc records never land in terminal"),
+                // Accepted but never finished: the crash interrupted it.
+                // Re-admit and re-run; determinism makes the re-run
+                // byte-identical to the answer the lost run owed.
+                None => {
+                    let body = accepted.get(&id).expect("order only holds seen ids");
+                    if let Err(reason) = self.recover(&id, body) {
+                        self.restore_finished(&id, JobPhase::Failed(reason));
+                    }
+                }
+            }
+        }
+        self.metrics
+            .journal_replayed
+            .fetch_add(total, Ordering::Relaxed);
+        self.metrics
+            .queue_depth
+            .store(self.queue.depth() as u64, Ordering::Relaxed);
+    }
+
+    /// Inserts a journal-recovered job directly in a terminal phase.
+    fn restore_finished(&self, id: &str, phase: JobPhase) {
+        let job = Arc::new(Job {
+            id: id.to_owned(),
+            key: String::new(),
+            journaled: AtomicBool::new(false),
+            work: Mutex::new(None),
+            state: Mutex::new(phase),
+            finished: Condvar::new(),
+        });
+        let mut table = self.jobs.lock().expect("jobs lock");
+        table.map.insert(id.to_owned(), job);
+        table.finished.push_back(id.to_owned());
+    }
+
+    /// Re-admits one accepted-but-unfinished journal record. Unlike
+    /// [`submit`](Engine::submit) this bypasses the capacity bound and
+    /// never re-journals the acceptance (the original `acc` record is
+    /// still on disk).
+    fn recover(&self, id: &str, body: &str) -> Result<(), String> {
+        let request: ScheduleRequest =
+            serde_json::from_str(body).map_err(|e| format!("journaled body unparseable: {e}"))?;
+        let (work, key) = self.resolve(&request)?;
+        let job = Arc::new(Job {
+            id: id.to_owned(),
+            key,
+            journaled: AtomicBool::new(true),
+            work: Mutex::new(Some(work)),
+            state: Mutex::new(JobPhase::Queued),
+            finished: Condvar::new(),
+        });
+        let mut table = self.jobs.lock().expect("jobs lock");
+        self.queue
+            .push_unbounded(Arc::clone(&job))
+            .map_err(|_| "queue closed during recovery".to_owned())?;
+        table.map.insert(id.to_owned(), job);
+        Ok(())
+    }
+
+    /// Resolves a parsed request into runnable work + its cache key.
+    fn resolve(&self, request: &ScheduleRequest) -> Result<(JobWork, String), String> {
+        let platform =
+            crate::spec::parse_platform_faulted(&request.platform, request.faults.as_deref())?;
+        let graph =
+            TaskGraph::from_value(&request.graph).map_err(|e| format!("invalid graph: {e}"))?;
+        let threads = request.threads.unwrap_or(self.config.threads);
+        let scheduler_name = request.scheduler_name().to_owned();
+        let scheduler = crate::spec::parse_scheduler(&scheduler_name, threads)?;
+        Ok((
+            JobWork {
+                graph,
+                platform,
+                scheduler,
+                scheduler_name,
+            },
+            request.canonical_key(),
+        ))
     }
 
     /// The engine's configuration.
@@ -206,29 +378,15 @@ impl Engine {
         // Resolve every spec *before* touching cache or queue, so a
         // request that can never schedule is rejected up front and is
         // never admitted, cached or coalesced.
-        let platform =
-            match crate::spec::parse_platform_faulted(&request.platform, request.faults.as_deref())
-            {
-                Ok(p) => p,
-                Err(e) => return Submission::BadSpec(e),
-            };
-        let graph = match TaskGraph::from_value(&request.graph) {
-            Ok(g) => g,
-            Err(e) => return Submission::BadSpec(format!("invalid graph: {e}")),
-        };
-        let threads = request.threads.unwrap_or(self.config.threads);
-        let scheduler_name = request.scheduler_name().to_owned();
-        let scheduler = match crate::spec::parse_scheduler(&scheduler_name, threads) {
-            Ok(s) => s,
+        let (work, key) = match self.resolve(&request) {
+            Ok(resolved) => resolved,
             Err(e) => return Submission::BadSpec(e),
         };
-
-        let key = request.canonical_key();
         let id = crate::hash::content_hash(&key);
 
-        if let Some(body) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(output) = self.cache.lock().expect("cache lock").get(&key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Submission::Cached { id, body };
+            return Submission::Cached { id, output };
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
@@ -243,6 +401,18 @@ impl Engine {
             match existing.phase() {
                 JobPhase::Queued | JobPhase::Running => {
                     let job = Arc::clone(existing);
+                    // An async client joining a sync-created job still
+                    // expects crash durability: upgrade the job to
+                    // journaled and write-ahead its acceptance now.
+                    if self.journal.is_some()
+                        && request.is_async()
+                        && !job.journaled.swap(true, Ordering::AcqRel)
+                    {
+                        self.journal_append(&Record::Accepted {
+                            id: id.clone(),
+                            body: body.to_owned(),
+                        });
+                    }
                     drop(table);
                     self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
                     return Submission::Joined { id, job };
@@ -253,10 +423,10 @@ impl Engine {
                 // Done before the submitter's cache check lands, or the
                 // entry was already evicted — and re-running instead
                 // would break the at-most-once guarantee.
-                JobPhase::Done(body) => {
+                JobPhase::Done(output) => {
                     drop(table);
                     self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                    return Submission::Cached { id, body };
+                    return Submission::Cached { id, output };
                 }
                 // A failed twin is forgotten and the request retried.
                 JobPhase::Failed(_) => {
@@ -265,15 +435,12 @@ impl Engine {
                 }
             }
         }
+        let journaled = self.journal.is_some() && request.is_async();
         let job = Arc::new(Job {
             id: id.clone(),
             key,
-            work: Mutex::new(Some(JobWork {
-                graph,
-                platform,
-                scheduler,
-                scheduler_name,
-            })),
+            journaled: AtomicBool::new(journaled),
+            work: Mutex::new(Some(work)),
             state: Mutex::new(JobPhase::Queued),
             finished: Condvar::new(),
         });
@@ -281,6 +448,16 @@ impl Engine {
         match self.queue.try_push(Arc::clone(&job)) {
             Ok(()) => {
                 table.map.insert(id.clone(), Arc::clone(&job));
+                // Write-ahead: the acceptance record hits the journal
+                // before `Enqueued` returns — i.e. before any 202 can
+                // leave the server — so a crash never acknowledges a
+                // job the journal does not know about.
+                if journaled {
+                    self.journal_append(&Record::Accepted {
+                        id: id.clone(),
+                        body: body.to_owned(),
+                    });
+                }
                 drop(table);
                 self.metrics
                     .queue_depth
@@ -347,28 +524,113 @@ impl Engine {
         };
         job.set_phase(JobPhase::Running);
         let started = Instant::now();
-        let outcome = work.scheduler.schedule(&work.graph, &work.platform);
+        // Panic isolation: a panicking scheduler fails *this* job with a
+        // typed error; the worker thread survives to run the next one.
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute(&work)));
         let elapsed = started.elapsed().as_secs_f64();
-        match outcome {
-            Ok(outcome) => {
-                let response = ScheduleResponse::from_outcome(&work.scheduler_name, &outcome);
-                let body = Arc::new(response.to_json());
+        let journaled = job.journaled.load(Ordering::Acquire);
+        let phase = match result {
+            Ok(Ok(output)) => {
                 self.metrics
                     .schedules_executed
                     .fetch_add(1, Ordering::Relaxed);
+                if output.degraded {
+                    self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                }
                 self.metrics.observe_latency(elapsed);
                 self.cache
                     .lock()
                     .expect("cache lock")
-                    .insert(job.key.clone(), Arc::clone(&body));
-                job.set_phase(JobPhase::Done(body));
+                    .insert(job.key.clone(), output.clone());
+                if journaled {
+                    self.journal_append(&Record::Done {
+                        id: job.id.clone(),
+                        degraded: output.degraded,
+                        body: output.body.as_str().to_owned(),
+                    });
+                }
+                JobPhase::Done(output)
             }
-            Err(e) => {
+            Ok(Err(message)) => {
                 self.metrics.schedule_errors.fetch_add(1, Ordering::Relaxed);
-                job.set_phase(JobPhase::Failed(e.to_string()));
+                if journaled {
+                    self.journal_append(&Record::Failed {
+                        id: job.id.clone(),
+                        error: message.clone(),
+                    });
+                }
+                JobPhase::Failed(message)
+            }
+            Err(payload) => {
+                let message = format!(
+                    "scheduler worker panicked: {}",
+                    noc_par::WorkerPanic::from_payload(payload).message
+                );
+                self.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.metrics.schedule_errors.fetch_add(1, Ordering::Relaxed);
+                if journaled {
+                    self.journal_append(&Record::Failed {
+                        id: job.id.clone(),
+                        error: message.clone(),
+                    });
+                }
+                JobPhase::Failed(message)
+            }
+        };
+        job.set_phase(phase);
+        self.retire(&job.id);
+    }
+
+    /// Runs the scheduler under the configured compute budget. A budget
+    /// interrupt is answered by the energy-blind EDF fallback — a fast
+    /// polynomial schedule marked `"degraded": true` — so an expired
+    /// budget degrades quality instead of failing the request.
+    fn execute(&self, work: &JobWork) -> Result<JobOutput, String> {
+        let outcome = match self.config.budget_ms {
+            None => work.scheduler.schedule(&work.graph, &work.platform),
+            Some(ms) => {
+                let budget = ComputeBudget::wall_clock(Duration::from_millis(ms));
+                match work
+                    .scheduler
+                    .schedule_with_budget(&work.graph, &work.platform, &budget)
+                {
+                    Err(SchedulerError::Interrupted | SchedulerError::BudgetExhausted(_)) => {
+                        return match EdfScheduler::new().schedule(&work.graph, &work.platform) {
+                            Ok(outcome) => {
+                                // Truthful labelling: the schedule served
+                                // is EDF's, whatever was asked for.
+                                let mut response = ScheduleResponse::from_outcome("edf", &outcome);
+                                response.degraded = true;
+                                Ok(JobOutput {
+                                    body: Arc::new(response.to_json()),
+                                    degraded: true,
+                                })
+                            }
+                            Err(e) => Err(format!("degraded EDF fallback failed: {e}")),
+                        };
+                    }
+                    other => other,
+                }
+            }
+        };
+        match outcome {
+            Ok(outcome) => {
+                let response = ScheduleResponse::from_outcome(&work.scheduler_name, &outcome);
+                Ok(JobOutput::new(Arc::new(response.to_json())))
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Appends to the journal when one is configured. Append failures
+    /// are logged, not fatal: a full disk degrades crash durability,
+    /// never availability.
+    fn journal_append(&self, record: &Record) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(record) {
+                eprintln!("noc-svc: journal append failed: {e}");
             }
         }
-        self.retire(&job.id);
     }
 
     /// Records `id` as finished and prunes the oldest finished jobs
@@ -415,35 +677,47 @@ mod tests {
         format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf"}}"#)
     }
 
+    fn engine(config: EngineConfig) -> Arc<Engine> {
+        Engine::new(config).expect("engine starts")
+    }
+
+    /// Runs the queued backlog inline (tests spawn no worker threads).
+    fn drain(engine: &Arc<Engine>) {
+        let worker = Arc::clone(engine);
+        let handle = std::thread::spawn(move || {
+            worker.shutdown();
+            worker.worker_loop();
+        });
+        handle.join().expect("worker exits");
+    }
+
     #[test]
     fn submit_run_cache_round_trip() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = engine(EngineConfig::default());
         let body = request_body(&graph_json());
 
         let Submission::Enqueued { id, job } = engine.submit(&body) else {
             panic!("first submission must enqueue");
         };
-        // No worker threads in this test: run the backlog inline.
-        let worker = Arc::clone(&engine);
-        let handle = std::thread::spawn(move || {
-            worker.shutdown();
-            worker.worker_loop();
-        });
+        drain(&engine);
         let JobPhase::Done(first) = job.wait() else {
             panic!("job must finish");
         };
-        handle.join().expect("worker exits");
 
         // Second submission: byte-identical body straight from cache.
         let Submission::Cached {
             id: id2,
-            body: cached,
+            output: cached,
         } = engine.submit(&body)
         else {
             panic!("second submission must hit the cache");
         };
         assert_eq!(id, id2);
-        assert_eq!(*first, *cached, "cache hit must be byte-identical");
+        assert_eq!(
+            *first.body, *cached.body,
+            "cache hit must be byte-identical"
+        );
+        assert!(!cached.degraded);
         assert_eq!(engine.metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(engine.metrics.schedules_executed.load(Ordering::Relaxed), 1);
         assert!(engine.job(&id).is_some(), "finished job stays pollable");
@@ -451,7 +725,7 @@ mod tests {
 
     #[test]
     fn identical_concurrent_submissions_coalesce() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = engine(EngineConfig::default());
         let body = request_body(&graph_json());
         let Submission::Enqueued { job, .. } = engine.submit(&body) else {
             panic!("first submission must enqueue");
@@ -466,7 +740,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects() {
-        let engine = Engine::new(EngineConfig {
+        let engine = engine(EngineConfig {
             queue_capacity: 1,
             ..EngineConfig::default()
         });
@@ -486,7 +760,7 @@ mod tests {
 
     #[test]
     fn bad_bodies_and_specs_classify() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = engine(EngineConfig::default());
         assert!(matches!(
             engine.submit("not json"),
             Submission::BadRequest(_)
@@ -511,7 +785,7 @@ mod tests {
 
     #[test]
     fn shutdown_refuses_new_work() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = engine(EngineConfig::default());
         engine.shutdown();
         let body = request_body(&graph_json());
         assert!(matches!(engine.submit(&body), Submission::ShuttingDown));
@@ -519,7 +793,7 @@ mod tests {
 
     #[test]
     fn validate_endpoint_classifies() {
-        let engine = Engine::new(EngineConfig::default());
+        let engine = engine(EngineConfig::default());
         assert_eq!(engine.validate("nope").unwrap_err().0, 400);
         let graph = graph_json();
         let err = engine
@@ -528,5 +802,139 @@ mod tests {
             ))
             .unwrap_err();
         assert_eq!(err.0, 422);
+    }
+
+    #[test]
+    fn expired_budget_degrades_to_edf() {
+        let engine = engine(EngineConfig {
+            budget_ms: Some(0),
+            ..EngineConfig::default()
+        });
+        let graph = graph_json();
+        let body = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}}"#);
+        let Submission::Enqueued { job, .. } = engine.submit(&body) else {
+            panic!("submission must enqueue");
+        };
+        drain(&engine);
+        let JobPhase::Done(output) = job.wait() else {
+            panic!("an expired budget must degrade, never fail");
+        };
+        assert!(output.degraded);
+        assert!(output.body.contains(r#""degraded":true"#));
+        assert!(
+            output.body.contains(r#""scheduler":"edf""#),
+            "the fallback is labelled truthfully"
+        );
+        assert_eq!(engine.metrics.degraded.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics.schedule_errors.load(Ordering::Relaxed), 0);
+
+        // The cached degraded answer keeps its flag.
+        let Submission::Cached { output: hit, .. } = engine.submit(&body) else {
+            panic!("second submission must hit the cache");
+        };
+        assert!(hit.degraded);
+        assert_eq!(*hit.body, *output.body);
+    }
+
+    #[test]
+    fn panicking_scheduler_fails_only_its_own_job() {
+        let eng = engine(EngineConfig::default());
+        let graph = graph_json();
+        let poison =
+            format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"chaos-panic"}}"#);
+        let healthy = request_body(&graph);
+        let Submission::Enqueued { job: bad, .. } = eng.submit(&poison) else {
+            panic!("poison submission must enqueue");
+        };
+        let Submission::Enqueued { job: good, .. } = eng.submit(&healthy) else {
+            panic!("healthy submission must enqueue");
+        };
+        // One worker loop runs both jobs back to back: it must survive
+        // the first job's panic to finish the second.
+        drain(&eng);
+        let JobPhase::Failed(msg) = bad.wait() else {
+            panic!("poison job must fail, not hang or kill the worker");
+        };
+        assert!(msg.contains("panicked"), "typed panic error, got `{msg}`");
+        assert!(matches!(good.wait(), JobPhase::Done(_)));
+        assert_eq!(eng.metrics.worker_panics.load(Ordering::Relaxed), 1);
+        assert_eq!(eng.metrics.schedule_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(eng.metrics.schedules_executed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn journal_replays_unfinished_and_finished_jobs() {
+        let path =
+            std::env::temp_dir().join(format!("noc-engine-journal-{}-replay", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal_cfg = EngineConfig {
+            journal: Some(path.to_string_lossy().into_owned()),
+            ..EngineConfig::default()
+        };
+        let graph = graph_json();
+        let body_a = format!(
+            r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf","mode":"async"}}"#
+        );
+        let body_b = format!(
+            r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"dls","mode":"async"}}"#
+        );
+
+        // A reference run with no journal: what the crashed server owed.
+        let reference = engine(EngineConfig::default());
+        let Submission::Enqueued { job, .. } = reference.submit(&body_a) else {
+            panic!("reference submission must enqueue");
+        };
+        drain(&reference);
+        let JobPhase::Done(expected_a) = job.wait() else {
+            panic!("reference job must finish");
+        };
+
+        // "Crash": accept two async jobs, never run them, drop the engine.
+        let crashed = engine(journal_cfg.clone());
+        let Submission::Enqueued { id: id_a, .. } = crashed.submit(&body_a) else {
+            panic!("submission must enqueue");
+        };
+        let Submission::Enqueued { id: id_b, .. } = crashed.submit(&body_b) else {
+            panic!("submission must enqueue");
+        };
+        drop(crashed);
+
+        // Restart: both accepted jobs are re-enqueued and re-run, and
+        // the answers are byte-identical to the reference.
+        let restarted = engine(journal_cfg.clone());
+        assert_eq!(
+            restarted.metrics.journal_replayed.load(Ordering::Relaxed),
+            2
+        );
+        drain(&restarted);
+        let JobPhase::Done(done_a) = restarted.job(&id_a).expect("job survives restart").wait()
+        else {
+            panic!("recovered job must finish");
+        };
+        assert_eq!(
+            *done_a.body, *expected_a.body,
+            "recovery must be byte-identical"
+        );
+        assert!(matches!(
+            restarted.job(&id_b).expect("job survives restart").wait(),
+            JobPhase::Done(_)
+        ));
+        drop(restarted);
+
+        // Second restart: now the journal holds done records, so both
+        // jobs are restored with their exact bytes without re-running,
+        // and the cache answers resubmissions.
+        let warm = engine(journal_cfg);
+        assert_eq!(warm.metrics.journal_replayed.load(Ordering::Relaxed), 4);
+        assert_eq!(warm.metrics.schedules_executed.load(Ordering::Relaxed), 0);
+        let JobPhase::Done(warm_a) = warm.job(&id_a).expect("job restored").phase() else {
+            panic!("restored job must be terminal");
+        };
+        assert_eq!(*warm_a.body, *expected_a.body);
+        let Submission::Cached { output, .. } = warm.submit(&body_a) else {
+            panic!("restored done record must populate the cache");
+        };
+        assert_eq!(*output.body, *expected_a.body);
+        let _ = std::fs::remove_file(&path);
     }
 }

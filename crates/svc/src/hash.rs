@@ -106,6 +106,13 @@ fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
         .fold(seed, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
 }
 
+/// 64-bit FNV-1a over `bytes` from the standard offset basis — the
+/// record checksum of the crash-safe job journal ([`crate::journal`]).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, FNV_OFFSET)
+}
+
 /// 32-hex-digit content hash of a canonical string: two independent
 /// 64-bit FNV-1a lanes (distinct seeds). Used as the job id; the cache
 /// itself is keyed by the full canonical string, so a hash collision can

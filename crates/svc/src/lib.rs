@@ -25,6 +25,7 @@ pub mod client;
 pub mod engine;
 pub mod hash;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod server;

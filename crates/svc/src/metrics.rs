@@ -43,6 +43,13 @@ pub struct Metrics {
     pub schedules_executed: AtomicU64,
     /// Scheduling jobs that failed with a scheduler error.
     pub schedule_errors: AtomicU64,
+    /// Jobs answered by the degraded EDF fallback after the compute
+    /// budget expired.
+    pub degraded: AtomicU64,
+    /// Scheduler panics caught and isolated to their own job.
+    pub worker_panics: AtomicU64,
+    /// Journal records applied during startup crash recovery.
+    pub journal_replayed: AtomicU64,
     /// Current job-queue depth (gauge, maintained by the engine).
     pub queue_depth: AtomicU64,
     latency: Mutex<Histogram>,
@@ -136,6 +143,24 @@ impl Metrics {
             "Scheduling jobs that failed.",
             &self.schedule_errors,
         );
+        counter(
+            &mut out,
+            "noc_svc_degraded_total",
+            "Jobs answered by the degraded EDF fallback (budget expired).",
+            &self.degraded,
+        );
+        counter(
+            &mut out,
+            "noc_svc_worker_panics_total",
+            "Scheduler panics caught and isolated to their own job.",
+            &self.worker_panics,
+        );
+        counter(
+            &mut out,
+            "noc_svc_journal_replayed_total",
+            "Journal records applied during startup crash recovery.",
+            &self.journal_replayed,
+        );
         out.push_str(&format!(
             "# HELP noc_svc_queue_depth Jobs waiting in the bounded queue.\n\
              # TYPE noc_svc_queue_depth gauge\n\
@@ -206,8 +231,14 @@ mod tests {
         let m = Metrics::new();
         m.cache_hits.fetch_add(7, Ordering::Relaxed);
         m.queue_depth.store(3, Ordering::Relaxed);
+        m.degraded.fetch_add(2, Ordering::Relaxed);
+        m.worker_panics.fetch_add(1, Ordering::Relaxed);
+        m.journal_replayed.fetch_add(5, Ordering::Relaxed);
         let text = m.render();
         assert!(text.contains("noc_svc_cache_hits_total 7"));
         assert!(text.contains("noc_svc_queue_depth 3"));
+        assert!(text.contains("noc_svc_degraded_total 2"));
+        assert!(text.contains("noc_svc_worker_panics_total 1"));
+        assert!(text.contains("noc_svc_journal_replayed_total 5"));
     }
 }

@@ -65,6 +65,25 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Admits `item` even past capacity. Crash-recovery replay uses
+    /// this: a job the journal already acknowledged must never be
+    /// dropped for backpressure, so startup may transiently overfill
+    /// the queue (new submissions still see [`PushError::Full`] until
+    /// the backlog drains).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`close`](JobQueue::close).
+    pub fn push_unbounded(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        inner.items.push_back(item);
+        self.added.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available or the queue is closed *and*
     /// drained; `None` signals the consumer to exit.
     pub fn pop_blocking(&self) -> Option<T> {
@@ -135,6 +154,19 @@ mod tests {
         assert_eq!(q.try_push("b"), Err(PushError::Closed));
         assert_eq!(q.pop_blocking(), Some("a"), "backlog drains after close");
         assert_eq!(q.pop_blocking(), None, "then consumers are released");
+    }
+
+    #[test]
+    fn unbounded_push_ignores_capacity_but_not_close() {
+        let q = JobQueue::new(1);
+        q.try_push(1).expect("fits");
+        assert_eq!(q.try_push(2), Err(PushError::Full));
+        q.push_unbounded(2).expect("recovery push overfills");
+        q.push_unbounded(3).expect("recovery push overfills");
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop_blocking(), Some(1), "FIFO order still holds");
+        q.close();
+        assert_eq!(q.push_unbounded(4), Err(PushError::Closed));
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct ServiceConfig {
     pub max_body: usize,
     /// Per-connection socket read/write timeout.
     pub io_timeout: Duration,
+    /// Per-request compute budget in wall-clock milliseconds; expired
+    /// budgets are answered by the degraded EDF fallback. `None` runs
+    /// schedulers to completion.
+    pub budget_ms: Option<u64>,
+    /// Path of the crash-safe job journal; `None` disables journaling.
+    pub journal: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +63,8 @@ impl Default for ServiceConfig {
             threads: 0,
             max_body: 16 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
+            budget_ms: None,
+            journal: None,
         }
     }
 }
@@ -83,7 +91,9 @@ impl Server {
             queue_capacity: config.queue_capacity,
             cache_capacity: config.cache_capacity,
             threads: config.threads,
-        });
+            budget_ms: config.budget_ms,
+            journal: config.journal.clone(),
+        })?;
         let stop = Arc::new(AtomicBool::new(false));
 
         let mut sched_handles = Vec::new();
@@ -92,7 +102,20 @@ impl Server {
             sched_handles.push(
                 std::thread::Builder::new()
                     .name(format!("svc-sched-{i}"))
-                    .spawn(move || engine.worker_loop())?,
+                    .spawn(move || {
+                        // Defense in depth: `run_job` already isolates
+                        // scheduler panics, but if the loop itself ever
+                        // unwinds the worker restarts instead of the
+                        // pool silently shrinking. A normal return
+                        // (queue closed and drained) exits.
+                        use std::panic::{catch_unwind, AssertUnwindSafe};
+                        loop {
+                            if catch_unwind(AssertUnwindSafe(|| engine.worker_loop())).is_ok() {
+                                break;
+                            }
+                            engine.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })?,
             );
         }
 
@@ -282,9 +305,12 @@ fn schedule_route(engine: &Engine, request: &Request) -> Response {
     match engine.submit(body) {
         Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
         Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
-        Submission::Cached { id, body } => Response::json(200, body.as_str().to_owned())
-            .with_header("X-Cache", "hit")
-            .with_header("X-Request-Hash", &id),
+        Submission::Cached { id, output } => {
+            let resp = Response::json(200, output.body.as_str().to_owned())
+                .with_header("X-Cache", "hit")
+                .with_header("X-Request-Hash", &id);
+            with_degraded(resp, output.degraded)
+        }
         Submission::Joined { id, job } => {
             if wants_async {
                 accepted_response(&id)
@@ -311,11 +337,24 @@ fn accepted_response(id: &str) -> Response {
         .with_header("X-Request-Hash", id)
 }
 
+/// Marks a degraded (EDF fallback) response so clients can detect the
+/// quality downgrade without parsing the body.
+fn with_degraded(resp: Response, degraded: bool) -> Response {
+    if degraded {
+        resp.with_header("Degraded-Mode", "edf-fallback")
+    } else {
+        resp
+    }
+}
+
 fn finish_response(id: &str, phase: &JobPhase, cache_label: &str) -> Response {
     match phase {
-        JobPhase::Done(body) => Response::json(200, body.as_str().to_owned())
-            .with_header("X-Cache", cache_label)
-            .with_header("X-Request-Hash", id),
+        JobPhase::Done(output) => with_degraded(
+            Response::json(200, output.body.as_str().to_owned())
+                .with_header("X-Cache", cache_label)
+                .with_header("X-Request-Hash", id),
+            output.degraded,
+        ),
         JobPhase::Failed(msg) => {
             Response::json(500, error_body(&format!("scheduling failed: {msg}")))
                 .with_header("X-Request-Hash", id)
@@ -339,9 +378,15 @@ fn jobs_route(engine: &Engine, id: &str) -> Response {
         }
         // Splice the stored body verbatim so the `result` field is
         // byte-identical to the sync answer.
-        JobPhase::Done(body) => Response::json(
-            200,
-            format!("{{\"id\":\"{id}\",\"status\":\"done\",\"result\":{body}}}"),
+        JobPhase::Done(output) => with_degraded(
+            Response::json(
+                200,
+                format!(
+                    "{{\"id\":\"{id}\",\"status\":\"done\",\"result\":{}}}",
+                    output.body
+                ),
+            ),
+            output.degraded,
         ),
         JobPhase::Failed(msg) => Response::json(
             200,

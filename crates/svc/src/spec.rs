@@ -88,10 +88,35 @@ pub fn parse_platform_faulted(spec: &str, faults: Option<&str>) -> Result<Platfo
     builder.build().map_err(|e| e.to_string())
 }
 
+/// A chaos-testing scheduler that always panics mid-schedule. It exists
+/// to drive the service's panic isolation end to end: a request naming
+/// it must fail with a typed 500 while the scheduler worker — and every
+/// other request — carries on. Deliberately absent from the
+/// unknown-scheduler error message; it is a test hook, not a scheduler.
+struct ChaosPanicScheduler;
+
+impl Scheduler for ChaosPanicScheduler {
+    fn name(&self) -> &str {
+        "chaos-panic"
+    }
+
+    fn schedule(
+        &self,
+        _graph: &noc_ctg::prelude::TaskGraph,
+        _platform: &Platform,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        panic!("chaos-panic scheduler always panics");
+    }
+}
+
 /// Parses a scheduler name into a boxed [`Scheduler`]. `threads` sets
 /// the worker count for the schedulers that parallelize (`eas`,
 /// `eas-base`, `anneal`); `0` means all hardware threads. Results are
 /// identical for every thread count.
+///
+/// The special name `chaos-panic` resolves to a scheduler that panics
+/// on execution — a fault-injection hook for exercising the service's
+/// panic isolation (`svc_load --chaos` uses it).
 ///
 /// # Errors
 ///
@@ -101,6 +126,7 @@ pub fn parse_scheduler(
     threads: usize,
 ) -> Result<Box<dyn Scheduler + Send + Sync>, String> {
     match name {
+        "chaos-panic" => Ok(Box::new(ChaosPanicScheduler)),
         "eas" => Ok(Box::new(EasScheduler::new(
             EasConfig::default().with_threads(threads),
         ))),
@@ -195,5 +221,17 @@ mod tests {
             }
         }
         assert!(parse_scheduler("magic", 1).is_err());
+        assert_eq!(
+            parse_scheduler("chaos-panic", 1).expect("parses").name(),
+            "chaos-panic",
+            "the chaos hook resolves"
+        );
+        let Err(msg) = parse_scheduler("magic", 1) else {
+            panic!("unknown scheduler must not parse");
+        };
+        assert!(
+            !msg.contains("chaos"),
+            "the chaos hook stays out of the advertised names"
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! Property-based tests for compute budgets and cooperative
+//! cancellation: an interrupted run must be *clean* — it reports a
+//! typed error, corrupts nothing, and a subsequent unlimited run on the
+//! very same scheduler reproduces the reference schedule exactly.
+
+use proptest::prelude::*;
+
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+use noc_platform::prelude::*;
+use noc_schedule::validate;
+
+fn platform() -> Platform {
+    Platform::builder()
+        .topology(TopologySpec::mesh(3, 3))
+        .pe_mix(PeCatalog::date04().cycle_mix())
+        .build()
+        .expect("mesh builds")
+}
+
+/// Strategy: a small random CTG configuration.
+fn tgff_config() -> impl Strategy<Value = TgffConfig> {
+    (0u64..1_000, 8usize..32, 1.2f64..3.0).prop_map(|(seed, task_count, laxity)| {
+        let mut cfg = TgffConfig::small(seed);
+        cfg.task_count = task_count;
+        cfg.deadline_laxity = laxity;
+        cfg.width = (task_count / 4).max(2);
+        cfg
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A step budget either lets the search finish with a valid
+    /// schedule or fails with the typed exhaustion error — and either
+    /// way the same scheduler afterwards reproduces the reference
+    /// schedule byte for byte, so an interrupt leaves no residue.
+    #[test]
+    fn step_budgets_interrupt_cleanly(cfg in tgff_config(), steps in 0u64..5_000) {
+        let platform = platform();
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let scheduler = EasScheduler::full();
+        let reference = scheduler.schedule(&graph, &platform).expect("schedules");
+
+        match scheduler.schedule_with_budget(&graph, &platform, &ComputeBudget::steps(steps)) {
+            Ok(outcome) => {
+                prop_assert!(validate(&outcome.schedule, &graph, &platform).is_ok());
+                prop_assert_eq!(
+                    &outcome.schedule, &reference.schedule,
+                    "a budget that suffices must not change the result"
+                );
+            }
+            Err(SchedulerError::BudgetExhausted(cause)) => {
+                prop_assert_eq!(cause, Interrupt::Steps);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+
+        // The interrupted (or finished) scheduler is still pristine.
+        let again = scheduler
+            .schedule_with_budget(&graph, &platform, &ComputeBudget::unlimited())
+            .expect("unlimited budget always finishes");
+        prop_assert_eq!(again.schedule, reference.schedule);
+    }
+
+    /// A token cancelled before the call interrupts every scheduler
+    /// immediately, as the dedicated `Interrupted` error.
+    #[test]
+    fn pre_cancelled_tokens_interrupt_immediately(cfg in tgff_config()) {
+        let platform = platform();
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = ComputeBudget::unlimited().with_cancel(token);
+        let result = EasScheduler::full().schedule_with_budget(&graph, &platform, &budget);
+        prop_assert!(
+            matches!(result, Err(SchedulerError::Interrupted)),
+            "got {result:?}"
+        );
+    }
+}
