@@ -9,9 +9,11 @@
 //! `--requests <N>` (default 1200), `--clients <N>` (default 4),
 //! `--graphs <N>` distinct problems (default 12), `--seed <N>`
 //! (default 0x5EC), `--timeout-ms <N>` client read/write timeout
-//! (default 60000). The first positional argument overrides the
-//! artifact path. Exits non-zero on any transport error, non-200
-//! answer, or determinism violation.
+//! (default 60000), `--stats` to scrape the per-stage
+//! `noc_svc_stage_seconds` histograms before and after the wave and
+//! record the deltas in the artifact. The first positional argument
+//! overrides the artifact path. Exits non-zero on any transport error,
+//! non-200 answer, or determinism violation.
 //!
 //! Chaos modes, for the crash-recovery CI gate:
 //!
@@ -41,6 +43,17 @@ use noc_svc::client::Client;
 /// the load exercises the service rather than the EAS search.
 const SCHEDULERS: [&str; 2] = ["edf", "dls"];
 
+/// What one pipeline stage cost over the load wave: the delta of its
+/// `noc_svc_stage_seconds` histogram between the pre- and post-wave
+/// `/metrics` scrapes.
+#[derive(Debug, Serialize)]
+struct StageDelta {
+    stage: String,
+    executions: u64,
+    seconds: f64,
+    mean_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct ServiceBench {
     addr: String,
@@ -62,6 +75,9 @@ struct ServiceBench {
     cache_hit_rate: f64,
     schedules_executed: u64,
     requests_coalesced: u64,
+    /// Present only with `--stats`: per-stage scheduling cost over the
+    /// wave, from the server's own `noc_svc_stage_seconds` histograms.
+    stage_seconds: Option<Vec<StageDelta>>,
 }
 
 struct WorkerResult {
@@ -83,6 +99,7 @@ fn main() {
     let mut graphs = 12usize;
     let mut seed = 0x5ECu64;
     let mut timeout_ms = 60_000u64;
+    let mut stats = false;
     let mut chaos = false;
     let mut chaos_verify = false;
     let mut jobs = 8usize;
@@ -109,6 +126,7 @@ fn main() {
             "--timeout-ms" => timeout_ms = parse::<u64>(&flag_value(&mut i)).max(1),
             "--jobs" => jobs = parse::<usize>(&flag_value(&mut i)).max(1),
             "--state" => state_path = flag_value(&mut i),
+            "--stats" => stats = true,
             "--chaos" => chaos = true,
             "--chaos-verify" => chaos_verify = true,
             flag if flag.starts_with("--") => {
@@ -144,10 +162,17 @@ fn main() {
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_service.json".to_owned());
 
+    // With `--stats` the mix also cycles the full EAS pipeline: it is
+    // the instrumented scheduler, so the per-stage histograms this flag
+    // exists to measure actually accumulate samples.
+    let mut schedulers: Vec<&str> = SCHEDULERS.to_vec();
+    if stats {
+        schedulers.push("eas");
+    }
     println!(
         "== svc_load: {requests} requests, {clients} clients, {graphs} graphs x \
          {} schedulers, seed {seed:#x} -> {addr} ==",
-        SCHEDULERS.len()
+        schedulers.len()
     );
 
     // A fixed-seed request mix: `graphs` distinct CTGs times the
@@ -161,7 +186,7 @@ fn main() {
             .generate(&platform)
             .expect("graph generates");
         let graph_json = serde_json::to_string(&graph).expect("serializes");
-        for scheduler in SCHEDULERS {
+        for scheduler in &schedulers {
             mix.push(format!(
                 r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#
             ));
@@ -183,6 +208,13 @@ fn main() {
         eprintln!("error: /healthz answered {}", health.status);
         std::process::exit(1);
     }
+    // Pre-wave stage baseline, so a warm server's earlier jobs don't
+    // pollute this wave's per-stage deltas.
+    let stages_before = if stats {
+        scrape_stages(&probe.get("/metrics").map(|r| r.body).unwrap_or_default())
+    } else {
+        HashMap::new()
+    };
 
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
@@ -236,6 +268,36 @@ fn main() {
     let metrics = probe.get("/metrics").map(|r| r.body).unwrap_or_default();
     let cache_hits = scrape(&metrics, "noc_svc_cache_hits_total");
     let cache_misses = scrape(&metrics, "noc_svc_cache_misses_total");
+    let stage_seconds = stats.then(|| {
+        let after = scrape_stages(&metrics);
+        let mut deltas: Vec<StageDelta> = after
+            .into_iter()
+            .map(|(stage, (count, sum))| {
+                let (count0, sum0) = stages_before.get(&stage).copied().unwrap_or((0, 0.0));
+                let executions = count.saturating_sub(count0);
+                let seconds = (sum - sum0).max(0.0);
+                StageDelta {
+                    stage,
+                    executions,
+                    seconds,
+                    mean_ms: if executions > 0 {
+                        seconds * 1000.0 / executions as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .filter(|d| d.executions > 0)
+            .collect();
+        deltas.sort_by(|a, b| a.stage.cmp(&b.stage));
+        for d in &deltas {
+            println!(
+                "stage {:<12} {:>6} executions, {:>9.3}s total, {:>8.3}ms mean",
+                d.stage, d.executions, d.seconds, d.mean_ms
+            );
+        }
+        deltas
+    });
     let report = ServiceBench {
         addr: addr_text,
         requests: done,
@@ -262,6 +324,7 @@ fn main() {
         },
         schedules_executed: scrape(&metrics, "noc_svc_schedules_executed_total"),
         requests_coalesced: scrape(&metrics, "noc_svc_requests_coalesced_total"),
+        stage_seconds,
     };
 
     println!(
@@ -729,6 +792,28 @@ fn run_chaos_verify(
         }
     }
     i32::from(errors > 0)
+}
+
+/// Extracts the `noc_svc_stage_seconds` histograms from Prometheus
+/// text: stage label → (cumulative count, cumulative sum of seconds).
+fn scrape_stages(metrics: &str) -> HashMap<String, (u64, f64)> {
+    let mut out: HashMap<String, (u64, f64)> = HashMap::new();
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("noc_svc_stage_seconds_count{stage=\"") {
+            if let Some((stage, tail)) = rest.split_once("\"}") {
+                if let Ok(v) = tail.trim().parse::<u64>() {
+                    out.entry(stage.to_owned()).or_insert((0, 0.0)).0 = v;
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("noc_svc_stage_seconds_sum{stage=\"") {
+            if let Some((stage, tail)) = rest.split_once("\"}") {
+                if let Ok(v) = tail.trim().parse::<f64>() {
+                    out.entry(stage.to_owned()).or_insert((0, 0.0)).1 = v;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Extracts a single-value counter from Prometheus text.

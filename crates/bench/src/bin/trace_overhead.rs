@@ -1,0 +1,169 @@
+//! Tracing overhead gate for CI: schedules the Fig. 5-style category-I
+//! workload through the plain entry point and through `schedule_traced`
+//! with a `NullSink`, interleaved min-of-N timed, and fails when the
+//! disabled-tracing path costs more than the overhead budget — or when
+//! the two paths stop producing byte-identical schedules. A
+//! `BufferSink` run is timed alongside for reference (how much a fully
+//! recorded trace costs) but is informational, not gated.
+//!
+//! Writes `BENCH_trace.json` (first argument overrides the path) and
+//! exits non-zero on a gate violation.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+/// Interleaved timing rounds per configuration; the minimum is kept.
+/// The minimum of many rounds is robust against scheduler preemption
+/// noise, which an average would smear into false gate failures.
+const RUNS: usize = 9;
+/// The gate: NullSink tracing may cost at most this much relative to
+/// the plain entry point.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+#[derive(Debug, Serialize)]
+struct Case {
+    graph: String,
+    tasks: usize,
+    edges: usize,
+    untraced_s: f64,
+    nullsink_s: f64,
+    /// Relative cost of the disabled-tracing path, percent (negative
+    /// values mean measurement noise favored the traced run).
+    overhead_pct: f64,
+    /// Reference only: a full `BufferSink` recording of the same run.
+    buffersink_s: f64,
+    events_recorded: usize,
+    identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    runs: usize,
+    max_overhead_pct: f64,
+    cases: Vec<Case>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace.json".to_owned());
+    let platform = platforms::mesh_4x4();
+    println!("== NullSink tracing overhead gate (budget {MAX_OVERHEAD_PCT}%, min of {RUNS}) ==\n");
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>9} {:>12} {:>8}",
+        "graph", "tasks", "untraced(s)", "nullsink(s)", "over(%)", "buffered(s)", "events"
+    );
+
+    let mut cases = Vec::new();
+    let mut failed = false;
+    for task_count in [96usize, 192] {
+        let mut cfg = TgffConfig::category_i(42);
+        cfg.task_count = task_count;
+        cfg.width = (task_count / 20).max(4);
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
+        let scheduler = EasScheduler::new(EasConfig::default());
+        let budget = ComputeBudget::unlimited();
+
+        let mut untraced_s = f64::INFINITY;
+        let mut nullsink_s = f64::INFINITY;
+        let mut buffersink_s = f64::INFINITY;
+        let mut plain_out = None;
+        let mut traced_out = None;
+        let mut events_recorded = 0usize;
+        // Interleave the variants within each round so drift (thermal,
+        // cache, competing load) hits all of them equally.
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            let out = scheduler.schedule(&graph, &platform).expect("schedules");
+            untraced_s = untraced_s.min(t0.elapsed().as_secs_f64());
+            plain_out = Some(out);
+
+            let mut null = NullSink;
+            let t0 = Instant::now();
+            let out = scheduler
+                .schedule_traced(&graph, &platform, &budget, &mut null)
+                .expect("schedules");
+            nullsink_s = nullsink_s.min(t0.elapsed().as_secs_f64());
+            traced_out = Some(out);
+
+            let mut buffer = BufferSink::new();
+            let t0 = Instant::now();
+            let _ = scheduler
+                .schedule_traced(&graph, &platform, &budget, &mut buffer)
+                .expect("schedules");
+            buffersink_s = buffersink_s.min(t0.elapsed().as_secs_f64());
+            events_recorded = buffer.events().len();
+        }
+
+        let plain_out = plain_out.expect("at least one run");
+        let traced_out = traced_out.expect("at least one run");
+        let identical = plain_out.schedule == traced_out.schedule;
+        let overhead_pct = (nullsink_s - untraced_s) / untraced_s * 100.0;
+        println!(
+            "{:<22} {:>6} {:>12.4} {:>12.4} {:>9.2} {:>12.4} {:>8}",
+            graph.name(),
+            graph.task_count(),
+            untraced_s,
+            nullsink_s,
+            overhead_pct,
+            buffersink_s,
+            events_recorded,
+        );
+        if !identical {
+            eprintln!(
+                "error: traced schedule diverged from untraced on {}",
+                graph.name()
+            );
+            failed = true;
+        }
+        if overhead_pct > MAX_OVERHEAD_PCT {
+            eprintln!(
+                "error: NullSink tracing costs {overhead_pct:.2}% on {} (budget {MAX_OVERHEAD_PCT}%)",
+                graph.name()
+            );
+            failed = true;
+        }
+        cases.push(Case {
+            graph: graph.name().to_owned(),
+            tasks: graph.task_count(),
+            edges: graph.edge_count(),
+            untraced_s,
+            nullsink_s,
+            overhead_pct,
+            buffersink_s,
+            events_recorded,
+            identical,
+        });
+    }
+
+    let report = Report {
+        bench: "trace_overhead".to_owned(),
+        runs: RUNS,
+        max_overhead_pct: MAX_OVERHEAD_PCT,
+        cases,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write(&out_path, json) {
+            Ok(()) => println!("\nArtifact written to {out_path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

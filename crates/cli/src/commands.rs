@@ -30,8 +30,16 @@ USAGE:
                   [--faults tile:4,link:1-2]
                   [--threads N] [--budget-ms MS]
                   [--out schedule.json] [--vcd waves.vcd]
+                  [--trace trace.json] [--trace-format chrome|jsonl]
                   [--gantt] [--links] [--csv] [--json]
       Schedule a task graph and report energy / deadline statistics.
+      --trace records every pipeline decision (budgets, F(i,k) trials,
+      PE selections, link reservations, repair moves, anneal chains)
+      into FILE: `chrome` (default) writes Chrome trace-event JSON —
+      open it in Perfetto or chrome://tracing for per-stage profiling —
+      `jsonl` writes one event object per line with logical timestamps
+      only, byte-identical for every --threads value. Tracing never
+      changes the schedule (see docs/OBSERVABILITY.md).
       --budget-ms bounds the scheduler to a wall-clock compute budget;
       an exhausted budget is a clean typed error (no partial schedule),
       so retry with a larger budget or a cheaper scheduler.
@@ -71,6 +79,15 @@ USAGE:
                   [--buffers N] [--hop-latency N] [--faults SPEC]
       Replay a schedule on the flit-level wormhole simulator.
 
+  noceas explain --graph graph.json --platform mesh:4x4
+                 [--scheduler eas|eas-base|edf|dls|anneal]
+                 [--faults SPEC] [--threads N] [--task N]
+      Schedule the graph with tracing on and print a per-task narrative
+      of every decision: why each task got its PE (urgency vs. energy
+      regret), where transfers stalled on link contention, and which
+      repair moves recovered deadlines. --task N narrows the story to
+      one task index.
+
   noceas dot --graph graph.json
       Print the task graph in Graphviz DOT syntax.
 
@@ -98,6 +115,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "schedule" => schedule(args),
         "validate" => validate_cmd(args),
         "simulate" => simulate(args),
+        "explain" => explain_cmd(args),
         "serve" => serve(args),
         "dot" => dot(args),
         "info" => info(args),
@@ -198,18 +216,54 @@ fn schedule(args: &Args) -> Result<String, String> {
     let graph = load_graph(args.require("graph")?)?;
     let threads: usize = args.get_num("threads", 1)?;
     let scheduler = parse_scheduler(args.get_or("scheduler", "eas"), threads)?;
-    let outcome = match args.get("budget-ms") {
-        None => scheduler.schedule(&graph, &platform),
+    let trace_format = args.get_or("trace-format", "chrome");
+    if !matches!(trace_format, "chrome" | "jsonl") {
+        return Err(format!(
+            "unknown --trace-format `{trace_format}` (expected chrome or jsonl)"
+        ));
+    }
+    let trace_path = args.get("trace");
+    if trace_path.is_none() && args.get("trace-format").is_some() {
+        return Err("--trace-format requires --trace FILE".into());
+    }
+    let budget = match args.get("budget-ms") {
+        None => noc_eas::prelude::ComputeBudget::unlimited(),
         Some(text) => {
             let ms: u64 = text
                 .parse()
                 .map_err(|_| format!("bad --budget-ms `{text}` (milliseconds)"))?;
-            let budget =
-                noc_eas::prelude::ComputeBudget::wall_clock(std::time::Duration::from_millis(ms));
-            scheduler.schedule_with_budget(&graph, &platform, &budget)
+            noc_eas::prelude::ComputeBudget::wall_clock(std::time::Duration::from_millis(ms))
         }
-    }
-    .map_err(|e| e.to_string())?;
+    };
+    let (outcome, trace_file) = match trace_path {
+        None => (
+            scheduler
+                .schedule_with_budget(&graph, &platform, &budget)
+                .map_err(|e| e.to_string())?,
+            None,
+        ),
+        Some(path) => {
+            // Chrome traces carry wall-clock spans for profiling; JSONL
+            // keeps logical timestamps only, so its bytes are
+            // deterministic for every thread count.
+            let mut sink = if trace_format == "chrome" {
+                noc_eas::trace::BufferSink::with_wall_clock()
+            } else {
+                noc_eas::trace::BufferSink::new()
+            };
+            let outcome = scheduler
+                .schedule_traced(&graph, &platform, &budget, &mut sink)
+                .map_err(|e| e.to_string())?;
+            let events = sink.into_events();
+            let text = if trace_format == "chrome" {
+                noc_eas::trace::to_chrome_trace(&events)
+            } else {
+                noc_eas::trace::to_jsonl(&events)
+            };
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            (outcome, Some(path))
+        }
+    };
 
     if args.has_flag("json") {
         // --gantt/--links/--csv render into the human-readable summary
@@ -290,6 +344,53 @@ fn schedule(args: &Args) -> Result<String, String> {
         save_json(path, &outcome.schedule)?;
         out.push_str(&format!("wrote {path}\n"));
     }
+    if let Some(path) = trace_file {
+        out.push_str(&format!("wrote {path} ({trace_format})\n"));
+    }
+    Ok(out)
+}
+
+fn explain_cmd(args: &Args) -> Result<String, String> {
+    let platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
+    let graph = load_graph(args.require("graph")?)?;
+    let threads: usize = args.get_num("threads", 1)?;
+    let scheduler = parse_scheduler(args.get_or("scheduler", "eas"), threads)?;
+    let task: Option<usize> = match args.get("task") {
+        None => None,
+        Some(text) => {
+            let t: usize = text
+                .parse()
+                .map_err(|_| format!("bad --task `{text}` (task index)"))?;
+            if t >= graph.task_count() {
+                return Err(format!(
+                    "--task {t} out of range (graph has {} tasks)",
+                    graph.task_count()
+                ));
+            }
+            Some(t)
+        }
+    };
+    let mut sink = noc_eas::trace::BufferSink::new();
+    let outcome = scheduler
+        .schedule_traced(
+            &graph,
+            &platform,
+            &noc_eas::prelude::ComputeBudget::unlimited(),
+            &mut sink,
+        )
+        .map_err(|e| e.to_string())?;
+    let mut out = noc_eas::trace::explain(sink.events(), task);
+    out.push_str(&format!(
+        "result: {}: {} | deadlines {} ({} misses)\n",
+        scheduler.name(),
+        outcome.stats,
+        if outcome.report.meets_deadlines() {
+            "met"
+        } else {
+            "MISSED"
+        },
+        outcome.report.deadline_misses.len(),
+    ));
     Ok(out)
 }
 
@@ -614,6 +715,7 @@ mod tests {
             "schedule",
             "validate",
             "simulate",
+            "explain",
             "serve",
             "dot",
             "info",
@@ -816,6 +918,164 @@ mod tests {
             "soon",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn schedule_trace_writes_chrome_and_jsonl_without_changing_the_schedule() {
+        let graph_path = tmp("gt.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "7",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+
+        // Chrome (default format): parses, contains the stage spans.
+        let chrome_path = tmp("gt-trace.json");
+        let sched_traced = tmp("gt-s1.json");
+        let out = run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--out",
+            &sched_traced,
+            "--trace",
+            &chrome_path,
+        ]))
+        .expect("traced schedule");
+        assert!(out.contains(&format!("wrote {chrome_path} (chrome)")));
+        let text = fs::read_to_string(&chrome_path).unwrap();
+        let _chrome: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        for span in ["budgeting", "level:0", "comm", "repair", "validate"] {
+            assert!(text.contains(&format!("\"{span}\"")), "missing span {span}");
+        }
+
+        // Tracing never changes the schedule artifact.
+        let sched_plain = tmp("gt-s2.json");
+        run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--out",
+            &sched_plain,
+        ]))
+        .expect("plain schedule");
+        assert_eq!(
+            fs::read_to_string(&sched_traced).unwrap(),
+            fs::read_to_string(&sched_plain).unwrap(),
+            "traced and untraced schedules must be byte-identical"
+        );
+
+        // JSONL: one valid object per line, no wall-clock stamps.
+        let jsonl_path = tmp("gt-trace.jsonl");
+        run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--trace",
+            &jsonl_path,
+            "--trace-format",
+            "jsonl",
+        ]))
+        .expect("jsonl trace");
+        let jsonl = fs::read_to_string(&jsonl_path).unwrap();
+        assert!(jsonl.lines().count() > 10);
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL line");
+            let obj = v.as_object().expect("object");
+            assert!(obj.get("wall_us").is_none(), "jsonl is logical-time only");
+        }
+
+        // Bad combinations are rejected up front.
+        assert!(run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--trace",
+            &jsonl_path,
+            "--trace-format",
+            "xml",
+        ]))
+        .unwrap_err()
+        .contains("trace-format"));
+        assert!(run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap_err()
+        .contains("--trace"));
+    }
+
+    #[test]
+    fn explain_narrates_decisions_and_filters_by_task() {
+        let graph_path = tmp("ge.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "6",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        let out = run(&args(&[
+            "explain",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+        ]))
+        .expect("explain");
+        assert!(out.contains("schedule narrative:"));
+        assert!(out.contains("place: t0"));
+        assert!(out.contains("result: eas:"));
+
+        let focused = run(&args(&[
+            "explain",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--task",
+            "3",
+        ]))
+        .expect("explain --task");
+        assert!(focused.contains("place: t3"));
+        assert!(!focused.contains("place: t0"));
+
+        assert!(run(&args(&[
+            "explain",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--task",
+            "99",
+        ]))
+        .unwrap_err()
+        .contains("out of range"));
     }
 
     #[test]

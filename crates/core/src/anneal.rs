@@ -25,6 +25,7 @@ use crate::limit::{ComputeBudget, Interrupt};
 use crate::repair::RepairStats;
 use crate::retime::{retime, OrderedAssignment};
 use crate::scheduler::{ScheduleOutcome, Scheduler};
+use crate::trace::{EventKind, TraceSink, Tracer};
 use crate::{EasScheduler, SchedulerError};
 
 /// Annealer parameters.
@@ -130,10 +131,33 @@ impl AnnealScheduler {
         platform: &Platform,
         budget: &ComputeBudget,
     ) -> Result<(Schedule, usize), Interrupt> {
+        self.refine_traced(start, graph, platform, budget, &mut Tracer::off())
+    }
+
+    /// [`refine_budgeted`](AnnealScheduler::refine_budgeted) with
+    /// per-chain tracing: one [`EventKind::AnnealChain`] per restart
+    /// chain, emitted in chain-index order after every chain finishes —
+    /// so the event stream is identical for every thread count.
+    fn refine_traced(
+        &self,
+        start: Schedule,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+        tracer: &mut Tracer<'_>,
+    ) -> Result<(Schedule, usize), Interrupt> {
         let restarts = self.config.restarts.max(1);
         if restarts == 1 {
-            let (schedule, accepted, _) =
+            let (schedule, accepted, best_cost) =
                 self.refine_chain(self.config.seed, &start, graph, platform, budget)?;
+            if tracer.on() {
+                tracer.emit(EventKind::AnnealChain {
+                    chain: 0,
+                    seed: self.config.seed,
+                    accepted,
+                    best_cost_nj: best_cost,
+                });
+            }
             return Ok((schedule, accepted));
         }
         let workers = noc_par::effective_threads(self.config.threads);
@@ -145,6 +169,16 @@ impl AnnealScheduler {
         });
         let chains: Vec<(Schedule, usize, f64)> =
             chains.into_iter().collect::<Result<_, Interrupt>>()?;
+        if tracer.on() {
+            for (i, chain) in chains.iter().enumerate() {
+                tracer.emit(EventKind::AnnealChain {
+                    chain: i,
+                    seed: seeds[i],
+                    accepted: chain.1,
+                    best_cost_nj: chain.2,
+                });
+            }
+        }
         let mut win = 0;
         for (i, chain) in chains.iter().enumerate().skip(1) {
             if chain.2 < chains[win].2 {
@@ -263,10 +297,28 @@ impl Scheduler for AnnealScheduler {
         platform: &Platform,
         budget: &ComputeBudget,
     ) -> Result<ScheduleOutcome, SchedulerError> {
-        let warm = EasScheduler::full().schedule_with_budget(graph, platform, budget)?;
-        let (schedule, _) = self.refine_budgeted(warm.schedule, graph, platform, budget)?;
+        self.schedule_traced(graph, platform, budget, &mut crate::trace::NullSink)
+    }
+
+    fn schedule_traced(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        // The warm start traces its own budgeting/level/repair stages.
+        let warm = EasScheduler::full().schedule_traced(graph, platform, budget, sink)?;
+        let mut tracer = Tracer::new(sink);
+        tracer.begin("anneal");
+        let (schedule, _) =
+            self.refine_traced(warm.schedule, graph, platform, budget, &mut tracer)?;
+        tracer.poll("anneal", budget);
+        tracer.end("anneal");
+        tracer.begin("validate");
         let report = validate(&schedule, graph, platform)?;
         let stats = ScheduleStats::compute(&schedule, graph, platform);
+        tracer.end("validate");
         Ok(ScheduleOutcome {
             schedule,
             report,

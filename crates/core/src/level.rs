@@ -25,6 +25,7 @@ use crate::budget::SlackBudgets;
 use crate::limit::{ComputeBudget, Interrupt};
 use crate::placer::{trial_eval, Placer, Trial};
 use crate::scheduler::CommModel;
+use crate::trace::{EventKind, Tracer};
 
 /// Runs level-based scheduling to completion, mutating `placer` until
 /// every task is placed. Serial trial evaluation (equivalent to
@@ -49,9 +50,29 @@ pub fn level_schedule_budgeted(
     model: CommModel,
     budget: &ComputeBudget,
 ) -> Result<(), Interrupt> {
-    level_loop(placer, budgets, budget, |placer, jobs| {
+    level_schedule_serial_traced(placer, budgets, model, budget, &mut Tracer::off())
+}
+
+/// Serial trial evaluation with tracing: the shared backend of
+/// [`level_schedule_budgeted`] and the one-worker fast path of
+/// [`level_schedule_threads_budgeted`].
+fn level_schedule_serial_traced(
+    placer: &mut Placer<'_>,
+    budgets: &SlackBudgets,
+    model: CommModel,
+    budget: &ComputeBudget,
+    tracer: &mut Tracer<'_>,
+) -> Result<(), Interrupt> {
+    level_loop(placer, budgets, budget, tracer, |placer, jobs| {
         jobs.iter()
-            .map(|&(t, k)| placer.cached_trial(t, k, model))
+            .map(|&(t, k)| match placer.cache_probe(t, k, model) {
+                Some(trial) => (trial, true),
+                None => {
+                    let trial = placer.trial(t, k, model);
+                    placer.cache_store(t, k, model, trial);
+                    (trial, false)
+                }
+            })
             .collect()
     })
 }
@@ -80,12 +101,24 @@ pub fn level_schedule_threads(
     model: CommModel,
     threads: usize,
 ) {
-    level_schedule_threads_budgeted(placer, budgets, model, threads, &ComputeBudget::unlimited())
-        .expect("unlimited budget never interrupts");
+    level_schedule_threads_budgeted(
+        placer,
+        budgets,
+        model,
+        threads,
+        &ComputeBudget::unlimited(),
+        &mut Tracer::off(),
+    )
+    .expect("unlimited budget never interrupts");
 }
 
 /// Budgeted variant of [`level_schedule_threads`]: same determinism
-/// contract, plus a [`ComputeBudget`] poll at every round boundary.
+/// contract, plus a [`ComputeBudget`] poll at every round boundary and
+/// decision tracing into `tracer` (pass [`Tracer::off`] when untraced).
+///
+/// Trace events are emitted only from the round loop, after the
+/// deterministic `(task, PE)` reduction — workers never record — so the
+/// logical event stream is identical for every thread count.
 ///
 /// # Errors
 ///
@@ -96,10 +129,11 @@ pub fn level_schedule_threads_budgeted(
     model: CommModel,
     threads: usize,
     budget: &ComputeBudget,
+    tracer: &mut Tracer<'_>,
 ) -> Result<(), Interrupt> {
     let workers = effective_threads(threads);
     if workers <= 1 {
-        return level_schedule_budgeted(placer, budgets, model, budget);
+        return level_schedule_serial_traced(placer, budgets, model, budget, tracer);
     }
     let graph = placer.graph();
     let platform = placer.platform();
@@ -124,12 +158,14 @@ pub fn level_schedule_threads_budgeted(
                     .collect()
             },
         );
-        level_loop(placer, budgets, budget, |placer, jobs| {
+        level_loop(placer, budgets, budget, tracer, |placer, jobs| {
             // Cache hits are resolved inline; only stale cells go to the
-            // pool, and their fresh values re-enter the cache.
-            let mut out: Vec<Option<Trial>> = jobs
+            // pool, and their fresh values re-enter the cache. Hit/miss
+            // flags depend only on committed epochs, not on worker
+            // timing, so they are identical for every thread count.
+            let mut out: Vec<Option<(Trial, bool)>> = jobs
                 .iter()
-                .map(|&(t, k)| placer.cache_probe(t, k, model))
+                .map(|&(t, k)| placer.cache_probe(t, k, model).map(|trial| (trial, true)))
                 .collect();
             let missing: Vec<(TaskId, PeId)> = jobs
                 .iter()
@@ -148,7 +184,7 @@ pub fn level_schedule_threads_budgeted(
                     if slot.is_none() {
                         let (trial, (t, k)) = fresh.next().expect("one result per miss");
                         placer.cache_store(t, k, model, trial);
-                        *slot = Some(trial);
+                        *slot = Some((trial, false));
                     }
                 }
             }
@@ -160,9 +196,10 @@ pub fn level_schedule_threads_budgeted(
 }
 
 /// The round loop shared by the serial and parallel entry points:
-/// `eval_round` must return one [`Trial`] per `(task, PE)` job, in job
-/// order — everything downstream (urgency, energy regret, commits) is
-/// common code, which is what makes the two paths bit-identical.
+/// `eval_round` must return one ([`Trial`], cache-hit) pair per
+/// `(task, PE)` job, in job order — everything downstream (urgency,
+/// energy regret, commits, trace emission) is common code, which is
+/// what makes the two paths bit-identical.
 ///
 /// The budget is polled once per round, *before* any trial of the round
 /// runs: an interrupt can therefore only land between fully committed
@@ -171,17 +208,25 @@ fn level_loop<F>(
     placer: &mut Placer<'_>,
     budgets: &SlackBudgets,
     budget: &ComputeBudget,
+    tracer: &mut Tracer<'_>,
     mut eval_round: F,
 ) -> Result<(), Interrupt>
 where
-    F: FnMut(&mut Placer<'_>, &[(TaskId, PeId)]) -> Vec<Trial>,
+    F: FnMut(&mut Placer<'_>, &[(TaskId, PeId)]) -> Vec<(Trial, bool)>,
 {
     // Candidate PEs: dead ones (platform faults) are masked out.
     let pes: Vec<PeId> = placer.platform().alive_pes().collect();
+    let mut round = 0usize;
     while !placer.is_done() {
         budget.check()?;
         let ready: Vec<TaskId> = placer.ready_tasks().to_vec();
         debug_assert!(!ready.is_empty(), "DAG guarantees progress");
+
+        let span = tracer.on().then(|| format!("level:{round}"));
+        if let Some(span) = &span {
+            tracer.begin(span);
+        }
+        round += 1;
 
         // F(i,k) for the whole ready level, task-major in PE order.
         let jobs: Vec<(TaskId, PeId)> = ready
@@ -190,9 +235,20 @@ where
             .collect();
         let trials = eval_round(placer, &jobs);
         debug_assert_eq!(trials.len(), jobs.len(), "one trial per job");
+        if tracer.on() {
+            for (&(t, k), &(trial, cache_hit)) in jobs.iter().zip(&trials) {
+                tracer.emit(EventKind::Trial {
+                    task: t.index(),
+                    pe: k.index(),
+                    start: trial.start.ticks(),
+                    finish: trial.finish.ticks(),
+                    cache_hit,
+                });
+            }
+        }
         let finishes: Vec<Vec<Time>> = trials
             .chunks(pes.len())
-            .map(|row| row.iter().map(|t| t.finish).collect())
+            .map(|row| row.iter().map(|(t, _)| t.finish).collect())
             .collect();
 
         // Urgency rule: schedule the most-over-budget task ASAP.
@@ -210,10 +266,28 @@ where
                 }
             }
         }
-        if let Some((i, _)) = urgent {
+        if let Some((i, excess)) = urgent {
             let t = ready[i];
             let k = best_finish_pe(placer, &pes, &finishes[i], t);
-            placer.commit(t, k);
+            if tracer.on() {
+                let j = pes.iter().position(|&p| p == k).expect("pe in list");
+                let bd = budgets.budgeted_deadline(t);
+                tracer.emit(EventKind::Select {
+                    task: t.index(),
+                    pe: k.index(),
+                    rule: "urgency",
+                    excess_ticks: Some(excess.ticks()),
+                    regret_nj: None,
+                    feasible: finishes[i].iter().filter(|&&f| f <= bd).count(),
+                    energy_nj: placer.energy_for(t, k).as_nj(),
+                    start: trials[i * pes.len() + j].0.start.ticks(),
+                    finish: finishes[i][j].ticks(),
+                });
+            }
+            placer.commit_traced(t, k, tracer);
+            if let Some(span) = &span {
+                tracer.end(span);
+            }
             continue;
         }
 
@@ -263,8 +337,27 @@ where
                 best = Some((i, delta, k1));
             }
         }
-        let (i, _, k) = best.expect("nonempty ready list");
-        placer.commit(ready[i], k);
+        let (i, delta, k) = best.expect("nonempty ready list");
+        let t = ready[i];
+        if tracer.on() {
+            let j = pes.iter().position(|&p| p == k).expect("pe in list");
+            let bd = budgets.budgeted_deadline(t);
+            tracer.emit(EventKind::Select {
+                task: t.index(),
+                pe: k.index(),
+                rule: "regret",
+                excess_ticks: None,
+                regret_nj: delta.is_finite().then_some(delta),
+                feasible: finishes[i].iter().filter(|&&f| f <= bd).count(),
+                energy_nj: placer.energy_for(t, k).as_nj(),
+                start: trials[i * pes.len() + j].0.start.ticks(),
+                finish: finishes[i][j].ticks(),
+            });
+        }
+        placer.commit_traced(t, k, tracer);
+        if let Some(span) = &span {
+            tracer.end(span);
+        }
     }
     Ok(())
 }

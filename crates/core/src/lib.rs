@@ -66,6 +66,7 @@ pub mod placer;
 pub mod repair;
 pub mod retime;
 pub mod scheduler;
+pub mod trace;
 
 pub use error::SchedulerError;
 pub use scheduler::{
@@ -82,5 +83,6 @@ pub mod prelude {
         CommModel, DlsScheduler, EasConfig, EasScheduler, EdfScheduler, ScheduleOutcome, Scheduler,
         WeightFunction,
     };
+    pub use crate::trace::{BufferSink, NullSink, TraceSink, TraceSummary, Tracer};
     pub use crate::SchedulerError;
 }

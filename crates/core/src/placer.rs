@@ -15,6 +15,7 @@ use noc_schedule::{CommPlacement, ResourceTables, Schedule, TaskPlacement};
 use crate::cache::TrialCache;
 use crate::comm::{incoming_comm_energy, schedule_incoming};
 use crate::scheduler::CommModel;
+use crate::trace::{EventKind, Tracer};
 use crate::SchedulerError;
 
 /// Outcome of a trial placement: when the task would run.
@@ -246,6 +247,18 @@ impl<'a> Placer<'a> {
     ///
     /// Panics if `task` is not ready or was already placed.
     pub fn commit(&mut self, task: TaskId, pe: PeId) {
+        self.commit_traced(task, pe, &mut Tracer::off());
+    }
+
+    /// Like [`commit`](Self::commit), recording the committed link-slot
+    /// reservations (one [`CommReserve`](EventKind::CommReserve) per
+    /// incoming transaction, in the deterministic LCT scheduling order)
+    /// under a `comm` span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not ready or was already placed.
+    pub fn commit_traced(&mut self, task: TaskId, pe: PeId, tracer: &mut Tracer<'_>) {
         let pos = self
             .ready
             .iter()
@@ -253,6 +266,7 @@ impl<'a> Placer<'a> {
             .expect("committed task must be in the ready list");
         self.ready.remove(pos);
 
+        tracer.begin("comm");
         let incoming = schedule_incoming(
             self.graph,
             self.platform,
@@ -263,6 +277,21 @@ impl<'a> Placer<'a> {
             CommModel::Contention,
         );
         for (e, placement) in incoming.transactions {
+            if tracer.on() {
+                let src = self.graph.edge(e).src;
+                let sender_finish = self.placements[src.index()]
+                    .as_ref()
+                    .map_or(Time::ZERO, |p| p.finish);
+                tracer.emit(EventKind::CommReserve {
+                    edge: e.index(),
+                    src: src.index(),
+                    dst: task.index(),
+                    start: placement.start.ticks(),
+                    finish: placement.finish.ticks(),
+                    hops: placement.route.len(),
+                    wait_ticks: placement.start.saturating_sub(sender_finish).ticks(),
+                });
+            }
             // Every committed link reservation invalidates cached trials
             // whose routes cross it (local placements have empty routes).
             for l in &placement.route {
@@ -270,6 +299,7 @@ impl<'a> Placer<'a> {
             }
             self.comms[e.index()] = Some(placement);
         }
+        tracer.end("comm");
         let exec = self.graph.task(task).exec_time(pe);
         let start = self.tables.earliest_pe_slot(pe, incoming.drt, exec);
         self.tables.reserve_pe(pe, start, exec);

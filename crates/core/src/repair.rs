@@ -26,6 +26,7 @@ use noc_schedule::Schedule;
 use crate::comm::incoming_comm_energy;
 use crate::limit::{ComputeBudget, Interrupt};
 use crate::retime::{retime, OrderedAssignment};
+use crate::trace::{EventKind, Tracer};
 
 /// Counters describing one repair run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,6 +137,34 @@ pub fn search_and_repair_threads_budgeted(
     threads: usize,
     budget: &ComputeBudget,
 ) -> Result<(Schedule, RepairStats), Interrupt> {
+    search_and_repair_traced(
+        graph,
+        platform,
+        schedule,
+        threads,
+        budget,
+        &mut Tracer::off(),
+    )
+}
+
+/// Traced variant of [`search_and_repair_threads_budgeted`]: every
+/// *accepted* move is recorded — [`EventKind::LtsSwap`] /
+/// [`EventKind::GtmMove`] with the post-move badness and trial count —
+/// in acceptance order, which is serial-identical for every thread
+/// count. Rejected candidates are deliberately not traced (there can be
+/// hundreds of thousands); the `trials` counter carries their cost.
+///
+/// # Errors
+///
+/// The [`Interrupt`] that fired.
+pub fn search_and_repair_traced(
+    graph: &TaskGraph,
+    platform: &Platform,
+    schedule: Schedule,
+    threads: usize,
+    budget: &ComputeBudget,
+    tracer: &mut Tracer<'_>,
+) -> Result<(Schedule, RepairStats), Interrupt> {
     let workers = noc_par::effective_threads(threads);
     let mut stats = RepairStats::default();
     if badness(&schedule, graph).0 == 0 {
@@ -183,6 +212,15 @@ pub fn search_and_repair_threads_budgeted(
                         current = candidate.expect("checked");
                         best = badness(&current, graph);
                         stats.lts_accepted += 1;
+                        if tracer.on() {
+                            tracer.emit(EventKind::LtsSwap {
+                                task: t1.index(),
+                                with: t2.index(),
+                                misses: best.0,
+                                tardiness_ticks: best.1.ticks(),
+                                trials: stats.trials,
+                            });
+                        }
                         lts_improved = true;
                         continue 'lts; // restart with fresh critical set
                     }
@@ -264,6 +302,16 @@ pub fn search_and_repair_threads_budgeted(
                         current = cand;
                         best = b;
                         stats.gtm_accepted += 1;
+                        if tracer.on() {
+                            tracer.emit(EventKind::GtmMove {
+                                task: t.index(),
+                                to_pe: dst.index(),
+                                energy_nj: block[j].0.as_nj(),
+                                misses: best.0,
+                                tardiness_ticks: best.1.ticks(),
+                                trials: stats.trials,
+                            });
+                        }
                         migrated = true;
                         break 'gtm;
                     }

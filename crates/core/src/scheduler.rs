@@ -14,7 +14,8 @@ use crate::edf::edf_schedule;
 use crate::level::level_schedule_threads_budgeted;
 use crate::limit::ComputeBudget;
 use crate::placer::Placer;
-use crate::repair::{search_and_repair_threads_budgeted, RepairStats};
+use crate::repair::{search_and_repair_traced, RepairStats};
+use crate::trace::{EventKind, NullSink, TraceSink, Tracer};
 use crate::SchedulerError;
 
 /// How communication delay is modelled during `F(i,k)` estimation.
@@ -186,6 +187,30 @@ pub trait Scheduler {
         let _ = budget;
         self.schedule(graph, platform)
     }
+
+    /// Like [`schedule_with_budget`](Scheduler::schedule_with_budget),
+    /// emitting decision [`trace`](crate::trace) events into `sink`.
+    ///
+    /// Tracing is strictly observational: the returned outcome is
+    /// byte-identical to an untraced run, for every thread count. The
+    /// default implementation ignores the sink — appropriate for
+    /// baselines with no interesting decision structure; the EAS family
+    /// overrides it with full pipeline instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`schedule_with_budget`](Scheduler::schedule_with_budget)
+    /// returns.
+    fn schedule_traced(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        let _ = sink;
+        self.schedule_with_budget(graph, platform, budget)
+    }
 }
 
 /// The paper's Energy-Aware Scheduler.
@@ -248,7 +273,19 @@ impl Scheduler for EasScheduler {
         platform: &Platform,
         budget: &ComputeBudget,
     ) -> Result<ScheduleOutcome, SchedulerError> {
+        self.schedule_traced(graph, platform, budget, &mut NullSink)
+    }
+
+    fn schedule_traced(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        budget: &ComputeBudget,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ScheduleOutcome, SchedulerError> {
+        let mut tracer = Tracer::new(sink);
         // Step 1: slack budgeting (communication-aware: see DESIGN.md §6).
+        tracer.begin("budgeting");
         let budgets = if self.config.budgeting {
             SlackBudgets::compute_with_comm(
                 graph,
@@ -258,33 +295,57 @@ impl Scheduler for EasScheduler {
         } else {
             SlackBudgets::unbounded(graph)
         };
+        if tracer.on() {
+            for t in graph.task_ids() {
+                let task = graph.task(t);
+                let bd = budgets.budgeted_deadline(t);
+                tracer.emit(EventKind::TaskBudget {
+                    task: t.index(),
+                    task_name: task.name().to_owned(),
+                    weight: self.config.weight_function.weight(task),
+                    bd_ticks: (!bd.is_infinite()).then(|| bd.ticks()),
+                });
+            }
+        }
+        tracer.poll("budgeting", budget);
+        tracer.end("budgeting");
         // Step 2: level-based scheduling. An interrupt drops the placer —
         // trial evaluation always rolls its table checkpoints back and
         // only committed placements live in it, so nothing escapes.
         let mut placer = Placer::new(graph, platform)?;
+        tracer.begin("level");
         level_schedule_threads_budgeted(
             &mut placer,
             &budgets,
             self.config.comm_model,
             self.config.threads,
             budget,
+            &mut tracer,
         )?;
+        tracer.poll("level", budget);
+        tracer.end("level");
         let mut schedule = placer.into_schedule();
         // Step 3: search and repair.
         let mut repair = RepairStats::default();
         if self.config.search_and_repair {
-            let (repaired, stats) = search_and_repair_threads_budgeted(
+            tracer.begin("repair");
+            let (repaired, stats) = search_and_repair_traced(
                 graph,
                 platform,
                 schedule,
                 self.config.threads,
                 budget,
+                &mut tracer,
             )?;
             schedule = repaired;
             repair = stats;
+            tracer.poll("repair", budget);
+            tracer.end("repair");
         }
+        tracer.begin("validate");
         let report = validate(&schedule, graph, platform)?;
         let stats = ScheduleStats::compute(&schedule, graph, platform);
+        tracer.end("validate");
         Ok(ScheduleOutcome {
             schedule,
             report,

@@ -40,6 +40,12 @@ pub struct ScheduleRequest {
     /// `202` with a job id to poll via `GET /v1/jobs/<id>`.
     #[serde(default)]
     pub mode: Option<String>,
+    /// `true` asks for a `"stats"` block (per-stage durations and
+    /// decision counters) in the response. Presentation-only: excluded
+    /// from the cache key, and cached bodies stay byte-identical whether
+    /// or not any caller ever asked for stats.
+    #[serde(default)]
+    pub stats: Option<bool>,
 }
 
 impl ScheduleRequest {
@@ -53,6 +59,12 @@ impl ScheduleRequest {
     #[must_use]
     pub fn is_async(&self) -> bool {
         self.mode.as_deref() == Some("async")
+    }
+
+    /// `true` when the client asked for the `"stats"` block.
+    #[must_use]
+    pub fn wants_stats(&self) -> bool {
+        self.stats == Some(true)
     }
 
     /// The canonical cache key: a sorted-key rendering of the
@@ -231,6 +243,15 @@ mod tests {
         assert_eq!(a.request_hash(), b.request_hash());
         assert!(!a.is_async());
         assert!(b.is_async());
+    }
+
+    #[test]
+    fn cache_key_ignores_the_stats_field() {
+        let plain = request(r#"{"platform":"mesh:2x2","graph":{"x":1}}"#);
+        let with_stats = request(r#"{"platform":"mesh:2x2","graph":{"x":1},"stats":true}"#);
+        assert_eq!(plain.canonical_key(), with_stats.canonical_key());
+        assert!(!plain.wants_stats());
+        assert!(with_stats.wants_stats());
     }
 
     #[test]

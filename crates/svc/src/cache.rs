@@ -20,6 +20,11 @@ pub struct JobOutput {
     pub body: Arc<String>,
     /// `true` when the body is the degraded EDF fallback schedule.
     pub degraded: bool,
+    /// Pre-rendered trace summary JSON from the producing run, spliced
+    /// into the response only for requests that opt in via `"stats"`.
+    /// Kept out of `body` so the cached bytes — and the cache key —
+    /// are unaffected by whether any caller asked for stats.
+    pub stats: Option<Arc<String>>,
 }
 
 impl JobOutput {
@@ -29,6 +34,7 @@ impl JobOutput {
         JobOutput {
             body,
             degraded: false,
+            stats: None,
         }
     }
 }
@@ -134,6 +140,7 @@ mod tests {
             JobOutput {
                 body: Arc::new("fallback".to_owned()),
                 degraded: true,
+                stats: None,
             },
         );
         let hit = c.get("k").expect("hit");

@@ -33,7 +33,9 @@ use std::time::{Duration, Instant};
 use serde::Deserialize;
 
 use noc_ctg::prelude::TaskGraph;
-use noc_eas::prelude::{ComputeBudget, EdfScheduler, Scheduler, SchedulerError};
+use noc_eas::prelude::{
+    BufferSink, ComputeBudget, EdfScheduler, Scheduler, SchedulerError, TraceSummary,
+};
 use noc_platform::prelude::Platform;
 
 use crate::api::{ScheduleRequest, ScheduleResponse, ValidateRequest, ValidateResponse};
@@ -263,9 +265,12 @@ impl Engine {
         for id in order {
             match terminal.remove(&id) {
                 Some(Record::Done { degraded, body, .. }) => {
+                    // The journal records response bytes only; stage
+                    // stats do not survive a restart.
                     let output = JobOutput {
                         body: Arc::new(body),
                         degraded,
+                        stats: None,
                     };
                     // Re-derive the cache key from the accepted body so
                     // resubmissions of the same problem hit the cache.
@@ -523,11 +528,13 @@ impl Engine {
             return; // already executed (double enqueue cannot happen, but stay safe)
         };
         job.set_phase(JobPhase::Running);
+        self.metrics.jobs_inflight.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         // Panic isolation: a panicking scheduler fails *this* job with a
         // typed error; the worker thread survives to run the next one.
         let result = catch_unwind(AssertUnwindSafe(|| self.execute(&work)));
         let elapsed = started.elapsed().as_secs_f64();
+        self.metrics.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
         let journaled = job.journaled.load(Ordering::Acquire);
         let phase = match result {
             Ok(Ok(output)) => {
@@ -585,25 +592,41 @@ impl Engine {
     /// interrupt is answered by the energy-blind EDF fallback — a fast
     /// polynomial schedule marked `"degraded": true` — so an expired
     /// budget degrades quality instead of failing the request.
+    ///
+    /// Every run is traced into a wall-clock [`BufferSink`]: the trace
+    /// feeds the `noc_svc_stage_seconds` histograms and the per-job
+    /// stats block, while the schedule itself stays byte-identical to
+    /// an untraced run (logical timestamps carry all ordering).
     fn execute(&self, work: &JobWork) -> Result<JobOutput, String> {
+        let mut sink = BufferSink::with_wall_clock();
         let outcome = match self.config.budget_ms {
-            None => work.scheduler.schedule(&work.graph, &work.platform),
+            None => work.scheduler.schedule_traced(
+                &work.graph,
+                &work.platform,
+                &ComputeBudget::unlimited(),
+                &mut sink,
+            ),
             Some(ms) => {
                 let budget = ComputeBudget::wall_clock(Duration::from_millis(ms));
-                match work
-                    .scheduler
-                    .schedule_with_budget(&work.graph, &work.platform, &budget)
-                {
+                match work.scheduler.schedule_traced(
+                    &work.graph,
+                    &work.platform,
+                    &budget,
+                    &mut sink,
+                ) {
                     Err(SchedulerError::Interrupted | SchedulerError::BudgetExhausted(_)) => {
                         return match EdfScheduler::new().schedule(&work.graph, &work.platform) {
                             Ok(outcome) => {
                                 // Truthful labelling: the schedule served
-                                // is EDF's, whatever was asked for.
+                                // is EDF's, whatever was asked for. The
+                                // interrupted run's half-finished trace
+                                // is dropped — no stats block.
                                 let mut response = ScheduleResponse::from_outcome("edf", &outcome);
                                 response.degraded = true;
                                 Ok(JobOutput {
                                     body: Arc::new(response.to_json()),
                                     degraded: true,
+                                    stats: None,
                                 })
                             }
                             Err(e) => Err(format!("degraded EDF fallback failed: {e}")),
@@ -615,8 +638,17 @@ impl Engine {
         };
         match outcome {
             Ok(outcome) => {
+                let summary = TraceSummary::from_events(sink.events());
+                for (stage, micros) in &summary.stage_micros {
+                    #[allow(clippy::cast_precision_loss)]
+                    self.metrics
+                        .observe_stage(stage, *micros as f64 / 1_000_000.0);
+                }
+                let stats = serde_json::to_string(&summary).expect("serialization is infallible");
                 let response = ScheduleResponse::from_outcome(&work.scheduler_name, &outcome);
-                Ok(JobOutput::new(Arc::new(response.to_json())))
+                let mut output = JobOutput::new(Arc::new(response.to_json()));
+                output.stats = Some(Arc::new(stats));
+                Ok(output)
             }
             Err(e) => Err(e.to_string()),
         }
@@ -721,6 +753,43 @@ mod tests {
         assert_eq!(engine.metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(engine.metrics.schedules_executed.load(Ordering::Relaxed), 1);
         assert!(engine.job(&id).is_some(), "finished job stays pollable");
+    }
+
+    #[test]
+    fn executed_jobs_carry_stats_and_feed_stage_histograms() {
+        let engine = engine(EngineConfig::default());
+        let graph = graph_json();
+        let body = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}}"#);
+        let Submission::Enqueued { job, .. } = engine.submit(&body) else {
+            panic!("submission must enqueue");
+        };
+        drain(&engine);
+        let JobPhase::Done(output) = job.wait() else {
+            panic!("job must finish");
+        };
+        let stats = output.stats.as_ref().expect("executed jobs carry stats");
+        assert!(stats.contains("\"stage_micros\""), "stats is the summary");
+        assert!(
+            !output.body.contains("stage_micros"),
+            "stats ride alongside the body, never inside it"
+        );
+        let text = engine.metrics.render();
+        assert!(text.contains("noc_svc_stage_seconds_count{stage=\"level\"}"));
+        assert!(text.contains("noc_svc_stage_seconds_count{stage=\"budgeting\"}"));
+        assert!(
+            text.contains("noc_svc_jobs_inflight 0"),
+            "inflight gauge returns to zero after the job"
+        );
+
+        // The cache hit reproduces the producing run's stats.
+        let Submission::Cached { output: hit, .. } = engine.submit(&body) else {
+            panic!("second submission must hit the cache");
+        };
+        assert_eq!(
+            hit.stats.as_deref(),
+            output.stats.as_deref(),
+            "cached hits serve the producing run's stats"
+        );
     }
 
     #[test]

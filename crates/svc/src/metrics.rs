@@ -25,6 +25,16 @@ struct Histogram {
     sum: f64,
 }
 
+fn observe(h: &mut Histogram, seconds: f64) {
+    h.count += 1;
+    h.sum += seconds;
+    for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+        if seconds <= *bound {
+            h.buckets[i] += 1;
+        }
+    }
+}
+
 /// The service-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -52,7 +62,15 @@ pub struct Metrics {
     pub journal_replayed: AtomicU64,
     /// Current job-queue depth (gauge, maintained by the engine).
     pub queue_depth: AtomicU64,
+    /// Jobs currently executing on scheduler workers (gauge). Together
+    /// with [`queue_depth`](Metrics::queue_depth) this makes queue
+    /// saturation observable *before* 429s fire.
+    pub jobs_inflight: AtomicU64,
     latency: Mutex<Histogram>,
+    /// Per-pipeline-stage execution time, keyed by stage name
+    /// (`budgeting`, `level`, `comm`, `repair`, `anneal`, `validate`),
+    /// fed from the trace spans of every executed job.
+    stages: Mutex<BTreeMap<String, Histogram>>,
 }
 
 impl Metrics {
@@ -77,13 +95,14 @@ impl Metrics {
     /// Records one scheduling execution latency, in seconds.
     pub fn observe_latency(&self, seconds: f64) {
         let mut h = self.latency.lock().expect("metrics lock");
-        h.count += 1;
-        h.sum += seconds;
-        for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
-            if seconds <= *bound {
-                h.buckets[i] += 1;
-            }
-        }
+        observe(&mut h, seconds);
+    }
+
+    /// Records the execution time of one pipeline stage of a job.
+    pub fn observe_stage(&self, stage: &str, seconds: f64) {
+        let mut stages = self.stages.lock().expect("metrics lock");
+        let h = stages.entry(stage.to_owned()).or_default();
+        observe(h, seconds);
     }
 
     /// Renders the registry in Prometheus text exposition format.
@@ -167,6 +186,35 @@ impl Metrics {
              noc_svc_queue_depth {}\n",
             self.queue_depth.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!(
+            "# HELP noc_svc_jobs_inflight Jobs currently executing on scheduler workers.\n\
+             # TYPE noc_svc_jobs_inflight gauge\n\
+             noc_svc_jobs_inflight {}\n",
+            self.jobs_inflight.load(Ordering::Relaxed)
+        ));
+
+        let stages = self.stages.lock().expect("metrics lock");
+        if !stages.is_empty() {
+            out.push_str(
+                "# HELP noc_svc_stage_seconds Scheduling pipeline stage execution time.\n\
+                 # TYPE noc_svc_stage_seconds histogram\n",
+            );
+            for (stage, h) in stages.iter() {
+                for (i, bound) in LATENCY_BUCKETS.iter().enumerate() {
+                    out.push_str(&format!(
+                        "noc_svc_stage_seconds_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {}\n",
+                        h.buckets[i]
+                    ));
+                }
+                out.push_str(&format!(
+                    "noc_svc_stage_seconds_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {}\n\
+                     noc_svc_stage_seconds_sum{{stage=\"{stage}\"}} {}\n\
+                     noc_svc_stage_seconds_count{{stage=\"{stage}\"}} {}\n",
+                    h.count, h.sum, h.count
+                ));
+            }
+        }
+        drop(stages);
 
         let h = self.latency.lock().expect("metrics lock");
         out.push_str(
@@ -224,6 +272,38 @@ mod tests {
         assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"5\"} 2"));
         assert!(text.contains("noc_svc_schedule_seconds_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("noc_svc_schedule_seconds_count 3"));
+    }
+
+    #[test]
+    fn stage_histograms_render_sorted_by_label() {
+        let m = Metrics::new();
+        assert!(
+            !m.render().contains("noc_svc_stage_seconds"),
+            "stage family is omitted until a stage is observed"
+        );
+        m.observe_stage("level", 0.002);
+        m.observe_stage("budgeting", 0.0001);
+        m.observe_stage("level", 0.3);
+        let text = m.render();
+        assert!(text.contains("# TYPE noc_svc_stage_seconds histogram"));
+        assert!(text.contains("noc_svc_stage_seconds_bucket{stage=\"budgeting\",le=\"0.001\"} 1"));
+        assert!(text.contains("noc_svc_stage_seconds_bucket{stage=\"level\",le=\"0.0025\"} 1"));
+        assert!(text.contains("noc_svc_stage_seconds_bucket{stage=\"level\",le=\"+Inf\"} 2"));
+        assert!(text.contains("noc_svc_stage_seconds_count{stage=\"level\"} 2"));
+        let budgeting = text
+            .find("stage=\"budgeting\"")
+            .expect("budgeting series present");
+        let level = text.find("stage=\"level\"").expect("level series present");
+        assert!(budgeting < level, "stage series render in sorted order");
+    }
+
+    #[test]
+    fn inflight_gauge_renders_its_value() {
+        let m = Metrics::new();
+        m.jobs_inflight.store(2, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("# TYPE noc_svc_jobs_inflight gauge"));
+        assert!(text.contains("noc_svc_jobs_inflight 2"));
     }
 
     #[test]

@@ -298,15 +298,16 @@ fn schedule_route(engine: &Engine, request: &Request) -> Response {
         return Response::json(400, error_body("request body is not UTF-8"));
     };
     // `mode` only matters for fresh/joined jobs; a cached answer is
-    // final either way.
-    let wants_async = serde_json::from_str::<crate::api::ScheduleRequest>(body)
-        .map(|r| r.is_async())
-        .unwrap_or(false);
+    // final either way. `stats` is presentation-only: it selects how
+    // the stored output is rendered, never what is stored.
+    let (wants_async, wants_stats) = serde_json::from_str::<crate::api::ScheduleRequest>(body)
+        .map(|r| (r.is_async(), r.wants_stats()))
+        .unwrap_or((false, false));
     match engine.submit(body) {
         Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
         Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
         Submission::Cached { id, output } => {
-            let resp = Response::json(200, output.body.as_str().to_owned())
+            let resp = Response::json(200, rendered_body(&output, wants_stats))
                 .with_header("X-Cache", "hit")
                 .with_header("X-Request-Hash", &id);
             with_degraded(resp, output.degraded)
@@ -315,14 +316,14 @@ fn schedule_route(engine: &Engine, request: &Request) -> Response {
             if wants_async {
                 accepted_response(&id)
             } else {
-                finish_response(&id, &job.wait(), "join")
+                finish_response(&id, &job.wait(), "join", wants_stats)
             }
         }
         Submission::Enqueued { id, job } => {
             if wants_async {
                 accepted_response(&id)
             } else {
-                finish_response(&id, &job.wait(), "miss")
+                finish_response(&id, &job.wait(), "miss", wants_stats)
             }
         }
         Submission::Rejected => Response::json(429, error_body("job queue is full; retry later"))
@@ -347,10 +348,27 @@ fn with_degraded(resp: Response, degraded: bool) -> Response {
     }
 }
 
-fn finish_response(id: &str, phase: &JobPhase, cache_label: &str) -> Response {
+/// Renders the body a client sees: the stored bytes verbatim, or —
+/// only when this request opted in and the producing run left a
+/// summary — those bytes with a `"stats"` member spliced in before the
+/// closing brace. The stored output (and therefore the cache and every
+/// other client's bytes) is never modified.
+fn rendered_body(output: &crate::cache::JobOutput, wants_stats: bool) -> String {
+    let body = output.body.as_str();
+    if wants_stats {
+        if let Some(stats) = &output.stats {
+            if let Some(head) = body.strip_suffix('}') {
+                return format!("{head},\"stats\":{stats}}}");
+            }
+        }
+    }
+    body.to_owned()
+}
+
+fn finish_response(id: &str, phase: &JobPhase, cache_label: &str, wants_stats: bool) -> Response {
     match phase {
         JobPhase::Done(output) => with_degraded(
-            Response::json(200, output.body.as_str().to_owned())
+            Response::json(200, rendered_body(output, wants_stats))
                 .with_header("X-Cache", cache_label)
                 .with_header("X-Request-Hash", id),
             output.degraded,

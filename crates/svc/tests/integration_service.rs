@@ -144,6 +144,61 @@ fn cache_hit_returns_byte_identical_bodies() {
 }
 
 #[test]
+fn stats_opt_in_adds_a_block_without_touching_cached_bytes() {
+    let server = Server::start(config()).expect("starts");
+    let mut c = client(&server);
+    let graph = graph_json(13, 10);
+
+    // Cold run with stats: the block is present in the answer.
+    let with_stats =
+        format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas","stats":true}}"#);
+    let first = c.post("/v1/schedule", &with_stats).expect("cold run");
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    assert!(
+        first.body.contains(r#""stats":{"#) && first.body.contains("\"stage_micros\""),
+        "stats block present when requested: {}",
+        first.body
+    );
+
+    // The same problem without stats is a cache HIT (key-neutral field)
+    // and its bytes carry no stats block.
+    let plain = schedule_body(&graph, "eas");
+    let second = c.post("/v1/schedule", &plain).expect("plain run");
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert!(
+        !second.body.contains("stage_micros"),
+        "plain requests see the canonical cached bytes"
+    );
+
+    // Asking again with stats also hits the cache and re-attaches the
+    // producing run's stats; stripping the block recovers the exact
+    // cached bytes.
+    let third = c.post("/v1/schedule", &with_stats).expect("cached stats");
+    assert_eq!(third.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, third.body, "stats answers are stable");
+    let head = third
+        .body
+        .rfind(",\"stats\":{")
+        .expect("stats block present");
+    let stripped = format!("{}{}", &third.body[..head], "}");
+    assert_eq!(stripped, second.body, "body minus stats == cached bytes");
+
+    // One executed request populates the per-stage histograms.
+    let metrics = c.get("/metrics").expect("metrics");
+    assert!(
+        metrics
+            .body
+            .contains("noc_svc_stage_seconds_count{stage=\"level\"} 1"),
+        "stage histograms exposed after one scheduled request:\n{}",
+        metrics.body
+    );
+    assert!(metrics.body.contains("noc_svc_jobs_inflight 0"));
+
+    server.shutdown();
+}
+
+#[test]
 fn full_queue_answers_429_with_retry_after() {
     let server = Server::start(ServiceConfig {
         sched_workers: 0, // nobody drains: the queue fills deterministically

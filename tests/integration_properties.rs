@@ -100,6 +100,28 @@ proptest! {
         prop_assert_eq!(parallel.repair, serial.repair);
     }
 
+    /// Tracing is pure observation: a traced run yields a schedule
+    /// byte-identical to the untraced run on every workload and thread
+    /// count, and the trace itself is non-empty.
+    #[test]
+    fn tracing_never_perturbs_the_schedule(cfg in tgff_config(), threads in 1usize..5) {
+        let platform = platform(4, 4);
+        let graph = TgffGenerator::new(cfg).generate(&platform).expect("generates");
+        let scheduler = EasScheduler::new(EasConfig::default().with_threads(threads));
+        let plain = scheduler.schedule(&graph, &platform).expect("plain");
+        let mut sink = BufferSink::new();
+        let traced = scheduler
+            .schedule_traced(&graph, &platform, &ComputeBudget::unlimited(), &mut sink)
+            .expect("traced");
+        prop_assert_eq!(&traced.schedule, &plain.schedule);
+        prop_assert_eq!(
+            serde_json::to_string(&traced.schedule).expect("serializes"),
+            serde_json::to_string(&plain.schedule).expect("serializes"),
+            "traced and untraced schedule artifacts must serialize to the same bytes"
+        );
+        prop_assert!(!sink.events().is_empty(), "a traced run emits events");
+    }
+
     /// Budgeted deadlines never exceed the task's own deadline and are
     /// monotone along dependency chains (BD(pred) <= BD(succ) whenever
     /// both are finite).
