@@ -43,6 +43,10 @@ struct Baseline {
     bench: String,
     host_cpus: usize,
     parallel_threads: usize,
+    /// `false` on single-hardware-thread hosts, where every speedup row
+    /// is suppressed: consumers must not read timing ratios from this
+    /// artifact when the host could not demonstrate parallelism.
+    speedup_valid: bool,
     cases: Vec<Case>,
 }
 
@@ -128,6 +132,7 @@ fn main() {
         bench: "schedule".to_owned(),
         host_cpus,
         parallel_threads: PARALLEL_THREADS,
+        speedup_valid: host_cpus > 1,
         cases,
     };
     match serde_json::to_string_pretty(&baseline) {

@@ -1,0 +1,221 @@
+//! Warm-start vs from-scratch delta scheduling baseline for CI: edits
+//! a scheduled graph, repairs the prior schedule with
+//! `noc_eas::delta::repair_from`, reschedules the edited graph from
+//! scratch, and writes latency plus quality (energy / tardiness)
+//! comparisons across edit sizes to `BENCH_delta.json` (first argument
+//! overrides the path).
+//!
+//! Latency here compares two *serial* runs on the same core, so the
+//! warm-vs-scratch ratio is meaningful on any host; `speedup_valid`
+//! still records whether the host could demonstrate parallelism, so
+//! consumers treat the artifact uniformly with `BENCH_schedule.json`.
+//!
+//! The CI gate: for single-edit cases the warm-start median must be
+//! below half the from-scratch median (the whole point of the delta
+//! API); the process exits non-zero otherwise.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use noc_bench::platforms;
+use noc_ctg::prelude::*;
+use noc_eas::prelude::*;
+
+/// Timing runs per configuration; the median is reported.
+const RUNS: usize = 5;
+/// Edit-sequence sizes compared.
+const EDIT_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Serialize)]
+struct Case {
+    graph: String,
+    tasks: usize,
+    edits: usize,
+    warm_start: bool,
+    reason: String,
+    mask_tasks: usize,
+    warm_median_s: f64,
+    scratch_median_s: f64,
+    /// `warm_median_s / scratch_median_s`; below 1.0 means the warm
+    /// start paid off.
+    latency_ratio: f64,
+    warm_energy_nj: f64,
+    scratch_energy_nj: f64,
+    /// `warm_energy_nj / scratch_energy_nj`: the quality envelope. The
+    /// warm start trades a little energy for a lot of latency; this
+    /// records exactly how much.
+    energy_ratio: f64,
+    warm_tardiness: u64,
+    scratch_tardiness: u64,
+    warm_misses: usize,
+    scratch_misses: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    bench: String,
+    host_cpus: usize,
+    /// `false` on single-hardware-thread hosts: parallel speedup claims
+    /// are unmeasurable there. The warm-vs-scratch latency ratios in
+    /// this artifact are serial-vs-serial and remain meaningful.
+    speedup_valid: bool,
+    cases: Vec<Case>,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// A deterministic edit sequence of `k` cost changes on distinct,
+/// spread-out tasks: each bumps one task's execution times by ~10% and
+/// energies by ~5% on every PE, enough to perturb the schedule without
+/// invalidating the warm start.
+fn edit_sequence(graph: &noc_ctg::TaskGraph, k: usize) -> Vec<Edit> {
+    let n = graph.task_count();
+    let stride = (n / (k + 1)).max(1);
+    (0..k)
+        .map(|i| {
+            let t = (1 + i * stride) % n;
+            let task = graph.task(TaskId::new(t as u32));
+            Edit::SetExecTime {
+                task: t as u32,
+                exec_times: task
+                    .exec_times()
+                    .iter()
+                    .map(|w| w.ticks() + w.ticks() / 10 + 1)
+                    .collect(),
+                exec_energies: task
+                    .exec_energies()
+                    .iter()
+                    .map(|e| e.as_nj() * 1.05)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_delta.json".to_owned());
+    let platform = platforms::mesh_4x4();
+    let host_cpus = noc_par::available_threads();
+    println!("== Delta warm-start baseline (host has {host_cpus} hardware threads) ==\n");
+    println!(
+        "{:<22} {:>6} {:>6} {:>6} {:>10} {:>10} {:>7} {:>7}",
+        "graph", "tasks", "edits", "mask", "warm(s)", "scratch(s)", "ratio", "energy"
+    );
+
+    let scheduler = EasScheduler::new(EasConfig::default());
+    let mut cases = Vec::new();
+    let mut gate_failures = Vec::new();
+    for task_count in [64usize, 128] {
+        let mut cfg = TgffConfig::category_i(42);
+        cfg.task_count = task_count;
+        cfg.width = (task_count / 20).max(4);
+        let graph = TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("generates");
+        let prior = scheduler.schedule(&graph, &platform).expect("schedules");
+
+        for k in EDIT_SIZES {
+            let edits = edit_sequence(&graph, k);
+            let applied = apply_edits(&graph, &edits).expect("edits apply");
+            let edited_platform =
+                apply_platform_edits(&platform, &applied.edits).expect("platform applies");
+
+            let mut warm_samples = Vec::new();
+            let mut delta = None;
+            for _ in 0..RUNS {
+                let t0 = Instant::now();
+                let out = repair_from(&graph, &prior.schedule, &edited_platform, &applied, 1)
+                    .expect("repairs");
+                warm_samples.push(t0.elapsed().as_secs_f64());
+                delta = Some(out);
+            }
+            let delta = delta.expect("at least one run");
+
+            let mut scratch_samples = Vec::new();
+            let mut scratch = None;
+            for _ in 0..RUNS {
+                let t0 = Instant::now();
+                let out = scheduler
+                    .schedule(&applied.graph, &edited_platform)
+                    .expect("schedules");
+                scratch_samples.push(t0.elapsed().as_secs_f64());
+                scratch = Some(out);
+            }
+            let scratch = scratch.expect("at least one run");
+
+            let warm_median_s = median(warm_samples);
+            let scratch_median_s = median(scratch_samples);
+            let latency_ratio = warm_median_s / scratch_median_s;
+            let warm_energy_nj = delta.outcome.stats.energy.total().as_nj();
+            let scratch_energy_nj = scratch.stats.energy.total().as_nj();
+            println!(
+                "{:<22} {:>6} {:>6} {:>6} {:>10.4} {:>10.4} {:>7.2} {:>7.3}",
+                graph.name(),
+                graph.task_count(),
+                k,
+                delta.mask_tasks,
+                warm_median_s,
+                scratch_median_s,
+                latency_ratio,
+                warm_energy_nj / scratch_energy_nj,
+            );
+            if k == 1 && delta.warm_start && latency_ratio >= 0.5 {
+                gate_failures.push(format!(
+                    "{}: single-edit warm start took {latency_ratio:.2}x of scratch (gate < 0.5)",
+                    graph.name()
+                ));
+            }
+            cases.push(Case {
+                graph: graph.name().to_owned(),
+                tasks: graph.task_count(),
+                edits: k,
+                warm_start: delta.warm_start,
+                reason: delta.reason.to_owned(),
+                mask_tasks: delta.mask_tasks,
+                warm_median_s,
+                scratch_median_s,
+                latency_ratio,
+                warm_energy_nj,
+                scratch_energy_nj,
+                energy_ratio: warm_energy_nj / scratch_energy_nj,
+                warm_tardiness: delta.outcome.report.total_tardiness().ticks(),
+                scratch_tardiness: scratch.report.total_tardiness().ticks(),
+                warm_misses: delta.outcome.report.deadline_misses.len(),
+                scratch_misses: scratch.report.deadline_misses.len(),
+            });
+        }
+    }
+
+    let baseline = Baseline {
+        bench: "delta".to_owned(),
+        host_cpus,
+        speedup_valid: host_cpus > 1,
+        cases,
+    };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => match std::fs::write(&out_path, json) {
+            Ok(()) => println!("\nBaseline written to {out_path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {out_path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot serialize baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            eprintln!("gate failure: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("gate passed: single-edit warm starts beat half the from-scratch latency");
+}

@@ -28,6 +28,23 @@
 //!   journal finishes it, byte-compares each response against the
 //!   expected bytes, re-posts each body expecting the identical answer,
 //!   and writes the `BENCH_chaos.json` artifact.
+//!
+//! Delta modes, for the warm-start CI gate (`POST /v1/schedule/delta`):
+//!
+//! * `--delta [--jobs N] [--state delta_state.json]` — computes every
+//!   delta answer locally (prior EAS schedule, edits applied, warm-start
+//!   repair), checks sync answers from two independent clients are
+//!   byte-identical to each other and to the local bytes (covering both
+//!   warm-start and forced-fallback edit sequences), then submits N
+//!   async journaled delta jobs and records their ids, bodies, expected
+//!   bytes, and the graph/edits needed to re-validate. The harness
+//!   SIGKILLs the server afterwards.
+//! * `--delta-verify --state delta_state.json` — runs against the
+//!   *restarted* server: polls every recorded delta job, byte-compares
+//!   each response against the expected bytes, re-posts each body
+//!   expecting the identical answer, structurally validates every
+//!   repaired schedule against its *edited* graph and platform, and
+//!   writes the `BENCH_delta_svc.json` artifact.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -102,6 +119,8 @@ fn main() {
     let mut stats = false;
     let mut chaos = false;
     let mut chaos_verify = false;
+    let mut delta = false;
+    let mut delta_verify = false;
     let mut jobs = 8usize;
     let mut state_path = "chaos_state.json".to_owned();
 
@@ -129,6 +148,8 @@ fn main() {
             "--stats" => stats = true,
             "--chaos" => chaos = true,
             "--chaos-verify" => chaos_verify = true,
+            "--delta" => delta = true,
+            "--delta-verify" => delta_verify = true,
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 std::process::exit(2);
@@ -143,9 +164,33 @@ fn main() {
     });
     let timeout = Duration::from_millis(timeout_ms);
 
-    if chaos && chaos_verify {
-        eprintln!("error: --chaos and --chaos-verify are mutually exclusive");
+    if [chaos, chaos_verify, delta, delta_verify]
+        .iter()
+        .filter(|&&m| m)
+        .count()
+        > 1
+    {
+        eprintln!(
+            "error: --chaos, --chaos-verify, --delta and --delta-verify are mutually exclusive"
+        );
         std::process::exit(2);
+    }
+    if delta {
+        let state = if state_path == "chaos_state.json" {
+            "delta_state.json".to_owned()
+        } else {
+            state_path.clone()
+        };
+        std::process::exit(run_delta(addr, seed, jobs, timeout, &state));
+    }
+    if delta_verify {
+        let state = if state_path == "chaos_state.json" {
+            "delta_state.json".to_owned()
+        } else {
+            state_path.clone()
+        };
+        let out = out_path.unwrap_or_else(|| "BENCH_delta_svc.json".to_owned());
+        std::process::exit(run_delta_verify(addr, &addr_text, timeout, &state, &out));
     }
     if chaos {
         std::process::exit(run_chaos(addr, seed, jobs, timeout, &state_path));
@@ -776,6 +821,430 @@ fn run_chaos_verify(
         "{recovered}/{} jobs recovered, {byte_identical} byte-identical, \
          {repost_identical} re-posts identical, {journal_replayed} journal records replayed, \
          {errors} errors",
+        report.jobs
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return 1;
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            return 1;
+        }
+    }
+    i32::from(errors > 0)
+}
+
+/// One async delta job recorded by the `--delta` phase.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct DeltaJob {
+    /// Job id the server answered with (202 body).
+    id: String,
+    /// The exact delta request body submitted.
+    body: String,
+    /// Locally computed `DeltaResponse` bytes the job must answer.
+    expected: String,
+    /// Prior graph JSON, for re-validating the repaired schedule.
+    graph_json: String,
+    /// Edits JSON, for re-validating the repaired schedule.
+    edits_json: String,
+}
+
+/// The delta → delta-verify handoff file.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct DeltaState {
+    seed: u64,
+    jobs: Vec<DeltaJob>,
+}
+
+/// The `BENCH_delta_svc.json` artifact.
+#[derive(Debug, Serialize)]
+struct DeltaSvcBench {
+    addr: String,
+    jobs: usize,
+    recovered: usize,
+    byte_identical: usize,
+    repost_identical: usize,
+    /// Repaired schedules that re-validated against their edited graph
+    /// and platform.
+    validated: usize,
+    journal_replayed: u64,
+    delta_warm: u64,
+    delta_fallback: u64,
+    errors: usize,
+    wall_s: f64,
+}
+
+/// Builds one deterministic delta problem: a TGFF graph, its local EAS
+/// prior schedule, and an edit sequence — warm-startable for most `j`,
+/// a forced `edit-storm` fallback when `j % 4 == 3` (every task edited,
+/// so rebasing would preserve nothing).
+fn delta_problem(
+    platform: &noc_platform::Platform,
+    seed: u64,
+    j: u64,
+) -> (String, String, String, String) {
+    use noc_eas::prelude::*;
+    let mut cfg =
+        noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(0xDE17A).wrapping_add(j));
+    cfg.task_count = 10 + (j as usize % 3) * 4;
+    let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+        .generate(platform)
+        .expect("graph generates");
+    let graph_json = serde_json::to_string(&graph).expect("serializes");
+    let n = graph.task_count();
+
+    let edits: Vec<Edit> = if j % 4 == 3 {
+        // Edit storm: one edit per task forces the full-reschedule path.
+        (0..n)
+            .map(|t| Edit::SetDeadline {
+                task: t as u32,
+                deadline: None,
+            })
+            .collect()
+    } else {
+        // A small warm-startable mix: drop one deadline, bump one
+        // task's costs by ~10%.
+        let bumped = graph.task(noc_ctg::prelude::TaskId::new((1 + j as u32) % n as u32));
+        vec![
+            Edit::SetDeadline {
+                task: (j as u32) % n as u32,
+                deadline: None,
+            },
+            Edit::SetExecTime {
+                task: (1 + j as u32) % n as u32,
+                exec_times: bumped
+                    .exec_times()
+                    .iter()
+                    .map(|w| w.ticks() + w.ticks() / 10 + 1)
+                    .collect(),
+                exec_energies: bumped.exec_energies().iter().map(|e| e.as_nj()).collect(),
+            },
+        ]
+    };
+    let edits_json = serde_json::to_string(&edits).expect("serializes");
+
+    // The expected bytes, computed locally: schedules are
+    // byte-deterministic, so the server must reproduce them exactly.
+    let prior = noc_svc::spec::parse_scheduler("eas", 1)
+        .expect("eas parses")
+        .schedule(&graph, platform)
+        .expect("prior schedules");
+    let applied = apply_edits(&graph, &edits).expect("edits apply");
+    let edited_platform = apply_platform_edits(platform, &applied.edits).expect("platform applies");
+    let delta =
+        repair_from(&graph, &prior.schedule, &edited_platform, &applied, 1).expect("repairs");
+    let expected = noc_svc::api::DeltaResponse {
+        warm_start: delta.warm_start,
+        reason: delta.reason.to_owned(),
+        edits: delta.edits,
+        mask_tasks: delta.mask_tasks,
+        result: noc_svc::api::ScheduleResponse::from_outcome("eas", &delta.outcome),
+    }
+    .to_json();
+
+    let body = format!(
+        r#"{{"prior":{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"eas"}},"edits":{edits_json}}}"#
+    );
+    (body, expected, graph_json, edits_json)
+}
+
+/// Delta phase: cross-client byte-determinism probes on sync delta
+/// requests, then a wave of journaled async delta jobs whose expected
+/// bytes are computed locally. Returns the process exit code.
+fn run_delta(addr: SocketAddr, seed: u64, jobs: usize, timeout: Duration, state_path: &str) -> i32 {
+    let mut errors = 0usize;
+    let mut client_a = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut client_b = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot open second client: {e}");
+            return 1;
+        }
+    };
+    let _ = client_a.set_timeout(timeout);
+    let _ = client_b.set_timeout(timeout);
+    println!("== svc_load --delta: {jobs} async delta jobs, seed {seed:#x} -> {addr} ==");
+
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+
+    // 1. Cross-client determinism on sync delta answers: two
+    //    independent connections must see bytes identical to each other
+    //    and to the locally computed answer. Probe 3 covers the forced
+    //    edit-storm fallback; the rest warm start.
+    for probe in 0..4u64 {
+        let (body, expected, _, _) = delta_problem(&platform, seed.wrapping_add(0x5C), probe);
+        let a = client_a.post("/v1/schedule/delta", &body);
+        let b = client_b.post("/v1/schedule/delta", &body);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                if ra.status != 200 || rb.status != 200 {
+                    eprintln!(
+                        "error: delta probe {probe} answered {}/{} (want 200/200)",
+                        ra.status, rb.status
+                    );
+                    errors += 1;
+                } else {
+                    if ra.body != expected {
+                        eprintln!(
+                            "error: delta probe {probe} diverged from the local bytes:\n  want {expected}\n  got  {}",
+                            ra.body
+                        );
+                        errors += 1;
+                    }
+                    if ra.body != rb.body {
+                        eprintln!(
+                            "error: delta probe {probe} answered divergent bytes across clients"
+                        );
+                        errors += 1;
+                    }
+                }
+            }
+            (a, b) => {
+                if let Err(e) = a {
+                    eprintln!("error: delta probe {probe} client A failed: {e}");
+                    errors += 1;
+                }
+                if let Err(e) = b {
+                    eprintln!("error: delta probe {probe} client B failed: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+    println!("cross-client determinism probes done ({errors} errors so far)");
+
+    // 2. Journaled async wave, disjoint seeds: accepted-but-maybe-
+    //    unfinished when the harness SIGKILLs the server.
+    let mut state = DeltaState {
+        seed,
+        jobs: Vec::new(),
+    };
+    for j in 0..jobs {
+        let (base_body, expected, graph_json, edits_json) =
+            delta_problem(&platform, seed.wrapping_add(0xA57C), j as u64);
+        let body = format!(
+            r#"{}{}"#,
+            &base_body[..base_body.len() - 1],
+            r#","mode":"async"}"#
+        );
+        match client_a.post("/v1/schedule/delta", &body) {
+            Ok(resp) if resp.status == 202 => {
+                let id = serde_json::from_str::<serde_json::Value>(&resp.body)
+                    .ok()
+                    .and_then(|v| {
+                        v.as_object()
+                            .and_then(|m| m.get("id"))
+                            .and_then(|id| id.as_str().map(str::to_owned))
+                    });
+                match id {
+                    Some(id) => state.jobs.push(DeltaJob {
+                        id,
+                        body,
+                        expected,
+                        graph_json,
+                        edits_json,
+                    }),
+                    None => {
+                        eprintln!("error: 202 body has no id: {}", resp.body);
+                        errors += 1;
+                    }
+                }
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "error: async delta job {j} answered {} (want 202): {}",
+                    resp.status, resp.body
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: async delta job {j} failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+
+    match serde_json::to_string_pretty(&state) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(state_path, json) {
+                eprintln!("error: cannot write {state_path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize state: {e}");
+            return 1;
+        }
+    }
+    println!(
+        "{} async delta jobs accepted and journaled; state -> {state_path}; {errors} errors",
+        state.jobs.len()
+    );
+    i32::from(errors > 0 || state.jobs.is_empty())
+}
+
+/// Delta verify phase, run against the restarted server: every recorded
+/// delta job must finish with exactly the locally computed bytes, a
+/// re-post must reproduce them, every repaired schedule must validate
+/// against its edited graph and platform, and the journal-replay
+/// counter must prove the recovery happened. Returns the exit code.
+fn run_delta_verify(
+    addr: SocketAddr,
+    addr_text: &str,
+    timeout: Duration,
+    state_path: &str,
+    out_path: &str,
+) -> i32 {
+    use noc_eas::prelude::{apply_edits, apply_platform_edits, Edit};
+    let state: DeltaState = match std::fs::read_to_string(state_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("error: cannot load {state_path}: {e}");
+            return 1;
+        }
+    };
+    let started = Instant::now();
+    let mut errors = 0usize;
+    let mut recovered = 0usize;
+    let mut byte_identical = 0usize;
+    let mut repost_identical = 0usize;
+    let mut validated = 0usize;
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach restarted server {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = client.set_timeout(timeout);
+    println!(
+        "== svc_load --delta-verify: {} jobs from {state_path} -> {addr} ==",
+        state.jobs.len()
+    );
+
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for job in &state.jobs {
+        let path = format!("/v1/jobs/{}", job.id);
+        let outcome = loop {
+            match client.get(&path) {
+                Ok(resp)
+                    if resp.body.contains("\"status\":\"queued\"")
+                        || resp.body.contains("\"status\":\"running\"") =>
+                {
+                    if Instant::now() > deadline {
+                        break Err(format!("job {} still pending at deadline", job.id));
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Ok(resp) if resp.status == 200 => break Ok(resp.body),
+                Ok(resp) => {
+                    break Err(format!(
+                        "job {} answered {}: {}",
+                        job.id, resp.status, resp.body
+                    ))
+                }
+                Err(e) => break Err(format!("job {} poll failed: {e}", job.id)),
+            }
+        };
+        match outcome {
+            Ok(body) => {
+                recovered += 1;
+                let expected = format!(
+                    "{{\"id\":\"{}\",\"status\":\"done\",\"result\":{}}}",
+                    job.id, job.expected
+                );
+                if body == expected {
+                    byte_identical += 1;
+                } else {
+                    eprintln!(
+                        "error: delta job {} diverged after recovery:\n  want {expected}\n  got  {body}",
+                        job.id
+                    );
+                    errors += 1;
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                errors += 1;
+            }
+        }
+        // The recovered result must also serve the original request.
+        match client.post("/v1/schedule/delta", &job.body) {
+            Ok(resp) if resp.status == 200 && resp.body == job.expected => repost_identical += 1,
+            Ok(resp) => {
+                eprintln!(
+                    "error: re-post of delta job {} answered {} with divergent bytes",
+                    job.id, resp.status
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: re-post of delta job {} failed: {e}", job.id);
+                errors += 1;
+            }
+        }
+        // The repaired schedule must validate against the *edited*
+        // graph and platform.
+        let check = || -> Result<(), String> {
+            let graph: noc_ctg::TaskGraph =
+                serde_json::from_str(&job.graph_json).map_err(|e| e.to_string())?;
+            let edits: Vec<Edit> =
+                serde_json::from_str(&job.edits_json).map_err(|e| e.to_string())?;
+            let applied = apply_edits(&graph, &edits)?;
+            let edited_platform = apply_platform_edits(&platform, &applied.edits)?;
+            let response: noc_svc::api::DeltaResponse =
+                serde_json::from_str(&job.expected).map_err(|e| e.to_string())?;
+            noc_schedule::validate(&response.result.schedule, &applied.graph, &edited_platform)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        };
+        match check() {
+            Ok(()) => validated += 1,
+            Err(e) => {
+                eprintln!("error: delta job {} failed re-validation: {e}", job.id);
+                errors += 1;
+            }
+        }
+    }
+
+    let metrics = client.get("/metrics").map(|r| r.body).unwrap_or_default();
+    let journal_replayed = scrape(&metrics, "noc_svc_journal_replayed_total");
+    if journal_replayed == 0 {
+        eprintln!("error: noc_svc_journal_replayed_total is 0 — the restart never replayed");
+        errors += 1;
+    }
+    let report = DeltaSvcBench {
+        addr: addr_text.to_owned(),
+        jobs: state.jobs.len(),
+        recovered,
+        byte_identical,
+        repost_identical,
+        validated,
+        journal_replayed,
+        delta_warm: scrape(&metrics, "noc_svc_delta_warm_total"),
+        delta_fallback: scrape(&metrics, "noc_svc_delta_fallback_total"),
+        errors,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    println!(
+        "{recovered}/{} delta jobs recovered, {byte_identical} byte-identical, \
+         {repost_identical} re-posts identical, {validated} schedules re-validated, \
+         {journal_replayed} journal records replayed, {errors} errors",
         report.jobs
     );
     match serde_json::to_string_pretty(&report) {

@@ -54,6 +54,22 @@ USAGE:
       candidate lists and routes detour around dead links
       (`tile:<id>`, `link:<a>-<b>` both ways, `link:<a>><b>` one way).
 
+  noceas delta --graph prior_graph.json --schedule prior_schedule.json
+               --platform mesh:4x4 --edits edits.json
+               [--faults SPEC] [--threads N] [--budget-ms MS]
+               [--out schedule.json] [--json] [--explain]
+      Repair a previously computed schedule after a set of typed edits
+      (tasks added/removed, costs or deadlines changed, edge volumes
+      changed, PEs or links failed/restored) instead of rescheduling
+      from scratch. --edits is a JSON array of edit objects, e.g.
+      [{\"SetDeadline\":{\"task\":3,\"deadline\":900}},{\"FailPe\":{\"pe\":2}}];
+      task/PE indices always refer to the *prior* graph and platform.
+      The warm start masks only the affected region and re-runs search
+      & repair; when the edits invalidate the warm start the command
+      falls back to a full reschedule and says so (see docs/DELTA.md).
+      --json prints the exact POST /v1/schedule/delta response body;
+      --explain narrates why the warm start was or wasn't used.
+
   noceas validate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--faults SPEC] [--json]
       Re-check a schedule against all Def. 3/4, dependency and deadline
@@ -113,6 +129,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "generate" => generate(args),
         "benchmark" => benchmark(args),
         "schedule" => schedule(args),
+        "delta" => delta_cmd(args),
         "validate" => validate_cmd(args),
         "simulate" => simulate(args),
         "explain" => explain_cmd(args),
@@ -391,6 +408,94 @@ fn explain_cmd(args: &Args) -> Result<String, String> {
         },
         outcome.report.deadline_misses.len(),
     ));
+    Ok(out)
+}
+
+fn delta_cmd(args: &Args) -> Result<String, String> {
+    use noc_eas::prelude::{apply_edits, apply_platform_edits, repair_from_traced, Edit};
+    let base_platform = parse_platform_faulted(args.require("platform")?, args.get("faults"))?;
+    let prior_graph = load_graph(args.require("graph")?)?;
+    let prior_schedule = load_schedule(args.require("schedule")?)?;
+    let edits_path = args.require("edits")?;
+    let edits_text =
+        fs::read_to_string(edits_path).map_err(|e| format!("cannot read {edits_path}: {e}"))?;
+    let edits: Vec<Edit> =
+        serde_json::from_str(&edits_text).map_err(|e| format!("cannot parse {edits_path}: {e}"))?;
+    let threads: usize = args.get_num("threads", 1)?;
+    let budget = match args.get("budget-ms") {
+        None => noc_eas::prelude::ComputeBudget::unlimited(),
+        Some(text) => {
+            let ms: u64 = text
+                .parse()
+                .map_err(|_| format!("bad --budget-ms `{text}` (milliseconds)"))?;
+            noc_eas::prelude::ComputeBudget::wall_clock(std::time::Duration::from_millis(ms))
+        }
+    };
+    let applied = apply_edits(&prior_graph, &edits)?;
+    let platform = apply_platform_edits(&base_platform, &applied.edits)?;
+    let mut sink = noc_eas::trace::BufferSink::new();
+    let delta = repair_from_traced(
+        &prior_graph,
+        &prior_schedule,
+        &platform,
+        &applied,
+        threads,
+        &budget,
+        &mut sink,
+    )
+    .map_err(|e| e.to_string())?;
+    let outcome = &delta.outcome;
+
+    if args.has_flag("json") {
+        if args.has_flag("explain") {
+            return Err(
+                "--explain narrates the human-readable summary and cannot be combined with --json"
+                    .into(),
+            );
+        }
+        let response = noc_svc::api::DeltaResponse {
+            warm_start: delta.warm_start,
+            reason: delta.reason.to_owned(),
+            edits: delta.edits,
+            mask_tasks: delta.mask_tasks,
+            result: noc_svc::api::ScheduleResponse::from_outcome("eas", outcome),
+        };
+        if let Some(path) = args.get("out") {
+            save_json(path, &outcome.schedule)?;
+        }
+        return Ok(format!("{}\n", response.to_json()));
+    }
+
+    let mut out = String::new();
+    if delta.warm_start {
+        out.push_str(&format!(
+            "warm start: prior schedule rebased and repaired — {} edits touching {} tasks\n",
+            delta.edits, delta.mask_tasks
+        ));
+    } else {
+        out.push_str(&format!(
+            "full reschedule: warm start rejected ({}) — {} edits\n",
+            delta.reason, delta.edits
+        ));
+    }
+    out.push_str(&format!(
+        "eas: {} | deadlines {} ({} misses)\n",
+        outcome.stats,
+        if outcome.report.meets_deadlines() {
+            "met"
+        } else {
+            "MISSED"
+        },
+        outcome.report.deadline_misses.len(),
+    ));
+    if args.has_flag("explain") {
+        out.push('\n');
+        out.push_str(&noc_eas::trace::explain(sink.events(), None));
+    }
+    if let Some(path) = args.get("out") {
+        save_json(path, &outcome.schedule)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
     Ok(out)
 }
 
@@ -713,6 +818,7 @@ mod tests {
             "generate",
             "benchmark",
             "schedule",
+            "delta",
             "validate",
             "simulate",
             "explain",
@@ -804,6 +910,92 @@ mod tests {
             serde_json::from_str(out.trim()).expect("parses");
         assert!(!resp.valid);
         assert!(resp.error.is_some());
+    }
+
+    #[test]
+    fn delta_repairs_and_emits_the_service_body() {
+        let graph_path = tmp("dg.json");
+        let sched_path = tmp("ds.json");
+        let edits_path = tmp("de.json");
+        let repaired_path = tmp("dr.json");
+        run(&args(&[
+            "generate",
+            "--platform",
+            "mesh:2x2",
+            "--tasks",
+            "10",
+            "--seed",
+            "4",
+            "--out",
+            &graph_path,
+        ]))
+        .expect("generate");
+        run(&args(&[
+            "schedule",
+            "--graph",
+            &graph_path,
+            "--platform",
+            "mesh:2x2",
+            "--json",
+            "--out",
+            &sched_path,
+        ]))
+        .expect("schedule");
+        fs::write(&edits_path, r#"[{"SetDeadline":{"task":0}}]"#).expect("write edits");
+
+        let out = run(&args(&[
+            "delta",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--edits",
+            &edits_path,
+            "--json",
+            "--out",
+            &repaired_path,
+        ]))
+        .expect("delta");
+        let resp: noc_svc::api::DeltaResponse =
+            serde_json::from_str(out.trim()).expect("parses as the delta body");
+        assert!(resp.warm_start, "a deadline tweak must warm start");
+        assert_eq!(resp.reason, "warm-start");
+        assert_eq!(resp.edits, 1);
+        assert_eq!(resp.result.scheduler, "eas");
+
+        let human = run(&args(&[
+            "delta",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--edits",
+            &edits_path,
+            "--explain",
+        ]))
+        .expect("delta human output");
+        assert!(human.contains("warm start"));
+        assert!(human.contains("delta:"), "--explain narrates the decision");
+
+        // --json refuses --explain instead of silently dropping it.
+        assert!(run(&args(&[
+            "delta",
+            "--graph",
+            &graph_path,
+            "--schedule",
+            &sched_path,
+            "--platform",
+            "mesh:2x2",
+            "--edits",
+            &edits_path,
+            "--json",
+            "--explain",
+        ]))
+        .is_err());
     }
 
     #[test]

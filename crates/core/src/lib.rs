@@ -56,6 +56,7 @@ pub mod anneal;
 pub mod budget;
 pub mod cache;
 pub mod comm;
+pub mod delta;
 pub mod dls;
 pub mod edf;
 mod error;
@@ -77,6 +78,10 @@ pub use scheduler::{
 pub mod prelude {
     pub use crate::anneal::{AnnealConfig, AnnealScheduler};
     pub use crate::budget::SlackBudgets;
+    pub use crate::delta::{
+        apply_edits, apply_platform_edits, repair_from, repair_from_traced, AppliedEdits,
+        DeltaOutcome, EdgeRef, Edit,
+    };
     pub use crate::limit::{CancelToken, ComputeBudget, Interrupt};
     pub use crate::mapping::MapThenScheduleScheduler;
     pub use crate::scheduler::{

@@ -155,6 +155,21 @@ pub enum EventKind {
         /// The chain's best cost, in nJ-equivalents.
         best_cost_nj: f64,
     },
+    /// The warm-start-vs-reschedule decision of a delta run
+    /// ([`crate::delta::repair_from_traced`]): emitted exactly once per
+    /// delta request, before the repair (or fallback) pipeline runs.
+    DeltaDecision {
+        /// `true` when the prior schedule was rebased and repaired;
+        /// `false` when the run fell back to a full reschedule.
+        warm_start: bool,
+        /// `"warm-start"` or a fallback reason (`"edit-storm"`,
+        /// `"no-alive-pe"`, `"retime-deadlock"`).
+        reason: &'static str,
+        /// Number of edits in the sequence.
+        edits: usize,
+        /// Tasks in the union mask (affected region).
+        mask_tasks: usize,
+    },
     /// A compute-budget poll at a stage boundary.
     BudgetPoll {
         /// The stage that just finished.
@@ -179,6 +194,7 @@ impl EventKind {
             EventKind::LtsSwap { .. } => "lts_swap",
             EventKind::GtmMove { .. } => "gtm_move",
             EventKind::AnnealChain { .. } => "anneal_chain",
+            EventKind::DeltaDecision { .. } => "delta_decision",
             EventKind::BudgetPoll { .. } => "budget_poll",
         }
     }
@@ -295,6 +311,17 @@ impl EventKind {
                 m.insert("seed", seed.to_value());
                 m.insert("accepted", accepted.to_value());
                 m.insert("best_cost_nj", best_cost_nj.to_value());
+            }
+            EventKind::DeltaDecision {
+                warm_start,
+                reason,
+                edits,
+                mask_tasks,
+            } => {
+                m.insert("warm_start", Value::Bool(*warm_start));
+                m.insert("reason", Value::String((*reason).to_owned()));
+                m.insert("edits", edits.to_value());
+                m.insert("mask_tasks", mask_tasks.to_value());
             }
             EventKind::BudgetPoll { stage, steps } => {
                 m.insert("stage", Value::String((*stage).to_owned()));
@@ -562,6 +589,10 @@ pub struct TraceSummary {
     pub gtm_moves: u64,
     /// Annealing chains run.
     pub anneal_chains: u64,
+    /// Delta runs answered by a warm start (rebase + repair).
+    pub delta_warm: u64,
+    /// Delta runs that fell back to a full reschedule.
+    pub delta_fallback: u64,
     /// Budget steps consumed at the last poll.
     pub budget_steps: u64,
     /// Wall-clock microseconds per top-level stage (spans whose name
@@ -619,6 +650,13 @@ impl TraceSummary {
                 EventKind::LtsSwap { .. } => s.lts_moves += 1,
                 EventKind::GtmMove { .. } => s.gtm_moves += 1,
                 EventKind::AnnealChain { .. } => s.anneal_chains += 1,
+                EventKind::DeltaDecision { warm_start, .. } => {
+                    if *warm_start {
+                        s.delta_warm += 1;
+                    } else {
+                        s.delta_fallback += 1;
+                    }
+                }
                 EventKind::BudgetPoll { steps, .. } => s.budget_steps = *steps,
                 EventKind::TaskBudget { .. } => {}
             }
@@ -643,6 +681,8 @@ impl Serialize for TraceSummary {
         m.insert("lts_moves", self.lts_moves.to_value());
         m.insert("gtm_moves", self.gtm_moves.to_value());
         m.insert("anneal_chains", self.anneal_chains.to_value());
+        m.insert("delta_warm", self.delta_warm.to_value());
+        m.insert("delta_fallback", self.delta_fallback.to_value());
         m.insert("budget_steps", self.budget_steps.to_value());
         let mut stages = Map::new();
         for (name, micros) in &self.stage_micros {
@@ -791,6 +831,22 @@ pub fn explain(events: &[Event], task: Option<usize>) -> String {
                 let _ = writeln!(
                     out,
                     "anneal: chain {chain} (seed {seed}) accepted {accepted} moves, best cost {best_cost_nj:.3} nJ"
+                );
+            }
+            EventKind::DeltaDecision {
+                warm_start,
+                reason,
+                edits,
+                mask_tasks,
+            } => {
+                let what = if *warm_start {
+                    "warm start: prior schedule rebased and repaired"
+                } else {
+                    "full reschedule: warm start rejected"
+                };
+                let _ = writeln!(
+                    out,
+                    "delta: {what} ({reason}) — {edits} edits touching {mask_tasks} tasks"
                 );
             }
             _ => {}

@@ -153,6 +153,97 @@ impl ScheduleResponse {
     }
 }
 
+/// Body of `POST /v1/schedule/delta`: an edit sequence against a prior
+/// schedule request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRequest {
+    /// The prior request — the full `POST /v1/schedule` body the edits
+    /// apply against. The service warm-starts from its cached result
+    /// when available, recomputing it otherwise; either way the answer
+    /// bytes are identical.
+    pub prior: Value,
+    /// The edit sequence: an array of `noc_eas::delta::Edit` values in
+    /// their serde shape, e.g.
+    /// `[{"SetDeadline":{"task":3,"deadline":900}}]`.
+    pub edits: Value,
+    /// Worker threads (identical output for every value; excluded from
+    /// the cache key). Defaults to the server's `--threads`.
+    #[serde(default)]
+    pub threads: Option<usize>,
+    /// `"sync"` (default) or `"async"` (poll `GET /v1/jobs/<id>`).
+    #[serde(default)]
+    pub mode: Option<String>,
+    /// `true` asks for the presentation-only `"stats"` block.
+    #[serde(default)]
+    pub stats: Option<bool>,
+}
+
+impl DeltaRequest {
+    /// `true` when the client asked for an async submission.
+    #[must_use]
+    pub fn is_async(&self) -> bool {
+        self.mode.as_deref() == Some("async")
+    }
+
+    /// `true` when the client asked for the `"stats"` block.
+    #[must_use]
+    pub fn wants_stats(&self) -> bool {
+        self.stats == Some(true)
+    }
+
+    /// Parses the embedded prior request.
+    ///
+    /// # Errors
+    ///
+    /// A message when `prior` is not a valid schedule-request body.
+    pub fn prior_request(&self) -> Result<ScheduleRequest, String> {
+        ScheduleRequest::from_value(&self.prior).map_err(|e| format!("invalid prior request: {e}"))
+    }
+
+    /// The canonical cache key: `(prior request hash, canonical
+    /// edits)`. The prior collapses to its own content hash, so two
+    /// delta requests agree exactly when their prior requests are
+    /// semantically identical and their edit sequences canonicalize to
+    /// the same JSON; `mode`, `threads` and `stats` stay excluded.
+    #[must_use]
+    pub fn canonical_key(&self, prior: &ScheduleRequest) -> String {
+        let mut m = Map::new();
+        m.insert(
+            "delta_of",
+            Value::String(content_hash(&prior.canonical_key())),
+        );
+        m.insert("edits", self.edits.clone());
+        canonical_string(&Value::Object(m))
+    }
+}
+
+/// Body of a successful `POST /v1/schedule/delta` answer: the
+/// warm-start decision wrapped around the ordinary schedule body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaResponse {
+    /// `true` when the prior schedule was rebased and repaired;
+    /// `false` when the service fell back to a full reschedule.
+    pub warm_start: bool,
+    /// `"warm-start"` or the fallback reason (`"edit-storm"`,
+    /// `"no-alive-pe"`, `"retime-deadlock"`, `"budget-exhausted"`).
+    pub reason: String,
+    /// Number of edits applied.
+    pub edits: usize,
+    /// Tasks in the affected-region mask.
+    pub mask_tasks: usize,
+    /// The schedule of the edited problem, in the exact
+    /// `POST /v1/schedule` body shape.
+    pub result: ScheduleResponse,
+}
+
+impl DeltaResponse {
+    /// The one true serialization: compact JSON, stable field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("serialization is infallible")
+    }
+}
+
 /// Body of `POST /v1/validate`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ValidateRequest {

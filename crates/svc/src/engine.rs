@@ -30,15 +30,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use serde::Deserialize;
+use serde::{Deserialize, Value};
 
 use noc_ctg::prelude::TaskGraph;
 use noc_eas::prelude::{
-    BufferSink, ComputeBudget, EdfScheduler, Scheduler, SchedulerError, TraceSummary,
+    apply_edits, apply_platform_edits, repair_from_traced, AppliedEdits, BufferSink, ComputeBudget,
+    EdfScheduler, Edit, Scheduler, SchedulerError, TraceSummary,
 };
 use noc_platform::prelude::Platform;
 
-use crate::api::{ScheduleRequest, ScheduleResponse, ValidateRequest, ValidateResponse};
+use crate::api::{
+    DeltaRequest, DeltaResponse, ScheduleRequest, ScheduleResponse, ValidateRequest,
+    ValidateResponse,
+};
 use crate::cache::{JobOutput, ScheduleCache};
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
@@ -63,11 +67,30 @@ pub enum JobPhase {
 
 /// The resolved inputs a worker needs; taken (once) by the worker that
 /// executes the job.
-struct JobWork {
-    graph: TaskGraph,
-    platform: Platform,
-    scheduler: Box<dyn Scheduler + Send + Sync>,
-    scheduler_name: String,
+enum JobWork {
+    /// An ordinary `POST /v1/schedule` job.
+    Schedule {
+        graph: TaskGraph,
+        platform: Platform,
+        scheduler: Box<dyn Scheduler + Send + Sync>,
+        scheduler_name: String,
+    },
+    /// A `POST /v1/schedule/delta` job: warm-start from the prior
+    /// request's cached result (recomputing it on a cache miss) and
+    /// repair under the applied edits.
+    Delta {
+        prior_graph: TaskGraph,
+        prior_platform: Box<Platform>,
+        prior_scheduler: Box<dyn Scheduler + Send + Sync>,
+        prior_scheduler_name: String,
+        /// Canonical cache key of the prior request — the warm-start
+        /// lookup handle.
+        prior_key: String,
+        /// The *edited* platform.
+        platform: Box<Platform>,
+        applied: AppliedEdits,
+        threads: usize,
+    },
 }
 
 /// One admitted scheduling job, shared between the submitting
@@ -274,13 +297,11 @@ impl Engine {
                     };
                     // Re-derive the cache key from the accepted body so
                     // resubmissions of the same problem hit the cache.
-                    if let Some(request_body) = accepted.get(&id) {
-                        if let Ok(request) = serde_json::from_str::<ScheduleRequest>(request_body) {
-                            self.cache
-                                .lock()
-                                .expect("cache lock")
-                                .insert(request.canonical_key(), output.clone());
-                        }
+                    if let Some(key) = accepted.get(&id).and_then(|b| journaled_key(b)) {
+                        self.cache
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key, output.clone());
                     }
                     self.restore_finished(&id, JobPhase::Done(output));
                 }
@@ -327,9 +348,7 @@ impl Engine {
     /// never re-journals the acceptance (the original `acc` record is
     /// still on disk).
     fn recover(&self, id: &str, body: &str) -> Result<(), String> {
-        let request: ScheduleRequest =
-            serde_json::from_str(body).map_err(|e| format!("journaled body unparseable: {e}"))?;
-        let (work, key) = self.resolve(&request)?;
+        let (work, key) = self.resolve_body(body)?;
         let job = Arc::new(Job {
             id: id.to_owned(),
             key,
@@ -356,7 +375,7 @@ impl Engine {
         let scheduler_name = request.scheduler_name().to_owned();
         let scheduler = crate::spec::parse_scheduler(&scheduler_name, threads)?;
         Ok((
-            JobWork {
+            JobWork::Schedule {
                 graph,
                 platform,
                 scheduler,
@@ -364,6 +383,56 @@ impl Engine {
             },
             request.canonical_key(),
         ))
+    }
+
+    /// Resolves a parsed delta request: the prior problem, the edit
+    /// sequence applied to graph and platform, and the delta cache key
+    /// `(prior request hash, canonical edits)`.
+    fn resolve_delta(&self, request: &DeltaRequest) -> Result<(JobWork, String), String> {
+        let prior = request.prior_request()?;
+        let prior_platform =
+            crate::spec::parse_platform_faulted(&prior.platform, prior.faults.as_deref())?;
+        let prior_graph =
+            TaskGraph::from_value(&prior.graph).map_err(|e| format!("invalid prior graph: {e}"))?;
+        let threads = request.threads.unwrap_or(self.config.threads);
+        let prior_scheduler_name = prior.scheduler_name().to_owned();
+        let prior_scheduler = crate::spec::parse_scheduler(&prior_scheduler_name, threads)?;
+        let edits =
+            Vec::<Edit>::from_value(&request.edits).map_err(|e| format!("invalid edits: {e}"))?;
+        let applied =
+            apply_edits(&prior_graph, &edits).map_err(|e| format!("inapplicable edits: {e}"))?;
+        let platform = apply_platform_edits(&prior_platform, &edits)
+            .map_err(|e| format!("inapplicable edits: {e}"))?;
+        Ok((
+            JobWork::Delta {
+                prior_key: prior.canonical_key(),
+                prior_graph,
+                prior_platform: Box::new(prior_platform),
+                prior_scheduler,
+                prior_scheduler_name,
+                platform: Box::new(platform),
+                applied,
+                threads,
+            },
+            request.canonical_key(&prior),
+        ))
+    }
+
+    /// Resolves a body of either request shape (sniffing the `"prior"`
+    /// key that only delta requests carry) — the journal recovery path,
+    /// which must re-admit both kinds.
+    fn resolve_body(&self, body: &str) -> Result<(JobWork, String), String> {
+        let value: Value =
+            serde_json::from_str(body).map_err(|e| format!("journaled body unparseable: {e}"))?;
+        if value.as_object().is_some_and(|o| o.get("prior").is_some()) {
+            let request = DeltaRequest::from_value(&value)
+                .map_err(|e| format!("journaled body unparseable: {e}"))?;
+            self.resolve_delta(&request)
+        } else {
+            let request = ScheduleRequest::from_value(&value)
+                .map_err(|e| format!("journaled body unparseable: {e}"))?;
+            self.resolve(&request)
+        }
     }
 
     /// The engine's configuration.
@@ -387,6 +456,29 @@ impl Engine {
             Ok(resolved) => resolved,
             Err(e) => return Submission::BadSpec(e),
         };
+        self.admit(body, work, key, request.is_async())
+    }
+
+    /// Admits one `POST /v1/schedule/delta` body. Delta jobs share the
+    /// whole admission pipeline — content-addressed cache, single-flight
+    /// coalescing, bounded queue, write-ahead journal — keyed on
+    /// `(prior request hash, canonical edits)`.
+    #[must_use]
+    pub fn submit_delta(&self, body: &str) -> Submission {
+        let request: DeltaRequest = match serde_json::from_str(body) {
+            Ok(r) => r,
+            Err(e) => return Submission::BadRequest(format!("invalid request body: {e}")),
+        };
+        let (work, key) = match self.resolve_delta(&request) {
+            Ok(resolved) => resolved,
+            Err(e) => return Submission::BadSpec(e),
+        };
+        self.admit(body, work, key, request.is_async())
+    }
+
+    /// The shared admission tail: cache lookup → single-flight join →
+    /// bounded enqueue with write-ahead journaling → backpressure.
+    fn admit(&self, body: &str, work: JobWork, key: String, is_async: bool) -> Submission {
         let id = crate::hash::content_hash(&key);
 
         if let Some(output) = self.cache.lock().expect("cache lock").get(&key) {
@@ -410,7 +502,7 @@ impl Engine {
                     // expects crash durability: upgrade the job to
                     // journaled and write-ahead its acceptance now.
                     if self.journal.is_some()
-                        && request.is_async()
+                        && is_async
                         && !job.journaled.swap(true, Ordering::AcqRel)
                     {
                         self.journal_append(&Record::Accepted {
@@ -440,7 +532,7 @@ impl Engine {
                 }
             }
         }
-        let journaled = self.journal.is_some() && request.is_async();
+        let journaled = self.journal.is_some() && is_async;
         let job = Arc::new(Job {
             id: id.clone(),
             key,
@@ -598,24 +690,34 @@ impl Engine {
     /// stats block, while the schedule itself stays byte-identical to
     /// an untraced run (logical timestamps carry all ordering).
     fn execute(&self, work: &JobWork) -> Result<JobOutput, String> {
+        match work {
+            JobWork::Schedule {
+                graph,
+                platform,
+                scheduler,
+                scheduler_name,
+            } => self.execute_schedule(graph, platform, scheduler.as_ref(), scheduler_name),
+            JobWork::Delta { .. } => self.execute_delta(work),
+        }
+    }
+
+    fn execute_schedule(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        scheduler: &(dyn Scheduler + Send + Sync),
+        scheduler_name: &str,
+    ) -> Result<JobOutput, String> {
         let mut sink = BufferSink::with_wall_clock();
         let outcome = match self.config.budget_ms {
-            None => work.scheduler.schedule_traced(
-                &work.graph,
-                &work.platform,
-                &ComputeBudget::unlimited(),
-                &mut sink,
-            ),
+            None => {
+                scheduler.schedule_traced(graph, platform, &ComputeBudget::unlimited(), &mut sink)
+            }
             Some(ms) => {
                 let budget = ComputeBudget::wall_clock(Duration::from_millis(ms));
-                match work.scheduler.schedule_traced(
-                    &work.graph,
-                    &work.platform,
-                    &budget,
-                    &mut sink,
-                ) {
+                match scheduler.schedule_traced(graph, platform, &budget, &mut sink) {
                     Err(SchedulerError::Interrupted | SchedulerError::BudgetExhausted(_)) => {
-                        return match EdfScheduler::new().schedule(&work.graph, &work.platform) {
+                        return match EdfScheduler::new().schedule(graph, platform) {
                             Ok(outcome) => {
                                 // Truthful labelling: the schedule served
                                 // is EDF's, whatever was asked for. The
@@ -638,20 +740,143 @@ impl Engine {
         };
         match outcome {
             Ok(outcome) => {
-                let summary = TraceSummary::from_events(sink.events());
-                for (stage, micros) in &summary.stage_micros {
-                    #[allow(clippy::cast_precision_loss)]
-                    self.metrics
-                        .observe_stage(stage, *micros as f64 / 1_000_000.0);
-                }
-                let stats = serde_json::to_string(&summary).expect("serialization is infallible");
-                let response = ScheduleResponse::from_outcome(&work.scheduler_name, &outcome);
-                let mut output = JobOutput::new(Arc::new(response.to_json()));
-                output.stats = Some(Arc::new(stats));
-                Ok(output)
+                let response = ScheduleResponse::from_outcome(scheduler_name, &outcome);
+                Ok(self.render_with_stats(&sink, response.to_json()))
             }
             Err(e) => Err(e.to_string()),
         }
+    }
+
+    /// Runs one delta job: obtain the prior schedule (from the cache
+    /// when the prior request's result is there and not degraded,
+    /// recomputing it otherwise — both paths yield byte-identical prior
+    /// schedules, so the delta answer never depends on cache luck),
+    /// then warm-start repair under the edits via
+    /// [`repair_from_traced`]. A budget interrupt degrades to EDF on
+    /// the *edited* problem, exactly like plain scheduling.
+    fn execute_delta(&self, work: &JobWork) -> Result<JobOutput, String> {
+        let JobWork::Delta {
+            prior_graph,
+            prior_platform,
+            prior_scheduler,
+            prior_scheduler_name,
+            prior_key,
+            platform,
+            applied,
+            threads,
+        } = work
+        else {
+            unreachable!("execute_delta is only called on delta work");
+        };
+        // Warm-start source: the prior request's cached response. A
+        // degraded (EDF-fallback) entry is ignored — warm-starting from
+        // it would make the answer depend on *when* the prior ran, so
+        // the prior is recomputed in full instead.
+        let cached = self
+            .cache
+            .lock()
+            .expect("cache lock")
+            .get(prior_key)
+            .filter(|output| !output.degraded);
+        let prior_schedule = match cached {
+            Some(output) => {
+                self.metrics
+                    .delta_prior_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                ScheduleResponse::from_value(
+                    &serde_json::from_str(output.body.as_str())
+                        .map_err(|e| format!("cached prior body unparseable: {e}"))?,
+                )
+                .map_err(|e| format!("cached prior body unparseable: {e}"))?
+                .schedule
+            }
+            None => {
+                let outcome = prior_scheduler
+                    .schedule(prior_graph, prior_platform)
+                    .map_err(|e| format!("prior schedule failed: {e}"))?;
+                // Populate the cache so the prior request itself (and
+                // the next delta against it) is served without work.
+                let response = ScheduleResponse::from_outcome(prior_scheduler_name, &outcome);
+                self.cache.lock().expect("cache lock").insert(
+                    prior_key.clone(),
+                    JobOutput::new(Arc::new(response.to_json())),
+                );
+                outcome.schedule
+            }
+        };
+
+        let mut sink = BufferSink::with_wall_clock();
+        let budget = match self.config.budget_ms {
+            None => ComputeBudget::unlimited(),
+            Some(ms) => ComputeBudget::wall_clock(Duration::from_millis(ms)),
+        };
+        let result = repair_from_traced(
+            prior_graph,
+            &prior_schedule,
+            platform,
+            applied,
+            *threads,
+            &budget,
+            &mut sink,
+        );
+        match result {
+            Ok(delta) => {
+                if delta.warm_start {
+                    self.metrics.delta_warm.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.metrics.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                }
+                let response = DeltaResponse {
+                    warm_start: delta.warm_start,
+                    reason: delta.reason.to_owned(),
+                    edits: delta.edits,
+                    mask_tasks: delta.mask_tasks,
+                    result: ScheduleResponse::from_outcome("eas", &delta.outcome),
+                };
+                Ok(self.render_with_stats(&sink, response.to_json()))
+            }
+            Err(SchedulerError::Interrupted | SchedulerError::BudgetExhausted(_))
+                if self.config.budget_ms.is_some() =>
+            {
+                self.metrics.delta_fallback.fetch_add(1, Ordering::Relaxed);
+                match EdfScheduler::new().schedule(&applied.graph, platform) {
+                    Ok(outcome) => {
+                        let mut inner = ScheduleResponse::from_outcome("edf", &outcome);
+                        inner.degraded = true;
+                        let response = DeltaResponse {
+                            warm_start: false,
+                            reason: "budget-exhausted".to_owned(),
+                            edits: applied.edits.len(),
+                            mask_tasks: 0,
+                            result: inner,
+                        };
+                        Ok(JobOutput {
+                            body: Arc::new(response.to_json()),
+                            degraded: true,
+                            stats: None,
+                        })
+                    }
+                    Err(e) => Err(format!("degraded EDF fallback failed: {e}")),
+                }
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Renders a finished body with the producing run's stats block
+    /// riding alongside (never inside) it, and feeds the per-stage
+    /// histograms.
+    fn render_with_stats(&self, sink: &BufferSink, body: String) -> JobOutput {
+        let summary = TraceSummary::from_events(sink.events());
+        for (stage, micros) in &summary.stage_micros {
+            #[allow(clippy::cast_precision_loss)]
+            self.metrics
+                .observe_stage(stage, *micros as f64 / 1_000_000.0);
+        }
+        let stats = serde_json::to_string(&summary).expect("serialization is infallible");
+        let mut output = JobOutput::new(Arc::new(body));
+        output.stats = Some(Arc::new(stats));
+        output
     }
 
     /// Appends to the journal when one is configured. Append failures
@@ -687,6 +912,20 @@ impl Engine {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+}
+
+/// Re-derives the cache key of a journaled request body (either
+/// shape), sniffing the `"prior"` field only delta requests carry.
+fn journaled_key(body: &str) -> Option<String> {
+    let value: Value = serde_json::from_str(body).ok()?;
+    if value.as_object().is_some_and(|o| o.get("prior").is_some()) {
+        let request = DeltaRequest::from_value(&value).ok()?;
+        let prior = request.prior_request().ok()?;
+        Some(request.canonical_key(&prior))
+    } else {
+        let request = ScheduleRequest::from_value(&value).ok()?;
+        Some(request.canonical_key())
     }
 }
 
@@ -929,6 +1168,148 @@ mod tests {
         assert_eq!(eng.metrics.worker_panics.load(Ordering::Relaxed), 1);
         assert_eq!(eng.metrics.schedule_errors.load(Ordering::Relaxed), 1);
         assert_eq!(eng.metrics.schedules_executed.load(Ordering::Relaxed), 1);
+    }
+
+    fn delta_body(graph: &str, edits: &str) -> String {
+        format!(
+            r#"{{"prior":{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}},"edits":{edits}}}"#
+        )
+    }
+
+    #[test]
+    fn delta_round_trip_and_cache() {
+        let engine = engine(EngineConfig::default());
+        let body = delta_body(&graph_json(), r#"[{"SetDeadline":{"task":0}}]"#);
+        let Submission::Enqueued { id, job } = engine.submit_delta(&body) else {
+            panic!("first delta must enqueue");
+        };
+        drain(&engine);
+        let JobPhase::Done(first) = job.wait() else {
+            panic!("delta job must finish");
+        };
+        assert!(first.body.contains(r#""warm_start""#));
+        assert!(first.body.contains(r#""reason""#));
+        let Submission::Cached {
+            id: id2,
+            output: hit,
+        } = engine.submit_delta(&body)
+        else {
+            panic!("second delta must hit the cache");
+        };
+        assert_eq!(id, id2);
+        assert_eq!(*first.body, *hit.body, "delta cache hit is byte-identical");
+        assert_eq!(
+            engine.metrics.delta_warm.load(Ordering::Relaxed)
+                + engine.metrics.delta_fallback.load(Ordering::Relaxed),
+            1,
+            "exactly one delta decision was made"
+        );
+    }
+
+    #[test]
+    fn delta_bytes_do_not_depend_on_prior_cache_state() {
+        let graph = graph_json();
+        let prior_body = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}}"#);
+        let delta = delta_body(&graph, r#"[{"SetDeadline":{"task":1}}]"#);
+
+        // Cold engine: the prior is recomputed inside the delta job.
+        let cold = engine(EngineConfig::default());
+        let Submission::Enqueued { job, .. } = cold.submit_delta(&delta) else {
+            panic!("delta must enqueue");
+        };
+        drain(&cold);
+        let JobPhase::Done(cold_out) = job.wait() else {
+            panic!("delta job must finish");
+        };
+        assert_eq!(cold.metrics.delta_prior_hits.load(Ordering::Relaxed), 0);
+
+        // Warm engine: the prior job runs first (FIFO), so its schedule
+        // is cached by the time the delta job executes.
+        let warm = engine(EngineConfig::default());
+        let Submission::Enqueued { job: prior_job, .. } = warm.submit(&prior_body) else {
+            panic!("prior must enqueue");
+        };
+        let Submission::Enqueued { job, .. } = warm.submit_delta(&delta) else {
+            panic!("delta must enqueue");
+        };
+        drain(&warm);
+        assert!(matches!(prior_job.wait(), JobPhase::Done(_)));
+        let JobPhase::Done(warm_out) = job.wait() else {
+            panic!("delta job must finish");
+        };
+        assert_eq!(warm.metrics.delta_prior_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            *cold_out.body, *warm_out.body,
+            "delta answers must not depend on cache luck"
+        );
+    }
+
+    #[test]
+    fn delta_bad_bodies_classify() {
+        let engine = engine(EngineConfig::default());
+        assert!(matches!(
+            engine.submit_delta("not json"),
+            Submission::BadRequest(_)
+        ));
+        let graph = graph_json();
+        // An edit addressing a task the prior graph does not have.
+        let body = delta_body(&graph, r#"[{"SetDeadline":{"task":999}}]"#);
+        assert!(matches!(engine.submit_delta(&body), Submission::BadSpec(_)));
+        // A platform edit that cannot be represented.
+        let bad_edits = r#"[{"FailPe":{"pe":999}}]"#;
+        assert!(matches!(
+            engine.submit_delta(&delta_body(&graph, bad_edits)),
+            Submission::BadSpec(_)
+        ));
+    }
+
+    #[test]
+    fn delta_journal_replay_is_byte_identical() {
+        let path =
+            std::env::temp_dir().join(format!("noc-engine-journal-{}-delta", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal_cfg = EngineConfig {
+            journal: Some(path.to_string_lossy().into_owned()),
+            ..EngineConfig::default()
+        };
+        let graph = graph_json();
+        let body = format!(
+            r#"{{"prior":{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}},"edits":[{{"SetDeadline":{{"task":0}}}}],"mode":"async"}}"#
+        );
+
+        // Reference answer from a journal-free engine.
+        let reference = engine(EngineConfig::default());
+        let Submission::Enqueued { job, .. } = reference.submit_delta(&body) else {
+            panic!("reference delta must enqueue");
+        };
+        drain(&reference);
+        let JobPhase::Done(expected) = job.wait() else {
+            panic!("reference delta must finish");
+        };
+
+        // "Crash": accept the async delta, never run it.
+        let crashed = engine(journal_cfg.clone());
+        let Submission::Enqueued { id, .. } = crashed.submit_delta(&body) else {
+            panic!("delta must enqueue");
+        };
+        drop(crashed);
+
+        // Restart: the delta is re-enqueued from the journal and its
+        // answer matches the reference byte for byte.
+        let restarted = engine(journal_cfg);
+        assert_eq!(
+            restarted.metrics.journal_replayed.load(Ordering::Relaxed),
+            1
+        );
+        drain(&restarted);
+        let JobPhase::Done(done) = restarted.job(&id).expect("job survives restart").wait() else {
+            panic!("recovered delta must finish");
+        };
+        assert_eq!(
+            *done.body, *expected.body,
+            "delta recovery must be byte-identical"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -56,6 +56,15 @@ pub struct Metrics {
     /// Jobs answered by the degraded EDF fallback after the compute
     /// budget expired.
     pub degraded: AtomicU64,
+    /// Delta jobs answered by a warm start (prior schedule rebased and
+    /// repaired).
+    pub delta_warm: AtomicU64,
+    /// Delta jobs that fell back to a full reschedule (or the degraded
+    /// EDF fallback).
+    pub delta_fallback: AtomicU64,
+    /// Delta jobs whose prior schedule was served from the cache
+    /// (misses recompute the prior first).
+    pub delta_prior_hits: AtomicU64,
     /// Scheduler panics caught and isolated to their own job.
     pub worker_panics: AtomicU64,
     /// Journal records applied during startup crash recovery.
@@ -167,6 +176,24 @@ impl Metrics {
             "noc_svc_degraded_total",
             "Jobs answered by the degraded EDF fallback (budget expired).",
             &self.degraded,
+        );
+        counter(
+            &mut out,
+            "noc_svc_delta_warm_total",
+            "Delta jobs answered by a warm start.",
+            &self.delta_warm,
+        );
+        counter(
+            &mut out,
+            "noc_svc_delta_fallback_total",
+            "Delta jobs that fell back to a full reschedule.",
+            &self.delta_fallback,
+        );
+        counter(
+            &mut out,
+            "noc_svc_delta_prior_hits_total",
+            "Delta jobs whose prior schedule came from the cache.",
+            &self.delta_prior_hits,
         );
         counter(
             &mut out,

@@ -8,6 +8,7 @@
 //! | Method | Path             | Purpose                                    |
 //! |--------|------------------|--------------------------------------------|
 //! | POST   | `/v1/schedule`   | Schedule a CTG; sync or `"mode":"async"`   |
+//! | POST   | `/v1/schedule/delta` | Repair a prior schedule after edits    |
 //! | POST   | `/v1/validate`   | Structurally check a schedule              |
 //! | GET    | `/v1/jobs/<id>`  | Poll an async submission                   |
 //! | GET    | `/healthz`       | Liveness                                   |
@@ -263,6 +264,7 @@ fn handle_connection(
 fn endpoint_label(request: &Request) -> &'static str {
     match request.path.as_str() {
         "/v1/schedule" => "/v1/schedule",
+        "/v1/schedule/delta" => "/v1/schedule/delta",
         "/v1/validate" => "/v1/validate",
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
@@ -276,6 +278,7 @@ fn route(engine: &Engine, request: &Request) -> Response {
         ("GET", "/healthz") => Response::text(200, "ok\n".to_owned()),
         ("GET", "/metrics") => Response::text(200, engine.metrics.render()),
         ("POST", "/v1/schedule") => schedule_route(engine, request),
+        ("POST", "/v1/schedule/delta") => delta_route(engine, request),
         ("POST", "/v1/validate") => match std::str::from_utf8(&request.body) {
             Err(_) => Response::json(400, error_body("request body is not UTF-8")),
             Ok(body) => match engine.validate(body) {
@@ -286,7 +289,7 @@ fn route(engine: &Engine, request: &Request) -> Response {
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             jobs_route(engine, &path["/v1/jobs/".len()..])
         }
-        (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/validate") => {
+        (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/schedule/delta" | "/v1/validate") => {
             Response::json(405, error_body("method not allowed"))
         }
         _ => Response::json(404, error_body("no such endpoint")),
@@ -304,6 +307,42 @@ fn schedule_route(engine: &Engine, request: &Request) -> Response {
         .map(|r| (r.is_async(), r.wants_stats()))
         .unwrap_or((false, false));
     match engine.submit(body) {
+        Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
+        Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
+        Submission::Cached { id, output } => {
+            let resp = Response::json(200, rendered_body(&output, wants_stats))
+                .with_header("X-Cache", "hit")
+                .with_header("X-Request-Hash", &id);
+            with_degraded(resp, output.degraded)
+        }
+        Submission::Joined { id, job } => {
+            if wants_async {
+                accepted_response(&id)
+            } else {
+                finish_response(&id, &job.wait(), "join", wants_stats)
+            }
+        }
+        Submission::Enqueued { id, job } => {
+            if wants_async {
+                accepted_response(&id)
+            } else {
+                finish_response(&id, &job.wait(), "miss", wants_stats)
+            }
+        }
+        Submission::Rejected => Response::json(429, error_body("job queue is full; retry later"))
+            .with_header("Retry-After", "1"),
+        Submission::ShuttingDown => Response::json(503, error_body("service is shutting down")),
+    }
+}
+
+fn delta_route(engine: &Engine, request: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return Response::json(400, error_body("request body is not UTF-8"));
+    };
+    let (wants_async, wants_stats) = serde_json::from_str::<crate::api::DeltaRequest>(body)
+        .map(|r| (r.is_async(), r.wants_stats()))
+        .unwrap_or((false, false));
+    match engine.submit_delta(body) {
         Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
         Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
         Submission::Cached { id, output } => {
