@@ -13,6 +13,12 @@
 //! The CI gate: for single-edit cases the warm-start median must be
 //! below half the from-scratch median (the whole point of the delta
 //! API); the process exits non-zero otherwise.
+//!
+//! A final persistent-store phase round-trips a prior schedule through
+//! `noc_svc::store::Store` — written, reopened cold, resolved from the
+//! segment log — and requires the repair warm-started from the
+//! disk-resolved prior to be byte-identical to the RAM-prior repair:
+//! the warm-start contract survives a restart.
 
 use std::time::Instant;
 
@@ -61,6 +67,65 @@ struct Baseline {
     /// this artifact are serial-vs-serial and remain meaningful.
     speedup_valid: bool,
     cases: Vec<Case>,
+    store_prior: StorePrior,
+}
+
+/// The persistent-store warm-start phase: a prior resolved from a
+/// cold-reopened segment log must repair to the same bytes as the
+/// in-memory prior.
+#[derive(Debug, Serialize)]
+struct StorePrior {
+    reopen_s: f64,
+    resolve_s: f64,
+    byte_identical: bool,
+}
+
+/// Writes the prior's response bytes to a fresh store, reopens it cold
+/// and repairs from the disk-resolved prior; compares against `want`.
+fn store_prior_phase(
+    graph: &noc_ctg::TaskGraph,
+    platform: &noc_platform::Platform,
+    prior: &noc_eas::ScheduleOutcome,
+    edits: &[Edit],
+    want: &str,
+) -> StorePrior {
+    use std::sync::Arc;
+
+    use noc_svc::store::{Store, StoreConfig, StoreStats};
+
+    let dir = std::env::temp_dir().join(format!("noc-delta-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = "delta-bench-prior";
+    let response = noc_svc::api::ScheduleResponse::from_outcome("eas", prior).to_json();
+    {
+        let store = Store::open(StoreConfig::new(&dir), Arc::new(StoreStats::default()))
+            .expect("store opens");
+        assert!(
+            store.put(key, &noc_svc::cache::JobOutput::new(Arc::new(response))),
+            "prior write must land"
+        );
+    }
+
+    let t0 = Instant::now();
+    let store = Store::open(StoreConfig::new(&dir), Arc::new(StoreStats::default()))
+        .expect("store reopens");
+    let reopen_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let resolved = store.get(key).expect("prior resolves from disk");
+    let parsed: noc_svc::api::ScheduleResponse =
+        serde_json::from_str(&resolved.body).expect("stored prior parses");
+    let applied = apply_edits(graph, edits).expect("edits apply");
+    let edited_platform = apply_platform_edits(platform, &applied.edits).expect("platform applies");
+    let repaired = repair_from(graph, &parsed.schedule, &edited_platform, &applied, 1)
+        .expect("repairs from the disk-resolved prior");
+    let resolve_s = t0.elapsed().as_secs_f64();
+    let got = noc_svc::api::ScheduleResponse::from_outcome("eas", &repaired.outcome).to_json();
+    let _ = std::fs::remove_dir_all(&dir);
+    StorePrior {
+        reopen_s,
+        resolve_s,
+        byte_identical: got == want,
+    }
 }
 
 fn median(mut samples: Vec<f64>) -> f64 {
@@ -192,11 +257,39 @@ fn main() {
         }
     }
 
+    // Persistent-store phase: the last graph's prior, written to a
+    // segment log and resolved after a cold reopen, must repair to the
+    // same bytes as the RAM-held prior.
+    let mut cfg = TgffConfig::category_i(42);
+    cfg.task_count = 64;
+    cfg.width = 4;
+    let graph = TgffGenerator::new(cfg)
+        .generate(&platform)
+        .expect("generates");
+    let prior = scheduler.schedule(&graph, &platform).expect("schedules");
+    let edits = edit_sequence(&graph, 1);
+    let applied = apply_edits(&graph, &edits).expect("edits apply");
+    let edited_platform =
+        apply_platform_edits(&platform, &applied.edits).expect("platform applies");
+    let ram_repair =
+        repair_from(&graph, &prior.schedule, &edited_platform, &applied, 1).expect("repairs");
+    let want = noc_svc::api::ScheduleResponse::from_outcome("eas", &ram_repair.outcome).to_json();
+    let store_prior = store_prior_phase(&graph, &platform, &prior, &edits, &want);
+    println!(
+        "\nstore-resolved prior: reopen {:.4}s, resolve+repair {:.4}s, byte-identical: {}",
+        store_prior.reopen_s, store_prior.resolve_s, store_prior.byte_identical
+    );
+    if !store_prior.byte_identical {
+        gate_failures
+            .push("disk-resolved prior repaired to different bytes than the RAM prior".to_owned());
+    }
+
     let baseline = Baseline {
         bench: "delta".to_owned(),
         host_cpus,
         speedup_valid: host_cpus > 1,
         cases,
+        store_prior,
     };
     match serde_json::to_string_pretty(&baseline) {
         Ok(json) => match std::fs::write(&out_path, json) {

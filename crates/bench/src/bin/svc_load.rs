@@ -44,7 +44,28 @@
 //!   each response against the expected bytes, re-posts each body
 //!   expecting the identical answer, structurally validates every
 //!   repaired schedule against its *edited* graph and platform, and
-//!   writes the `BENCH_delta_svc.json` artifact.
+//!   writes the `BENCH_delta_svc.json` artifact. With `--expect-store`
+//!   the server must be store-backed: the gate additionally posts a
+//!   fresh-edit delta whose prior can only come from the persistent
+//!   store, and requires `noc_svc_store_hits_total` > 0,
+//!   `noc_svc_delta_prior_hits_total` > 0 and an undegraded store.
+//!
+//! Store modes, for the persistent-store CI gate (`--store-dir`):
+//!
+//! * `--store-fill [--jobs N] [--state store_state.json]` — posts N
+//!   *synchronous* schedule requests to a store-backed server (each
+//!   response is durable on disk by the time the 200 arrives), records
+//!   every body with its expected bytes in the state file, then
+//!   submits a trailing wave of async jobs (a heavy pin first) so the
+//!   harness's SIGKILL lands with segment writes and journal entries
+//!   in flight.
+//! * `--store-verify --state store_state.json` — runs against the
+//!   *restarted* server: waits for the replayed backlog to drain,
+//!   re-posts every recorded body and requires a byte-identical 200
+//!   served as a cache hit with **zero** schedule recomputes and at
+//!   least one disk-tier store hit per record
+//!   (`noc_svc_store_hits_total`), requires the store undegraded, and
+//!   writes the `BENCH_store_svc.json` artifact.
 
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -121,6 +142,9 @@ fn main() {
     let mut chaos_verify = false;
     let mut delta = false;
     let mut delta_verify = false;
+    let mut store_fill = false;
+    let mut store_verify = false;
+    let mut expect_store = false;
     let mut jobs = 8usize;
     let mut state_path = "chaos_state.json".to_owned();
 
@@ -150,6 +174,9 @@ fn main() {
             "--chaos-verify" => chaos_verify = true,
             "--delta" => delta = true,
             "--delta-verify" => delta_verify = true,
+            "--store-fill" => store_fill = true,
+            "--store-verify" => store_verify = true,
+            "--expect-store" => expect_store = true,
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 std::process::exit(2);
@@ -164,16 +191,36 @@ fn main() {
     });
     let timeout = Duration::from_millis(timeout_ms);
 
-    if [chaos, chaos_verify, delta, delta_verify]
-        .iter()
-        .filter(|&&m| m)
-        .count()
+    if [
+        chaos,
+        chaos_verify,
+        delta,
+        delta_verify,
+        store_fill,
+        store_verify,
+    ]
+    .iter()
+    .filter(|&&m| m)
+    .count()
         > 1
     {
         eprintln!(
-            "error: --chaos, --chaos-verify, --delta and --delta-verify are mutually exclusive"
+            "error: --chaos, --chaos-verify, --delta, --delta-verify, --store-fill and \
+             --store-verify are mutually exclusive"
         );
         std::process::exit(2);
+    }
+    if store_fill || store_verify {
+        let state = if state_path == "chaos_state.json" {
+            "store_state.json".to_owned()
+        } else {
+            state_path.clone()
+        };
+        if store_fill {
+            std::process::exit(run_store_fill(addr, seed, jobs, timeout, &state));
+        }
+        let out = out_path.unwrap_or_else(|| "BENCH_store_svc.json".to_owned());
+        std::process::exit(run_store_verify(addr, &addr_text, timeout, &state, &out));
     }
     if delta {
         let state = if state_path == "chaos_state.json" {
@@ -190,7 +237,14 @@ fn main() {
             state_path.clone()
         };
         let out = out_path.unwrap_or_else(|| "BENCH_delta_svc.json".to_owned());
-        std::process::exit(run_delta_verify(addr, &addr_text, timeout, &state, &out));
+        std::process::exit(run_delta_verify(
+            addr,
+            &addr_text,
+            timeout,
+            &state,
+            &out,
+            expect_store,
+        ));
     }
     if chaos {
         std::process::exit(run_chaos(addr, seed, jobs, timeout, &state_path));
@@ -875,6 +929,13 @@ struct DeltaSvcBench {
     journal_replayed: u64,
     delta_warm: u64,
     delta_fallback: u64,
+    /// Disk-tier store hits on the restarted server (0 when the server
+    /// runs without `--store-dir`).
+    store_hits: u64,
+    /// 1 while the store is degraded to memory-only serving.
+    store_degraded: u64,
+    /// 1 when the `--expect-store` fresh-edit prior gate passed.
+    prior_from_store: u64,
     errors: usize,
     wall_s: f64,
 }
@@ -1105,6 +1166,7 @@ fn run_delta_verify(
     timeout: Duration,
     state_path: &str,
     out_path: &str,
+    expect_store: bool,
 ) -> i32 {
     use noc_eas::prelude::{apply_edits, apply_platform_edits, Edit};
     let state: DeltaState = match std::fs::read_to_string(state_path)
@@ -1222,11 +1284,94 @@ fn run_delta_verify(
         }
     }
 
+    // With a persistent store behind the server, a *fresh* edit
+    // against a recorded prior must warm start from the durable prior
+    // — the restarted server never saw the prior request on this run,
+    // so only the store can resolve it.
+    let mut prior_from_store = 0u64;
+    if expect_store {
+        if let Some(job) = state.jobs.first() {
+            let mut gate = || -> Result<(), String> {
+                use noc_eas::prelude::{repair_from, Edit as DeltaEdit};
+                let graph: noc_ctg::TaskGraph =
+                    serde_json::from_str(&job.graph_json).map_err(|e| e.to_string())?;
+                let edits = vec![DeltaEdit::SetDeadline {
+                    task: 0,
+                    deadline: None,
+                }];
+                let prior = noc_svc::spec::parse_scheduler("eas", 1)
+                    .map_err(|e| e.to_string())?
+                    .schedule(&graph, &platform)
+                    .map_err(|e| e.to_string())?;
+                let applied = apply_edits(&graph, &edits)?;
+                let edited_platform = apply_platform_edits(&platform, &applied.edits)?;
+                let delta = repair_from(&graph, &prior.schedule, &edited_platform, &applied, 1)
+                    .map_err(|e| e.to_string())?;
+                let expected = noc_svc::api::DeltaResponse {
+                    warm_start: delta.warm_start,
+                    reason: delta.reason.to_owned(),
+                    edits: delta.edits,
+                    mask_tasks: delta.mask_tasks,
+                    result: noc_svc::api::ScheduleResponse::from_outcome("eas", &delta.outcome),
+                }
+                .to_json();
+                let edits_json = serde_json::to_string(&edits).map_err(|e| e.to_string())?;
+                let body = format!(
+                    r#"{{"prior":{{"graph":{},"platform":"mesh:2x2","scheduler":"eas"}},"edits":{edits_json}}}"#,
+                    job.graph_json
+                );
+                let before = client
+                    .get("/metrics")
+                    .map(|r| scrape(&r.body, "noc_svc_delta_prior_hits_total"))
+                    .map_err(|e| e.to_string())?;
+                let resp = client
+                    .post("/v1/schedule/delta", &body)
+                    .map_err(|e| e.to_string())?;
+                if resp.status != 200 {
+                    return Err(format!("fresh-edit delta answered {}", resp.status));
+                }
+                if resp.body != expected {
+                    return Err("fresh-edit delta diverged from the local bytes".to_owned());
+                }
+                let after = client
+                    .get("/metrics")
+                    .map(|r| scrape(&r.body, "noc_svc_delta_prior_hits_total"))
+                    .map_err(|e| e.to_string())?;
+                if after <= before {
+                    return Err(format!(
+                        "fresh-edit delta did not resolve its prior from the store \
+                         (delta_prior_hits {before} -> {after})"
+                    ));
+                }
+                Ok(())
+            };
+            match gate() {
+                Ok(()) => prior_from_store = 1,
+                Err(e) => {
+                    eprintln!("error: store-backed prior gate failed: {e}");
+                    errors += 1;
+                }
+            }
+        }
+    }
+
     let metrics = client.get("/metrics").map(|r| r.body).unwrap_or_default();
     let journal_replayed = scrape(&metrics, "noc_svc_journal_replayed_total");
     if journal_replayed == 0 {
         eprintln!("error: noc_svc_journal_replayed_total is 0 — the restart never replayed");
         errors += 1;
+    }
+    let store_hits = scrape(&metrics, "noc_svc_store_hits_total");
+    let store_degraded = scrape(&metrics, "noc_svc_store_degraded");
+    if expect_store {
+        if store_hits == 0 {
+            eprintln!("error: noc_svc_store_hits_total is 0 — the disk tier never answered");
+            errors += 1;
+        }
+        if store_degraded != 0 {
+            eprintln!("error: the persistent store is degraded to memory-only mode");
+            errors += 1;
+        }
     }
     let report = DeltaSvcBench {
         addr: addr_text.to_owned(),
@@ -1238,6 +1383,9 @@ fn run_delta_verify(
         journal_replayed,
         delta_warm: scrape(&metrics, "noc_svc_delta_warm_total"),
         delta_fallback: scrape(&metrics, "noc_svc_delta_fallback_total"),
+        store_hits,
+        store_degraded,
+        prior_from_store,
         errors,
         wall_s: started.elapsed().as_secs_f64(),
     };
@@ -1261,6 +1409,309 @@ fn run_delta_verify(
         }
     }
     i32::from(errors > 0)
+}
+
+/// One synchronous request recorded by the `--store-fill` phase: by the
+/// time its 200 arrived, the response bytes were durable on disk.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct StoreJob {
+    /// The exact request body posted.
+    body: String,
+    /// The response bytes the server answered (and must answer again).
+    expected: String,
+}
+
+/// The store-fill → store-verify handoff file.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct StoreState {
+    seed: u64,
+    jobs: Vec<StoreJob>,
+}
+
+/// The `BENCH_store_svc.json` artifact.
+#[derive(Debug, Serialize)]
+struct StoreSvcBench {
+    addr: String,
+    jobs: usize,
+    /// Re-posts answered 200 with the recorded bytes.
+    byte_identical: usize,
+    /// Re-posts served as cache hits (`X-Cache: hit`).
+    served_as_hit: usize,
+    /// Schedule executions the re-post wave cost (the gate: 0).
+    recomputes: u64,
+    /// Disk-tier hits the re-post wave produced (the gate: >= jobs).
+    store_hits_delta: u64,
+    store_quarantined: u64,
+    store_torn_tails: u64,
+    store_rotations: u64,
+    store_segments: u64,
+    store_degraded: u64,
+    errors: usize,
+    wall_s: f64,
+}
+
+/// Store fill phase: a synchronous wave whose every answer is durable
+/// on disk at 200 time, recorded with its bytes; then a trailing async
+/// wave (heavy pin first) so the harness's SIGKILL lands with segment
+/// writes and journal entries in flight. Returns the exit code.
+fn run_store_fill(
+    addr: SocketAddr,
+    seed: u64,
+    jobs: usize,
+    timeout: Duration,
+    state_path: &str,
+) -> i32 {
+    let mut errors = 0usize;
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = client.set_timeout(timeout);
+    println!("== svc_load --store-fill: {jobs} sync jobs, seed {seed:#x} -> {addr} ==");
+
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+    let mut state = StoreState {
+        seed,
+        jobs: Vec::new(),
+    };
+    for j in 0..jobs {
+        let scheduler = ["edf", "dls", "eas"][j % 3];
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(
+            seed.wrapping_add(0x570E).wrapping_add(j as u64),
+        );
+        cfg.task_count = 10 + (j % 4) * 3;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        let body =
+            format!(r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#);
+        match client.post("/v1/schedule", &body) {
+            Ok(resp) if resp.status == 200 => {
+                if resp.header("store-degraded").is_some() {
+                    eprintln!("error: store degraded to memory-only during the fill");
+                    errors += 1;
+                }
+                state.jobs.push(StoreJob {
+                    body,
+                    expected: resp.body,
+                });
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "error: sync job {j} answered {} (want 200): {}",
+                    resp.status, resp.body
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: sync job {j} failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+    println!("{} sync responses durable and recorded", state.jobs.len());
+
+    // Trailing async wave: the heavy anneal job pins a single-worker
+    // server, so the rest is accepted-but-unfinished — the SIGKILL
+    // lands with journal entries live and store writes still owed.
+    for j in 0..4usize {
+        let scheduler = if j == 0 { "anneal" } else { "edf" };
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(
+            seed.wrapping_add(0x57A1).wrapping_add(j as u64),
+        );
+        cfg.task_count = if j == 0 { 96 } else { 12 };
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        let body = format!(
+            r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}","mode":"async"}}"#
+        );
+        match client.post("/v1/schedule", &body) {
+            Ok(resp) if resp.status == 202 => {}
+            Ok(resp) => {
+                eprintln!("error: trailing async job {j} answered {}", resp.status);
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: trailing async job {j} failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+
+    match serde_json::to_string_pretty(&state) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(state_path, json) {
+                eprintln!("error: cannot write {state_path}: {e}");
+                return 1;
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize state: {e}");
+            return 1;
+        }
+    }
+    println!(
+        "{} durable responses recorded; state -> {state_path}; {errors} errors",
+        state.jobs.len()
+    );
+    i32::from(errors > 0 || state.jobs.is_empty())
+}
+
+/// Store verify phase, run against the restarted server: wait for the
+/// replayed backlog to settle, then re-post every recorded body — each
+/// must answer the recorded bytes as a cache hit, cost **zero**
+/// schedule executions, and raise the disk-tier hit counter by at
+/// least one per record. Returns the exit code.
+fn run_store_verify(
+    addr: SocketAddr,
+    addr_text: &str,
+    timeout: Duration,
+    state_path: &str,
+    out_path: &str,
+) -> i32 {
+    let state: StoreState = match std::fs::read_to_string(state_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+    {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("error: cannot load {state_path}: {e}");
+            return 1;
+        }
+    };
+    let started = Instant::now();
+    let mut errors = 0usize;
+    let mut client = match Client::connect_retry(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach restarted server {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = client.set_timeout(timeout);
+    println!(
+        "== svc_load --store-verify: {} recorded responses from {state_path} -> {addr} ==",
+        state.jobs.len()
+    );
+
+    // Let the replayed journal backlog drain first: re-run jobs settle,
+    // so the executed counter is quiescent before the gated re-posts.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let metrics = client.get("/metrics").map(|r| r.body).unwrap_or_default();
+        if scrape(&metrics, "noc_svc_queue_depth") == 0
+            && scrape(&metrics, "noc_svc_jobs_inflight") == 0
+        {
+            break;
+        }
+        if Instant::now() > deadline {
+            eprintln!("error: replayed backlog still busy at deadline");
+            errors += 1;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let before = client.get("/metrics").map(|r| r.body).unwrap_or_default();
+    let executed_before = scrape(&before, "noc_svc_schedules_executed_total");
+    let hits_before = scrape(&before, "noc_svc_store_hits_total");
+
+    let mut byte_identical = 0usize;
+    let mut served_as_hit = 0usize;
+    for (j, job) in state.jobs.iter().enumerate() {
+        match client.post("/v1/schedule", &job.body) {
+            Ok(resp) if resp.status == 200 && resp.body == job.expected => {
+                byte_identical += 1;
+                if resp.header("x-cache") == Some("hit") {
+                    served_as_hit += 1;
+                } else {
+                    eprintln!("error: re-post {j} was not served as a cache hit");
+                    errors += 1;
+                }
+                if resp.header("store-degraded").is_some() {
+                    eprintln!("error: re-post {j} was served degraded (memory-only)");
+                    errors += 1;
+                }
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "error: re-post {j} answered {} with divergent bytes (want the recorded 200)",
+                    resp.status
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("error: re-post {j} failed: {e}");
+                errors += 1;
+            }
+        }
+    }
+
+    let after = client.get("/metrics").map(|r| r.body).unwrap_or_default();
+    let executed_after = scrape(&after, "noc_svc_schedules_executed_total");
+    let recomputes = executed_after.saturating_sub(executed_before);
+    if recomputes != 0 {
+        eprintln!(
+            "error: the re-post wave cost {recomputes} schedule executions (the store must \
+             answer them all)"
+        );
+        errors += 1;
+    }
+    let store_hits_delta = scrape(&after, "noc_svc_store_hits_total").saturating_sub(hits_before);
+    if store_hits_delta < state.jobs.len() as u64 {
+        eprintln!(
+            "error: only {store_hits_delta} disk-tier hits for {} re-posts — responses did \
+             not come from the persistent store",
+            state.jobs.len()
+        );
+        errors += 1;
+    }
+    let store_degraded = scrape(&after, "noc_svc_store_degraded");
+    if store_degraded != 0 {
+        eprintln!("error: the persistent store is degraded to memory-only mode");
+        errors += 1;
+    }
+
+    let report = StoreSvcBench {
+        addr: addr_text.to_owned(),
+        jobs: state.jobs.len(),
+        byte_identical,
+        served_as_hit,
+        recomputes,
+        store_hits_delta,
+        store_quarantined: scrape(&after, "noc_svc_store_quarantined_total"),
+        store_torn_tails: scrape(&after, "noc_svc_store_torn_tails_total"),
+        store_rotations: scrape(&after, "noc_svc_store_rotations_total"),
+        store_segments: scrape(&after, "noc_svc_store_segments"),
+        store_degraded,
+        errors,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    println!(
+        "{byte_identical}/{} re-posts byte-identical ({served_as_hit} as hits), \
+         {recomputes} recomputes, {store_hits_delta} disk-tier hits, {errors} errors",
+        report.jobs
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return 1;
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            return 1;
+        }
+    }
+    i32::from(errors > 0 || byte_identical != state.jobs.len())
 }
 
 /// Extracts the `noc_svc_stage_seconds` histograms from Prometheus

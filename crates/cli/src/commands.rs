@@ -79,7 +79,8 @@ USAGE:
 
   noceas serve [--addr 127.0.0.1:8533] [--http-workers N]
                [--sched-workers N] [--queue N] [--cache N] [--threads N]
-               [--budget-ms MS] [--journal PATH]
+               [--budget-ms MS] [--journal PATH] [--store-dir DIR]
+               [--store-segment-bytes N]
       Run the scheduling service: POST /v1/schedule, POST /v1/validate,
       GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
       bounded at --queue entries (429 + Retry-After past it) and
@@ -90,6 +91,13 @@ USAGE:
       --journal write-ahead-logs accepted async jobs to PATH; after a
       crash (even kill -9) the restarted server replays the journal,
       re-runs unfinished jobs and answers byte-identically.
+      --store-dir persists every response to a checksummed segment log
+      in DIR: restarts answer repeat requests byte-identically from
+      disk with zero recomputes, corrupt records are quarantined, and
+      any disk fault degrades the server to memory-only serving
+      (Store-Degraded header + noc_svc_store_degraded metric) instead
+      of failing requests. --store-segment-bytes caps a segment before
+      rotation (default 8 MiB).
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -532,6 +540,9 @@ fn serve(args: &Args) -> Result<String, String> {
             ),
         },
         journal: args.get("journal").map(str::to_owned),
+        store_dir: args.get("store-dir").map(str::to_owned),
+        store_segment_bytes: args
+            .get_num("store-segment-bytes", noc_svc::store::DEFAULT_SEGMENT_BYTES)?,
         ..noc_svc::ServiceConfig::default()
     };
     let server = noc_svc::Server::start(config).map_err(|e| e.to_string())?;

@@ -26,6 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -43,10 +44,11 @@ use crate::api::{
     DeltaRequest, DeltaResponse, ScheduleRequest, ScheduleResponse, ValidateRequest,
     ValidateResponse,
 };
-use crate::cache::{JobOutput, ScheduleCache};
+use crate::cache::JobOutput;
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
+use crate::store::{Store, StoreConfig, StoreStats, TieredStore};
 
 /// Finished jobs kept for `GET /v1/jobs/<id>` before the oldest are
 /// forgotten (their responses usually survive longer in the cache).
@@ -204,6 +206,14 @@ pub struct EngineConfig {
     pub budget_ms: Option<u64>,
     /// Path of the crash-safe job journal; `None` disables journaling.
     pub journal: Option<String>,
+    /// Directory of the persistent schedule store's disk tier; `None`
+    /// runs memory-only (the pre-store behaviour). When set, finished
+    /// responses are written through to an append-only segment log and
+    /// survive restarts, and any disk failure degrades the service
+    /// back to memory-only mode instead of failing requests.
+    pub store_dir: Option<String>,
+    /// Store segment rotation threshold, bytes.
+    pub store_segment_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -214,6 +224,8 @@ impl Default for EngineConfig {
             threads: 0,
             budget_ms: None,
             journal: None,
+            store_dir: None,
+            store_segment_bytes: crate::store::DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -222,7 +234,9 @@ impl Default for EngineConfig {
 pub struct Engine {
     config: EngineConfig,
     queue: JobQueue<Arc<Job>>,
-    cache: Mutex<ScheduleCache>,
+    /// The two-tier response store: memory LRU fronting the optional
+    /// persistent disk tier (see [`crate::store`]).
+    store: TieredStore,
     jobs: Mutex<JobTable>,
     journal: Option<Journal>,
     /// The service-wide metrics registry.
@@ -248,25 +262,63 @@ impl Engine {
             }
             None => (None, Vec::new()),
         };
+        let metrics = Metrics::new();
+        let store = match &config.store_dir {
+            Some(dir) => {
+                let stats = Arc::new(StoreStats::default());
+                metrics.set_store_stats(Arc::clone(&stats));
+                let disk = match Store::open(
+                    StoreConfig {
+                        dir: PathBuf::from(dir),
+                        segment_max_bytes: config.store_segment_bytes,
+                        faults: None,
+                    },
+                    Arc::clone(&stats),
+                ) {
+                    Ok(disk) => Some(disk),
+                    // A store that cannot open is the same failure
+                    // class as one that fails later: serve memory-only
+                    // rather than refuse to start.
+                    Err(err) => {
+                        stats.faults.fetch_add(1, Ordering::Relaxed);
+                        stats.degraded.store(1, Ordering::Relaxed);
+                        eprintln!(
+                            "noc-svc: schedule store failed to open ({err}); \
+                             serving memory-only"
+                        );
+                        None
+                    }
+                };
+                TieredStore::with_disk(config.cache_capacity, disk)
+            }
+            None => TieredStore::memory_only(config.cache_capacity),
+        };
         let engine = Arc::new(Engine {
             queue: JobQueue::new(config.queue_capacity),
-            cache: Mutex::new(ScheduleCache::new(config.cache_capacity)),
+            store,
             jobs: Mutex::new(JobTable {
                 map: HashMap::new(),
                 finished: VecDeque::new(),
             }),
             journal,
-            metrics: Metrics::new(),
+            metrics,
             config,
         });
-        engine.replay(backlog);
+        let backlog_len = backlog.len();
+        let kept = engine.replay(backlog);
+        engine.compact_journal(kept, backlog_len);
         Ok(engine)
     }
 
     /// Applies the journal backlog: one pass folds the records per job
     /// id (keeping first-seen order), then each job is restored to its
     /// recorded terminal phase or, lacking one, re-enqueued to run.
-    fn replay(&self, backlog: Vec<Record>) {
+    ///
+    /// Returns the records the journal still needs after this replay —
+    /// the compaction set. A record can be dropped once the response
+    /// bytes it protects are durable (and verified readable) in the
+    /// persistent store; everything else is kept.
+    fn replay(&self, backlog: Vec<Record>) -> Vec<Record> {
         let mut order: Vec<String> = Vec::new();
         let mut accepted: HashMap<String, String> = HashMap::new();
         let mut terminal: HashMap<String, Record> = HashMap::new();
@@ -285,27 +337,82 @@ impl Engine {
                 }
             }
         }
+        let mut kept: Vec<Record> = Vec::new();
+        let keep_accepted = |kept: &mut Vec<Record>, id: &str| {
+            if let Some(body) = accepted.get(id) {
+                kept.push(Record::Accepted {
+                    id: id.to_owned(),
+                    body: body.clone(),
+                });
+            }
+        };
         for id in order {
             match terminal.remove(&id) {
                 Some(Record::Done { degraded, body, .. }) => {
                     // The journal records response bytes only; stage
                     // stats do not survive a restart.
                     let output = JobOutput {
-                        body: Arc::new(body),
+                        body: Arc::new(body.clone()),
                         degraded,
                         stats: None,
                     };
                     // Re-derive the cache key from the accepted body so
-                    // resubmissions of the same problem hit the cache.
-                    if let Some(key) = accepted.get(&id).and_then(|b| journaled_key(b)) {
-                        self.cache
-                            .lock()
-                            .expect("cache lock")
-                            .insert(key, output.clone());
+                    // resubmissions of the same problem hit the store;
+                    // the write-through also persists pre-store journal
+                    // bodies, which is what lets compaction drop them.
+                    let durable = match accepted.get(&id).and_then(|b| journaled_key(b)) {
+                        Some(key) => self.store.insert(&key, &output),
+                        None => false,
+                    };
+                    if !durable {
+                        keep_accepted(&mut kept, &id);
+                        kept.push(Record::Done {
+                            id: id.clone(),
+                            degraded,
+                            body,
+                        });
                     }
                     self.restore_finished(&id, JobPhase::Done(output));
                 }
+                Some(Record::DoneStored { .. }) => {
+                    // The bytes live in the store; resolve them by the
+                    // key derived from the accepted body. Resolution
+                    // re-verifies the record checksum, so a quarantined
+                    // or degraded store falls through to a re-run —
+                    // never to wrong bytes.
+                    let resolved = accepted
+                        .get(&id)
+                        .and_then(|b| journaled_key(b))
+                        .and_then(|key| self.store.get(&key));
+                    match resolved {
+                        Some(output) => {
+                            self.restore_finished(&id, JobPhase::Done(output));
+                        }
+                        None => match accepted.get(&id) {
+                            // Deterministic scheduling owes the same
+                            // bytes the store lost: re-run the job.
+                            Some(body) => {
+                                keep_accepted(&mut kept, &id);
+                                if let Err(reason) = self.recover(&id, body) {
+                                    self.restore_finished(&id, JobPhase::Failed(reason));
+                                }
+                            }
+                            None => {
+                                self.restore_finished(
+                                    &id,
+                                    JobPhase::Failed(
+                                        "stored response unavailable after restart".to_owned(),
+                                    ),
+                                );
+                            }
+                        },
+                    }
+                }
                 Some(Record::Failed { error, .. }) => {
+                    kept.push(Record::Failed {
+                        id: id.clone(),
+                        error: error.clone(),
+                    });
                     self.restore_finished(&id, JobPhase::Failed(error));
                 }
                 Some(Record::Accepted { .. }) => unreachable!("acc records never land in terminal"),
@@ -313,6 +420,7 @@ impl Engine {
                 // Re-admit and re-run; determinism makes the re-run
                 // byte-identical to the answer the lost run owed.
                 None => {
+                    keep_accepted(&mut kept, &id);
                     let body = accepted.get(&id).expect("order only holds seen ids");
                     if let Err(reason) = self.recover(&id, body) {
                         self.restore_finished(&id, JobPhase::Failed(reason));
@@ -326,6 +434,29 @@ impl Engine {
         self.metrics
             .queue_depth
             .store(self.queue.depth() as u64, Ordering::Relaxed);
+        kept
+    }
+
+    /// Rewrites the journal down to `kept` when the store's disk tier
+    /// made some records redundant. Skipped without a healthy disk
+    /// tier — compaction must never drop bytes the store cannot serve.
+    fn compact_journal(&self, kept: Vec<Record>, total: usize) {
+        let Some(journal) = &self.journal else { return };
+        if kept.len() >= total {
+            return;
+        }
+        let disk_ok = self.store.disk().is_some_and(|d| !d.is_degraded());
+        if !disk_ok {
+            return;
+        }
+        match journal.compact(&kept) {
+            Ok(()) => {
+                self.metrics
+                    .journal_compacted
+                    .fetch_add((total - kept.len()) as u64, Ordering::Relaxed);
+            }
+            Err(err) => eprintln!("noc-svc: journal compaction failed: {err}"),
+        }
     }
 
     /// Inserts a journal-recovered job directly in a terminal phase.
@@ -481,7 +612,7 @@ impl Engine {
     fn admit(&self, body: &str, work: JobWork, key: String, is_async: bool) -> Submission {
         let id = crate::hash::content_hash(&key);
 
-        if let Some(output) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(output) = self.store.get(&key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Submission::Cached { id, output };
         }
@@ -637,16 +768,25 @@ impl Engine {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
                 }
                 self.metrics.observe_latency(elapsed);
-                self.cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(job.key.clone(), output.clone());
+                let durable = self.store.insert(&job.key, &output);
                 if journaled {
-                    self.journal_append(&Record::Done {
-                        id: job.id.clone(),
-                        degraded: output.degraded,
-                        body: output.body.as_str().to_owned(),
-                    });
+                    // With the bytes durable in the store, the journal
+                    // records only the completion fact — replay
+                    // resolves the body from the store, and compaction
+                    // keeps the journal bounded.
+                    let record = if durable {
+                        Record::DoneStored {
+                            id: job.id.clone(),
+                            degraded: output.degraded,
+                        }
+                    } else {
+                        Record::Done {
+                            id: job.id.clone(),
+                            degraded: output.degraded,
+                            body: output.body.as_str().to_owned(),
+                        }
+                    };
+                    self.journal_append(&record);
                 }
                 JobPhase::Done(output)
             }
@@ -768,16 +908,13 @@ impl Engine {
         else {
             unreachable!("execute_delta is only called on delta work");
         };
-        // Warm-start source: the prior request's cached response. A
-        // degraded (EDF-fallback) entry is ignored — warm-starting from
-        // it would make the answer depend on *when* the prior ran, so
+        // Warm-start source: the prior request's stored response —
+        // memory LRU first, then the persistent disk tier, so priors
+        // resolve even after a restart or an LRU eviction. A degraded
+        // (EDF-fallback) entry is ignored — warm-starting from it
+        // would make the answer depend on *when* the prior ran, so
         // the prior is recomputed in full instead.
-        let cached = self
-            .cache
-            .lock()
-            .expect("cache lock")
-            .get(prior_key)
-            .filter(|output| !output.degraded);
+        let cached = self.store.get(prior_key).filter(|output| !output.degraded);
         let prior_schedule = match cached {
             Some(output) => {
                 self.metrics
@@ -794,13 +931,11 @@ impl Engine {
                 let outcome = prior_scheduler
                     .schedule(prior_graph, prior_platform)
                     .map_err(|e| format!("prior schedule failed: {e}"))?;
-                // Populate the cache so the prior request itself (and
+                // Populate the store so the prior request itself (and
                 // the next delta against it) is served without work.
                 let response = ScheduleResponse::from_outcome(prior_scheduler_name, &outcome);
-                self.cache.lock().expect("cache lock").insert(
-                    prior_key.clone(),
-                    JobOutput::new(Arc::new(response.to_json())),
-                );
+                self.store
+                    .insert(prior_key, &JobOutput::new(Arc::new(response.to_json())));
                 outcome.schedule
             }
         };
@@ -912,6 +1047,14 @@ impl Engine {
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// `true` when a persistent store was configured but its disk tier
+    /// is out of service — the condition the server advertises with
+    /// the `Store-Degraded: memory-only` response header.
+    #[must_use]
+    pub fn store_degraded(&self) -> bool {
+        self.store.degraded()
     }
 }
 
@@ -1386,5 +1529,170 @@ mod tests {
         };
         assert_eq!(*output.body, *expected_a.body);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Fresh per-test store directory under the OS temp dir.
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("noc-engine-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store_cfg(dir: &std::path::Path, journal: Option<&std::path::Path>) -> EngineConfig {
+        EngineConfig {
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            journal: journal.map(|p| p.to_string_lossy().into_owned()),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn store_backed_restart_serves_bytes_with_zero_recompute() {
+        let dir = store_dir("restart");
+        let cfg = store_cfg(&dir, None);
+        let body = request_body(&graph_json());
+
+        let first = engine(cfg.clone());
+        let Submission::Enqueued { job, .. } = first.submit(&body) else {
+            panic!("cold submission must enqueue");
+        };
+        drain(&first);
+        let JobPhase::Done(expected) = job.wait() else {
+            panic!("cold job must finish");
+        };
+        drop(first);
+
+        // Restart with an empty memory tier: the disk tier answers.
+        let restarted = engine(cfg);
+        let Submission::Cached { output, .. } = restarted.submit(&body) else {
+            panic!("restart must answer from the persistent store");
+        };
+        assert_eq!(
+            *output.body, *expected.body,
+            "store-resolved response must be byte-identical"
+        );
+        assert_eq!(
+            restarted.metrics.schedules_executed.load(Ordering::Relaxed),
+            0,
+            "a store hit must not recompute"
+        );
+        assert!(!restarted.store_degraded());
+        let text = restarted.metrics.render();
+        assert!(text.contains("noc_svc_store_hits_total 1"));
+        assert!(text.contains("noc_svc_store_degraded 0"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_prior_resolves_from_store_after_restart() {
+        let dir = store_dir("delta-prior");
+        let cfg = store_cfg(&dir, None);
+        let graph = graph_json();
+        let prior_body = format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}}"#);
+
+        let first = engine(cfg.clone());
+        let Submission::Enqueued { job, .. } = first.submit(&prior_body) else {
+            panic!("prior must enqueue");
+        };
+        drain(&first);
+        assert!(matches!(job.wait(), JobPhase::Done(_)));
+        drop(first);
+
+        // After restart the prior lives only on disk; the delta's
+        // warm start must still resolve it instead of recomputing.
+        let restarted = engine(cfg);
+        let delta = format!(
+            r#"{{"prior":{{"graph":{graph},"platform":"mesh:2x2","scheduler":"eas"}},"edits":[{{"SetDeadline":{{"task":0}}}}]}}"#
+        );
+        let Submission::Enqueued { job, .. } = restarted.submit_delta(&delta) else {
+            panic!("delta must enqueue");
+        };
+        drain(&restarted);
+        assert!(matches!(job.wait(), JobPhase::Done(_)));
+        assert_eq!(
+            restarted.metrics.delta_prior_hits.load(Ordering::Relaxed),
+            1,
+            "prior must be served by the disk tier after restart"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_open_failure_degrades_to_memory_only() {
+        let dir = store_dir("degraded-open");
+        // `store_dir` pointing at a regular file: open must fail, and
+        // the engine must keep serving (memory-only) instead of dying.
+        std::fs::write(&dir, b"not a directory").expect("writes decoy file");
+        let degraded = engine(store_cfg(&dir, None));
+        assert!(degraded.store_degraded());
+        let body = request_body(&graph_json());
+        let Submission::Enqueued { job, .. } = degraded.submit(&body) else {
+            panic!("degraded engine must still admit jobs");
+        };
+        drain(&degraded);
+        let JobPhase::Done(output) = job.wait() else {
+            panic!("degraded engine must still schedule");
+        };
+        // Memory tier still serves the bytes it computed.
+        let Submission::Cached { output: hit, .. } = degraded.submit(&body) else {
+            panic!("memory tier must still answer");
+        };
+        assert_eq!(*hit.body, *output.body);
+        let text = degraded.metrics.render();
+        assert!(text.contains("noc_svc_store_degraded 1"));
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn journal_compaction_bounds_size_across_restarts() {
+        let dir = store_dir("compact");
+        let journal =
+            std::env::temp_dir().join(format!("noc-engine-journal-{}-compact", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let cfg = store_cfg(&dir, Some(&journal));
+        let graph = graph_json();
+        // Only async admissions are journaled (the 202 is the promise
+        // the journal exists to keep).
+        let body = format!(
+            r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"edf","mode":"async"}}"#
+        );
+
+        let first = engine(cfg.clone());
+        let Submission::Enqueued { job, .. } = first.submit(&body) else {
+            panic!("submission must enqueue");
+        };
+        drain(&first);
+        assert!(matches!(job.wait(), JobPhase::Done(_)));
+        drop(first);
+        let after_fill = std::fs::metadata(&journal).expect("journal exists").len();
+        assert!(
+            after_fill > 0,
+            "journal holds accepted + done-stored records"
+        );
+
+        // Restart: the response bytes are durable in the store, so
+        // compaction drops the settled records from the journal.
+        let restarted = engine(cfg.clone());
+        assert!(restarted.metrics.journal_compacted.load(Ordering::Relaxed) >= 2);
+        drop(restarted);
+        let after_compact = std::fs::metadata(&journal).expect("journal exists").len();
+        assert!(
+            after_compact < after_fill,
+            "compaction must shrink the journal ({after_compact} vs {after_fill})"
+        );
+
+        // Further idle restarts keep it at the compacted size: the
+        // journal is bounded by live work, not by restart count.
+        for _ in 0..3 {
+            drop(engine(cfg.clone()));
+        }
+        let steady = std::fs::metadata(&journal).expect("journal exists").len();
+        assert!(
+            steady <= after_compact,
+            "idle restarts must not grow the journal"
+        );
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -113,14 +113,24 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     fnv1a(bytes, FNV_OFFSET)
 }
 
+/// The two independent 64-bit FNV-1a lanes behind [`content_hash`],
+/// exposed numerically so the persistent store's packed index
+/// ([`crate::store`]) can record them without hex round-trips.
+#[must_use]
+pub(crate) fn hash_lanes(bytes: &[u8]) -> (u64, u64) {
+    (
+        fnv1a(bytes, FNV_OFFSET),
+        fnv1a(bytes, FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15),
+    )
+}
+
 /// 32-hex-digit content hash of a canonical string: two independent
 /// 64-bit FNV-1a lanes (distinct seeds). Used as the job id; the cache
 /// itself is keyed by the full canonical string, so a hash collision can
 /// at worst alias two job-status URLs, never corrupt a cached schedule.
 #[must_use]
 pub fn content_hash(canonical: &str) -> String {
-    let a = fnv1a(canonical.as_bytes(), FNV_OFFSET);
-    let b = fnv1a(canonical.as_bytes(), FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15);
+    let (a, b) = hash_lanes(canonical.as_bytes());
     format!("{a:016x}{b:016x}")
 }
 

@@ -29,7 +29,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use serde::{Map, Value};
@@ -59,6 +59,18 @@ pub enum Record {
         /// The rendered response body.
         body: String,
     },
+    /// The job finished and its response bytes are durable in the
+    /// persistent schedule store ([`crate::store`]) — the journal
+    /// records only the fact, not the bytes, which keeps it bounded.
+    /// Replay resolves the body from the store by the key derived from
+    /// the `Accepted` record; a store miss falls back to a re-run
+    /// (deterministic scheduling reproduces the same bytes).
+    DoneStored {
+        /// Content-hash job id.
+        id: String,
+        /// Whether the response came from the degraded EDF fallback.
+        degraded: bool,
+    },
     /// The job failed terminally.
     Failed {
         /// Content-hash job id.
@@ -73,7 +85,10 @@ impl Record {
     #[must_use]
     pub fn id(&self) -> &str {
         match self {
-            Record::Accepted { id, .. } | Record::Done { id, .. } | Record::Failed { id, .. } => id,
+            Record::Accepted { id, .. }
+            | Record::Done { id, .. }
+            | Record::DoneStored { id, .. }
+            | Record::Failed { id, .. } => id,
         }
     }
 
@@ -90,6 +105,11 @@ impl Record {
                 m.insert("id", Value::String(id.clone()));
                 m.insert("degraded", Value::Bool(*degraded));
                 m.insert("body", Value::String(body.clone()));
+            }
+            Record::DoneStored { id, degraded } => {
+                m.insert("t", Value::String("done-stored".to_owned()));
+                m.insert("id", Value::String(id.clone()));
+                m.insert("degraded", Value::Bool(*degraded));
             }
             Record::Failed { id, error } => {
                 m.insert("t", Value::String("fail".to_owned()));
@@ -123,6 +143,10 @@ impl Record {
                 degraded: matches!(obj.get("degraded"), Some(Value::Bool(true))),
                 body: field("body")?,
             }),
+            "done-stored" => Some(Record::DoneStored {
+                id,
+                degraded: matches!(obj.get("degraded"), Some(Value::Bool(true))),
+            }),
             "fail" => Some(Record::Failed {
                 id,
                 error: field("error")?,
@@ -132,9 +156,26 @@ impl Record {
     }
 }
 
+/// Encodes one record as a complete frame: length prefix, checksum,
+/// JSON payload.
+fn encode_frame(record: &Record) -> Vec<u8> {
+    let payload = record.to_json();
+    let bytes = payload.as_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
+    frame.extend_from_slice(
+        &u32::try_from(bytes.len())
+            .expect("record fits u32")
+            .to_le_bytes(),
+    );
+    frame.extend_from_slice(&fnv1a64(bytes).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    frame
+}
+
 /// An open journal file; appends are serialized through a mutex.
 pub struct Journal {
     file: Mutex<File>,
+    path: PathBuf,
 }
 
 impl Journal {
@@ -147,12 +188,13 @@ impl Journal {
     ///
     /// Propagates filesystem failures (open, read, truncate).
     pub fn open(path: impl AsRef<Path>) -> io::Result<(Journal, Vec<Record>)> {
+        let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
+            .open(&path)?;
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
 
@@ -184,6 +226,7 @@ impl Journal {
         Ok((
             Journal {
                 file: Mutex::new(file),
+                path,
             },
             records,
         ))
@@ -197,17 +240,42 @@ impl Journal {
     ///
     /// Propagates filesystem write failures.
     pub fn append(&self, record: &Record) -> io::Result<()> {
-        let payload = record.to_json();
-        let bytes = payload.as_bytes();
-        let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
-        frame.extend_from_slice(
-            &u32::try_from(bytes.len())
-                .expect("record fits u32")
-                .to_le_bytes(),
-        );
-        frame.extend_from_slice(&fnv1a64(bytes).to_le_bytes());
-        frame.extend_from_slice(bytes);
-        self.file.lock().expect("journal lock").write_all(&frame)
+        self.file
+            .lock()
+            .expect("journal lock")
+            .write_all(&encode_frame(record))
+    }
+
+    /// Rewrites the journal to hold exactly `keep`, atomically: the
+    /// replacement is written to a sibling temp file and renamed over
+    /// the journal, so a crash at any point leaves either the old or
+    /// the new journal intact, never a mix. Used at startup once
+    /// replayed response bytes are durable in the schedule store —
+    /// records whose bodies the store can serve no longer need to ride
+    /// in the journal, which keeps it bounded across restart cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; on error the old journal (and
+    /// the open handle) remain in effect.
+    pub fn compact(&self, keep: &[Record]) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        for record in keep {
+            bytes.extend_from_slice(&encode_frame(record));
+        }
+        let mut tmp_name = self.path.as_os_str().to_owned();
+        tmp_name.push(".compact-tmp");
+        let tmp = PathBuf::from(tmp_name);
+
+        // Hold the append lock across the swap so no record lands in
+        // the file we are about to replace.
+        let mut guard = self.file.lock().expect("journal lock");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        *guard = file;
+        Ok(())
     }
 }
 
@@ -310,6 +378,58 @@ mod tests {
     fn empty_and_missing_files_replay_nothing() {
         let tmp = TempJournal::new("empty");
         let (_journal, replayed) = Journal::open(&tmp.0).expect("creates");
+        assert!(replayed.is_empty());
+    }
+
+    #[test]
+    fn done_stored_records_round_trip() {
+        let tmp = TempJournal::new("done-stored");
+        let record = Record::DoneStored {
+            id: "a1".into(),
+            degraded: true,
+        };
+        let (journal, _) = Journal::open(&tmp.0).expect("opens");
+        journal.append(&record).expect("appends");
+        drop(journal);
+        let (_journal, replayed) = Journal::open(&tmp.0).expect("reopens");
+        assert_eq!(replayed, vec![record]);
+    }
+
+    #[test]
+    fn compaction_keeps_exactly_the_requested_records_and_stays_appendable() {
+        let tmp = TempJournal::new("compact");
+        let (journal, _) = Journal::open(&tmp.0).expect("opens");
+        for r in sample() {
+            journal.append(&r).expect("appends");
+        }
+        let size_before = std::fs::metadata(&tmp.0).expect("meta").len();
+        let keep = vec![sample()[0].clone()];
+        journal.compact(&keep).expect("compacts");
+        assert!(
+            std::fs::metadata(&tmp.0).expect("meta").len() < size_before,
+            "compaction must shrink the journal"
+        );
+        let extra = Record::DoneStored {
+            id: "a1".into(),
+            degraded: false,
+        };
+        journal.append(&extra).expect("appends after compaction");
+        drop(journal);
+        let (_journal, replayed) = Journal::open(&tmp.0).expect("reopens");
+        assert_eq!(replayed, vec![keep[0].clone(), extra]);
+    }
+
+    #[test]
+    fn compaction_to_empty_is_valid() {
+        let tmp = TempJournal::new("compact-empty");
+        let (journal, _) = Journal::open(&tmp.0).expect("opens");
+        for r in sample() {
+            journal.append(&r).expect("appends");
+        }
+        journal.compact(&[]).expect("compacts");
+        assert_eq!(std::fs::metadata(&tmp.0).expect("meta").len(), 0);
+        drop(journal);
+        let (_journal, replayed) = Journal::open(&tmp.0).expect("reopens");
         assert!(replayed.is_empty());
     }
 }

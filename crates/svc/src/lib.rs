@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod spec;
+pub mod store;
 
 pub use engine::{Engine, EngineConfig};
 pub use server::{Server, ServiceConfig};

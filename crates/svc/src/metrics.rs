@@ -9,7 +9,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::store::StoreStats;
 
 /// Upper bounds (seconds) of the scheduling-latency histogram buckets;
 /// an implicit `+Inf` bucket completes the set.
@@ -69,6 +71,14 @@ pub struct Metrics {
     pub worker_panics: AtomicU64,
     /// Journal records applied during startup crash recovery.
     pub journal_replayed: AtomicU64,
+    /// Journal records dropped by startup compaction (their response
+    /// bytes are durable in the schedule store).
+    pub journal_compacted: AtomicU64,
+    /// Counters of the persistent schedule store, shared with the
+    /// store itself; set once when a `--store-dir` is configured. The
+    /// whole `noc_svc_store_*` family is omitted from `/metrics` until
+    /// then.
+    store: OnceLock<Arc<StoreStats>>,
     /// Current job-queue depth (gauge, maintained by the engine).
     pub queue_depth: AtomicU64,
     /// Jobs currently executing on scheduler workers (gauge). Together
@@ -99,6 +109,13 @@ impl Metrics {
     #[must_use]
     pub fn total_requests(&self) -> u64 {
         self.requests.lock().expect("metrics lock").values().sum()
+    }
+
+    /// Registers the persistent store's counters for rendering. Called
+    /// once at engine startup when a store directory is configured;
+    /// later calls are ignored.
+    pub fn set_store_stats(&self, stats: Arc<StoreStats>) {
+        let _ = self.store.set(stats);
     }
 
     /// Records one scheduling execution latency, in seconds.
@@ -207,6 +224,74 @@ impl Metrics {
             "Journal records applied during startup crash recovery.",
             &self.journal_replayed,
         );
+        counter(
+            &mut out,
+            "noc_svc_journal_compacted_total",
+            "Journal records dropped by startup compaction (bytes durable in the store).",
+            &self.journal_compacted,
+        );
+        if let Some(store) = self.store.get() {
+            counter(
+                &mut out,
+                "noc_svc_store_hits_total",
+                "Disk-tier store lookups that returned verified bytes.",
+                &store.hits,
+            );
+            counter(
+                &mut out,
+                "noc_svc_store_misses_total",
+                "Disk-tier store lookups that found nothing.",
+                &store.misses,
+            );
+            counter(
+                &mut out,
+                "noc_svc_store_quarantined_total",
+                "Store records dropped because their bytes failed verification.",
+                &store.quarantined,
+            );
+            counter(
+                &mut out,
+                "noc_svc_store_faults_total",
+                "Disk I/O failures observed by the store.",
+                &store.faults,
+            );
+            counter(
+                &mut out,
+                "noc_svc_store_torn_tails_total",
+                "Torn active-segment tails truncated at store open.",
+                &store.torn_tails,
+            );
+            counter(
+                &mut out,
+                "noc_svc_store_rotations_total",
+                "Store segment rotations.",
+                &store.rotations,
+            );
+            let gauge = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+                    v.load(Ordering::Relaxed)
+                ));
+            };
+            gauge(
+                &mut out,
+                "noc_svc_store_degraded",
+                "1 while the disk tier is out of service (memory-only mode).",
+                &store.degraded,
+            );
+            gauge(
+                &mut out,
+                "noc_svc_store_records",
+                "Records currently indexed in the store.",
+                &store.records,
+            );
+            gauge(
+                &mut out,
+                "noc_svc_store_segments",
+                "Store segment files (sealed + active).",
+                &store.segments,
+            );
+        }
         out.push_str(&format!(
             "# HELP noc_svc_queue_depth Jobs waiting in the bounded queue.\n\
              # TYPE noc_svc_queue_depth gauge\n\
@@ -331,6 +416,29 @@ mod tests {
         let text = m.render();
         assert!(text.contains("# TYPE noc_svc_jobs_inflight gauge"));
         assert!(text.contains("noc_svc_jobs_inflight 2"));
+    }
+
+    #[test]
+    fn store_family_renders_only_once_registered() {
+        let m = Metrics::new();
+        assert!(
+            !m.render().contains("noc_svc_store_"),
+            "store family is omitted until a store is configured"
+        );
+        let stats = Arc::new(StoreStats::default());
+        stats.hits.fetch_add(3, Ordering::Relaxed);
+        stats.quarantined.fetch_add(1, Ordering::Relaxed);
+        stats.degraded.store(1, Ordering::Relaxed);
+        stats.records.store(42, Ordering::Relaxed);
+        m.set_store_stats(stats);
+        m.journal_compacted.fetch_add(9, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("noc_svc_store_hits_total 3"));
+        assert!(text.contains("noc_svc_store_quarantined_total 1"));
+        assert!(text.contains("# TYPE noc_svc_store_degraded gauge"));
+        assert!(text.contains("noc_svc_store_degraded 1"));
+        assert!(text.contains("noc_svc_store_records 42"));
+        assert!(text.contains("noc_svc_journal_compacted_total 9"));
     }
 
     #[test]

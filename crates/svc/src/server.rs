@@ -51,6 +51,11 @@ pub struct ServiceConfig {
     pub budget_ms: Option<u64>,
     /// Path of the crash-safe job journal; `None` disables journaling.
     pub journal: Option<String>,
+    /// Directory of the persistent schedule store; `None` serves from
+    /// the in-memory cache tier only.
+    pub store_dir: Option<String>,
+    /// Segment-rotation threshold for the persistent store, bytes.
+    pub store_segment_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +71,8 @@ impl Default for ServiceConfig {
             io_timeout: Duration::from_secs(30),
             budget_ms: None,
             journal: None,
+            store_dir: None,
+            store_segment_bytes: crate::store::DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -94,6 +101,8 @@ impl Server {
             threads: config.threads,
             budget_ms: config.budget_ms,
             journal: config.journal.clone(),
+            store_dir: config.store_dir.clone(),
+            store_segment_bytes: config.store_segment_bytes,
         })?;
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -277,8 +286,8 @@ fn route(engine: &Engine, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n".to_owned()),
         ("GET", "/metrics") => Response::text(200, engine.metrics.render()),
-        ("POST", "/v1/schedule") => schedule_route(engine, request),
-        ("POST", "/v1/schedule/delta") => delta_route(engine, request),
+        ("POST", "/v1/schedule") => with_store_state(engine, schedule_route(engine, request)),
+        ("POST", "/v1/schedule/delta") => with_store_state(engine, delta_route(engine, request)),
         ("POST", "/v1/validate") => match std::str::from_utf8(&request.body) {
             Err(_) => Response::json(400, error_body("request body is not UTF-8")),
             Ok(body) => match engine.validate(body) {
@@ -375,6 +384,17 @@ fn delta_route(engine: &Engine, request: &Request) -> Response {
 fn accepted_response(id: &str) -> Response {
     Response::json(202, format!("{{\"id\":\"{id}\",\"status\":\"queued\"}}"))
         .with_header("X-Request-Hash", id)
+}
+
+/// Flags schedule responses served while the persistent store's disk
+/// tier is down: responses stay byte-correct, but they are no longer
+/// durable across a restart.
+fn with_store_state(engine: &Engine, resp: Response) -> Response {
+    if engine.store_degraded() {
+        resp.with_header("Store-Degraded", "memory-only")
+    } else {
+        resp
+    }
 }
 
 /// Marks a degraded (EDF fallback) response so clients can detect the

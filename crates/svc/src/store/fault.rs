@@ -1,0 +1,125 @@
+//! Deterministic disk-fault injection for the persistent store.
+//!
+//! Faults are *scripted*, not random: a [`FaultPlan`] maps operation
+//! indices (counted separately per channel — writes and reads) to the
+//! fault that should fire on that operation. Tests arm a plan, drive
+//! the store, and know exactly which `put`/`get` hits the fault, so
+//! every degradation and quarantine path is reproducible without a
+//! filesystem shim or an RNG.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The injectable disk faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The syscall fails; nothing reaches the file.
+    WriteError,
+    /// Half the frame reaches the file, then the syscall fails — the
+    /// signature of a crash (or `kill -9`) mid-append.
+    TornWrite,
+    /// The operation *succeeds* but one payload byte is flipped —
+    /// silent bit rot, caught only by the read-time checksum.
+    BitFlip,
+    /// `ENOSPC`: the filesystem is full; nothing reaches the file.
+    DiskFull,
+}
+
+impl IoFault {
+    /// The `io::Error` this fault surfaces as (when it surfaces at all
+    /// — [`IoFault::BitFlip`] corrupts silently instead).
+    #[must_use]
+    pub fn to_error(self) -> io::Error {
+        match self {
+            IoFault::WriteError => io::Error::other("injected write error"),
+            IoFault::TornWrite => io::Error::other("injected torn write"),
+            IoFault::BitFlip => io::Error::other("injected bit flip"),
+            IoFault::DiskFull => io::Error::from_raw_os_error(28), // ENOSPC
+        }
+    }
+}
+
+/// A scripted schedule of faults, keyed by per-channel operation index
+/// (0-based: the first record append is write op 0, the first record
+/// fetch is read op 0). Each armed fault fires exactly once.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+    write_faults: Mutex<HashMap<u64, IoFault>>,
+    read_faults: Mutex<HashMap<u64, IoFault>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults fire until some are armed.
+    #[must_use]
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms `fault` to fire on the `op`-th record write.
+    pub fn fail_write(&self, op: u64, fault: IoFault) {
+        self.write_faults
+            .lock()
+            .expect("fault plan lock")
+            .insert(op, fault);
+    }
+
+    /// Arms `fault` to fire on the `op`-th record read.
+    pub fn fail_read(&self, op: u64, fault: IoFault) {
+        self.read_faults
+            .lock()
+            .expect("fault plan lock")
+            .insert(op, fault);
+    }
+
+    /// Advances the write-op counter and takes the fault (if any)
+    /// armed for this operation.
+    pub(crate) fn next_write(&self) -> Option<IoFault> {
+        let op = self.write_ops.fetch_add(1, Ordering::Relaxed);
+        self.write_faults
+            .lock()
+            .expect("fault plan lock")
+            .remove(&op)
+    }
+
+    /// Advances the read-op counter and takes the fault (if any)
+    /// armed for this operation.
+    pub(crate) fn next_read(&self) -> Option<IoFault> {
+        let op = self.read_ops.fetch_add(1, Ordering::Relaxed);
+        self.read_faults
+            .lock()
+            .expect("fault plan lock")
+            .remove(&op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_on_their_op_index_exactly_once() {
+        let plan = FaultPlan::new();
+        plan.fail_write(1, IoFault::DiskFull);
+        assert_eq!(plan.next_write(), None, "op 0 is clean");
+        assert_eq!(plan.next_write(), Some(IoFault::DiskFull), "op 1 faults");
+        assert_eq!(plan.next_write(), None, "op 2 is clean again");
+    }
+
+    #[test]
+    fn read_and_write_channels_are_independent() {
+        let plan = FaultPlan::new();
+        plan.fail_read(0, IoFault::BitFlip);
+        assert_eq!(plan.next_write(), None, "write op 0 unaffected");
+        assert_eq!(plan.next_read(), Some(IoFault::BitFlip));
+    }
+
+    #[test]
+    fn disk_full_surfaces_as_enospc() {
+        let err = IoFault::DiskFull.to_error();
+        assert_eq!(err.raw_os_error(), Some(28));
+    }
+}
