@@ -15,6 +15,21 @@
 //! overrides the artifact path. Exits non-zero on any transport error,
 //! non-200 answer, or determinism violation.
 //!
+//! `--idle-conns <N>` additionally parks N idle keep-alive
+//! connections on the server for the whole wave (the reactor's 10k+
+//! concurrent-connection gate) and fails the run if a post-wave
+//! sample of them no longer answers. Raise `ulimit -n` accordingly,
+//! and give the server an `--timeout-ms`-scale io timeout so the
+//! keep-alive sweep doesn't reap the pool mid-wave.
+//!
+//! Cluster mode, for the multi-node CI gate:
+//!
+//! * `--nodes <addr,addr,...>` — sprays the fixed-seed problem mix
+//!   round-robin across the listed nodes (fill), then demands every
+//!   node answer every problem byte-identically (verify), counting
+//!   peer cache-fills vs. local recomputes from each node's
+//!   `noc_svc_cluster_*` metrics, and writes `BENCH_cluster.json`.
+//!
 //! Chaos modes, for the crash-recovery CI gate:
 //!
 //! * `--chaos [--jobs N] [--state chaos_state.json]` — attacks a
@@ -68,7 +83,7 @@
 //!   writes the `BENCH_store_svc.json` artifact.
 
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -113,6 +128,15 @@ struct ServiceBench {
     cache_hit_rate: f64,
     schedules_executed: u64,
     requests_coalesced: u64,
+    /// TCP connections the workers opened, summed. Equal to the
+    /// worker count when keep-alive reuse is perfect (429 retries and
+    /// all — a regression here means a connect stampede).
+    sockets_opened: u64,
+    /// Extra idle keep-alive connections held open through the wave
+    /// (`--idle-conns`), and how many of a probed sample still
+    /// answered afterwards.
+    idle_connections: usize,
+    idle_alive_after: usize,
     /// Present only with `--stats`: per-stage scheduling cost over the
     /// wave, from the server's own `noc_svc_stage_seconds` histograms.
     stage_seconds: Option<Vec<StageDelta>>,
@@ -127,6 +151,8 @@ struct WorkerResult {
     bodies: HashMap<usize, String>,
     /// Determinism violations observed *within* this worker.
     violations: usize,
+    /// TCP connections this worker's client opened.
+    sockets_opened: u64,
 }
 
 fn main() {
@@ -147,6 +173,8 @@ fn main() {
     let mut expect_store = false;
     let mut jobs = 8usize;
     let mut state_path = "chaos_state.json".to_owned();
+    let mut nodes_text: Option<String> = None;
+    let mut idle_conns = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -177,6 +205,8 @@ fn main() {
             "--store-fill" => store_fill = true,
             "--store-verify" => store_verify = true,
             "--expect-store" => expect_store = true,
+            "--nodes" => nodes_text = Some(flag_value(&mut i)),
+            "--idle-conns" => idle_conns = parse(&flag_value(&mut i)),
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 std::process::exit(2);
@@ -245,6 +275,28 @@ fn main() {
             &out,
             expect_store,
         ));
+    }
+    if let Some(nodes_text) = nodes_text {
+        let mut nodes = Vec::new();
+        for part in nodes_text
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
+            match part.parse::<SocketAddr>() {
+                Ok(node) => nodes.push((part.to_owned(), node)),
+                Err(_) => {
+                    eprintln!("error: bad --nodes address {part:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if nodes.len() < 2 {
+            eprintln!("error: --nodes needs at least two comma-separated addresses");
+            std::process::exit(2);
+        }
+        let out = out_path.unwrap_or_else(|| "BENCH_cluster.json".to_owned());
+        std::process::exit(run_cluster(&nodes, seed, graphs, timeout, &out));
     }
     if chaos {
         std::process::exit(run_chaos(addr, seed, jobs, timeout, &state_path));
@@ -315,6 +367,30 @@ fn main() {
         HashMap::new()
     };
 
+    // `--idle-conns`: park N extra keep-alive connections on the
+    // server for the whole wave. Against the reactor this costs a few
+    // poll entries, not threads — the point of the flag is proving
+    // that request latency and byte determinism hold while tens of
+    // thousands of idle sockets sit open.
+    let mut idle_pool: Vec<std::net::TcpStream> = Vec::new();
+    if idle_conns > 0 {
+        let opening = Instant::now();
+        for k in 0..idle_conns {
+            match std::net::TcpStream::connect_timeout(&addr, Duration::from_secs(5)) {
+                Ok(conn) => idle_pool.push(conn),
+                Err(e) => {
+                    eprintln!("error: idle connection {k} failed: {e} (raise ulimit -n?)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!(
+            "holding {} idle keep-alive connections (opened in {:.2}s)",
+            idle_pool.len(),
+            opening.elapsed().as_secs_f64()
+        );
+    }
+
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|worker| {
@@ -333,12 +409,14 @@ fn main() {
     let mut errors = 0usize;
     let mut retries_429 = 0usize;
     let mut violations = 0usize;
+    let mut sockets_opened = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     let mut reference: HashMap<usize, String> = HashMap::new();
     for r in results {
         errors += r.errors;
         retries_429 += r.retries_429;
         violations += r.violations;
+        sockets_opened += r.sockets_opened;
         latencies.extend(r.latencies_us);
         for (idx, body) in r.bodies {
             match reference.get(&idx) {
@@ -397,6 +475,28 @@ fn main() {
         }
         deltas
     });
+    // Prove a sample of the idle pool is still live keep-alive state,
+    // not half-closed sockets the server forgot.
+    let mut idle_alive_after = 0usize;
+    if !idle_pool.is_empty() {
+        let stride = (idle_pool.len() / 64).max(1);
+        let mut probed = 0usize;
+        for conn in idle_pool.iter_mut().step_by(stride) {
+            probed += 1;
+            if idle_probe(conn) {
+                idle_alive_after += 1;
+            }
+        }
+        println!("idle pool: {idle_alive_after}/{probed} sampled connections still answer");
+        if idle_alive_after < probed {
+            eprintln!(
+                "error: {} sampled idle connections died",
+                probed - idle_alive_after
+            );
+            errors += probed - idle_alive_after;
+        }
+    }
+
     let report = ServiceBench {
         addr: addr_text,
         requests: done,
@@ -423,8 +523,20 @@ fn main() {
         },
         schedules_executed: scrape(&metrics, "noc_svc_schedules_executed_total"),
         requests_coalesced: scrape(&metrics, "noc_svc_requests_coalesced_total"),
+        sockets_opened,
+        idle_connections: idle_pool.len(),
+        idle_alive_after,
         stage_seconds,
     };
+    if stats {
+        println!(
+            "reactor: {} connections open, {} accepted, {} wakeups, {} write stalls",
+            scrape(&metrics, "noc_svc_reactor_connections"),
+            scrape(&metrics, "noc_svc_reactor_accepted_total"),
+            scrape(&metrics, "noc_svc_reactor_wakeups_total"),
+            scrape(&metrics, "noc_svc_reactor_write_stalls_total"),
+        );
+    }
 
     println!(
         "{done} requests in {wall_s:.2}s ({:.0} rps) | p50 {:.2}ms p99 {:.2}ms | \
@@ -471,6 +583,7 @@ fn run_worker(
         retries_429: 0,
         bodies: HashMap::new(),
         violations: 0,
+        sockets_opened: 0,
     };
     let mut client = match Client::connect_retry(addr, Duration::from_secs(10)) {
         Ok(c) => c,
@@ -488,12 +601,20 @@ fn run_worker(
         match client.post("/v1/schedule", &mix[idx]) {
             Ok(resp) => {
                 if resp.status == 429 {
-                    // Honest backpressure: honor Retry-After and retry
-                    // the same request instead of counting an error.
+                    // Honest backpressure: honor the server's
+                    // Retry-After (capped — it only ever asks for a
+                    // second) and retry the same request on the SAME
+                    // keep-alive socket instead of counting an error.
                     // Not a completed request — it contributes neither a
                     // latency sample nor a throughput count.
+                    let wait = resp
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .unwrap_or(Duration::from_millis(50))
+                        .min(Duration::from_secs(2));
                     result.retries_429 += 1;
-                    std::thread::sleep(Duration::from_millis(50));
+                    std::thread::sleep(wait);
                     continue;
                 }
                 result.latencies_us.push(sent.elapsed().as_micros() as u64);
@@ -523,7 +644,214 @@ fn run_worker(
         }
         n += clients;
     }
+    result.sockets_opened = client.sockets_opened();
     result
+}
+
+/// Sends one keep-alive `/healthz` round trip on a raw idle socket.
+fn idle_probe(conn: &mut std::net::TcpStream) -> bool {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    if conn
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: noc-svc\r\nContent-Length: 0\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut buf = [0u8; 512];
+    match conn.read(&mut buf) {
+        Ok(n) if n > 0 => buf[..n].starts_with(b"HTTP/1.1 200"),
+        _ => false,
+    }
+}
+
+/// The `BENCH_cluster.json` artifact.
+#[derive(Debug, Serialize)]
+struct ClusterBench {
+    nodes: Vec<String>,
+    /// Distinct problems sprayed in the fill round.
+    distinct_problems: usize,
+    /// Requests answered across both rounds.
+    requests: usize,
+    errors: usize,
+    determinism_violations: usize,
+    /// Cross-node cache fills during the verify round (misses answered
+    /// by fetching the owner's bytes instead of recomputing).
+    peer_fills: u64,
+    /// Peer-fill probes that found nothing and fell back to compute.
+    peer_fill_misses: u64,
+    /// Schedule computations across the cluster — the fill round's
+    /// cost; the verify round must not add recomputes beyond what
+    /// peer fill cannot cover.
+    schedules_executed: u64,
+    /// Internal lookups each node served for its peers.
+    lookups_served: u64,
+    /// Replication traffic observed (sent/received done-records).
+    replication_sent: u64,
+    replication_received: u64,
+    wall_s: f64,
+}
+
+/// Multi-node driver: fill the cluster through round-robin sprayed
+/// requests, then demand byte-identical answers for every problem
+/// from **every** node, counting peer fills vs. local recomputes.
+fn run_cluster(
+    nodes: &[(String, SocketAddr)],
+    seed: u64,
+    graphs: usize,
+    timeout: Duration,
+    out_path: &str,
+) -> i32 {
+    println!(
+        "== svc_load --nodes: {} nodes, {graphs} graphs, seed {seed:#x} ==",
+        nodes.len()
+    );
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+    let mut mix: Vec<String> = Vec::new();
+    for g in 0..graphs {
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(g as u64));
+        cfg.task_count = 10 + (g % 4) * 2;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        for scheduler in &SCHEDULERS {
+            mix.push(format!(
+                r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#
+            ));
+        }
+    }
+
+    let mut clients: Vec<Client> = Vec::new();
+    for (name, node) in nodes {
+        match Client::connect_retry(*node, Duration::from_secs(10)) {
+            Ok(mut c) => {
+                let _ = c.set_timeout(timeout);
+                clients.push(c);
+            }
+            Err(e) => {
+                eprintln!("error: cannot reach node {name}: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let scrape_cluster = |clients: &mut Vec<Client>, name: &str| -> u64 {
+        let mut total = 0;
+        for c in clients.iter_mut() {
+            total += scrape(&c.get("/metrics").map(|r| r.body).unwrap_or_default(), name);
+        }
+        total
+    };
+    let computes_before = scrape_cluster(&mut clients, "noc_svc_schedules_executed_total");
+
+    let started = Instant::now();
+    let mut errors = 0usize;
+    let mut violations = 0usize;
+    let mut requests = 0usize;
+
+    // Round 1 — fill: each problem goes to one node, round-robin, so
+    // ownership and store placement spread across the ring.
+    let mut reference: Vec<Option<String>> = vec![None; mix.len()];
+    for (idx, body) in mix.iter().enumerate() {
+        let n = idx % clients.len();
+        match clients[n].post("/v1/schedule", body) {
+            Ok(resp) if resp.status == 200 => {
+                requests += 1;
+                reference[idx] = Some(resp.body);
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "fill: node {} answered {} for problem {idx}: {}",
+                    nodes[n].0, resp.status, resp.body
+                );
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("fill: node {} failed on problem {idx}: {e}", nodes[n].0);
+                errors += 1;
+            }
+        }
+    }
+
+    let fills_before = scrape_cluster(&mut clients, "noc_svc_cluster_peer_fill_total");
+
+    // Round 2 — verify: every node must answer every problem with the
+    // fill round's exact bytes, wherever those bytes have to come
+    // from (local cache, the owner's store via peer fill, or a
+    // replica).
+    for (idx, body) in mix.iter().enumerate() {
+        let Some(expected) = &reference[idx] else {
+            continue;
+        };
+        for (n, client) in clients.iter_mut().enumerate() {
+            match client.post("/v1/schedule", body) {
+                Ok(resp) if resp.status == 200 => {
+                    requests += 1;
+                    if resp.body != *expected {
+                        eprintln!(
+                            "determinism violation: node {} diverges on problem {idx}",
+                            nodes[n].0
+                        );
+                        violations += 1;
+                    }
+                }
+                Ok(resp) => {
+                    eprintln!(
+                        "verify: node {} answered {} for problem {idx}",
+                        nodes[n].0, resp.status
+                    );
+                    errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("verify: node {} failed on problem {idx}: {e}", nodes[n].0);
+                    errors += 1;
+                }
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let report = ClusterBench {
+        nodes: nodes.iter().map(|(name, _)| name.clone()).collect(),
+        distinct_problems: mix.len(),
+        requests,
+        errors,
+        determinism_violations: violations,
+        peer_fills: scrape_cluster(&mut clients, "noc_svc_cluster_peer_fill_total")
+            .saturating_sub(fills_before),
+        peer_fill_misses: scrape_cluster(&mut clients, "noc_svc_cluster_peer_fill_misses_total"),
+        schedules_executed: scrape_cluster(&mut clients, "noc_svc_schedules_executed_total")
+            .saturating_sub(computes_before),
+        lookups_served: scrape_cluster(&mut clients, "noc_svc_cluster_lookups_served_total"),
+        replication_sent: scrape_cluster(&mut clients, "noc_svc_cluster_replication_sent_total"),
+        replication_received: scrape_cluster(
+            &mut clients,
+            "noc_svc_cluster_replication_received_total",
+        ),
+        wall_s,
+    };
+    println!(
+        "{requests} requests across {} nodes in {wall_s:.2}s | {} peer fills, {} computes, \
+         {} lookups served | {errors} errors, {violations} determinism violations",
+        nodes.len(),
+        report.peer_fills,
+        report.schedules_executed,
+        report.lookups_served,
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return 1;
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            return 1;
+        }
+    }
+    i32::from(errors > 0 || violations > 0)
 }
 
 /// One async job recorded by the chaos phase for the verify phase.

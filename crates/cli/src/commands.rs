@@ -80,7 +80,8 @@ USAGE:
   noceas serve [--addr 127.0.0.1:8533] [--http-workers N]
                [--sched-workers N] [--queue N] [--cache N] [--threads N]
                [--budget-ms MS] [--journal PATH] [--store-dir DIR]
-               [--store-segment-bytes N]
+               [--store-segment-bytes N] [--net reactor|thread]
+               [--peers ADDR,ADDR,...] [--self-addr ADDR]
       Run the scheduling service: POST /v1/schedule, POST /v1/validate,
       GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
       bounded at --queue entries (429 + Retry-After past it) and
@@ -98,6 +99,17 @@ USAGE:
       (Store-Degraded header + noc_svc_store_degraded metric) instead
       of failing requests. --store-segment-bytes caps a segment before
       rotation (default 8 MiB).
+      --net picks the entry path: the default `reactor` multiplexes
+      every connection over poll(2) event loops (tens of thousands of
+      idle keep-alive clients on --http-workers threads); `thread`
+      keeps the original blocking thread-per-connection pool. The two
+      answer byte-identically.
+      --peers runs multi-node: requests hash onto a consistent-hash
+      ring over the peer list, cache misses probe the owning peer
+      before computing locally, done-records replicate to the ring
+      successor for failover, and every node answers byte-identically
+      (see docs/CLUSTER.md). --self-addr sets this node's ring
+      identity when it differs from --addr (e.g. behind NAT).
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -525,8 +537,25 @@ fn validate_cmd(args: &Args) -> Result<String, String> {
 }
 
 fn serve(args: &Args) -> Result<String, String> {
+    let net = match args.get_or("net", "reactor") {
+        "reactor" => noc_svc::NetMode::Reactor,
+        "thread" => noc_svc::NetMode::Thread,
+        other => return Err(format!("bad --net `{other}` (reactor|thread)")),
+    };
+    let peers = match args.get("peers") {
+        None => Vec::new(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_owned)
+            .collect(),
+    };
     let config = noc_svc::ServiceConfig {
         addr: args.get_or("addr", "127.0.0.1:8533").to_owned(),
+        net,
+        peers,
+        self_addr: args.get("self-addr").map(str::to_owned),
         http_workers: args.get_num("http-workers", 4usize)?,
         sched_workers: args.get_num("sched-workers", 2usize)?,
         queue_capacity: args.get_num("queue", 64usize)?,

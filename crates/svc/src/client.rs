@@ -7,6 +7,10 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+/// Cap on a fresh TCP connect, so an unresponsive address fails in
+/// bounded time instead of the platform's (minutes-long) default.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// One client response.
 #[derive(Debug, Clone)]
 pub struct ClientResponse {
@@ -34,6 +38,7 @@ pub struct Client {
     addr: SocketAddr,
     conn: Option<TcpStream>,
     timeout: Duration,
+    sockets_opened: u64,
 }
 
 impl Client {
@@ -53,7 +58,17 @@ impl Client {
             addr,
             conn: None,
             timeout,
+            sockets_opened: 0,
         }
+    }
+
+    /// TCP connections this client has opened over its lifetime. A
+    /// well-behaved keep-alive workload stays at 1; load drivers use
+    /// this to prove retries (e.g. after 429) reuse the socket
+    /// instead of stampeding the server with fresh connects.
+    #[must_use]
+    pub fn sockets_opened(&self) -> u64 {
+        self.sockets_opened
     }
 
     /// Changes the read/write timeout; applies to the current
@@ -100,12 +115,13 @@ impl Client {
         conn.set_write_timeout(Some(self.timeout))?;
         conn.set_nodelay(true)?;
         self.conn = Some(conn);
+        self.sockets_opened += 1;
         Ok(())
     }
 
     fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
         if self.conn.is_none() {
-            let conn = TcpStream::connect(self.addr)?;
+            let conn = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT.min(self.timeout))?;
             self.install(conn)?;
         }
         Ok(self.conn.as_mut().expect("connection installed"))
@@ -135,12 +151,17 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
+        // Only a *reused* keep-alive connection earns a reconnect
+        // retry: the server may have dropped it while idle, which is
+        // not an error worth surfacing. A failure on a connection we
+        // just opened is real — retrying it with yet another socket
+        // turns one overloaded server into a connect stampede (each
+        // 429/timeout burst doubling the socket count).
+        let reused = self.conn.is_some();
         let result = self.request_once(method, path, body);
-        if result.is_ok() {
+        if result.is_ok() || !reused {
             return result;
         }
-        // The server may have dropped an idle keep-alive connection;
-        // reconnect once before giving up.
         self.conn = None;
         self.request_once(method, path, body)
     }
@@ -242,7 +263,7 @@ mod tests {
         // Accept connections but never answer them.
         let mute = std::thread::spawn(move || {
             let mut held = Vec::new();
-            for conn in listener.incoming().take(2) {
+            for conn in listener.incoming().take(1) {
                 held.push(conn);
             }
             held
@@ -259,13 +280,47 @@ mod tests {
             ),
             "got {err:?}"
         );
-        // Two attempts (request() retries once), each bounded by the
-        // 50 ms timeout, plus slack for a loaded CI machine.
+        // A fresh connection gets no reconnect retry: one attempt,
+        // bounded by the 50 ms timeout, plus slack for a loaded CI
+        // machine.
         assert!(
             started.elapsed() < Duration::from_secs(5),
             "timeout must bound the wait"
         );
+        assert_eq!(
+            client.sockets_opened(),
+            1,
+            "a failed fresh connection must not trigger another connect"
+        );
         drop(client);
         let _ = mute.join();
+    }
+
+    #[test]
+    fn reused_connection_failure_retries_on_a_fresh_socket_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        // Answer one request, close the connection while it idles,
+        // then answer one more request on a new connection — the
+        // classic dropped-keep-alive shape.
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut conn, _) = listener.accept().expect("accepts");
+                let mut buf = [0u8; 4096];
+                let _ = conn.read(&mut buf).expect("reads request");
+                conn.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                    .expect("writes");
+                // Dropping `conn` closes the keep-alive connection.
+            }
+        });
+        let mut client = Client::with_timeout(addr, Duration::from_secs(5));
+        let first = client.get("/healthz").expect("first request");
+        assert_eq!(first.status, 200);
+        // The server closed our socket; the retry must transparently
+        // reconnect exactly once.
+        let second = client.get("/healthz").expect("second request");
+        assert_eq!(second.status, 200);
+        assert_eq!(client.sockets_opened(), 2, "one reconnect, no stampede");
+        let _ = server.join();
     }
 }

@@ -1,0 +1,448 @@
+//! Multi-node mode: consistent-hash ownership, peer cache-fill and
+//! best-effort replication.
+//!
+//! Every node runs the full single-node engine — admission, queue,
+//! journal, tiered store — and the cluster layer only changes where
+//! *bytes* come from and where they are persisted:
+//!
+//! - **Ownership.** The [`Ring`] maps each request hash to an owner
+//!   node and its successor. Schedules are byte-deterministic, so any
+//!   node *can* compute any request; ownership decides which nodes
+//!   keep the record on disk.
+//! - **Peer cache-fill.** On a local store miss, a node asks the
+//!   owner (then the owner's successor) with one internal
+//!   `GET /v1/internal/lookup/<hash>` before scheduling locally — a
+//!   cross-node cache hierarchy, not a proxy: the fill result is
+//!   served and cached like a local hit, and a miss everywhere falls
+//!   back to local compute, so a dead peer can never fail a request.
+//! - **Replication.** When a node finishes a job it enqueues the done
+//!   record for asynchronous delivery to the owner and successor
+//!   (`POST /v1/internal/record/<hash>`), so the owner's death leaves
+//!   a second node able to serve the exact bytes with zero recompute.
+//!
+//! Responses stay byte-identical wherever they are answered: the
+//! envelope carries the canonical request key and the exact stored
+//! body, and receivers verify the key hashes to the id they were
+//! given before trusting it.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::JobOutput;
+use crate::client::Client;
+
+mod ring;
+
+pub use ring::{Ring, VNODES};
+
+/// Replication backlog bound; pushes past it are dropped (and counted
+/// as failed) — replication is best-effort and must never grow memory
+/// without bound when a peer is down.
+const REPL_QUEUE_MAX: usize = 4096;
+
+/// Cluster membership and tunables.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's address as it appears in every node's peer list —
+    /// the ring identity, which must match what other nodes dial.
+    pub self_addr: String,
+    /// The full membership, including this node, in any order.
+    pub peers: Vec<String>,
+    /// Per-operation timeout for internal lookups and replication
+    /// deliveries.
+    pub timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A config for `self_addr` within `peers` with the default 1 s
+    /// internal timeout.
+    #[must_use]
+    pub fn new(self_addr: impl Into<String>, peers: Vec<String>) -> ClusterConfig {
+        ClusterConfig {
+            self_addr: self_addr.into(),
+            peers,
+            timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Counters the cluster layer maintains, rendered as the
+/// `noc_svc_cluster_*` metrics family.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Local misses answered by a peer's stored bytes.
+    pub peer_fills: AtomicU64,
+    /// Local misses no consulted peer could answer (fell back to
+    /// local compute).
+    pub peer_fill_misses: AtomicU64,
+    /// Internal lookups that failed in transport or returned an
+    /// envelope that did not verify.
+    pub peer_fill_errors: AtomicU64,
+    /// Internal lookups answered for peers from the local store.
+    pub lookups_served: AtomicU64,
+    /// Done records delivered to a peer.
+    pub replication_sent: AtomicU64,
+    /// Done records accepted from a peer.
+    pub replication_received: AtomicU64,
+    /// Deliveries that failed (peer down, timeout, queue overflow).
+    pub replication_failed: AtomicU64,
+    /// Current replication backlog depth (gauge).
+    pub replication_lag: AtomicU64,
+}
+
+/// The wire envelope of one done record: everything a peer needs to
+/// serve and persist the response exactly as the computing node did.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RecordEnvelope {
+    /// Canonical request string — the store key. Receivers verify
+    /// `content_hash(key)` matches the id they were addressed with.
+    pub key: String,
+    /// The exact response body bytes.
+    pub body: String,
+    /// Whether the body is a degraded (EDF-fallback) answer.
+    pub degraded: bool,
+    /// The producing run's stats block, if one was traced.
+    #[serde(default)]
+    pub stats: Option<String>,
+}
+
+impl RecordEnvelope {
+    /// Builds the envelope for a finished output under `key`.
+    #[must_use]
+    pub fn from_output(key: &str, output: &JobOutput) -> RecordEnvelope {
+        RecordEnvelope {
+            key: key.to_owned(),
+            body: output.body.as_str().to_owned(),
+            degraded: output.degraded,
+            stats: output.stats.as_ref().map(|s| s.as_str().to_owned()),
+        }
+    }
+
+    /// Converts the envelope back into the output it carries.
+    #[must_use]
+    pub fn into_output(self) -> JobOutput {
+        JobOutput {
+            body: Arc::new(self.body),
+            degraded: self.degraded,
+            stats: self.stats.map(Arc::new),
+        }
+    }
+}
+
+/// One queued replication delivery.
+struct ReplicaTask {
+    hash: String,
+    envelope: String,
+    targets: Vec<SocketAddr>,
+}
+
+/// The replication queue shared with the delivery thread.
+struct ReplState {
+    queue: Mutex<VecDeque<ReplicaTask>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// One node's view of the cluster: the ring, the peer dialing table
+/// and the background replicator.
+pub struct Cluster {
+    ring: Ring,
+    self_addr: String,
+    /// Ring identity → dialable address.
+    addrs: HashMap<String, SocketAddr>,
+    timeout: Duration,
+    stats: Arc<ClusterStats>,
+    repl: Arc<ReplState>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Builds the ring and spawns the replication delivery thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a peer address does not parse as `host:port`.
+    pub fn start(config: ClusterConfig, stats: Arc<ClusterStats>) -> io::Result<Cluster> {
+        let mut peers = config.peers.clone();
+        if !peers.contains(&config.self_addr) {
+            peers.push(config.self_addr.clone());
+        }
+        let mut addrs = HashMap::new();
+        for peer in &peers {
+            let addr: SocketAddr = peer.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("peer address `{peer}` does not parse: {e}"),
+                )
+            })?;
+            addrs.insert(peer.clone(), addr);
+        }
+        let repl = Arc::new(ReplState {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let worker = {
+            let repl = Arc::clone(&repl);
+            let stats = Arc::clone(&stats);
+            let timeout = config.timeout;
+            std::thread::Builder::new()
+                .name("svc-replicator".to_owned())
+                .spawn(move || replicator_loop(&repl, &stats, timeout))?
+        };
+        Ok(Cluster {
+            ring: Ring::new(peers),
+            self_addr: config.self_addr,
+            addrs,
+            timeout: config.timeout,
+            stats: Arc::clone(&stats),
+            repl,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// This node's ring identity.
+    #[must_use]
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// The ring (for tests and diagnostics).
+    #[must_use]
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The cluster counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<ClusterStats> {
+        &self.stats
+    }
+
+    /// Whether this node persists records for `id` on its disk tier:
+    /// true when it is the owner or the owner's successor.
+    #[must_use]
+    pub fn stores_locally(&self, id: &str) -> bool {
+        self.ring
+            .owner_chain(id, 2)
+            .iter()
+            .any(|n| *n == self.self_addr)
+    }
+
+    /// The peers worth asking for `id`, in lookup order: the owner,
+    /// then its successor, skipping this node.
+    fn lookup_chain(&self, id: &str) -> Vec<SocketAddr> {
+        self.ring
+            .owner_chain(id, 2)
+            .into_iter()
+            .filter(|n| *n != self.self_addr)
+            .filter_map(|n| self.addrs.get(n).copied())
+            .collect()
+    }
+
+    /// Peer cache-fill: asks the owner (then the successor) of `id`
+    /// for its stored record. Returns the output only when a peer
+    /// answered with an envelope whose canonical key matches `key` —
+    /// anything else (miss, dead peer, key mismatch) falls back to
+    /// local compute by returning `None`.
+    #[must_use]
+    pub fn fill(&self, id: &str, key: &str) -> Option<JobOutput> {
+        let chain = self.lookup_chain(id);
+        if chain.is_empty() {
+            return None;
+        }
+        for addr in chain {
+            let mut client = Client::with_timeout(addr, self.timeout);
+            match client.get(&format!("/v1/internal/lookup/{id}")) {
+                Ok(resp) if resp.status == 200 => {
+                    match serde_json::from_str::<RecordEnvelope>(&resp.body) {
+                        Ok(envelope) if envelope.key == key => {
+                            self.stats.peer_fills.fetch_add(1, Ordering::Relaxed);
+                            return Some(envelope.into_output());
+                        }
+                        // A non-matching key is a hash collision or a
+                        // corrupt peer — never serve those bytes.
+                        Ok(_) | Err(_) => {
+                            self.stats.peer_fill_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(resp) if resp.status == 404 => {}
+                Ok(_) | Err(_) => {
+                    self.stats.peer_fill_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.stats.peer_fill_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Enqueues best-effort delivery of a finished record to the
+    /// owner and successor of `id` (excluding this node). Never
+    /// blocks: past [`REPL_QUEUE_MAX`] the record is dropped and
+    /// counted as a failed delivery.
+    pub fn replicate(&self, id: &str, key: &str, output: &JobOutput) {
+        let targets: Vec<SocketAddr> = self
+            .ring
+            .owner_chain(id, 2)
+            .into_iter()
+            .filter(|n| *n != self.self_addr)
+            .filter_map(|n| self.addrs.get(n).copied())
+            .collect();
+        if targets.is_empty() || self.repl.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let envelope = serde_json::to_string(&RecordEnvelope::from_output(key, output))
+            .expect("envelope serialization is infallible");
+        let failed = u64::try_from(targets.len()).unwrap_or(u64::MAX);
+        let mut queue = self.repl.queue.lock().expect("replication lock");
+        if queue.len() >= REPL_QUEUE_MAX {
+            self.stats
+                .replication_failed
+                .fetch_add(failed, Ordering::Relaxed);
+            return;
+        }
+        queue.push_back(ReplicaTask {
+            hash: id.to_owned(),
+            envelope,
+            targets,
+        });
+        self.stats
+            .replication_lag
+            .store(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        self.repl.ready.notify_one();
+    }
+
+    /// Stops the replicator after it drains the current backlog and
+    /// joins it. Idempotent.
+    pub fn shutdown(&self) {
+        self.repl.stop.store(true, Ordering::Release);
+        self.repl.ready.notify_all();
+        if let Some(worker) = self.worker.lock().expect("replication lock").take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The delivery thread: pops queued records and POSTs them to their
+/// targets over per-peer keep-alive connections. Exits once stopped
+/// *and* drained, so a clean shutdown never abandons acknowledged
+/// work it could still deliver.
+fn replicator_loop(repl: &ReplState, stats: &ClusterStats, timeout: Duration) {
+    let mut clients: HashMap<SocketAddr, Client> = HashMap::new();
+    loop {
+        let task = {
+            let mut queue = repl.queue.lock().expect("replication lock");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    stats
+                        .replication_lag
+                        .store(queue.len() as u64, Ordering::Relaxed);
+                    break task;
+                }
+                if repl.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = repl.ready.wait(queue).expect("replication lock");
+            }
+        };
+        for addr in task.targets {
+            let client = clients
+                .entry(addr)
+                .or_insert_with(|| Client::with_timeout(addr, timeout));
+            match client.post(
+                &format!("/v1/internal/record/{}", task.hash),
+                &task.envelope,
+            ) {
+                Ok(resp) if resp.status == 200 => {
+                    stats.replication_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) | Err(_) => {
+                    stats.replication_failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_output() {
+        let mut output = JobOutput::new(Arc::new("{\"x\":1}".to_owned()));
+        output.degraded = true;
+        output.stats = Some(Arc::new("{\"stages\":[]}".to_owned()));
+        let envelope = RecordEnvelope::from_output("{\"graph\":{}}", &output);
+        let json = serde_json::to_string(&envelope).expect("serializes");
+        let back: RecordEnvelope = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.key, "{\"graph\":{}}");
+        let restored = back.into_output();
+        assert_eq!(restored.body.as_str(), output.body.as_str());
+        assert!(restored.degraded);
+        assert_eq!(
+            restored.stats.as_deref().map(String::as_str),
+            Some("{\"stages\":[]}")
+        );
+    }
+
+    #[test]
+    fn stores_locally_tracks_the_owner_chain() {
+        let peers = vec![
+            "127.0.0.1:9101".to_owned(),
+            "127.0.0.1:9102".to_owned(),
+            "127.0.0.1:9103".to_owned(),
+        ];
+        let clusters: Vec<Cluster> = peers
+            .iter()
+            .map(|p| {
+                Cluster::start(
+                    ClusterConfig::new(p.clone(), peers.clone()),
+                    Arc::new(ClusterStats::default()),
+                )
+                .expect("cluster starts")
+            })
+            .collect();
+        for i in 0..64 {
+            let id = crate::hash::content_hash(&format!("job-{i}"));
+            let holders = clusters.iter().filter(|c| c.stores_locally(&id)).count();
+            assert_eq!(holders, 2, "exactly owner + successor persist {id}");
+        }
+    }
+
+    #[test]
+    fn replication_to_a_dead_peer_counts_failures_not_hangs() {
+        let peers = vec!["127.0.0.1:9111".to_owned(), "127.0.0.1:9112".to_owned()];
+        let stats = Arc::new(ClusterStats::default());
+        let cluster = Cluster::start(
+            ClusterConfig {
+                self_addr: peers[0].clone(),
+                peers: peers.clone(),
+                timeout: Duration::from_millis(200),
+            },
+            Arc::clone(&stats),
+        )
+        .expect("cluster starts");
+        let id = crate::hash::content_hash("{\"k\":1}");
+        cluster.replicate(&id, "{\"k\":1}", &JobOutput::new(Arc::new("{}".to_owned())));
+        cluster.shutdown();
+        assert_eq!(stats.replication_sent.load(Ordering::Relaxed), 0);
+        assert!(stats.replication_failed.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.replication_lag.load(Ordering::Relaxed), 0);
+    }
+}

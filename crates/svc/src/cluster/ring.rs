@@ -1,0 +1,204 @@
+//! The consistent-hash ring that assigns request hashes to nodes.
+//!
+//! Each node is projected onto a `u64` circle at [`VNODES`] points
+//! (virtual nodes), so key ranges split finely and adding or removing
+//! one node remaps only the ~`1/n` of keys adjacent to its points.
+//! A key's position is the first 64 bits of its 32-hex content hash —
+//! the same value the persistent store indexes records under, which
+//! is what lets a peer resolve `GET /v1/internal/lookup/<hash>`
+//! straight from its disk index.
+//!
+//! Determinism contract: nodes are sorted and deduplicated on
+//! construction, so every node that is given the same peer *set* —
+//! in any order, with any duplication — builds the identical ring and
+//! agrees on every key's owner without coordination.
+
+use crate::hash::fnv1a64;
+
+/// Virtual nodes per physical node. 128 points keep the expected
+/// worst-node share within ~1.5x of ideal for small clusters (the
+/// property tests gate 2x), at a lookup cost of one binary search
+/// over `128 * n` points.
+pub const VNODES: usize = 128;
+
+/// A consistent-hash ring over a fixed peer set.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// Sorted, deduplicated node addresses; ring identity.
+    nodes: Vec<String>,
+    /// `(point, node index)` sorted by point; ties broken by node
+    /// index so construction order cannot leak into ownership.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds the ring for `nodes` (sorted and deduplicated first, so
+    /// peer-list order never matters).
+    #[must_use]
+    pub fn new(mut nodes: Vec<String>) -> Ring {
+        nodes.sort();
+        nodes.dedup();
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (i, node) in nodes.iter().enumerate() {
+            for v in 0..VNODES {
+                points.push((vnode_point(node, v), i));
+            }
+        }
+        points.sort_unstable();
+        Ring { nodes, points }
+    }
+
+    /// The member nodes, sorted.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The node that owns `hash` (a 32-hex content hash).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring — a cluster always contains at least
+    /// the local node.
+    #[must_use]
+    pub fn owner(&self, hash: &str) -> &str {
+        self.owner_chain(hash, 1)[0]
+    }
+
+    /// The first `n` *distinct* nodes clockwise from `hash`'s point:
+    /// index 0 is the owner, index 1 its successor (the replication
+    /// target), and so on. Returns fewer than `n` nodes when the ring
+    /// is smaller than `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    #[must_use]
+    pub fn owner_chain(&self, hash: &str, n: usize) -> Vec<&str> {
+        assert!(!self.nodes.is_empty(), "ring must have at least one node");
+        let point = key_point(hash);
+        // First ring point at or after the key's point, wrapping.
+        let start = self
+            .points
+            .partition_point(|&(p, _)| p < point)
+            .checked_rem(self.points.len())
+            .unwrap_or(0);
+        let mut chain: Vec<&str> = Vec::with_capacity(n.min(self.nodes.len()));
+        for step in 0..self.points.len() {
+            let (_, node) = self.points[(start + step) % self.points.len()];
+            let addr = self.nodes[node].as_str();
+            if !chain.contains(&addr) {
+                chain.push(addr);
+                if chain.len() == n.min(self.nodes.len()) {
+                    break;
+                }
+            }
+        }
+        chain
+    }
+}
+
+/// A node's `v`-th point on the circle. FNV-1a alone disperses short,
+/// near-identical inputs (vnode labels differ only in trailing bytes)
+/// poorly in the high bits, which clusters points and skews the key
+/// spread; a splitmix64 finalizer over the digest restores uniform
+/// dispersion.
+fn vnode_point(node: &str, v: usize) -> u64 {
+    let mut z = fnv1a64(format!("{node}/vn{v}").as_bytes());
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A key's position on the circle: the first 64 bits of its 32-hex
+/// content hash (= the store index's first lane). Non-hex input —
+/// impossible for ids the service mints — falls back to hashing the
+/// raw bytes so lookups stay total.
+fn key_point(hash: &str) -> u64 {
+    match hash.get(..16).and_then(|h| u64::from_str_radix(h, 16).ok()) {
+        Some(point) => point,
+        None => fnv1a64(hash.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> Vec<String> {
+        vec![
+            "127.0.0.1:9001".to_owned(),
+            "127.0.0.1:9002".to_owned(),
+            "127.0.0.1:9003".to_owned(),
+        ]
+    }
+
+    fn sample_hashes(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| crate::hash::content_hash(&format!("key-{i}")))
+            .collect()
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = Ring::new(vec!["127.0.0.1:9001".to_owned()]);
+        for hash in sample_hashes(64) {
+            assert_eq!(ring.owner(&hash), "127.0.0.1:9001");
+            assert_eq!(ring.owner_chain(&hash, 2), vec!["127.0.0.1:9001"]);
+        }
+    }
+
+    #[test]
+    fn peer_list_order_and_duplicates_do_not_change_ownership() {
+        let a = Ring::new(three());
+        let mut shuffled = three();
+        shuffled.reverse();
+        shuffled.push(shuffled[0].clone());
+        let b = Ring::new(shuffled);
+        for hash in sample_hashes(256) {
+            assert_eq!(a.owner(&hash), b.owner(&hash));
+            assert_eq!(a.owner_chain(&hash, 2), b.owner_chain(&hash, 2));
+        }
+    }
+
+    #[test]
+    fn owner_chain_is_distinct_and_starts_with_owner() {
+        let ring = Ring::new(three());
+        for hash in sample_hashes(64) {
+            let chain = ring.owner_chain(&hash, 2);
+            assert_eq!(chain.len(), 2);
+            assert_ne!(chain[0], chain[1]);
+            assert_eq!(chain[0], ring.owner(&hash));
+        }
+    }
+
+    #[test]
+    fn key_spread_stays_within_2x_of_ideal() {
+        let ring = Ring::new(three());
+        let hashes = sample_hashes(12_000);
+        let mut counts = std::collections::HashMap::new();
+        for hash in &hashes {
+            *counts.entry(ring.owner(hash).to_owned()).or_insert(0usize) += 1;
+        }
+        let ideal = hashes.len() / ring.nodes().len();
+        for (node, count) in counts {
+            assert!(
+                count < ideal * 2,
+                "{node} owns {count} of {} keys (ideal {ideal})",
+                hashes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let full = Ring::new(three());
+        let without = Ring::new(three().into_iter().skip(1).collect());
+        for hash in sample_hashes(2_000) {
+            let before = full.owner(&hash);
+            if before != "127.0.0.1:9001" {
+                assert_eq!(without.owner(&hash), before, "{hash} moved needlessly");
+            }
+        }
+    }
+}

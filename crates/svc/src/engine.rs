@@ -45,6 +45,7 @@ use crate::api::{
     ValidateResponse,
 };
 use crate::cache::JobOutput;
+use crate::cluster::{Cluster, ClusterConfig, ClusterStats, RecordEnvelope};
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
@@ -110,7 +111,13 @@ pub struct Job {
     work: Mutex<Option<JobWork>>,
     state: Mutex<JobPhase>,
     finished: Condvar,
+    /// Callbacks fired once when the job reaches a terminal phase —
+    /// the reactor's alternative to parking a thread in [`Job::wait`].
+    watchers: Mutex<Vec<FinishWatcher>>,
 }
+
+/// One completion callback registered via [`Job::on_finish`].
+type FinishWatcher = Box<dyn FnOnce(&JobPhase) + Send>;
 
 impl Job {
     /// The job's content-hash id.
@@ -140,9 +147,40 @@ impl Job {
         }
     }
 
+    /// Registers a callback to run once the job reaches a terminal
+    /// phase, firing immediately (on the calling thread) when it
+    /// already has; otherwise it runs on the worker thread that
+    /// finishes the job. Keep callbacks cheap and non-blocking — the
+    /// reactor uses them to post completions to its event loops.
+    pub fn on_finish(&self, callback: impl FnOnce(&JobPhase) + Send + 'static) {
+        // Lock order matters: holding the watcher list while reading
+        // the phase means `set_phase` (which stores the phase first,
+        // then drains watchers) can never slip between our check and
+        // our push — a registered callback is always fired.
+        let mut watchers = self.watchers.lock().expect("job lock");
+        let phase = self.state.lock().expect("job lock").clone();
+        match phase {
+            JobPhase::Done(_) | JobPhase::Failed(_) => {
+                drop(watchers);
+                callback(&phase);
+            }
+            JobPhase::Queued | JobPhase::Running => watchers.push(Box::new(callback)),
+        }
+    }
+
     fn set_phase(&self, phase: JobPhase) {
+        let terminal = matches!(phase, JobPhase::Done(_) | JobPhase::Failed(_));
         *self.state.lock().expect("job lock") = phase;
         self.finished.notify_all();
+        if terminal {
+            let drained = std::mem::take(&mut *self.watchers.lock().expect("job lock"));
+            if !drained.is_empty() {
+                let snapshot = self.state.lock().expect("job lock").clone();
+                for watcher in drained {
+                    watcher(&snapshot);
+                }
+            }
+        }
     }
 }
 
@@ -158,6 +196,15 @@ pub enum Submission {
         /// Content-hash id of the request.
         id: String,
         /// The cached response body and its degraded flag.
+        output: JobOutput,
+    },
+    /// Served from a peer node's store via the cluster's internal
+    /// lookup → 200 with `X-Cache: peer`.
+    PeerFilled {
+        /// Content-hash id of the request.
+        id: String,
+        /// The peer's stored response body — byte-identical to what a
+        /// local run would have produced.
         output: JobOutput,
     },
     /// Joined an identical job already queued or running →
@@ -214,6 +261,10 @@ pub struct EngineConfig {
     pub store_dir: Option<String>,
     /// Store segment rotation threshold, bytes.
     pub store_segment_bytes: u64,
+    /// Multi-node membership; `None` runs single-node (the default).
+    /// See [`crate::cluster`] for ownership, peer cache-fill and
+    /// replication semantics.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for EngineConfig {
@@ -226,9 +277,23 @@ impl Default for EngineConfig {
             journal: None,
             store_dir: None,
             store_segment_bytes: crate::store::DEFAULT_SEGMENT_BYTES,
+            cluster: None,
         }
     }
 }
+
+/// Bounded id → canonical-key map maintained in cluster mode, so the
+/// internal lookup endpoint can resolve memory-tier records by their
+/// 32-hex hash (disk-tier records resolve through the store index,
+/// which is keyed on the hash's own lanes).
+struct HashIndex {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+/// Retention bound of the id → key map; sized above the default
+/// memory cache so LRU-resident records always resolve.
+const HASH_INDEX_RETAINED: usize = 8192;
 
 /// The scheduling engine: admission, cache, queue and workers.
 pub struct Engine {
@@ -239,6 +304,10 @@ pub struct Engine {
     store: TieredStore,
     jobs: Mutex<JobTable>,
     journal: Option<Journal>,
+    /// Cluster membership and peer I/O; `None` in single-node mode.
+    cluster: Option<Cluster>,
+    /// Cluster-mode id → key resolution for memory-tier records.
+    hash_keys: Mutex<HashIndex>,
     /// The service-wide metrics registry.
     pub metrics: Metrics,
 }
@@ -293,6 +362,14 @@ impl Engine {
             }
             None => TieredStore::memory_only(config.cache_capacity),
         };
+        let cluster = match &config.cluster {
+            Some(cluster_config) => {
+                let stats = Arc::new(ClusterStats::default());
+                metrics.set_cluster_stats(Arc::clone(&stats));
+                Some(Cluster::start(cluster_config.clone(), stats)?)
+            }
+            None => None,
+        };
         let engine = Arc::new(Engine {
             queue: JobQueue::new(config.queue_capacity),
             store,
@@ -301,6 +378,11 @@ impl Engine {
                 finished: VecDeque::new(),
             }),
             journal,
+            cluster,
+            hash_keys: Mutex::new(HashIndex {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
             metrics,
             config,
         });
@@ -468,6 +550,7 @@ impl Engine {
             work: Mutex::new(None),
             state: Mutex::new(phase),
             finished: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
         });
         let mut table = self.jobs.lock().expect("jobs lock");
         table.map.insert(id.to_owned(), job);
@@ -487,6 +570,7 @@ impl Engine {
             work: Mutex::new(Some(work)),
             state: Mutex::new(JobPhase::Queued),
             finished: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
         });
         let mut table = self.jobs.lock().expect("jobs lock");
         self.queue
@@ -614,9 +698,22 @@ impl Engine {
 
         if let Some(output) = self.store.get(&key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.note_hash(&id, &key);
             return Submission::Cached { id, output };
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Peer cache-fill: before scheduling locally, ask the nodes
+        // that own this hash for their stored bytes. A hit is served
+        // and cached exactly like a local store hit (disk persistence
+        // still follows ownership); any miss or peer failure falls
+        // through to local compute — never to an error.
+        if let Some(cluster) = &self.cluster {
+            if let Some(output) = cluster.fill(&id, &key) {
+                self.store_output(&id, &key, &output);
+                return Submission::PeerFilled { id, output };
+            }
+        }
 
         // Single-flight: the jobs-table lock makes the check-then-insert
         // atomic, so concurrent identical submissions all land on one job.
@@ -671,6 +768,7 @@ impl Engine {
             work: Mutex::new(Some(work)),
             state: Mutex::new(JobPhase::Queued),
             finished: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
         });
 
         match self.queue.try_push(Arc::clone(&job)) {
@@ -768,7 +866,10 @@ impl Engine {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
                 }
                 self.metrics.observe_latency(elapsed);
-                let durable = self.store.insert(&job.key, &output);
+                let durable = self.store_output(&job.id, &job.key, &output);
+                if let Some(cluster) = &self.cluster {
+                    cluster.replicate(&job.id, &job.key, &output);
+                }
                 if journaled {
                     // With the bytes durable in the store, the journal
                     // records only the completion fact — replay
@@ -934,8 +1035,12 @@ impl Engine {
                 // Populate the store so the prior request itself (and
                 // the next delta against it) is served without work.
                 let response = ScheduleResponse::from_outcome(prior_scheduler_name, &outcome);
-                self.store
-                    .insert(prior_key, &JobOutput::new(Arc::new(response.to_json())));
+                let prior_id = crate::hash::content_hash(prior_key);
+                self.store_output(
+                    &prior_id,
+                    prior_key,
+                    &JobOutput::new(Arc::new(response.to_json())),
+                );
                 outcome.schedule
             }
         };
@@ -1038,9 +1143,114 @@ impl Engine {
     }
 
     /// Closes the queue: pending submissions fail with
-    /// [`Submission::ShuttingDown`], workers drain the backlog and exit.
+    /// [`Submission::ShuttingDown`], workers drain the backlog and
+    /// exit. In cluster mode the replicator drains its backlog and
+    /// stops too.
     pub fn shutdown(&self) {
         self.queue.close();
+        if let Some(cluster) = &self.cluster {
+            cluster.shutdown();
+        }
+    }
+
+    /// The cluster layer, when this node runs in multi-node mode.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.cluster.as_ref()
+    }
+
+    /// Stores a finished output: the memory tier always, the disk
+    /// tier only when this node owns or replicates the hash (every
+    /// node in single-node mode). Also indexes id → key for the
+    /// internal lookup endpoint. Returns disk durability.
+    fn store_output(&self, id: &str, key: &str, output: &JobOutput) -> bool {
+        self.note_hash(id, key);
+        let write_disk = self
+            .cluster
+            .as_ref()
+            .is_none_or(|cluster| cluster.stores_locally(id));
+        self.store.insert_tiered(key, output, write_disk)
+    }
+
+    /// Records `id → key` in the bounded cluster hash index (no-op in
+    /// single-node mode — nothing queries by bare hash there).
+    fn note_hash(&self, id: &str, key: &str) {
+        if self.cluster.is_none() {
+            return;
+        }
+        let mut index = self.hash_keys.lock().expect("hash index lock");
+        if index.map.insert(id.to_owned(), key.to_owned()).is_none() {
+            index.order.push_back(id.to_owned());
+            while index.order.len() > HASH_INDEX_RETAINED {
+                if let Some(old) = index.order.pop_front() {
+                    index.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Serves one internal `GET /v1/internal/lookup/<hash>`: resolves
+    /// the 32-hex content hash to the stored record, first through
+    /// the id → key index (memory or disk), then straight through the
+    /// disk index, whose keys *are* the hash's two 64-bit lanes. The
+    /// resolved record's key is re-hashed and compared to `hash`, so
+    /// a lane collision can never leak another request's bytes.
+    #[must_use]
+    pub fn internal_lookup(&self, hash: &str) -> Option<(String, JobOutput)> {
+        let noted = self
+            .hash_keys
+            .lock()
+            .expect("hash index lock")
+            .map
+            .get(hash)
+            .cloned();
+        let resolved = match noted {
+            Some(key) => self.store.get(&key).map(|output| (key, output)),
+            None => None,
+        };
+        let resolved = resolved.or_else(|| {
+            let (key, output) = self.store.get_by_lanes(parse_hash_lanes(hash)?)?;
+            if crate::hash::content_hash(&key) != hash {
+                return None;
+            }
+            self.note_hash(hash, &key);
+            Some((key, output))
+        })?;
+        if let Some(cluster) = &self.cluster {
+            cluster
+                .stats()
+                .lookups_served
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Some(resolved)
+    }
+
+    /// Applies one internal `POST /v1/internal/record/<hash>` body: a
+    /// peer's [`RecordEnvelope`] whose canonical key must hash to the
+    /// addressed id. The record is persisted like a locally computed
+    /// one (ownership-aware), making this node able to serve the
+    /// exact bytes after the computing node dies.
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the envelope was rejected; the server
+    /// answers it as a 400.
+    pub fn apply_replica(&self, hash: &str, body: &str) -> Result<(), String> {
+        let envelope: RecordEnvelope =
+            serde_json::from_str(body).map_err(|e| format!("invalid record envelope: {e}"))?;
+        if crate::hash::content_hash(&envelope.key) != hash {
+            return Err("envelope key does not hash to the addressed id".to_owned());
+        }
+        let key = envelope.key.clone();
+        let output = envelope.into_output();
+        self.store_output(hash, &key, &output);
+        if let Some(cluster) = &self.cluster {
+            cluster
+                .stats()
+                .replication_received
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Jobs currently waiting in the queue.
@@ -1056,6 +1266,17 @@ impl Engine {
     pub fn store_degraded(&self) -> bool {
         self.store.degraded()
     }
+}
+
+/// Splits a 32-hex content hash back into the two 64-bit lanes the
+/// store index is keyed on.
+fn parse_hash_lanes(hash: &str) -> Option<(u64, u64)> {
+    if hash.len() != 32 {
+        return None;
+    }
+    let a = u64::from_str_radix(&hash[..16], 16).ok()?;
+    let b = u64::from_str_radix(&hash[16..], 16).ok()?;
+    Some((a, b))
 }
 
 /// Re-derives the cache key of a journaled request body (either

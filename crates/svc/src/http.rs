@@ -121,12 +121,12 @@ pub fn read_request(
 ) -> Result<Request, ReadError> {
     let mut buf: Vec<u8> = std::mem::take(carry);
     let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(ReadError::Malformed("header block too large".into()));
+    loop {
+        if let Some((request, consumed)) = parse_request(&buf, max_body)? {
+            // Bytes past the declared body are the start of a pipelined
+            // next request — keep them for the next read, never drop them.
+            carry.extend_from_slice(&buf[consumed..]);
+            return Ok(request);
         }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ReadError::Disconnected),
@@ -143,6 +143,28 @@ pub fn read_request(
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return Err(ReadError::Disconnected),
         }
+    }
+}
+
+/// Attempts to parse one complete request from the front of `buf`
+/// without consuming it. Returns `Ok(None)` when more bytes are
+/// needed, or `Ok(Some((request, consumed)))` where `consumed` is how
+/// many leading bytes of `buf` the request (head + body) occupied —
+/// the incremental core shared by the blocking [`read_request`] path
+/// and the nonblocking reactor, so both parse the wire identically.
+///
+/// # Errors
+///
+/// [`ReadError::Malformed`] on protocol violations,
+/// [`ReadError::BodyTooLarge`] when the declared body exceeds
+/// `max_body` (checked as soon as the header block is complete, before
+/// any body bytes arrive).
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, ReadError> {
+    let Some(header_end) = find_header_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ReadError::Malformed("header block too large".into()));
+        }
+        return Ok(None);
     };
 
     let head = std::str::from_utf8(&buf[..header_end])
@@ -201,26 +223,12 @@ pub fn read_request(
     }
 
     let body_start = header_end + 4;
-    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(ReadError::Disconnected),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                return Err(ReadError::Disconnected)
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Err(ReadError::Disconnected),
-        }
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
     }
-    // Bytes past the declared body are the start of a pipelined next
-    // request — keep them for the next read, never drop them.
-    if body.len() > content_length {
-        carry.extend_from_slice(&body[content_length..]);
-        body.truncate(content_length);
-    }
-    request.body = body;
-    Ok(request)
+    request.body = buf[body_start..consumed].to_vec();
+    Ok(Some((request, consumed)))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -237,6 +245,15 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    stream.write_all(&render_response(response, keep_alive))?;
+    stream.flush()
+}
+
+/// Serializes `response` to the exact bytes [`write_response`] puts on
+/// the wire — shared with the reactor so both entry paths emit
+/// byte-identical responses.
+#[must_use]
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
@@ -249,9 +266,9 @@ pub fn write_response(
         head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
-    stream.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    bytes
 }
 
 /// Canonical reason phrase for the status codes this service emits.
@@ -358,6 +375,41 @@ mod tests {
         assert_eq!(second.path, "/healthz");
         assert!(carry.is_empty());
         drop(writer.join().expect("writer thread"));
+    }
+
+    #[test]
+    fn incremental_parse_needs_bytes_then_completes() {
+        let wire =
+            b"POST /v1/schedule HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirstGET /x HTTP/1.1\r\n\r\n";
+        // Every strict prefix that ends before the body completes must
+        // ask for more bytes, never error.
+        let full = "POST /v1/schedule HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirst".len();
+        for cut in 0..full {
+            assert!(
+                matches!(parse_request(&wire[..cut], 1024), Ok(None)),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        let (req, consumed) = parse_request(wire, 1024)
+            .expect("parses")
+            .expect("complete");
+        assert_eq!(req.body, b"first");
+        assert_eq!(consumed, full);
+        // The pipelined remainder parses as its own request.
+        let (second, rest) = parse_request(&wire[consumed..], 1024)
+            .expect("parses")
+            .expect("complete");
+        assert_eq!(second.method, "GET");
+        assert_eq!(consumed + rest, wire.len());
+    }
+
+    #[test]
+    fn incremental_parse_rejects_oversized_body_before_it_arrives() {
+        let head = b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        assert!(matches!(
+            parse_request(head, 10),
+            Err(ReadError::BodyTooLarge(99))
+        ));
     }
 
     #[test]

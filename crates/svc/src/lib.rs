@@ -8,13 +8,17 @@
 //! The service's defining contract is **byte determinism**: the same
 //! request body answers with byte-identical schedule JSON whether it is
 //! computed cold, served from cache, or coalesced onto a concurrent
-//! twin. Everything here — canonical request hashing
+//! twin — and, in multi-node mode ([`cluster`]), whichever node
+//! answers and whether its bytes came from local compute, the local
+//! store, or a peer. Everything here — canonical request hashing
 //! ([`hash`]), the single response serialization ([`api`]), sorted
-//! metrics rendering ([`metrics`]) — exists to keep that promise.
+//! metrics rendering ([`metrics`]), the shared wire renderer both the
+//! threaded and reactor ([`net`]) entry paths emit through — exists
+//! to keep that promise.
 //!
 //! No external dependencies beyond the workspace's vendored
-//! `serde`/`serde_json`: networking is `std::net`, threading is
-//! `std::thread`.
+//! `serde`/`serde_json` and the vendored `polling` binding to
+//! `poll(2)`: networking is `std::net`, threading is `std::thread`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,15 +26,17 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod hash;
 pub mod http;
 pub mod journal;
 pub mod metrics;
+pub mod net;
 pub mod queue;
 pub mod server;
 pub mod spec;
 pub mod store;
 
 pub use engine::{Engine, EngineConfig};
-pub use server::{Server, ServiceConfig};
+pub use server::{NetMode, Server, ServiceConfig};

@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::cluster::ClusterStats;
+use crate::net::ReactorStats;
 use crate::store::StoreStats;
 
 /// Upper bounds (seconds) of the scheduling-latency histogram buckets;
@@ -79,6 +81,14 @@ pub struct Metrics {
     /// whole `noc_svc_store_*` family is omitted from `/metrics` until
     /// then.
     store: OnceLock<Arc<StoreStats>>,
+    /// Counters of the cluster layer (peer fill, replication), set
+    /// once when `--peers` configures multi-node mode; the
+    /// `noc_svc_cluster_*` family is omitted until then.
+    cluster: OnceLock<Arc<ClusterStats>>,
+    /// Gauges and counters of the nonblocking reactor, set once when
+    /// the reactor entry path starts; the `noc_svc_reactor_*` family
+    /// is omitted under `--net thread`.
+    reactor: OnceLock<Arc<ReactorStats>>,
     /// Current job-queue depth (gauge, maintained by the engine).
     pub queue_depth: AtomicU64,
     /// Jobs currently executing on scheduler workers (gauge). Together
@@ -118,6 +128,19 @@ impl Metrics {
         let _ = self.store.set(stats);
     }
 
+    /// Registers the cluster layer's counters for rendering. Called
+    /// once at engine startup in multi-node mode; later calls are
+    /// ignored.
+    pub fn set_cluster_stats(&self, stats: Arc<ClusterStats>) {
+        let _ = self.cluster.set(stats);
+    }
+
+    /// Registers the reactor's counters for rendering. Called once
+    /// when the reactor entry path starts; later calls are ignored.
+    pub fn set_reactor_stats(&self, stats: Arc<ReactorStats>) {
+        let _ = self.reactor.set(stats);
+    }
+
     /// Records one scheduling execution latency, in seconds.
     pub fn observe_latency(&self, seconds: f64) {
         let mut h = self.latency.lock().expect("metrics lock");
@@ -149,6 +172,12 @@ impl Metrics {
         let counter = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
                 v.load(Ordering::Relaxed)
             ));
         };
@@ -267,12 +296,6 @@ impl Metrics {
                 "Store segment rotations.",
                 &store.rotations,
             );
-            let gauge = |out: &mut String, name: &str, help: &str, v: &AtomicU64| {
-                out.push_str(&format!(
-                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
-                    v.load(Ordering::Relaxed)
-                ));
-            };
             gauge(
                 &mut out,
                 "noc_svc_store_degraded",
@@ -290,6 +313,88 @@ impl Metrics {
                 "noc_svc_store_segments",
                 "Store segment files (sealed + active).",
                 &store.segments,
+            );
+        }
+        if let Some(cluster) = self.cluster.get() {
+            counter(
+                &mut out,
+                "noc_svc_cluster_peer_fill_total",
+                "Local misses answered by a peer's stored bytes.",
+                &cluster.peer_fills,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_peer_fill_misses_total",
+                "Local misses no consulted peer could answer.",
+                &cluster.peer_fill_misses,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_peer_fill_errors_total",
+                "Internal lookups that failed in transport or verification.",
+                &cluster.peer_fill_errors,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_lookups_served_total",
+                "Internal lookups answered for peers from the local store.",
+                &cluster.lookups_served,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_replication_sent_total",
+                "Done records delivered to a peer.",
+                &cluster.replication_sent,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_replication_received_total",
+                "Done records accepted from a peer.",
+                &cluster.replication_received,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_replication_failed_total",
+                "Replication deliveries that failed.",
+                &cluster.replication_failed,
+            );
+            gauge(
+                &mut out,
+                "noc_svc_cluster_replication_lag",
+                "Done records queued for replication delivery.",
+                &cluster.replication_lag,
+            );
+        }
+        if let Some(reactor) = self.reactor.get() {
+            counter(
+                &mut out,
+                "noc_svc_reactor_accepted_total",
+                "Connections accepted by the reactor.",
+                &reactor.accepted,
+            );
+            counter(
+                &mut out,
+                "noc_svc_reactor_wakeups_total",
+                "Readiness wakeups (poll returns) across event loops.",
+                &reactor.wakeups,
+            );
+            counter(
+                &mut out,
+                "noc_svc_reactor_write_stalls_total",
+                "Responses that hit socket backpressure and waited for POLLOUT.",
+                &reactor.write_stalls_entered,
+            );
+            gauge(
+                &mut out,
+                "noc_svc_reactor_connections",
+                "Connections currently open on the reactor.",
+                &reactor.connections,
+            );
+            gauge(
+                &mut out,
+                "noc_svc_reactor_write_stalled",
+                "Connections currently blocked on socket write backpressure.",
+                &reactor.write_stalled,
             );
         }
         out.push_str(&format!(
@@ -439,6 +544,35 @@ mod tests {
         assert!(text.contains("noc_svc_store_degraded 1"));
         assert!(text.contains("noc_svc_store_records 42"));
         assert!(text.contains("noc_svc_journal_compacted_total 9"));
+    }
+
+    #[test]
+    fn cluster_and_reactor_families_render_only_once_registered() {
+        let m = Metrics::new();
+        let text = m.render();
+        assert!(
+            !text.contains("noc_svc_cluster_") && !text.contains("noc_svc_reactor_"),
+            "cluster/reactor families are omitted until registered"
+        );
+        let cluster = Arc::new(crate::cluster::ClusterStats::default());
+        cluster.peer_fills.fetch_add(4, Ordering::Relaxed);
+        cluster.lookups_served.fetch_add(9, Ordering::Relaxed);
+        cluster.replication_lag.store(2, Ordering::Relaxed);
+        m.set_cluster_stats(cluster);
+        let reactor = Arc::new(crate::net::ReactorStats::default());
+        reactor.connections.store(10_000, Ordering::Relaxed);
+        reactor.accepted.fetch_add(5, Ordering::Relaxed);
+        reactor.write_stalls_entered.fetch_add(3, Ordering::Relaxed);
+        m.set_reactor_stats(reactor);
+        let text = m.render();
+        assert!(text.contains("noc_svc_cluster_peer_fill_total 4"));
+        assert!(text.contains("noc_svc_cluster_lookups_served_total 9"));
+        assert!(text.contains("# TYPE noc_svc_cluster_replication_lag gauge"));
+        assert!(text.contains("noc_svc_cluster_replication_lag 2"));
+        assert!(text.contains("# TYPE noc_svc_reactor_connections gauge"));
+        assert!(text.contains("noc_svc_reactor_connections 10000"));
+        assert!(text.contains("noc_svc_reactor_accepted_total 5"));
+        assert!(text.contains("noc_svc_reactor_write_stalls_total 3"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! The HTTP server: a fixed pool of connection workers over one
-//! `TcpListener`, routing to the [`Engine`](crate::engine::Engine), and
-//! a graceful shutdown that drains admitted jobs before the process
-//! exits.
+//! The HTTP server: request routing shared by both entry paths — the
+//! nonblocking reactor ([`crate::net`], the default) and the
+//! thread-per-connection pool — over one `TcpListener`, dispatching to
+//! the [`Engine`](crate::engine::Engine), with a graceful shutdown
+//! that drains admitted jobs before the process exits.
 //!
 //! Endpoints:
 //!
@@ -13,6 +14,8 @@
 //! | GET    | `/v1/jobs/<id>`  | Poll an async submission                   |
 //! | GET    | `/healthz`       | Liveness                                   |
 //! | GET    | `/metrics`       | Prometheus text metrics                    |
+//! | GET    | `/v1/internal/lookup/<hash>` | Peer cache-fill (cluster)      |
+//! | POST   | `/v1/internal/record/<hash>` | Replica ingest (cluster)       |
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -22,8 +25,22 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::api::error_body;
-use crate::engine::{Engine, EngineConfig, JobPhase, Submission};
+use crate::cluster::ClusterConfig;
+use crate::engine::{Engine, EngineConfig, Job, JobPhase, Submission};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
+
+/// How the service turns sockets into requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetMode {
+    /// Nonblocking `poll(2)` reactor: a few event-loop threads
+    /// multiplex every connection, so tens of thousands of idle
+    /// keep-alive clients cost no threads. The default.
+    #[default]
+    Reactor,
+    /// The original thread-per-live-connection pool: each HTTP worker
+    /// owns one connection at a time with blocking reads.
+    Thread,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +73,14 @@ pub struct ServiceConfig {
     pub store_dir: Option<String>,
     /// Segment-rotation threshold for the persistent store, bytes.
     pub store_segment_bytes: u64,
+    /// Entry path: reactor event loops (default) or blocking threads.
+    pub net: NetMode,
+    /// Peer service addresses for multi-node mode; empty runs
+    /// single-node. The list need not include this node.
+    pub peers: Vec<String>,
+    /// This node's address as peers see it (ring identity). Defaults
+    /// to the bound listener address.
+    pub self_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +98,9 @@ impl Default for ServiceConfig {
             journal: None,
             store_dir: None,
             store_segment_bytes: crate::store::DEFAULT_SEGMENT_BYTES,
+            net: NetMode::default(),
+            peers: Vec::new(),
+            self_addr: None,
         }
     }
 }
@@ -84,6 +112,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     http_handles: Vec<JoinHandle<()>>,
     sched_handles: Vec<JoinHandle<()>>,
+    reactor: Option<crate::net::ReactorHandle>,
 }
 
 impl Server {
@@ -95,6 +124,12 @@ impl Server {
     pub fn start(config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let cluster = if config.peers.is_empty() {
+            None
+        } else {
+            let self_addr = config.self_addr.clone().unwrap_or_else(|| addr.to_string());
+            Some(ClusterConfig::new(self_addr, config.peers.clone()))
+        };
         let engine = Engine::new(EngineConfig {
             queue_capacity: config.queue_capacity,
             cache_capacity: config.cache_capacity,
@@ -103,6 +138,7 @@ impl Server {
             journal: config.journal.clone(),
             store_dir: config.store_dir.clone(),
             store_segment_bytes: config.store_segment_bytes,
+            cluster,
         })?;
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -130,29 +166,48 @@ impl Server {
         }
 
         let mut http_handles = Vec::new();
-        for i in 0..config.http_workers.max(1) {
-            let listener = listener.try_clone()?;
-            let engine = Arc::clone(&engine);
-            let stop = Arc::clone(&stop);
-            let max_body = config.max_body;
-            let io_timeout = config.io_timeout;
-            http_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("svc-http-{i}"))
-                    .spawn(move || {
-                        while !stop.load(Ordering::Acquire) {
-                            match listener.accept() {
-                                Ok((conn, _)) => {
-                                    if stop.load(Ordering::Acquire) {
-                                        break;
+        let mut reactor = None;
+        match config.net {
+            NetMode::Reactor => {
+                reactor = Some(crate::net::spawn(
+                    Arc::clone(&engine),
+                    listener,
+                    Arc::clone(&stop),
+                    &crate::net::ReactorOptions {
+                        loops: config.http_workers.max(1),
+                        max_body: config.max_body,
+                        idle_timeout: config.io_timeout,
+                    },
+                )?);
+            }
+            NetMode::Thread => {
+                for i in 0..config.http_workers.max(1) {
+                    let listener = listener.try_clone()?;
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    let max_body = config.max_body;
+                    let io_timeout = config.io_timeout;
+                    http_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("svc-http-{i}"))
+                            .spawn(move || {
+                                while !stop.load(Ordering::Acquire) {
+                                    match listener.accept() {
+                                        Ok((conn, _)) => {
+                                            if stop.load(Ordering::Acquire) {
+                                                break;
+                                            }
+                                            handle_connection(
+                                                &engine, conn, max_body, io_timeout, &stop,
+                                            );
+                                        }
+                                        Err(_) => break,
                                     }
-                                    handle_connection(&engine, conn, max_body, io_timeout, &stop);
                                 }
-                                Err(_) => break,
-                            }
-                        }
-                    })?,
-            );
+                            })?,
+                    );
+                }
+            }
         }
 
         Ok(Server {
@@ -161,6 +216,7 @@ impl Server {
             stop,
             http_handles,
             sched_handles,
+            reactor,
         })
     }
 
@@ -181,6 +237,12 @@ impl Server {
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
         self.engine.shutdown();
+        // The reactor drains in-flight responses before exiting; the
+        // scheduler workers (joined below) keep feeding completions
+        // while it does.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         // accept() has no timeout; unblock each HTTP worker with one
         // dummy connection, which it drops on seeing the stop flag.
         for _ in 0..self.http_handles.len() {
@@ -197,6 +259,9 @@ impl Server {
     /// Blocks until every worker exits (i.e. forever, unless another
     /// thread triggers shutdown or the process is signalled).
     pub fn wait(mut self) {
+        if let Some(reactor) = self.reactor.take() {
+            reactor.wait();
+        }
         for h in self.http_handles.drain(..) {
             let _ = h.join();
         }
@@ -270,7 +335,7 @@ fn handle_connection(
 }
 
 /// Normalizes a request path to a bounded metrics label.
-fn endpoint_label(request: &Request) -> &'static str {
+pub(crate) fn endpoint_label(request: &Request) -> &'static str {
     match request.path.as_str() {
         "/v1/schedule" => "/v1/schedule",
         "/v1/schedule/delta" => "/v1/schedule/delta",
@@ -278,16 +343,73 @@ fn endpoint_label(request: &Request) -> &'static str {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         p if p.starts_with("/v1/jobs/") => "/v1/jobs",
+        p if p.starts_with("/v1/internal/lookup/") => "/v1/internal/lookup",
+        p if p.starts_with("/v1/internal/record/") => "/v1/internal/record",
         _ => "other",
     }
 }
 
+/// A routed request: either an immediately ready response, or a
+/// submission parked on a scheduler job whose terminal phase produces
+/// the response (via [`complete`]).
+///
+/// Splitting routing this way is what lets the threaded path block
+/// (`job.wait()`) while the reactor parks only a response slot — both
+/// flow through the same code and emit the same bytes.
+pub(crate) enum Routed {
+    /// The response is ready now.
+    Ready(Response),
+    /// The response awaits a scheduler job's terminal phase.
+    Pending(Pending),
+}
+
+/// A submission whose response is pending on its job.
+pub(crate) struct Pending {
+    /// Canonical request hash.
+    pub id: String,
+    /// The admitted (or joined) job.
+    pub job: Arc<Job>,
+    /// `X-Cache` label the finished response will carry.
+    pub cache_label: &'static str,
+    /// Whether the client opted into the stats member.
+    pub wants_stats: bool,
+}
+
+/// Routes a request to a [`Routed`] outcome without ever blocking on
+/// scheduler work. Both entry paths call this.
+pub(crate) fn respond(engine: &Engine, request: &Request) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/schedule") => submission_route(engine, request, SubmitKind::Schedule),
+        ("POST", "/v1/schedule/delta") => submission_route(engine, request, SubmitKind::Delta),
+        _ => Routed::Ready(inline_route(engine, request)),
+    }
+}
+
+/// Builds the terminal response for a pending submission. Shared by
+/// the threaded path (after `job.wait()`) and the reactor (inside the
+/// job's finish watcher).
+pub(crate) fn complete(
+    engine: &Engine,
+    id: &str,
+    phase: &JobPhase,
+    cache_label: &str,
+    wants_stats: bool,
+) -> Response {
+    with_store_state(engine, finish_response(id, phase, cache_label, wants_stats))
+}
+
 fn route(engine: &Engine, request: &Request) -> Response {
+    match respond(engine, request) {
+        Routed::Ready(response) => response,
+        Routed::Pending(p) => complete(engine, &p.id, &p.job.wait(), p.cache_label, p.wants_stats),
+    }
+}
+
+/// Every endpoint that answers without scheduler work.
+fn inline_route(engine: &Engine, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::text(200, "ok\n".to_owned()),
         ("GET", "/metrics") => Response::text(200, engine.metrics.render()),
-        ("POST", "/v1/schedule") => with_store_state(engine, schedule_route(engine, request)),
-        ("POST", "/v1/schedule/delta") => with_store_state(engine, delta_route(engine, request)),
         ("POST", "/v1/validate") => match std::str::from_utf8(&request.body) {
             Err(_) => Response::json(400, error_body("request body is not UTF-8")),
             Ok(body) => match engine.validate(body) {
@@ -298,6 +420,12 @@ fn route(engine: &Engine, request: &Request) -> Response {
         ("GET", path) if path.starts_with("/v1/jobs/") => {
             jobs_route(engine, &path["/v1/jobs/".len()..])
         }
+        ("GET", path) if path.starts_with("/v1/internal/lookup/") => {
+            internal_lookup_route(engine, &path["/v1/internal/lookup/".len()..])
+        }
+        ("POST", path) if path.starts_with("/v1/internal/record/") => {
+            internal_record_route(engine, &path["/v1/internal/record/".len()..], &request.body)
+        }
         (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/schedule/delta" | "/v1/validate") => {
             Response::json(405, error_body("method not allowed"))
         }
@@ -305,78 +433,111 @@ fn route(engine: &Engine, request: &Request) -> Response {
     }
 }
 
-fn schedule_route(engine: &Engine, request: &Request) -> Response {
+enum SubmitKind {
+    Schedule,
+    Delta,
+}
+
+fn submission_route(engine: &Engine, request: &Request, kind: SubmitKind) -> Routed {
+    let ready = |resp: Response| Routed::Ready(with_store_state(engine, resp));
     let Ok(body) = std::str::from_utf8(&request.body) else {
-        return Response::json(400, error_body("request body is not UTF-8"));
+        return ready(Response::json(400, error_body("request body is not UTF-8")));
     };
     // `mode` only matters for fresh/joined jobs; a cached answer is
     // final either way. `stats` is presentation-only: it selects how
     // the stored output is rendered, never what is stored.
-    let (wants_async, wants_stats) = serde_json::from_str::<crate::api::ScheduleRequest>(body)
-        .map(|r| (r.is_async(), r.wants_stats()))
-        .unwrap_or((false, false));
-    match engine.submit(body) {
-        Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
-        Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
+    let (wants_async, wants_stats) = match kind {
+        SubmitKind::Schedule => serde_json::from_str::<crate::api::ScheduleRequest>(body)
+            .map(|r| (r.is_async(), r.wants_stats()))
+            .unwrap_or((false, false)),
+        SubmitKind::Delta => serde_json::from_str::<crate::api::DeltaRequest>(body)
+            .map(|r| (r.is_async(), r.wants_stats()))
+            .unwrap_or((false, false)),
+    };
+    let submission = match kind {
+        SubmitKind::Schedule => engine.submit(body),
+        SubmitKind::Delta => engine.submit_delta(body),
+    };
+    match submission {
+        Submission::BadRequest(msg) => ready(Response::json(400, error_body(&msg))),
+        Submission::BadSpec(msg) => ready(Response::json(422, error_body(&msg))),
         Submission::Cached { id, output } => {
-            let resp = Response::json(200, rendered_body(&output, wants_stats))
-                .with_header("X-Cache", "hit")
-                .with_header("X-Request-Hash", &id);
-            with_degraded(resp, output.degraded)
+            ready(cached_response(&id, &output, wants_stats, "hit"))
+        }
+        Submission::PeerFilled { id, output } => {
+            ready(cached_response(&id, &output, wants_stats, "peer"))
         }
         Submission::Joined { id, job } => {
             if wants_async {
-                accepted_response(&id)
+                ready(accepted_response(&id))
             } else {
-                finish_response(&id, &job.wait(), "join", wants_stats)
+                Routed::Pending(Pending {
+                    id,
+                    job,
+                    cache_label: "join",
+                    wants_stats,
+                })
             }
         }
         Submission::Enqueued { id, job } => {
             if wants_async {
-                accepted_response(&id)
+                ready(accepted_response(&id))
             } else {
-                finish_response(&id, &job.wait(), "miss", wants_stats)
+                Routed::Pending(Pending {
+                    id,
+                    job,
+                    cache_label: "miss",
+                    wants_stats,
+                })
             }
         }
-        Submission::Rejected => Response::json(429, error_body("job queue is full; retry later"))
-            .with_header("Retry-After", "1"),
-        Submission::ShuttingDown => Response::json(503, error_body("service is shutting down")),
+        Submission::Rejected => ready(
+            Response::json(429, error_body("job queue is full; retry later"))
+                .with_header("Retry-After", "1"),
+        ),
+        Submission::ShuttingDown => {
+            ready(Response::json(503, error_body("service is shutting down")))
+        }
     }
 }
 
-fn delta_route(engine: &Engine, request: &Request) -> Response {
-    let Ok(body) = std::str::from_utf8(&request.body) else {
+/// 200 response for bytes that already exist — from the local cache
+/// tier (`hit`) or fetched from the owning peer (`peer`). The bytes
+/// are identical either way; only the label differs.
+fn cached_response(
+    id: &str,
+    output: &crate::cache::JobOutput,
+    wants_stats: bool,
+    label: &str,
+) -> Response {
+    let resp = Response::json(200, rendered_body(output, wants_stats))
+        .with_header("X-Cache", label)
+        .with_header("X-Request-Hash", id);
+    with_degraded(resp, output.degraded)
+}
+
+/// Serves a peer's cache-fill probe: the stored record for a content
+/// hash as a [`crate::cluster::RecordEnvelope`], or 404 when this
+/// node holds nothing.
+fn internal_lookup_route(engine: &Engine, hash: &str) -> Response {
+    match engine.internal_lookup(hash) {
+        Some((key, output)) => Response::json(
+            200,
+            serde_json::to_string(&crate::cluster::RecordEnvelope::from_output(&key, &output))
+                .expect("envelope serializes"),
+        ),
+        None => Response::json(404, error_body("no record for hash")),
+    }
+}
+
+/// Ingests a replicated done-record from the hash's owner.
+fn internal_record_route(engine: &Engine, hash: &str, body: &[u8]) -> Response {
+    let Ok(body) = std::str::from_utf8(body) else {
         return Response::json(400, error_body("request body is not UTF-8"));
     };
-    let (wants_async, wants_stats) = serde_json::from_str::<crate::api::DeltaRequest>(body)
-        .map(|r| (r.is_async(), r.wants_stats()))
-        .unwrap_or((false, false));
-    match engine.submit_delta(body) {
-        Submission::BadRequest(msg) => Response::json(400, error_body(&msg)),
-        Submission::BadSpec(msg) => Response::json(422, error_body(&msg)),
-        Submission::Cached { id, output } => {
-            let resp = Response::json(200, rendered_body(&output, wants_stats))
-                .with_header("X-Cache", "hit")
-                .with_header("X-Request-Hash", &id);
-            with_degraded(resp, output.degraded)
-        }
-        Submission::Joined { id, job } => {
-            if wants_async {
-                accepted_response(&id)
-            } else {
-                finish_response(&id, &job.wait(), "join", wants_stats)
-            }
-        }
-        Submission::Enqueued { id, job } => {
-            if wants_async {
-                accepted_response(&id)
-            } else {
-                finish_response(&id, &job.wait(), "miss", wants_stats)
-            }
-        }
-        Submission::Rejected => Response::json(429, error_body("job queue is full; retry later"))
-            .with_header("Retry-After", "1"),
-        Submission::ShuttingDown => Response::json(503, error_body("service is shutting down")),
+    match engine.apply_replica(hash, body) {
+        Ok(()) => Response::json(200, "{\"status\":\"stored\"}".to_owned()),
+        Err(msg) => Response::json(400, error_body(&msg)),
     }
 }
 

@@ -378,6 +378,54 @@ impl Store {
         true
     }
 
+    /// Looks a record up by its content-hash lanes — the index key
+    /// itself — returning the stored full key alongside the output.
+    /// This is the cluster's internal-lookup path: a peer knows only
+    /// the 32-hex request hash, whose two 64-bit halves are exactly
+    /// the lanes this index is keyed on. The record checksum is still
+    /// verified; the full-key comparison of [`Store::get`] is
+    /// impossible here (the caller has no key), so a 128-bit lane
+    /// collision would alias — the same negligible-odds tradeoff the
+    /// index itself already makes between distinct segments.
+    pub fn get_by_lanes(&self, lanes: (u64, u64)) -> Option<(String, JobOutput)> {
+        if self.is_degraded() {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        let Some(loc) = inner.index.get(&lane_key(lanes)).copied() else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let read = match inner.readers.get_mut(&loc.seq) {
+            Some(reader) => read_frame(reader, loc, self.faults.as_deref()),
+            None => Err(io::Error::other("no reader for segment")),
+        };
+        let frame = match read {
+            Ok(frame) => frame,
+            Err(err) => {
+                drop(inner);
+                self.degrade(&format!("record read failed: {err}"));
+                return None;
+            }
+        };
+        match segment::decode_frame(&frame) {
+            Some((stored_key, output)) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some((stored_key, output))
+            }
+            None => {
+                inner.index.remove(&lane_key(lanes));
+                self.stats
+                    .records
+                    .store(inner.index.len() as u64, Ordering::Relaxed);
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                drop(inner);
+                self.degrade("record failed verification on read (quarantined)");
+                None
+            }
+        }
+    }
+
     /// `true` when `key` is indexed and the disk tier is in service.
     /// This checks the index, not the bytes — journal compaction uses
     /// [`Store::get`] instead when it needs verified durability.
@@ -529,11 +577,31 @@ impl TieredStore {
     /// on the disk tier (journal compaction then no longer needs to
     /// carry them).
     pub fn insert(&self, key: &str, output: &JobOutput) -> bool {
+        self.insert_tiered(key, output, true)
+    }
+
+    /// Insert with an explicit disk-tier decision: the memory LRU is
+    /// always written (every node serves what it just touched), the
+    /// disk tier only when `write_disk` — how cluster nodes keep disk
+    /// growth bounded to the key ranges they own or replicate. Returns
+    /// disk durability, always `false` when the disk was skipped.
+    pub fn insert_tiered(&self, key: &str, output: &JobOutput, write_disk: bool) -> bool {
         self.memory
             .lock()
             .expect("cache lock")
             .insert(key.to_owned(), output.clone());
-        self.disk.as_ref().is_some_and(|d| d.put(key, output))
+        write_disk && self.disk.as_ref().is_some_and(|d| d.put(key, output))
+    }
+
+    /// Disk lookup by content-hash lanes (see [`Store::get_by_lanes`]),
+    /// promoting a hit into the memory tier under its stored full key.
+    pub fn get_by_lanes(&self, lanes: (u64, u64)) -> Option<(String, JobOutput)> {
+        let (key, output) = self.disk.as_ref()?.get_by_lanes(lanes)?;
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key.clone(), output.clone());
+        Some((key, output))
     }
 
     /// The disk tier, when one is open.

@@ -1,0 +1,239 @@
+//! Three in-process nodes exercising the cluster tier end to end:
+//! cross-node byte determinism with zero recomputation, replication to
+//! the owner chain, and owner death leaving survivors able to serve
+//! the exact bytes from replicated records.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use noc_svc::client::Client;
+use noc_svc::cluster::Ring;
+use noc_svc::{Server, ServiceConfig};
+
+/// Reserves `n` distinct loopback ports by binding ephemeral
+/// listeners, then releases them for the servers to claim. The gap is
+/// racy in principle; in practice the kernel does not reissue a
+/// just-released ephemeral port to another process this quickly.
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("binds"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect()
+}
+
+fn start_node(addr: &str, peers: &[String]) -> Server {
+    Server::start(ServiceConfig {
+        addr: addr.to_owned(),
+        http_workers: 2,
+        sched_workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        threads: 1,
+        peers: peers.to_vec(),
+        self_addr: Some(addr.to_owned()),
+        ..ServiceConfig::default()
+    })
+    .expect("node starts")
+}
+
+fn client_for(addr: &str) -> Client {
+    Client::connect_retry(addr.parse().expect("socket addr"), Duration::from_secs(5))
+        .expect("connects")
+}
+
+fn graph_json(seed: u64, tasks: usize) -> String {
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform");
+    let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed);
+    cfg.task_count = tasks;
+    let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+        .generate(&platform)
+        .expect("generates");
+    serde_json::to_string(&graph).expect("serializes")
+}
+
+fn schedule_body(graph: &str, scheduler: &str) -> String {
+    format!(r#"{{"graph":{graph},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#)
+}
+
+/// Scrapes one counter/gauge value from a node's `/metrics`.
+fn scrape(client: &mut Client, metric: &str) -> u64 {
+    let resp = client.get("/metrics").expect("scrapes");
+    assert_eq!(resp.status, 200);
+    resp.body
+        .lines()
+        .find_map(|l| l.strip_prefix(metric).and_then(|v| v.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("{metric} missing from /metrics"))
+}
+
+/// Waits until `addr` answers `/v1/internal/lookup/<id>` with 200 —
+/// i.e. replication of `id` to that node has settled.
+fn await_record(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let mut client = client_for(addr);
+    loop {
+        match client.get(&format!("/v1/internal/lookup/{id}")) {
+            Ok(resp) if resp.status == 200 => return,
+            _ if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            other => panic!("record {id} never replicated to {addr}: last answer {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_node_answers_identical_bytes_with_zero_recompute() {
+    let peers = free_addrs(3);
+    let servers: Vec<Server> = peers.iter().map(|a| start_node(a, &peers)).collect();
+    let ring = Ring::new(peers.clone());
+
+    // Four distinct problems, all filled through node 0.
+    let bodies: Vec<String> = [(41u64, "edf"), (41, "dls"), (42, "edf"), (42, "dls")]
+        .iter()
+        .map(|(seed, scheduler)| schedule_body(&graph_json(*seed, 10), scheduler))
+        .collect();
+    let mut via_node0 = client_for(&peers[0]);
+    let mut reference: Vec<(String, String)> = Vec::new(); // (id, body)
+    for body in &bodies {
+        let resp = via_node0.post("/v1/schedule", body).expect("fills");
+        assert_eq!(resp.status, 200, "fill failed: {}", resp.body);
+        let id = resp
+            .header("x-request-hash")
+            .expect("hash header")
+            .to_owned();
+        reference.push((id, resp.body));
+    }
+
+    // Replication must land the record at the owner and successor.
+    for (id, _) in &reference {
+        for node in ring.owner_chain(id, 2) {
+            await_record(node, id);
+        }
+    }
+
+    // Every other node answers every problem with the exact bytes —
+    // from its replica ("hit") or a peer fill ("peer"), never a
+    // recompute.
+    for addr in &peers[1..] {
+        let mut client = client_for(addr);
+        for (body, (id, expected)) in bodies.iter().zip(&reference) {
+            let resp = client.post("/v1/schedule", body).expect("answers");
+            assert_eq!(resp.status, 200);
+            assert_eq!(
+                resp.header("x-request-hash"),
+                Some(id.as_str()),
+                "nodes must agree on the request identity"
+            );
+            assert_eq!(
+                &resp.body, expected,
+                "node {addr} answered different bytes for {id}"
+            );
+            let label = resp.header("x-cache").expect("cache label").to_owned();
+            assert!(
+                label == "hit" || label == "peer",
+                "node {addr} answered {id} via `{label}` — that is a recompute"
+            );
+        }
+    }
+
+    // The cluster as a whole computed each problem exactly once.
+    let executed: u64 = peers
+        .iter()
+        .map(|a| scrape(&mut client_for(a), "noc_svc_schedules_executed_total "))
+        .sum();
+    assert_eq!(
+        executed,
+        bodies.len() as u64,
+        "cluster must compute each distinct problem exactly once"
+    );
+    // And the peer-fill path was genuinely exercised.
+    let fills: u64 = peers
+        .iter()
+        .map(|a| scrape(&mut client_for(a), "noc_svc_cluster_peer_fill_total "))
+        .sum();
+    let received: u64 = peers
+        .iter()
+        .map(|a| {
+            scrape(
+                &mut client_for(a),
+                "noc_svc_cluster_replication_received_total ",
+            )
+        })
+        .sum();
+    assert!(
+        fills + received > 0,
+        "cross-node answers must come from fills or replicas"
+    );
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn owner_death_leaves_survivors_serving_replicated_bytes() {
+    let peers = free_addrs(3);
+    let mut servers: HashMap<String, Server> = peers
+        .iter()
+        .map(|a| (a.clone(), start_node(a, &peers)))
+        .collect();
+    let ring = Ring::new(peers.clone());
+
+    let body = schedule_body(&graph_json(77, 12), "edf");
+    let mut via_node0 = client_for(&peers[0]);
+    let resp = via_node0.post("/v1/schedule", &body).expect("fills");
+    assert_eq!(resp.status, 200, "fill failed: {}", resp.body);
+    let id = resp
+        .header("x-request-hash")
+        .expect("hash header")
+        .to_owned();
+    let expected = resp.body;
+    drop(via_node0);
+
+    // Wait for the record to reach the full owner chain, then kill
+    // the owner.
+    let owner = ring.owner(&id).to_owned();
+    for node in ring.owner_chain(&id, 2) {
+        await_record(node, &id);
+    }
+    let survivors: Vec<String> = peers.iter().filter(|a| **a != owner).cloned().collect();
+    let executed_before: u64 = survivors
+        .iter()
+        .map(|a| scrape(&mut client_for(a), "noc_svc_schedules_executed_total "))
+        .sum();
+    servers.remove(&owner).expect("owner is a node").shutdown();
+
+    // Every survivor still answers the exact bytes without computing:
+    // the successor holds the replica, everyone else peer-fills from
+    // it after the dead owner fails fast.
+    for addr in &survivors {
+        let mut client = client_for(addr);
+        let resp = client
+            .post("/v1/schedule", &body)
+            .expect("survivor answers");
+        assert_eq!(resp.status, 200, "survivor {addr} failed: {}", resp.body);
+        assert_eq!(
+            resp.body, expected,
+            "survivor {addr} answered different bytes after owner death"
+        );
+        let label = resp.header("x-cache").expect("cache label").to_owned();
+        assert!(
+            label == "hit" || label == "peer",
+            "survivor {addr} answered via `{label}` — that is a recompute"
+        );
+    }
+    let executed_after: u64 = survivors
+        .iter()
+        .map(|a| scrape(&mut client_for(a), "noc_svc_schedules_executed_total "))
+        .sum();
+    assert_eq!(
+        executed_before, executed_after,
+        "owner death must not force a recompute anywhere"
+    );
+    for server in servers.into_values() {
+        server.shutdown();
+    }
+}

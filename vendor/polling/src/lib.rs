@@ -1,0 +1,186 @@
+//! Minimal bindings to the POSIX `poll(2)` readiness syscall.
+//!
+//! The `noc-svc` reactor needs exactly one thing from the operating
+//! system that `std` does not expose: "which of these sockets are
+//! readable or writable right now?". This crate provides that — a
+//! `#[repr(C)]` mirror of `struct pollfd` plus a safe [`poll`]
+//! wrapper — and nothing else, so the workspace stays hermetic (no
+//! registry, no `libc` crate; `std` already links the C runtime, so
+//! the `poll` symbol resolves at link time).
+//!
+//! All `unsafe` in the workspace lives in this crate's `sys` module;
+//! every consumer crate keeps `#![forbid(unsafe_code)]`. The event
+//! flag constants share their values across Linux and the BSDs
+//! (including macOS), so no per-platform constants are needed; only
+//! the `nfds_t` width differs and is cfg-gated.
+
+#![deny(missing_docs)]
+
+use std::io;
+
+/// Data other than high-priority data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// An error has occurred (revents only).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is invalid (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One descriptor's interest set and readiness results.
+///
+/// Layout-compatible with the platform `struct pollfd`: an `int` file
+/// descriptor followed by two `short` event masks.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollFd {
+    /// The file descriptor to watch; negative entries are ignored by
+    /// the kernel, which lets callers disable a slot without
+    /// re-packing the array.
+    pub fd: i32,
+    /// Requested events (`POLLIN` and/or `POLLOUT`).
+    pub events: i16,
+    /// Returned events, written by [`poll`]; may include `POLLERR`,
+    /// `POLLHUP` and `POLLNVAL` even when not requested.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for `events`.
+    #[must_use]
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// True when any event in `mask` fired.
+    #[must_use]
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+
+    #[cfg(target_os = "macos")]
+    type NfdsT = u32;
+    #[cfg(not(target_os = "macos"))]
+    type NfdsT = std::os::raw::c_ulong;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int)
+            -> std::os::raw::c_int;
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        // SAFETY: `PollFd` is `#[repr(C)]` with the exact field order
+        // and types of the platform `struct pollfd`; the pointer and
+        // length come from a live mutable slice; the kernel writes
+        // only within the `fds.len()` entries it is given.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn poll_impl(_fds: &mut [super::PollFd], _timeout_ms: i32) -> std::io::Result<usize> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "poll(2) readiness is only available on unix targets",
+        ))
+    }
+}
+
+/// Waits up to `timeout_ms` milliseconds (`-1` blocks indefinitely,
+/// `0` returns immediately) for readiness on `fds`, returning how many
+/// entries have nonzero `revents`.
+///
+/// Signal interruptions (`EINTR`) are retried transparently; the
+/// timeout restarts on retry, which is acceptable for callers that
+/// sweep on bounded timeouts.
+///
+/// # Errors
+///
+/// Propagates the OS error from `poll(2)`; on non-unix targets always
+/// fails with `ErrorKind::Unsupported`.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        match sys::poll_impl(fds, timeout_ms) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connects");
+        let (b, _) = listener.accept().expect("accepts");
+        (a, b)
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_readiness() {
+        let (a, _b) = pair();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 10).expect("poll succeeds");
+        assert_eq!(n, 0);
+        assert!(!fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn written_bytes_make_the_peer_readable() {
+        let (mut a, b) = pair();
+        a.write_all(b"x").expect("writes");
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).expect("poll succeeds");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn idle_socket_is_writable_and_negative_fd_is_skipped() {
+        let (a, mut b) = pair();
+        let mut fds = [
+            PollFd::new(a.as_raw_fd(), POLLOUT),
+            PollFd::new(-1, POLLIN | POLLOUT),
+        ];
+        let n = poll(&mut fds, 1000).expect("poll succeeds");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLOUT));
+        assert_eq!(fds[1].revents, 0);
+        // Keep `b` alive until after the poll so POLLHUP cannot fire.
+        b.flush().expect("flush");
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let (a, b) = pair();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, 1000).expect("poll succeeds");
+        assert_eq!(n, 1);
+        // Linux reports POLLIN (EOF readable) and usually POLLHUP.
+        assert!(fds[0].has(POLLIN | POLLHUP));
+    }
+}
