@@ -1,0 +1,131 @@
+//! Standalone network-fault proxy for cluster partition drills: wraps
+//! [`noc_svc::net::chaos::ChaosProxy`] with a line-based TCP control
+//! port, so a CI job (or a human in another terminal) can flip faults
+//! on a running cluster without touching the nodes.
+//!
+//! ```text
+//! net_chaos --listen 127.0.0.1:19001 --upstream 127.0.0.1:18001 \
+//!           --control 127.0.0.1:17001
+//! ```
+//!
+//! Peers and clients dial `--listen`; bytes are forwarded to
+//! `--upstream` until a control command changes the policy. Control
+//! protocol — one command per line, one reply line per command:
+//!
+//! | command          | effect                                        |
+//! |------------------|-----------------------------------------------|
+//! | `deny on\|off`   | accept-and-close every connection (fast fail) |
+//! | `blackhole on\|off` | accept, swallow bytes, never answer        |
+//! | `latency <ms>`   | delay each request burst toward the upstream  |
+//! | `status`         | report `deny=.. blackhole=.. latency_ms=..`   |
+//!
+//! Denying only one node's proxy is a *one-way* partition: nothing
+//! reaches that node, but its own outbound dials (to the other nodes'
+//! proxies) still work. The process runs until killed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+use noc_svc::net::chaos::ChaosProxy;
+
+fn main() {
+    let mut listen = "127.0.0.1:0".to_owned();
+    let mut upstream: Option<String> = None;
+    let mut control = "127.0.0.1:0".to_owned();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("error: {} needs a value", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--listen" => listen = flag_value(&mut i),
+            "--upstream" => upstream = Some(flag_value(&mut i)),
+            "--control" => control = flag_value(&mut i),
+            flag => {
+                eprintln!("error: unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(upstream) = upstream else {
+        eprintln!("usage: net_chaos --listen <addr> --upstream <addr> [--control <addr>]");
+        std::process::exit(2);
+    };
+    let upstream: SocketAddr = upstream.parse().unwrap_or_else(|_| {
+        eprintln!("error: bad --upstream {upstream:?}");
+        std::process::exit(2);
+    });
+
+    let proxy = ChaosProxy::start(&listen, upstream).unwrap_or_else(|e| {
+        eprintln!("error: cannot start proxy on {listen}: {e}");
+        std::process::exit(1);
+    });
+    let ctl = TcpListener::bind(&control).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind control port {control}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "net_chaos: forwarding {} -> {upstream}, control on {}",
+        proxy.addr(),
+        ctl.local_addr().map_or(control, |a| a.to_string())
+    );
+
+    for conn in ctl.incoming() {
+        let Ok(conn) = conn else { continue };
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(30)));
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => continue,
+        };
+        let reader = BufReader::new(conn);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            let reply = apply(proxy.policy(), line.trim());
+            if writer.write_all(reply.as_bytes()).is_err()
+                || writer.write_all(b"\n").is_err()
+                || writer.flush().is_err()
+            {
+                break;
+            }
+        }
+    }
+}
+
+/// Applies one control command, returning the reply line.
+fn apply(policy: &noc_svc::net::chaos::ChaosPolicy, command: &str) -> String {
+    let mut words = command.split_whitespace();
+    match (words.next(), words.next()) {
+        (Some("deny"), Some(state @ ("on" | "off"))) => {
+            policy.set_deny(state == "on");
+            format!("ok deny={}", u8::from(policy.denied()))
+        }
+        (Some("blackhole"), Some(state @ ("on" | "off"))) => {
+            policy.set_blackhole(state == "on");
+            format!("ok blackhole={}", u8::from(policy.blackholed()))
+        }
+        (Some("latency"), Some(ms)) => match ms.parse::<u64>() {
+            Ok(ms) => {
+                policy.set_latency(Duration::from_millis(ms));
+                format!("ok latency_ms={}", policy.latency_ms())
+            }
+            Err(_) => format!("err bad latency {ms:?}"),
+        },
+        (Some("status"), None) => format!(
+            "ok deny={} blackhole={} latency_ms={}",
+            u8::from(policy.denied()),
+            u8::from(policy.blackholed()),
+            policy.latency_ms()
+        ),
+        _ => format!("err unknown command {command:?}"),
+    }
+}

@@ -29,6 +29,17 @@
 //!   node answer every problem byte-identically (verify), counting
 //!   peer cache-fills vs. local recomputes from each node's
 //!   `noc_svc_cluster_*` metrics, and writes `BENCH_cluster.json`.
+//! * `--chaos-net <ctrl,ctrl,...>` (with `--nodes`) — partition drill
+//!   against nodes listening behind `net_chaos` proxies, one control
+//!   address per node: fill, deny the first node's inbound proxy,
+//!   read everything from the survivors (latency percentiles prove
+//!   the failure detector skips the down peer instead of burning the
+//!   per-op timeout), heal, wait for anti-entropy to restore full
+//!   owner+successor replication (digest-verified), then gate a
+//!   byte-identical full re-read from every node with **zero**
+//!   schedule recomputes. Writes `BENCH_partition.json`. The `--nodes`
+//!   strings must be the proxy addresses exactly as the nodes name
+//!   each other, so the driver's ring matches the cluster's.
 //!
 //! Chaos modes, for the crash-recovery CI gate:
 //!
@@ -174,6 +185,7 @@ fn main() {
     let mut jobs = 8usize;
     let mut state_path = "chaos_state.json".to_owned();
     let mut nodes_text: Option<String> = None;
+    let mut chaos_net_text: Option<String> = None;
     let mut idle_conns = 0usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -206,6 +218,7 @@ fn main() {
             "--store-verify" => store_verify = true,
             "--expect-store" => expect_store = true,
             "--nodes" => nodes_text = Some(flag_value(&mut i)),
+            "--chaos-net" => chaos_net_text = Some(flag_value(&mut i)),
             "--idle-conns" => idle_conns = parse(&flag_value(&mut i)),
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
@@ -295,8 +308,41 @@ fn main() {
             eprintln!("error: --nodes needs at least two comma-separated addresses");
             std::process::exit(2);
         }
+        if let Some(ctrl_text) = chaos_net_text {
+            let mut controls = Vec::new();
+            for part in ctrl_text
+                .split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+            {
+                match part.parse::<SocketAddr>() {
+                    Ok(ctrl) => controls.push(ctrl),
+                    Err(_) => {
+                        eprintln!("error: bad --chaos-net address {part:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            if controls.len() != nodes.len() {
+                eprintln!(
+                    "error: --chaos-net needs one control address per --nodes entry \
+                     ({} controls for {} nodes)",
+                    controls.len(),
+                    nodes.len()
+                );
+                std::process::exit(2);
+            }
+            let out = out_path.unwrap_or_else(|| "BENCH_partition.json".to_owned());
+            std::process::exit(run_chaos_net(
+                &nodes, &controls, seed, graphs, timeout, &out,
+            ));
+        }
         let out = out_path.unwrap_or_else(|| "BENCH_cluster.json".to_owned());
         std::process::exit(run_cluster(&nodes, seed, graphs, timeout, &out));
+    }
+    if chaos_net_text.is_some() {
+        eprintln!("error: --chaos-net requires --nodes");
+        std::process::exit(2);
     }
     if chaos {
         std::process::exit(run_chaos(addr, seed, jobs, timeout, &state_path));
@@ -688,7 +734,42 @@ struct ClusterBench {
     /// Replication traffic observed (sent/received done-records).
     replication_sent: u64,
     replication_received: u64,
+    /// Verify-round request latency percentiles, all nodes pooled —
+    /// the number a down peer would inflate if fills burned the
+    /// per-operation timeout instead of skipping via the detector.
+    verify_p50_ms: f64,
+    verify_p99_ms: f64,
     wall_s: f64,
+}
+
+/// The fixed-seed cluster problem mix: `graphs` distinct CTGs times
+/// the fast schedulers, identical across fill/verify/partition runs.
+fn cluster_mix(seed: u64, graphs: usize) -> Vec<String> {
+    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
+    let mut mix: Vec<String> = Vec::new();
+    for g in 0..graphs {
+        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(g as u64));
+        cfg.task_count = 10 + (g % 4) * 2;
+        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
+            .generate(&platform)
+            .expect("graph generates");
+        let graph_json = serde_json::to_string(&graph).expect("serializes");
+        for scheduler in &SCHEDULERS {
+            mix.push(format!(
+                r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#
+            ));
+        }
+    }
+    mix
+}
+
+/// Latency percentile over a sorted sample, in milliseconds.
+fn pct_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64) * p).ceil() as usize;
+    sorted_us[idx.clamp(1, sorted_us.len()) - 1] as f64 / 1000.0
 }
 
 /// Multi-node driver: fill the cluster through round-robin sprayed
@@ -705,21 +786,7 @@ fn run_cluster(
         "== svc_load --nodes: {} nodes, {graphs} graphs, seed {seed:#x} ==",
         nodes.len()
     );
-    let platform = noc_svc::spec::parse_platform("mesh:2x2").expect("platform parses");
-    let mut mix: Vec<String> = Vec::new();
-    for g in 0..graphs {
-        let mut cfg = noc_ctg::prelude::TgffConfig::category_i(seed.wrapping_add(g as u64));
-        cfg.task_count = 10 + (g % 4) * 2;
-        let graph = noc_ctg::prelude::TgffGenerator::new(cfg)
-            .generate(&platform)
-            .expect("graph generates");
-        let graph_json = serde_json::to_string(&graph).expect("serializes");
-        for scheduler in &SCHEDULERS {
-            mix.push(format!(
-                r#"{{"graph":{graph_json},"platform":"mesh:2x2","scheduler":"{scheduler}"}}"#
-            ));
-        }
-    }
+    let mix = cluster_mix(seed, graphs);
 
     let mut clients: Vec<Client> = Vec::new();
     for (name, node) in nodes {
@@ -779,13 +846,16 @@ fn run_cluster(
     // fill round's exact bytes, wherever those bytes have to come
     // from (local cache, the owner's store via peer fill, or a
     // replica).
+    let mut verify_us: Vec<u64> = Vec::new();
     for (idx, body) in mix.iter().enumerate() {
         let Some(expected) = &reference[idx] else {
             continue;
         };
         for (n, client) in clients.iter_mut().enumerate() {
+            let sent = Instant::now();
             match client.post("/v1/schedule", body) {
                 Ok(resp) if resp.status == 200 => {
+                    verify_us.push(sent.elapsed().as_micros() as u64);
                     requests += 1;
                     if resp.body != *expected {
                         eprintln!(
@@ -828,6 +898,11 @@ fn run_cluster(
             &mut clients,
             "noc_svc_cluster_replication_received_total",
         ),
+        verify_p50_ms: {
+            verify_us.sort_unstable();
+            pct_ms(&verify_us, 0.50)
+        },
+        verify_p99_ms: pct_ms(&verify_us, 0.99),
         wall_s,
     };
     println!(
@@ -852,6 +927,401 @@ fn run_cluster(
         }
     }
     i32::from(errors > 0 || violations > 0)
+}
+
+/// The `BENCH_partition.json` artifact — the self-healing gate.
+#[derive(Debug, Serialize)]
+struct PartitionBench {
+    nodes: Vec<String>,
+    /// The node whose inbound proxy was denied for the drill.
+    partitioned_node: String,
+    distinct_problems: usize,
+    errors: usize,
+    determinism_violations: usize,
+    /// Survivor-read latency percentiles *while the owner was
+    /// partitioned*. The detector gate: these must sit near the local
+    /// compute cost, not near `nodes × per-op timeout`, because after
+    /// the first threshold failures the down peer is skipped in O(1).
+    partition_p50_ms: f64,
+    partition_p99_ms: f64,
+    /// Fill attempts skipped because the detector held the peer Down.
+    peer_fill_skips: u64,
+    /// Probes granted to Down peers, and recoveries observed.
+    probes: u64,
+    peer_recoveries: u64,
+    /// Replication deliveries that failed (and were requeued) plus
+    /// retry-queue overflow drops across the drill.
+    replication_delivery_failures: u64,
+    replication_overflow: u64,
+    /// Anti-entropy sweeps run and records they re-enqueued.
+    anti_entropy_rounds: u64,
+    anti_entropy_repairs: u64,
+    /// Seconds from healing the partition to full owner+successor
+    /// replication of every record (digest-verified).
+    converge_s: f64,
+    /// Whether convergence was reached before the deadline.
+    fully_replicated: bool,
+    /// Schedule computations during the post-heal full re-read —
+    /// must be 0: every answer comes from a store hit or a peer fill.
+    recomputes_after_heal: u64,
+    wall_s: f64,
+}
+
+/// Partition drill against a cluster running behind `net_chaos`
+/// proxies: fill, partition the first node (deny its inbound proxy),
+/// read everything from the survivors (latency-gated), heal, wait for
+/// anti-entropy to restore full owner+successor replication, then
+/// demand a zero-recompute byte-identical full re-read.
+///
+/// `nodes` must list the *proxy* addresses in ring-identity form —
+/// the same strings the nodes were configured with as `--peers` — so
+/// the locally built [`noc_svc::cluster::Ring`] agrees with the
+/// cluster's own ownership. `controls[i]` is node i's proxy control
+/// port.
+fn run_chaos_net(
+    nodes: &[(String, SocketAddr)],
+    controls: &[SocketAddr],
+    seed: u64,
+    graphs: usize,
+    timeout: Duration,
+    out_path: &str,
+) -> i32 {
+    println!(
+        "== svc_load --chaos-net: {} nodes, {graphs} graphs, seed {seed:#x}, \
+         partitioning {} ==",
+        nodes.len(),
+        nodes[0].0
+    );
+    let mix = cluster_mix(seed, graphs);
+    let ring = noc_svc::cluster::Ring::new(nodes.iter().map(|(name, _)| name.clone()).collect());
+
+    let mut clients: Vec<Client> = Vec::new();
+    for (name, node) in nodes {
+        match Client::connect_retry(*node, Duration::from_secs(10)) {
+            Ok(mut c) => {
+                let _ = c.set_timeout(timeout);
+                clients.push(c);
+            }
+            Err(e) => {
+                eprintln!("error: cannot reach node {name}: {e}");
+                return 1;
+            }
+        }
+    }
+    // Make sure every proxy control answers before touching the
+    // cluster, so a misconfigured drill fails before the fill wave.
+    for (i, ctrl) in controls.iter().enumerate() {
+        if let Err(e) = chaos_ctl(*ctrl, "status") {
+            eprintln!("error: proxy control {i} ({ctrl}) unreachable: {e}");
+            return 1;
+        }
+    }
+
+    let started = Instant::now();
+    let mut errors = 0usize;
+    let mut violations = 0usize;
+
+    // Phase 1a — fill *half* the mix while the cluster is healthy, so
+    // the partition later hits a settled, replicated baseline.
+    let mut reference: Vec<Option<String>> = vec![None; mix.len()];
+    let fill = |clients: &mut Vec<Client>,
+                reference: &mut Vec<Option<String>>,
+                errors: &mut usize,
+                idx: usize,
+                n: usize| {
+        match clients[n].post("/v1/schedule", &mix[idx]) {
+            Ok(resp) if resp.status == 200 => reference[idx] = Some(resp.body),
+            Ok(resp) => {
+                eprintln!(
+                    "fill: node {} answered {} for {idx}",
+                    nodes[n].0, resp.status
+                );
+                *errors += 1;
+            }
+            Err(e) => {
+                eprintln!("fill: node {} failed on {idx}: {e}", nodes[n].0);
+                *errors += 1;
+            }
+        }
+    };
+    for idx in (0..mix.len()).step_by(2) {
+        fill(
+            &mut clients,
+            &mut reference,
+            &mut errors,
+            idx,
+            idx % nodes.len(),
+        );
+    }
+    if !await_replication_drained(&mut clients, Duration::from_secs(30)) {
+        eprintln!("error: replication lag did not drain after the healthy fill");
+        errors += 1;
+    }
+    println!(
+        "healthy fill done: {} problems, {errors} errors",
+        mix.len().div_ceil(2)
+    );
+
+    // Phase 1b — partition node 0, then fill the other half through
+    // the survivors: every record owned by node 0 now exists only on
+    // the survivor side, the debt anti-entropy must later repay.
+    if let Err(e) = chaos_ctl(controls[0], "deny on") {
+        eprintln!("error: cannot partition {}: {e}", nodes[0].0);
+        return 1;
+    }
+    for idx in (1..mix.len()).step_by(2) {
+        let survivor = 1 + idx % (nodes.len() - 1);
+        fill(&mut clients, &mut reference, &mut errors, idx, survivor);
+    }
+    println!("mid-partition fill done: {errors} errors total");
+    let mut partition_us: Vec<u64> = Vec::new();
+    for (idx, body) in mix.iter().enumerate() {
+        let Some(expected) = &reference[idx] else {
+            continue;
+        };
+        for (n, client) in clients.iter_mut().enumerate().skip(1) {
+            let sent = Instant::now();
+            match client.post("/v1/schedule", body) {
+                Ok(resp) if resp.status == 200 => {
+                    partition_us.push(sent.elapsed().as_micros() as u64);
+                    if resp.body != *expected {
+                        eprintln!(
+                            "determinism violation: node {} diverges on {idx} mid-partition",
+                            nodes[n].0
+                        );
+                        violations += 1;
+                    }
+                }
+                Ok(resp) => {
+                    eprintln!(
+                        "partition: node {} answered {} for {idx}",
+                        nodes[n].0, resp.status
+                    );
+                    errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("partition: node {} failed on {idx}: {e}", nodes[n].0);
+                    errors += 1;
+                }
+            }
+        }
+    }
+    partition_us.sort_unstable();
+    let partition_p50_ms = pct_ms(&partition_us, 0.50);
+    let partition_p99_ms = pct_ms(&partition_us, 0.99);
+    println!(
+        "partition reads done: p50 {partition_p50_ms:.2}ms p99 {partition_p99_ms:.2}ms, \
+         {errors} errors, {violations} violations"
+    );
+
+    // Phase 3 — heal and wait for anti-entropy convergence: every
+    // record present in the digest of its owner *and* successor, and
+    // all retry queues drained.
+    if let Err(e) = chaos_ctl(controls[0], "deny off") {
+        eprintln!("error: cannot heal {}: {e}", nodes[0].0);
+        return 1;
+    }
+    let healed = Instant::now();
+    let deadline = healed + Duration::from_secs(90);
+    let mut fully_replicated = false;
+    while Instant::now() < deadline {
+        if replication_converged(&mut clients, nodes, &ring)
+            && await_replication_drained(&mut clients, Duration::from_millis(1))
+        {
+            fully_replicated = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let converge_s = healed.elapsed().as_secs_f64();
+    if fully_replicated {
+        println!("anti-entropy converged {converge_s:.1}s after heal");
+    } else {
+        eprintln!("error: cluster did not converge within 90s of healing");
+        errors += 1;
+    }
+
+    // Phase 4 — the zero-recompute gate: with replication healed,
+    // every node answers every problem byte-identically without a
+    // single schedule execution anywhere.
+    let scrape_cluster = |clients: &mut Vec<Client>, name: &str| -> u64 {
+        let mut total = 0;
+        for c in clients.iter_mut() {
+            total += scrape(&c.get("/metrics").map(|r| r.body).unwrap_or_default(), name);
+        }
+        total
+    };
+    let computes_before = scrape_cluster(&mut clients, "noc_svc_schedules_executed_total");
+    for (idx, body) in mix.iter().enumerate() {
+        let Some(expected) = &reference[idx] else {
+            continue;
+        };
+        for (n, client) in clients.iter_mut().enumerate() {
+            match client.post("/v1/schedule", body) {
+                Ok(resp) if resp.status == 200 => {
+                    if resp.body != *expected {
+                        eprintln!(
+                            "determinism violation: node {} diverges on {idx} after heal",
+                            nodes[n].0
+                        );
+                        violations += 1;
+                    }
+                }
+                Ok(resp) => {
+                    eprintln!(
+                        "re-read: node {} answered {} for {idx}",
+                        nodes[n].0, resp.status
+                    );
+                    errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("re-read: node {} failed on {idx}: {e}", nodes[n].0);
+                    errors += 1;
+                }
+            }
+        }
+    }
+    let recomputes_after_heal = scrape_cluster(&mut clients, "noc_svc_schedules_executed_total")
+        .saturating_sub(computes_before);
+    if recomputes_after_heal > 0 {
+        eprintln!(
+            "error: {recomputes_after_heal} schedules recomputed on the post-heal re-read \
+             (want 0 — replication should already hold every record)"
+        );
+        errors += 1;
+    }
+
+    let report = PartitionBench {
+        nodes: nodes.iter().map(|(name, _)| name.clone()).collect(),
+        partitioned_node: nodes[0].0.clone(),
+        distinct_problems: mix.len(),
+        errors,
+        determinism_violations: violations,
+        partition_p50_ms,
+        partition_p99_ms,
+        peer_fill_skips: scrape_cluster(&mut clients, "noc_svc_cluster_peer_fill_skips_total"),
+        probes: scrape_cluster(&mut clients, "noc_svc_cluster_probes_total"),
+        peer_recoveries: scrape_cluster(&mut clients, "noc_svc_cluster_peer_recoveries_total"),
+        replication_delivery_failures: scrape_cluster(
+            &mut clients,
+            "noc_svc_cluster_replication_delivery_failures_total",
+        ),
+        replication_overflow: scrape_cluster(
+            &mut clients,
+            "noc_svc_cluster_replication_overflow_total",
+        ),
+        anti_entropy_rounds: scrape_cluster(
+            &mut clients,
+            "noc_svc_cluster_anti_entropy_rounds_total",
+        ),
+        anti_entropy_repairs: scrape_cluster(
+            &mut clients,
+            "noc_svc_cluster_anti_entropy_repairs_total",
+        ),
+        converge_s,
+        fully_replicated,
+        recomputes_after_heal,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    println!(
+        "partition drill: p99 {partition_p99_ms:.2}ms under partition | {} skips, {} probes, \
+         {} recoveries | {} anti-entropy repairs | converged in {converge_s:.1}s | \
+         {recomputes_after_heal} post-heal recomputes | {errors} errors, {violations} violations",
+        report.peer_fill_skips, report.probes, report.peer_recoveries, report.anti_entropy_repairs,
+    );
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_path, json) {
+                eprintln!("error: cannot write {out_path}: {e}");
+                return 1;
+            }
+            println!("Artifact written to {out_path}");
+        }
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            return 1;
+        }
+    }
+    i32::from(errors > 0 || violations > 0 || !fully_replicated || recomputes_after_heal > 0)
+}
+
+/// Sends one command line to a `net_chaos` control port and returns
+/// its reply, failing on anything but an `ok` answer.
+fn chaos_ctl(ctrl: SocketAddr, command: &str) -> Result<String, String> {
+    use std::io::BufRead as _;
+    let conn = std::net::TcpStream::connect_timeout(&ctrl, Duration::from_secs(5))
+        .map_err(|e| e.to_string())?;
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut writer = conn.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{command}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    std::io::BufReader::new(conn)
+        .read_line(&mut reply)
+        .map_err(|e| e.to_string())?;
+    let reply = reply.trim().to_owned();
+    if reply.starts_with("ok") {
+        Ok(reply)
+    } else {
+        Err(format!("control answered {reply:?}"))
+    }
+}
+
+/// Polls every node until the summed replication retry backlog
+/// (`noc_svc_cluster_replication_lag`) reaches zero.
+fn await_replication_drained(clients: &mut [Client], patience: Duration) -> bool {
+    let deadline = Instant::now() + patience;
+    loop {
+        let mut lag = 0u64;
+        for c in clients.iter_mut() {
+            lag += scrape(
+                &c.get("/metrics").map(|r| r.body).unwrap_or_default(),
+                "noc_svc_cluster_replication_lag",
+            );
+        }
+        if lag == 0 {
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Checks full owner+successor replication: every record id reported
+/// by *any* node's digest must be present in the digests of both
+/// nodes on its ring owner chain.
+fn replication_converged(
+    clients: &mut [Client],
+    nodes: &[(String, SocketAddr)],
+    ring: &noc_svc::cluster::Ring,
+) -> bool {
+    let mut digests: HashMap<String, std::collections::HashSet<String>> = HashMap::new();
+    for (n, client) in clients.iter_mut().enumerate() {
+        match client.get("/v1/internal/digest") {
+            Ok(resp) if resp.status == 200 => {
+                match serde_json::from_str::<noc_svc::cluster::Digest>(&resp.body) {
+                    Ok(digest) => {
+                        digests.insert(nodes[n].0.clone(), digest.ids.into_iter().collect());
+                    }
+                    Err(_) => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+    let all_ids: Vec<String> = digests
+        .values()
+        .flat_map(|ids| ids.iter().cloned())
+        .collect();
+    all_ids.iter().all(|id| {
+        ring.owner_chain(id, 2)
+            .iter()
+            .all(|node| digests.get(*node).is_some_and(|ids| ids.contains(id)))
+    })
 }
 
 /// One async job recorded by the chaos phase for the verify phase.

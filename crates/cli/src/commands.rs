@@ -82,6 +82,7 @@ USAGE:
                [--budget-ms MS] [--journal PATH] [--store-dir DIR]
                [--store-segment-bytes N] [--net reactor|thread]
                [--peers ADDR,ADDR,...] [--self-addr ADDR]
+               [--peer-timeout-ms MS] [--probe-ms MS] [--anti-entropy-ms MS]
       Run the scheduling service: POST /v1/schedule, POST /v1/validate,
       GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
       bounded at --queue entries (429 + Retry-After past it) and
@@ -109,7 +110,14 @@ USAGE:
       before computing locally, done-records replicate to the ring
       successor for failover, and every node answers byte-identically
       (see docs/CLUSTER.md). --self-addr sets this node's ring
-      identity when it differs from --addr (e.g. behind NAT).
+      identity when it differs from --addr (e.g. behind NAT). A
+      per-peer failure detector marks peers Down after consecutive
+      failures so lookups and replication skip them in O(1);
+      --peer-timeout-ms bounds each internal peer operation (default
+      1000), --probe-ms sets the Down-peer re-probe backoff base
+      (default 250, doubling to 16x), and --anti-entropy-ms sets the
+      digest-exchange sweep period that re-replicates records a
+      recovered peer missed (default 2000; 0 disables the sweep).
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -572,6 +580,13 @@ fn serve(args: &Args) -> Result<String, String> {
         store_dir: args.get("store-dir").map(str::to_owned),
         store_segment_bytes: args
             .get_num("store-segment-bytes", noc_svc::store::DEFAULT_SEGMENT_BYTES)?,
+        peer_timeout: std::time::Duration::from_millis(
+            args.get_num("peer-timeout-ms", 1000u64)?.max(1),
+        ),
+        probe_interval: std::time::Duration::from_millis(args.get_num("probe-ms", 250u64)?.max(1)),
+        anti_entropy_interval: std::time::Duration::from_millis(
+            args.get_num("anti-entropy-ms", 2000u64)?,
+        ),
         ..noc_svc::ServiceConfig::default()
     };
     let server = noc_svc::Server::start(config).map_err(|e| e.to_string())?;

@@ -103,6 +103,13 @@ impl ScheduleCache {
         );
     }
 
+    /// `true` when `key` is resident, without refreshing its recency
+    /// — enumeration passes must not perturb the LRU order.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
     /// Number of cached responses.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -95,7 +95,12 @@ impl Client {
     pub fn connect_retry(addr: SocketAddr, patience: Duration) -> std::io::Result<Self> {
         let deadline = Instant::now() + patience;
         loop {
-            match TcpStream::connect(addr) {
+            // Each attempt is capped at the time left (and the global
+            // connect cap): a black-holed address — SYN never answered
+            // — must exhaust `patience`, not hang in the platform's
+            // minutes-long default the way a plain `connect` would.
+            let budget = attempt_budget(deadline, Instant::now());
+            match TcpStream::connect_timeout(&addr, budget) {
                 Ok(conn) => {
                     let mut client = Client::new(addr);
                     client.install(conn)?;
@@ -190,6 +195,16 @@ impl Client {
             }
         }
     }
+}
+
+/// How long one connect attempt may block: the time left until
+/// `deadline`, clamped by the global connect cap, floored at 1 ms so
+/// `connect_timeout` never sees a zero duration (which it rejects).
+fn attempt_budget(deadline: Instant, now: Instant) -> Duration {
+    deadline
+        .saturating_duration_since(now)
+        .min(CONNECT_TIMEOUT)
+        .max(Duration::from_millis(1))
 }
 
 fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
@@ -294,6 +309,27 @@ mod tests {
         );
         drop(client);
         let _ = mute.join();
+    }
+
+    #[test]
+    fn connect_attempt_budget_is_bounded_by_patience_and_the_global_cap() {
+        let now = Instant::now();
+        // Plenty of patience left: the attempt still may not exceed
+        // the global connect cap, so a black-holed address — SYN
+        // never answered — fails per-attempt instead of sitting in
+        // the platform's minutes-long default.
+        let far = now + Duration::from_secs(600);
+        assert_eq!(attempt_budget(far, now), CONNECT_TIMEOUT);
+        // Less patience than the cap: the remaining patience wins, so
+        // the loop returns by `deadline` even when every SYN hangs.
+        let near = now + Duration::from_millis(120);
+        assert_eq!(attempt_budget(near, now), Duration::from_millis(120));
+        // Deadline already passed: still a nonzero budget, because
+        // `connect_timeout` rejects zero durations outright.
+        assert_eq!(
+            attempt_budget(now, now + Duration::from_secs(1)),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Per-peer failure detection: a deterministic state machine that
+//! lets lookups and replication skip known-down peers in O(1) instead
+//! of burning the per-operation timeout on every request.
+//!
+//! States and transitions:
+//!
+//! ```text
+//!            failure                    failure × threshold
+//!   Up ───────────────────▶ Suspect ───────────────────────▶ Down
+//!   ▲                          │                               │
+//!   └── success ◀──────────────┴──── success (via probe) ◀─────┘
+//! ```
+//!
+//! - **Up**: every operation may use the peer.
+//! - **Suspect**: at least one consecutive failure, fewer than the
+//!   threshold. Operations still use the peer — a single timeout must
+//!   not eclipse a healthy node.
+//! - **Down**: the consecutive-failure threshold was reached. All
+//!   operations skip the peer except one *probe* per backoff window;
+//!   the window doubles on every failed probe, bounded by
+//!   `probe_max`. The first successful operation — probe or not —
+//!   returns the peer to Up and resets the backoff.
+//!
+//! The state machine ([`PeerDetector`]) is pure: transitions depend
+//! only on the reported outcomes and the caller-supplied clock, so a
+//! scripted outcome sequence always replays to the same states (see
+//! the property tests in `tests/detector_properties.rs`). The
+//! [`Health`] table wraps it with a real clock and the shared
+//! per-peer gauges.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use super::ClusterStats;
+
+/// Failure-detector tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Consecutive failures that turn Suspect into Down.
+    pub failure_threshold: u32,
+    /// First probe backoff after a peer goes Down, milliseconds.
+    pub probe_base_ms: u64,
+    /// Backoff ceiling for repeated failed probes, milliseconds.
+    pub probe_max_ms: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            failure_threshold: 3,
+            probe_base_ms: 250,
+            probe_max_ms: 4000,
+        }
+    }
+}
+
+/// A peer's health state as the detector sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// No outstanding failures; use freely.
+    Up,
+    /// Some consecutive failures, below the threshold; still used.
+    Suspect,
+    /// Threshold reached; skipped except for backoff-gated probes.
+    Down,
+}
+
+impl PeerState {
+    /// The state's wire/label name (`up`, `suspect`, `down`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PeerState::Up => "up",
+            PeerState::Suspect => "suspect",
+            PeerState::Down => "down",
+        }
+    }
+}
+
+/// What an operation should do with a peer right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Peer is Up or Suspect: use it.
+    Use,
+    /// Peer is Down and its probe window elapsed: this caller is the
+    /// probe. The window is re-armed immediately, so concurrent
+    /// callers cannot stampede a recovering peer.
+    Probe,
+    /// Peer is Down inside its backoff window: skip in O(1).
+    Skip,
+}
+
+/// The per-peer state machine. All methods take the clock as a
+/// millisecond tick so transitions are a pure function of the
+/// scripted inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerDetector {
+    state: PeerState,
+    consecutive_failures: u32,
+    backoff_ms: u64,
+    next_probe_ms: u64,
+}
+
+impl Default for PeerDetector {
+    fn default() -> Self {
+        PeerDetector::new()
+    }
+}
+
+impl PeerDetector {
+    /// A fresh detector: Up, no failures.
+    #[must_use]
+    pub fn new() -> PeerDetector {
+        PeerDetector {
+            state: PeerState::Up,
+            consecutive_failures: 0,
+            backoff_ms: 0,
+            next_probe_ms: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> PeerState {
+        self.state
+    }
+
+    /// Consecutive failures since the last success.
+    #[must_use]
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Milliseconds until the next allowed probe (0 when not Down or
+    /// already due).
+    #[must_use]
+    pub fn probe_in_ms(&self, now_ms: u64) -> u64 {
+        match self.state {
+            PeerState::Down => self.next_probe_ms.saturating_sub(now_ms),
+            _ => 0,
+        }
+    }
+
+    /// Reports a successful operation: any state returns to Up and
+    /// the backoff resets.
+    pub fn on_success(&mut self) {
+        *self = PeerDetector::new();
+    }
+
+    /// Reports a failed operation at `now_ms`. Entering Down arms the
+    /// first probe window; failing while Down (a failed probe)
+    /// doubles the window, bounded by `probe_max_ms`.
+    pub fn on_failure(&mut self, cfg: &DetectorConfig, now_ms: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= cfg.failure_threshold.max(1) {
+            self.backoff_ms = if self.state == PeerState::Down {
+                (self.backoff_ms.saturating_mul(2)).min(cfg.probe_max_ms)
+            } else {
+                cfg.probe_base_ms.min(cfg.probe_max_ms)
+            };
+            self.state = PeerState::Down;
+            self.next_probe_ms = now_ms.saturating_add(self.backoff_ms);
+        } else {
+            self.state = PeerState::Suspect;
+        }
+    }
+
+    /// Decides what an operation at `now_ms` should do. Claiming a
+    /// [`Decision::Probe`] re-arms the window before the probe's
+    /// outcome is known, so only one in-flight probe exists per
+    /// window.
+    pub fn decide(&mut self, now_ms: u64) -> Decision {
+        match self.state {
+            PeerState::Up | PeerState::Suspect => Decision::Use,
+            PeerState::Down if now_ms >= self.next_probe_ms => {
+                self.next_probe_ms = now_ms.saturating_add(self.backoff_ms.max(1));
+                Decision::Probe
+            }
+            PeerState::Down => Decision::Skip,
+        }
+    }
+}
+
+/// One peer's health as reported by `/v1/internal/health`.
+#[derive(Debug, Clone)]
+pub struct PeerHealth {
+    /// The peer's ring identity.
+    pub peer: String,
+    /// Detector state.
+    pub state: PeerState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Milliseconds until the next allowed probe (0 unless Down).
+    pub probe_in_ms: u64,
+}
+
+/// The node's live health table: a [`PeerDetector`] per peer behind a
+/// real clock, mirroring state into the shared
+/// `noc_svc_cluster_peer_up{peer}` gauges.
+pub(crate) struct Health {
+    cfg: DetectorConfig,
+    epoch: Instant,
+    peers: Mutex<HashMap<String, PeerDetector>>,
+    stats: Arc<ClusterStats>,
+}
+
+impl Health {
+    /// Builds the table with every peer Up.
+    pub(crate) fn new(cfg: DetectorConfig, peers: &[String], stats: Arc<ClusterStats>) -> Health {
+        let mut up = stats.peer_up.lock().expect("peer gauge lock");
+        for peer in peers {
+            up.insert(peer.clone(), 1);
+        }
+        drop(up);
+        Health {
+            cfg,
+            epoch: Instant::now(),
+            peers: Mutex::new(
+                peers
+                    .iter()
+                    .map(|p| (p.clone(), PeerDetector::new()))
+                    .collect(),
+            ),
+            stats,
+        }
+    }
+
+    /// Milliseconds since the table was built — the detector clock.
+    pub(crate) fn now_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Decides what to do with `peer` right now; counts claimed
+    /// probes.
+    pub(crate) fn decide(&self, peer: &str, now_ms: u64) -> Decision {
+        let mut peers = self.peers.lock().expect("health lock");
+        let decision = peers
+            .get_mut(peer)
+            .map_or(Decision::Use, |d| d.decide(now_ms));
+        drop(peers);
+        if decision == Decision::Probe {
+            self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        }
+        decision
+    }
+
+    /// Milliseconds until `peer`'s next allowed probe.
+    pub(crate) fn probe_in_ms(&self, peer: &str, now_ms: u64) -> u64 {
+        self.peers
+            .lock()
+            .expect("health lock")
+            .get(peer)
+            .map_or(0, |d| d.probe_in_ms(now_ms))
+    }
+
+    /// Reports a successful operation against `peer`.
+    pub(crate) fn success(&self, peer: &str) {
+        let mut peers = self.peers.lock().expect("health lock");
+        if let Some(d) = peers.get_mut(peer) {
+            let was_down = d.state() == PeerState::Down;
+            d.on_success();
+            drop(peers);
+            if was_down {
+                self.stats.peer_recoveries.fetch_add(1, Ordering::Relaxed);
+            }
+            self.set_gauge(peer, 1);
+        }
+    }
+
+    /// Reports a failed operation against `peer`.
+    pub(crate) fn failure(&self, peer: &str) {
+        let now = self.now_ms();
+        let mut peers = self.peers.lock().expect("health lock");
+        if let Some(d) = peers.get_mut(peer) {
+            d.on_failure(&self.cfg, now);
+            let down = d.state() == PeerState::Down;
+            drop(peers);
+            self.set_gauge(peer, u64::from(!down));
+        }
+    }
+
+    /// The full table, sorted by peer, for `/v1/internal/health`.
+    pub(crate) fn snapshot(&self) -> Vec<PeerHealth> {
+        let now = self.now_ms();
+        let peers = self.peers.lock().expect("health lock");
+        let mut all: Vec<PeerHealth> = peers
+            .iter()
+            .map(|(peer, d)| PeerHealth {
+                peer: peer.clone(),
+                state: d.state(),
+                consecutive_failures: d.consecutive_failures(),
+                probe_in_ms: d.probe_in_ms(now),
+            })
+            .collect();
+        drop(peers);
+        all.sort_by(|a, b| a.peer.cmp(&b.peer));
+        all
+    }
+
+    fn set_gauge(&self, peer: &str, value: u64) {
+        let mut up = self.stats.peer_up.lock().expect("peer gauge lock");
+        up.insert(peer.to_owned(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            failure_threshold: 3,
+            probe_base_ms: 100,
+            probe_max_ms: 800,
+        }
+    }
+
+    #[test]
+    fn threshold_failures_reach_down_through_suspect() {
+        let cfg = cfg();
+        let mut d = PeerDetector::new();
+        d.on_failure(&cfg, 0);
+        assert_eq!(d.state(), PeerState::Suspect);
+        d.on_failure(&cfg, 10);
+        assert_eq!(d.state(), PeerState::Suspect);
+        d.on_failure(&cfg, 20);
+        assert_eq!(d.state(), PeerState::Down);
+        assert_eq!(d.decide(20), Decision::Skip, "inside the probe window");
+        assert_eq!(d.decide(120), Decision::Probe, "window elapsed");
+        assert_eq!(
+            d.decide(121),
+            Decision::Skip,
+            "claiming the probe re-arms the window"
+        );
+    }
+
+    #[test]
+    fn failed_probes_double_the_backoff_up_to_the_cap() {
+        let cfg = cfg();
+        let mut d = PeerDetector::new();
+        for t in 0..3 {
+            d.on_failure(&cfg, t);
+        }
+        let mut expected = 100;
+        let mut now = 2;
+        for _ in 0..6 {
+            now += d.probe_in_ms(now);
+            assert_eq!(d.decide(now), Decision::Probe);
+            d.on_failure(&cfg, now);
+            expected = (expected * 2).min(800);
+            assert_eq!(d.probe_in_ms(now), expected);
+        }
+        assert_eq!(d.probe_in_ms(now), 800, "backoff is bounded");
+    }
+
+    #[test]
+    fn any_success_recovers_to_up_and_resets_backoff() {
+        let cfg = cfg();
+        let mut d = PeerDetector::new();
+        for t in 0..5 {
+            d.on_failure(&cfg, t);
+        }
+        assert_eq!(d.state(), PeerState::Down);
+        d.on_success();
+        assert_eq!(d.state(), PeerState::Up);
+        assert_eq!(d.consecutive_failures(), 0);
+        assert_eq!(d.decide(1_000_000), Decision::Use);
+        // Going down again starts from the base backoff, not the
+        // doubled one.
+        for t in 0..3 {
+            d.on_failure(&cfg, t);
+        }
+        assert_eq!(d.probe_in_ms(2), 100);
+    }
+
+    #[test]
+    fn health_table_mirrors_state_into_the_peer_gauge() {
+        let stats = Arc::new(ClusterStats::default());
+        let peers = vec!["a:1".to_owned(), "b:2".to_owned()];
+        let health = Health::new(cfg(), &peers, Arc::clone(&stats));
+        assert_eq!(stats.peer_up.lock().expect("gauges")["a:1"], 1);
+        for _ in 0..3 {
+            health.failure("a:1");
+        }
+        assert_eq!(stats.peer_up.lock().expect("gauges")["a:1"], 0);
+        assert_eq!(stats.peer_up.lock().expect("gauges")["b:2"], 1);
+        health.success("a:1");
+        assert_eq!(stats.peer_up.lock().expect("gauges")["a:1"], 1);
+        assert_eq!(stats.peer_recoveries.load(Ordering::Relaxed), 1);
+    }
+}

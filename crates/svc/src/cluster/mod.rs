@@ -1,5 +1,5 @@
-//! Multi-node mode: consistent-hash ownership, peer cache-fill and
-//! best-effort replication.
+//! Multi-node mode: consistent-hash ownership, peer cache-fill,
+//! replication with retry, and anti-entropy self-healing.
 //!
 //! Every node runs the full single-node engine — admission, queue,
 //! journal, tiered store — and the cluster layer only changes where
@@ -15,36 +15,54 @@
 //!   cross-node cache hierarchy, not a proxy: the fill result is
 //!   served and cached like a local hit, and a miss everywhere falls
 //!   back to local compute, so a dead peer can never fail a request.
+//! - **Failure detection.** A per-peer detector ([`health`]) tracks
+//!   consecutive failures (Up → Suspect → Down) so fills and
+//!   replication skip known-down peers in O(1) instead of burning
+//!   the per-operation timeout; Down peers are re-probed on a
+//!   bounded exponential backoff and recover on the first success.
 //! - **Replication.** When a node finishes a job it enqueues the done
 //!   record for asynchronous delivery to the owner and successor
-//!   (`POST /v1/internal/record/<hash>`), so the owner's death leaves
-//!   a second node able to serve the exact bytes with zero recompute.
+//!   (`POST /v1/internal/record/<hash>`). Deliveries that fail stay
+//!   in a bounded per-peer retry queue (drop-*oldest* on overflow —
+//!   the newest record is the one most likely to be requested) and
+//!   are retried when the detector lets the peer through again.
+//! - **Anti-entropy.** A periodic sweep exchanges store digests
+//!   (`GET /v1/internal/digest`, the store-index key lanes rendered
+//!   as 32-hex ids) with each live peer and re-enqueues any record
+//!   the peer should hold but does not — so a peer that was down,
+//!   partitioned or overflowed converges back to full owner+successor
+//!   replication without operator action.
 //!
 //! Responses stay byte-identical wherever they are answered: the
 //! envelope carries the canonical request key and the exact stored
 //! body, and receivers verify the key hashes to the id they were
 //! given before trusting it.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
 use crate::cache::JobOutput;
 use crate::client::Client;
 
+mod health;
 mod ring;
 
+use health::Health;
+pub use health::{Decision, DetectorConfig, PeerDetector, PeerHealth, PeerState};
 pub use ring::{Ring, VNODES};
 
-/// Replication backlog bound; pushes past it are dropped (and counted
-/// as failed) — replication is best-effort and must never grow memory
-/// without bound when a peer is down.
+/// Default per-peer replication backlog bound. Past it the *oldest*
+/// queued record is dropped (and counted as overflow) — replication
+/// must never grow memory without bound while a peer is down, and the
+/// newest record is the one most likely to be requested next.
 const REPL_QUEUE_MAX: usize = 4096;
 
 /// Cluster membership and tunables.
@@ -58,18 +76,121 @@ pub struct ClusterConfig {
     /// Per-operation timeout for internal lookups and replication
     /// deliveries.
     pub timeout: Duration,
+    /// Failure-detector thresholds and probe backoff bounds.
+    pub detector: DetectorConfig,
+    /// Anti-entropy sweep period; `Duration::ZERO` disables the
+    /// sweep (retry queues still converge live peers).
+    pub anti_entropy_interval: Duration,
+    /// Per-peer retry queue bound (see [`REPL_QUEUE_MAX`]).
+    pub retry_queue_max: usize,
 }
 
 impl ClusterConfig {
     /// A config for `self_addr` within `peers` with the default 1 s
-    /// internal timeout.
+    /// internal timeout, default detector and a 2 s anti-entropy
+    /// sweep.
     #[must_use]
     pub fn new(self_addr: impl Into<String>, peers: Vec<String>) -> ClusterConfig {
         ClusterConfig {
             self_addr: self_addr.into(),
             peers,
             timeout: Duration::from_secs(1),
+            detector: DetectorConfig::default(),
+            anti_entropy_interval: Duration::from_secs(2),
+            retry_queue_max: REPL_QUEUE_MAX,
         }
+    }
+
+    /// Validates the membership and resolves every ring identity to
+    /// its dialable address.
+    ///
+    /// The ring identity is the peer *string*; two textually distinct
+    /// identities that parse to the same socket address (say
+    /// `127.0.0.1:9001` and `127.0.0.1:09001`) would silently put one
+    /// physical node on the ring twice — each record's "owner chain"
+    /// could then be one machine, defeating replication. That
+    /// mistake is rejected here instead of shipping a broken ring.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterConfigError`] when a peer does not parse or two
+    /// distinct identities share one address.
+    pub fn membership(&self) -> Result<HashMap<String, SocketAddr>, ClusterConfigError> {
+        let mut peers = self.peers.clone();
+        if !peers.contains(&self.self_addr) {
+            peers.push(self.self_addr.clone());
+        }
+        peers.sort();
+        peers.dedup();
+        let mut addrs: HashMap<String, SocketAddr> = HashMap::new();
+        let mut seen: HashMap<SocketAddr, String> = HashMap::new();
+        for peer in peers {
+            let addr: SocketAddr = peer.parse().map_err(|e: std::net::AddrParseError| {
+                ClusterConfigError::BadPeer {
+                    peer: peer.clone(),
+                    reason: e.to_string(),
+                }
+            })?;
+            if let Some(first) = seen.get(&addr) {
+                return Err(ClusterConfigError::DuplicateAddress {
+                    first: first.clone(),
+                    second: peer,
+                    addr,
+                });
+            }
+            seen.insert(addr, peer.clone());
+            addrs.insert(peer, addr);
+        }
+        Ok(addrs)
+    }
+}
+
+/// Why a [`ClusterConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterConfigError {
+    /// A peer string does not parse as `host:port`.
+    BadPeer {
+        /// The offending peer string.
+        peer: String,
+        /// The parse failure.
+        reason: String,
+    },
+    /// Two distinct ring identities dial the same socket address —
+    /// one physical node would occupy two ring positions.
+    DuplicateAddress {
+        /// The identity kept first (sorted order).
+        first: String,
+        /// The identity that collided with it.
+        second: String,
+        /// The address both dial.
+        addr: SocketAddr,
+    },
+}
+
+impl fmt::Display for ClusterConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterConfigError::BadPeer { peer, reason } => {
+                write!(f, "peer address `{peer}` does not parse: {reason}")
+            }
+            ClusterConfigError::DuplicateAddress {
+                first,
+                second,
+                addr,
+            } => write!(
+                f,
+                "peers `{first}` and `{second}` are distinct ring identities \
+                 for one address ({addr}); deduplicate the membership"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterConfigError {}
+
+impl From<ClusterConfigError> for io::Error {
+    fn from(err: ClusterConfigError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, err.to_string())
     }
 }
 
@@ -85,16 +206,37 @@ pub struct ClusterStats {
     /// Internal lookups that failed in transport or returned an
     /// envelope that did not verify.
     pub peer_fill_errors: AtomicU64,
+    /// Fill probes skipped in O(1) because the detector held the
+    /// peer Down.
+    pub peer_fill_skips: AtomicU64,
     /// Internal lookups answered for peers from the local store.
     pub lookups_served: AtomicU64,
     /// Done records delivered to a peer.
     pub replication_sent: AtomicU64,
     /// Done records accepted from a peer.
     pub replication_received: AtomicU64,
-    /// Deliveries that failed (peer down, timeout, queue overflow).
-    pub replication_failed: AtomicU64,
-    /// Current replication backlog depth (gauge).
+    /// Deliveries that failed in transport (the record stays queued
+    /// for retry).
+    pub replication_delivery_failures: AtomicU64,
+    /// Records dropped from a full per-peer retry queue (oldest
+    /// first).
+    pub replication_overflow: AtomicU64,
+    /// Current replication backlog depth across all peers (gauge).
     pub replication_lag: AtomicU64,
+    /// Backoff-gated probes sent to Down peers.
+    pub probes: AtomicU64,
+    /// Down peers that recovered to Up.
+    pub peer_recoveries: AtomicU64,
+    /// Anti-entropy sweep rounds completed.
+    pub anti_entropy_rounds: AtomicU64,
+    /// Records re-enqueued because a peer's digest was missing them.
+    pub anti_entropy_repairs: AtomicU64,
+    /// Peer-filled records persisted locally because this node is in
+    /// the owner chain (read repair).
+    pub read_repairs: AtomicU64,
+    /// Detector availability per peer (1 = Up/Suspect, 0 = Down),
+    /// rendered as `noc_svc_cluster_peer_up{peer="..."}`.
+    pub peer_up: Mutex<BTreeMap<String, u64>>,
 }
 
 /// The wire envelope of one done record: everything a peer needs to
@@ -136,197 +278,274 @@ impl RecordEnvelope {
     }
 }
 
-/// One queued replication delivery.
-struct ReplicaTask {
-    hash: String,
-    envelope: String,
-    targets: Vec<SocketAddr>,
+/// The body of `GET /v1/internal/digest`: every record id this node
+/// durably holds, as 32-hex content hashes (the store-index key
+/// lanes). Peers compare it against their own holdings to find
+/// records the node missed.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Digest {
+    /// The answering node's ring identity.
+    pub node: String,
+    /// Held record ids, sorted.
+    pub ids: Vec<String>,
 }
 
-/// The replication queue shared with the delivery thread.
+/// What the anti-entropy sweep needs from the engine's record store.
+/// Bound after engine construction via [`Cluster::bind_source`]; the
+/// sweep holds only a [`Weak`] reference, so it can never keep a
+/// shut-down engine alive.
+pub trait RecordSource: Send + Sync {
+    /// The 32-hex ids of every record this node can re-replicate
+    /// (disk tier plus memory-resident records).
+    fn held_ids(&self) -> Vec<String>;
+    /// Resolves one held id to its canonical key and stored output.
+    fn fetch(&self, id: &str) -> Option<(String, JobOutput)>;
+}
+
+/// One queued replication delivery to one peer. The serialized
+/// envelope is shared across the peer queues it was fanned out to.
+struct ReplEntry {
+    hash: String,
+    envelope: Arc<String>,
+}
+
+/// The per-peer retry queues shared with the delivery thread.
 struct ReplState {
-    queue: Mutex<VecDeque<ReplicaTask>>,
+    queues: Mutex<HashMap<String, VecDeque<ReplEntry>>>,
     ready: Condvar,
     stop: AtomicBool,
 }
 
-/// One node's view of the cluster: the ring, the peer dialing table
-/// and the background replicator.
-pub struct Cluster {
+/// State shared between the cluster handle and its worker threads.
+struct Shared {
     ring: Ring,
     self_addr: String,
     /// Ring identity → dialable address.
     addrs: HashMap<String, SocketAddr>,
     timeout: Duration,
+    retry_queue_max: usize,
+    anti_entropy_interval: Duration,
     stats: Arc<ClusterStats>,
-    repl: Arc<ReplState>,
-    worker: Mutex<Option<JoinHandle<()>>>,
+    health: Health,
+    repl: ReplState,
+    source: Mutex<Option<Weak<dyn RecordSource>>>,
+}
+
+/// One node's view of the cluster: the ring, the peer dialing table,
+/// the failure detector and the background replicator + anti-entropy
+/// workers.
+pub struct Cluster {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Cluster {
-    /// Builds the ring and spawns the replication delivery thread.
+    /// Validates the membership, builds the ring and spawns the
+    /// replication and anti-entropy worker threads.
     ///
     /// # Errors
     ///
-    /// Fails when a peer address does not parse as `host:port`.
+    /// Fails when the membership is invalid (see
+    /// [`ClusterConfig::membership`]) or a worker cannot spawn.
     pub fn start(config: ClusterConfig, stats: Arc<ClusterStats>) -> io::Result<Cluster> {
-        let mut peers = config.peers.clone();
-        if !peers.contains(&config.self_addr) {
-            peers.push(config.self_addr.clone());
-        }
-        let mut addrs = HashMap::new();
-        for peer in &peers {
-            let addr: SocketAddr = peer.parse().map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("peer address `{peer}` does not parse: {e}"),
-                )
-            })?;
-            addrs.insert(peer.clone(), addr);
-        }
-        let repl = Arc::new(ReplState {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            stop: AtomicBool::new(false),
-        });
-        let worker = {
-            let repl = Arc::clone(&repl);
-            let stats = Arc::clone(&stats);
-            let timeout = config.timeout;
-            std::thread::Builder::new()
-                .name("svc-replicator".to_owned())
-                .spawn(move || replicator_loop(&repl, &stats, timeout))?
-        };
-        Ok(Cluster {
-            ring: Ring::new(peers),
+        let addrs = config.membership()?;
+        let identities: Vec<String> = addrs.keys().cloned().collect();
+        let peers: Vec<String> = identities
+            .iter()
+            .filter(|p| **p != config.self_addr)
+            .cloned()
+            .collect();
+        let shared = Arc::new(Shared {
+            ring: Ring::new(identities),
             self_addr: config.self_addr,
             addrs,
             timeout: config.timeout,
-            stats: Arc::clone(&stats),
-            repl,
-            worker: Mutex::new(Some(worker)),
+            retry_queue_max: config.retry_queue_max.max(1),
+            anti_entropy_interval: config.anti_entropy_interval,
+            health: Health::new(config.detector, &peers, Arc::clone(&stats)),
+            stats,
+            repl: ReplState {
+                queues: Mutex::new(HashMap::new()),
+                ready: Condvar::new(),
+                stop: AtomicBool::new(false),
+            },
+            source: Mutex::new(None),
+        });
+        let mut workers = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("svc-replicator".to_owned())
+                    .spawn(move || replicator_loop(&shared))?,
+            );
+        }
+        if !shared.anti_entropy_interval.is_zero() {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("svc-anti-entropy".to_owned())
+                    .spawn(move || anti_entropy_loop(&shared))?,
+            );
+        }
+        Ok(Cluster {
+            shared,
+            workers: Mutex::new(workers),
         })
     }
 
     /// This node's ring identity.
     #[must_use]
     pub fn self_addr(&self) -> &str {
-        &self.self_addr
+        &self.shared.self_addr
     }
 
     /// The ring (for tests and diagnostics).
     #[must_use]
     pub fn ring(&self) -> &Ring {
-        &self.ring
+        &self.shared.ring
     }
 
     /// The cluster counters.
     #[must_use]
     pub fn stats(&self) -> &Arc<ClusterStats> {
-        &self.stats
+        &self.shared.stats
+    }
+
+    /// Connects the anti-entropy sweep to the record store it
+    /// re-replicates from. Called once the engine owning this cluster
+    /// is constructed; sweeps before then are no-ops.
+    pub fn bind_source(&self, source: Weak<dyn RecordSource>) {
+        *self.shared.source.lock().expect("source lock") = Some(source);
+    }
+
+    /// The failure detector's view of every peer, sorted by identity.
+    #[must_use]
+    pub fn health_snapshot(&self) -> Vec<PeerHealth> {
+        self.shared.health.snapshot()
+    }
+
+    /// Queued replication deliveries per peer.
+    #[must_use]
+    pub fn retry_depths(&self) -> BTreeMap<String, usize> {
+        let queues = self.shared.repl.queues.lock().expect("replication lock");
+        queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(peer, q)| (peer.clone(), q.len()))
+            .collect()
     }
 
     /// Whether this node persists records for `id` on its disk tier:
     /// true when it is the owner or the owner's successor.
     #[must_use]
     pub fn stores_locally(&self, id: &str) -> bool {
-        self.ring
+        self.shared
+            .ring
             .owner_chain(id, 2)
             .iter()
-            .any(|n| *n == self.self_addr)
-    }
-
-    /// The peers worth asking for `id`, in lookup order: the owner,
-    /// then its successor, skipping this node.
-    fn lookup_chain(&self, id: &str) -> Vec<SocketAddr> {
-        self.ring
-            .owner_chain(id, 2)
-            .into_iter()
-            .filter(|n| *n != self.self_addr)
-            .filter_map(|n| self.addrs.get(n).copied())
-            .collect()
+            .any(|n| *n == self.shared.self_addr)
     }
 
     /// Peer cache-fill: asks the owner (then the successor) of `id`
     /// for its stored record. Returns the output only when a peer
     /// answered with an envelope whose canonical key matches `key` —
     /// anything else (miss, dead peer, key mismatch) falls back to
-    /// local compute by returning `None`.
+    /// local compute by returning `None`. Peers the detector holds
+    /// Down are skipped in O(1) unless their probe window elapsed.
     #[must_use]
     pub fn fill(&self, id: &str, key: &str) -> Option<JobOutput> {
-        let chain = self.lookup_chain(id);
+        let shared = &self.shared;
+        let chain: Vec<&str> = shared
+            .ring
+            .owner_chain(id, 2)
+            .into_iter()
+            .filter(|n| *n != shared.self_addr)
+            .collect();
         if chain.is_empty() {
             return None;
         }
-        for addr in chain {
-            let mut client = Client::with_timeout(addr, self.timeout);
+        for peer in chain {
+            let now = shared.health.now_ms();
+            if shared.health.decide(peer, now) == Decision::Skip {
+                shared.stats.peer_fill_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let Some(addr) = shared.addrs.get(peer).copied() else {
+                continue;
+            };
+            let mut client = Client::with_timeout(addr, shared.timeout);
             match client.get(&format!("/v1/internal/lookup/{id}")) {
                 Ok(resp) if resp.status == 200 => {
+                    shared.health.success(peer);
                     match serde_json::from_str::<RecordEnvelope>(&resp.body) {
                         Ok(envelope) if envelope.key == key => {
-                            self.stats.peer_fills.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.peer_fills.fetch_add(1, Ordering::Relaxed);
                             return Some(envelope.into_output());
                         }
                         // A non-matching key is a hash collision or a
                         // corrupt peer — never serve those bytes.
                         Ok(_) | Err(_) => {
-                            self.stats.peer_fill_errors.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .stats
+                                .peer_fill_errors
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
-                Ok(resp) if resp.status == 404 => {}
+                // A 404 is a healthy peer that misses — not a failure.
+                Ok(resp) if resp.status == 404 => shared.health.success(peer),
                 Ok(_) | Err(_) => {
-                    self.stats.peer_fill_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.health.failure(peer);
+                    shared
+                        .stats
+                        .peer_fill_errors
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
-        self.stats.peer_fill_misses.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .peer_fill_misses
+            .fetch_add(1, Ordering::Relaxed);
         None
     }
 
-    /// Enqueues best-effort delivery of a finished record to the
-    /// owner and successor of `id` (excluding this node). Never
-    /// blocks: past [`REPL_QUEUE_MAX`] the record is dropped and
-    /// counted as a failed delivery.
+    /// Enqueues delivery of a finished record to the owner and
+    /// successor of `id` (excluding this node). Never blocks: a full
+    /// per-peer queue drops its *oldest* entry (counted as overflow)
+    /// to make room.
     pub fn replicate(&self, id: &str, key: &str, output: &JobOutput) {
-        let targets: Vec<SocketAddr> = self
+        let shared = &self.shared;
+        if shared.repl.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let targets: Vec<String> = shared
             .ring
             .owner_chain(id, 2)
             .into_iter()
-            .filter(|n| *n != self.self_addr)
-            .filter_map(|n| self.addrs.get(n).copied())
+            .filter(|n| *n != shared.self_addr)
+            .map(str::to_owned)
             .collect();
-        if targets.is_empty() || self.repl.stop.load(Ordering::Acquire) {
+        if targets.is_empty() {
             return;
         }
-        let envelope = serde_json::to_string(&RecordEnvelope::from_output(key, output))
-            .expect("envelope serialization is infallible");
-        let failed = u64::try_from(targets.len()).unwrap_or(u64::MAX);
-        let mut queue = self.repl.queue.lock().expect("replication lock");
-        if queue.len() >= REPL_QUEUE_MAX {
-            self.stats
-                .replication_failed
-                .fetch_add(failed, Ordering::Relaxed);
-            return;
+        let envelope = Arc::new(
+            serde_json::to_string(&RecordEnvelope::from_output(key, output))
+                .expect("envelope serialization is infallible"),
+        );
+        for peer in targets {
+            enqueue(shared, &peer, id, &envelope);
         }
-        queue.push_back(ReplicaTask {
-            hash: id.to_owned(),
-            envelope,
-            targets,
-        });
-        self.stats
-            .replication_lag
-            .store(queue.len() as u64, Ordering::Relaxed);
-        drop(queue);
-        self.repl.ready.notify_one();
     }
 
-    /// Stops the replicator after it drains the current backlog and
-    /// joins it. Idempotent.
+    /// Stops the workers — the replicator makes one last delivery
+    /// pass over the backlog — and joins them. Idempotent.
     pub fn shutdown(&self) {
-        self.repl.stop.store(true, Ordering::Release);
-        self.repl.ready.notify_all();
-        if let Some(worker) = self.worker.lock().expect("replication lock").take() {
+        self.shared.repl.stop.store(true, Ordering::Release);
+        self.shared.repl.ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("worker lock"));
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -338,45 +557,271 @@ impl Drop for Cluster {
     }
 }
 
-/// The delivery thread: pops queued records and POSTs them to their
-/// targets over per-peer keep-alive connections. Exits once stopped
-/// *and* drained, so a clean shutdown never abandons acknowledged
-/// work it could still deliver.
-fn replicator_loop(repl: &ReplState, stats: &ClusterStats, timeout: Duration) {
-    let mut clients: HashMap<SocketAddr, Client> = HashMap::new();
+/// Pushes one entry onto `peer`'s retry queue, dropping the oldest
+/// entry past the bound, and wakes the delivery thread.
+fn enqueue(shared: &Shared, peer: &str, hash: &str, envelope: &Arc<String>) {
+    let mut queues = shared.repl.queues.lock().expect("replication lock");
+    let queue = queues.entry(peer.to_owned()).or_default();
+    if queue.len() >= shared.retry_queue_max {
+        queue.pop_front();
+        shared
+            .stats
+            .replication_overflow
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    queue.push_back(ReplEntry {
+        hash: hash.to_owned(),
+        envelope: Arc::clone(envelope),
+    });
+    publish_lag(shared, &queues);
+    drop(queues);
+    shared.repl.ready.notify_one();
+}
+
+fn publish_lag(shared: &Shared, queues: &HashMap<String, VecDeque<ReplEntry>>) {
+    let lag: usize = queues.values().map(VecDeque::len).sum();
+    shared
+        .stats
+        .replication_lag
+        .store(lag as u64, Ordering::Relaxed);
+}
+
+fn deliver(client: &mut Client, entry: &ReplEntry) -> bool {
+    matches!(
+        client.post(
+            &format!("/v1/internal/record/{}", entry.hash),
+            entry.envelope.as_str(),
+        ),
+        Ok(resp) if resp.status == 200
+    )
+}
+
+/// The delivery thread: pops retryable records peer by peer and POSTs
+/// them over per-peer keep-alive connections. A failed delivery goes
+/// back to the *front* of its queue — order is preserved — and the
+/// detector decides when the peer is worth another attempt, so a dead
+/// peer costs one backoff-gated probe per window instead of a timeout
+/// per record. Exits after one final delivery pass once stopped.
+fn replicator_loop(shared: &Shared) {
+    let mut clients: HashMap<String, Client> = HashMap::new();
     loop {
-        let task = {
-            let mut queue = repl.queue.lock().expect("replication lock");
+        let (peer, entry) = {
+            let mut queues = shared.repl.queues.lock().expect("replication lock");
             loop {
-                if let Some(task) = queue.pop_front() {
-                    stats
-                        .replication_lag
-                        .store(queue.len() as u64, Ordering::Relaxed);
-                    break task;
-                }
-                if repl.stop.load(Ordering::Acquire) {
+                if shared.repl.stop.load(Ordering::Acquire) {
+                    let rest = std::mem::take(&mut *queues);
+                    drop(queues);
+                    drain_on_stop(shared, &mut clients, rest);
                     return;
                 }
-                queue = repl.ready.wait(queue).expect("replication lock");
+                let now = shared.health.now_ms();
+                let mut backlog: Vec<&String> = queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(peer, _)| peer)
+                    .collect();
+                backlog.sort();
+                let mut wait_ms: Option<u64> = None;
+                let mut picked: Option<String> = None;
+                for peer in backlog {
+                    match shared.health.decide(peer, now) {
+                        Decision::Use | Decision::Probe => {
+                            picked = Some(peer.clone());
+                            break;
+                        }
+                        Decision::Skip => {
+                            let due = shared.health.probe_in_ms(peer, now).max(1);
+                            wait_ms = Some(wait_ms.map_or(due, |w| w.min(due)));
+                        }
+                    }
+                }
+                if let Some(peer) = picked {
+                    if let Some(entry) = queues.get_mut(&peer).and_then(VecDeque::pop_front) {
+                        publish_lag(shared, &queues);
+                        break (peer, entry);
+                    }
+                }
+                queues = match wait_ms {
+                    // No backlog at all: sleep until a push or stop.
+                    None => shared.repl.ready.wait(queues).expect("replication lock"),
+                    // Backlog exists but every peer is backing off:
+                    // sleep until the earliest probe window (capped so
+                    // new pushes for live peers are noticed promptly).
+                    Some(ms) => {
+                        shared
+                            .repl
+                            .ready
+                            .wait_timeout(queues, Duration::from_millis(ms.min(250)))
+                            .expect("replication lock")
+                            .0
+                    }
+                };
             }
         };
-        for addr in task.targets {
-            let client = clients
-                .entry(addr)
-                .or_insert_with(|| Client::with_timeout(addr, timeout));
-            match client.post(
-                &format!("/v1/internal/record/{}", task.hash),
-                &task.envelope,
-            ) {
-                Ok(resp) if resp.status == 200 => {
-                    stats.replication_sent.fetch_add(1, Ordering::Relaxed);
-                }
-                Ok(_) | Err(_) => {
-                    stats.replication_failed.fetch_add(1, Ordering::Relaxed);
-                }
+        let Some(addr) = shared.addrs.get(&peer).copied() else {
+            continue;
+        };
+        let client = clients
+            .entry(peer.clone())
+            .or_insert_with(|| Client::with_timeout(addr, shared.timeout));
+        if deliver(client, &entry) {
+            shared
+                .stats
+                .replication_sent
+                .fetch_add(1, Ordering::Relaxed);
+            shared.health.success(&peer);
+        } else {
+            shared
+                .stats
+                .replication_delivery_failures
+                .fetch_add(1, Ordering::Relaxed);
+            shared.health.failure(&peer);
+            let mut queues = shared.repl.queues.lock().expect("replication lock");
+            queues.entry(peer).or_default().push_front(entry);
+            publish_lag(shared, &queues);
+        }
+    }
+}
+
+/// The final pass at shutdown: each peer's backlog is attempted in
+/// order until its first failure, then the remainder is counted as
+/// failed — a clean shutdown never abandons deliverable work, and a
+/// dead peer costs one timeout instead of one per record.
+fn drain_on_stop(
+    shared: &Shared,
+    clients: &mut HashMap<String, Client>,
+    queues: HashMap<String, VecDeque<ReplEntry>>,
+) {
+    let mut peers: Vec<(String, VecDeque<ReplEntry>)> = queues.into_iter().collect();
+    peers.sort_by(|a, b| a.0.cmp(&b.0));
+    for (peer, mut queue) in peers {
+        let Some(addr) = shared.addrs.get(&peer).copied() else {
+            continue;
+        };
+        let client = clients
+            .entry(peer.clone())
+            .or_insert_with(|| Client::with_timeout(addr, shared.timeout));
+        while let Some(entry) = queue.pop_front() {
+            if deliver(client, &entry) {
+                shared
+                    .stats
+                    .replication_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                let abandoned = 1 + queue.len() as u64;
+                shared
+                    .stats
+                    .replication_delivery_failures
+                    .fetch_add(abandoned, Ordering::Relaxed);
+                break;
             }
         }
     }
+    shared.stats.replication_lag.store(0, Ordering::Relaxed);
+}
+
+/// The anti-entropy thread: sleeps the configured interval (waking
+/// early on stop), then sweeps every peer.
+fn anti_entropy_loop(shared: &Arc<Shared>) {
+    loop {
+        if sleep_until_stop(shared, shared.anti_entropy_interval) {
+            return;
+        }
+        let source = shared
+            .source
+            .lock()
+            .expect("source lock")
+            .clone()
+            .and_then(|weak| weak.upgrade());
+        if let Some(source) = source {
+            sweep(shared, source.as_ref());
+        }
+    }
+}
+
+/// Returns `true` when stop was requested before `period` elapsed.
+fn sleep_until_stop(shared: &Shared, period: Duration) -> bool {
+    let deadline = Instant::now() + period;
+    loop {
+        if shared.repl.stop.load(Ordering::Acquire) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// One anti-entropy round: for every peer that should hold some of
+/// our records (it is in their owner chain), fetch its digest and
+/// re-enqueue whatever it is missing. Down peers are skipped unless
+/// their probe window elapsed — the digest fetch then doubles as the
+/// probe.
+fn sweep(shared: &Shared, source: &dyn RecordSource) {
+    let held = source.held_ids();
+    if !held.is_empty() {
+        for peer in shared.ring.nodes() {
+            if *peer == shared.self_addr || shared.repl.stop.load(Ordering::Acquire) {
+                continue;
+            }
+            let candidates: Vec<&String> = held
+                .iter()
+                .filter(|id| shared.ring.owner_chain(id, 2).contains(&peer.as_str()))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let now = shared.health.now_ms();
+            if shared.health.decide(peer, now) == Decision::Skip {
+                continue;
+            }
+            let Some(addr) = shared.addrs.get(peer).copied() else {
+                continue;
+            };
+            let mut client = Client::with_timeout(addr, shared.timeout);
+            let digest = match client.get("/v1/internal/digest") {
+                Ok(resp) if resp.status == 200 => {
+                    match serde_json::from_str::<Digest>(&resp.body) {
+                        Ok(digest) => {
+                            shared.health.success(peer);
+                            digest
+                        }
+                        Err(_) => {
+                            shared.health.failure(peer);
+                            continue;
+                        }
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    shared.health.failure(peer);
+                    continue;
+                }
+            };
+            let have: HashSet<&str> = digest.ids.iter().map(String::as_str).collect();
+            for id in candidates {
+                if have.contains(id.as_str()) {
+                    continue;
+                }
+                let Some((key, output)) = source.fetch(id) else {
+                    continue;
+                };
+                let envelope = Arc::new(
+                    serde_json::to_string(&RecordEnvelope::from_output(&key, &output))
+                        .expect("envelope serialization is infallible"),
+                );
+                enqueue(shared, peer, id, &envelope);
+                shared
+                    .stats
+                    .anti_entropy_repairs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    shared
+        .stats
+        .anti_entropy_rounds
+        .fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -426,23 +871,96 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_ring_identities_for_one_address_are_rejected() {
+        // `09001` and `9001` parse to the same socket address but are
+        // distinct ring identities — the silent double-position bug.
+        let config = ClusterConfig::new(
+            "127.0.0.1:09001".to_owned(),
+            vec!["127.0.0.1:9001".to_owned(), "127.0.0.1:9002".to_owned()],
+        );
+        let err = config.membership().expect_err("must reject");
+        assert!(
+            matches!(err, ClusterConfigError::DuplicateAddress { .. }),
+            "got {err:?}"
+        );
+        let err = match Cluster::start(config, Arc::new(ClusterStats::default())) {
+            Ok(_) => panic!("start must reject too"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+
+        // A plain string duplicate is legal — it dedups to one
+        // identity, as documented.
+        let config = ClusterConfig::new(
+            "127.0.0.1:9001".to_owned(),
+            vec!["127.0.0.1:9001".to_owned(), "127.0.0.1:9002".to_owned()],
+        );
+        assert_eq!(config.membership().expect("valid").len(), 2);
+
+        let config = ClusterConfig::new("not-an-addr".to_owned(), vec![]);
+        assert!(matches!(
+            config.membership().expect_err("must reject"),
+            ClusterConfigError::BadPeer { .. }
+        ));
+    }
+
+    #[test]
     fn replication_to_a_dead_peer_counts_failures_not_hangs() {
         let peers = vec!["127.0.0.1:9111".to_owned(), "127.0.0.1:9112".to_owned()];
         let stats = Arc::new(ClusterStats::default());
-        let cluster = Cluster::start(
-            ClusterConfig {
-                self_addr: peers[0].clone(),
-                peers: peers.clone(),
-                timeout: Duration::from_millis(200),
-            },
-            Arc::clone(&stats),
-        )
-        .expect("cluster starts");
+        let mut config = ClusterConfig::new(peers[0].clone(), peers.clone());
+        config.timeout = Duration::from_millis(200);
+        let cluster = Cluster::start(config, Arc::clone(&stats)).expect("cluster starts");
         let id = crate::hash::content_hash("{\"k\":1}");
         cluster.replicate(&id, "{\"k\":1}", &JobOutput::new(Arc::new("{}".to_owned())));
         cluster.shutdown();
         assert_eq!(stats.replication_sent.load(Ordering::Relaxed), 0);
-        assert!(stats.replication_failed.load(Ordering::Relaxed) >= 1);
+        assert!(stats.replication_delivery_failures.load(Ordering::Relaxed) >= 1);
+        assert_eq!(stats.replication_lag.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_retry_queue_drops_the_oldest_record() {
+        let peers = vec!["127.0.0.1:9121".to_owned(), "127.0.0.1:9122".to_owned()];
+        let stats = Arc::new(ClusterStats::default());
+        let mut config = ClusterConfig::new(peers[0].clone(), peers.clone());
+        config.retry_queue_max = 3;
+        config.timeout = Duration::from_millis(200);
+        let cluster = Cluster::start(config, Arc::clone(&stats)).expect("cluster starts");
+        // Hold the peer Down with a long backoff so the replicator
+        // cannot drain while we fill the queue past its bound.
+        for _ in 0..10 {
+            cluster.shared.health.failure(&peers[1]);
+        }
+        let output = JobOutput::new(Arc::new("{}".to_owned()));
+        let ids: Vec<String> = (0..5)
+            .map(|i| {
+                let key = format!("{{\"k\":{i}}}");
+                let id = crate::hash::content_hash(&key);
+                cluster.replicate(&id, &key, &output);
+                id
+            })
+            .collect();
+        {
+            let queues = cluster.shared.repl.queues.lock().expect("lock");
+            let queue = &queues[&peers[1]];
+            let queued: Vec<&str> = queue.iter().map(|e| e.hash.as_str()).collect();
+            assert_eq!(
+                queued,
+                vec![ids[2].as_str(), ids[3].as_str(), ids[4].as_str()],
+                "overflow must drop the oldest records, keeping the newest"
+            );
+        }
+        assert_eq!(stats.replication_overflow.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.replication_lag.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            cluster.retry_depths().get(&peers[1]),
+            Some(&3usize),
+            "retry depth reflects the bounded backlog"
+        );
+        // Shutdown's final pass attempts the dead peer once and
+        // abandons the rest — no hang, lag drains to zero.
+        cluster.shutdown();
         assert_eq!(stats.replication_lag.load(Ordering::Relaxed), 0);
     }
 }

@@ -45,7 +45,7 @@ use crate::api::{
     ValidateResponse,
 };
 use crate::cache::JobOutput;
-use crate::cluster::{Cluster, ClusterConfig, ClusterStats, RecordEnvelope};
+use crate::cluster::{Cluster, ClusterConfig, ClusterStats, RecordEnvelope, RecordSource};
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
@@ -386,6 +386,13 @@ impl Engine {
             metrics,
             config,
         });
+        // The anti-entropy sweep pulls records back out of this
+        // engine's store; it holds only a weak reference, so the
+        // cluster workers can never outlive-and-leak the engine.
+        if let Some(cluster) = &engine.cluster {
+            let weak = Arc::downgrade(&engine);
+            cluster.bind_source(weak as std::sync::Weak<dyn RecordSource>);
+        }
         let backlog_len = backlog.len();
         let kept = engine.replay(backlog);
         engine.compact_journal(kept, backlog_len);
@@ -711,6 +718,11 @@ impl Engine {
         if let Some(cluster) = &self.cluster {
             if let Some(output) = cluster.fill(&id, &key) {
                 self.store_output(&id, &key, &output);
+                // Read repair: a fill that lands on a node in the
+                // owner chain just healed a replication gap.
+                if cluster.stores_locally(&id) {
+                    cluster.stats().read_repairs.fetch_add(1, Ordering::Relaxed);
+                }
                 return Submission::PeerFilled { id, output };
             }
         }
@@ -1197,6 +1209,20 @@ impl Engine {
     /// a lane collision can never leak another request's bytes.
     #[must_use]
     pub fn internal_lookup(&self, hash: &str) -> Option<(String, JobOutput)> {
+        let resolved = self.lookup_record(hash)?;
+        if let Some(cluster) = &self.cluster {
+            cluster
+                .stats()
+                .lookups_served
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Some(resolved)
+    }
+
+    /// Resolves a 32-hex content hash to its stored record without
+    /// touching the peer-lookup counters — shared by the internal
+    /// lookup endpoint and the anti-entropy sweep.
+    fn lookup_record(&self, hash: &str) -> Option<(String, JobOutput)> {
         let noted = self
             .hash_keys
             .lock()
@@ -1208,21 +1234,57 @@ impl Engine {
             Some(key) => self.store.get(&key).map(|output| (key, output)),
             None => None,
         };
-        let resolved = resolved.or_else(|| {
+        resolved.or_else(|| {
             let (key, output) = self.store.get_by_lanes(parse_hash_lanes(hash)?)?;
             if crate::hash::content_hash(&key) != hash {
                 return None;
             }
             self.note_hash(hash, &key);
             Some((key, output))
-        })?;
-        if let Some(cluster) = &self.cluster {
-            cluster
-                .stats()
-                .lookups_served
-                .fetch_add(1, Ordering::Relaxed);
-        }
-        Some(resolved)
+        })
+    }
+
+    /// The record ids this node *durably* holds — the body of
+    /// `GET /v1/internal/digest`, i.e. what peers may rely on when
+    /// deciding whether this node needs a record re-replicated. With
+    /// a healthy disk tier that is the disk index (anti-entropy's
+    /// convergence target); memory-only nodes report LRU-resident
+    /// records instead.
+    #[must_use]
+    pub fn digest_ids(&self) -> Vec<String> {
+        let mut ids = match self.store.disk() {
+            Some(disk) if !disk.is_degraded() => lanes_to_ids(disk.indexed_lanes()),
+            _ => self.memory_held_ids(),
+        };
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Every id this node can push during anti-entropy: the disk tier
+    /// plus memory-resident records — a node may hold bytes it does
+    /// not own on disk (e.g. computed during a partition) and must
+    /// still be able to push them to their owners.
+    fn replicable_ids(&self) -> Vec<String> {
+        let mut ids = match self.store.disk() {
+            Some(disk) if !disk.is_degraded() => lanes_to_ids(disk.indexed_lanes()),
+            _ => Vec::new(),
+        };
+        ids.extend(self.memory_held_ids());
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Noted ids whose records are resident in the memory tier.
+    fn memory_held_ids(&self) -> Vec<String> {
+        let index = self.hash_keys.lock().expect("hash index lock");
+        index
+            .map
+            .iter()
+            .filter(|(_, key)| self.store.contains_memory(key))
+            .map(|(id, _)| id.clone())
+            .collect()
     }
 
     /// Applies one internal `POST /v1/internal/record/<hash>` body: a
@@ -1266,6 +1328,25 @@ impl Engine {
     pub fn store_degraded(&self) -> bool {
         self.store.degraded()
     }
+}
+
+impl RecordSource for Engine {
+    fn held_ids(&self) -> Vec<String> {
+        self.replicable_ids()
+    }
+
+    fn fetch(&self, id: &str) -> Option<(String, JobOutput)> {
+        self.lookup_record(id)
+    }
+}
+
+/// Renders store-index lanes back into 32-hex content hashes — the
+/// inverse of [`parse_hash_lanes`].
+fn lanes_to_ids(lanes: Vec<(u64, u64)>) -> Vec<String> {
+    lanes
+        .into_iter()
+        .map(|(a, b)| format!("{a:016x}{b:016x}"))
+        .collect()
 }
 
 /// Splits a 32-hex content hash back into the two 64-bit lanes the

@@ -354,9 +354,15 @@ impl Metrics {
             );
             counter(
                 &mut out,
-                "noc_svc_cluster_replication_failed_total",
-                "Replication deliveries that failed.",
-                &cluster.replication_failed,
+                "noc_svc_cluster_replication_delivery_failures_total",
+                "Replication deliveries that failed in transport (record stays queued).",
+                &cluster.replication_delivery_failures,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_replication_overflow_total",
+                "Records dropped (oldest first) from a full per-peer retry queue.",
+                &cluster.replication_overflow,
             );
             gauge(
                 &mut out,
@@ -364,6 +370,55 @@ impl Metrics {
                 "Done records queued for replication delivery.",
                 &cluster.replication_lag,
             );
+            counter(
+                &mut out,
+                "noc_svc_cluster_peer_fill_skips_total",
+                "Fill probes skipped in O(1) because the detector held the peer down.",
+                &cluster.peer_fill_skips,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_probes_total",
+                "Backoff-gated probes sent to down peers.",
+                &cluster.probes,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_peer_recoveries_total",
+                "Down peers that recovered to up.",
+                &cluster.peer_recoveries,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_anti_entropy_rounds_total",
+                "Anti-entropy sweep rounds completed.",
+                &cluster.anti_entropy_rounds,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_anti_entropy_repairs_total",
+                "Records re-enqueued because a peer's digest was missing them.",
+                &cluster.anti_entropy_repairs,
+            );
+            counter(
+                &mut out,
+                "noc_svc_cluster_read_repair_total",
+                "Peer-filled records persisted locally by a node in the owner chain.",
+                &cluster.read_repairs,
+            );
+            let peer_up = cluster.peer_up.lock().expect("peer gauge lock");
+            if !peer_up.is_empty() {
+                out.push_str(
+                    "# HELP noc_svc_cluster_peer_up Failure-detector availability per \
+                     peer (1 = up/suspect, 0 = down).\n\
+                     # TYPE noc_svc_cluster_peer_up gauge\n",
+                );
+                for (peer, up) in peer_up.iter() {
+                    out.push_str(&format!(
+                        "noc_svc_cluster_peer_up{{peer=\"{peer}\"}} {up}\n"
+                    ));
+                }
+            }
         }
         if let Some(reactor) = self.reactor.get() {
             counter(

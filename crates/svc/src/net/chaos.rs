@@ -1,0 +1,296 @@
+//! A TCP fault-injection forwarder for partition and flap testing.
+//!
+//! [`ChaosProxy`] listens on one address and pumps bytes to a fixed
+//! upstream, with a live-switchable [`ChaosPolicy`]:
+//!
+//! - **deny** — new connections are accepted and immediately closed,
+//!   established ones are torn down at the next 50 ms tick: the fast
+//!   failure shape (connection reset), as a crashed peer or an
+//!   administratively filtered link produces. Denying only one node's
+//!   inbound proxy creates a *one-way* partition: nobody reaches it,
+//!   it still reaches everybody.
+//! - **blackhole** — connections are accepted and bytes are read but
+//!   never forwarded, and nothing ever comes back: the slow failure
+//!   shape, where the caller learns nothing until its own timeout.
+//! - **latency** — each request burst toward the upstream is delayed
+//!   by the configured amount before being forwarded. A burst is the
+//!   chunks read back-to-back after an idle gap, so one HTTP
+//!   round-trip pays the latency about once regardless of how the
+//!   kernel fragments it.
+//!
+//! The proxy is deliberately dumb — no HTTP awareness, no random
+//! drops — so tests stay reproducible: every behaviour is an explicit
+//! policy flip, not a dice roll.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often pumps re-check the policy and stop flags, and the read
+/// timeout that delimits request bursts for latency injection.
+const TICK: Duration = Duration::from_millis(50);
+
+/// The live-switchable fault policy. All fields are atomics: tests
+/// and the control endpoint flip them while connections are in
+/// flight.
+#[derive(Debug, Default)]
+pub struct ChaosPolicy {
+    deny: AtomicBool,
+    blackhole: AtomicBool,
+    latency_ms: AtomicU64,
+}
+
+impl ChaosPolicy {
+    /// Denies the route: new connections close immediately,
+    /// established ones are torn down within one tick.
+    pub fn set_deny(&self, on: bool) {
+        self.deny.store(on, Ordering::Release);
+    }
+
+    /// Black-holes the route: bytes are consumed, nothing is
+    /// forwarded or answered.
+    pub fn set_blackhole(&self, on: bool) {
+        self.blackhole.store(on, Ordering::Release);
+    }
+
+    /// Sets the per-burst forwarding latency toward the upstream.
+    pub fn set_latency(&self, latency: Duration) {
+        let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+        self.latency_ms.store(ms, Ordering::Release);
+    }
+
+    /// Current deny state.
+    #[must_use]
+    pub fn denied(&self) -> bool {
+        self.deny.load(Ordering::Acquire)
+    }
+
+    /// Current blackhole state.
+    #[must_use]
+    pub fn blackholed(&self) -> bool {
+        self.blackhole.load(Ordering::Acquire)
+    }
+
+    /// Current injected latency, milliseconds.
+    #[must_use]
+    pub fn latency_ms(&self) -> u64 {
+        self.latency_ms.load(Ordering::Acquire)
+    }
+}
+
+/// A running fault proxy: one listener, one upstream, detached
+/// per-connection pumps.
+pub struct ChaosProxy {
+    addr: std::net::SocketAddr,
+    policy: Arc<ChaosPolicy>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (port 0 picks a free port) and starts
+    /// forwarding every connection to `upstream`. The upstream does
+    /// not need to be listening yet — it is dialed per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures.
+    pub fn start(listen: &str, upstream: std::net::SocketAddr) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let policy = Arc::new(ChaosPolicy::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let policy = Arc::clone(&policy);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("chaos-accept".to_owned())
+                .spawn(move || accept_loop(&listener, upstream, &policy, &stop))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            policy,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's listening address — what clients and peers dial.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The live policy handle.
+    #[must_use]
+    pub fn policy(&self) -> &Arc<ChaosPolicy> {
+        &self.policy
+    }
+
+    /// Stops accepting and tears down the acceptor. In-flight pumps
+    /// notice the stop flag within one tick and exit.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: std::net::SocketAddr,
+    policy: &Arc<ChaosPolicy>,
+    stop: &Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(conn) = conn else { continue };
+        if policy.denied() {
+            // Dropping the just-accepted socket resets the client
+            // immediately — the fast-failure partition shape.
+            continue;
+        }
+        let policy = Arc::clone(policy);
+        let stop = Arc::clone(stop);
+        let _ = std::thread::Builder::new()
+            .name("chaos-pump".to_owned())
+            .spawn(move || handle_conn(conn, upstream, &policy, &stop));
+    }
+}
+
+/// Dials the upstream and pumps both directions until either side
+/// closes, the policy denies, or the proxy stops. Under blackhole the
+/// client connection is held (bytes discarded) instead of forwarded.
+fn handle_conn(
+    client: TcpStream,
+    upstream: std::net::SocketAddr,
+    policy: &Arc<ChaosPolicy>,
+    stop: &Arc<AtomicBool>,
+) {
+    if policy.blackholed() {
+        hold_blackholed(&client, policy, stop);
+        return;
+    }
+    let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) else {
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let pump_back = {
+        let (Ok(server_rx), Ok(client_tx)) = (server.try_clone(), client.try_clone()) else {
+            return;
+        };
+        let policy = Arc::clone(policy);
+        let stop = Arc::clone(stop);
+        std::thread::Builder::new()
+            .name("chaos-pump-back".to_owned())
+            .spawn(move || pump(server_rx, client_tx, &policy, &stop, false))
+    };
+    // Client → upstream carries the injected latency; deny and
+    // blackhole flips apply mid-connection.
+    pump(client, server, &Arc::clone(policy), &Arc::clone(stop), true);
+    if let Ok(handle) = pump_back {
+        let _ = handle.join();
+    }
+}
+
+/// One pumping direction. Reads with a tick-sized timeout so policy
+/// and stop flips are honoured within [`TICK`]; an idle gap re-arms
+/// the latency injection for the next burst.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    policy: &Arc<ChaosPolicy>,
+    stop: &Arc<AtomicBool>,
+    inject_latency: bool,
+) {
+    let _ = from.set_read_timeout(Some(TICK));
+    let mut buf = [0u8; 16 * 1024];
+    // Whether the next successful read starts a fresh request burst
+    // (and therefore pays the injected latency once).
+    let mut burst_start = true;
+    loop {
+        if stop.load(Ordering::Acquire) || policy.denied() || policy.blackholed() {
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            return;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => {
+                // Half-close: let in-flight bytes in the other
+                // direction drain, but signal EOF onward.
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if inject_latency && burst_start {
+                    let ms = policy.latency_ms();
+                    if ms > 0 {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        if policy.denied() || policy.blackholed() {
+                            continue; // re-check tears the conn down
+                        }
+                    }
+                }
+                burst_start = false;
+                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                burst_start = true;
+            }
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// Holds a black-holed connection: reads and discards until the peer
+/// gives up, the policy heals, or the proxy stops. Healing closes the
+/// connection (the client reconnects cleanly) rather than suddenly
+/// forwarding half a conversation.
+fn hold_blackholed(client: &TcpStream, policy: &ChaosPolicy, stop: &AtomicBool) {
+    let _ = client.set_read_timeout(Some(TICK));
+    let mut sink = [0u8; 4096];
+    let mut conn = match client.try_clone() {
+        Ok(conn) => conn,
+        Err(_) => return,
+    };
+    loop {
+        if stop.load(Ordering::Acquire) || !policy.blackholed() || policy.denied() {
+            let _ = conn.shutdown(Shutdown::Both);
+            return;
+        }
+        match conn.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}

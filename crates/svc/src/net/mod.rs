@@ -34,6 +34,7 @@ use std::time::Duration;
 use crate::engine::Engine;
 use crate::http::Response;
 
+pub mod chaos;
 pub(crate) mod conn;
 pub(crate) mod reactor;
 

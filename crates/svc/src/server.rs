@@ -16,6 +16,8 @@
 //! | GET    | `/metrics`       | Prometheus text metrics                    |
 //! | GET    | `/v1/internal/lookup/<hash>` | Peer cache-fill (cluster)      |
 //! | POST   | `/v1/internal/record/<hash>` | Replica ingest (cluster)       |
+//! | GET    | `/v1/internal/digest` | Held record ids (anti-entropy)        |
+//! | GET    | `/v1/internal/health` | Failure-detector peer table (cluster) |
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,6 +83,14 @@ pub struct ServiceConfig {
     /// This node's address as peers see it (ring identity). Defaults
     /// to the bound listener address.
     pub self_addr: Option<String>,
+    /// Per-operation timeout for cluster internal lookups and
+    /// replication deliveries.
+    pub peer_timeout: Duration,
+    /// First probe backoff after the failure detector marks a peer
+    /// down; doubles per failed probe up to 16× this value.
+    pub probe_interval: Duration,
+    /// Anti-entropy sweep period; zero disables the sweep.
+    pub anti_entropy_interval: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +111,9 @@ impl Default for ServiceConfig {
             net: NetMode::default(),
             peers: Vec::new(),
             self_addr: None,
+            peer_timeout: Duration::from_secs(1),
+            probe_interval: Duration::from_millis(250),
+            anti_entropy_interval: Duration::from_secs(2),
         }
     }
 }
@@ -128,7 +141,15 @@ impl Server {
             None
         } else {
             let self_addr = config.self_addr.clone().unwrap_or_else(|| addr.to_string());
-            Some(ClusterConfig::new(self_addr, config.peers.clone()))
+            let mut cluster = ClusterConfig::new(self_addr, config.peers.clone());
+            cluster.timeout = config.peer_timeout;
+            let base_ms = u64::try_from(config.probe_interval.as_millis())
+                .unwrap_or(u64::MAX)
+                .max(1);
+            cluster.detector.probe_base_ms = base_ms;
+            cluster.detector.probe_max_ms = base_ms.saturating_mul(16);
+            cluster.anti_entropy_interval = config.anti_entropy_interval;
+            Some(cluster)
         };
         let engine = Engine::new(EngineConfig {
             queue_capacity: config.queue_capacity,
@@ -343,6 +364,8 @@ pub(crate) fn endpoint_label(request: &Request) -> &'static str {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         p if p.starts_with("/v1/jobs/") => "/v1/jobs",
+        "/v1/internal/digest" => "/v1/internal/digest",
+        "/v1/internal/health" => "/v1/internal/health",
         p if p.starts_with("/v1/internal/lookup/") => "/v1/internal/lookup",
         p if p.starts_with("/v1/internal/record/") => "/v1/internal/record",
         _ => "other",
@@ -426,6 +449,8 @@ fn inline_route(engine: &Engine, request: &Request) -> Response {
         ("POST", path) if path.starts_with("/v1/internal/record/") => {
             internal_record_route(engine, &path["/v1/internal/record/".len()..], &request.body)
         }
+        ("GET", "/v1/internal/digest") => internal_digest_route(engine),
+        ("GET", "/v1/internal/health") => internal_health_route(engine),
         (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/schedule/delta" | "/v1/validate") => {
             Response::json(405, error_body("method not allowed"))
         }
@@ -528,6 +553,56 @@ fn internal_lookup_route(engine: &Engine, hash: &str) -> Response {
         ),
         None => Response::json(404, error_body("no record for hash")),
     }
+}
+
+/// Serves the anti-entropy digest: every record id this node durably
+/// holds, for peers deciding what to re-replicate here.
+fn internal_digest_route(engine: &Engine) -> Response {
+    let node = engine
+        .cluster()
+        .map_or(String::new(), |c| c.self_addr().to_owned());
+    let digest = crate::cluster::Digest {
+        node,
+        ids: engine.digest_ids(),
+    };
+    Response::json(
+        200,
+        serde_json::to_string(&digest).expect("digest serializes"),
+    )
+}
+
+/// Serves the failure detector's peer table: per-peer state,
+/// consecutive failures, probe countdown and retry-queue depth.
+fn internal_health_route(engine: &Engine) -> Response {
+    let Some(cluster) = engine.cluster() else {
+        return Response::json(200, "{\"self\":null,\"peers\":[]}".to_owned());
+    };
+    let depths = cluster.retry_depths();
+    let peers: Vec<String> = cluster
+        .health_snapshot()
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"peer\":{},\"state\":\"{}\",\"consecutive_failures\":{},\
+                 \"probe_in_ms\":{},\"retry_queue\":{}}}",
+                serde_json::to_string(&serde::Value::String(p.peer.clone()))
+                    .expect("string serializes"),
+                p.state.as_str(),
+                p.consecutive_failures,
+                p.probe_in_ms,
+                depths.get(&p.peer).copied().unwrap_or(0)
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"self\":{},\"peers\":[{}]}}",
+            serde_json::to_string(&serde::Value::String(cluster.self_addr().to_owned()))
+                .expect("string serializes"),
+            peers.join(",")
+        ),
+    )
 }
 
 /// Ingests a replicated done-record from the hash's owner.

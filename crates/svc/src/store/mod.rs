@@ -440,6 +440,23 @@ impl Store {
                 .contains_key(&lane_key(hash_lanes(key.as_bytes())))
     }
 
+    /// The content-hash lanes of every indexed record — the raw
+    /// material of the cluster's anti-entropy digest. Empty while the
+    /// tier is degraded: nothing is durably held then.
+    #[must_use]
+    pub fn indexed_lanes(&self) -> Vec<(u64, u64)> {
+        if self.is_degraded() {
+            return Vec::new();
+        }
+        self.inner
+            .lock()
+            .expect("store lock")
+            .index
+            .keys()
+            .map(|k| ((k >> 64) as u64, *k as u64))
+            .collect()
+    }
+
     /// Number of records currently indexed.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -602,6 +619,14 @@ impl TieredStore {
             .expect("cache lock")
             .insert(key.clone(), output.clone());
         Some((key, output))
+    }
+
+    /// `true` when `key` is resident in the memory tier, without
+    /// touching its LRU recency or the disk — how the cluster digest
+    /// enumerates memory-held records cheaply.
+    #[must_use]
+    pub fn contains_memory(&self, key: &str) -> bool {
+        self.memory.lock().expect("cache lock").contains(key)
     }
 
     /// The disk tier, when one is open.

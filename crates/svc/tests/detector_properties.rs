@@ -1,0 +1,166 @@
+//! Property tests for the cluster failure detector: the state machine
+//! is a pure function of the scripted event sequence (deterministic —
+//! the reason it is testable at all), transitions respect the
+//! consecutive-failure threshold, success always restores Up, and the
+//! probe backoff stays within its configured bounds.
+
+use noc_svc::cluster::{Decision, DetectorConfig, PeerDetector, PeerState};
+use proptest::prelude::*;
+
+/// One scripted detector event.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A peer operation succeeded.
+    Success,
+    /// A peer operation failed.
+    Failure,
+    /// The replicator/fill path asked whether to use the peer.
+    Decide,
+}
+
+/// Everything observable about a detector after one event — two
+/// replays of the same script must produce identical traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observation {
+    state: PeerState,
+    consecutive_failures: u32,
+    probe_in_ms: u64,
+    decision: Option<Decision>,
+}
+
+fn event_strategy() -> impl Strategy<Value = (Event, u64)> {
+    ((0u8..5), (0u64..1500)).prop_map(|(kind, dt)| {
+        // Failures and decides twice as likely as successes, so
+        // scripts actually reach Down and exercise the probe window.
+        let event = match kind {
+            0 | 1 => Event::Failure,
+            2 => Event::Success,
+            _ => Event::Decide,
+        };
+        (event, dt)
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = DetectorConfig> {
+    (1u32..6, 1u64..500, 1u64..4).prop_map(|(threshold, base, factor)| DetectorConfig {
+        failure_threshold: threshold,
+        probe_base_ms: base,
+        probe_max_ms: base * (1 << factor),
+    })
+}
+
+/// Replays a script against a fresh detector, recording an
+/// observation after every event.
+fn replay(cfg: &DetectorConfig, script: &[(Event, u64)]) -> Vec<Observation> {
+    let mut detector = PeerDetector::new();
+    let mut now_ms = 0u64;
+    let mut trace = Vec::with_capacity(script.len());
+    for (event, dt) in script {
+        now_ms += dt;
+        let decision = match event {
+            Event::Success => {
+                detector.on_success();
+                None
+            }
+            Event::Failure => {
+                detector.on_failure(cfg, now_ms);
+                None
+            }
+            Event::Decide => Some(detector.decide(now_ms)),
+        };
+        trace.push(Observation {
+            state: detector.state(),
+            consecutive_failures: detector.consecutive_failures(),
+            probe_in_ms: detector.probe_in_ms(now_ms),
+            decision,
+        });
+    }
+    trace
+}
+
+proptest! {
+    /// Same script, same trace: no hidden clock, randomness or
+    /// ordering dependence anywhere in the detector.
+    #[test]
+    fn scripted_outcome_sequences_replay_to_identical_traces(
+        cfg in config_strategy(),
+        script in proptest::collection::vec(event_strategy(), 1..200),
+    ) {
+        prop_assert_eq!(replay(&cfg, &script), replay(&cfg, &script));
+    }
+
+    /// The transition invariants hold along any script:
+    /// - Down is only reached after `failure_threshold` *consecutive*
+    ///   failures, never sooner;
+    /// - a success restores Up with a clean failure count and no
+    ///   pending probe, from any state;
+    /// - the probe delay never exceeds the configured maximum;
+    /// - Up and Suspect peers are always usable, and a Down peer is
+    ///   never used outright (only probed or skipped).
+    #[test]
+    fn transitions_respect_threshold_success_and_backoff_bounds(
+        cfg in config_strategy(),
+        script in proptest::collection::vec(event_strategy(), 1..200),
+    ) {
+        let mut detector = PeerDetector::new();
+        let mut now_ms = 0u64;
+        let mut consecutive = 0u32;
+        for (event, dt) in &script {
+            now_ms += *dt;
+            match event {
+                Event::Success => {
+                    detector.on_success();
+                    consecutive = 0;
+                    prop_assert_eq!(detector.state(), PeerState::Up);
+                    prop_assert_eq!(detector.consecutive_failures(), 0);
+                    prop_assert_eq!(detector.probe_in_ms(now_ms), 0);
+                }
+                Event::Failure => {
+                    detector.on_failure(&cfg, now_ms);
+                    consecutive = consecutive.saturating_add(1);
+                    if consecutive >= cfg.failure_threshold {
+                        prop_assert_eq!(detector.state(), PeerState::Down);
+                    } else {
+                        prop_assert_eq!(detector.state(), PeerState::Suspect);
+                    }
+                }
+                Event::Decide => {
+                    let decision = detector.decide(now_ms);
+                    match detector.state() {
+                        PeerState::Up | PeerState::Suspect => {
+                            prop_assert_eq!(decision, Decision::Use);
+                        }
+                        PeerState::Down => {
+                            prop_assert_ne!(decision, Decision::Use);
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                detector.probe_in_ms(now_ms) <= cfg.probe_max_ms,
+                "probe delay {} exceeds the configured cap {}",
+                detector.probe_in_ms(now_ms),
+                cfg.probe_max_ms
+            );
+        }
+    }
+
+    /// A Down peer's probes are rationed: immediately after a probe is
+    /// granted, a second decide at the same instant must not be
+    /// granted another one (the re-armed window gates stampedes).
+    #[test]
+    fn a_granted_probe_rearms_the_window(
+        cfg in config_strategy(),
+        settle in 0u64..10_000,
+    ) {
+        let mut detector = PeerDetector::new();
+        for _ in 0..cfg.failure_threshold {
+            detector.on_failure(&cfg, 0);
+        }
+        prop_assert_eq!(detector.state(), PeerState::Down);
+        // Wait long enough that a probe is certainly due.
+        let now = cfg.probe_max_ms + settle;
+        prop_assert_eq!(detector.decide(now), Decision::Probe);
+        prop_assert_eq!(detector.decide(now), Decision::Skip);
+    }
+}

@@ -1,7 +1,9 @@
 //! Three in-process nodes exercising the cluster tier end to end:
 //! cross-node byte determinism with zero recomputation, replication to
-//! the owner chain, and owner death leaving survivors able to serve
-//! the exact bytes from replicated records.
+//! the owner chain, owner death leaving survivors able to serve the
+//! exact bytes from replicated records, and a network-fault partition
+//! matrix (one-way partition, peer flap, slow peer) run through the
+//! in-process [`ChaosProxy`].
 
 use std::collections::HashMap;
 use std::net::TcpListener;
@@ -9,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use noc_svc::client::Client;
 use noc_svc::cluster::Ring;
+use noc_svc::net::chaos::ChaosProxy;
 use noc_svc::{Server, ServiceConfig};
 
 /// Reserves `n` distinct loopback ports by binding ephemeral
@@ -236,4 +239,323 @@ fn owner_death_leaves_survivors_serving_replicated_bytes() {
     for server in servers.into_values() {
         server.shutdown();
     }
+}
+
+/// A cluster whose inter-node traffic runs through [`ChaosProxy`]s:
+/// each node's ring identity is its proxy's address, its listener is a
+/// hidden direct address, and test clients dial the direct addresses
+/// so faults hit only peer-to-peer traffic.
+struct ProxiedCluster {
+    /// Ring identities — the proxy addresses, as the peers dial them.
+    identities: Vec<String>,
+    /// The nodes' real listener addresses (bypass the proxies).
+    direct: Vec<String>,
+    proxies: Vec<ChaosProxy>,
+    servers: Vec<Server>,
+    ring: Ring,
+}
+
+impl ProxiedCluster {
+    /// `anti_entropy` of `None` disables the sweep, isolating the
+    /// retry-queue path.
+    fn start(n: usize, peer_timeout: Duration, anti_entropy: Option<Duration>) -> ProxiedCluster {
+        let identities = free_addrs(n);
+        let direct = free_addrs(n);
+        let proxies: Vec<ChaosProxy> = identities
+            .iter()
+            .zip(&direct)
+            .map(|(public, real)| {
+                ChaosProxy::start(public, real.parse().expect("addr")).expect("proxy starts")
+            })
+            .collect();
+        let servers: Vec<Server> = direct
+            .iter()
+            .zip(&identities)
+            .map(|(real, identity)| {
+                Server::start(ServiceConfig {
+                    addr: real.clone(),
+                    http_workers: 2,
+                    sched_workers: 2,
+                    queue_capacity: 8,
+                    cache_capacity: 64,
+                    threads: 1,
+                    peers: identities.clone(),
+                    self_addr: Some(identity.clone()),
+                    peer_timeout,
+                    probe_interval: Duration::from_millis(50),
+                    anti_entropy_interval: anti_entropy.unwrap_or(Duration::ZERO),
+                    ..ServiceConfig::default()
+                })
+                .expect("node starts")
+            })
+            .collect();
+        let ring = Ring::new(identities.clone());
+        ProxiedCluster {
+            identities,
+            direct,
+            proxies,
+            servers,
+            ring,
+        }
+    }
+
+    /// Fills `body` through node `via` (direct), returning the record
+    /// id and the reference bytes.
+    fn fill(&self, via: usize, body: &str) -> (String, String) {
+        let mut client = client_for(&self.direct[via]);
+        let resp = client.post("/v1/schedule", body).expect("fills");
+        assert_eq!(resp.status, 200, "fill failed: {}", resp.body);
+        let id = resp
+            .header("x-request-hash")
+            .expect("hash header")
+            .to_owned();
+        (id, resp.body)
+    }
+
+    fn shutdown(mut self) {
+        for server in self.servers.drain(..) {
+            server.shutdown();
+        }
+        for mut proxy in self.proxies.drain(..) {
+            proxy.shutdown();
+        }
+    }
+}
+
+/// Waits until the summed replication retry backlog across all nodes
+/// reaches zero.
+fn await_lag_drained(direct: &[String]) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let lag: u64 = direct
+            .iter()
+            .map(|a| scrape(&mut client_for(a), "noc_svc_cluster_replication_lag "))
+            .sum();
+        if lag == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replication lag stuck at {lag} after heal"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn one_way_partition_heals_into_full_replication_without_recompute() {
+    let cluster = ProxiedCluster::start(
+        3,
+        Duration::from_millis(500),
+        Some(Duration::from_millis(300)),
+    );
+
+    // One-way partition: node 0's *inbound* proxy denies everything,
+    // but node 0 can still dial out to its peers' proxies.
+    cluster.proxies[0].policy().set_deny(true);
+
+    // Fill through a survivor while the partition is up. Every fill
+    // must answer 200 — a dead peer can never fail a request.
+    let bodies: Vec<String> = [(201u64, "edf"), (201, "dls"), (202, "edf"), (203, "dls")]
+        .iter()
+        .map(|(seed, scheduler)| schedule_body(&graph_json(*seed, 10), scheduler))
+        .collect();
+    let mut reference: Vec<(String, String)> = Vec::new();
+    for body in &bodies {
+        reference.push(cluster.fill(1, body));
+    }
+
+    // The other survivor answers everything byte-identically while
+    // the partition is still up — zero wrong answers mid-fault.
+    let mut via_node2 = client_for(&cluster.direct[2]);
+    for (body, (id, expected)) in bodies.iter().zip(&reference) {
+        let resp = via_node2.post("/v1/schedule", body).expect("answers");
+        assert_eq!(resp.status, 200, "survivor failed mid-partition");
+        assert_eq!(
+            &resp.body, expected,
+            "survivor diverged on {id} mid-partition"
+        );
+    }
+
+    // Heal. Anti-entropy (plus the retry queues) must land every
+    // record on its full owner chain with no operator action.
+    cluster.proxies[0].policy().set_deny(false);
+    for (id, _) in &reference {
+        for node in cluster.ring.owner_chain(id, 2) {
+            await_record(node, id);
+        }
+    }
+    await_lag_drained(&cluster.direct);
+
+    // The previously partitioned node now answers everything without
+    // recomputing: its replica ("hit") or a peer fill ("peer").
+    let mut via_node0 = client_for(&cluster.direct[0]);
+    for (body, (id, expected)) in bodies.iter().zip(&reference) {
+        let resp = via_node0.post("/v1/schedule", body).expect("answers");
+        assert_eq!(resp.status, 200);
+        assert_eq!(&resp.body, expected, "node 0 diverged on {id} after heal");
+        let label = resp.header("x-cache").expect("cache label").to_owned();
+        assert!(
+            label == "hit" || label == "peer",
+            "node 0 answered {id} via `{label}` after heal — that is a recompute"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn peer_flap_during_replication_drains_the_retry_queue_after_recovery() {
+    // Anti-entropy off: convergence here must come from the retry
+    // queue plus the failure detector's probe path alone.
+    let cluster = ProxiedCluster::start(3, Duration::from_millis(500), None);
+
+    // Flap node 0 down before any traffic.
+    cluster.proxies[0].policy().set_deny(true);
+
+    // Fill through node 1 until at least one record's owner chain
+    // includes node 0 — those deliveries must queue, not vanish.
+    let mut reference: Vec<(String, String, String)> = Vec::new(); // (id, body, bytes)
+    let mut targets_node0 = false;
+    for seed in 0..24u64 {
+        let body = schedule_body(&graph_json(300 + seed, 10), "edf");
+        let (id, bytes) = cluster.fill(1, &body);
+        let chain = cluster.ring.owner_chain(&id, 2);
+        targets_node0 |= chain.contains(&cluster.identities[0].as_str());
+        reference.push((id, body, bytes));
+        if targets_node0 && reference.len() >= 4 {
+            break;
+        }
+    }
+    assert!(
+        targets_node0,
+        "24 problems all missed node 0's ring ranges — rings this lopsided are a bug"
+    );
+
+    // The failed deliveries are counted and queued on node 1.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let failures = scrape(
+            &mut client_for(&cluster.direct[1]),
+            "noc_svc_cluster_replication_delivery_failures_total ",
+        );
+        if failures > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "deliveries to the flapped peer never failed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Heal the flap: a detector probe lets the queue drain, every
+    // queued record lands, and the lag returns to zero.
+    cluster.proxies[0].policy().set_deny(false);
+    for (id, _, _) in &reference {
+        for node in cluster.ring.owner_chain(id, 2) {
+            await_record(node, id);
+        }
+    }
+    await_lag_drained(&cluster.direct);
+    let recoveries: u64 = cluster
+        .direct
+        .iter()
+        .map(|a| scrape(&mut client_for(a), "noc_svc_cluster_peer_recoveries_total "))
+        .sum();
+    assert!(
+        recoveries > 0,
+        "the detector must record the peer coming back Up"
+    );
+
+    // And the records the flapped node now holds serve the exact
+    // reference bytes.
+    let mut via_node0 = client_for(&cluster.direct[0]);
+    for (id, body, expected) in &reference {
+        let resp = via_node0.post("/v1/schedule", body).expect("answers");
+        assert_eq!(resp.status, 200);
+        assert_eq!(&resp.body, expected, "node 0 diverged on {id} after flap");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn slow_peer_under_the_timeout_serves_while_over_it_falls_to_the_successor() {
+    // 1 s peer timeout per the cluster default; the proxy injects
+    // 900 ms — slow but legal — then 2.5 s — over the timeout.
+    let cluster = ProxiedCluster::start(3, Duration::from_secs(1), None);
+
+    // Find two records whose owner chain *excludes* node 2, so a read
+    // via node 2 must peer-fill through the (about to be slowed)
+    // proxies of nodes 0 and 1.
+    let mut remote: Vec<(String, String, String)> = Vec::new(); // (id, body, bytes)
+    for seed in 0..24u64 {
+        let body = schedule_body(&graph_json(400 + seed, 10), "edf");
+        let (id, bytes) = cluster.fill(0, &body);
+        let chain = cluster.ring.owner_chain(&id, 2);
+        if !chain.contains(&cluster.identities[2].as_str()) {
+            remote.push((id, body, bytes));
+            if remote.len() == 2 {
+                break;
+            }
+        }
+    }
+    assert_eq!(remote.len(), 2, "no records landed off node 2's ranges");
+    for (id, _, _) in &remote {
+        for node in cluster.ring.owner_chain(id, 2) {
+            await_record(node, id);
+        }
+    }
+
+    // 900 ms of injected latency on both owners: the peer fill is slow
+    // but inside the 1 s budget, so it must still be served as a fill,
+    // with the peers still counted Up (no failures, no fallback).
+    cluster.proxies[0]
+        .policy()
+        .set_latency(Duration::from_millis(900));
+    cluster.proxies[1]
+        .policy()
+        .set_latency(Duration::from_millis(900));
+    let mut via_node2 = client_for(&cluster.direct[2]);
+    let (id, body, expected) = &remote[0];
+    let sent = Instant::now();
+    let resp = via_node2.post("/v1/schedule", body).expect("answers");
+    let elapsed = sent.elapsed();
+    assert_eq!(resp.status, 200);
+    assert_eq!(&resp.body, expected, "slow-peer fill diverged on {id}");
+    assert_eq!(
+        resp.header("x-cache"),
+        Some("peer"),
+        "a record off node 2's ranges must arrive by peer fill"
+    );
+    assert!(
+        elapsed >= Duration::from_millis(700),
+        "the injected latency never applied (took {elapsed:?})"
+    );
+    assert!(
+        elapsed < Duration::from_secs(4),
+        "a slow-but-legal peer must not cascade into timeouts (took {elapsed:?})"
+    );
+
+    // 2.5 s of injected latency: over the timeout, the owner fill
+    // fails, and the answer still arrives — recomputed or from the
+    // successor — byte-identical, bounded by timeout + compute.
+    cluster.proxies[0]
+        .policy()
+        .set_latency(Duration::from_millis(2500));
+    cluster.proxies[1]
+        .policy()
+        .set_latency(Duration::from_millis(2500));
+    let (id, body, expected) = &remote[1];
+    let resp = via_node2.post("/v1/schedule", body).expect("answers");
+    assert_eq!(resp.status, 200);
+    assert_eq!(&resp.body, expected, "over-timeout read diverged on {id}");
+    let errors = scrape(
+        &mut client_for(&cluster.direct[2]),
+        "noc_svc_cluster_peer_fill_errors_total ",
+    );
+    assert!(
+        errors > 0,
+        "an over-timeout peer must be counted as a fill failure"
+    );
+    cluster.shutdown();
 }
