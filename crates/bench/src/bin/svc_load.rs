@@ -28,7 +28,10 @@
 //!   round-robin across the listed nodes (fill), then demands every
 //!   node answer every problem byte-identically (verify), counting
 //!   peer cache-fills vs. local recomputes from each node's
-//!   `noc_svc_cluster_*` metrics, and writes `BENCH_cluster.json`.
+//!   `noc_svc_cluster_*` metrics, and writes `BENCH_cluster.json`,
+//!   including per-hop latency attribution: verify-round percentiles
+//!   split by `X-Cache` serving class, slow-ring membership, and
+//!   per-stage span costs scraped from the nodes' flight recorders.
 //! * `--chaos-net <ctrl,ctrl,...>` (with `--nodes`) — partition drill
 //!   against nodes listening behind `net_chaos` proxies, one control
 //!   address per node: fill, deny the first node's inbound proxy,
@@ -739,7 +742,126 @@ struct ClusterBench {
     /// per-operation timeout instead of skipping via the detector.
     verify_p50_ms: f64,
     verify_p99_ms: f64,
+    /// Verify-round latency split by how each answer was served
+    /// (`X-Cache`: hit / peer / miss), with per-stage span costs from
+    /// the nodes' flight recorders.
+    hop_attribution: Vec<HopClass>,
     wall_s: f64,
+}
+
+/// Traces sampled per serving class for the per-stage span breakdown
+/// (each sample costs one `/v1/internal/trace/<id>` scrape per node).
+const TRACE_SAMPLES_PER_CLASS: usize = 8;
+
+/// Latency and span attribution for one serving class, keyed by the
+/// `X-Cache` answer label: `hit` = local cache, `peer` = cross-node
+/// fill, `miss` = local compute, `join` = coalesced onto a twin.
+#[derive(Debug, Serialize)]
+struct HopClass {
+    class: String,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Verify-round traces of this class that some node's slow ring
+    /// captured (only populated when the servers run a low `--slow-ms`).
+    slow_ring_matched: usize,
+    /// Per-stage span cost over a sample of this class's traces,
+    /// scraped from every node's flight recorder.
+    stages: Vec<StageCost>,
+}
+
+/// Aggregated cost of one pipeline stage across sampled spans.
+#[derive(Debug, Serialize)]
+struct StageCost {
+    stage: String,
+    spans: usize,
+    mean_us: f64,
+}
+
+/// Builds the per-class attribution table from the verify round's
+/// `(class, trace id, latency)` samples: percentiles per class, slow
+/// ring membership, and per-stage span costs for a sampled subset of
+/// traces scraped from every node's flight recorder.
+fn attribute_hops(
+    clients: &mut [Client],
+    samples: &[(String, Option<String>, u64)],
+) -> Vec<HopClass> {
+    // Every trace id any node's slow ring holds.
+    let mut slow_ids: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for c in clients.iter_mut() {
+        if let Ok(resp) = c.get("/v1/internal/slow") {
+            if resp.status == 200 {
+                if let Ok(dump) = serde_json::from_str::<noc_svc::obs::SlowDump>(&resp.body) {
+                    slow_ids.extend(dump.slow.into_iter().map(|s| s.trace));
+                }
+            }
+        }
+    }
+    let mut by_class: HashMap<String, Vec<(Option<String>, u64)>> = HashMap::new();
+    for (class, trace, us) in samples {
+        by_class
+            .entry(class.clone())
+            .or_default()
+            .push((trace.clone(), *us));
+    }
+    let mut classes: Vec<HopClass> = Vec::new();
+    for (class, entries) in by_class {
+        let mut lat: Vec<u64> = entries.iter().map(|(_, us)| *us).collect();
+        lat.sort_unstable();
+        let slow_ring_matched = entries
+            .iter()
+            .filter(|(t, _)| t.as_ref().is_some_and(|t| slow_ids.contains(t)))
+            .count();
+        // Per-stage costs over a bounded sample of this class's
+        // traces, each reconstructed across every node's recorder.
+        let mut stage_sum: HashMap<String, (usize, u64)> = HashMap::new();
+        for (trace, _) in entries
+            .iter()
+            .filter(|(t, _)| t.is_some())
+            .take(TRACE_SAMPLES_PER_CLASS)
+        {
+            let id = trace.as_ref().expect("filtered");
+            for c in clients.iter_mut() {
+                let Ok(resp) = c.get(&format!("/v1/internal/trace/{id}")) else {
+                    continue;
+                };
+                if resp.status != 200 {
+                    continue;
+                }
+                let Ok(dump) = serde_json::from_str::<noc_svc::obs::TraceDump>(&resp.body) else {
+                    continue;
+                };
+                for span in dump.spans {
+                    let slot = stage_sum.entry(span.stage).or_insert((0, 0));
+                    slot.0 += 1;
+                    slot.1 += span.wall_us;
+                }
+            }
+        }
+        let mut stages: Vec<StageCost> = stage_sum
+            .into_iter()
+            .map(|(stage, (spans, total_us))| StageCost {
+                stage,
+                spans,
+                mean_us: if spans > 0 {
+                    total_us as f64 / spans as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+        classes.push(HopClass {
+            class,
+            requests: entries.len(),
+            p50_ms: pct_ms(&lat, 0.50),
+            p99_ms: pct_ms(&lat, 0.99),
+            slow_ring_matched,
+            stages,
+        });
+    }
+    classes.sort_by(|a, b| a.class.cmp(&b.class));
+    classes
 }
 
 /// The fixed-seed cluster problem mix: `graphs` distinct CTGs times
@@ -847,6 +969,7 @@ fn run_cluster(
     // from (local cache, the owner's store via peer fill, or a
     // replica).
     let mut verify_us: Vec<u64> = Vec::new();
+    let mut verify_samples: Vec<(String, Option<String>, u64)> = Vec::new();
     for (idx, body) in mix.iter().enumerate() {
         let Some(expected) = &reference[idx] else {
             continue;
@@ -855,7 +978,13 @@ fn run_cluster(
             let sent = Instant::now();
             match client.post("/v1/schedule", body) {
                 Ok(resp) if resp.status == 200 => {
-                    verify_us.push(sent.elapsed().as_micros() as u64);
+                    let us = sent.elapsed().as_micros() as u64;
+                    verify_us.push(us);
+                    verify_samples.push((
+                        resp.header("x-cache").unwrap_or("miss").to_owned(),
+                        resp.header("x-noc-trace").map(str::to_owned),
+                        us,
+                    ));
                     requests += 1;
                     if resp.body != *expected {
                         eprintln!(
@@ -903,6 +1032,7 @@ fn run_cluster(
             pct_ms(&verify_us, 0.50)
         },
         verify_p99_ms: pct_ms(&verify_us, 0.99),
+        hop_attribution: attribute_hops(&mut clients, &verify_samples),
         wall_s,
     };
     println!(
@@ -913,6 +1043,18 @@ fn run_cluster(
         report.schedules_executed,
         report.lookups_served,
     );
+    for class in &report.hop_attribution {
+        println!(
+            "  served as {:<4}: {:>4} requests, p50 {:.2}ms p99 {:.2}ms, {} in slow rings, \
+             {} stages sampled",
+            class.class,
+            class.requests,
+            class.p50_ms,
+            class.p99_ms,
+            class.slow_ring_matched,
+            class.stages.len(),
+        );
+    }
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {
             if let Err(e) = std::fs::write(out_path, json) {

@@ -1,5 +1,6 @@
-//! A small dependency-free argument parser: `--key value` options and
-//! `--flag` booleans after a subcommand.
+//! A small dependency-free argument parser: `--key value` options,
+//! `--flag` booleans, and free-standing positionals (verbs like
+//! `cluster status`) after a subcommand.
 
 use std::collections::HashMap;
 
@@ -8,6 +9,9 @@ use std::collections::HashMap;
 pub struct Args {
     /// The subcommand (first free-standing argument).
     pub command: String,
+    /// Free-standing arguments after the subcommand, in order.
+    /// Subcommands that take none reject leftovers at dispatch.
+    pub positionals: Vec<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -17,8 +21,7 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Rejects missing subcommands, options without values and unknown
-    /// positional arguments.
+    /// Rejects missing subcommands and options without values.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
         let mut iter = argv.into_iter().peekable();
         let command = iter.next().ok_or("missing subcommand; try `noceas help`")?;
@@ -31,7 +34,8 @@ impl Args {
         };
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(format!("unexpected positional argument `{token}`"));
+                args.positionals.push(token);
+                continue;
             };
             match iter.peek() {
                 Some(v) if !v.starts_with("--") => {
@@ -112,8 +116,14 @@ mod tests {
     }
 
     #[test]
-    fn positional_arguments_are_rejected() {
-        assert!(parse(&["schedule", "stray"]).is_err());
+    fn positional_arguments_are_collected_in_order() {
+        let a = parse(&["cluster", "trace", "00c0ffee", "--nodes", "a,b"]).unwrap();
+        assert_eq!(a.positionals, vec!["trace", "00c0ffee"]);
+        assert_eq!(a.get("nodes"), Some("a,b"));
+        // Commands that take no positionals reject them at dispatch,
+        // not here; the parser just carries them through.
+        let b = parse(&["schedule", "stray"]).unwrap();
+        assert_eq!(b.positionals, vec!["stray"]);
     }
 
     #[test]

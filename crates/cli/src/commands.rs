@@ -83,6 +83,7 @@ USAGE:
                [--store-segment-bytes N] [--net reactor|thread]
                [--peers ADDR,ADDR,...] [--self-addr ADDR]
                [--peer-timeout-ms MS] [--probe-ms MS] [--anti-entropy-ms MS]
+               [--flight-recorder-entries N] [--slow-ms MS] [--log-json PATH]
       Run the scheduling service: POST /v1/schedule, POST /v1/validate,
       GET /v1/jobs/<id>, GET /healthz, GET /metrics. The job queue is
       bounded at --queue entries (429 + Retry-After past it) and
@@ -118,6 +119,27 @@ USAGE:
       (default 250, doubling to 16x), and --anti-entropy-ms sets the
       digest-exchange sweep period that re-replicates records a
       recovered peer missed (default 2000; 0 disables the sweep).
+      Every request is traced: the response carries an X-Noc-Trace id
+      whose per-hop spans land in a bounded per-node flight recorder
+      (--flight-recorder-entries spans, default 4096, 0 disables);
+      requests at or past --slow-ms (default 250) snapshot their span
+      tree into GET /v1/internal/slow. --log-json appends structured
+      JSONL service events (admissions rejected, peers flipping
+      Up/Down, store degradation, journal replay) to PATH instead of
+      stderr. See docs/OBSERVABILITY.md.
+
+  noceas cluster status --nodes ADDR,ADDR,...
+      Fan out to every node: ring ownership share, failure-detector
+      peer states and replication retry backlog, in one table.
+
+  noceas cluster trace ID --nodes ADDR,ADDR,...
+      Collect the flight-recorder spans for trace ID from every node
+      and assemble the cross-node span tree (the ID comes from any
+      response's X-Noc-Trace header). Fails when the tree is missing
+      or has dangling parents.
+
+  noceas cluster slow --nodes ADDR,ADDR,...
+      Dump every node's slow-request ring, slowest first.
 
   noceas simulate --graph graph.json --schedule schedule.json --platform mesh:4x4
                   [--buffers N] [--hop-latency N] [--faults SPEC]
@@ -153,8 +175,16 @@ USAGE:
 /// Every user-facing failure (bad spec, missing file, invalid schedule)
 /// is returned as a message; the binary maps it to exit code 1.
 pub fn run(args: &Args) -> Result<String, String> {
+    // Only `cluster` takes free-standing verbs; everywhere else a
+    // stray positional is a mistake worth rejecting loudly.
+    if args.command != "cluster" {
+        if let Some(stray) = args.positionals.first() {
+            return Err(format!("unexpected positional argument `{stray}`"));
+        }
+    }
     match args.command.as_str() {
         "generate" => generate(args),
+        "cluster" => cluster_cmd(args),
         "benchmark" => benchmark(args),
         "schedule" => schedule(args),
         "delta" => delta_cmd(args),
@@ -587,6 +617,9 @@ fn serve(args: &Args) -> Result<String, String> {
         anti_entropy_interval: std::time::Duration::from_millis(
             args.get_num("anti-entropy-ms", 2000u64)?,
         ),
+        flight_recorder_entries: args.get_num("flight-recorder-entries", 4096usize)?,
+        slow_ms: args.get_num("slow-ms", 250u64)?,
+        log_json: args.get("log-json").map(str::to_owned),
         ..noc_svc::ServiceConfig::default()
     };
     let server = noc_svc::Server::start(config).map_err(|e| e.to_string())?;
@@ -641,6 +674,318 @@ fn import(args: &Args) -> Result<String, String> {
         graph.task_count(),
         graph.edge_count()
     ))
+}
+
+/// How many synthetic keys `cluster status` hashes onto the ring to
+/// estimate each node's ownership share.
+const RING_SAMPLE_KEYS: usize = 256;
+
+/// `noceas cluster <status|trace|slow> --nodes a,b,c` — cluster-wide
+/// introspection over the service's internal endpoints.
+fn cluster_cmd(args: &Args) -> Result<String, String> {
+    let verb = args
+        .positionals
+        .first()
+        .map(String::as_str)
+        .ok_or("cluster needs a verb: status, trace ID, or slow")?;
+    let nodes: Vec<String> = args
+        .require("nodes")?
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if nodes.is_empty() {
+        return Err("--nodes lists no addresses".into());
+    }
+    match verb {
+        "status" => {
+            expect_extra_positionals(args, 1)?;
+            cluster_status(&nodes)
+        }
+        "trace" => {
+            let id = args
+                .positionals
+                .get(1)
+                .ok_or("cluster trace needs the trace id (from an X-Noc-Trace header)")?;
+            expect_extra_positionals(args, 2)?;
+            cluster_trace(&nodes, id)
+        }
+        "slow" => {
+            expect_extra_positionals(args, 1)?;
+            cluster_slow(&nodes)
+        }
+        other => Err(format!(
+            "unknown cluster verb `{other}` (expected status, trace or slow)"
+        )),
+    }
+}
+
+fn expect_extra_positionals(args: &Args, used: usize) -> Result<(), String> {
+    match args.positionals.get(used) {
+        Some(stray) => Err(format!("unexpected positional argument `{stray}`")),
+        None => Ok(()),
+    }
+}
+
+/// A short-timeout client for one node, or the connect error text.
+fn node_client(node: &str) -> Result<noc_svc::client::Client, String> {
+    use std::net::ToSocketAddrs;
+    let addr = node
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve `{node}`: {e}"))?
+        .next()
+        .ok_or_else(|| format!("`{node}` resolves to no address"))?;
+    Ok(noc_svc::client::Client::with_timeout(
+        addr,
+        std::time::Duration::from_secs(5),
+    ))
+}
+
+fn cluster_status(nodes: &[String]) -> Result<String, String> {
+    // Ownership share: hash a fixed synthetic key set onto the same
+    // consistent-hash ring the service builds from this node list.
+    let ring = noc_svc::cluster::Ring::new(nodes.to_vec());
+    let mut owned: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for i in 0..RING_SAMPLE_KEYS {
+        let hash = noc_svc::hash::content_hash(&format!("ring-sample-{i}"));
+        *owned.entry(ring.owner(&hash)).or_default() += 1;
+    }
+    let mut out = format!("cluster status ({} nodes)\n\n", nodes.len());
+    let mut unreachable = 0usize;
+    for node in nodes {
+        let share = owned.get(node.as_str()).copied().unwrap_or(0);
+        out.push_str(&format!(
+            "node {node} — ring share {share}/{RING_SAMPLE_KEYS} ({:.1}%)\n",
+            share as f64 * 100.0 / RING_SAMPLE_KEYS as f64
+        ));
+        let body = node_client(node).and_then(|mut c| {
+            c.get("/v1/internal/health")
+                .map_err(|e| format!("GET /v1/internal/health failed: {e}"))
+        });
+        match body {
+            Err(e) => {
+                unreachable += 1;
+                out.push_str(&format!("  UNREACHABLE: {e}\n"));
+            }
+            Ok(resp) if resp.status != 200 => {
+                unreachable += 1;
+                out.push_str(&format!("  health endpoint answered {}\n", resp.status));
+            }
+            Ok(resp) => match render_health_table(&resp.body) {
+                Ok(table) => out.push_str(&table),
+                Err(e) => out.push_str(&format!("  unparseable health body: {e}\n")),
+            },
+        }
+    }
+    out.push_str(&format!(
+        "\n{}/{} nodes reachable\n",
+        nodes.len() - unreachable,
+        nodes.len()
+    ));
+    if unreachable == nodes.len() {
+        return Err(format!("no node reachable:\n{out}"));
+    }
+    Ok(out)
+}
+
+/// The value as a non-negative integer, if it is a number.
+fn value_u64(v: &serde_json::Value) -> Option<u64> {
+    match v {
+        serde_json::Value::Number(n) => n.as_u64(),
+        _ => None,
+    }
+}
+
+/// Renders one node's `/v1/internal/health` body (parsed as a generic
+/// JSON value — the `self` field name is a Rust keyword, so no derive).
+fn render_health_table(body: &str) -> Result<String, String> {
+    let value: serde_json::Value = serde_json::from_str(body).map_err(|e| e.to_string())?;
+    let obj = value.as_object().ok_or("health body is not an object")?;
+    let mut out = String::new();
+    if let Some(me) = obj.get("self").and_then(serde_json::Value::as_str) {
+        out.push_str(&format!("  ring identity: {me}\n"));
+    }
+    let peers = obj
+        .get("peers")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("health body has no peers array")?;
+    if peers.is_empty() {
+        out.push_str("  peers: none (single-node)\n");
+    }
+    for peer in peers {
+        let peer = peer.as_object().ok_or("peer entry is not an object")?;
+        let name = peer
+            .get("peer")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let state = peer
+            .get("state")
+            .and_then(serde_json::Value::as_str)
+            .unwrap_or("?");
+        let fails = peer
+            .get("consecutive_failures")
+            .and_then(value_u64)
+            .unwrap_or(0);
+        let backlog = peer.get("retry_queue").and_then(value_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "  peer {name}: {state} ({fails} consecutive failures, replication backlog {backlog})\n"
+        ));
+    }
+    Ok(out)
+}
+
+fn cluster_trace(nodes: &[String], id: &str) -> Result<String, String> {
+    let mut spans: Vec<noc_svc::obs::SpanWire> = Vec::new();
+    let mut answered = 0usize;
+    let mut errors: Vec<String> = Vec::new();
+    for node in nodes {
+        let resp = node_client(node).and_then(|mut c| {
+            c.get(&format!("/v1/internal/trace/{id}"))
+                .map_err(|e| format!("{node}: {e}"))
+        });
+        match resp {
+            Err(e) => errors.push(e),
+            Ok(resp) if resp.status == 404 => answered += 1, // no spans here
+            Ok(resp) if resp.status != 200 => {
+                errors.push(format!("{node}: trace endpoint answered {}", resp.status));
+            }
+            Ok(resp) => {
+                answered += 1;
+                let dump: noc_svc::obs::TraceDump = serde_json::from_str(&resp.body)
+                    .map_err(|e| format!("{node}: unparseable trace body: {e}"))?;
+                spans.extend(dump.spans);
+            }
+        }
+    }
+    if answered == 0 {
+        return Err(format!(
+            "no node answered for trace {id}: {}",
+            errors.join("; ")
+        ));
+    }
+    if spans.is_empty() {
+        return Err(format!(
+            "no spans recorded for trace {id} on any reachable node \
+             (expired from the flight recorder, or the id is wrong)"
+        ));
+    }
+    let contributing: std::collections::BTreeSet<&str> =
+        spans.iter().map(|s| s.node.as_str()).collect();
+    let mut out = format!(
+        "trace {id} — {} spans across {} node{}\n\n",
+        spans.len(),
+        contributing.len(),
+        if contributing.len() == 1 { "" } else { "s" }
+    );
+    let (tree, dangling) = render_span_tree(&spans);
+    out.push_str(&tree);
+    for e in &errors {
+        out.push_str(&format!("\nwarning: {e}\n"));
+    }
+    if !dangling.is_empty() {
+        return Err(format!(
+            "{out}\ntrace {id} is disconnected: {} span(s) reference parents no node \
+             recorded (in-flight hops, or ring-evicted spans)",
+            dangling.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// Renders collected spans as an indented tree (children under their
+/// parent, allocation order within a level). Returns the rendering and
+/// the spans whose parent id no collected span carries.
+fn render_span_tree(spans: &[noc_svc::obs::SpanWire]) -> (String, Vec<u64>) {
+    use std::collections::{BTreeMap, HashSet};
+    let known: HashSet<u64> = spans.iter().map(|s| s.span).collect();
+    // parent span id -> children, ordered by span id (mint order).
+    let mut children: BTreeMap<u64, Vec<&noc_svc::obs::SpanWire>> = BTreeMap::new();
+    let mut roots: Vec<&noc_svc::obs::SpanWire> = Vec::new();
+    let mut dangling: Vec<u64> = Vec::new();
+    for span in spans {
+        if span.parent_span == 0 {
+            roots.push(span);
+        } else if known.contains(&span.parent_span) {
+            children.entry(span.parent_span).or_default().push(span);
+        } else {
+            dangling.push(span.span);
+            roots.push(span); // still rendered, flagged below
+        }
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(&noc_svc::obs::SpanWire, usize)> =
+        roots.into_iter().rev().map(|s| (s, 0)).collect();
+    while let Some((span, depth)) = stack.pop() {
+        let missing_parent = span.parent_span != 0 && !known.contains(&span.parent_span);
+        out.push_str(&format!(
+            "{}{} {} [{}] {} µs{}\n",
+            "  ".repeat(depth),
+            span.node,
+            span.stage,
+            span.outcome,
+            span.wall_us,
+            if missing_parent {
+                " (parent span missing)"
+            } else {
+                ""
+            }
+        ));
+        if let Some(kids) = children.get(&span.span) {
+            for kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    (out, dangling)
+}
+
+fn cluster_slow(nodes: &[String]) -> Result<String, String> {
+    let mut entries: Vec<noc_svc::obs::SlowWire> = Vec::new();
+    let mut answered = 0usize;
+    let mut errors: Vec<String> = Vec::new();
+    for node in nodes {
+        let resp = node_client(node).and_then(|mut c| {
+            c.get("/v1/internal/slow")
+                .map_err(|e| format!("{node}: {e}"))
+        });
+        match resp {
+            Err(e) => errors.push(e),
+            Ok(resp) if resp.status != 200 => {
+                errors.push(format!("{node}: slow endpoint answered {}", resp.status));
+            }
+            Ok(resp) => {
+                answered += 1;
+                let dump: noc_svc::obs::SlowDump = serde_json::from_str(&resp.body)
+                    .map_err(|e| format!("{node}: unparseable slow body: {e}"))?;
+                entries.extend(dump.slow);
+            }
+        }
+    }
+    if answered == 0 {
+        return Err(format!("no node reachable: {}", errors.join("; ")));
+    }
+    entries.sort_by_key(|e| std::cmp::Reverse(e.wall_us));
+    let mut out = format!(
+        "slow requests ({} entries from {answered} node{})\n\n",
+        entries.len(),
+        if answered == 1 { "" } else { "s" }
+    );
+    for e in &entries {
+        out.push_str(&format!(
+            "{} {} [{}] {} µs — trace {} ({} spans)\n",
+            e.node,
+            e.endpoint,
+            e.outcome,
+            e.wall_us,
+            e.trace,
+            e.spans.len()
+        ));
+    }
+    for e in &errors {
+        out.push_str(&format!("warning: {e}\n"));
+    }
+    Ok(out)
 }
 
 fn info(args: &Args) -> Result<String, String> {
@@ -878,11 +1223,82 @@ mod tests {
             "simulate",
             "explain",
             "serve",
+            "cluster status",
+            "cluster trace",
+            "cluster slow",
             "dot",
             "info",
         ] {
             assert!(help.contains(cmd), "help must mention {cmd}");
         }
+    }
+
+    #[test]
+    fn stray_positionals_still_fail_outside_cluster() {
+        let err = run(&args(&["schedule", "stray"])).unwrap_err();
+        assert!(err.contains("unexpected positional argument `stray`"));
+    }
+
+    #[test]
+    fn cluster_verbs_validate_their_arguments() {
+        assert!(run(&args(&["cluster"]))
+            .unwrap_err()
+            .contains("needs a verb"));
+        assert!(run(&args(&["cluster", "status"]))
+            .unwrap_err()
+            .contains("--nodes"));
+        assert!(run(&args(&["cluster", "reboot", "--nodes", "127.0.0.1:1"]))
+            .unwrap_err()
+            .contains("unknown cluster verb"));
+        assert!(run(&args(&["cluster", "trace", "--nodes", "127.0.0.1:1"]))
+            .unwrap_err()
+            .contains("trace id"));
+        assert!(run(&args(&[
+            "cluster",
+            "status",
+            "extra",
+            "--nodes",
+            "127.0.0.1:1"
+        ]))
+        .unwrap_err()
+        .contains("unexpected positional"));
+        // An unreachable node set fails with the connection story, not
+        // a panic (port 9 on loopback answers nothing).
+        let err = run(&args(&["cluster", "slow", "--nodes", "127.0.0.1:9"])).unwrap_err();
+        assert!(err.contains("no node reachable"), "got {err}");
+    }
+
+    #[test]
+    fn cluster_span_tree_renders_and_flags_dangling_parents() {
+        let span = |node: &str, span, parent, stage: &str, outcome: &str| noc_svc::obs::SpanWire {
+            trace: "aa".repeat(16),
+            node: node.to_owned(),
+            span,
+            parent_span: parent,
+            stage: stage.to_owned(),
+            wall_us: 10,
+            outcome: outcome.to_owned(),
+        };
+        let spans = vec![
+            span("n1", 1, 0, "/v1/schedule", "peer"),
+            span("n1", 2, 1, "peer_fill", "hit"),
+            span("n2", 3, 2, "/v1/internal/lookup", "ok"),
+        ];
+        let (tree, dangling) = render_span_tree(&spans);
+        assert!(dangling.is_empty());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("n1 /v1/schedule"));
+        assert!(lines[1].starts_with("  n1 peer_fill"));
+        assert!(lines[2].starts_with("    n2 /v1/internal/lookup"));
+
+        let broken = vec![
+            span("n1", 1, 0, "/v1/schedule", "miss"),
+            span("n2", 5, 99, "/v1/internal/record", "ok"),
+        ];
+        let (tree, dangling) = render_span_tree(&broken);
+        assert_eq!(dangling, vec![5]);
+        assert!(tree.contains("(parent span missing)"));
     }
 
     #[test]

@@ -16,6 +16,18 @@ use noc_schedule::{Schedule, ValidationReport};
 
 use crate::hash::{canonical_string, content_hash};
 
+/// The request-correlation header: the service echoes the trace id of
+/// every request here, accepts a client-supplied hex id (8–64 chars)
+/// inbound, and forwards it on every internal hop. Trace metadata
+/// lives in headers and the flight recorder only — never in cache
+/// keys, stored records, or response bodies.
+pub const TRACE_HEADER: &str = "x-noc-trace";
+
+/// The hop-parent header: internal requests carry the caller's span
+/// id here so the receiving node's serving span joins the caller's
+/// tree (`parent_span` in the assembled trace).
+pub const SPAN_HEADER: &str = "x-noc-span";
+
 /// Body of `POST /v1/schedule`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleRequest {

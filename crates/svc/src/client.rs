@@ -138,7 +138,20 @@ impl Client {
     ///
     /// Propagates socket failures.
     pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, &[])
+    }
+
+    /// Sends a `GET` carrying extra headers (trace propagation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn get_with_headers(
+        &mut self,
+        path: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None, headers)
     }
 
     /// Sends a `POST` with a JSON body.
@@ -147,7 +160,22 @@ impl Client {
     ///
     /// Propagates socket failures.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// Sends a `POST` with a JSON body and extra headers (trace
+    /// propagation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), headers)
     }
 
     fn request(
@@ -155,6 +183,7 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         // Only a *reused* keep-alive connection earns a reconnect
         // retry: the server may have dropped it while idle, which is
@@ -163,12 +192,12 @@ impl Client {
         // turns one overloaded server into a connect stampede (each
         // 429/timeout burst doubling the socket count).
         let reused = self.conn.is_some();
-        let result = self.request_once(method, path, body);
+        let result = self.request_once(method, path, body, headers);
         if result.is_ok() || !reused {
             return result;
         }
         self.conn = None;
-        self.request_once(method, path, body)
+        self.request_once(method, path, body, headers)
     }
 
     fn request_once(
@@ -176,13 +205,21 @@ impl Client {
         method: &str,
         path: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
+        let mut head = format!(
             "{method} {path} HTTP/1.1\r\nHost: noc-svc\r\nContent-Type: application/json\r\n\
-             Content-Length: {}\r\n\r\n",
+             Content-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let stream = self.stream()?;
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;

@@ -34,6 +34,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use super::ClusterStats;
+use crate::obs::{LogLevel, ServiceLog};
 
 /// Failure-detector tunables.
 #[derive(Debug, Clone, Copy)]
@@ -204,11 +205,18 @@ pub(crate) struct Health {
     epoch: Instant,
     peers: Mutex<HashMap<String, PeerDetector>>,
     stats: Arc<ClusterStats>,
+    /// Structured log for Up/Suspect/Down transitions.
+    log: Arc<ServiceLog>,
 }
 
 impl Health {
     /// Builds the table with every peer Up.
-    pub(crate) fn new(cfg: DetectorConfig, peers: &[String], stats: Arc<ClusterStats>) -> Health {
+    pub(crate) fn new(
+        cfg: DetectorConfig,
+        peers: &[String],
+        stats: Arc<ClusterStats>,
+        log: Arc<ServiceLog>,
+    ) -> Health {
         let mut up = stats.peer_up.lock().expect("peer gauge lock");
         for peer in peers {
             up.insert(peer.clone(), 1);
@@ -224,6 +232,7 @@ impl Health {
                     .collect(),
             ),
             stats,
+            log,
         }
     }
 
@@ -259,13 +268,16 @@ impl Health {
     pub(crate) fn success(&self, peer: &str) {
         let mut peers = self.peers.lock().expect("health lock");
         if let Some(d) = peers.get_mut(peer) {
-            let was_down = d.state() == PeerState::Down;
+            let before = d.state();
             d.on_success();
             drop(peers);
-            if was_down {
+            if before == PeerState::Down {
                 self.stats.peer_recoveries.fetch_add(1, Ordering::Relaxed);
             }
             self.set_gauge(peer, 1);
+            if before != PeerState::Up {
+                self.log_flip(LogLevel::Info, peer, before, PeerState::Up);
+            }
         }
     }
 
@@ -274,11 +286,24 @@ impl Health {
         let now = self.now_ms();
         let mut peers = self.peers.lock().expect("health lock");
         if let Some(d) = peers.get_mut(peer) {
+            let before = d.state();
             d.on_failure(&self.cfg, now);
-            let down = d.state() == PeerState::Down;
+            let after = d.state();
             drop(peers);
-            self.set_gauge(peer, u64::from(!down));
+            self.set_gauge(peer, u64::from(after != PeerState::Down));
+            if before != after {
+                self.log_flip(LogLevel::Warn, peer, before, after);
+            }
         }
+    }
+
+    fn log_flip(&self, level: LogLevel, peer: &str, from: PeerState, to: PeerState) {
+        self.log.event(
+            level,
+            "peer-state",
+            &format!("peer {peer} went {} -> {}", from.as_str(), to.as_str()),
+            &[("peer", peer), ("from", from.as_str()), ("to", to.as_str())],
+        );
     }
 
     /// The full table, sorted by peer, for `/v1/internal/health`.
@@ -379,7 +404,12 @@ mod tests {
     fn health_table_mirrors_state_into_the_peer_gauge() {
         let stats = Arc::new(ClusterStats::default());
         let peers = vec!["a:1".to_owned(), "b:2".to_owned()];
-        let health = Health::new(cfg(), &peers, Arc::clone(&stats));
+        let health = Health::new(
+            cfg(),
+            &peers,
+            Arc::clone(&stats),
+            ServiceLog::stderr_fallback(),
+        );
         assert_eq!(stats.peer_up.lock().expect("gauges")["a:1"], 1);
         for _ in 0..3 {
             health.failure("a:1");

@@ -51,6 +51,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::JobOutput;
 use crate::client::Client;
+use crate::metrics::StageObserver;
+use crate::obs::{span_us, Recorder, ServiceLog, TraceCtx};
 
 mod health;
 mod ring;
@@ -302,11 +304,39 @@ pub trait RecordSource: Send + Sync {
     fn fetch(&self, id: &str) -> Option<(String, JobOutput)>;
 }
 
+/// Observability hooks the engine hands the cluster workers: the
+/// flight recorder for hop spans, the structured log, and a handle
+/// onto the stage-latency histograms. The default is fully disabled
+/// (clusters built without an engine, e.g. in unit tests, record
+/// nothing).
+pub struct ClusterObs {
+    /// The node's flight recorder.
+    pub recorder: Arc<Recorder>,
+    /// The structured service log.
+    pub log: Arc<ServiceLog>,
+    /// Stage-latency sink for `replication_deliver` / `anti_entropy`.
+    pub stages: StageObserver,
+}
+
+impl Default for ClusterObs {
+    fn default() -> Self {
+        ClusterObs {
+            recorder: Arc::new(Recorder::disabled()),
+            log: ServiceLog::stderr_fallback(),
+            stages: StageObserver::disabled(),
+        }
+    }
+}
+
 /// One queued replication delivery to one peer. The serialized
-/// envelope is shared across the peer queues it was fanned out to.
+/// envelope is shared across the peer queues it was fanned out to;
+/// the originating trace rides along so the delivery span joins the
+/// request's tree.
 struct ReplEntry {
     hash: String,
     envelope: Arc<String>,
+    trace: Arc<str>,
+    parent_span: u64,
 }
 
 /// The per-peer retry queues shared with the delivery thread.
@@ -329,6 +359,7 @@ struct Shared {
     health: Health,
     repl: ReplState,
     source: Mutex<Option<Weak<dyn RecordSource>>>,
+    obs: ClusterObs,
 }
 
 /// One node's view of the cluster: the ring, the peer dialing table,
@@ -348,6 +379,22 @@ impl Cluster {
     /// Fails when the membership is invalid (see
     /// [`ClusterConfig::membership`]) or a worker cannot spawn.
     pub fn start(config: ClusterConfig, stats: Arc<ClusterStats>) -> io::Result<Cluster> {
+        Cluster::start_with_obs(config, stats, ClusterObs::default())
+    }
+
+    /// [`Cluster::start`] with observability hooks: hop spans land in
+    /// `obs.recorder`, peer state flips in `obs.log`, and worker-side
+    /// stage latencies (`replication_deliver`, `anti_entropy`) in
+    /// `obs.stages`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::start`].
+    pub fn start_with_obs(
+        config: ClusterConfig,
+        stats: Arc<ClusterStats>,
+        obs: ClusterObs,
+    ) -> io::Result<Cluster> {
         let addrs = config.membership()?;
         let identities: Vec<String> = addrs.keys().cloned().collect();
         let peers: Vec<String> = identities
@@ -362,7 +409,12 @@ impl Cluster {
             timeout: config.timeout,
             retry_queue_max: config.retry_queue_max.max(1),
             anti_entropy_interval: config.anti_entropy_interval,
-            health: Health::new(config.detector, &peers, Arc::clone(&stats)),
+            health: Health::new(
+                config.detector,
+                &peers,
+                Arc::clone(&stats),
+                Arc::clone(&obs.log),
+            ),
             stats,
             repl: ReplState {
                 queues: Mutex::new(HashMap::new()),
@@ -370,6 +422,7 @@ impl Cluster {
                 stop: AtomicBool::new(false),
             },
             source: Mutex::new(None),
+            obs,
         });
         let mut workers = Vec::new();
         {
@@ -453,8 +506,12 @@ impl Cluster {
     /// anything else (miss, dead peer, key mismatch) falls back to
     /// local compute by returning `None`. Peers the detector holds
     /// Down are skipped in O(1) unless their probe window elapsed.
+    ///
+    /// Each lookup attempt records a `peer_fill` span under `trace`
+    /// and forwards the trace to the peer in `X-Noc-Trace` /
+    /// `X-Noc-Span`, so the peer's serving span joins the same tree.
     #[must_use]
-    pub fn fill(&self, id: &str, key: &str) -> Option<JobOutput> {
+    pub fn fill(&self, id: &str, key: &str, trace: &TraceCtx) -> Option<JobOutput> {
         let shared = &self.shared;
         let chain: Vec<&str> = shared
             .ring
@@ -475,12 +532,31 @@ impl Cluster {
                 continue;
             };
             let mut client = Client::with_timeout(addr, shared.timeout);
-            match client.get(&format!("/v1/internal/lookup/{id}")) {
+            let hop = shared.obs.recorder.child(trace);
+            let started = Instant::now();
+            let path = format!("/v1/internal/lookup/{id}");
+            let result = if hop.is_traced() {
+                client.get_with_headers(
+                    &path,
+                    &[
+                        (crate::api::TRACE_HEADER, &hop.id),
+                        (crate::api::SPAN_HEADER, &format!("{:x}", hop.span)),
+                    ],
+                )
+            } else {
+                client.get(&path)
+            };
+            let wall_us = span_us(started);
+            match result {
                 Ok(resp) if resp.status == 200 => {
                     shared.health.success(peer);
                     match serde_json::from_str::<RecordEnvelope>(&resp.body) {
                         Ok(envelope) if envelope.key == key => {
                             shared.stats.peer_fills.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .obs
+                                .recorder
+                                .record(&hop, "peer_fill", "hit", wall_us);
                             return Some(envelope.into_output());
                         }
                         // A non-matching key is a hash collision or a
@@ -490,17 +566,31 @@ impl Cluster {
                                 .stats
                                 .peer_fill_errors
                                 .fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .obs
+                                .recorder
+                                .record(&hop, "peer_fill", "error", wall_us);
                         }
                     }
                 }
                 // A 404 is a healthy peer that misses — not a failure.
-                Ok(resp) if resp.status == 404 => shared.health.success(peer),
+                Ok(resp) if resp.status == 404 => {
+                    shared.health.success(peer);
+                    shared
+                        .obs
+                        .recorder
+                        .record(&hop, "peer_fill", "miss", wall_us);
+                }
                 Ok(_) | Err(_) => {
                     shared.health.failure(peer);
                     shared
                         .stats
                         .peer_fill_errors
                         .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .obs
+                        .recorder
+                        .record(&hop, "peer_fill", "error", wall_us);
                 }
             }
         }
@@ -514,8 +604,10 @@ impl Cluster {
     /// Enqueues delivery of a finished record to the owner and
     /// successor of `id` (excluding this node). Never blocks: a full
     /// per-peer queue drops its *oldest* entry (counted as overflow)
-    /// to make room.
-    pub fn replicate(&self, id: &str, key: &str, output: &JobOutput) {
+    /// to make room. The originating request's `trace` rides with
+    /// each queued entry so the eventual delivery span joins its
+    /// tree.
+    pub fn replicate(&self, id: &str, key: &str, output: &JobOutput, trace: &TraceCtx) {
         let shared = &self.shared;
         if shared.repl.stop.load(Ordering::Acquire) {
             return;
@@ -535,7 +627,7 @@ impl Cluster {
                 .expect("envelope serialization is infallible"),
         );
         for peer in targets {
-            enqueue(shared, &peer, id, &envelope);
+            enqueue(shared, &peer, id, &envelope, trace);
         }
     }
 
@@ -559,7 +651,7 @@ impl Drop for Cluster {
 
 /// Pushes one entry onto `peer`'s retry queue, dropping the oldest
 /// entry past the bound, and wakes the delivery thread.
-fn enqueue(shared: &Shared, peer: &str, hash: &str, envelope: &Arc<String>) {
+fn enqueue(shared: &Shared, peer: &str, hash: &str, envelope: &Arc<String>, trace: &TraceCtx) {
     let mut queues = shared.repl.queues.lock().expect("replication lock");
     let queue = queues.entry(peer.to_owned()).or_default();
     if queue.len() >= shared.retry_queue_max {
@@ -572,6 +664,8 @@ fn enqueue(shared: &Shared, peer: &str, hash: &str, envelope: &Arc<String>) {
     queue.push_back(ReplEntry {
         hash: hash.to_owned(),
         envelope: Arc::clone(envelope),
+        trace: Arc::clone(&trace.id),
+        parent_span: trace.span,
     });
     publish_lag(shared, &queues);
     drop(queues);
@@ -586,14 +680,40 @@ fn publish_lag(shared: &Shared, queues: &HashMap<String, VecDeque<ReplEntry>>) {
         .store(lag as u64, Ordering::Relaxed);
 }
 
-fn deliver(client: &mut Client, entry: &ReplEntry) -> bool {
-    matches!(
-        client.post(
-            &format!("/v1/internal/record/{}", entry.hash),
+/// POSTs one queued record to its peer, recording a
+/// `replication_deliver` span under the entry's originating trace
+/// and feeding the `replication_deliver` stage histogram.
+fn deliver(shared: &Shared, client: &mut Client, entry: &ReplEntry) -> bool {
+    let hop = shared
+        .obs
+        .recorder
+        .child_of(&entry.trace, entry.parent_span);
+    let started = Instant::now();
+    let path = format!("/v1/internal/record/{}", entry.hash);
+    let result = if hop.is_traced() {
+        client.post_with_headers(
+            &path,
             entry.envelope.as_str(),
-        ),
-        Ok(resp) if resp.status == 200
-    )
+            &[
+                (crate::api::TRACE_HEADER, &hop.id),
+                (crate::api::SPAN_HEADER, &format!("{:x}", hop.span)),
+            ],
+        )
+    } else {
+        client.post(&path, entry.envelope.as_str())
+    };
+    let ok = matches!(result, Ok(resp) if resp.status == 200);
+    shared
+        .obs
+        .stages
+        .observe("replication_deliver", started.elapsed().as_secs_f64());
+    shared.obs.recorder.record(
+        &hop,
+        "replication_deliver",
+        if ok { "sent" } else { "failed" },
+        span_us(started),
+    );
+    ok
 }
 
 /// The delivery thread: pops retryable records peer by peer and POSTs
@@ -664,7 +784,7 @@ fn replicator_loop(shared: &Shared) {
         let client = clients
             .entry(peer.clone())
             .or_insert_with(|| Client::with_timeout(addr, shared.timeout));
-        if deliver(client, &entry) {
+        if deliver(shared, client, &entry) {
             shared
                 .stats
                 .replication_sent
@@ -702,7 +822,7 @@ fn drain_on_stop(
             .entry(peer.clone())
             .or_insert_with(|| Client::with_timeout(addr, shared.timeout));
         while let Some(entry) = queue.pop_front() {
-            if deliver(client, &entry) {
+            if deliver(shared, client, &entry) {
                 shared
                     .stats
                     .replication_sent
@@ -759,6 +879,12 @@ fn sleep_until_stop(shared: &Shared, period: Duration) -> bool {
 /// their probe window elapsed — the digest fetch then doubles as the
 /// probe.
 fn sweep(shared: &Shared, source: &dyn RecordSource) {
+    // Each round gets its own freshly minted trace: re-enqueued
+    // repairs then show up as `replication_deliver` spans under one
+    // `anti_entropy` root per round.
+    let round = shared.obs.recorder.mint();
+    let round_started = Instant::now();
+    let mut repaired = false;
     let held = source.held_ids();
     if !held.is_empty() {
         for peer in shared.ring.nodes() {
@@ -810,7 +936,8 @@ fn sweep(shared: &Shared, source: &dyn RecordSource) {
                     serde_json::to_string(&RecordEnvelope::from_output(&key, &output))
                         .expect("envelope serialization is infallible"),
                 );
-                enqueue(shared, peer, id, &envelope);
+                enqueue(shared, peer, id, &envelope, &round);
+                repaired = true;
                 shared
                     .stats
                     .anti_entropy_repairs
@@ -822,6 +949,18 @@ fn sweep(shared: &Shared, source: &dyn RecordSource) {
         .stats
         .anti_entropy_rounds
         .fetch_add(1, Ordering::Relaxed);
+    shared
+        .obs
+        .stages
+        .observe("anti_entropy", round_started.elapsed().as_secs_f64());
+    // Only rounds that actually repaired something keep their trace —
+    // an idle cluster must not fill the recorder with empty rounds.
+    if repaired {
+        shared
+            .obs
+            .recorder
+            .record(&round, "anti_entropy", "repaired", span_us(round_started));
+    }
 }
 
 #[cfg(test)]
@@ -912,7 +1051,12 @@ mod tests {
         config.timeout = Duration::from_millis(200);
         let cluster = Cluster::start(config, Arc::clone(&stats)).expect("cluster starts");
         let id = crate::hash::content_hash("{\"k\":1}");
-        cluster.replicate(&id, "{\"k\":1}", &JobOutput::new(Arc::new("{}".to_owned())));
+        cluster.replicate(
+            &id,
+            "{\"k\":1}",
+            &JobOutput::new(Arc::new("{}".to_owned())),
+            &TraceCtx::untraced(),
+        );
         cluster.shutdown();
         assert_eq!(stats.replication_sent.load(Ordering::Relaxed), 0);
         assert!(stats.replication_delivery_failures.load(Ordering::Relaxed) >= 1);
@@ -937,7 +1081,7 @@ mod tests {
             .map(|i| {
                 let key = format!("{{\"k\":{i}}}");
                 let id = crate::hash::content_hash(&key);
-                cluster.replicate(&id, &key, &output);
+                cluster.replicate(&id, &key, &output, &TraceCtx::untraced());
                 id
             })
             .collect();

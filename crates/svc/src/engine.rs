@@ -45,9 +45,12 @@ use crate::api::{
     ValidateResponse,
 };
 use crate::cache::JobOutput;
-use crate::cluster::{Cluster, ClusterConfig, ClusterStats, RecordEnvelope, RecordSource};
+use crate::cluster::{
+    Cluster, ClusterConfig, ClusterObs, ClusterStats, RecordEnvelope, RecordSource,
+};
 use crate::journal::{Journal, Record};
 use crate::metrics::Metrics;
+use crate::obs::{span_us, LogLevel, Recorder, ServiceLog, TraceCtx};
 use crate::queue::{JobQueue, PushError};
 use crate::store::{Store, StoreConfig, StoreStats, TieredStore};
 
@@ -108,6 +111,10 @@ pub struct Job {
     /// submissions; flips to `true` when an async client joins a job a
     /// sync submission created first.
     journaled: AtomicBool,
+    /// Trace context of the submission that admitted this job (the
+    /// first one, under coalescing). Worker-side spans — compute,
+    /// store write, replication — parent onto it.
+    trace: TraceCtx,
     work: Mutex<Option<JobWork>>,
     state: Mutex<JobPhase>,
     finished: Condvar,
@@ -265,6 +272,15 @@ pub struct EngineConfig {
     /// See [`crate::cluster`] for ownership, peer cache-fill and
     /// replication semantics.
     pub cluster: Option<ClusterConfig>,
+    /// Flight-recorder span capacity (see [`crate::obs::Recorder`]);
+    /// 0 (the default here) disables request tracing entirely.
+    pub flight_recorder_entries: usize,
+    /// Requests at or above this wall time snapshot their span tree
+    /// into the slow-request ring (`GET /v1/internal/slow`).
+    pub slow_ms: u64,
+    /// Path of the structured JSONL service event log; `None` keeps
+    /// events on stderr.
+    pub log_json: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -278,6 +294,9 @@ impl Default for EngineConfig {
             store_dir: None,
             store_segment_bytes: crate::store::DEFAULT_SEGMENT_BYTES,
             cluster: None,
+            flight_recorder_entries: 0,
+            slow_ms: 250,
+            log_json: None,
         }
     }
 }
@@ -310,6 +329,10 @@ pub struct Engine {
     hash_keys: Mutex<HashIndex>,
     /// The service-wide metrics registry.
     pub metrics: Metrics,
+    /// The node's flight recorder (request span trees + slow ring).
+    pub recorder: Arc<Recorder>,
+    /// The structured service event log.
+    pub log: Arc<ServiceLog>,
 }
 
 impl Engine {
@@ -332,6 +355,21 @@ impl Engine {
             None => (None, Vec::new()),
         };
         let metrics = Metrics::new();
+        let node = config
+            .cluster
+            .as_ref()
+            .map_or("local", |c| c.self_addr.as_str())
+            .to_owned();
+        let log = Arc::new(ServiceLog::open(
+            config.log_json.as_deref(),
+            &node,
+            metrics.log_counters(),
+        )?);
+        let recorder = Arc::new(Recorder::new(
+            &node,
+            config.flight_recorder_entries,
+            config.slow_ms,
+        ));
         let store = match &config.store_dir {
             Some(dir) => {
                 let stats = Arc::new(StoreStats::default());
@@ -351,9 +389,11 @@ impl Engine {
                     Err(err) => {
                         stats.faults.fetch_add(1, Ordering::Relaxed);
                         stats.degraded.store(1, Ordering::Relaxed);
-                        eprintln!(
-                            "noc-svc: schedule store failed to open ({err}); \
-                             serving memory-only"
+                        log.event(
+                            LogLevel::Error,
+                            "store-open-failed",
+                            &format!("schedule store failed to open ({err}); serving memory-only"),
+                            &[("dir", dir)],
                         );
                         None
                     }
@@ -362,11 +402,17 @@ impl Engine {
             }
             None => TieredStore::memory_only(config.cache_capacity),
         };
+        store.bind_log(&log);
         let cluster = match &config.cluster {
             Some(cluster_config) => {
                 let stats = Arc::new(ClusterStats::default());
                 metrics.set_cluster_stats(Arc::clone(&stats));
-                Some(Cluster::start(cluster_config.clone(), stats)?)
+                let obs = ClusterObs {
+                    recorder: Arc::clone(&recorder),
+                    log: Arc::clone(&log),
+                    stages: metrics.stage_observer(),
+                };
+                Some(Cluster::start_with_obs(cluster_config.clone(), stats, obs)?)
             }
             None => None,
         };
@@ -384,6 +430,8 @@ impl Engine {
                 order: VecDeque::new(),
             }),
             metrics,
+            recorder,
+            log,
             config,
         });
         // The anti-entropy sweep pulls records back out of this
@@ -520,6 +568,14 @@ impl Engine {
         self.metrics
             .journal_replayed
             .fetch_add(total, Ordering::Relaxed);
+        if total > 0 {
+            self.log.event(
+                LogLevel::Info,
+                "journal-replay",
+                &format!("replayed {total} journal records after restart"),
+                &[("records", &total.to_string())],
+            );
+        }
         self.metrics
             .queue_depth
             .store(self.queue.depth() as u64, Ordering::Relaxed);
@@ -544,7 +600,12 @@ impl Engine {
                     .journal_compacted
                     .fetch_add((total - kept.len()) as u64, Ordering::Relaxed);
             }
-            Err(err) => eprintln!("noc-svc: journal compaction failed: {err}"),
+            Err(err) => self.log.event(
+                LogLevel::Warn,
+                "journal-compact-failed",
+                &format!("journal compaction failed: {err}"),
+                &[],
+            ),
         }
     }
 
@@ -554,6 +615,7 @@ impl Engine {
             id: id.to_owned(),
             key: String::new(),
             journaled: AtomicBool::new(false),
+            trace: TraceCtx::untraced(),
             work: Mutex::new(None),
             state: Mutex::new(phase),
             finished: Condvar::new(),
@@ -574,6 +636,7 @@ impl Engine {
             id: id.to_owned(),
             key,
             journaled: AtomicBool::new(true),
+            trace: TraceCtx::untraced(),
             work: Mutex::new(Some(work)),
             state: Mutex::new(JobPhase::Queued),
             finished: Condvar::new(),
@@ -666,6 +729,13 @@ impl Engine {
     /// Admits one `POST /v1/schedule` body.
     #[must_use]
     pub fn submit(&self, body: &str) -> Submission {
+        self.submit_traced(body, &TraceCtx::untraced())
+    }
+
+    /// [`submit`](Engine::submit) with the request's trace context, so
+    /// peer fills and worker-side spans attach to the caller's trace.
+    #[must_use]
+    pub fn submit_traced(&self, body: &str, trace: &TraceCtx) -> Submission {
         let request: ScheduleRequest = match serde_json::from_str(body) {
             Ok(r) => r,
             Err(e) => return Submission::BadRequest(format!("invalid request body: {e}")),
@@ -678,7 +748,7 @@ impl Engine {
             Ok(resolved) => resolved,
             Err(e) => return Submission::BadSpec(e),
         };
-        self.admit(body, work, key, request.is_async())
+        self.admit(body, work, key, request.is_async(), trace)
     }
 
     /// Admits one `POST /v1/schedule/delta` body. Delta jobs share the
@@ -687,6 +757,13 @@ impl Engine {
     /// `(prior request hash, canonical edits)`.
     #[must_use]
     pub fn submit_delta(&self, body: &str) -> Submission {
+        self.submit_delta_traced(body, &TraceCtx::untraced())
+    }
+
+    /// [`submit_delta`](Engine::submit_delta) with the request's trace
+    /// context.
+    #[must_use]
+    pub fn submit_delta_traced(&self, body: &str, trace: &TraceCtx) -> Submission {
         let request: DeltaRequest = match serde_json::from_str(body) {
             Ok(r) => r,
             Err(e) => return Submission::BadRequest(format!("invalid request body: {e}")),
@@ -695,12 +772,19 @@ impl Engine {
             Ok(resolved) => resolved,
             Err(e) => return Submission::BadSpec(e),
         };
-        self.admit(body, work, key, request.is_async())
+        self.admit(body, work, key, request.is_async(), trace)
     }
 
     /// The shared admission tail: cache lookup → single-flight join →
     /// bounded enqueue with write-ahead journaling → backpressure.
-    fn admit(&self, body: &str, work: JobWork, key: String, is_async: bool) -> Submission {
+    fn admit(
+        &self,
+        body: &str,
+        work: JobWork,
+        key: String,
+        is_async: bool,
+        trace: &TraceCtx,
+    ) -> Submission {
         let id = crate::hash::content_hash(&key);
 
         if let Some(output) = self.store.get(&key) {
@@ -716,7 +800,11 @@ impl Engine {
         // still follows ownership); any miss or peer failure falls
         // through to local compute — never to an error.
         if let Some(cluster) = &self.cluster {
-            if let Some(output) = cluster.fill(&id, &key) {
+            let fill_started = Instant::now();
+            let filled = cluster.fill(&id, &key, trace);
+            self.metrics
+                .observe_stage("peer_fill", fill_started.elapsed().as_secs_f64());
+            if let Some(output) = filled {
                 self.store_output(&id, &key, &output);
                 // Read repair: a fill that lands on a node in the
                 // owner chain just healed a replication gap.
@@ -777,6 +865,7 @@ impl Engine {
             id: id.clone(),
             key,
             journaled: AtomicBool::new(journaled),
+            trace: trace.clone(),
             work: Mutex::new(Some(work)),
             state: Mutex::new(JobPhase::Queued),
             finished: Condvar::new(),
@@ -807,6 +896,12 @@ impl Engine {
                 match err {
                     PushError::Full => {
                         self.metrics.queue_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.log.event(
+                            LogLevel::Warn,
+                            "queue-rejected",
+                            "admission queue full; submission rejected with 429",
+                            &[("id", &id)],
+                        );
                         Submission::Rejected
                     }
                     PushError::Closed => Submission::ShuttingDown,
@@ -867,6 +962,17 @@ impl Engine {
         // typed error; the worker thread survives to run the next one.
         let result = catch_unwind(AssertUnwindSafe(|| self.execute(&work)));
         let elapsed = started.elapsed().as_secs_f64();
+        let compute_outcome = match &result {
+            Ok(Ok(_)) => "ok",
+            Ok(Err(_)) => "failed",
+            Err(_) => "panic",
+        };
+        self.recorder.record(
+            &self.recorder.child(&job.trace),
+            "compute",
+            compute_outcome,
+            span_us(started),
+        );
         self.metrics.jobs_inflight.fetch_sub(1, Ordering::Relaxed);
         let journaled = job.journaled.load(Ordering::Acquire);
         let phase = match result {
@@ -876,11 +982,24 @@ impl Engine {
                     .fetch_add(1, Ordering::Relaxed);
                 if output.degraded {
                     self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.log.event(
+                        LogLevel::Warn,
+                        "degraded-schedule",
+                        "compute budget expired; served the EDF fallback schedule",
+                        &[("id", &job.id)],
+                    );
                 }
                 self.metrics.observe_latency(elapsed);
+                let write_started = Instant::now();
                 let durable = self.store_output(&job.id, &job.key, &output);
+                self.recorder.record(
+                    &self.recorder.child(&job.trace),
+                    "store_write",
+                    if durable { "durable" } else { "memory" },
+                    span_us(write_started),
+                );
                 if let Some(cluster) = &self.cluster {
-                    cluster.replicate(&job.id, &job.key, &output);
+                    cluster.replicate(&job.id, &job.key, &output, &job.trace);
                 }
                 if journaled {
                     // With the bytes durable in the store, the journal
@@ -899,7 +1018,14 @@ impl Engine {
                             body: output.body.as_str().to_owned(),
                         }
                     };
+                    let append_started = Instant::now();
                     self.journal_append(&record);
+                    self.recorder.record(
+                        &self.recorder.child(&job.trace),
+                        "journal_append",
+                        if durable { "done-stored" } else { "done" },
+                        span_us(append_started),
+                    );
                 }
                 JobPhase::Done(output)
             }
@@ -1137,7 +1263,12 @@ impl Engine {
     fn journal_append(&self, record: &Record) {
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.append(record) {
-                eprintln!("noc-svc: journal append failed: {e}");
+                self.log.event(
+                    LogLevel::Error,
+                    "journal-append-failed",
+                    &format!("journal append failed: {e}"),
+                    &[],
+                );
             }
         }
     }

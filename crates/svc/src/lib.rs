@@ -33,6 +33,7 @@ pub mod http;
 pub mod journal;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod queue;
 pub mod server;
 pub mod spec;

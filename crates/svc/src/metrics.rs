@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cluster::ClusterStats;
 use crate::net::ReactorStats;
+use crate::obs::LogCounters;
 use crate::store::StoreStats;
 
 /// Upper bounds (seconds) of the scheduling-latency histogram buckets;
@@ -96,10 +97,42 @@ pub struct Metrics {
     /// saturation observable *before* 429s fire.
     pub jobs_inflight: AtomicU64,
     latency: Mutex<Histogram>,
-    /// Per-pipeline-stage execution time, keyed by stage name
-    /// (`budgeting`, `level`, `comm`, `repair`, `anneal`, `validate`),
-    /// fed from the trace spans of every executed job.
-    stages: Mutex<BTreeMap<String, Histogram>>,
+    /// Per-stage execution time, keyed by stage name — the scheduling
+    /// pipeline stages (`budgeting`, `level`, `comm`, `repair`,
+    /// `anneal`, `validate`) fed from the trace spans of every
+    /// executed job, plus the distributed serving stages
+    /// (`peer_fill`, `replication_deliver`, `anti_entropy`). Shared
+    /// with [`StageObserver`] handles held by cluster worker threads.
+    stages: Arc<Mutex<BTreeMap<String, Histogram>>>,
+    /// Structured service-log events per level, shared with the
+    /// [`crate::obs::ServiceLog`]; rendered as
+    /// `noc_svc_log_events_total{level}`.
+    log_events: Arc<LogCounters>,
+}
+
+/// A cheap cloneable handle for recording stage latencies from
+/// threads that do not hold the [`Metrics`] registry (the cluster's
+/// replicator and anti-entropy workers).
+#[derive(Clone, Default)]
+pub struct StageObserver {
+    stages: Arc<Mutex<BTreeMap<String, Histogram>>>,
+}
+
+impl StageObserver {
+    /// A handle whose observations go nowhere visible (its map is
+    /// never rendered) — the default for clusters built without an
+    /// engine.
+    #[must_use]
+    pub fn disabled() -> StageObserver {
+        StageObserver::default()
+    }
+
+    /// Records one stage execution time, in seconds.
+    pub fn observe(&self, stage: &str, seconds: f64) {
+        let mut stages = self.stages.lock().expect("metrics lock");
+        let h = stages.entry(stage.to_owned()).or_default();
+        observe(h, seconds);
+    }
 }
 
 impl Metrics {
@@ -141,6 +174,23 @@ impl Metrics {
         let _ = self.reactor.set(stats);
     }
 
+    /// A cloneable handle onto the stage-latency histograms, for
+    /// worker threads that do not hold the registry.
+    #[must_use]
+    pub fn stage_observer(&self) -> StageObserver {
+        StageObserver {
+            stages: Arc::clone(&self.stages),
+        }
+    }
+
+    /// The service-log level counters this registry renders; shared
+    /// with the [`crate::obs::ServiceLog`] so logged events surface
+    /// as `noc_svc_log_events_total{level}`.
+    #[must_use]
+    pub fn log_counters(&self) -> Arc<LogCounters> {
+        Arc::clone(&self.log_events)
+    }
+
     /// Records one scheduling execution latency, in seconds.
     pub fn observe_latency(&self, seconds: f64) {
         let mut h = self.latency.lock().expect("metrics lock");
@@ -158,6 +208,14 @@ impl Metrics {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
+
+        out.push_str(&format!(
+            "# HELP noc_svc_build_info Build metadata of the running service.\n\
+             # TYPE noc_svc_build_info gauge\n\
+             noc_svc_build_info{{version=\"{}\",git_hash=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("NOC_GIT_HASH").unwrap_or("unknown"),
+        ));
 
         out.push_str(
             "# HELP noc_svc_requests_total HTTP requests served, by endpoint and status.\n\
@@ -259,6 +317,20 @@ impl Metrics {
             "Journal records dropped by startup compaction (bytes durable in the store).",
             &self.journal_compacted,
         );
+        out.push_str(
+            "# HELP noc_svc_log_events_total Structured service-log events, by level.\n\
+             # TYPE noc_svc_log_events_total counter\n",
+        );
+        for (level, count) in [
+            ("error", &self.log_events.error),
+            ("info", &self.log_events.info),
+            ("warn", &self.log_events.warn),
+        ] {
+            out.push_str(&format!(
+                "noc_svc_log_events_total{{level=\"{level}\"}} {}\n",
+                count.load(Ordering::Relaxed)
+            ));
+        }
         if let Some(store) = self.store.get() {
             counter(
                 &mut out,
@@ -628,6 +700,55 @@ mod tests {
         assert!(text.contains("noc_svc_reactor_connections 10000"));
         assert!(text.contains("noc_svc_reactor_accepted_total 5"));
         assert!(text.contains("noc_svc_reactor_write_stalls_total 3"));
+    }
+
+    #[test]
+    fn distributed_stages_render_alongside_pipeline_stages() {
+        let m = Metrics::new();
+        m.observe_stage("level", 0.002);
+        let observer = m.stage_observer();
+        observer.observe("peer_fill", 0.0008);
+        observer.observe("replication_deliver", 0.004);
+        observer.observe("anti_entropy", 0.02);
+        observer.observe("peer_fill", 0.3);
+        let text = m.render();
+        assert!(text.contains("noc_svc_stage_seconds_bucket{stage=\"peer_fill\",le=\"0.001\"} 1"));
+        assert!(text.contains("noc_svc_stage_seconds_count{stage=\"peer_fill\"} 2"));
+        assert!(text.contains(
+            "noc_svc_stage_seconds_bucket{stage=\"replication_deliver\",le=\"0.005\"} 1"
+        ));
+        assert!(
+            text.contains("noc_svc_stage_seconds_bucket{stage=\"anti_entropy\",le=\"0.025\"} 1")
+        );
+        let anti = text
+            .find("stage=\"anti_entropy\"")
+            .expect("anti_entropy series");
+        let peer = text.find("stage=\"peer_fill\"").expect("peer_fill series");
+        let repl = text
+            .find("stage=\"replication_deliver\"")
+            .expect("replication_deliver series");
+        assert!(
+            anti < peer && peer < repl,
+            "distributed stages render sorted with the rest"
+        );
+    }
+
+    #[test]
+    fn log_events_and_build_info_always_render() {
+        let m = Metrics::new();
+        let text = m.render();
+        assert!(text.contains("# TYPE noc_svc_build_info gauge"));
+        assert!(text.contains(&format!(
+            "noc_svc_build_info{{version=\"{}\",",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("noc_svc_log_events_total{level=\"info\"} 0"));
+        let counters = m.log_counters();
+        counters.warn.fetch_add(2, Ordering::Relaxed);
+        counters.error.fetch_add(1, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("noc_svc_log_events_total{level=\"warn\"} 2"));
+        assert!(text.contains("noc_svc_log_events_total{level=\"error\"} 1"));
     }
 
     #[test]

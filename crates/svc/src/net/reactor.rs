@@ -197,8 +197,10 @@ fn dispatch(ctx: &LoopCtx, token: u64, conn: &mut Conn, request: &Request, stopp
             let id = pending.id;
             let cache_label = pending.cache_label;
             let wants_stats = pending.wants_stats;
+            let finish = pending.finish;
             job.on_finish(move |phase| {
-                let response = server::complete(&engine, &id, phase, cache_label, wants_stats);
+                let response =
+                    server::complete(&engine, &id, phase, cache_label, wants_stats, &finish);
                 engine.metrics.record_request(endpoint, response.status);
                 inbox.post(Completion {
                     token,

@@ -18,18 +18,21 @@
 //! | POST   | `/v1/internal/record/<hash>` | Replica ingest (cluster)       |
 //! | GET    | `/v1/internal/digest` | Held record ids (anti-entropy)        |
 //! | GET    | `/v1/internal/health` | Failure-detector peer table (cluster) |
+//! | GET    | `/v1/internal/trace/<id>` | Flight-recorder spans for a trace |
+//! | GET    | `/v1/internal/slow` | The slow-request ring                   |
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::error_body;
 use crate::cluster::ClusterConfig;
 use crate::engine::{Engine, EngineConfig, Job, JobPhase, Submission};
 use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::obs::{span_us, TraceCtx};
 
 /// How the service turns sockets into requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +45,17 @@ pub enum NetMode {
     /// The original thread-per-live-connection pool: each HTTP worker
     /// owns one connection at a time with blocking reads.
     Thread,
+}
+
+impl NetMode {
+    /// The mode's CLI spelling, for logs.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NetMode::Reactor => "reactor",
+            NetMode::Thread => "thread",
+        }
+    }
 }
 
 /// Server configuration.
@@ -91,6 +105,15 @@ pub struct ServiceConfig {
     pub probe_interval: Duration,
     /// Anti-entropy sweep period; zero disables the sweep.
     pub anti_entropy_interval: Duration,
+    /// Flight-recorder capacity in spans; 0 disables request tracing
+    /// entirely (no `X-Noc-Trace` header, no recording).
+    pub flight_recorder_entries: usize,
+    /// Requests at or above this wall time (milliseconds) snapshot
+    /// their span tree into the slow-request ring.
+    pub slow_ms: u64,
+    /// Path of the structured JSONL service log; `None` keeps events
+    /// on stderr.
+    pub log_json: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +137,9 @@ impl Default for ServiceConfig {
             peer_timeout: Duration::from_secs(1),
             probe_interval: Duration::from_millis(250),
             anti_entropy_interval: Duration::from_secs(2),
+            flight_recorder_entries: 4096,
+            slow_ms: 250,
+            log_json: None,
         }
     }
 }
@@ -160,7 +186,20 @@ impl Server {
             store_dir: config.store_dir.clone(),
             store_segment_bytes: config.store_segment_bytes,
             cluster,
+            flight_recorder_entries: config.flight_recorder_entries,
+            slow_ms: config.slow_ms,
+            log_json: config.log_json.clone(),
         })?;
+        engine.log.event(
+            crate::obs::LogLevel::Info,
+            "serve-started",
+            &format!("listening on {addr}"),
+            &[
+                ("addr", &addr.to_string()),
+                ("net", config.net.as_str()),
+                ("peers", &config.peers.len().to_string()),
+            ],
+        );
         let stop = Arc::new(AtomicBool::new(false));
 
         let mut sched_handles = Vec::new();
@@ -366,8 +405,10 @@ pub(crate) fn endpoint_label(request: &Request) -> &'static str {
         p if p.starts_with("/v1/jobs/") => "/v1/jobs",
         "/v1/internal/digest" => "/v1/internal/digest",
         "/v1/internal/health" => "/v1/internal/health",
+        "/v1/internal/slow" => "/v1/internal/slow",
         p if p.starts_with("/v1/internal/lookup/") => "/v1/internal/lookup",
         p if p.starts_with("/v1/internal/record/") => "/v1/internal/record",
+        p if p.starts_with("/v1/internal/trace/") => "/v1/internal/trace",
         _ => "other",
     }
 }
@@ -396,15 +437,74 @@ pub(crate) struct Pending {
     pub cache_label: &'static str,
     /// Whether the client opted into the stats member.
     pub wants_stats: bool,
+    /// Everything needed to finish the request's root span.
+    pub finish: TraceFinish,
+}
+
+/// The tracing context a pending submission carries to its terminal
+/// response: the request's trace, its ingress instant, and the
+/// endpoint label that becomes the root span's stage.
+#[derive(Clone)]
+pub(crate) struct TraceFinish {
+    pub trace: TraceCtx,
+    pub started: Instant,
+    pub endpoint: &'static str,
+}
+
+/// Endpoints that read the recorder (or are pure liveness probes):
+/// tracing them would let introspection scrapes pollute the rings
+/// they serve.
+fn untraced_endpoint(endpoint: &str) -> bool {
+    matches!(
+        endpoint,
+        "/healthz" | "/metrics" | "/v1/internal/trace" | "/v1/internal/slow"
+    )
 }
 
 /// Routes a request to a [`Routed`] outcome without ever blocking on
 /// scheduler work. Both entry paths call this.
+///
+/// This is also the tracing ingress: a [`TraceCtx`] is built from the
+/// inbound `X-Noc-Trace`/`X-Noc-Span` headers (or freshly minted),
+/// ready responses record their root span here, and pending ones
+/// carry the context to [`complete`]. Trace metadata rides in
+/// response headers only — bodies stay byte-identical to an untraced
+/// run.
 pub(crate) fn respond(engine: &Engine, request: &Request) -> Routed {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/schedule") => submission_route(engine, request, SubmitKind::Schedule),
-        ("POST", "/v1/schedule/delta") => submission_route(engine, request, SubmitKind::Delta),
+    let endpoint = endpoint_label(request);
+    let trace = if untraced_endpoint(endpoint) {
+        TraceCtx::untraced()
+    } else {
+        engine.recorder.ingress(
+            request.header(crate::api::TRACE_HEADER),
+            request.header(crate::api::SPAN_HEADER),
+        )
+    };
+    let started = Instant::now();
+    let routed = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/schedule") => submission_route(
+            engine,
+            request,
+            SubmitKind::Schedule,
+            &trace,
+            started,
+            endpoint,
+        ),
+        ("POST", "/v1/schedule/delta") => submission_route(
+            engine,
+            request,
+            SubmitKind::Delta,
+            &trace,
+            started,
+            endpoint,
+        ),
         _ => Routed::Ready(inline_route(engine, request)),
+    };
+    match routed {
+        Routed::Ready(response) => {
+            Routed::Ready(finish_traced(engine, endpoint, &trace, started, response))
+        }
+        pending => pending,
     }
 }
 
@@ -417,14 +517,62 @@ pub(crate) fn complete(
     phase: &JobPhase,
     cache_label: &str,
     wants_stats: bool,
+    finish: &TraceFinish,
 ) -> Response {
-    with_store_state(engine, finish_response(id, phase, cache_label, wants_stats))
+    let resp = with_store_state(engine, finish_response(id, phase, cache_label, wants_stats));
+    finish_traced(engine, finish.endpoint, &finish.trace, finish.started, resp)
+}
+
+/// Records the request's root span (stage = endpoint label, outcome
+/// derived from the response) and stamps the trace id on the
+/// response. A no-op passthrough when untraced.
+fn finish_traced(
+    engine: &Engine,
+    endpoint: &'static str,
+    trace: &TraceCtx,
+    started: Instant,
+    resp: Response,
+) -> Response {
+    if !trace.is_traced() {
+        return resp;
+    }
+    engine
+        .recorder
+        .finish_root(trace, endpoint, response_outcome(&resp), span_us(started));
+    resp.with_header("X-Noc-Trace", &trace.id)
+}
+
+/// The root span's outcome: the `X-Cache` serving class when present,
+/// otherwise the status class.
+fn response_outcome(resp: &Response) -> &'static str {
+    if let Some((_, label)) = resp.extra_headers.iter().find(|(k, _)| k == "X-Cache") {
+        return match label.as_str() {
+            "hit" => "hit",
+            "peer" => "peer",
+            "join" => "join",
+            _ => "miss",
+        };
+    }
+    match resp.status {
+        200..=299 => "ok",
+        404 => "not-found",
+        429 => "rejected",
+        300..=499 => "bad-request",
+        _ => "error",
+    }
 }
 
 fn route(engine: &Engine, request: &Request) -> Response {
     match respond(engine, request) {
         Routed::Ready(response) => response,
-        Routed::Pending(p) => complete(engine, &p.id, &p.job.wait(), p.cache_label, p.wants_stats),
+        Routed::Pending(p) => complete(
+            engine,
+            &p.id,
+            &p.job.wait(),
+            p.cache_label,
+            p.wants_stats,
+            &p.finish,
+        ),
     }
 }
 
@@ -451,6 +599,10 @@ fn inline_route(engine: &Engine, request: &Request) -> Response {
         }
         ("GET", "/v1/internal/digest") => internal_digest_route(engine),
         ("GET", "/v1/internal/health") => internal_health_route(engine),
+        ("GET", path) if path.starts_with("/v1/internal/trace/") => {
+            internal_trace_route(engine, &path["/v1/internal/trace/".len()..])
+        }
+        ("GET", "/v1/internal/slow") => internal_slow_route(engine),
         (_, "/healthz" | "/metrics" | "/v1/schedule" | "/v1/schedule/delta" | "/v1/validate") => {
             Response::json(405, error_body("method not allowed"))
         }
@@ -463,7 +615,14 @@ enum SubmitKind {
     Delta,
 }
 
-fn submission_route(engine: &Engine, request: &Request, kind: SubmitKind) -> Routed {
+fn submission_route(
+    engine: &Engine,
+    request: &Request,
+    kind: SubmitKind,
+    trace: &TraceCtx,
+    started: Instant,
+    endpoint: &'static str,
+) -> Routed {
     let ready = |resp: Response| Routed::Ready(with_store_state(engine, resp));
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return ready(Response::json(400, error_body("request body is not UTF-8")));
@@ -480,8 +639,8 @@ fn submission_route(engine: &Engine, request: &Request, kind: SubmitKind) -> Rou
             .unwrap_or((false, false)),
     };
     let submission = match kind {
-        SubmitKind::Schedule => engine.submit(body),
-        SubmitKind::Delta => engine.submit_delta(body),
+        SubmitKind::Schedule => engine.submit_traced(body, trace),
+        SubmitKind::Delta => engine.submit_delta_traced(body, trace),
     };
     match submission {
         Submission::BadRequest(msg) => ready(Response::json(400, error_body(&msg))),
@@ -501,6 +660,11 @@ fn submission_route(engine: &Engine, request: &Request, kind: SubmitKind) -> Rou
                     job,
                     cache_label: "join",
                     wants_stats,
+                    finish: TraceFinish {
+                        trace: trace.clone(),
+                        started,
+                        endpoint,
+                    },
                 })
             }
         }
@@ -513,6 +677,11 @@ fn submission_route(engine: &Engine, request: &Request, kind: SubmitKind) -> Rou
                     job,
                     cache_label: "miss",
                     wants_stats,
+                    finish: TraceFinish {
+                        trace: trace.clone(),
+                        started,
+                        endpoint,
+                    },
                 })
             }
         }
@@ -603,6 +772,29 @@ fn internal_health_route(engine: &Engine) -> Response {
             peers.join(",")
         ),
     )
+}
+
+/// Serves this node's flight-recorder spans for one trace id, or 404
+/// when the node holds none (expired from the ring, or never seen).
+fn internal_trace_route(engine: &Engine, id: &str) -> Response {
+    let spans = engine.recorder.trace(id);
+    if spans.is_empty() {
+        return Response::json(404, error_body("no spans recorded for trace"));
+    }
+    let dump = crate::obs::TraceDump {
+        node: engine.recorder.node().to_owned(),
+        spans,
+    };
+    Response::json(200, serde_json::to_string(&dump).expect("dump serializes"))
+}
+
+/// Serves this node's slow-request ring.
+fn internal_slow_route(engine: &Engine) -> Response {
+    let dump = crate::obs::SlowDump {
+        node: engine.recorder.node().to_owned(),
+        slow: engine.recorder.slow(),
+    };
+    Response::json(200, serde_json::to_string(&dump).expect("dump serializes"))
 }
 
 /// Ingests a replicated done-record from the hash's owner.

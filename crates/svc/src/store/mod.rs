@@ -44,7 +44,9 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::obs::{LogLevel, ServiceLog};
 
 pub use fault::{FaultPlan, IoFault};
 
@@ -135,6 +137,10 @@ pub struct Store {
     faults: Option<Arc<FaultPlan>>,
     stats: Arc<StoreStats>,
     degraded: AtomicBool,
+    /// The structured service log; bound by the engine after
+    /// construction. Until then degradation events fall back to the
+    /// process-wide stderr log.
+    log: OnceLock<Arc<ServiceLog>>,
     inner: Mutex<Inner>,
 }
 
@@ -265,6 +271,7 @@ impl Store {
             faults: config.faults,
             stats,
             degraded: AtomicBool::new(false),
+            log: OnceLock::new(),
             inner: Mutex::new(Inner {
                 index,
                 readers,
@@ -516,12 +523,27 @@ impl Store {
         }
     }
 
+    /// Attaches the structured service log for degradation events.
+    /// Later calls are ignored.
+    pub fn bind_log(&self, log: Arc<ServiceLog>) {
+        let _ = self.log.set(log);
+    }
+
     /// Trips memory-only mode. Idempotent; the first trip logs.
     fn degrade(&self, what: &str) {
         self.stats.faults.fetch_add(1, Ordering::Relaxed);
         if !self.degraded.swap(true, Ordering::Relaxed) {
             self.stats.degraded.store(1, Ordering::Relaxed);
-            eprintln!("noc-svc: schedule store degraded to memory-only mode: {what}");
+            self.log
+                .get()
+                .cloned()
+                .unwrap_or_else(ServiceLog::stderr_fallback)
+                .event(
+                    LogLevel::Error,
+                    "store-degraded",
+                    &format!("schedule store degraded to memory-only mode: {what}"),
+                    &[],
+                );
         }
     }
 }
@@ -574,6 +596,14 @@ impl TieredStore {
             memory: Mutex::new(ScheduleCache::new(capacity)),
             disk,
             disk_configured: true,
+        }
+    }
+
+    /// Attaches the structured service log to the disk tier (no-op
+    /// when the store runs memory-only).
+    pub fn bind_log(&self, log: &Arc<ServiceLog>) {
+        if let Some(disk) = &self.disk {
+            disk.bind_log(Arc::clone(log));
         }
     }
 

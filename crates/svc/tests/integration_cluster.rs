@@ -559,3 +559,160 @@ fn slow_peer_under_the_timeout_serves_while_over_it_falls_to_the_successor() {
     );
     cluster.shutdown();
 }
+
+/// A peer-filled request must be reconstructable as one connected
+/// span tree across the cluster: the target's root and `peer_fill`
+/// hop plus the owner's `/v1/internal/lookup` serving span, all under
+/// the trace id the target's `X-Noc-Trace` response header names.
+#[test]
+fn peer_fill_reconstructs_one_cross_node_span_tree() {
+    let peers = free_addrs(3);
+    let servers: Vec<Server> = peers.iter().map(|a| start_node(a, &peers)).collect();
+    let ring = Ring::new(peers.clone());
+
+    // Hunt (deterministically — ids are content hashes) for a problem
+    // whose owner chain contains the filling node 0, so the one node
+    // outside the chain holds neither a replica nor a cache entry and
+    // must answer via a peer fill.
+    let mut via_node0 = client_for(&peers[0]);
+    let mut chosen: Option<(String, String, String)> = None; // (id, body, target)
+    for seed in 60..80u64 {
+        let body = schedule_body(&graph_json(seed, 10), "edf");
+        let resp = via_node0.post("/v1/schedule", &body).expect("fills");
+        assert_eq!(resp.status, 200, "fill failed: {}", resp.body);
+        let id = resp.header("x-request-hash").expect("hash").to_owned();
+        let chain = ring.owner_chain(&id, 2);
+        if chain.contains(&peers[0].as_str()) {
+            let target = peers
+                .iter()
+                .find(|p| !chain.contains(&p.as_str()))
+                .expect("3 nodes, chain of 2")
+                .clone();
+            chosen = Some((id, body, target));
+            break;
+        }
+    }
+    let (id, body, target) = chosen.expect("some seed lands its owner chain on node 0");
+    for node in ring.owner_chain(&id, 2) {
+        await_record(node, &id);
+    }
+
+    // The cross-node request: answered via peer fill, and stamped
+    // with the trace id the whole tree hangs under.
+    let mut via_target = client_for(&target);
+    let resp = via_target.post("/v1/schedule", &body).expect("answers");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("x-cache"),
+        Some("peer"),
+        "the off-chain node must answer via peer fill"
+    );
+    let trace_id = resp
+        .header("x-noc-trace")
+        .expect("traced response names its trace")
+        .to_owned();
+
+    // Scrape every node's flight recorder and pool the spans.
+    let mut spans: Vec<noc_svc::obs::SpanWire> = Vec::new();
+    let mut contributing = 0usize;
+    for addr in &peers {
+        let mut client = client_for(addr);
+        let resp = client
+            .get(&format!("/v1/internal/trace/{trace_id}"))
+            .expect("scrapes recorder");
+        if resp.status != 200 {
+            continue;
+        }
+        let dump: noc_svc::obs::TraceDump =
+            serde_json::from_str(&resp.body).expect("trace dump parses");
+        assert!(!dump.spans.is_empty());
+        contributing += 1;
+        spans.extend(dump.spans);
+    }
+    assert!(
+        contributing >= 2,
+        "a peer-filled request must leave spans on at least two nodes"
+    );
+
+    // One connected tree: exactly one root, every parent resolves.
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.span).collect();
+    let roots: Vec<&noc_svc::obs::SpanWire> = spans.iter().filter(|s| s.parent_span == 0).collect();
+    assert_eq!(roots.len(), 1, "expected a single root span, got {roots:?}");
+    assert_eq!(roots[0].stage, "/v1/schedule");
+    for span in &spans {
+        assert!(
+            span.parent_span == 0 || known.contains(&span.parent_span),
+            "span {:x} on {} references unknown parent {:x}",
+            span.span,
+            span.node,
+            span.parent_span
+        );
+        assert_eq!(span.trace, trace_id);
+    }
+    let stages: Vec<&str> = spans.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&"peer_fill"), "stages: {stages:?}");
+    assert!(
+        stages.contains(&"/v1/internal/lookup"),
+        "the owner's serving span must join the tree: {stages:?}"
+    );
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// The flight recorder must never change response bytes: a server
+/// with the recorder at 4096 entries and one with it disabled answer
+/// identical bodies and cache labels for the same request sequence —
+/// the only difference is the `X-Noc-Trace` header itself.
+#[test]
+fn recorder_toggle_never_changes_response_bytes() {
+    let start = |entries: usize| {
+        Server::start(ServiceConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            http_workers: 2,
+            sched_workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            threads: 1,
+            flight_recorder_entries: entries,
+            ..ServiceConfig::default()
+        })
+        .expect("starts")
+    };
+    let traced = start(4096);
+    let plain = start(0);
+    let mut traced_client = client_for(&traced.addr().to_string());
+    let mut plain_client = client_for(&plain.addr().to_string());
+
+    let bodies: Vec<String> = [(51u64, "edf"), (51, "dls"), (52, "edf")]
+        .iter()
+        .map(|(seed, scheduler)| schedule_body(&graph_json(*seed, 10), scheduler))
+        .collect();
+    // Two passes: cold computes, then cache hits — both must match.
+    for pass in 0..2 {
+        for (i, body) in bodies.iter().enumerate() {
+            let t = traced_client.post("/v1/schedule", body).expect("traced");
+            let p = plain_client.post("/v1/schedule", body).expect("plain");
+            assert_eq!(t.status, p.status, "pass {pass} body {i}");
+            assert_eq!(
+                t.header("x-cache"),
+                p.header("x-cache"),
+                "pass {pass} body {i}"
+            );
+            assert_eq!(
+                t.body, p.body,
+                "recorder toggle changed response bytes (pass {pass}, body {i})"
+            );
+            assert!(
+                t.header("x-noc-trace").is_some(),
+                "recorder-on answers carry their trace id"
+            );
+            assert!(
+                p.header("x-noc-trace").is_none(),
+                "recorder-off answers must not pay for trace minting"
+            );
+        }
+    }
+    traced.shutdown();
+    plain.shutdown();
+}

@@ -100,12 +100,22 @@ fn reactor_and_threaded_paths_answer_identical_wire_bytes() {
         b"DELETE /v1/schedule HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n".to_vec(),
         b"GET /nowhere HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n".to_vec(),
     ];
+    // The X-Noc-Trace header is minted per request, so it is the one
+    // wire difference two servers may legitimately show; everything
+    // else — status line, headers, body — must match byte for byte.
+    let strip_trace = |bytes: &[u8]| {
+        String::from_utf8_lossy(bytes)
+            .lines()
+            .filter(|l| !l.starts_with("X-Noc-Trace: "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
     for request in &requests {
         let via_reactor = raw_roundtrip(reactor.addr(), request);
         let via_threads = raw_roundtrip(threaded.addr(), request);
         assert_eq!(
-            String::from_utf8_lossy(&via_reactor),
-            String::from_utf8_lossy(&via_threads),
+            strip_trace(&via_reactor),
+            strip_trace(&via_threads),
             "entry paths must be indistinguishable on the wire"
         );
     }
